@@ -1,0 +1,33 @@
+//! Figure 10 backend: data-parallel iteration simulations including the
+//! k-search of OOO-BytePS.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ooo_cluster::datapar::{run, CommSystem};
+use ooo_models::zoo::resnet;
+use ooo_models::GpuProfile;
+use ooo_netsim::topology::ClusterTopology;
+
+fn bench_datapar(c: &mut Criterion) {
+    let gpu = GpuProfile::v100();
+    let topo = ClusterTopology::pub_a();
+    let model = resnet(50);
+    let mut group = c.benchmark_group("fig10");
+    group.sample_size(10);
+    for system in [
+        CommSystem::Horovod,
+        CommSystem::BytePS,
+        CommSystem::OooBytePS,
+    ] {
+        group.bench_function(format!("resnet50_16gpu/{}", system.name()), |b| {
+            b.iter(|| run(&model, 128, &gpu, &topo, 16, system).unwrap())
+        });
+    }
+    group.bench_function("resnet101_48gpu/OOO-BytePS", |b| {
+        let m = resnet(101);
+        b.iter(|| run(&m, 96, &gpu, &topo, 48, CommSystem::OooBytePS).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_datapar);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Figures 5/6/11/12/13 backend: pipeline-parallel schedule simulations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ooo_cluster::pipeline::run;
+use ooo_core::pipeline::{simulate_pipeline, PipelineConfig, Strategy};
+use ooo_models::zoo::bert;
+use ooo_models::GpuProfile;
+use ooo_netsim::link::LinkSpec;
+
+fn bench_unit_schedules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_fig12_unit");
+    for (name, cfg) in [
+        (
+            "fig5_modelpar",
+            PipelineConfig::unit(8, 2, 1, Strategy::ModelParallel),
+        ),
+        (
+            "fig5_ooopipe2",
+            PipelineConfig::unit(8, 2, 1, Strategy::OooPipe2),
+        ),
+        (
+            "fig12_gpipe",
+            PipelineConfig::unit(8, 4, 2, Strategy::GPipe),
+        ),
+        (
+            "fig12_ooopipe2",
+            PipelineConfig::unit(8, 4, 2, Strategy::OooPipe2),
+        ),
+    ] {
+        group.bench_function(name, |b| b.iter(|| simulate_pipeline(&cfg).unwrap()));
+    }
+    group.finish();
+}
+
+fn bench_bert_pipelines(c: &mut Criterion) {
+    let gpu = GpuProfile::v100();
+    let nv = LinkSpec::nvlink();
+    let model = bert(24, 128);
+    let mut group = c.benchmark_group("fig11_fig13");
+    group.sample_size(10);
+    for (name, strategy) in [
+        ("bert24_4gpu/gpipe", Strategy::GPipe),
+        ("bert24_4gpu/pipedream", Strategy::PipeDream),
+        ("bert24_4gpu/ooopipe2", Strategy::OooPipe2),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| run(&model, 96, 4, &gpu, &nv, 4, strategy, 1, 4).unwrap())
+        });
+    }
+    let big = bert(48, 128);
+    group.bench_function("bert48_32gpu/ooopipe2", |b| {
+        b.iter(|| run(&big, 512, 8, &gpu, &nv, 32, Strategy::OooPipe2, 1, 3).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_unit_schedules, bench_bert_pipelines);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Benchmarks of the scheduling algorithms themselves: the cost of
+//! *planning* must stay negligible next to a training iteration, which is
+//! the paper's implicit requirement for doing the scheduling online.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ooo_core::cost::UnitCost;
+use ooo_core::graph::TrainGraph;
+use ooo_core::list_scheduling::{list_schedule, LaneSpec};
+use ooo_core::multi_region::{backward_regions, multi_region_joint_schedule, ConstantProfile};
+use ooo_core::reverse_k::{reverse_first_k, search_optimal_k};
+use ooo_core::schedule::validate_order;
+
+fn bench_graph_build(c: &mut Criterion) {
+    c.bench_function("graph/build_120_layers", |b| {
+        b.iter(|| TrainGraph::data_parallel(black_box(120)))
+    });
+}
+
+fn bench_validate(c: &mut Criterion) {
+    let g = TrainGraph::data_parallel(120);
+    let order = g.conventional_backprop();
+    c.bench_function("graph/validate_order_120_layers", |b| {
+        b.iter(|| validate_order(&g, black_box(&order)).unwrap())
+    });
+}
+
+fn bench_reverse_k(c: &mut Criterion) {
+    let g = TrainGraph::data_parallel(160);
+    c.bench_function("algo2/reverse_first_k_160_layers", |b| {
+        b.iter(|| reverse_first_k::<UnitCost>(&g, black_box(45), None).unwrap())
+    });
+    c.bench_function("algo2/k_search_160_layers", |b| {
+        b.iter(|| search_optimal_k(160, |k| -((k as f64 - 45.0).powi(2))))
+    });
+}
+
+fn bench_multi_region(c: &mut Criterion) {
+    // DenseNet-121-sized input: 120 layers, 8 regions.
+    let g = TrainGraph::single_gpu(120);
+    let (regions, subs) = backward_regions(&g, &UnitCost, 15);
+    let profile = ConstantProfile {
+        speedup: 1.2,
+        sub_time: 1,
+    };
+    c.bench_function("algo1/multi_region_120_layers_8_regions", |b| {
+        b.iter(|| multi_region_joint_schedule(&g, &regions, black_box(&subs), &profile).unwrap())
+    });
+}
+
+fn bench_list_scheduling(c: &mut Criterion) {
+    let g = TrainGraph::data_parallel(120);
+    c.bench_function("list_schedule/120_layers_2_lanes", |b| {
+        b.iter(|| {
+            let lanes = [LaneSpec::compute("gpu"), LaneSpec::link("nic")];
+            list_schedule(&g, &UnitCost, &lanes, |_| 0).unwrap()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_graph_build,
+    bench_validate,
+    bench_reverse_k,
+    bench_multi_region,
+    bench_list_scheduling
+);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Figure 7 backend: end-to-end single-GPU engine simulations. Each
+//! measurement regenerates one bar of the figure (throughput is printed
+//! by the `figures` binary; this bench tracks the cost of producing it).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ooo_cluster::single::{run, Engine};
+use ooo_models::zoo::{densenet121, mobilenet_v3_large, resnet};
+use ooo_models::GpuProfile;
+
+fn bench_engines(c: &mut Criterion) {
+    let gpu = GpuProfile::v100();
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    let dense = densenet121(12, 32);
+    for engine in [Engine::Xla, Engine::OooXlaOpt1, Engine::OooXla] {
+        group.bench_function(format!("densenet121_b32/{}", engine.name()), |b| {
+            b.iter(|| run(&dense, 32, &gpu, engine).unwrap())
+        });
+    }
+    let mobile = mobilenet_v3_large(0.5);
+    group.bench_function("mobilenet_a0.5_b32/OOO-XLA", |b| {
+        b.iter(|| run(&mobile, 32, &gpu, Engine::OooXla).unwrap())
+    });
+    let rn = resnet(50);
+    group.bench_function("resnet50_b64/OOO-XLA", |b| {
+        b.iter(|| run(&rn, 64, &gpu, Engine::OooXla).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Substrate benchmarks: the tensor kernels underlying the numeric
+//! training stack, including the split dO/dW convolution kernels.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ooo_tensor::conv::{conv2d, conv2d_input_grad, conv2d_weight_grad, Conv2dParams};
+use ooo_tensor::init::xavier;
+use ooo_tensor::ops::{matmul, matmul_nt, matmul_tn, softmax_cross_entropy};
+use ooo_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let a = xavier(&mut rng, &[128, 256], 128, 256);
+    let b = xavier(&mut rng, &[256, 128], 256, 128);
+    let bt = xavier(&mut rng, &[128, 256], 256, 128);
+    c.bench_function("tensor/matmul_128x256x128", |bch| {
+        bch.iter(|| matmul(black_box(&a), black_box(&b)).unwrap())
+    });
+    c.bench_function("tensor/matmul_nt_128x256x128", |bch| {
+        bch.iter(|| matmul_nt(black_box(&a), black_box(&bt)).unwrap())
+    });
+    c.bench_function("tensor/matmul_tn_256x128x128", |bch| {
+        bch.iter(|| matmul_tn(black_box(&a), black_box(&a)).unwrap())
+    });
+}
+
+fn bench_conv_kernels(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let x = xavier(&mut rng, &[4, 8, 16, 16], 8, 8);
+    let w = xavier(&mut rng, &[16, 8, 3, 3], 72, 16);
+    let p = Conv2dParams {
+        stride: 1,
+        padding: 1,
+    };
+    let y = conv2d(&x, &w, &p).unwrap();
+    let dy = Tensor::ones(y.dims());
+    c.bench_function("tensor/conv2d_forward", |b| {
+        b.iter(|| conv2d(black_box(&x), black_box(&w), &p).unwrap())
+    });
+    c.bench_function("tensor/conv2d_dO", |b| {
+        b.iter(|| conv2d_input_grad(black_box(&dy), black_box(&w), (16, 16), &p).unwrap())
+    });
+    c.bench_function("tensor/conv2d_dW", |b| {
+        b.iter(|| conv2d_weight_grad(black_box(&x), black_box(&dy), (3, 3), &p).unwrap())
+    });
+}
+
+fn bench_loss(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let logits = xavier(&mut rng, &[256, 100], 256, 100);
+    let labels: Vec<usize> = (0..256).map(|i| i % 100).collect();
+    c.bench_function("tensor/softmax_cross_entropy_256x100", |b| {
+        b.iter(|| softmax_cross_entropy(black_box(&logits), black_box(&labels)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_conv_kernels, bench_loss);
+criterion_main!(benches);

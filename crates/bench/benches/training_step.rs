@@ -1,0 +1,47 @@
+//! Full numeric training steps under different backward schedules: on a
+//! single CPU the wall-clock is schedule-independent (same kernels, same
+//! order class), confirming the reorderings carry no hidden cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ooo_core::cost::UnitCost;
+use ooo_core::reverse_k::reverse_first_k;
+use ooo_nn::data::synthetic_classification;
+use ooo_nn::layers::{Dense, Relu};
+use ooo_nn::optim::Sgd;
+use ooo_nn::Sequential;
+
+fn mlp() -> Sequential {
+    let mut net = Sequential::new();
+    net.push(Dense::seeded(64, 256, 1));
+    net.push(Relu::new());
+    net.push(Dense::seeded(256, 128, 2));
+    net.push(Relu::new());
+    net.push(Dense::seeded(128, 10, 3));
+    net
+}
+
+fn bench_schedules(c: &mut Criterion) {
+    let (x, y) = synthetic_classification(9, 64, 64, 10);
+    let mut group = c.benchmark_group("train_step");
+    let net = mlp();
+    let graph = net.train_graph();
+    let orders = vec![
+        ("conventional", graph.conventional_backprop()),
+        ("fast_forward", graph.fast_forward_backprop()),
+        (
+            "reverse_k3",
+            reverse_first_k::<UnitCost>(&graph, 3, None).unwrap(),
+        ),
+    ];
+    for (name, order) in orders {
+        group.bench_function(name, |b| {
+            let mut net = mlp();
+            let mut opt = Sgd::new(0.01);
+            b.iter(|| net.train_step(&x, &y, &order, &mut opt).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedules);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Regenerates the paper's tables and figures on the simulated
+//! substrates.
+//!
+//! Usage:
+//!
+//! ```text
+//! figures            # everything, in paper order
+//! figures fig7 fig10 # a subset
+//! figures --list     # available ids
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ids = ooo_bench::all_ids();
+    if args.iter().any(|a| a == "--list" || a == "-l") {
+        for id in ids {
+            println!("{id}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let selected: Vec<&str> = if args.is_empty() {
+        ids.clone()
+    } else {
+        let mut sel = Vec::new();
+        for a in &args {
+            if ids.contains(&a.as_str()) {
+                sel.push(ids.iter().copied().find(|&i| i == a).expect("checked"));
+            } else {
+                eprintln!("unknown figure id '{a}'; try --list");
+                return ExitCode::FAILURE;
+            }
+        }
+        sel
+    };
+    for id in selected {
+        let report = ooo_bench::generate(id);
+        println!("{}", report.render());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,370 @@
+//! Data-parallel training engines (the paper's Section 8.3).
+//!
+//! One synchronous iteration from a single worker's perspective: the GPU
+//! runs the backward pass in a chosen order, gradient tensors are
+//! synchronized over the worker's bottleneck link by a chunk-preemptive
+//! priority queue (`ooo-netsim`), and the next forward pass is gated
+//! per-layer on its parameters being synchronized.
+//!
+//! Systems:
+//!
+//! - [`CommSystem::Horovod`] — ring all-reduce wire volume, FIFO tensor
+//!   order, heavy per-tensor negotiation;
+//! - [`CommSystem::BytePS`] — push+pull wire volume, priority by layer
+//!   (ByteScheduler), light coordination;
+//! - [`CommSystem::OooBytePS`] — BytePS plus reverse first-k scheduling
+//!   with the concave `k`-search.
+
+use crate::{Result, SimTime};
+use ooo_core::cost::{CostModel, TableCost};
+use ooo_core::graph::TrainGraph;
+use ooo_core::op::{LayerId, Op};
+use ooo_core::reverse_k::{reverse_first_k, search_optimal_k};
+use ooo_models::cost::to_table_cost;
+use ooo_models::{GpuProfile, ModelSpec};
+use ooo_netsim::collective::{
+    worker_bottleneck_bytes_per_sec, BYTEPS_TENSOR_OVERHEAD_NS, HOROVOD_TENSOR_OVERHEAD_NS,
+};
+use ooo_netsim::commsim::{finish_of, simulate_queue, CommRequest, Policy};
+use ooo_netsim::link::LinkSpec;
+use ooo_netsim::topology::ClusterTopology;
+
+/// Parameter-communication system under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommSystem {
+    /// Horovod: ring all-reduce, FIFO, no reordering.
+    Horovod,
+    /// BytePS with communication prioritization (the baseline).
+    BytePS,
+    /// BytePS plus reverse first-k scheduling (ours).
+    OooBytePS,
+}
+
+impl CommSystem {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CommSystem::Horovod => "Horovod",
+            CommSystem::BytePS => "BytePS",
+            CommSystem::OooBytePS => "OOO-BytePS",
+        }
+    }
+}
+
+/// Result of one data-parallel configuration.
+#[derive(Debug, Clone)]
+pub struct DataParReport {
+    /// Steady-state iteration time.
+    pub iter_ns: SimTime,
+    /// Global throughput in samples per second.
+    pub throughput: f64,
+    /// The `k` chosen by reverse first-k (0 for baselines).
+    pub k: usize,
+    /// Iteration time in excess of pure compute — the exposed
+    /// communication the paper's Figure 4 minimizes.
+    pub exposed_sync_ns: SimTime,
+}
+
+/// Chunk size of the priority transmission queue (ByteScheduler-style
+/// tensor partitioning).
+const CHUNK_BYTES: u64 = 512 * 1024;
+
+fn effective_link(topology: &ClusterTopology, gpus: usize, overhead_ns: SimTime) -> LinkSpec {
+    LinkSpec {
+        name: "worker-bottleneck",
+        bytes_per_sec: worker_bottleneck_bytes_per_sec(topology, gpus),
+        latency_ns: overhead_ns,
+    }
+}
+
+/// Simulates one iteration with a fixed backward order. Returns the
+/// iteration time.
+///
+/// Parameter-server traffic is full duplex: gradients are *pushed* on the
+/// uplink queue and updated parameters *pulled* on the downlink queue;
+/// a layer's pull becomes ready when its push (and the server's
+/// aggregation) completes. Both queues are chunk-preemptive priority
+/// queues keyed by layer index.
+fn simulate_iteration(
+    cost: &TableCost,
+    wire_bytes: &[u64],
+    order: &[Op],
+    link: &LinkSpec,
+    policy: Policy,
+    agg_latency_ns: SimTime,
+) -> SimTime {
+    let l = cost.layers();
+    // 1. Backward compute, sequential in the given order.
+    let mut t: SimTime = 0;
+    let mut dw_finish = vec![0u64; l + 1];
+    for &op in order {
+        t += cost.duration(op);
+        if let Op::WeightGrad(LayerId(i)) = op {
+            dw_finish[i] = t;
+        }
+    }
+    let backward_end = t;
+    // 2. Push queue on the uplink.
+    let push: Vec<CommRequest> = (1..=l)
+        .map(|i| CommRequest {
+            id: i,
+            bytes: wire_bytes[i - 1],
+            ready_ns: dw_finish[i],
+            priority: i as i64,
+        })
+        .collect();
+    let push_done = simulate_queue(link, CHUNK_BYTES, policy, &push);
+    // 3. Pull queue on the downlink, gated per layer on the push.
+    let pull: Vec<CommRequest> = (1..=l)
+        .map(|i| CommRequest {
+            id: i,
+            bytes: wire_bytes[i - 1],
+            ready_ns: finish_of(&push_done, i).unwrap_or(0),
+            priority: i as i64,
+        })
+        .collect();
+    let pull_done = simulate_queue(link, CHUNK_BYTES, policy, &pull);
+    // 4. Forward pass gated per layer on its pulled parameters. Each
+    //    synchronization additionally carries the aggregation latency
+    //    tail (end-to-end, pipelined across tensors — it delays
+    //    completion but does not occupy the wire).
+    let mut t = backward_end;
+    for i in 1..=l {
+        let sync = finish_of(&pull_done, i)
+            .unwrap_or(0)
+            .saturating_add(agg_latency_ns);
+        t = t.max(sync) + cost.duration(Op::Forward(LayerId(i)));
+    }
+    t
+}
+
+/// Per-tensor aggregation-latency tail: the time between a worker's push
+/// completing and the aggregated parameters being available, growing with
+/// worker count (barrier over all workers, server queueing, and TCP
+/// incast on Ethernet). This is the component the paper's Section 8.3
+/// discussion measures as the 350 ms first-layer synchronization on 16
+/// V100s — large, and hideable only by *starting* the critical
+/// synchronizations earlier, which is exactly what reverse first-k does.
+fn aggregation_latency_ns(topology: &ClusterTopology, gpus: usize) -> SimTime {
+    if gpus <= 1 {
+        0
+    } else if topology.single_node(gpus) {
+        // NVLink/PCIe aggregation within one machine.
+        200_000 * gpus as SimTime
+    } else {
+        6_000_000 * gpus as SimTime
+    }
+}
+
+/// Runs one data-parallel configuration.
+///
+/// # Errors
+///
+/// Propagates scheduling errors (invalid `k`, malformed orders).
+pub fn run(
+    model: &ModelSpec,
+    per_gpu_batch: usize,
+    gpu: &GpuProfile,
+    topology: &ClusterTopology,
+    gpus: usize,
+    system: CommSystem,
+) -> Result<DataParReport> {
+    let cost = to_table_cost(model, per_gpu_batch, gpu);
+    let l = cost.layers();
+    let graph = TrainGraph::data_parallel(l);
+    let n = gpus.max(1) as f64;
+    // Per-direction wire volume per worker. Every GPU pushes its own
+    // gradients and pulls the updated parameters (the push and pull are
+    // separate queues in `simulate_iteration`); Horovod's ring moves
+    // 2(n-1)/n of the bytes each way.
+    let wire_bytes: Vec<u64> = model
+        .layers
+        .iter()
+        .map(|layer| match system {
+            _ if gpus <= 1 => 0,
+            CommSystem::Horovod => ((n - 1.0) / n * layer.param_bytes as f64) as u64,
+            _ => layer.param_bytes,
+        })
+        .collect();
+    let (policy, overhead) = match system {
+        CommSystem::Horovod => (Policy::Fifo, HOROVOD_TENSOR_OVERHEAD_NS),
+        CommSystem::BytePS | CommSystem::OooBytePS => (Policy::Priority, BYTEPS_TENSOR_OVERHEAD_NS),
+    };
+    let link = effective_link(topology, gpus, overhead);
+
+    let tau = aggregation_latency_ns(topology, gpus)
+        * match system {
+            // Horovod's negotiate-then-allreduce protocol roughly doubles
+            // the tail.
+            CommSystem::Horovod => 2,
+            _ => 1,
+        };
+    let eval = |k: usize| -> Result<SimTime> {
+        let order = reverse_first_k::<TableCost>(&graph, k, None)?;
+        Ok(simulate_iteration(
+            &cost,
+            &wire_bytes,
+            &order,
+            &link,
+            policy,
+            tau,
+        ))
+    };
+
+    let (k, iter_ns) = match system {
+        CommSystem::Horovod | CommSystem::BytePS => (0, eval(0)?),
+        CommSystem::OooBytePS => {
+            let best_k = search_optimal_k(l, |k| {
+                eval(k)
+                    .map(|t| 1e9 / t.max(1) as f64)
+                    .unwrap_or(f64::NEG_INFINITY)
+            });
+            (best_k, eval(best_k)?)
+        }
+    };
+
+    let pure_compute: SimTime = cost.total_backward() + cost.total_forward();
+    Ok(DataParReport {
+        iter_ns,
+        throughput: (per_gpu_batch * gpus) as f64 * 1e9 / iter_ns.max(1) as f64,
+        k,
+        exposed_sync_ns: iter_ns.saturating_sub(pure_compute),
+    })
+}
+
+/// Like [`run`] with the OOO-BytePS system but a *fixed* `k` instead of
+/// the heuristic search — used by the k-sweep ablation.
+///
+/// # Errors
+///
+/// Propagates scheduling errors (including `k` beyond the layer count).
+pub fn run_with_fixed_k(
+    model: &ModelSpec,
+    per_gpu_batch: usize,
+    gpu: &GpuProfile,
+    topology: &ClusterTopology,
+    gpus: usize,
+    k: usize,
+) -> Result<DataParReport> {
+    let cost = to_table_cost(model, per_gpu_batch, gpu);
+    let l = cost.layers();
+    let graph = TrainGraph::data_parallel(l);
+    let k = k.min(l);
+    let wire_bytes: Vec<u64> = model
+        .layers
+        .iter()
+        .map(|layer| if gpus <= 1 { 0 } else { layer.param_bytes })
+        .collect();
+    let link = effective_link(topology, gpus, BYTEPS_TENSOR_OVERHEAD_NS);
+    let tau = aggregation_latency_ns(topology, gpus);
+    let order = reverse_first_k::<TableCost>(&graph, k, None)?;
+    let iter_ns = simulate_iteration(&cost, &wire_bytes, &order, &link, Policy::Priority, tau);
+    let pure_compute: SimTime = cost.total_backward() + cost.total_forward();
+    Ok(DataParReport {
+        iter_ns,
+        throughput: (per_gpu_batch * gpus) as f64 * 1e9 / iter_ns.max(1) as f64,
+        k,
+        exposed_sync_ns: iter_ns.saturating_sub(pure_compute),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ooo_models::zoo::resnet;
+
+    fn v100() -> GpuProfile {
+        GpuProfile::v100()
+    }
+
+    #[test]
+    fn single_gpu_has_no_sync_overhead() {
+        let m = resnet(50);
+        let r = run(
+            &m,
+            64,
+            &v100(),
+            &ClusterTopology::pub_a(),
+            1,
+            CommSystem::BytePS,
+        )
+        .unwrap();
+        // Per-tensor latency still applies, but no bytes cross the wire;
+        // exposure is bounded by coordination only.
+        assert!(
+            r.exposed_sync_ns < r.iter_ns / 5,
+            "exposed {} of {}",
+            r.exposed_sync_ns,
+            r.iter_ns
+        );
+    }
+
+    #[test]
+    fn systems_rank_byteps_over_horovod() {
+        let m = resnet(101);
+        let topo = ClusterTopology::priv_b();
+        let h = run(&m, 64, &GpuProfile::p100(), &topo, 20, CommSystem::Horovod).unwrap();
+        let b = run(&m, 64, &GpuProfile::p100(), &topo, 20, CommSystem::BytePS).unwrap();
+        assert!(
+            b.throughput > h.throughput,
+            "BytePS {} vs Horovod {}",
+            b.throughput,
+            h.throughput
+        );
+    }
+
+    #[test]
+    fn ooo_byteps_beats_byteps_at_scale() {
+        // The paper's headline: 1.10-1.27x over BytePS with 16-48 GPUs.
+        let m = resnet(50);
+        let topo = ClusterTopology::pub_a();
+        let b = run(&m, 128, &v100(), &topo, 16, CommSystem::BytePS).unwrap();
+        let o = run(&m, 128, &v100(), &topo, 16, CommSystem::OooBytePS).unwrap();
+        let speedup = o.throughput / b.throughput;
+        assert!(o.k > 0, "search found k = 0");
+        assert!(speedup >= 1.02, "speedup {speedup}");
+        assert!(speedup < 1.6, "speedup {speedup} implausibly high");
+    }
+
+    #[test]
+    fn nvlink_only_jobs_gain_little() {
+        // On 2-4 NVLink GPUs the paper measures only 1-5%.
+        let m = resnet(50);
+        let topo = ClusterTopology::pub_a();
+        let b = run(&m, 128, &v100(), &topo, 4, CommSystem::BytePS).unwrap();
+        let o = run(&m, 128, &v100(), &topo, 4, CommSystem::OooBytePS).unwrap();
+        let speedup = o.throughput / b.throughput;
+        assert!((0.99..1.12).contains(&speedup), "NVLink speedup {speedup}");
+    }
+
+    #[test]
+    fn scaling_efficiency_below_linear() {
+        let m = resnet(50);
+        let topo = ClusterTopology::pub_a();
+        let t1 = run(&m, 128, &v100(), &topo, 1, CommSystem::BytePS)
+            .unwrap()
+            .throughput;
+        let t16 = run(&m, 128, &v100(), &topo, 16, CommSystem::BytePS)
+            .unwrap()
+            .throughput;
+        assert!(t16 > 4.0 * t1, "no scaling: {t16} vs {t1}");
+        assert!(t16 < 16.0 * t1, "super-linear scaling is impossible");
+    }
+
+    #[test]
+    fn throughput_monotone_in_gpus_for_ooo() {
+        let m = resnet(101);
+        let topo = ClusterTopology::pub_a();
+        let mut prev = 0.0;
+        for gpus in [1usize, 4, 8, 16] {
+            let r = run(&m, 96, &v100(), &topo, gpus, CommSystem::OooBytePS).unwrap();
+            assert!(
+                r.throughput > prev,
+                "{} GPUs: {} <= {prev}",
+                gpus,
+                r.throughput
+            );
+            prev = r.throughput;
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Combined scheduling across parallelism dimensions (the paper's
+//! Section 6).
+//!
+//! A first-order model of hybrid data+pipeline training: `replicas`
+//! pipeline groups train data-parallel; after each pipeline iteration the
+//! per-layer weight gradients are synchronized across replicas over each
+//! node's NIC. Reverse first-k scheduling decides the *priority order* of
+//! those synchronizations, and gradient fast-forwarding shapes the
+//! pipeline itself — the combination the paper sketches and leaves the
+//! optimal split of as future work.
+
+use crate::pipeline::run as run_pipeline;
+use crate::{Result, SimTime};
+use ooo_core::pipeline::{Strategy, TaskKind};
+use ooo_models::{GpuProfile, ModelSpec};
+use ooo_netsim::commsim::{simulate_queue, total_finish, CommRequest, Policy};
+use ooo_netsim::link::LinkSpec;
+
+/// Result of a hybrid run.
+#[derive(Debug, Clone)]
+pub struct HybridReport {
+    /// Steady-state iteration time including exposed synchronization.
+    pub iter_ns: SimTime,
+    /// Global throughput (samples/s across all replicas).
+    pub throughput: f64,
+    /// The split point used.
+    pub k: usize,
+}
+
+/// Runs hybrid data+pipeline training with reverse-first-k applied to the
+/// first `k` layers' synchronizations.
+///
+/// # Errors
+///
+/// Propagates pipeline-simulation errors.
+#[allow(clippy::too_many_arguments)]
+pub fn run_combined(
+    model: &ModelSpec,
+    batch: usize,
+    micro_batches: usize,
+    gpu: &GpuProfile,
+    intra_link: &LinkSpec,
+    sync_link: &LinkSpec,
+    devices: usize,
+    replicas: usize,
+    k: usize,
+    iterations: usize,
+) -> Result<HybridReport> {
+    let strategy = Strategy::OooPipe2;
+    let report = run_pipeline(
+        model,
+        batch,
+        micro_batches,
+        gpu,
+        intra_link,
+        devices,
+        strategy,
+        1,
+        iterations,
+    )?;
+    let iter = report.iter_ns;
+    if replicas <= 1 {
+        // No data-parallel dimension: pure pipeline.
+        return Ok(HybridReport {
+            iter_ns: iter,
+            throughput: batch as f64 * 1e9 / iter.max(1) as f64,
+            k,
+        });
+    }
+
+    // Gradient synchronization across replicas: one request per layer,
+    // ready when the layer's last dW of the final simulated iteration
+    // completed, prioritized so that the first k layers go out first
+    // (reverse first-k), the rest by completion order.
+    let last_iter = iterations.saturating_sub(1);
+    let mut ready = vec![0u64; model.num_layers() + 1];
+    let mut iter_start = SimTime::MAX;
+    for e in &report.result.events {
+        if e.task.iter == last_iter {
+            iter_start = iter_start.min(e.start);
+            if e.task.kind == TaskKind::WeightGrad && e.task.layer <= model.num_layers() {
+                ready[e.task.layer] = ready[e.task.layer].max(e.end);
+            }
+        }
+    }
+    let iter_start = if iter_start == SimTime::MAX {
+        0
+    } else {
+        iter_start
+    };
+    let wire = |bytes: u64| {
+        let n = replicas.max(1) as f64;
+        (2.0 * (n - 1.0) / n * bytes as f64) as u64
+    };
+    let requests: Vec<CommRequest> = (1..=model.num_layers())
+        .map(|i| CommRequest {
+            id: i,
+            bytes: if replicas > 1 {
+                wire(model.layers[i - 1].param_bytes)
+            } else {
+                0
+            },
+            ready_ns: ready[i].saturating_sub(iter_start),
+            priority: if i <= k { i as i64 } else { 1_000 + i as i64 },
+        })
+        .collect();
+    let completions = simulate_queue(sync_link, 512 * 1024, Policy::Priority, &requests);
+    let sync_end = total_finish(&completions);
+    // Exposed synchronization: whatever finishes after the pipeline's own
+    // iteration time delays the next iteration.
+    let iter_ns = iter.max(sync_end);
+    Ok(HybridReport {
+        iter_ns,
+        throughput: (batch * replicas) as f64 * 1e9 / iter_ns.max(1) as f64,
+        k,
+    })
+}
+
+/// Searches the split `k` with the concave heuristic and returns the best
+/// report.
+///
+/// # Errors
+///
+/// Propagates pipeline-simulation errors.
+#[allow(clippy::too_many_arguments)]
+pub fn run_combined_best_k(
+    model: &ModelSpec,
+    batch: usize,
+    micro_batches: usize,
+    gpu: &GpuProfile,
+    intra_link: &LinkSpec,
+    sync_link: &LinkSpec,
+    devices: usize,
+    replicas: usize,
+    iterations: usize,
+) -> Result<HybridReport> {
+    let l = model.num_layers();
+    let k = ooo_core::combined::choose_split_k(l, |k| {
+        run_combined(
+            model,
+            batch,
+            micro_batches,
+            gpu,
+            intra_link,
+            sync_link,
+            devices,
+            replicas,
+            k,
+            iterations,
+        )
+        .map(|r| r.throughput)
+        .unwrap_or(f64::NEG_INFINITY)
+    });
+    run_combined(
+        model,
+        batch,
+        micro_batches,
+        gpu,
+        intra_link,
+        sync_link,
+        devices,
+        replicas,
+        k,
+        iterations,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ooo_models::zoo::bert;
+
+    #[test]
+    fn single_replica_equals_pure_pipeline() {
+        let m = bert(12, 128);
+        let gpu = GpuProfile::v100();
+        let nv = LinkSpec::nvlink();
+        let eth = LinkSpec::ethernet_10g();
+        let hybrid = run_combined(&m, 96, 4, &gpu, &nv, &eth, 4, 1, 0, 4).unwrap();
+        let pure = run_pipeline(&m, 96, 4, &gpu, &nv, 4, Strategy::OooPipe2, 1, 4).unwrap();
+        assert_eq!(hybrid.iter_ns, pure.iter_ns);
+    }
+
+    #[test]
+    fn replication_adds_sync_cost_but_scales_throughput() {
+        let m = bert(12, 128);
+        let gpu = GpuProfile::v100();
+        let nv = LinkSpec::nvlink();
+        let eth = LinkSpec::ethernet_25g();
+        let one = run_combined(&m, 96, 4, &gpu, &nv, &eth, 4, 1, 0, 4).unwrap();
+        let four = run_combined(&m, 96, 4, &gpu, &nv, &eth, 4, 4, 0, 4).unwrap();
+        assert!(four.iter_ns >= one.iter_ns);
+        assert!(four.throughput > one.throughput);
+    }
+
+    #[test]
+    fn best_k_no_worse_than_k_zero() {
+        let m = bert(12, 128);
+        let gpu = GpuProfile::v100();
+        let nv = LinkSpec::nvlink();
+        let eth = LinkSpec::ethernet_10g();
+        let base = run_combined(&m, 96, 4, &gpu, &nv, &eth, 4, 4, 0, 4).unwrap();
+        let best = run_combined_best_k(&m, 96, 4, &gpu, &nv, &eth, 4, 4, 4).unwrap();
+        assert!(best.throughput >= base.throughput * 0.999);
+    }
+}

@@ -1,0 +1,82 @@
+//! # ooo-cluster — end-to-end training-system simulations
+//!
+//! Combines the scheduling algorithms (`ooo-core`), the GPU model
+//! (`ooo-gpusim`), the communication model (`ooo-netsim`), and the model
+//! zoo (`ooo-models`) into the three experiment families of the paper's
+//! evaluation:
+//!
+//! - [`single`] — single-GPU training under five executor engines
+//!   (TensorFlow, XLA, Nimble, OOO-XLA with pre-compiled issue, OOO-XLA
+//!   with pre-compiled issue + multi-stream ooo computation), including
+//!   the OOM behaviour the paper reports for Nimble at large batches;
+//! - [`datapar`] — synchronous data-parallel training under Horovod,
+//!   BytePS, and OOO-BytePS (reverse first-k with the concave `k`-search)
+//!   on the Table 2 clusters;
+//! - [`pipeline`] — pipeline-parallel training under cross-layer model
+//!   parallelism, GPipe, PipeDream, DAPPLE, Megatron-style interleaving,
+//!   OOO-Pipe1, and OOO-Pipe2 with configurable modulo grouping;
+//! - [`hybrid`] — the Section 6 combination of reverse first-k and
+//!   gradient fast-forwarding;
+//! - [`analysis`] — the drill-down numbers of the paper's discussion
+//!   subsections (R2/R5 anatomy, the ResNet-50 synchronization budget).
+
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod analysis;
+pub mod datapar;
+pub mod hybrid;
+pub mod pipeline;
+pub mod single;
+
+/// Simulated time in nanoseconds.
+pub type SimTime = u64;
+
+/// Errors from the cluster engines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// The configuration would not fit in GPU memory (the paper's "N/A"
+    /// entries, e.g. Nimble at batch 64+).
+    OutOfMemory {
+        /// Bytes required.
+        required: u64,
+        /// Bytes available on the GPU.
+        capacity: u64,
+    },
+    /// Underlying scheduling error.
+    Core(ooo_core::Error),
+    /// Underlying GPU-simulation error.
+    Gpu(ooo_gpusim::Error),
+    /// Structurally invalid configuration.
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::OutOfMemory { required, capacity } => {
+                write!(f, "out of memory: needs {required} B, GPU has {capacity} B")
+            }
+            Error::Core(e) => write!(f, "scheduling error: {e}"),
+            Error::Gpu(e) => write!(f, "gpu simulation error: {e}"),
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<ooo_core::Error> for Error {
+    fn from(e: ooo_core::Error) -> Self {
+        Error::Core(e)
+    }
+}
+
+impl From<ooo_gpusim::Error> for Error {
+    fn from(e: ooo_gpusim::Error) -> Self {
+        Error::Gpu(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,164 @@
+//! Lower bounds on iteration makespan.
+//!
+//! The paper's Section 2 problem is NP-hard, so its schedulers are
+//! heuristics; these bounds quantify how close a schedule gets. Two
+//! classical bounds apply:
+//!
+//! - **critical path**: the longest dependency chain through the
+//!   iteration (no schedule can beat the chain);
+//! - **resource bound**: total work per resource class divided by the
+//!   number of lanes of that class.
+//!
+//! `optimality_gap` compares a simulated makespan against the larger of
+//! the two.
+
+use crate::cost::CostModel;
+use crate::graph::TrainGraph;
+use crate::SimTime;
+
+/// The critical-path lower bound: the longest cost-weighted dependency
+/// chain in the graph.
+pub fn critical_path<C: CostModel>(graph: &TrainGraph, cost: &C) -> SimTime {
+    // Upward ranks already compute exactly this; the maximum rank is the
+    // critical path length.
+    crate::heft::upward_ranks(graph, cost)
+        .into_iter()
+        .max()
+        .unwrap_or(0)
+}
+
+/// The resource lower bound: total compute work divided by
+/// `compute_lanes`, and total synchronization work divided by
+/// `link_lanes`, whichever is larger.
+pub fn resource_bound<C: CostModel>(
+    graph: &TrainGraph,
+    cost: &C,
+    compute_lanes: usize,
+    link_lanes: usize,
+) -> SimTime {
+    let mut compute: SimTime = 0;
+    let mut sync: SimTime = 0;
+    for &op in graph.ops() {
+        if op.is_sync() {
+            sync += cost.duration(op);
+        } else {
+            compute += cost.duration(op);
+        }
+    }
+    let c = compute / compute_lanes.max(1) as SimTime;
+    let s = sync / link_lanes.max(1) as SimTime;
+    c.max(s)
+}
+
+/// The combined lower bound.
+pub fn lower_bound<C: CostModel>(
+    graph: &TrainGraph,
+    cost: &C,
+    compute_lanes: usize,
+    link_lanes: usize,
+) -> SimTime {
+    critical_path(graph, cost).max(resource_bound(graph, cost, compute_lanes, link_lanes))
+}
+
+/// Makespan divided by the lower bound (1.0 = provably optimal).
+pub fn optimality_gap<C: CostModel>(
+    graph: &TrainGraph,
+    cost: &C,
+    compute_lanes: usize,
+    link_lanes: usize,
+    makespan: SimTime,
+) -> f64 {
+    let lb = lower_bound(graph, cost, compute_lanes, link_lanes);
+    if lb == 0 {
+        return 1.0;
+    }
+    makespan as f64 / lb as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{LayerCost, TableCost, UnitCost};
+    use crate::datapar::{reverse_k_makespan, CommPolicy};
+    use crate::list_scheduling::{simulate, LaneSpec};
+    use crate::reverse_k::search_optimal_k;
+    use crate::schedule::Schedule;
+
+    #[test]
+    fn critical_path_of_unit_chain() {
+        // Single GPU, L layers, unit cost: the chain
+        // loss -> dO_L..dO_2 -> dW_1 -> U_1 -> F_1..F_L
+        // has (L-1) dO + 1 dW + L F = 2L units.
+        let g = TrainGraph::single_gpu(6);
+        assert_eq!(critical_path(&g, &UnitCost), 12);
+    }
+
+    #[test]
+    fn resource_bound_counts_work() {
+        let g = TrainGraph::single_gpu(5);
+        // Work: 4 dO + 5 dW + 5 F = 14 units on 1 lane; 7 on 2 lanes.
+        assert_eq!(resource_bound(&g, &UnitCost, 1, 1), 14);
+        assert_eq!(resource_bound(&g, &UnitCost, 2, 1), 7);
+    }
+
+    #[test]
+    fn single_lane_conventional_is_optimal() {
+        // On one lane the conventional schedule meets the resource bound
+        // exactly: the gap is 1.0.
+        let g = TrainGraph::single_gpu(8);
+        let s = Schedule::single_lane("gpu", g.conventional_backprop());
+        let t = simulate(&g, &s, &UnitCost).unwrap();
+        let gap = optimality_gap(&g, &UnitCost, 1, 1, t.makespan());
+        assert!((gap - 1.0).abs() < 1e-9, "gap {gap}");
+    }
+
+    #[test]
+    fn two_stream_schedule_approaches_the_bound() {
+        // With dW on a sub-stream, the makespan approaches
+        // max(critical path, work/2).
+        let g = TrainGraph::single_gpu(10);
+        let lanes = [LaneSpec::compute("main"), LaneSpec::compute("sub")];
+        let (_, t) = crate::heft::heft_schedule(&g, &UnitCost, &lanes).unwrap();
+        let gap = optimality_gap(&g, &UnitCost, 2, 1, t.makespan());
+        assert!(gap < 1.25, "gap {gap}");
+    }
+
+    #[test]
+    fn reverse_k_search_lands_near_the_bound() {
+        // Data-parallel with moderate syncs: the searched k's makespan is
+        // within 1.3x of the lower bound (1 compute lane + 1 link lane).
+        let l = 24;
+        let cost = TableCost::uniform(
+            l,
+            LayerCost {
+                sync_weight: 1,
+                ..LayerCost::default()
+            },
+        );
+        let g = TrainGraph::data_parallel(l);
+        let k = search_optimal_k(l, |k| {
+            -(reverse_k_makespan(&g, k, &cost, CommPolicy::PriorityByLayer).unwrap() as f64)
+        });
+        let m = reverse_k_makespan(&g, k, &cost, CommPolicy::PriorityByLayer).unwrap();
+        let gap = optimality_gap(&g, &cost, 1, 1, m);
+        assert!(gap < 1.3, "gap {gap}");
+    }
+
+    #[test]
+    fn makespan_never_beats_the_bound() {
+        for l in [3usize, 7, 15] {
+            let g = TrainGraph::data_parallel(l);
+            let cost = TableCost::uniform(
+                l,
+                LayerCost {
+                    sync_weight: 2,
+                    ..LayerCost::default()
+                },
+            );
+            for k in [0, l / 2, l] {
+                let m = reverse_k_makespan(&g, k, &cost, CommPolicy::PriorityByLayer).unwrap();
+                assert!(m >= lower_bound(&g, &cost, 1, 1), "l={l} k={k}");
+            }
+        }
+    }
+}

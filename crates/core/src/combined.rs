@@ -1,0 +1,129 @@
+//! Combining the scheduling techniques (the paper's Section 6).
+//!
+//! The three algorithms compose because they act on disjoint degrees of
+//! freedom: reverse first-k fixes *when* the first `k` weight gradients
+//! run (early, to start their critical synchronizations), while gradient
+//! fast-forwarding delays the remaining `L-k` weight gradients (so output
+//! gradients reach the next pipeline stage or the main stream promptly).
+//! The paper leaves finding the optimal split as future work; here the
+//! mechanism is implemented together with a simple search built on the
+//! concave `k`-search.
+
+use crate::error::Result;
+use crate::graph::TrainGraph;
+use crate::op::{LayerId, Op};
+use crate::reverse_k::search_optimal_k;
+
+/// Backward-pass order combining reverse first-k scheduling (layers
+/// `1..=k`) with gradient fast-forwarding (layers `k+1..=L`):
+///
+/// 1. the loss and the full output-gradient chain `dO_L .. dO_2` (nothing
+///    delays the critical path);
+/// 2. `dW_1, dW_2, …, dW_k` — the reversed critical weight gradients whose
+///    synchronizations gate the next forward pass;
+/// 3. `dW_L, …, dW_{k+1}` — the fast-forwarded remainder, filling the
+///    synchronization window.
+///
+/// # Errors
+///
+/// Returns [`crate::Error::InvalidConfig`] when `k` exceeds the layer
+/// count.
+pub fn combined_backward_order(graph: &TrainGraph, k: usize) -> Result<Vec<Op>> {
+    let l = graph.layers();
+    if k > l {
+        return Err(crate::Error::InvalidConfig(format!(
+            "k = {k} exceeds layer count {l}"
+        )));
+    }
+    let mut order = vec![Op::Loss];
+    for i in (1..=l).rev() {
+        if graph.contains(Op::OutputGrad(LayerId(i))) {
+            order.push(Op::OutputGrad(LayerId(i)));
+        }
+    }
+    for i in 1..=k {
+        order.push(Op::WeightGrad(LayerId(i)));
+    }
+    for i in ((k + 1)..=l).rev() {
+        order.push(Op::WeightGrad(LayerId(i)));
+    }
+    Ok(order)
+}
+
+/// Splits the weight gradients for the "multi-stream + reverse first-k"
+/// combination: layers `1..=k` go to the data-parallel reordering (their
+/// synchronizations are critical) and layers `k+1..=L` to the sub-stream
+/// of multi-region joint scheduling.
+pub fn split_weight_grads(graph: &TrainGraph, k: usize) -> (Vec<Op>, Vec<Op>) {
+    let l = graph.layers();
+    let k = k.min(l);
+    let first: Vec<Op> = (1..=k).map(|i| Op::WeightGrad(LayerId(i))).collect();
+    let rest: Vec<Op> = ((k + 1)..=l)
+        .rev()
+        .map(|i| Op::WeightGrad(LayerId(i)))
+        .collect();
+    (first, rest)
+}
+
+/// Searches for the best split `k` for a combined schedule using the same
+/// concave heuristic as reverse first-k; `throughput(k)` evaluates a full
+/// combined schedule (e.g. via the cluster simulator).
+pub fn choose_split_k<F>(layers: usize, throughput: F) -> usize
+where
+    F: FnMut(usize) -> f64,
+{
+    search_optimal_k(layers, throughput)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::validate_partial_order;
+
+    #[test]
+    fn combined_order_is_valid_for_all_k() {
+        for l in 2..=12 {
+            let g = TrainGraph::data_parallel(l);
+            for k in 0..=l {
+                let order = combined_backward_order(&g, k).unwrap();
+                validate_partial_order(&g, &order).unwrap();
+                assert_eq!(order.iter().filter(|o| o.is_weight_grad()).count(), l);
+            }
+        }
+    }
+
+    #[test]
+    fn combined_order_structure() {
+        let g = TrainGraph::data_parallel(6);
+        let order = combined_backward_order(&g, 2).unwrap();
+        // dO chain first (after the loss), then dW_1, dW_2, then dW_6..dW_3.
+        assert_eq!(order[0], Op::Loss);
+        assert_eq!(order[1], Op::OutputGrad(LayerId(6)));
+        assert_eq!(order[6], Op::WeightGrad(LayerId(1)));
+        assert_eq!(order[7], Op::WeightGrad(LayerId(2)));
+        assert_eq!(order[8], Op::WeightGrad(LayerId(6)));
+        assert_eq!(*order.last().unwrap(), Op::WeightGrad(LayerId(3)));
+    }
+
+    #[test]
+    fn oversized_k_rejected() {
+        let g = TrainGraph::data_parallel(3);
+        assert!(combined_backward_order(&g, 4).is_err());
+    }
+
+    #[test]
+    fn split_covers_all_weight_grads() {
+        let g = TrainGraph::single_gpu(9);
+        let (a, b) = split_weight_grads(&g, 4);
+        assert_eq!(a.len(), 4);
+        assert_eq!(b.len(), 5);
+        assert_eq!(a[0], Op::WeightGrad(LayerId(1)));
+        assert_eq!(b[0], Op::WeightGrad(LayerId(9)));
+    }
+
+    #[test]
+    fn choose_split_finds_peak() {
+        let k = choose_split_k(40, |k| -((k as f64 - 11.0).abs()));
+        assert_eq!(k, 11);
+    }
+}

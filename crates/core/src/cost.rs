@@ -1,0 +1,227 @@
+//! Cost models: execution times and memory footprints per operation.
+//!
+//! The scheduling algorithms are generic over a [`CostModel`]. The paper's
+//! unit-time figures (Figures 4, 5, 6, 12) use [`UnitCost`]; the
+//! throughput experiments use per-layer profiles built by the
+//! `ooo-models` crate ([`LayerCost`] tables).
+
+use crate::op::{LayerId, Op};
+use crate::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Execution time and memory footprint provider for the operations of one
+/// training iteration.
+pub trait CostModel {
+    /// Execution time of `op` in nanoseconds. Synchronization ops return
+    /// their communication time.
+    fn duration(&self, op: Op) -> SimTime;
+
+    /// Bytes of the activation (layer input) that must stay resident until
+    /// `dW_i` has executed.
+    fn activation_bytes(&self, layer: LayerId) -> u64;
+
+    /// Bytes of the output gradient produced by `dO_{i+1}` and consumed by
+    /// layer `i`'s gradient computations.
+    fn out_grad_bytes(&self, layer: LayerId) -> u64;
+
+    /// Bytes of layer `i`'s weights (also the size of `dW_i`'s result and
+    /// of its parameter synchronization message).
+    fn weight_bytes(&self, layer: LayerId) -> u64;
+}
+
+/// Unit cost: every compute op takes one time unit, synchronizations are
+/// free, updates are free, and all buffers have unit size.
+///
+/// This is the model behind the paper's schedule illustrations; e.g. with
+/// [`UnitCost`] the Figure 5 makespans come out to exactly 23 / 19 / 16
+/// time units.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UnitCost;
+
+impl CostModel for UnitCost {
+    fn duration(&self, op: Op) -> SimTime {
+        match op {
+            Op::Forward(_) | Op::OutputGrad(_) | Op::WeightGrad(_) => 1,
+            // The loss gradient, updates, and synchronizations are drawn
+            // with zero width in the paper's unit-time figures.
+            Op::Loss | Op::Update(_) | Op::SyncWeightGrad(_) | Op::SyncOutputGrad(_) => 0,
+        }
+    }
+
+    fn activation_bytes(&self, _layer: LayerId) -> u64 {
+        1
+    }
+
+    fn out_grad_bytes(&self, _layer: LayerId) -> u64 {
+        1
+    }
+
+    fn weight_bytes(&self, _layer: LayerId) -> u64 {
+        1
+    }
+}
+
+/// Per-layer cost entry of a [`TableCost`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerCost {
+    /// Forward computation time (ns).
+    pub forward: SimTime,
+    /// Output-gradient computation time (ns).
+    pub output_grad: SimTime,
+    /// Weight-gradient computation time (ns).
+    pub weight_grad: SimTime,
+    /// Weight-update time (ns).
+    pub update: SimTime,
+    /// Parameter synchronization time `S[dW_i]` (ns).
+    pub sync_weight: SimTime,
+    /// Activation-gradient transfer time `S[dO_i]` (ns).
+    pub sync_output: SimTime,
+    /// Resident activation bytes (layer input).
+    pub activation_bytes: u64,
+    /// Output-gradient buffer bytes.
+    pub out_grad_bytes: u64,
+    /// Weight/weight-gradient bytes.
+    pub weight_bytes: u64,
+}
+
+impl Default for LayerCost {
+    fn default() -> Self {
+        LayerCost {
+            forward: 1,
+            output_grad: 1,
+            weight_grad: 1,
+            update: 0,
+            sync_weight: 0,
+            sync_output: 0,
+            activation_bytes: 1,
+            out_grad_bytes: 1,
+            weight_bytes: 1,
+        }
+    }
+}
+
+/// A table-driven cost model with one [`LayerCost`] per layer (1-based,
+/// like [`LayerId`]).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TableCost {
+    layers: Vec<LayerCost>,
+    /// Loss computation time (ns).
+    pub loss: SimTime,
+}
+
+impl TableCost {
+    /// Builds a table from per-layer costs (index 0 is layer 1).
+    pub fn new(layers: Vec<LayerCost>) -> Self {
+        TableCost { layers, loss: 0 }
+    }
+
+    /// A uniform table: `layers` identical entries.
+    pub fn uniform(layers: usize, cost: LayerCost) -> Self {
+        TableCost::new(vec![cost; layers])
+    }
+
+    /// Number of layers covered.
+    pub fn layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The cost entry for `layer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `layer` is out of range; the schedulers only query
+    /// layers of the graph they were given.
+    pub fn layer(&self, layer: LayerId) -> &LayerCost {
+        &self.layers[layer.0 - 1]
+    }
+
+    /// Mutable access to the cost entry for `layer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `layer` is out of range.
+    pub fn layer_mut(&mut self, layer: LayerId) -> &mut LayerCost {
+        &mut self.layers[layer.0 - 1]
+    }
+
+    /// Total backward compute time (`dO` + `dW` over all layers), a useful
+    /// normalization constant.
+    pub fn total_backward(&self) -> SimTime {
+        self.layers
+            .iter()
+            .map(|c| c.output_grad + c.weight_grad)
+            .sum()
+    }
+
+    /// Total forward compute time.
+    pub fn total_forward(&self) -> SimTime {
+        self.layers.iter().map(|c| c.forward).sum()
+    }
+}
+
+impl CostModel for TableCost {
+    fn duration(&self, op: Op) -> SimTime {
+        match op {
+            Op::Loss => self.loss,
+            Op::Forward(l) => self.layer(l).forward,
+            Op::OutputGrad(l) => self.layer(l).output_grad,
+            Op::WeightGrad(l) => self.layer(l).weight_grad,
+            Op::Update(l) => self.layer(l).update,
+            Op::SyncWeightGrad(l) => self.layer(l).sync_weight,
+            Op::SyncOutputGrad(l) => self.layer(l).sync_output,
+        }
+    }
+
+    fn activation_bytes(&self, layer: LayerId) -> u64 {
+        self.layer(layer).activation_bytes
+    }
+
+    fn out_grad_bytes(&self, layer: LayerId) -> u64 {
+        self.layer(layer).out_grad_bytes
+    }
+
+    fn weight_bytes(&self, layer: LayerId) -> u64 {
+        self.layer(layer).weight_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_cost_durations() {
+        let c = UnitCost;
+        assert_eq!(c.duration(Op::Forward(LayerId(1))), 1);
+        assert_eq!(c.duration(Op::OutputGrad(LayerId(1))), 1);
+        assert_eq!(c.duration(Op::WeightGrad(LayerId(1))), 1);
+        assert_eq!(c.duration(Op::Loss), 0);
+        assert_eq!(c.duration(Op::SyncWeightGrad(LayerId(1))), 0);
+    }
+
+    #[test]
+    fn table_cost_roundtrip() {
+        let mut t = TableCost::uniform(3, LayerCost::default());
+        t.layer_mut(LayerId(2)).weight_grad = 7;
+        t.layer_mut(LayerId(2)).sync_weight = 11;
+        assert_eq!(t.duration(Op::WeightGrad(LayerId(2))), 7);
+        assert_eq!(t.duration(Op::SyncWeightGrad(LayerId(2))), 11);
+        assert_eq!(t.duration(Op::WeightGrad(LayerId(1))), 1);
+        assert_eq!(t.layers(), 3);
+    }
+
+    #[test]
+    fn totals() {
+        let t = TableCost::uniform(
+            4,
+            LayerCost {
+                forward: 2,
+                output_grad: 3,
+                weight_grad: 5,
+                ..LayerCost::default()
+            },
+        );
+        assert_eq!(t.total_forward(), 8);
+        assert_eq!(t.total_backward(), 32);
+    }
+}

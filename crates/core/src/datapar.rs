@@ -1,0 +1,306 @@
+//! A deterministic data-parallel iteration simulator.
+//!
+//! Models one worker's view of a synchronous data-parallel iteration: a
+//! single compute resource (the GPU) runs the backward pass in a given
+//! order, then updates and the next iteration's forward pass; a single
+//! communication resource (the link / parameter-server path) runs the
+//! parameter synchronizations `S[dW_i]` under a pluggable policy.
+//!
+//! The simulator is the evaluation backend for the paper's Figure 4 and
+//! for the `k`-search of reverse first-k scheduling; the cluster-level
+//! engine in `ooo-cluster` builds on the same structure with full
+//! topology-aware synchronization costs from `ooo-netsim`.
+
+use crate::cost::CostModel;
+use crate::error::Result;
+use crate::graph::TrainGraph;
+use crate::list_scheduling::{TimedOp, Timeline};
+use crate::op::{LayerId, Op};
+use crate::schedule::{validate_partial_order, ResourceId};
+use crate::SimTime;
+
+/// Order in which the communication resource serves ready
+/// synchronizations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommPolicy {
+    /// First-come-first-served by gradient completion time — the behaviour
+    /// of plain wait-free backpropagation.
+    FifoCompletion,
+    /// Among the ready synchronizations, the lowest layer index goes first
+    /// — the prioritized parameter communication of BytePS/ByteScheduler
+    /// (layer 1's parameters are needed first by the next forward pass).
+    PriorityByLayer,
+}
+
+/// Resource id of the compute lane in the produced timeline.
+pub const COMPUTE: ResourceId = ResourceId(0);
+/// Resource id of the communication lane in the produced timeline.
+pub const LINK: ResourceId = ResourceId(1);
+
+/// Simulates one data-parallel iteration.
+///
+/// `backward` is the compute order of the backward pass (loss, `dO`s and
+/// `dW`s — e.g. the output of
+/// [`crate::reverse_k::reverse_first_k`]); the simulator appends the
+/// updates and forward computations in layer order, each gated on its
+/// synchronization.
+///
+/// # Errors
+///
+/// Propagates validation errors when `backward` is not a valid partial
+/// order of `graph`.
+pub fn simulate_data_parallel<C: CostModel>(
+    graph: &TrainGraph,
+    backward: &[Op],
+    cost: &C,
+    policy: CommPolicy,
+) -> Result<Timeline> {
+    simulate_data_parallel_with_tail(graph, backward, cost, policy, 0)
+}
+
+/// Like [`simulate_data_parallel`], with a per-synchronization *latency
+/// tail*: after a synchronization's link occupancy ends, `tail_ns` more
+/// elapse before the updated parameters are usable (aggregation barrier,
+/// server round trip). The tail delays dependants but does not occupy the
+/// link, so it pipelines across tensors — the mechanism that makes
+/// *starting* a critical synchronization earlier (reverse first-k) pay
+/// off even when a priority queue already orders the wire optimally.
+///
+/// # Errors
+///
+/// Propagates validation errors.
+pub fn simulate_data_parallel_with_tail<C: CostModel>(
+    graph: &TrainGraph,
+    backward: &[Op],
+    cost: &C,
+    policy: CommPolicy,
+    tail_ns: SimTime,
+) -> Result<Timeline> {
+    validate_partial_order(graph, backward)?;
+    let l = graph.layers();
+    let mut entries: Vec<TimedOp> = Vec::with_capacity(graph.len());
+
+    // 1. Backward pass on the compute lane, strictly in the given order.
+    //    (Validity was checked above, so sequential execution satisfies
+    //    every dependency.)
+    let mut t: SimTime = 0;
+    let mut dw_finish: Vec<SimTime> = vec![0; l + 1];
+    for &op in backward {
+        let end = t + cost.duration(op);
+        entries.push(TimedOp {
+            op,
+            resource: COMPUTE,
+            start: t,
+            end,
+        });
+        if let Op::WeightGrad(LayerId(i)) = op {
+            dw_finish[i] = end;
+        }
+        t = end;
+    }
+    let backward_done = t;
+
+    // 2. Synchronizations on the link lane under `policy`.
+    let mut sync_finish: Vec<SimTime> = vec![0; l + 1];
+    let mut pending: Vec<usize> = (1..=l).collect();
+    // FIFO by completion = ready-time order with completion sequence as
+    // the tie-break, which equals ready-time order here because each dW
+    // finish time is distinct per compute sequencing (ties broken by
+    // layer for determinism).
+    let mut link_free: SimTime = 0;
+    while !pending.is_empty() {
+        let earliest_ready = pending
+            .iter()
+            .map(|&i| dw_finish[i])
+            .min()
+            .expect("non-empty");
+        let now = link_free.max(earliest_ready);
+        // Candidates ready at `now`.
+        let pick = match policy {
+            CommPolicy::FifoCompletion => pending
+                .iter()
+                .copied()
+                .filter(|&i| dw_finish[i] <= now)
+                .min_by_key(|&i| (dw_finish[i], i))
+                .expect("at least the earliest-ready sync qualifies"),
+            CommPolicy::PriorityByLayer => pending
+                .iter()
+                .copied()
+                .filter(|&i| dw_finish[i] <= now)
+                .min()
+                .expect("at least the earliest-ready sync qualifies"),
+        };
+        pending.retain(|&i| i != pick);
+        let op = Op::SyncWeightGrad(LayerId(pick));
+        let start = now;
+        let end = start + cost.duration(op);
+        entries.push(TimedOp {
+            op,
+            resource: LINK,
+            start,
+            end: end + tail_ns,
+        });
+        sync_finish[pick] = end + tail_ns;
+        // Only the wire occupancy blocks the link; the tail pipelines.
+        link_free = end;
+    }
+
+    // 3. Updates and forward pass on the compute lane, layer order. U_i is
+    //    gated on S[dW_i]; F_i on U_i and F_{i-1}.
+    let mut t = backward_done;
+    #[allow(clippy::needless_range_loop)] // i is the 1-based layer index
+    for i in 1..=l {
+        let u = Op::Update(LayerId(i));
+        let start = t.max(sync_finish[i]);
+        let end = start + cost.duration(u);
+        if graph.contains(u) {
+            entries.push(TimedOp {
+                op: u,
+                resource: COMPUTE,
+                start,
+                end,
+            });
+        }
+        t = end;
+        let f = Op::Forward(LayerId(i));
+        let fe = t + cost.duration(f);
+        entries.push(TimedOp {
+            op: f,
+            resource: COMPUTE,
+            start: t,
+            end: fe,
+        });
+        t = fe;
+    }
+
+    entries.sort_by_key(|e| (e.start, e.resource.0 as u64, e.end));
+    Ok(Timeline { entries })
+}
+
+/// Convenience: iteration makespan of reverse first-k scheduling under
+/// `policy`.
+///
+/// # Errors
+///
+/// Propagates errors from schedule construction and simulation.
+pub fn reverse_k_makespan<C: CostModel>(
+    graph: &TrainGraph,
+    k: usize,
+    cost: &C,
+    policy: CommPolicy,
+) -> Result<SimTime> {
+    let order = crate::reverse_k::reverse_first_k(graph, k, None::<(u64, &C)>)?;
+    Ok(simulate_data_parallel(graph, &order, cost, policy)?.makespan())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{LayerCost, TableCost};
+    use crate::reverse_k::{reverse_first_k, search_optimal_k};
+
+    fn cost(l: usize, sync: SimTime) -> TableCost {
+        TableCost::uniform(
+            l,
+            LayerCost {
+                forward: 1,
+                output_grad: 1,
+                weight_grad: 1,
+                sync_weight: sync,
+                ..LayerCost::default()
+            },
+        )
+    }
+
+    #[test]
+    fn zero_sync_cost_gives_pure_compute_makespan() {
+        let g = TrainGraph::data_parallel(5);
+        let c = cost(5, 0);
+        let m = reverse_k_makespan(&g, 0, &c, CommPolicy::FifoCompletion).unwrap();
+        // 4 dO + 5 dW + 5 F = 14 units.
+        assert_eq!(m, 14);
+    }
+
+    #[test]
+    fn priority_no_worse_than_fifo() {
+        for l in [5usize, 10, 20] {
+            for sync in [1u64, 2, 3, 5] {
+                let g = TrainGraph::data_parallel(l);
+                let c = cost(l, sync);
+                let fifo = reverse_k_makespan(&g, 0, &c, CommPolicy::FifoCompletion).unwrap();
+                let prio = reverse_k_makespan(&g, 0, &c, CommPolicy::PriorityByLayer).unwrap();
+                assert!(prio <= fifo, "l={l} sync={sync}: {prio} > {fifo}");
+            }
+        }
+    }
+
+    #[test]
+    fn reverse_k_beats_plain_priority_when_sync_dominates() {
+        // The regime of the paper's Section 8.3 discussion: the first
+        // layer's synchronization is large relative to the backward pass
+        // (350 ms vs 380 ms for ResNet-50 on 16 GPUs). Hoisting the first
+        // layers' dW lets that critical synchronization start much
+        // earlier.
+        let g = TrainGraph::data_parallel(20);
+        let mut c = cost(20, 1);
+        c.layer_mut(LayerId(1)).sync_weight = 20;
+        let base = reverse_k_makespan(&g, 0, &c, CommPolicy::PriorityByLayer).unwrap();
+        let best = (0..=20)
+            .map(|k| reverse_k_makespan(&g, k, &c, CommPolicy::PriorityByLayer).unwrap())
+            .min()
+            .unwrap();
+        assert!(best < base, "best {best} vs base {base}");
+    }
+
+    #[test]
+    fn search_optimal_k_improves_throughput() {
+        let g = TrainGraph::data_parallel(30);
+        let c = cost(30, 2);
+        let tp = |k: usize| {
+            let m = reverse_k_makespan(&g, k, &c, CommPolicy::PriorityByLayer).unwrap();
+            1.0 / m as f64
+        };
+        let k = search_optimal_k(30, tp);
+        let m_best = reverse_k_makespan(&g, k, &c, CommPolicy::PriorityByLayer).unwrap();
+        let m_zero = reverse_k_makespan(&g, 0, &c, CommPolicy::PriorityByLayer).unwrap();
+        assert!(m_best <= m_zero);
+    }
+
+    #[test]
+    fn all_ops_appear_once() {
+        let g = TrainGraph::data_parallel(7);
+        let c = cost(7, 2);
+        let order = reverse_first_k(&g, 3, None::<(u64, &TableCost)>).unwrap();
+        let t = simulate_data_parallel(&g, &order, &c, CommPolicy::PriorityByLayer).unwrap();
+        assert_eq!(t.entries.len(), g.len());
+        let mut ops: Vec<Op> = t.entries.iter().map(|e| e.op).collect();
+        ops.sort();
+        ops.dedup();
+        assert_eq!(ops.len(), g.len());
+    }
+
+    #[test]
+    fn link_never_overlaps_itself() {
+        let g = TrainGraph::data_parallel(9);
+        let c = cost(9, 4);
+        let order = reverse_first_k(&g, 4, None::<(u64, &TableCost)>).unwrap();
+        let t = simulate_data_parallel(&g, &order, &c, CommPolicy::PriorityByLayer).unwrap();
+        let mut lanes: Vec<&TimedOp> = t.entries.iter().filter(|e| e.resource == LINK).collect();
+        lanes.sort_by_key(|e| e.start);
+        for w in lanes.windows(2) {
+            assert!(w[0].end <= w[1].start);
+        }
+    }
+
+    #[test]
+    fn forward_gated_by_sync() {
+        let g = TrainGraph::data_parallel(3);
+        let mut c = cost(3, 10);
+        c.layer_mut(LayerId(1)).sync_weight = 50;
+        let order = reverse_first_k(&g, 0, None::<(u64, &TableCost)>).unwrap();
+        let t = simulate_data_parallel(&g, &order, &c, CommPolicy::PriorityByLayer).unwrap();
+        let s1 = t.finish_of(Op::SyncWeightGrad(LayerId(1))).unwrap();
+        let f1 = t.start_of(Op::Forward(LayerId(1))).unwrap();
+        assert!(f1 >= s1);
+    }
+}

@@ -1,0 +1,81 @@
+//! Error types shared across the crate.
+
+use crate::op::Op;
+use std::fmt;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by graph construction, schedule validation, and the
+/// scheduling algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A schedule references an operation that is not part of the graph.
+    UnknownOp(Op),
+    /// An operation appears more than once in a schedule.
+    DuplicateOp(Op),
+    /// A required operation is missing from a schedule.
+    MissingOp(Op),
+    /// An operation is scheduled before one of its dependencies.
+    DependencyViolation {
+        /// The operation scheduled too early.
+        op: Op,
+        /// The dependency that had not completed.
+        missing_dep: Op,
+    },
+    /// A schedule exceeds the configured peak-memory budget.
+    MemoryBudgetExceeded {
+        /// Peak bytes required by the schedule.
+        peak: u64,
+        /// Allowed budget in bytes.
+        budget: u64,
+    },
+    /// The requested configuration is structurally invalid (e.g. zero
+    /// layers, zero devices, more pipeline stages than layers).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownOp(op) => write!(f, "operation {op} is not part of the graph"),
+            Error::DuplicateOp(op) => write!(f, "operation {op} appears more than once"),
+            Error::MissingOp(op) => write!(f, "operation {op} is missing from the schedule"),
+            Error::DependencyViolation { op, missing_dep } => {
+                write!(
+                    f,
+                    "operation {op} scheduled before its dependency {missing_dep}"
+                )
+            }
+            Error::MemoryBudgetExceeded { peak, budget } => {
+                write!(f, "peak memory {peak} B exceeds budget {budget} B")
+            }
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::LayerId;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::DependencyViolation {
+            op: Op::WeightGrad(LayerId(3)),
+            missing_dep: Op::OutputGrad(LayerId(4)),
+        };
+        let s = e.to_string();
+        assert!(s.contains("dW3"));
+        assert!(s.contains("dO4"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&Error::InvalidConfig("x".into()));
+    }
+}

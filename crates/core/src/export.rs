@@ -1,0 +1,162 @@
+//! Schedule serialization.
+//!
+//! The paper's artifact ships the execution schedules for every evaluated
+//! model alongside the code; this module provides the equivalent: named
+//! execution orders and multi-lane schedules serialize to JSON and import
+//! back with validation against the dependency graph, so schedules can be
+//! produced offline (e.g. by the search heuristics) and replayed by a
+//! training job.
+
+use crate::error::{Error, Result};
+use crate::graph::{GraphConfig, TrainGraph};
+use crate::op::Op;
+use crate::schedule::{validate_partial_order, Schedule};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A named bundle of execution schedules for one model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleBundle {
+    /// Model name the schedules were produced for.
+    pub model: String,
+    /// Graph configuration the orders were validated against.
+    pub graph: GraphConfig,
+    /// Flat execution orders by name (e.g. `"reverse_first_45"`).
+    pub orders: BTreeMap<String, Vec<Op>>,
+    /// Multi-lane schedules by name (e.g. `"multi_region"`).
+    pub schedules: BTreeMap<String, Schedule>,
+}
+
+impl ScheduleBundle {
+    /// Creates an empty bundle for a model/graph pair.
+    pub fn new(model: &str, graph: &TrainGraph) -> Self {
+        ScheduleBundle {
+            model: model.to_string(),
+            graph: graph.config().clone(),
+            orders: BTreeMap::new(),
+            schedules: BTreeMap::new(),
+        }
+    }
+
+    /// Adds a flat order after validating it against `graph`.
+    ///
+    /// # Errors
+    ///
+    /// Returns validation errors for invalid orders and
+    /// [`Error::InvalidConfig`] when `graph` does not match the bundle's
+    /// configuration.
+    pub fn add_order(&mut self, name: &str, graph: &TrainGraph, order: Vec<Op>) -> Result<()> {
+        if graph.config() != &self.graph {
+            return Err(Error::InvalidConfig(
+                "graph does not match the bundle".into(),
+            ));
+        }
+        validate_partial_order(graph, &order)?;
+        self.orders.insert(name.to_string(), order);
+        Ok(())
+    }
+
+    /// Serializes the bundle to pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if serialization fails (cannot
+    /// happen for well-formed bundles).
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string_pretty(self)
+            .map_err(|e| Error::InvalidConfig(format!("serialize: {e}")))
+    }
+
+    /// Parses a bundle from JSON and re-validates every order against the
+    /// embedded graph configuration — imported schedules are never
+    /// trusted blindly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] for malformed JSON and validation
+    /// errors for any order that violates the dependency graph.
+    pub fn from_json(json: &str) -> Result<Self> {
+        let bundle: ScheduleBundle =
+            serde_json::from_str(json).map_err(|e| Error::InvalidConfig(format!("parse: {e}")))?;
+        let graph = TrainGraph::new(bundle.graph.clone())?;
+        for order in bundle.orders.values() {
+            validate_partial_order(&graph, order)?;
+        }
+        for schedule in bundle.schedules.values() {
+            // Lane-level validation: each op must exist; cross-lane
+            // consistency is checked when the schedule is simulated.
+            for (_, op) in schedule.iter_ops() {
+                if !graph.contains(op) {
+                    return Err(Error::UnknownOp(op));
+                }
+            }
+        }
+        Ok(bundle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::UnitCost;
+    use crate::reverse_k::reverse_first_k;
+
+    #[test]
+    fn round_trip_preserves_orders() {
+        let graph = TrainGraph::data_parallel(12);
+        let mut bundle = ScheduleBundle::new("ResNet-toy", &graph);
+        bundle
+            .add_order("conventional", &graph, graph.conventional_backprop())
+            .unwrap();
+        bundle
+            .add_order(
+                "reverse_first_5",
+                &graph,
+                reverse_first_k::<UnitCost>(&graph, 5, None).unwrap(),
+            )
+            .unwrap();
+        let json = bundle.to_json().unwrap();
+        let back = ScheduleBundle::from_json(&json).unwrap();
+        assert_eq!(back, bundle);
+        assert_eq!(
+            back.orders["reverse_first_5"].len(),
+            bundle.orders["reverse_first_5"].len()
+        );
+    }
+
+    #[test]
+    fn invalid_orders_rejected_on_add_and_import() {
+        let graph = TrainGraph::single_gpu(3);
+        let mut bundle = ScheduleBundle::new("toy", &graph);
+        // dW before the loss: invalid.
+        let bad = vec![
+            crate::op::Op::WeightGrad(crate::op::LayerId(3)),
+            crate::op::Op::Loss,
+        ];
+        assert!(bundle.add_order("bad", &graph, bad.clone()).is_err());
+        // Tampered JSON: inject the invalid order directly.
+        bundle
+            .add_order("ok", &graph, graph.conventional_backprop())
+            .unwrap();
+        let mut tampered = bundle.clone();
+        tampered.orders.insert("bad".into(), bad);
+        let json = tampered.to_json().unwrap();
+        assert!(ScheduleBundle::from_json(&json).is_err());
+    }
+
+    #[test]
+    fn mismatched_graph_rejected() {
+        let g12 = TrainGraph::data_parallel(12);
+        let g8 = TrainGraph::data_parallel(8);
+        let mut bundle = ScheduleBundle::new("toy", &g12);
+        assert!(bundle
+            .add_order("x", &g8, g8.conventional_backprop())
+            .is_err());
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(ScheduleBundle::from_json("not json").is_err());
+        assert!(ScheduleBundle::from_json("{}").is_err());
+    }
+}

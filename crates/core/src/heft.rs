@@ -1,0 +1,178 @@
+//! HEFT — Heterogeneous Earliest Finish Time (Topcuoglu et al.), the
+//! second classical heuristic the paper's Section 2 names for its
+//! job-shop formulation.
+//!
+//! HEFT ranks operations by *upward rank* (the critical-path length from
+//! the operation to the exit of the DAG) and dispatches them in rank
+//! order to the lane with the earliest finish time. Compared with plain
+//! list scheduling under an ad-hoc priority, HEFT's prioritization is
+//! derived from the cost model itself — useful as a strong generic
+//! baseline against which the paper's specialized schedulers (Algorithms
+//! 1 and 2) are judged.
+
+use crate::cost::CostModel;
+use crate::error::Result;
+use crate::graph::TrainGraph;
+use crate::list_scheduling::{list_schedule, LaneSpec, Timeline};
+use crate::op::Op;
+use crate::schedule::Schedule;
+use crate::SimTime;
+
+/// Computes each operation's *upward rank*: its own cost plus the
+/// maximum rank among its dependents. Exit operations have rank equal to
+/// their cost. Returned in the graph's canonical op order.
+pub fn upward_ranks<C: CostModel>(graph: &TrainGraph, cost: &C) -> Vec<SimTime> {
+    let n = graph.len();
+    let mut ranks: Vec<SimTime> = vec![0; n];
+    // The canonical storage order is a valid topological order, so a
+    // single reverse sweep computes all ranks.
+    let topo: Vec<usize> = {
+        // Kahn order over the dependency DAG for safety (the canonical
+        // order is topological by construction, but this keeps the
+        // function correct for any graph).
+        let mut indeg: Vec<usize> = (0..n).map(|i| graph.dep_indices(i).len()).collect();
+        let mut ready: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(i) = ready.pop() {
+            order.push(i);
+            for &j in graph.dependent_indices(i) {
+                indeg[j] -= 1;
+                if indeg[j] == 0 {
+                    ready.push(j);
+                }
+            }
+        }
+        order
+    };
+    for &i in topo.iter().rev() {
+        let own = cost.duration(graph.ops()[i]);
+        let succ = graph
+            .dependent_indices(i)
+            .iter()
+            .map(|&j| ranks[j])
+            .max()
+            .unwrap_or(0);
+        ranks[i] = own + succ;
+    }
+    ranks
+}
+
+/// Schedules the whole iteration with HEFT over the given lanes: ready
+/// operations are dispatched in decreasing upward rank to the accepting
+/// lane with the earliest finish.
+///
+/// # Errors
+///
+/// Propagates [`list_schedule`] errors (e.g. an operation no lane
+/// accepts).
+pub fn heft_schedule<C: CostModel>(
+    graph: &TrainGraph,
+    cost: &C,
+    lanes: &[LaneSpec<'_>],
+) -> Result<(Schedule, Timeline)> {
+    let ranks = upward_ranks(graph, cost);
+    let rank_of = |op: Op| -> i64 { graph.op_index(op).map(|i| ranks[i] as i64).unwrap_or(0) };
+    list_schedule(graph, cost, lanes, rank_of)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{LayerCost, TableCost, UnitCost};
+    use crate::op::LayerId;
+    use crate::schedule::validate_schedule;
+
+    #[test]
+    fn ranks_decrease_along_dependencies() {
+        let g = TrainGraph::data_parallel(6);
+        let ranks = upward_ranks(&g, &UnitCost);
+        for (i, &op) in g.ops().iter().enumerate() {
+            for dep in g.deps(op).unwrap() {
+                let di = g.op_index(dep).unwrap();
+                assert!(
+                    ranks[di] >= ranks[i],
+                    "rank({dep}) = {} < rank({op}) = {}",
+                    ranks[di],
+                    ranks[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn loss_has_maximal_rank() {
+        let g = TrainGraph::single_gpu(8);
+        let ranks = upward_ranks(&g, &UnitCost);
+        let loss = g.op_index(Op::Loss).unwrap();
+        assert_eq!(ranks[loss], ranks.iter().copied().max().unwrap());
+    }
+
+    #[test]
+    fn weight_grads_rank_below_output_grads() {
+        // dW is off the critical path; HEFT must rank it below the dO at
+        // the same depth — exactly the insight ooo backprop builds on.
+        let g = TrainGraph::single_gpu(8);
+        let ranks = upward_ranks(&g, &UnitCost);
+        for i in 2..=8 {
+            let dw = g.op_index(Op::WeightGrad(LayerId(i))).unwrap();
+            let do_ = g.op_index(Op::OutputGrad(LayerId(i))).unwrap();
+            assert!(ranks[do_] > ranks[dw], "layer {i}");
+        }
+    }
+
+    #[test]
+    fn heft_produces_valid_schedules() {
+        let g = TrainGraph::data_parallel(10);
+        let lanes = [LaneSpec::compute("gpu"), LaneSpec::link("nic")];
+        let (s, t) = heft_schedule(&g, &UnitCost, &lanes).unwrap();
+        validate_schedule(&g, &s).unwrap();
+        assert!(t.makespan() > 0);
+    }
+
+    #[test]
+    fn heft_no_worse_than_neutral_list_scheduling() {
+        let mut cost = TableCost::uniform(
+            12,
+            LayerCost {
+                sync_weight: 3,
+                ..LayerCost::default()
+            },
+        );
+        cost.layer_mut(LayerId(1)).sync_weight = 8;
+        let g = TrainGraph::data_parallel(12);
+        let lanes = || [LaneSpec::compute("gpu"), LaneSpec::link("nic")];
+        let (_, heft) = heft_schedule(&g, &cost, &lanes()).unwrap();
+        let (_, neutral) =
+            crate::list_scheduling::list_schedule(&g, &cost, &lanes(), |_| 0).unwrap();
+        assert!(
+            heft.makespan() <= neutral.makespan(),
+            "HEFT {} vs neutral {}",
+            heft.makespan(),
+            neutral.makespan()
+        );
+    }
+
+    #[test]
+    fn heft_matches_reverse_k_regime_on_two_lanes() {
+        // In the two-lane data-parallel setting, HEFT should discover the
+        // same qualitative move as reverse first-k: critical syncs early.
+        let mut cost = TableCost::uniform(
+            20,
+            LayerCost {
+                sync_weight: 1,
+                ..LayerCost::default()
+            },
+        );
+        cost.layer_mut(LayerId(1)).sync_weight = 20;
+        let g = TrainGraph::data_parallel(20);
+        let lanes = [LaneSpec::compute("gpu"), LaneSpec::link("nic")];
+        let (_, t) = heft_schedule(&g, &cost, &lanes).unwrap();
+        // dW_1 should not be the last weight gradient computed.
+        let dw1 = t.finish_of(Op::WeightGrad(LayerId(1))).unwrap();
+        let latest_dw = (1..=20)
+            .map(|i| t.finish_of(Op::WeightGrad(LayerId(i))).unwrap())
+            .max()
+            .unwrap();
+        assert!(dw1 < latest_dw, "dW_1 at {dw1}, latest dW at {latest_dw}");
+    }
+}

@@ -1,0 +1,167 @@
+//! Typed operations of one training iteration.
+//!
+//! The paper's Section 2 formulates the scheduling problem over the
+//! operation set `C = {F_1, dW_1, S[dW_1], ...}`. This module defines that
+//! operation alphabet. Layers are numbered `1..=L` as in the paper; layer
+//! `L+1` conceptually holds the loss.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A 1-based layer index, matching the paper's notation (`1..=L`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LayerId(pub usize);
+
+impl LayerId {
+    /// Returns the raw 1-based index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for LayerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// One operation of a training iteration.
+///
+/// The variants mirror the paper's notation:
+///
+/// - `Forward(i)` is `F_i`, the forward computation of layer `i`.
+/// - `Loss` is the loss-gradient computation; the paper writes it as
+///   `dO_{L+1}` and pins it to time zero.
+/// - `OutputGrad(i)` is `dO_i`: the gradient of the loss w.r.t. layer `i`'s
+///   *input*, i.e. the activation gradient passed to layer `i-1`.
+/// - `WeightGrad(i)` is `dW_i`: the gradient w.r.t. layer `i`'s weights.
+///   This is the operation that out-of-order backprop is allowed to move.
+/// - `Update(i)` is `U_i`, the optimizer step for layer `i`.
+/// - `SyncWeightGrad(i)` is `S[dW_i]`: the parameter communication of
+///   data-parallel training (all-reduce or PS push/pull).
+/// - `SyncOutputGrad(i)` is `S[dO_i]`: the activation-gradient transfer of
+///   pipeline-parallel training.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// Forward computation `F_i`.
+    Forward(LayerId),
+    /// Loss-gradient computation, the root of the backward pass.
+    Loss,
+    /// Output-gradient computation `dO_i`.
+    OutputGrad(LayerId),
+    /// Weight-gradient computation `dW_i`.
+    WeightGrad(LayerId),
+    /// Weight update `U_i`.
+    Update(LayerId),
+    /// Parameter synchronization `S[dW_i]` of data-parallel training.
+    SyncWeightGrad(LayerId),
+    /// Activation-gradient transfer `S[dO_i]` of pipeline-parallel training.
+    SyncOutputGrad(LayerId),
+}
+
+impl Op {
+    /// Returns the layer this operation belongs to, or `None` for [`Op::Loss`].
+    pub fn layer(self) -> Option<LayerId> {
+        match self {
+            Op::Forward(l)
+            | Op::OutputGrad(l)
+            | Op::WeightGrad(l)
+            | Op::Update(l)
+            | Op::SyncWeightGrad(l)
+            | Op::SyncOutputGrad(l) => Some(l),
+            Op::Loss => None,
+        }
+    }
+
+    /// Returns `true` for the computation operations (`F`, `dO`, `dW`,
+    /// `U`, loss), i.e. operations that occupy a compute device.
+    pub fn is_compute(self) -> bool {
+        !self.is_sync()
+    }
+
+    /// Returns `true` for the synchronization operations (`S[..]`), i.e.
+    /// operations that occupy a communication link.
+    pub fn is_sync(self) -> bool {
+        matches!(self, Op::SyncWeightGrad(_) | Op::SyncOutputGrad(_))
+    }
+
+    /// Returns `true` if this is a backward-pass operation (loss, `dO`, or
+    /// `dW`).
+    pub fn is_backward(self) -> bool {
+        matches!(self, Op::Loss | Op::OutputGrad(_) | Op::WeightGrad(_))
+    }
+
+    /// Returns `true` for weight-gradient computations, the operations that
+    /// out-of-order backprop reorders.
+    pub fn is_weight_grad(self) -> bool {
+        matches!(self, Op::WeightGrad(_))
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Forward(l) => write!(f, "F{}", l.0),
+            Op::Loss => write!(f, "Loss"),
+            Op::OutputGrad(l) => write!(f, "dO{}", l.0),
+            Op::WeightGrad(l) => write!(f, "dW{}", l.0),
+            Op::Update(l) => write!(f, "U{}", l.0),
+            Op::SyncWeightGrad(l) => write!(f, "S[dW{}]", l.0),
+            Op::SyncOutputGrad(l) => write!(f, "S[dO{}]", l.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_accessor() {
+        assert_eq!(Op::Forward(LayerId(3)).layer(), Some(LayerId(3)));
+        assert_eq!(Op::Loss.layer(), None);
+        assert_eq!(Op::SyncWeightGrad(LayerId(1)).layer(), Some(LayerId(1)));
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Op::Forward(LayerId(1)).is_compute());
+        assert!(!Op::Forward(LayerId(1)).is_sync());
+        assert!(Op::SyncWeightGrad(LayerId(1)).is_sync());
+        assert!(!Op::SyncWeightGrad(LayerId(1)).is_compute());
+        assert!(Op::Loss.is_backward());
+        assert!(Op::OutputGrad(LayerId(2)).is_backward());
+        assert!(Op::WeightGrad(LayerId(2)).is_backward());
+        assert!(!Op::Update(LayerId(2)).is_backward());
+        assert!(Op::WeightGrad(LayerId(2)).is_weight_grad());
+        assert!(!Op::OutputGrad(LayerId(2)).is_weight_grad());
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(Op::Forward(LayerId(4)).to_string(), "F4");
+        assert_eq!(Op::OutputGrad(LayerId(4)).to_string(), "dO4");
+        assert_eq!(Op::WeightGrad(LayerId(4)).to_string(), "dW4");
+        assert_eq!(Op::SyncWeightGrad(LayerId(4)).to_string(), "S[dW4]");
+        assert_eq!(Op::Loss.to_string(), "Loss");
+    }
+
+    #[test]
+    fn ordering_is_total_and_stable() {
+        let mut ops = vec![
+            Op::WeightGrad(LayerId(1)),
+            Op::Forward(LayerId(2)),
+            Op::Loss,
+            Op::Forward(LayerId(1)),
+        ];
+        ops.sort();
+        // The derived order is only used for deterministic tie-breaking;
+        // what matters is that it is total and stable.
+        let again = {
+            let mut v = ops.clone();
+            v.sort();
+            v
+        };
+        assert_eq!(ops, again);
+    }
+}

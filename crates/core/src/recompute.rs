@@ -1,0 +1,365 @@
+//! Checkpointing and re-computation (the paper's Section 6 combination).
+//!
+//! With gradient checkpointing only a subset of forward activations is
+//! kept; the rest are re-computed during the backward pass from the
+//! nearest earlier checkpoint. The paper argues this composes with
+//! reverse first-k scheduling: by the time the reordered first-`k` weight
+//! gradients run, most checkpointed segments have already been
+//! re-computed and freed, so the reordering fits in the checkpointing
+//! memory envelope.
+//!
+//! This module provides the plan representation, the classic `sqrt(L)`
+//! segmentation heuristic, the extra-compute accounting, and a
+//! memory-over-time model for checkpointed backward passes under both
+//! conventional and reverse-first-k orders.
+
+use crate::cost::CostModel;
+use crate::error::{Error, Result};
+use crate::graph::TrainGraph;
+use crate::op::{LayerId, Op};
+use crate::SimTime;
+
+/// A checkpointing plan: which layer *inputs* are retained after the
+/// forward pass. Layer 1's input (the batch itself) is always retained.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecomputePlan {
+    /// Checkpointed layers in ascending order (their inputs are kept).
+    pub checkpoints: Vec<usize>,
+    /// Total layer count the plan covers.
+    pub layers: usize,
+}
+
+impl RecomputePlan {
+    /// Builds a plan from explicit checkpoint layers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] for out-of-range or unsorted
+    /// checkpoints.
+    pub fn new(layers: usize, mut checkpoints: Vec<usize>) -> Result<Self> {
+        if layers == 0 {
+            return Err(Error::InvalidConfig("layers must be positive".into()));
+        }
+        if !checkpoints.contains(&1) {
+            checkpoints.push(1);
+        }
+        checkpoints.sort_unstable();
+        checkpoints.dedup();
+        if checkpoints.iter().any(|&c| c == 0 || c > layers) {
+            return Err(Error::InvalidConfig("checkpoint out of range".into()));
+        }
+        Ok(RecomputePlan {
+            checkpoints,
+            layers,
+        })
+    }
+
+    /// The standard `sqrt(L)` segmentation: checkpoints every
+    /// `ceil(sqrt(L))` layers, giving `O(sqrt(L))` resident activations
+    /// and at most one extra forward pass of compute.
+    pub fn sqrt_heuristic(layers: usize) -> Self {
+        let stride = (layers as f64).sqrt().ceil() as usize;
+        let checkpoints = (1..=layers).step_by(stride.max(1)).collect();
+        RecomputePlan {
+            checkpoints,
+            layers,
+        }
+    }
+
+    /// A plan that keeps everything (checkpointing disabled).
+    pub fn keep_all(layers: usize) -> Self {
+        RecomputePlan {
+            checkpoints: (1..=layers).collect(),
+            layers,
+        }
+    }
+
+    /// The checkpoint segment containing `layer`: `(segment_start,
+    /// segment_end)` where `segment_start` is the nearest checkpoint at
+    /// or below `layer`.
+    pub fn segment_of(&self, layer: usize) -> (usize, usize) {
+        let start = self
+            .checkpoints
+            .iter()
+            .copied()
+            .filter(|&c| c <= layer)
+            .max()
+            .unwrap_or(1);
+        let end = self
+            .checkpoints
+            .iter()
+            .copied()
+            .filter(|&c| c > layer)
+            .min()
+            .map(|c| c - 1)
+            .unwrap_or(self.layers);
+        (start, end)
+    }
+
+    /// Whether `layer`'s input survives the forward pass.
+    pub fn is_checkpointed(&self, layer: usize) -> bool {
+        self.checkpoints.contains(&layer)
+    }
+
+    /// Resident activation bytes right after the forward pass.
+    pub fn resident_after_forward<C: CostModel>(&self, cost: &C) -> u64 {
+        self.checkpoints
+            .iter()
+            .map(|&c| cost.activation_bytes(LayerId(c)))
+            .sum()
+    }
+
+    /// Extra forward compute incurred by re-computation: each
+    /// non-checkpointed layer's forward runs once more (segment-by-segment
+    /// re-computation during the backward pass).
+    pub fn extra_forward_ns<C: CostModel>(&self, cost: &C) -> SimTime {
+        (1..=self.layers)
+            .filter(|&i| !self.is_checkpointed(i))
+            .map(|i| cost.duration(Op::Forward(LayerId(i))))
+            .sum()
+    }
+}
+
+/// Memory-over-time of a checkpointed backward pass executing `order`
+/// (loss/`dO`/`dW` ops): before layer `i`'s gradients run, its segment is
+/// re-materialized (all activations of the segment become resident); the
+/// segment is freed once its lowest layer's `dO` and `dW` completed.
+/// Returns `(peak_bytes, samples)` where samples follow the order.
+///
+/// # Errors
+///
+/// Returns [`Error::UnknownOp`] for ops outside the graph and
+/// [`Error::InvalidConfig`] when the plan does not match the graph.
+pub fn checkpointed_memory_profile<C: CostModel>(
+    graph: &TrainGraph,
+    plan: &RecomputePlan,
+    order: &[Op],
+    cost: &C,
+) -> Result<(u64, Vec<(Op, u64)>)> {
+    if plan.layers != graph.layers() {
+        return Err(Error::InvalidConfig(format!(
+            "plan covers {} layers, graph has {}",
+            plan.layers,
+            graph.layers()
+        )));
+    }
+    for &op in order {
+        if !graph.contains(op) {
+            return Err(Error::UnknownOp(op));
+        }
+    }
+    let l = graph.layers();
+    // Per-layer residency: checkpointed layers start resident; others are
+    // materialized on demand. Gradient buffers as in the plain model.
+    let mut act_resident = vec![false; l + 1];
+    let mut act_consumers = vec![0usize; l + 1];
+    for i in 1..=l {
+        act_resident[i] = plan.is_checkpointed(i);
+        act_consumers[i] = if graph.contains(Op::OutputGrad(LayerId(i))) {
+            2
+        } else {
+            1
+        };
+    }
+    let mut usage: u64 = (1..=l)
+        .filter(|&i| act_resident[i])
+        .map(|i| cost.activation_bytes(LayerId(i)))
+        .sum();
+    let mut grad_live = vec![0u64; l + 1]; // remaining consumers of g_i
+    let mut peak = usage;
+    let mut samples = Vec::with_capacity(order.len());
+
+    let materialize = |layer: usize,
+                       act_resident: &mut Vec<bool>,
+                       act_consumers: &Vec<usize>,
+                       usage: &mut u64,
+                       peak: &mut u64| {
+        // Re-materialize the segment containing `layer` (segment
+        // re-computation runs the forward chain from the checkpoint).
+        // Layers whose gradients already completed stay freed.
+        let (start, end) = plan.segment_of(layer);
+        for i in start..=end {
+            if !act_resident[i] && act_consumers[i] > 0 {
+                act_resident[i] = true;
+                *usage += cost.activation_bytes(LayerId(i));
+            }
+        }
+        *peak = (*peak).max(*usage);
+    };
+    let free_act = |layer: usize,
+                    act_resident: &mut Vec<bool>,
+                    act_consumers: &mut Vec<usize>,
+                    usage: &mut u64| {
+        act_consumers[layer] -= 1;
+        if act_consumers[layer] == 0 && act_resident[layer] {
+            act_resident[layer] = false;
+            *usage -= cost.activation_bytes(LayerId(layer));
+        }
+    };
+
+    for &op in order {
+        match op {
+            Op::Loss => {
+                grad_live[l] = act_consumers[l] as u64;
+                usage += cost.out_grad_bytes(LayerId(l));
+                peak = peak.max(usage);
+            }
+            Op::OutputGrad(LayerId(i)) => {
+                materialize(i, &mut act_resident, &act_consumers, &mut usage, &mut peak);
+                if i > 1 {
+                    grad_live[i - 1] = act_consumers[i - 1] as u64;
+                    usage += cost.out_grad_bytes(LayerId(i - 1));
+                    peak = peak.max(usage);
+                }
+                free_act(i, &mut act_resident, &mut act_consumers, &mut usage);
+                if grad_live[i] > 0 {
+                    grad_live[i] -= 1;
+                    if grad_live[i] == 0 {
+                        usage -= cost.out_grad_bytes(LayerId(i));
+                    }
+                }
+            }
+            Op::WeightGrad(LayerId(i)) => {
+                materialize(i, &mut act_resident, &act_consumers, &mut usage, &mut peak);
+                usage += cost.weight_bytes(LayerId(i));
+                peak = peak.max(usage);
+                free_act(i, &mut act_resident, &mut act_consumers, &mut usage);
+                if grad_live[i] > 0 {
+                    grad_live[i] -= 1;
+                    if grad_live[i] == 0 {
+                        usage -= cost.out_grad_bytes(LayerId(i));
+                    }
+                }
+            }
+            Op::Update(LayerId(i)) => {
+                usage -= cost.weight_bytes(LayerId(i)).min(usage);
+            }
+            Op::SyncWeightGrad(_) | Op::SyncOutputGrad(_) | Op::Forward(_) => {}
+        }
+        samples.push((op, usage));
+    }
+    Ok((peak, samples))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{LayerCost, TableCost, UnitCost};
+    use crate::memory::memory_profile;
+    use crate::reverse_k::reverse_first_k;
+
+    #[test]
+    fn sqrt_heuristic_spacing() {
+        let p = RecomputePlan::sqrt_heuristic(16);
+        assert_eq!(p.checkpoints, vec![1, 5, 9, 13]);
+        assert!(p.is_checkpointed(1));
+        assert!(!p.is_checkpointed(2));
+    }
+
+    #[test]
+    fn segments_partition_layers() {
+        let p = RecomputePlan::new(10, vec![1, 4, 8]).unwrap();
+        assert_eq!(p.segment_of(1), (1, 3));
+        assert_eq!(p.segment_of(3), (1, 3));
+        assert_eq!(p.segment_of(4), (4, 7));
+        assert_eq!(p.segment_of(8), (8, 10));
+        assert_eq!(p.segment_of(10), (8, 10));
+    }
+
+    #[test]
+    fn plan_validation() {
+        assert!(RecomputePlan::new(0, vec![]).is_err());
+        assert!(RecomputePlan::new(5, vec![6]).is_err());
+        // Layer 1 is added implicitly.
+        let p = RecomputePlan::new(5, vec![3]).unwrap();
+        assert_eq!(p.checkpoints, vec![1, 3]);
+    }
+
+    #[test]
+    fn extra_compute_is_non_checkpointed_forwards() {
+        let g = TrainGraph::single_gpu(9);
+        let _ = g;
+        let cost = TableCost::uniform(
+            9,
+            LayerCost {
+                forward: 10,
+                ..LayerCost::default()
+            },
+        );
+        let p = RecomputePlan::sqrt_heuristic(9); // checkpoints 1, 4, 7
+        assert_eq!(p.extra_forward_ns(&cost), 60); // 6 recomputed layers
+        assert_eq!(RecomputePlan::keep_all(9).extra_forward_ns(&cost), 0);
+    }
+
+    #[test]
+    fn checkpointing_reduces_resident_memory() {
+        let cost = TableCost::uniform(
+            16,
+            LayerCost {
+                activation_bytes: 100,
+                out_grad_bytes: 10,
+                weight_bytes: 1,
+                ..LayerCost::default()
+            },
+        );
+        let g = TrainGraph::single_gpu(16);
+        let full = memory_profile(&g, &g.conventional_backprop(), &cost).unwrap();
+        let plan = RecomputePlan::sqrt_heuristic(16);
+        let (peak, _) =
+            checkpointed_memory_profile(&g, &plan, &g.conventional_backprop(), &cost).unwrap();
+        assert!(
+            peak < full.peak / 2,
+            "checkpointed peak {peak} vs full {}",
+            full.peak
+        );
+    }
+
+    #[test]
+    fn keep_all_matches_start_state() {
+        let g = TrainGraph::single_gpu(6);
+        let plan = RecomputePlan::keep_all(6);
+        let (peak, samples) =
+            checkpointed_memory_profile(&g, &plan, &g.conventional_backprop(), &UnitCost).unwrap();
+        assert!(peak >= 6);
+        // Everything frees by the end.
+        assert_eq!(samples.last().unwrap().1, 0);
+    }
+
+    #[test]
+    fn reverse_k_composes_with_checkpointing() {
+        // The paper's Section 6 claim: reverse first-k under checkpointing
+        // stays within a modest envelope because the later segments are
+        // already freed when the first-k weight gradients run.
+        let cost = TableCost::uniform(
+            25,
+            LayerCost {
+                activation_bytes: 100,
+                out_grad_bytes: 10,
+                weight_bytes: 10,
+                ..LayerCost::default()
+            },
+        );
+        let g = TrainGraph::data_parallel(25);
+        let plan = RecomputePlan::sqrt_heuristic(25);
+        let conv = reverse_first_k::<TableCost>(&g, 0, None).unwrap();
+        let (peak_conv, _) = checkpointed_memory_profile(&g, &plan, &conv, &cost).unwrap();
+        let ooo = reverse_first_k::<TableCost>(&g, 5, None).unwrap();
+        let (peak_ooo, _) = checkpointed_memory_profile(&g, &plan, &ooo, &cost).unwrap();
+        assert!(
+            peak_ooo <= peak_conv + 5 * 110,
+            "reverse-k peak {peak_ooo} vs conventional {peak_conv}"
+        );
+        // And far below the non-checkpointed footprint.
+        let full = memory_profile(&g, &conv, &cost).unwrap();
+        assert!(peak_ooo < full.peak);
+    }
+
+    #[test]
+    fn mismatched_plan_rejected() {
+        let g = TrainGraph::single_gpu(4);
+        let plan = RecomputePlan::sqrt_heuristic(9);
+        assert!(
+            checkpointed_memory_profile(&g, &plan, &g.conventional_backprop(), &UnitCost).is_err()
+        );
+    }
+}

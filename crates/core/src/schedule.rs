@@ -1,0 +1,361 @@
+//! Schedule representations and validation.
+//!
+//! A *schedule* assigns every operation of a [`TrainGraph`] to a resource
+//! (GPU stream, device, or communication link) and fixes the execution
+//! order on each resource. Validation checks that the combined order is a
+//! linearization of the true dependency DAG — this is the safety property
+//! of out-of-order backprop: any reordering the algorithms produce must
+//! still be a topological order of the *data* dependencies.
+
+use crate::error::{Error, Result};
+use crate::graph::TrainGraph;
+use crate::op::Op;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifier of an execution resource (stream, device, or link).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ResourceId(pub usize);
+
+/// The ordered operation list of one resource.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceSchedule {
+    /// Resource this lane belongs to.
+    pub resource: ResourceId,
+    /// Human-readable name ("main-stream", "gpu0", "nic", ...).
+    pub name: String,
+    /// Operations in issue order on this resource.
+    pub ops: Vec<Op>,
+}
+
+/// A complete multi-resource schedule.
+///
+/// The schedule fixes per-resource issue order; actual start times emerge
+/// from the dependency structure when the schedule is simulated (see
+/// [`crate::list_scheduling::simulate`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Schedule {
+    /// One lane per resource.
+    pub lanes: Vec<ResourceSchedule>,
+}
+
+impl Schedule {
+    /// Creates an empty schedule.
+    pub fn new() -> Self {
+        Schedule::default()
+    }
+
+    /// Creates a single-lane schedule from a flat operation order.
+    pub fn single_lane(name: &str, ops: Vec<Op>) -> Self {
+        Schedule {
+            lanes: vec![ResourceSchedule {
+                resource: ResourceId(0),
+                name: name.to_string(),
+                ops,
+            }],
+        }
+    }
+
+    /// Adds a lane and returns its [`ResourceId`].
+    pub fn add_lane(&mut self, name: &str, ops: Vec<Op>) -> ResourceId {
+        let id = ResourceId(self.lanes.len());
+        self.lanes.push(ResourceSchedule {
+            resource: id,
+            name: name.to_string(),
+            ops,
+        });
+        id
+    }
+
+    /// Total number of scheduled operations across all lanes.
+    pub fn num_ops(&self) -> usize {
+        self.lanes.iter().map(|l| l.ops.len()).sum()
+    }
+
+    /// Iterates over all `(resource, op)` pairs.
+    pub fn iter_ops(&self) -> impl Iterator<Item = (ResourceId, Op)> + '_ {
+        self.lanes
+            .iter()
+            .flat_map(|l| l.ops.iter().map(move |&op| (l.resource, op)))
+    }
+
+    /// The lane an operation was assigned to, if any.
+    pub fn lane_of(&self, op: Op) -> Option<ResourceId> {
+        self.iter_ops().find(|&(_, o)| o == op).map(|(r, _)| r)
+    }
+}
+
+/// Validates that `order` is a complete topological linearization of
+/// `graph`: every operation appears exactly once and no operation precedes
+/// one of its dependencies.
+///
+/// # Errors
+///
+/// - [`Error::UnknownOp`] if `order` contains an op not in the graph.
+/// - [`Error::DuplicateOp`] if an op appears twice.
+/// - [`Error::MissingOp`] if an op of the graph is absent.
+/// - [`Error::DependencyViolation`] if the order breaks a dependency.
+pub fn validate_order(graph: &TrainGraph, order: &[Op]) -> Result<()> {
+    let mut pos: HashMap<Op, usize> = HashMap::with_capacity(order.len());
+    for (i, &op) in order.iter().enumerate() {
+        if !graph.contains(op) {
+            return Err(Error::UnknownOp(op));
+        }
+        if pos.insert(op, i).is_some() {
+            return Err(Error::DuplicateOp(op));
+        }
+    }
+    for &op in graph.ops() {
+        if !pos.contains_key(&op) {
+            return Err(Error::MissingOp(op));
+        }
+    }
+    check_deps(graph, &pos)
+}
+
+/// Validates that `order` is a *partial* topological linearization: each
+/// operation appears at most once, and every dependency that is itself part
+/// of `order` appears earlier. Dependencies outside `order` are assumed to
+/// have completed before the partial schedule starts (e.g. when scheduling
+/// only the backward pass).
+///
+/// # Errors
+///
+/// Same as [`validate_order`] except that missing operations are allowed.
+pub fn validate_partial_order(graph: &TrainGraph, order: &[Op]) -> Result<()> {
+    let mut pos: HashMap<Op, usize> = HashMap::with_capacity(order.len());
+    for (i, &op) in order.iter().enumerate() {
+        if !graph.contains(op) {
+            return Err(Error::UnknownOp(op));
+        }
+        if pos.insert(op, i).is_some() {
+            return Err(Error::DuplicateOp(op));
+        }
+    }
+    check_deps(graph, &pos)
+}
+
+fn check_deps(graph: &TrainGraph, pos: &HashMap<Op, usize>) -> Result<()> {
+    for (&op, &i) in pos {
+        for dep in graph.deps(op)? {
+            if let Some(&j) = pos.get(&dep) {
+                if j >= i {
+                    return Err(Error::DependencyViolation {
+                        op,
+                        missing_dep: dep,
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validates a multi-lane [`Schedule`]: each operation appears on exactly
+/// one lane, all graph operations are covered, and there exists an
+/// interleaving of the lanes respecting both per-lane order and the
+/// dependency DAG (i.e. the union of lane orders and dependencies is
+/// acyclic).
+///
+/// # Errors
+///
+/// Same classes as [`validate_order`]; a [`Error::DependencyViolation`] is
+/// reported when the lanes cannot be interleaved without breaking a
+/// dependency (the reported pair lies on the detected cycle).
+pub fn validate_schedule(graph: &TrainGraph, schedule: &Schedule) -> Result<()> {
+    let mut seen: HashMap<Op, ResourceId> = HashMap::new();
+    for (res, op) in schedule.iter_ops() {
+        if !graph.contains(op) {
+            return Err(Error::UnknownOp(op));
+        }
+        if seen.insert(op, res).is_some() {
+            return Err(Error::DuplicateOp(op));
+        }
+    }
+    for &op in graph.ops() {
+        if !seen.contains_key(&op) {
+            return Err(Error::MissingOp(op));
+        }
+    }
+    // Kahn's algorithm over the union of dependency edges and per-lane
+    // successor edges; if not all ops drain, the union has a cycle.
+    let n = graph.len();
+    let mut extra_succ: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut indeg: Vec<usize> = (0..n).map(|i| graph.dep_indices(i).len()).collect();
+    for lane in &schedule.lanes {
+        for w in lane.ops.windows(2) {
+            let a = graph.op_index(w[0]).expect("validated above");
+            let b = graph.op_index(w[1]).expect("validated above");
+            extra_succ[a].push(b);
+            indeg[b] += 1;
+        }
+    }
+    let mut ready: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut drained = 0;
+    while let Some(i) = ready.pop() {
+        drained += 1;
+        for &j in graph.dependent_indices(i) {
+            indeg[j] -= 1;
+            if indeg[j] == 0 {
+                ready.push(j);
+            }
+        }
+        for &j in &extra_succ[i] {
+            indeg[j] -= 1;
+            if indeg[j] == 0 {
+                ready.push(j);
+            }
+        }
+    }
+    if drained != n {
+        // Find a blocked op and one of its unsatisfied dependencies to
+        // produce an actionable error message.
+        let blocked = (0..n)
+            .find(|&i| indeg[i] > 0)
+            .expect("cycle implies a blocked op");
+        let op = graph.ops()[blocked];
+        let missing_dep = graph
+            .dep_indices(blocked)
+            .iter()
+            .map(|&d| graph.ops()[d])
+            .next()
+            .unwrap_or(op);
+        return Err(Error::DependencyViolation { op, missing_dep });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::LayerId;
+
+    fn g(l: usize) -> TrainGraph {
+        TrainGraph::single_gpu(l)
+    }
+
+    #[test]
+    fn conventional_order_validates() {
+        let graph = g(6);
+        validate_order(&graph, &graph.conventional_backprop()).unwrap();
+    }
+
+    #[test]
+    fn missing_op_detected() {
+        let graph = g(3);
+        let mut order = graph.conventional_backprop();
+        order.pop();
+        assert!(matches!(
+            validate_order(&graph, &order),
+            Err(Error::MissingOp(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_op_detected() {
+        let graph = g(3);
+        let mut order = graph.conventional_backprop();
+        let first = order[0];
+        order.push(first);
+        assert_eq!(
+            validate_order(&graph, &order),
+            Err(Error::DuplicateOp(first))
+        );
+    }
+
+    #[test]
+    fn unknown_op_detected() {
+        let graph = g(3);
+        let mut order = graph.conventional_backprop();
+        order.push(Op::Forward(LayerId(99)));
+        assert_eq!(
+            validate_order(&graph, &order),
+            Err(Error::UnknownOp(Op::Forward(LayerId(99))))
+        );
+    }
+
+    #[test]
+    fn dependency_violation_detected() {
+        let graph = g(3);
+        let mut order = graph.conventional_backprop();
+        // Move the loss to the end: everything now precedes its dependency.
+        order.rotate_left(1);
+        assert!(matches!(
+            validate_order(&graph, &order),
+            Err(Error::DependencyViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn partial_order_allows_subsets() {
+        let graph = g(4);
+        let order = vec![
+            Op::Loss,
+            Op::OutputGrad(LayerId(4)),
+            Op::WeightGrad(LayerId(4)),
+        ];
+        validate_partial_order(&graph, &order).unwrap();
+        // But still rejects in-subset violations.
+        let bad = vec![Op::OutputGrad(LayerId(4)), Op::Loss];
+        assert!(matches!(
+            validate_partial_order(&graph, &bad),
+            Err(Error::DependencyViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn two_lane_schedule_validates() {
+        let graph = g(4);
+        // Main stream: loss, dO chain, updates, forwards. Sub-stream: dW.
+        let mut main = vec![Op::Loss];
+        for i in (2..=4).rev() {
+            main.push(Op::OutputGrad(LayerId(i)));
+        }
+        for i in (1..=4).rev() {
+            main.push(Op::Update(LayerId(i)));
+        }
+        for i in 1..=4 {
+            main.push(Op::Forward(LayerId(i)));
+        }
+        let sub: Vec<Op> = (1..=4).rev().map(|i| Op::WeightGrad(LayerId(i))).collect();
+        let mut s = Schedule::new();
+        s.add_lane("main", main);
+        s.add_lane("sub", sub);
+        validate_schedule(&graph, &s).unwrap();
+    }
+
+    #[test]
+    fn cross_lane_cycle_detected() {
+        let graph = g(2);
+        // Lane orders that cannot be interleaved: lane A wants U2 before
+        // Loss, but U2 transitively depends on Loss.
+        let mut s = Schedule::new();
+        s.add_lane("a", vec![Op::Update(LayerId(2)), Op::Loss]);
+        s.add_lane(
+            "b",
+            vec![
+                Op::OutputGrad(LayerId(2)),
+                Op::WeightGrad(LayerId(2)),
+                Op::WeightGrad(LayerId(1)),
+                Op::Update(LayerId(1)),
+                Op::Forward(LayerId(1)),
+                Op::Forward(LayerId(2)),
+            ],
+        );
+        assert!(matches!(
+            validate_schedule(&graph, &s),
+            Err(Error::DependencyViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn schedule_lane_lookup() {
+        let mut s = Schedule::new();
+        let a = s.add_lane("a", vec![Op::Loss]);
+        let b = s.add_lane("b", vec![Op::WeightGrad(LayerId(1))]);
+        assert_eq!(s.lane_of(Op::Loss), Some(a));
+        assert_eq!(s.lane_of(Op::WeightGrad(LayerId(1))), Some(b));
+        assert_eq!(s.lane_of(Op::Forward(LayerId(1))), None);
+        assert_eq!(s.num_ops(), 2);
+    }
+}

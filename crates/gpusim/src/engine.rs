@@ -1,0 +1,558 @@
+//! The discrete-event simulation engine.
+//!
+//! Streams are in-order command queues. A launch becomes *ready* once the
+//! CPU executor has issued it, every preceding command on its stream has
+//! completed, and the per-kernel setup gap has elapsed. Free block slots
+//! are granted to the ready kernel of the highest-priority stream; a
+//! kernel's tail wave therefore leaves slots that a lower-priority
+//! stream's blocks fill immediately — the co-execution effect behind
+//! multi-stream out-of-order computation.
+
+use crate::kernel::Kernel;
+use crate::spec::GpuSpec;
+use crate::trace::{KernelRecord, Trace};
+use crate::{Error, Result, SimTime};
+use std::collections::{BinaryHeap, HashMap};
+
+/// One stream command.
+#[derive(Debug, Clone)]
+pub enum Command {
+    /// Launch a kernel.
+    Launch(Kernel),
+    /// Record an event once all prior commands on this stream completed.
+    RecordEvent(u32),
+    /// Block the stream until the event has been recorded.
+    WaitEvent(u32),
+}
+
+/// A stream with its scheduling priority (higher = preferred).
+#[derive(Debug, Clone)]
+pub struct StreamSpec {
+    /// Stream priority; the paper runs the main stream at high priority.
+    pub priority: i32,
+    /// Commands in issue order.
+    pub commands: Vec<Command>,
+}
+
+/// How the CPU issues kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IssueMode {
+    /// Each kernel launch costs its own `issue_ns` on a single CPU issue
+    /// thread (TensorFlow-executor behaviour). Commands of different
+    /// streams are issued round-robin by position.
+    PerKernel,
+    /// CUDA-Graph-style pre-compiled issue: the whole command set is
+    /// launched at once for a single small cost.
+    PreCompiled {
+        /// Cost of launching the captured graph.
+        launch_ns: SimTime,
+    },
+}
+
+struct ActiveKernel {
+    kernel_idx: usize, // index into trace records
+    blocks_unlaunched: u32,
+    blocks_inflight: u32,
+    block_time: SimTime,
+    ready_at: SimTime,
+    started: Option<SimTime>,
+}
+
+struct StreamState {
+    priority: i32,
+    commands: Vec<Command>,
+    issue_end: Vec<SimTime>,
+    cmd_idx: usize,
+    active: Option<ActiveKernel>,
+}
+
+/// The simulator.
+pub struct GpuSim {
+    spec: GpuSpec,
+    issue_mode: IssueMode,
+}
+
+impl GpuSim {
+    /// Creates a simulator for `spec` under `issue_mode`.
+    pub fn new(spec: GpuSpec, issue_mode: IssueMode) -> Self {
+        GpuSim { spec, issue_mode }
+    }
+
+    /// Runs the streams to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownEvent`] for waits without a recorder,
+    /// [`Error::Deadlock`] for cyclic event waits, and
+    /// [`Error::InvalidConfig`] for a zero-slot GPU.
+    pub fn run(&self, streams: Vec<StreamSpec>) -> Result<Trace> {
+        if self.spec.block_slots() == 0 {
+            return Err(Error::InvalidConfig("GPU has no block slots".into()));
+        }
+        // Validate event wiring.
+        let recorded_ids: Vec<u32> = streams
+            .iter()
+            .flat_map(|s| s.commands.iter())
+            .filter_map(|c| match c {
+                Command::RecordEvent(id) => Some(*id),
+                _ => None,
+            })
+            .collect();
+        for s in &streams {
+            for c in &s.commands {
+                if let Command::WaitEvent(id) = c {
+                    if !recorded_ids.contains(id) {
+                        return Err(Error::UnknownEvent(*id));
+                    }
+                }
+            }
+        }
+
+        // CPU issue times: round-robin across streams by position, one
+        // issue thread, prefix-sum of per-kernel costs (or a single
+        // graph-launch cost).
+        let mut states: Vec<StreamState> = streams
+            .into_iter()
+            .map(|s| StreamState {
+                priority: s.priority,
+                issue_end: vec![0; s.commands.len()],
+                commands: s.commands,
+                cmd_idx: 0,
+                active: None,
+            })
+            .collect();
+        match self.issue_mode {
+            IssueMode::PreCompiled { launch_ns } => {
+                for st in &mut states {
+                    for t in &mut st.issue_end {
+                        *t = launch_ns;
+                    }
+                }
+            }
+            IssueMode::PerKernel => {
+                let max_len = states.iter().map(|s| s.commands.len()).max().unwrap_or(0);
+                let mut clock: SimTime = 0;
+                for pos in 0..max_len {
+                    for st in &mut states {
+                        if let Some(cmd) = st.commands.get(pos) {
+                            if let Command::Launch(k) = cmd {
+                                clock += k.issue_ns;
+                            }
+                            st.issue_end[pos] = clock;
+                        }
+                    }
+                }
+            }
+        }
+
+        let slots_total = self.spec.block_slots();
+        let mut slots_free = slots_total;
+        let mut records: Vec<KernelRecord> = Vec::new();
+        let mut recorded: HashMap<u32, SimTime> = HashMap::new();
+        // Completion events: (time, stream, blocks). Wakes: (time).
+        let mut completions: BinaryHeap<std::cmp::Reverse<(SimTime, usize, u32)>> =
+            BinaryHeap::new();
+        let mut wakes: BinaryHeap<std::cmp::Reverse<SimTime>> = BinaryHeap::new();
+        wakes.push(std::cmp::Reverse(0));
+
+        let all_done = |states: &[StreamState]| {
+            states
+                .iter()
+                .all(|s| s.cmd_idx == s.commands.len() && s.active.is_none())
+        };
+
+        let mut guard = 0u64;
+        while !all_done(&states) {
+            guard += 1;
+            if guard > 10_000_000 {
+                return Err(Error::Deadlock);
+            }
+            // Next event time.
+            let tc = completions.peek().map(|std::cmp::Reverse((t, _, _))| *t);
+            let tw = wakes.peek().map(|std::cmp::Reverse(t)| *t);
+            let t = match (tc, tw) {
+                (Some(a), Some(b)) => a.min(b),
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (None, None) => return Err(Error::Deadlock),
+            };
+            while wakes.peek().is_some_and(|std::cmp::Reverse(w)| *w <= t) {
+                wakes.pop();
+            }
+            // 1. Block completions at time t.
+            while completions
+                .peek()
+                .is_some_and(|std::cmp::Reverse((ct, _, _))| *ct <= t)
+            {
+                let std::cmp::Reverse((_, si, n)) = completions.pop().expect("peeked");
+                slots_free += n;
+                let st = &mut states[si];
+                let finished = {
+                    let active = st
+                        .active
+                        .as_mut()
+                        .expect("completion implies active kernel");
+                    active.blocks_inflight -= n;
+                    active.blocks_unlaunched == 0 && active.blocks_inflight == 0
+                };
+                if finished {
+                    let active = st.active.take().expect("checked above");
+                    records[active.kernel_idx].exec_end = t;
+                    st.cmd_idx += 1;
+                }
+            }
+            // 2. Advance stream commands and allocate slots; loop until a
+            //    fixed point so same-instant record/wait chains resolve.
+            loop {
+                let mut changed = false;
+                // Command advancement.
+                #[allow(clippy::needless_range_loop)] // si is also stored in records
+                for si in 0..states.len() {
+                    let st = &mut states[si];
+                    while st.active.is_none() && st.cmd_idx < st.commands.len() {
+                        let idx = st.cmd_idx;
+                        let issue_end = st.issue_end[idx];
+                        match &st.commands[idx] {
+                            Command::RecordEvent(id) => {
+                                recorded.entry(*id).or_insert(t);
+                                st.cmd_idx += 1;
+                                changed = true;
+                            }
+                            Command::WaitEvent(id) => {
+                                if recorded.get(id).is_some_and(|&rt| rt <= t) {
+                                    st.cmd_idx += 1;
+                                    changed = true;
+                                } else {
+                                    break;
+                                }
+                            }
+                            Command::Launch(k) => {
+                                if issue_end > t {
+                                    wakes.push(std::cmp::Reverse(issue_end));
+                                    break;
+                                }
+                                let kernel_idx = records.len();
+                                records.push(KernelRecord {
+                                    name: k.name.clone(),
+                                    stream: si,
+                                    blocks: k.blocks,
+                                    issue_end,
+                                    exec_start: 0,
+                                    exec_end: 0,
+                                });
+                                st.active = Some(ActiveKernel {
+                                    kernel_idx,
+                                    blocks_unlaunched: k.blocks,
+                                    blocks_inflight: 0,
+                                    block_time: k.block_time_ns,
+                                    ready_at: t.max(issue_end) + self.spec.kernel_setup_ns,
+                                    started: None,
+                                });
+                                changed = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+                // Slot allocation: priority order, stable by stream index.
+                // A higher-priority kernel in its setup window *reserves*
+                // the slots it is about to take: lower-priority streams
+                // may only use capacity the higher streams genuinely
+                // leave over (e.g. a tail wave), matching how the
+                // hardware scheduler drains priority streams first.
+                let mut order: Vec<usize> = (0..states.len()).collect();
+                order.sort_by_key(|&i| (std::cmp::Reverse(states[i].priority), i));
+                for &si in &order {
+                    if slots_free == 0 {
+                        break;
+                    }
+                    let Some(active) = states[si].active.as_mut() else {
+                        continue;
+                    };
+                    if active.blocks_unlaunched == 0 {
+                        continue;
+                    }
+                    if active.ready_at > t {
+                        wakes.push(std::cmp::Reverse(active.ready_at));
+                        // Reserve the remaining slots for this stream.
+                        break;
+                    }
+                    let n = active.blocks_unlaunched.min(slots_free);
+                    active.blocks_unlaunched -= n;
+                    active.blocks_inflight += n;
+                    slots_free -= n;
+                    if active.started.is_none() {
+                        active.started = Some(t);
+                        records[active.kernel_idx].exec_start = t;
+                    }
+                    completions.push(std::cmp::Reverse((t + active.block_time, si, n)));
+                    changed = true;
+                }
+                if !changed {
+                    break;
+                }
+            }
+            if completions.is_empty() && wakes.is_empty() && !all_done(&states) {
+                return Err(Error::Deadlock);
+            }
+        }
+
+        records.sort_by_key(|r| (r.exec_start, r.stream));
+        Ok(Trace {
+            records,
+            slots: slots_total,
+        })
+    }
+}
+
+/// Measures the co-run speedup of running `sub` kernels on a low-priority
+/// stream concurrently with `main` kernels, versus running everything
+/// sequentially on one stream — the profiling step feeding the paper's
+/// Algorithm 1.
+///
+/// Returns `(sequential_ns, corun_ns, speedup)`.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn co_run_speedup(
+    spec: &GpuSpec,
+    main: &[Kernel],
+    sub: &[Kernel],
+) -> Result<(SimTime, SimTime, f64)> {
+    let seq_cmds: Vec<Command> = main
+        .iter()
+        .chain(sub)
+        .cloned()
+        .map(Command::Launch)
+        .collect();
+    let seq = GpuSim::new(spec.clone(), IssueMode::PreCompiled { launch_ns: 0 }).run(vec![
+        StreamSpec {
+            priority: 0,
+            commands: seq_cmds,
+        },
+    ])?;
+    let corun = GpuSim::new(spec.clone(), IssueMode::PreCompiled { launch_ns: 0 }).run(vec![
+        StreamSpec {
+            priority: 1,
+            commands: main.iter().cloned().map(Command::Launch).collect(),
+        },
+        StreamSpec {
+            priority: 0,
+            commands: sub.iter().cloned().map(Command::Launch).collect(),
+        },
+    ])?;
+    let s = seq.makespan();
+    let c = corun.makespan();
+    let speedup = if c == 0 { 1.0 } else { s as f64 / c as f64 };
+    Ok((s, c, speedup))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec(slots: u32, setup: SimTime) -> GpuSpec {
+        GpuSpec {
+            name: "test",
+            num_sms: slots,
+            blocks_per_sm: 1,
+            kernel_setup_ns: setup,
+            relative_throughput: 1.0,
+        }
+    }
+
+    fn launch(name: &str, blocks: u32, bt: SimTime, issue: SimTime) -> Command {
+        Command::Launch(Kernel::new(name, blocks, bt, issue))
+    }
+
+    #[test]
+    fn single_kernel_single_wave() {
+        let sim = GpuSim::new(tiny_spec(10, 0), IssueMode::PreCompiled { launch_ns: 0 });
+        let trace = sim
+            .run(vec![StreamSpec {
+                priority: 0,
+                commands: vec![launch("k", 10, 100, 0)],
+            }])
+            .unwrap();
+        assert_eq!(trace.makespan(), 100);
+        assert_eq!(trace.records[0].exec_start, 0);
+        assert_eq!(trace.records[0].exec_end, 100);
+    }
+
+    #[test]
+    fn multi_wave_kernel() {
+        let sim = GpuSim::new(tiny_spec(4, 0), IssueMode::PreCompiled { launch_ns: 0 });
+        let trace = sim
+            .run(vec![StreamSpec {
+                priority: 0,
+                commands: vec![launch("k", 10, 100, 0)],
+            }])
+            .unwrap();
+        // Waves of 4, 4, 2 blocks.
+        assert_eq!(trace.makespan(), 300);
+    }
+
+    #[test]
+    fn setup_gap_between_kernels() {
+        let sim = GpuSim::new(tiny_spec(10, 50), IssueMode::PreCompiled { launch_ns: 0 });
+        let trace = sim
+            .run(vec![StreamSpec {
+                priority: 0,
+                commands: vec![launch("a", 10, 100, 0), launch("b", 10, 100, 0)],
+            }])
+            .unwrap();
+        // a: setup 50 + 100; b: setup 50 + 100 after a.
+        assert_eq!(trace.makespan(), 300);
+        assert_eq!(trace.records[1].exec_start, 200);
+    }
+
+    #[test]
+    fn issue_overhead_starves_gpu() {
+        // Issue costs exceed execution: every kernel waits on the CPU.
+        let sim = GpuSim::new(tiny_spec(10, 0), IssueMode::PerKernel);
+        let cmds: Vec<Command> = (0..4)
+            .map(|i| launch(&format!("k{i}"), 10, 100, 400))
+            .collect();
+        let trace = sim
+            .run(vec![StreamSpec {
+                priority: 0,
+                commands: cmds,
+            }])
+            .unwrap();
+        // Kernel i is issued at 400*(i+1); exec takes 100 after issue.
+        assert_eq!(trace.records[3].exec_start, 1_600);
+        assert_eq!(trace.makespan(), 1_700);
+        // Pre-compiled issue removes the starvation.
+        let sim2 = GpuSim::new(tiny_spec(10, 0), IssueMode::PreCompiled { launch_ns: 10 });
+        let cmds: Vec<Command> = (0..4)
+            .map(|i| launch(&format!("k{i}"), 10, 100, 400))
+            .collect();
+        let t2 = sim2
+            .run(vec![StreamSpec {
+                priority: 0,
+                commands: cmds,
+            }])
+            .unwrap();
+        assert_eq!(t2.makespan(), 410);
+    }
+
+    #[test]
+    fn tail_wave_filled_by_low_priority_stream() {
+        // Main kernel uses 6 of 10 slots; sub kernel's 4 blocks run
+        // concurrently in the leftover slots.
+        let sim = GpuSim::new(tiny_spec(10, 0), IssueMode::PreCompiled { launch_ns: 0 });
+        let trace = sim
+            .run(vec![
+                StreamSpec {
+                    priority: 1,
+                    commands: vec![launch("main", 6, 100, 0)],
+                },
+                StreamSpec {
+                    priority: 0,
+                    commands: vec![launch("sub", 4, 100, 0)],
+                },
+            ])
+            .unwrap();
+        assert_eq!(trace.makespan(), 100, "full overlap expected");
+    }
+
+    #[test]
+    fn priority_stream_gets_slots_first() {
+        // Both streams want 10 slots on a 10-slot GPU: the high-priority
+        // stream runs first.
+        let sim = GpuSim::new(tiny_spec(10, 0), IssueMode::PreCompiled { launch_ns: 0 });
+        let trace = sim
+            .run(vec![
+                StreamSpec {
+                    priority: 0,
+                    commands: vec![launch("low", 10, 100, 0)],
+                },
+                StreamSpec {
+                    priority: 5,
+                    commands: vec![launch("high", 10, 100, 0)],
+                },
+            ])
+            .unwrap();
+        let high = trace.records.iter().find(|r| r.name == "high").unwrap();
+        let low = trace.records.iter().find(|r| r.name == "low").unwrap();
+        assert!(high.exec_start < low.exec_start);
+    }
+
+    #[test]
+    fn events_enforce_cross_stream_order() {
+        let sim = GpuSim::new(tiny_spec(10, 0), IssueMode::PreCompiled { launch_ns: 0 });
+        let trace = sim
+            .run(vec![
+                StreamSpec {
+                    priority: 1,
+                    commands: vec![launch("producer", 10, 100, 0), Command::RecordEvent(1)],
+                },
+                StreamSpec {
+                    priority: 0,
+                    commands: vec![Command::WaitEvent(1), launch("consumer", 10, 100, 0)],
+                },
+            ])
+            .unwrap();
+        let p = trace.records.iter().find(|r| r.name == "producer").unwrap();
+        let c = trace.records.iter().find(|r| r.name == "consumer").unwrap();
+        assert!(c.exec_start >= p.exec_end);
+    }
+
+    #[test]
+    fn unknown_event_rejected() {
+        let sim = GpuSim::new(tiny_spec(10, 0), IssueMode::PreCompiled { launch_ns: 0 });
+        let r = sim.run(vec![StreamSpec {
+            priority: 0,
+            commands: vec![Command::WaitEvent(9)],
+        }]);
+        assert_eq!(r.unwrap_err(), Error::UnknownEvent(9));
+    }
+
+    #[test]
+    fn cyclic_waits_deadlock() {
+        let sim = GpuSim::new(tiny_spec(10, 0), IssueMode::PreCompiled { launch_ns: 0 });
+        let r = sim.run(vec![
+            StreamSpec {
+                priority: 0,
+                commands: vec![Command::WaitEvent(1), Command::RecordEvent(2)],
+            },
+            StreamSpec {
+                priority: 0,
+                commands: vec![Command::WaitEvent(2), Command::RecordEvent(1)],
+            },
+        ]);
+        assert_eq!(r.unwrap_err(), Error::Deadlock);
+    }
+
+    #[test]
+    fn co_run_speedup_detects_complementary_kernels() {
+        let spec = tiny_spec(10, 0);
+        // Main kernels underuse the GPU (4 of 10 slots); sub kernels fit
+        // in the rest: near-2x from co-running.
+        let main: Vec<Kernel> = (0..4)
+            .map(|i| Kernel::new(&format!("m{i}"), 4, 100, 0))
+            .collect();
+        let sub: Vec<Kernel> = (0..4)
+            .map(|i| Kernel::new(&format!("s{i}"), 4, 100, 0))
+            .collect();
+        let (seq, corun, speedup) = co_run_speedup(&spec, &main, &sub).unwrap();
+        assert_eq!(seq, 800);
+        assert_eq!(corun, 400);
+        assert!((speedup - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saturated_kernels_gain_nothing_from_co_run() {
+        let spec = tiny_spec(10, 0);
+        let main: Vec<Kernel> = (0..3)
+            .map(|i| Kernel::new(&format!("m{i}"), 10, 100, 0))
+            .collect();
+        let sub: Vec<Kernel> = (0..3)
+            .map(|i| Kernel::new(&format!("s{i}"), 10, 100, 0))
+            .collect();
+        let (seq, corun, speedup) = co_run_speedup(&spec, &main, &sub).unwrap();
+        assert_eq!(seq, corun);
+        assert!((speedup - 1.0).abs() < 1e-9);
+    }
+}

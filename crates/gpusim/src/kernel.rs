@@ -1,0 +1,55 @@
+//! Kernel descriptions.
+
+use crate::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// One GPU kernel: a grid of identical thread blocks.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Kernel {
+    /// Kernel name (for traces).
+    pub name: String,
+    /// Number of thread blocks in the grid.
+    pub blocks: u32,
+    /// Execution time of one thread block, ns.
+    pub block_time_ns: SimTime,
+    /// CPU-side issue cost of this kernel, ns (only used in per-kernel
+    /// issue mode).
+    pub issue_ns: SimTime,
+}
+
+impl Kernel {
+    /// Creates a kernel.
+    pub fn new(name: &str, blocks: u32, block_time_ns: SimTime, issue_ns: SimTime) -> Self {
+        Kernel {
+            name: name.to_string(),
+            blocks,
+            block_time_ns,
+            issue_ns,
+        }
+    }
+
+    /// Isolated execution time on a GPU with `slots` concurrent block
+    /// slots (full waves plus the tail wave), excluding setup.
+    pub fn isolated_exec_ns(&self, slots: u32) -> SimTime {
+        if self.blocks == 0 || slots == 0 {
+            return 0;
+        }
+        let waves = self.blocks.div_ceil(slots) as SimTime;
+        waves * self.block_time_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isolated_exec_counts_waves() {
+        let k = Kernel::new("k", 100, 10, 0);
+        assert_eq!(k.isolated_exec_ns(100), 10);
+        assert_eq!(k.isolated_exec_ns(50), 20);
+        assert_eq!(k.isolated_exec_ns(99), 20); // tail wave of 1 block
+        assert_eq!(k.isolated_exec_ns(0), 0);
+        assert_eq!(Kernel::new("z", 0, 10, 0).isolated_exec_ns(10), 0);
+    }
+}

@@ -1,0 +1,82 @@
+//! GPU hardware specifications.
+
+use serde::{Deserialize, Serialize};
+
+/// Static description of a GPU, reduced to the quantities the simulator
+/// needs. The block-slot counts follow the paper's V100 observation that
+/// the SMs can hold 1,520 thread blocks of the DenseBlock-4 weight
+/// gradient kernels at once.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Number of streaming multiprocessors.
+    pub num_sms: u32,
+    /// Resident thread blocks per SM (for the medium-sized blocks typical
+    /// of DNN kernels).
+    pub blocks_per_sm: u32,
+    /// Fixed gap between kernel executions (SM setup), in ns — the paper
+    /// measures 1–2 µs.
+    pub kernel_setup_ns: u64,
+    /// Relative compute throughput (V100 = 1.0); used by the model cost
+    /// profiles to scale kernel times across GPUs.
+    pub relative_throughput: f64,
+}
+
+impl GpuSpec {
+    /// Total concurrently resident thread blocks.
+    pub fn block_slots(&self) -> u32 {
+        self.num_sms * self.blocks_per_sm
+    }
+
+    /// NVIDIA V100 (80 SMs; 1,520 block slots as measured in the paper).
+    pub fn v100() -> Self {
+        GpuSpec {
+            name: "V100",
+            num_sms: 80,
+            blocks_per_sm: 19,
+            kernel_setup_ns: 1_500,
+            relative_throughput: 1.0,
+        }
+    }
+
+    /// NVIDIA P100.
+    pub fn p100() -> Self {
+        GpuSpec {
+            name: "P100",
+            num_sms: 56,
+            blocks_per_sm: 16,
+            kernel_setup_ns: 1_800,
+            relative_throughput: 0.65,
+        }
+    }
+
+    /// NVIDIA Titan XP.
+    pub fn titan_xp() -> Self {
+        GpuSpec {
+            name: "TitanXP",
+            num_sms: 30,
+            blocks_per_sm: 16,
+            kernel_setup_ns: 2_000,
+            relative_throughput: 0.55,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v100_matches_paper_block_capacity() {
+        // The paper: "the SMs are capable of running 1,520 of the thread
+        // blocks" on V100.
+        assert_eq!(GpuSpec::v100().block_slots(), 1_520);
+    }
+
+    #[test]
+    fn throughput_ordering() {
+        assert!(GpuSpec::v100().relative_throughput > GpuSpec::p100().relative_throughput);
+        assert!(GpuSpec::p100().relative_throughput > GpuSpec::titan_xp().relative_throughput);
+    }
+}

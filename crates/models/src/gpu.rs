@@ -1,0 +1,83 @@
+//! GPU performance profiles for cost derivation.
+
+use serde::{Deserialize, Serialize};
+
+/// Effective per-GPU performance used to turn FLOP counts into kernel
+/// times. `flops_per_sec` is the *sustained* throughput for DNN kernels
+/// (peak x typical efficiency), not the datasheet peak.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuProfile {
+    /// GPU name.
+    pub name: &'static str,
+    /// Sustained FLOP/s for convolution/GEMM kernels.
+    pub flops_per_sec: f64,
+    /// Concurrent thread-block slots (matches `ooo-gpusim`'s specs).
+    pub block_slots: u32,
+    /// Fixed gap between kernel executions, ns.
+    pub kernel_setup_ns: u64,
+    /// Multiplier on CPU-side kernel issue costs (slower host CPUs issue
+    /// more slowly).
+    pub issue_scale: f64,
+}
+
+impl GpuProfile {
+    /// NVIDIA V100 (15.7 TFLOPS fp32 peak, ~35% sustained).
+    pub fn v100() -> Self {
+        GpuProfile {
+            name: "V100",
+            flops_per_sec: 5.5e12,
+            block_slots: 1_520,
+            kernel_setup_ns: 1_500,
+            issue_scale: 1.0,
+        }
+    }
+
+    /// NVIDIA P100.
+    pub fn p100() -> Self {
+        GpuProfile {
+            name: "P100",
+            flops_per_sec: 3.3e12,
+            block_slots: 896,
+            kernel_setup_ns: 1_800,
+            issue_scale: 1.1,
+        }
+    }
+
+    /// NVIDIA Titan XP.
+    pub fn titan_xp() -> Self {
+        GpuProfile {
+            name: "TitanXP",
+            flops_per_sec: 2.8e12,
+            block_slots: 480,
+            kernel_setup_ns: 2_000,
+            issue_scale: 1.2,
+        }
+    }
+
+    /// Time (ns) to execute `flops` on this GPU, floored at one setup
+    /// quantum (tiny kernels cannot run faster than the hardware's fixed
+    /// overheads).
+    pub fn exec_ns(&self, flops: f64) -> u64 {
+        let t = flops / self.flops_per_sec * 1e9;
+        (t as u64).max(12_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering() {
+        assert!(GpuProfile::v100().flops_per_sec > GpuProfile::p100().flops_per_sec);
+        assert!(GpuProfile::p100().flops_per_sec > GpuProfile::titan_xp().flops_per_sec);
+    }
+
+    #[test]
+    fn exec_floor() {
+        let g = GpuProfile::v100();
+        assert_eq!(g.exec_ns(0.0), 12_000);
+        // 5.5e12 flops take 1 second.
+        assert_eq!(g.exec_ns(5.5e12), 1_000_000_000);
+    }
+}

@@ -1,0 +1,149 @@
+//! Model and layer descriptions.
+
+use serde::{Deserialize, Serialize};
+
+/// Operator class of a scheduling layer; determines issue costs and
+/// thread-block shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// Convolution (with folded activation).
+    Conv,
+    /// Depthwise convolution (MobileNet).
+    DepthwiseConv,
+    /// Dense / GEMM layer.
+    Dense,
+    /// Recurrent cell (two GEMMs plus elementwise gates).
+    RnnCell,
+    /// One transformer encoder/decoder block.
+    Transformer,
+    /// Embedding lookup / output projection.
+    Embedding,
+    /// Pooling or other lightweight reshaping.
+    Pool,
+}
+
+impl LayerKind {
+    /// Baseline CPU-side issue cost of the layer's kernels (TensorFlow
+    /// executor, before per-GPU scaling). Convolutions carry heavy cuDNN
+    /// dispatch; elementwise-dominated layers are cheaper.
+    pub fn issue_ns(self) -> u64 {
+        match self {
+            LayerKind::Conv => 60_000,
+            LayerKind::DepthwiseConv => 55_000,
+            LayerKind::Dense => 25_000,
+            LayerKind::RnnCell => 45_000,
+            LayerKind::Transformer => 220_000,
+            LayerKind::Embedding => 30_000,
+            LayerKind::Pool => 12_000,
+        }
+    }
+
+    /// Output elements handled per thread block (drives grid sizes).
+    pub fn elems_per_block(self) -> u64 {
+        match self {
+            LayerKind::Conv | LayerKind::DepthwiseConv => 128,
+            LayerKind::Dense | LayerKind::RnnCell => 512,
+            LayerKind::Transformer | LayerKind::Embedding => 1_024,
+            LayerKind::Pool => 2_048,
+        }
+    }
+}
+
+/// One scheduling layer (the unit the paper's graphs operate on).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerSpec {
+    /// Layer name, e.g. `"denseblock3.conv12"`.
+    pub name: String,
+    /// Operator class.
+    pub kind: LayerKind,
+    /// Forward FLOPs per sample.
+    pub flops_per_sample: f64,
+    /// Parameter bytes (fp32).
+    pub param_bytes: u64,
+    /// Output activation bytes per sample (fp32).
+    pub activation_bytes_per_sample: u64,
+}
+
+impl LayerSpec {
+    /// Creates a layer spec.
+    pub fn new(
+        name: String,
+        kind: LayerKind,
+        flops_per_sample: f64,
+        param_bytes: u64,
+        activation_bytes_per_sample: u64,
+    ) -> Self {
+        LayerSpec {
+            name,
+            kind,
+            flops_per_sample,
+            param_bytes,
+            activation_bytes_per_sample,
+        }
+    }
+}
+
+/// A whole network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelSpec {
+    /// Model name, e.g. `"DenseNet-121 (k=12)"`.
+    pub name: String,
+    /// Layers in forward order.
+    pub layers: Vec<LayerSpec>,
+    /// Batch size the paper evaluates with by default.
+    pub default_batch: usize,
+    /// Named regions for multi-region joint scheduling: `(region name,
+    /// number of consecutive layers)`, in forward order, covering all
+    /// layers. CNNs map blocks to regions (a DenseBlock per region).
+    pub regions: Vec<(String, usize)>,
+}
+
+impl ModelSpec {
+    /// Number of scheduling layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total parameter bytes.
+    pub fn param_bytes(&self) -> u64 {
+        self.layers.iter().map(|l| l.param_bytes).sum()
+    }
+
+    /// Total forward FLOPs per sample.
+    pub fn flops_per_sample(&self) -> f64 {
+        self.layers.iter().map(|l| l.flops_per_sample).sum()
+    }
+
+    /// Checks that the region table covers the layers exactly.
+    pub fn regions_consistent(&self) -> bool {
+        self.regions.iter().map(|&(_, n)| n).sum::<usize>() == self.layers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn issue_costs_reflect_kernel_complexity() {
+        assert!(LayerKind::Conv.issue_ns() > LayerKind::Pool.issue_ns());
+        assert!(LayerKind::Transformer.issue_ns() > LayerKind::Dense.issue_ns());
+    }
+
+    #[test]
+    fn model_aggregates() {
+        let m = ModelSpec {
+            name: "toy".into(),
+            layers: vec![
+                LayerSpec::new("a".into(), LayerKind::Dense, 100.0, 400, 64),
+                LayerSpec::new("b".into(), LayerKind::Dense, 200.0, 800, 32),
+            ],
+            default_batch: 8,
+            regions: vec![("all".into(), 2)],
+        };
+        assert_eq!(m.num_layers(), 2);
+        assert_eq!(m.param_bytes(), 1_200);
+        assert_eq!(m.flops_per_sample(), 300.0);
+        assert!(m.regions_consistent());
+    }
+}

@@ -1,0 +1,600 @@
+//! Builders for the twelve evaluated networks (the paper's Table 1).
+//!
+//! Layer structures follow the published architectures; FLOPs and tensor
+//! sizes are computed from the standard formulas. A *scheduling layer*
+//! here is a convolution / GEMM / transformer block — the granularity the
+//! paper schedules at (activations are folded into their producing
+//! layer).
+
+use crate::spec::{LayerKind, LayerSpec, ModelSpec};
+
+const F32: u64 = 4;
+
+/// Convolution FLOPs per sample.
+fn conv_flops(kh: usize, kw: usize, cin: usize, cout: usize, oh: usize, ow: usize) -> f64 {
+    2.0 * (kh * kw * cin * cout * oh * ow) as f64
+}
+
+fn conv_layer(
+    name: String,
+    k: usize,
+    cin: usize,
+    cout: usize,
+    out_hw: usize,
+    kind: LayerKind,
+) -> LayerSpec {
+    let flops = match kind {
+        LayerKind::DepthwiseConv => 2.0 * (k * k * cout * out_hw * out_hw) as f64,
+        _ => conv_flops(k, k, cin, cout, out_hw, out_hw),
+    };
+    let params = match kind {
+        LayerKind::DepthwiseConv => (k * k * cout) as u64 * F32,
+        _ => (k * k * cin * cout) as u64 * F32,
+    };
+    LayerSpec::new(
+        name,
+        kind,
+        flops,
+        params,
+        (cout * out_hw * out_hw) as u64 * F32,
+    )
+}
+
+fn dense_layer(name: String, input: usize, output: usize) -> LayerSpec {
+    LayerSpec::new(
+        name,
+        LayerKind::Dense,
+        2.0 * (input * output) as f64,
+        (input * output + output) as u64 * F32,
+        output as u64 * F32,
+    )
+}
+
+/// DenseNet with the given block configuration and growth rate `k`, on
+/// `input` x `input` images with `classes` outputs. `blocks` is
+/// `[6,12,24,16]` for DenseNet-121 and `[6,12,32,32]` for DenseNet-169.
+pub fn densenet(
+    name: &str,
+    blocks: [usize; 4],
+    growth: usize,
+    input: usize,
+    classes: usize,
+) -> ModelSpec {
+    let mut layers = Vec::new();
+    let mut regions = Vec::new();
+    // Stem: on ImageNet-scale inputs a strided 7x7 + pool; on CIFAR a
+    // plain 3x3.
+    let (mut hw, stem_k) = if input >= 64 {
+        (input / 4, 7)
+    } else {
+        (input, 3)
+    };
+    let mut c = 2 * growth;
+    layers.push(conv_layer("stem".into(), stem_k, 3, c, hw, LayerKind::Conv));
+    regions.push(("stem".to_string(), 1));
+    for (bi, &n) in blocks.iter().enumerate() {
+        let start = layers.len();
+        for li in 0..n {
+            layers.push(conv_layer(
+                format!("block{}.l{}.conv1x1", bi + 1, li + 1),
+                1,
+                c,
+                4 * growth,
+                hw,
+                LayerKind::Conv,
+            ));
+            layers.push(conv_layer(
+                format!("block{}.l{}.conv3x3", bi + 1, li + 1),
+                3,
+                4 * growth,
+                growth,
+                hw,
+                LayerKind::Conv,
+            ));
+            c += growth;
+        }
+        regions.push((format!("denseblock{}", bi + 1), layers.len() - start));
+        if bi + 1 < blocks.len() {
+            // Transition: 1x1 halving channels + 2x2 average pool.
+            let c2 = c / 2;
+            layers.push(conv_layer(
+                format!("transition{}", bi + 1),
+                1,
+                c,
+                c2,
+                hw,
+                LayerKind::Conv,
+            ));
+            regions.push((format!("transition{}", bi + 1), 1));
+            c = c2;
+            hw /= 2;
+        }
+    }
+    layers.push(dense_layer("classifier".into(), c, classes));
+    regions.push(("head".to_string(), 1));
+    ModelSpec {
+        name: name.to_string(),
+        layers,
+        default_batch: 32,
+        regions,
+    }
+}
+
+/// DenseNet-121 with growth rate `k` (the paper uses k = 12, 24, 32).
+pub fn densenet121(growth: usize, input: usize) -> ModelSpec {
+    densenet(
+        &format!("DenseNet-121 (k={growth})"),
+        [6, 12, 24, 16],
+        growth,
+        input,
+        100,
+    )
+}
+
+/// DenseNet-169 with growth rate `k`.
+pub fn densenet169(growth: usize, input: usize) -> ModelSpec {
+    densenet(
+        &format!("DenseNet-169 (k={growth})"),
+        [6, 12, 32, 32],
+        growth,
+        input,
+        100,
+    )
+}
+
+/// MobileNetV3-Large with width multiplier `alpha` (0.25 / 0.5 / 0.75 /
+/// 1.0 in the paper).
+pub fn mobilenet_v3_large(alpha: f64) -> ModelSpec {
+    // (out, expansion, kernel, stride) per bottleneck, from the paper's
+    // Table 1 of Howard et al.
+    const CFG: [(usize, usize, usize, usize); 15] = [
+        (16, 16, 3, 1),
+        (24, 64, 3, 2),
+        (24, 72, 3, 1),
+        (40, 72, 5, 2),
+        (40, 120, 5, 1),
+        (40, 120, 5, 1),
+        (80, 240, 3, 2),
+        (80, 200, 3, 1),
+        (80, 184, 3, 1),
+        (80, 184, 3, 1),
+        (112, 480, 3, 1),
+        (112, 672, 3, 1),
+        (160, 672, 5, 2),
+        (160, 960, 5, 1),
+        (160, 960, 5, 1),
+    ];
+    let scale = |c: usize| ((c as f64 * alpha).round() as usize).max(8);
+    let mut layers = Vec::new();
+    let mut regions = Vec::new();
+    let mut hw = 112; // stem stride 2 on 224 input
+    let mut c = scale(16);
+    layers.push(conv_layer("stem".into(), 3, 3, c, hw, LayerKind::Conv));
+    regions.push(("stem".to_string(), 1));
+    for (i, &(out, exp, k, stride)) in CFG.iter().enumerate() {
+        let start = layers.len();
+        let (out, exp) = (scale(out), scale(exp));
+        if stride == 2 {
+            hw /= 2;
+        }
+        layers.push(conv_layer(
+            format!("bneck{}.expand", i + 1),
+            1,
+            c,
+            exp,
+            hw,
+            LayerKind::Conv,
+        ));
+        layers.push(conv_layer(
+            format!("bneck{}.dw", i + 1),
+            k,
+            exp,
+            exp,
+            hw,
+            LayerKind::DepthwiseConv,
+        ));
+        layers.push(conv_layer(
+            format!("bneck{}.project", i + 1),
+            1,
+            exp,
+            out,
+            hw,
+            LayerKind::Conv,
+        ));
+        regions.push((format!("bneck{}", i + 1), layers.len() - start));
+        c = out;
+    }
+    let last = scale(960);
+    layers.push(conv_layer(
+        "head.conv".into(),
+        1,
+        c,
+        last,
+        hw,
+        LayerKind::Conv,
+    ));
+    layers.push(dense_layer("head.fc".into(), last, 1_000));
+    regions.push(("head".to_string(), 2));
+    ModelSpec {
+        name: format!("MobileNetV3-Large (a={alpha})"),
+        layers,
+        default_batch: 32,
+        regions,
+    }
+}
+
+/// ResNet with bottleneck blocks (`depth` in {50, 101, 152}).
+///
+/// # Panics
+///
+/// Panics on unsupported depths.
+pub fn resnet(depth: usize) -> ModelSpec {
+    let blocks: [usize; 4] = match depth {
+        50 => [3, 4, 6, 3],
+        101 => [3, 4, 23, 3],
+        152 => [3, 8, 36, 3],
+        _ => panic!("unsupported ResNet depth {depth}"),
+    };
+    let mut layers = Vec::new();
+    let mut regions = Vec::new();
+    let mut hw = 56; // 224 input after stem conv s2 + pool s2
+    layers.push(conv_layer("stem".into(), 7, 3, 64, 112, LayerKind::Conv));
+    regions.push(("stem".to_string(), 1));
+    let mut cin = 64;
+    for (si, &n) in blocks.iter().enumerate() {
+        let width = 64 << si; // 64, 128, 256, 512
+        let cout = width * 4;
+        let start = layers.len();
+        for bi in 0..n {
+            if bi == 0 && si > 0 {
+                hw /= 2;
+            }
+            layers.push(conv_layer(
+                format!("stage{}.b{}.conv1", si + 1, bi + 1),
+                1,
+                cin,
+                width,
+                hw,
+                LayerKind::Conv,
+            ));
+            layers.push(conv_layer(
+                format!("stage{}.b{}.conv2", si + 1, bi + 1),
+                3,
+                width,
+                width,
+                hw,
+                LayerKind::Conv,
+            ));
+            layers.push(conv_layer(
+                format!("stage{}.b{}.conv3", si + 1, bi + 1),
+                1,
+                width,
+                cout,
+                hw,
+                LayerKind::Conv,
+            ));
+            cin = cout;
+        }
+        regions.push((format!("stage{}", si + 1), layers.len() - start));
+    }
+    layers.push(dense_layer("classifier".into(), cin, 1_000));
+    regions.push(("head".to_string(), 1));
+    ModelSpec {
+        name: format!("ResNet-{depth}"),
+        layers,
+        default_batch: 64,
+        regions,
+    }
+}
+
+/// The paper's 16-layer feed-forward network (pipeline experiments).
+pub fn ffnn16(width: usize) -> ModelSpec {
+    let layers: Vec<LayerSpec> = (0..16)
+        .map(|i| {
+            let mut l = dense_layer(format!("fc{}", i + 1), width, width);
+            l.kind = LayerKind::Dense;
+            l
+        })
+        .collect();
+    ModelSpec {
+        name: "FFNN-16".into(),
+        regions: vec![("all".to_string(), layers.len())],
+        layers,
+        default_batch: 1_024,
+    }
+}
+
+/// The paper's 16-cell RNN (IWSLT fine-tuning).
+pub fn rnn16(hidden: usize, seq_len: usize) -> ModelSpec {
+    let layers: Vec<LayerSpec> = (0..16)
+        .map(|i| {
+            // Per cell: input and recurrent GEMMs over the sequence.
+            let flops = 2.0 * (2 * hidden * hidden) as f64 * seq_len as f64;
+            LayerSpec::new(
+                format!("cell{}", i + 1),
+                LayerKind::RnnCell,
+                flops,
+                (2 * hidden * hidden) as u64 * F32,
+                (hidden * seq_len) as u64 * F32,
+            )
+        })
+        .collect();
+    ModelSpec {
+        name: "RNN-16".into(),
+        regions: vec![("all".to_string(), layers.len())],
+        layers,
+        default_batch: 1_024,
+    }
+}
+
+/// One transformer block's FLOPs per sample: QKV/output projections
+/// (`8 h^2 s`), attention matrices (`4 s^2 h`), and the 4x FFN
+/// (`16 h^2 s`).
+fn transformer_flops(hidden: usize, seq: usize) -> f64 {
+    let h = hidden as f64;
+    let s = seq as f64;
+    24.0 * h * h * s + 4.0 * s * s * h
+}
+
+/// BERT with `n` transformer encoders (12/24/48 in the paper).
+pub fn bert(n: usize, seq: usize) -> ModelSpec {
+    let hidden = if n <= 12 { 768 } else { 1_024 };
+    let vocab = 30_522usize;
+    let mut layers = Vec::new();
+    layers.push(LayerSpec::new(
+        "embedding".into(),
+        LayerKind::Embedding,
+        2.0 * (hidden * seq) as f64,
+        (vocab * hidden) as u64 * F32,
+        (hidden * seq) as u64 * F32,
+    ));
+    for i in 0..n {
+        layers.push(LayerSpec::new(
+            format!("encoder{}", i + 1),
+            LayerKind::Transformer,
+            transformer_flops(hidden, seq),
+            (12 * hidden * hidden) as u64 * F32,
+            (hidden * seq) as u64 * F32,
+        ));
+    }
+    layers.push(LayerSpec::new(
+        "mlm_head".into(),
+        LayerKind::Embedding,
+        2.0 * (hidden * vocab * seq) as f64 / seq as f64,
+        (hidden * vocab) as u64 * F32,
+        (hidden * seq) as u64 * F32,
+    ));
+    ModelSpec {
+        name: format!("BERT-{n}"),
+        regions: vec![
+            ("embedding".to_string(), 1),
+            ("encoders".to_string(), n),
+            ("head".to_string(), 1),
+        ],
+        layers,
+        default_batch: 96,
+    }
+}
+
+/// GPT-3 Medium: 24 decoders, hidden 1024, sequence length 512, with the
+/// large word-embedding layer the paper assigns four dedicated GPUs.
+pub fn gpt3_medium() -> ModelSpec {
+    let hidden = 1_024usize;
+    let seq = 512usize;
+    let vocab = 50_257usize;
+    let mut layers = Vec::new();
+    layers.push(LayerSpec::new(
+        "embedding".into(),
+        LayerKind::Embedding,
+        2.0 * (hidden * seq) as f64,
+        (vocab * hidden) as u64 * F32,
+        (hidden * seq) as u64 * F32,
+    ));
+    for i in 0..24 {
+        layers.push(LayerSpec::new(
+            format!("decoder{}", i + 1),
+            LayerKind::Transformer,
+            transformer_flops(hidden, seq),
+            (12 * hidden * hidden) as u64 * F32,
+            (hidden * seq) as u64 * F32,
+        ));
+    }
+    layers.push(LayerSpec::new(
+        "lm_head".into(),
+        LayerKind::Embedding,
+        2.0 * (hidden * vocab) as f64 * seq as f64 / seq as f64,
+        (hidden * vocab) as u64 * F32,
+        (hidden * seq) as u64 * F32,
+    ));
+    ModelSpec {
+        name: "GPT-3 Medium".into(),
+        regions: vec![
+            ("embedding".to_string(), 1),
+            ("decoders".to_string(), 24),
+            ("head".to_string(), 1),
+        ],
+        layers,
+        default_batch: 96,
+    }
+}
+
+/// The full Table 1 inventory: `(model, dataset, training method)`.
+pub fn table1() -> Vec<(ModelSpec, &'static str, &'static str)> {
+    vec![
+        (
+            densenet121(12, 32),
+            "CIFAR100",
+            "single-GPU / data-parallel",
+        ),
+        (
+            densenet169(12, 32),
+            "CIFAR100",
+            "single-GPU / data-parallel",
+        ),
+        (
+            mobilenet_v3_large(1.0),
+            "ImageNet",
+            "single-GPU / data-parallel",
+        ),
+        (resnet(50), "ImageNet", "single-GPU / data-parallel"),
+        (resnet(101), "ImageNet", "single-GPU / data-parallel"),
+        (resnet(152), "ImageNet", "data-parallel"),
+        (rnn16(1_024, 50), "IWSLT", "pipeline-parallel"),
+        (ffnn16(4_096), "IWSLT", "pipeline-parallel"),
+        (bert(12, 128), "MNLI", "pipeline-parallel"),
+        (bert(24, 128), "MNLI", "pipeline-parallel"),
+        (bert(48, 128), "MNLI", "pipeline-parallel"),
+        (gpt3_medium(), "OpenWebText", "pipeline-parallel"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn densenet121_layer_count() {
+        let m = densenet121(12, 32);
+        // stem + 2*(6+12+24+16) dense-layer convs + 3 transitions + head.
+        assert_eq!(m.num_layers(), 1 + 2 * 58 + 3 + 1);
+        assert!(m.regions_consistent());
+    }
+
+    #[test]
+    fn densenet_late_blocks_are_light() {
+        // The paper: DenseBlock-3/4 convolutions are short (15-40 us) but
+        // numerous. Check late 3x3 convs have fewer FLOPs than early ones
+        // scaled by spatial shrink.
+        let m = densenet121(12, 32);
+        let early = m
+            .layers
+            .iter()
+            .find(|l| l.name == "block1.l1.conv3x3")
+            .unwrap();
+        let late = m
+            .layers
+            .iter()
+            .find(|l| l.name == "block4.l1.conv3x3")
+            .unwrap();
+        assert!(late.flops_per_sample < early.flops_per_sample * 2.0);
+        assert!(late.activation_bytes_per_sample < early.activation_bytes_per_sample);
+    }
+
+    #[test]
+    fn mobilenet_alpha_scales_work() {
+        let small = mobilenet_v3_large(0.25);
+        let big = mobilenet_v3_large(1.0);
+        assert!(big.flops_per_sample() > 5.0 * small.flops_per_sample());
+        assert_eq!(small.num_layers(), big.num_layers());
+        assert!(small.regions_consistent() && big.regions_consistent());
+    }
+
+    #[test]
+    fn resnet_depths() {
+        assert_eq!(resnet(50).num_layers(), 1 + 3 * 16 + 1);
+        assert_eq!(resnet(101).num_layers(), 1 + 3 * 33 + 1);
+        assert_eq!(resnet(152).num_layers(), 1 + 3 * 50 + 1);
+        // ResNet-50 is ~4.1 GFLOPs per 224x224 image (x2 for MACs->FLOPs
+        // conventions); accept the standard range.
+        let gf = resnet(50).flops_per_sample() / 1e9;
+        assert!((5.0..12.0).contains(&gf), "ResNet-50 at {gf} GFLOPs");
+    }
+
+    #[test]
+    fn resnet_is_heavier_than_densenet() {
+        assert!(resnet(50).flops_per_sample() > densenet121(12, 32).flops_per_sample());
+    }
+
+    #[test]
+    fn bert_sizes() {
+        let b12 = bert(12, 128);
+        let b48 = bert(48, 128);
+        assert_eq!(b12.num_layers(), 14);
+        assert_eq!(b48.num_layers(), 50);
+        // BERT-base is ~110 M parameters (440 MB fp32).
+        let mb = b12.param_bytes() as f64 / 1e6;
+        assert!((300.0..600.0).contains(&mb), "BERT-12 at {mb} MB");
+    }
+
+    #[test]
+    fn gpt3_embedding_dominates_params() {
+        let g = gpt3_medium();
+        let emb = &g.layers[0];
+        let dec = &g.layers[1];
+        assert!(emb.param_bytes > dec.param_bytes);
+    }
+
+    #[test]
+    fn table1_has_twelve_models() {
+        let t = table1();
+        assert_eq!(t.len(), 12);
+        for (m, _, _) in &t {
+            assert!(m.num_layers() >= 14, "{} too small", m.name);
+            assert!(m.regions_consistent(), "{} regions", m.name);
+        }
+    }
+}
+
+#[cfg(test)]
+mod calibration_tests {
+    use super::*;
+
+    /// Published parameter counts (fp32 weights, biases/BN folded):
+    /// the zoo's totals should land within a generous band of them.
+    #[test]
+    fn parameter_counts_near_published_values() {
+        let mp = |m: &ModelSpec| m.param_bytes() as f64 / 4.0 / 1e6;
+        // ResNet-50: 25.6 M.
+        let r50 = mp(&resnet(50));
+        assert!((17.0..33.0).contains(&r50), "ResNet-50 {r50} M params");
+        // ResNet-101: 44.5 M.
+        let r101 = mp(&resnet(101));
+        assert!((31.0..57.0).contains(&r101), "ResNet-101 {r101} M params");
+        // BERT-base: 110 M (with embeddings).
+        let b12 = mp(&bert(12, 128));
+        assert!((77.0..150.0).contains(&b12), "BERT-12 {b12} M params");
+        // MobileNetV3-Large: 5.4 M published; the zoo folds the SE
+        // modules and the 1280-wide classifier head, landing lower.
+        let mb = mp(&mobilenet_v3_large(1.0));
+        assert!((1.5..9.0).contains(&mb), "MobileNetV3 {mb} M params");
+    }
+
+    /// GFLOPs per image against published numbers (2x MAC convention):
+    /// ResNet-50 ~8.2, ResNet-101 ~15.6, MobileNetV3-Large ~0.44.
+    #[test]
+    fn flop_counts_near_published_values() {
+        let gf = |m: &ModelSpec| m.flops_per_sample() / 1e9;
+        let r50 = gf(&resnet(50));
+        assert!((5.5..11.0).contains(&r50), "ResNet-50 {r50} GF");
+        let r101 = gf(&resnet(101));
+        assert!(r101 > 1.6 * r50, "ResNet-101 {r101} vs ResNet-50 {r50}");
+        let mb = gf(&mobilenet_v3_large(1.0));
+        assert!((0.2..1.2).contains(&mb), "MobileNetV3 {mb} GF");
+    }
+
+    /// Spatial dimensions shrink monotonically through the CNNs (strided
+    /// stages): activation bytes per layer trend downward block to block.
+    #[test]
+    fn cnn_activations_shrink_downstream() {
+        for m in [resnet(50), densenet121(12, 32)] {
+            let first = m.layers[1].activation_bytes_per_sample;
+            let last = m.layers[m.num_layers() - 2].activation_bytes_per_sample;
+            assert!(last < first, "{}: {first} -> {last}", m.name);
+        }
+    }
+
+    /// Transformer models have uniform per-block costs — the property
+    /// that makes per-transformer modulo allocation balanced.
+    #[test]
+    fn transformer_blocks_are_uniform() {
+        let b = bert(24, 128);
+        let encoder_flops: Vec<f64> = b
+            .layers
+            .iter()
+            .filter(|l| l.kind == LayerKind::Transformer)
+            .map(|l| l.flops_per_sample)
+            .collect();
+        assert_eq!(encoder_flops.len(), 24);
+        assert!(encoder_flops.windows(2).all(|w| w[0] == w[1]));
+    }
+}

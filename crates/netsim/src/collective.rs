@@ -1,0 +1,217 @@
+//! Synchronization-cost models for the communication systems the paper
+//! compares: BytePS-style parameter servers and Horovod-style ring
+//! all-reduce.
+//!
+//! The models capture the first-order structure:
+//!
+//! - **BytePS** aggregates on CPU servers; with enough server bandwidth a
+//!   worker's synchronization time for a tensor is one push plus one pull
+//!   over its own bottleneck link (the architecture's claimed optimality),
+//!   plus a small per-tensor coordination overhead.
+//! - **Horovod** runs a ring all-reduce: `2(n-1)/n` of the tensor bytes
+//!   cross the *slowest* link on the ring, with per-tensor negotiation
+//!   overhead and no priority scheduling — which is why the paper measures
+//!   it far behind BytePS on Ethernet clusters.
+
+use crate::topology::ClusterTopology;
+use crate::SimTime;
+
+/// Per-tensor coordination overhead of BytePS (scheduler + RDMA/TCP
+/// bookkeeping).
+pub const BYTEPS_TENSOR_OVERHEAD_NS: SimTime = 80_000;
+/// Per-tensor negotiation overhead of Horovod (its background
+/// coordination protocol).
+pub const HOROVOD_TENSOR_OVERHEAD_NS: SimTime = 250_000;
+
+/// The bottleneck link bandwidth (bytes/sec) a worker sees for parameter
+/// traffic on `gpus` GPUs of `topology`: the fast intra-node link while
+/// the job fits in one node, the inter-node NIC otherwise — shared by the
+/// node's GPUs.
+pub fn worker_bottleneck_bytes_per_sec(topology: &ClusterTopology, gpus: usize) -> f64 {
+    if topology.single_node(gpus) {
+        topology.intra.bytes_per_sec
+    } else {
+        // All GPUs of a node share its NIC for inter-node traffic.
+        topology.inter.bytes_per_sec / topology.gpus_per_node as f64
+    }
+}
+
+/// BytePS synchronization time for one tensor of `bytes` on `gpus` GPUs:
+/// push + pull over the worker bottleneck link, plus coordination
+/// overhead. Single-GPU jobs synchronize nothing.
+pub fn byteps_sync_ns(topology: &ClusterTopology, gpus: usize, bytes: u64) -> SimTime {
+    if gpus <= 1 {
+        return 0;
+    }
+    let bw = worker_bottleneck_bytes_per_sec(topology, gpus);
+    let wire = (2.0 * bytes as f64 / bw * 1e9) as SimTime;
+    wire + BYTEPS_TENSOR_OVERHEAD_NS
+}
+
+/// Horovod ring all-reduce time for one tensor of `bytes` on `gpus` GPUs.
+pub fn horovod_sync_ns(topology: &ClusterTopology, gpus: usize, bytes: u64) -> SimTime {
+    if gpus <= 1 {
+        return 0;
+    }
+    let n = gpus as f64;
+    let bw = if topology.single_node(gpus) {
+        topology.intra.bytes_per_sec
+    } else {
+        // The ring crosses node boundaries; the slowest hop dominates and
+        // every node's NIC carries the traffic of its resident GPUs.
+        topology.inter.bytes_per_sec / topology.gpus_per_node as f64
+    };
+    let wire = (2.0 * (n - 1.0) / n * bytes as f64 / bw * 1e9) as SimTime;
+    wire + HOROVOD_TENSOR_OVERHEAD_NS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_gpu_needs_no_sync() {
+        let c = ClusterTopology::pub_a();
+        assert_eq!(byteps_sync_ns(&c, 1, 1 << 20), 0);
+        assert_eq!(horovod_sync_ns(&c, 1, 1 << 20), 0);
+    }
+
+    #[test]
+    fn byteps_beats_horovod_per_tensor() {
+        let c = ClusterTopology::priv_b();
+        let bytes = 4 << 20; // 4 MB gradient
+        assert!(byteps_sync_ns(&c, 20, bytes) < horovod_sync_ns(&c, 20, bytes));
+    }
+
+    #[test]
+    fn intra_node_jobs_use_fast_link() {
+        let c = ClusterTopology::pub_b(); // 8 GPUs/node, NVLink
+        let small = byteps_sync_ns(&c, 8, 64 << 20);
+        let large = byteps_sync_ns(&c, 16, 64 << 20);
+        // Crossing nodes over 25 GbE is far slower than NVLink.
+        assert!(large > 10 * small, "{large} vs {small}");
+    }
+
+    #[test]
+    fn sync_time_scales_with_bytes() {
+        let c = ClusterTopology::priv_a();
+        let a = byteps_sync_ns(&c, 8, 1 << 20);
+        let b = byteps_sync_ns(&c, 8, 8 << 20);
+        assert!(b > 4 * (a - BYTEPS_TENSOR_OVERHEAD_NS));
+    }
+
+    #[test]
+    fn ring_factor_approaches_two() {
+        let c = ClusterTopology::priv_b();
+        let few = horovod_sync_ns(&c, 2, 1 << 24);
+        let many = horovod_sync_ns(&c, 20, 1 << 24);
+        // 2(n-1)/n grows from 1.0 toward 2.0.
+        assert!(many > few);
+        assert!(many < 2 * few);
+    }
+}
+
+/// An all-reduce algorithm choice with a first-order cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllReduceAlgo {
+    /// Flat ring across all GPUs (Horovod's default).
+    Ring,
+    /// Recursive halving/doubling tree: `2 log2(n)` steps of `bytes/2^i`.
+    Tree,
+    /// Hierarchical: intra-node ring first, one inter-node ring between
+    /// node leaders, then intra-node broadcast — the standard layout for
+    /// NVLink islands behind slow NICs.
+    Hierarchical,
+}
+
+/// All-reduce time for `bytes` on `gpus` GPUs of `topology` under the
+/// given algorithm. Single-GPU jobs cost nothing.
+pub fn allreduce_ns(
+    topology: &ClusterTopology,
+    gpus: usize,
+    bytes: u64,
+    algo: AllReduceAlgo,
+) -> SimTime {
+    if gpus <= 1 {
+        return 0;
+    }
+    let n = gpus as f64;
+    let intra_bw = topology.intra.bytes_per_sec;
+    let inter_share = topology.inter.bytes_per_sec / topology.gpus_per_node as f64;
+    match algo {
+        AllReduceAlgo::Ring => horovod_sync_ns(topology, gpus, bytes),
+        AllReduceAlgo::Tree => {
+            let bw = if topology.single_node(gpus) {
+                intra_bw
+            } else {
+                inter_share
+            };
+            let steps = (n.log2().ceil()) as u32;
+            // Halving + doubling: 2 * sum_i bytes/2^i ~ 2 * bytes wire
+            // volume, but in log(n) latency rounds.
+            let wire = (2.0 * bytes as f64 / bw * 1e9) as SimTime;
+            wire + 2 * steps as SimTime * topology.inter.latency_ns
+        }
+        AllReduceAlgo::Hierarchical => {
+            if topology.single_node(gpus) {
+                return allreduce_ns(topology, gpus, bytes, AllReduceAlgo::Ring);
+            }
+            let local = topology.gpus_per_node as f64;
+            let nodes = (n / local).ceil();
+            // Intra-node reduce + broadcast on the fast link.
+            let intra = (2.0 * (local - 1.0) / local * bytes as f64 / intra_bw * 1e9) as SimTime;
+            // One copy per node on the full NIC (leaders only).
+            let inter = (2.0 * (nodes - 1.0) / nodes * bytes as f64 / topology.inter.bytes_per_sec
+                * 1e9) as SimTime;
+            intra + inter + 2 * topology.inter.latency_ns
+        }
+    }
+}
+
+#[cfg(test)]
+mod algo_tests {
+    use super::*;
+
+    #[test]
+    fn hierarchical_beats_flat_ring_across_nodes() {
+        // NVLink islands behind slow NICs: the flat ring drags all
+        // traffic through the NIC share; the hierarchy sends one copy per
+        // node.
+        let c = ClusterTopology::pub_a(); // 4 GPUs/node, NVLink + 10GbE
+        let bytes = 64 << 20;
+        let ring = allreduce_ns(&c, 16, bytes, AllReduceAlgo::Ring);
+        let hier = allreduce_ns(&c, 16, bytes, AllReduceAlgo::Hierarchical);
+        assert!(hier < ring, "hier {hier} vs ring {ring}");
+    }
+
+    #[test]
+    fn hierarchical_degenerates_to_ring_in_one_node() {
+        let c = ClusterTopology::pub_b();
+        let bytes = 8 << 20;
+        assert_eq!(
+            allreduce_ns(&c, 8, bytes, AllReduceAlgo::Hierarchical),
+            allreduce_ns(&c, 8, bytes, AllReduceAlgo::Ring)
+        );
+    }
+
+    #[test]
+    fn tree_pays_log_latency_rounds() {
+        let c = ClusterTopology::priv_b();
+        let small = 1_000; // latency-dominated
+        let t4 = allreduce_ns(&c, 4, small, AllReduceAlgo::Tree);
+        let t16 = allreduce_ns(&c, 16, small, AllReduceAlgo::Tree);
+        assert!(t16 > t4, "t16 {t16} vs t4 {t4}");
+    }
+
+    #[test]
+    fn single_gpu_costs_nothing() {
+        let c = ClusterTopology::priv_a();
+        for algo in [
+            AllReduceAlgo::Ring,
+            AllReduceAlgo::Tree,
+            AllReduceAlgo::Hierarchical,
+        ] {
+            assert_eq!(allreduce_ns(&c, 1, 1 << 20, algo), 0);
+        }
+    }
+}

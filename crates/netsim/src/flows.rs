@@ -1,0 +1,288 @@
+//! Max-min fair bandwidth sharing for concurrent flows.
+//!
+//! The point-to-point models elsewhere treat each transfer as owning its
+//! link; when several transfers share a NIC (e.g. modulo allocation
+//! crossing many node boundaries at once), their rates couple. This
+//! module computes completion times for a set of flows over shared links
+//! under progressive-filling max-min fairness — the standard first-order
+//! model of TCP sharing.
+
+use crate::SimTime;
+use std::collections::HashMap;
+
+/// One flow: `bytes` from `src` link to `dst` link (a flow consumes
+/// capacity on both; pass the same id twice for a single-resource flow).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Flow {
+    /// Caller-chosen identifier.
+    pub id: usize,
+    /// Egress resource id.
+    pub src: usize,
+    /// Ingress resource id.
+    pub dst: usize,
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// Earliest start time (ns).
+    pub ready_ns: SimTime,
+}
+
+/// Per-resource capacity in bytes/second.
+pub type Capacities = HashMap<usize, f64>;
+
+/// Progressive filling at one instant: assigns each active flow its
+/// max-min fair rate given the resource capacities. Returns rates in
+/// bytes/sec, indexed like `flows`.
+fn max_min_rates(flows: &[(usize, usize)], capacities: &Capacities) -> Vec<f64> {
+    let n = flows.len();
+    let mut rates = vec![0.0f64; n];
+    let mut frozen = vec![false; n];
+    let mut remaining: Capacities = capacities.clone();
+    loop {
+        // Active flows per resource.
+        let mut counts: HashMap<usize, usize> = HashMap::new();
+        for (i, &(s, d)) in flows.iter().enumerate() {
+            if frozen[i] {
+                continue;
+            }
+            *counts.entry(s).or_insert(0) += 1;
+            if d != s {
+                *counts.entry(d).or_insert(0) += 1;
+            }
+        }
+        if counts.is_empty() {
+            break;
+        }
+        // The bottleneck resource: smallest fair share.
+        let (&bottleneck, _) = counts
+            .iter()
+            .min_by(|a, b| {
+                let fa = remaining.get(a.0).copied().unwrap_or(0.0) / *a.1 as f64;
+                let fb = remaining.get(b.0).copied().unwrap_or(0.0) / *b.1 as f64;
+                fa.partial_cmp(&fb).expect("finite capacities")
+            })
+            .expect("non-empty counts");
+        let share = remaining.get(&bottleneck).copied().unwrap_or(0.0) / counts[&bottleneck] as f64;
+        // Freeze every flow crossing the bottleneck at the fair share and
+        // charge the other resources.
+        for (i, &(s, d)) in flows.iter().enumerate() {
+            if frozen[i] || (s != bottleneck && d != bottleneck) {
+                continue;
+            }
+            rates[i] = share;
+            frozen[i] = true;
+            for r in [s, d] {
+                if let Some(c) = remaining.get_mut(&r) {
+                    *c = (*c - share).max(0.0);
+                }
+            }
+            // Avoid double-charging single-resource flows.
+            if s == d {
+                if let Some(c) = remaining.get_mut(&s) {
+                    *c += share;
+                }
+            }
+        }
+    }
+    rates
+}
+
+/// Simulates the flow set to completion, re-solving the max-min rates at
+/// every arrival/completion event. Returns `(id, finish_ns)` pairs sorted
+/// by finish time.
+pub fn simulate_flows(flows: &[Flow], capacities: &Capacities) -> Vec<(usize, SimTime)> {
+    #[derive(Clone)]
+    struct Live {
+        flow: Flow,
+        remaining: f64,
+    }
+    let mut pending: Vec<Flow> = flows.to_vec();
+    pending.sort_by_key(|f| f.ready_ns);
+    let mut live: Vec<Live> = Vec::new();
+    let mut done: Vec<(usize, SimTime)> = Vec::new();
+    let mut now: SimTime = 0;
+
+    while !pending.is_empty() || !live.is_empty() {
+        // Admit flows that are ready.
+        if live.is_empty() {
+            if let Some(f) = pending.first() {
+                now = now.max(f.ready_ns);
+            }
+        }
+        while pending.first().is_some_and(|f| f.ready_ns <= now) {
+            let f = pending.remove(0);
+            live.push(Live {
+                flow: f,
+                remaining: f.bytes.max(1) as f64,
+            });
+        }
+        // Current rates.
+        let pairs: Vec<(usize, usize)> = live.iter().map(|l| (l.flow.src, l.flow.dst)).collect();
+        let rates = max_min_rates(&pairs, capacities);
+        // Time to the next event (in ns): first completion or next
+        // arrival. Rates are bytes/second, remaining is bytes.
+        let mut dt_ns_f = f64::INFINITY;
+        for (l, &r) in live.iter().zip(&rates) {
+            if r > 0.0 {
+                dt_ns_f = dt_ns_f.min(l.remaining / r * 1e9);
+            }
+        }
+        if let Some(f) = pending.first() {
+            dt_ns_f = dt_ns_f.min((f.ready_ns - now) as f64);
+        }
+        if !dt_ns_f.is_finite() {
+            // No capacity at all: flows can never finish.
+            for l in live {
+                done.push((l.flow.id, SimTime::MAX));
+            }
+            break;
+        }
+        let dt_ns = dt_ns_f.ceil().max(1.0) as SimTime;
+        // Advance (rates are bytes/sec; dt in ns).
+        for (l, &r) in live.iter_mut().zip(&rates) {
+            l.remaining -= r * dt_ns as f64 / 1e9;
+        }
+        now += dt_ns;
+        let mut i = 0;
+        while i < live.len() {
+            if live[i].remaining <= 1e-6 {
+                done.push((live[i].flow.id, now));
+                live.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+    }
+    done.sort_by_key(|&(_, t)| t);
+    done
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn caps(entries: &[(usize, f64)]) -> Capacities {
+        entries.iter().copied().collect()
+    }
+
+    #[test]
+    fn single_flow_full_rate() {
+        // 1 GB over a 1 GB/s link: one second.
+        let flows = [Flow {
+            id: 0,
+            src: 0,
+            dst: 1,
+            bytes: 1_000_000_000,
+            ready_ns: 0,
+        }];
+        let done = simulate_flows(&flows, &caps(&[(0, 1e9), (1, 1e9)]));
+        assert_eq!(done.len(), 1);
+        let t = done[0].1;
+        assert!((999_000_000..1_010_000_000).contains(&t), "finish {t}");
+    }
+
+    #[test]
+    fn two_flows_share_fairly() {
+        // Two equal flows over the same egress: each gets half the rate,
+        // both finish together at ~2x the solo time.
+        let flows = [
+            Flow {
+                id: 0,
+                src: 0,
+                dst: 1,
+                bytes: 500_000_000,
+                ready_ns: 0,
+            },
+            Flow {
+                id: 1,
+                src: 0,
+                dst: 2,
+                bytes: 500_000_000,
+                ready_ns: 0,
+            },
+        ];
+        let done = simulate_flows(&flows, &caps(&[(0, 1e9), (1, 1e9), (2, 1e9)]));
+        for &(_, t) in &done {
+            assert!((990_000_000..1_020_000_000).contains(&t), "finish {t}");
+        }
+    }
+
+    #[test]
+    fn uncontended_flow_unaffected() {
+        // Flow 1 shares no resource with flow 0: full rate for both.
+        let flows = [
+            Flow {
+                id: 0,
+                src: 0,
+                dst: 1,
+                bytes: 1_000_000,
+                ready_ns: 0,
+            },
+            Flow {
+                id: 1,
+                src: 2,
+                dst: 3,
+                bytes: 1_000_000,
+                ready_ns: 0,
+            },
+        ];
+        let done = simulate_flows(&flows, &caps(&[(0, 1e9), (1, 1e9), (2, 1e9), (3, 1e9)]));
+        for &(_, t) in &done {
+            assert!(t <= 1_100_000, "finish {t}");
+        }
+    }
+
+    #[test]
+    fn late_arrival_speeds_up_after_first_completes() {
+        // Flow 0 alone for the first half, then shares with flow 1.
+        let flows = [
+            Flow {
+                id: 0,
+                src: 0,
+                dst: 1,
+                bytes: 1_000_000_000,
+                ready_ns: 0,
+            },
+            Flow {
+                id: 1,
+                src: 0,
+                dst: 2,
+                bytes: 100_000_000,
+                ready_ns: 900_000_000,
+            },
+        ];
+        let done = simulate_flows(&flows, &caps(&[(0, 1e9), (1, 1e9), (2, 1e9)]));
+        let f0 = done.iter().find(|&&(id, _)| id == 0).unwrap().1;
+        // Without contention flow 0 would finish at 1 s; sharing the last
+        // 100 ms slows it slightly.
+        assert!(f0 > 1_000_000_000, "finish {f0}");
+        assert!(f0 < 1_250_000_000, "finish {f0}");
+    }
+
+    #[test]
+    fn asymmetric_capacities_bottleneck_on_the_smaller() {
+        // Egress 10x faster than ingress: the ingress bounds the rate.
+        let flows = [Flow {
+            id: 0,
+            src: 0,
+            dst: 1,
+            bytes: 1_000_000_000,
+            ready_ns: 0,
+        }];
+        let done = simulate_flows(&flows, &caps(&[(0, 10e9), (1, 1e9)]));
+        let t = done[0].1;
+        assert!((990_000_000..1_020_000_000).contains(&t), "finish {t}");
+    }
+
+    #[test]
+    fn zero_capacity_reports_never() {
+        let flows = [Flow {
+            id: 0,
+            src: 0,
+            dst: 0,
+            bytes: 10,
+            ready_ns: 0,
+        }];
+        let done = simulate_flows(&flows, &caps(&[(0, 0.0)]));
+        assert_eq!(done[0].1, SimTime::MAX);
+    }
+}

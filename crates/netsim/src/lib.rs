@@ -1,0 +1,27 @@
+//! # ooo-netsim — interconnects and parameter communication
+//!
+//! Models the communication substrate of the paper's multi-GPU
+//! experiments:
+//!
+//! - [`link`] — link specifications (NVLink, PCIe 3.0, 10/20/25 Gb
+//!   Ethernet) with bandwidth/latency transfer costs;
+//! - [`topology`] — the four evaluated clusters (Table 2): Priv-A
+//!   (8× Titan XP, PCIe + 10 GbE), Priv-B (20× P100, PCIe + 20 GbE),
+//!   Pub-A (48× V100, NVLink + 10 GbE), Pub-B (40× V100, NVLink +
+//!   25 GbE);
+//! - [`commsim`] — a chunk-preemptive priority transmission queue, the
+//!   ByteScheduler/BytePS mechanism that lets a late-arriving
+//!   high-priority tensor overtake bulk traffic;
+//! - [`collective`] — synchronization-cost models for BytePS-style
+//!   parameter servers and Horovod-style ring all-reduce.
+
+#![warn(missing_docs)]
+
+pub mod collective;
+pub mod commsim;
+pub mod flows;
+pub mod link;
+pub mod topology;
+
+/// Simulated time in nanoseconds.
+pub type SimTime = u64;

@@ -1,0 +1,113 @@
+//! Link specifications.
+
+use crate::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A point-to-point (or NIC) link.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Link name.
+    pub name: &'static str,
+    /// Usable bandwidth in bytes per second.
+    pub bytes_per_sec: f64,
+    /// Per-message latency in nanoseconds.
+    pub latency_ns: SimTime,
+}
+
+impl LinkSpec {
+    /// NVLink (the paper cites 50 GB/s for its V100 setup).
+    pub fn nvlink() -> Self {
+        LinkSpec {
+            name: "NVLink",
+            bytes_per_sec: 50e9,
+            latency_ns: 2_000,
+        }
+    }
+
+    /// PCIe 3.0 x16 (16 GB/s).
+    pub fn pcie3() -> Self {
+        LinkSpec {
+            name: "PCIe3",
+            bytes_per_sec: 16e9,
+            latency_ns: 3_000,
+        }
+    }
+
+    /// 10 Gb Ethernet (1.25 GB/s nominal).
+    pub fn ethernet_10g() -> Self {
+        LinkSpec {
+            name: "10GbE",
+            bytes_per_sec: 1.25e9,
+            latency_ns: 30_000,
+        }
+    }
+
+    /// 20 Gb Ethernet.
+    pub fn ethernet_20g() -> Self {
+        LinkSpec {
+            name: "20GbE",
+            bytes_per_sec: 2.5e9,
+            latency_ns: 30_000,
+        }
+    }
+
+    /// 25 Gb Ethernet.
+    pub fn ethernet_25g() -> Self {
+        LinkSpec {
+            name: "25GbE",
+            bytes_per_sec: 3.125e9,
+            latency_ns: 25_000,
+        }
+    }
+
+    /// Time to move `bytes` over this link, including latency.
+    pub fn transfer_ns(&self, bytes: u64) -> SimTime {
+        self.latency_ns + (bytes as f64 / self.bytes_per_sec * 1e9) as SimTime
+    }
+
+    /// A degraded copy of this link (for failure/straggler injection):
+    /// bandwidth divided by `factor`.
+    pub fn degraded(&self, factor: f64) -> Self {
+        LinkSpec {
+            name: self.name,
+            bytes_per_sec: self.bytes_per_sec / factor.max(1.0),
+            latency_ns: self.latency_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_ordering_matches_hardware() {
+        let n = LinkSpec::nvlink();
+        let p = LinkSpec::pcie3();
+        let e = LinkSpec::ethernet_10g();
+        assert!(n.bytes_per_sec > p.bytes_per_sec);
+        assert!(p.bytes_per_sec > e.bytes_per_sec);
+    }
+
+    #[test]
+    fn transfer_time_scales_linearly() {
+        let l = LinkSpec {
+            name: "t",
+            bytes_per_sec: 1e9,
+            latency_ns: 100,
+        };
+        assert_eq!(l.transfer_ns(0), 100);
+        assert_eq!(l.transfer_ns(1_000_000), 100 + 1_000_000);
+        // 1 GB over 1 GB/s = 1 s.
+        assert_eq!(l.transfer_ns(1_000_000_000), 100 + 1_000_000_000);
+    }
+
+    #[test]
+    fn degraded_halves_bandwidth() {
+        let l = LinkSpec::pcie3().degraded(2.0);
+        assert!((l.bytes_per_sec - 8e9).abs() < 1.0);
+        // Factor below 1 never *improves* the link.
+        let same = LinkSpec::pcie3().degraded(0.5);
+        assert_eq!(same.bytes_per_sec, LinkSpec::pcie3().bytes_per_sec);
+    }
+}

@@ -1,0 +1,132 @@
+//! Cluster topologies (the paper's Table 2).
+
+use crate::link::LinkSpec;
+use serde::{Deserialize, Serialize};
+
+/// A homogeneous GPU cluster: `nodes` machines with `gpus_per_node` GPUs
+/// each, a fast intra-node link, and a slower inter-node network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterTopology {
+    /// Cluster name.
+    pub name: &'static str,
+    /// Number of machines.
+    pub nodes: usize,
+    /// GPUs per machine.
+    pub gpus_per_node: usize,
+    /// GPU-to-GPU link within a node.
+    pub intra: LinkSpec,
+    /// Node-to-node network link (per NIC).
+    pub inter: LinkSpec,
+}
+
+impl ClusterTopology {
+    /// Priv-A: 8 machines x 1 Titan XP, PCIe + 10 GbE.
+    pub fn priv_a() -> Self {
+        ClusterTopology {
+            name: "Priv-A",
+            nodes: 8,
+            gpus_per_node: 1,
+            intra: LinkSpec::pcie3(),
+            inter: LinkSpec::ethernet_10g(),
+        }
+    }
+
+    /// Priv-B: 20 machines x 1 P100, PCIe + 20 GbE.
+    pub fn priv_b() -> Self {
+        ClusterTopology {
+            name: "Priv-B",
+            nodes: 20,
+            gpus_per_node: 1,
+            intra: LinkSpec::pcie3(),
+            inter: LinkSpec::ethernet_20g(),
+        }
+    }
+
+    /// Pub-A: 12 x p3.8xlarge (4 V100 each), NVLink + 10 GbE.
+    pub fn pub_a() -> Self {
+        ClusterTopology {
+            name: "Pub-A",
+            nodes: 12,
+            gpus_per_node: 4,
+            intra: LinkSpec::nvlink(),
+            inter: LinkSpec::ethernet_10g(),
+        }
+    }
+
+    /// Pub-B: 5 x p3.16xlarge (8 V100 each), NVLink + 25 GbE.
+    pub fn pub_b() -> Self {
+        ClusterTopology {
+            name: "Pub-B",
+            nodes: 5,
+            gpus_per_node: 8,
+            intra: LinkSpec::nvlink(),
+            inter: LinkSpec::ethernet_25g(),
+        }
+    }
+
+    /// Total GPUs.
+    pub fn total_gpus(&self) -> usize {
+        self.nodes * self.gpus_per_node
+    }
+
+    /// Node index of a global GPU rank.
+    pub fn node_of(&self, gpu: usize) -> usize {
+        gpu / self.gpus_per_node
+    }
+
+    /// The link connecting two GPU ranks: the intra-node link when they
+    /// share a machine, the inter-node network otherwise.
+    pub fn link_between(&self, a: usize, b: usize) -> &LinkSpec {
+        if self.node_of(a) == self.node_of(b) {
+            &self.intra
+        } else {
+            &self.inter
+        }
+    }
+
+    /// A copy restricted to the first `gpus` GPUs (for scaling sweeps).
+    /// GPUs fill nodes in rank order.
+    pub fn with_gpus(&self, gpus: usize) -> Self {
+        let nodes = gpus.div_ceil(self.gpus_per_node).max(1);
+        ClusterTopology {
+            nodes,
+            ..self.clone()
+        }
+    }
+
+    /// Whether a `gpus`-GPU job fits entirely inside one node (all links
+    /// are then the fast intra-node link).
+    pub fn single_node(&self, gpus: usize) -> bool {
+        gpus <= self.gpus_per_node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_sizes() {
+        assert_eq!(ClusterTopology::priv_a().total_gpus(), 8);
+        assert_eq!(ClusterTopology::priv_b().total_gpus(), 20);
+        assert_eq!(ClusterTopology::pub_a().total_gpus(), 48);
+        assert_eq!(ClusterTopology::pub_b().total_gpus(), 40);
+    }
+
+    #[test]
+    fn link_selection() {
+        let c = ClusterTopology::pub_a();
+        // GPUs 0-3 share node 0.
+        assert_eq!(c.link_between(0, 3).name, "NVLink");
+        assert_eq!(c.link_between(0, 4).name, "10GbE");
+        assert_eq!(c.node_of(7), 1);
+    }
+
+    #[test]
+    fn scaling_subsets() {
+        let c = ClusterTopology::pub_b().with_gpus(16);
+        assert_eq!(c.nodes, 2);
+        assert!(ClusterTopology::pub_b().single_node(8));
+        assert!(!ClusterTopology::pub_b().single_node(9));
+    }
+}

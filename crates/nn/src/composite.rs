@@ -1,0 +1,401 @@
+//! Composite layers: residual wrappers, (seeded) dropout, and a full
+//! transformer block.
+//!
+//! A [`TransformerBlock`] is *one* scheduling layer — attention, the
+//! feed-forward network, both layer norms, and both residual connections
+//! execute as a unit. This matches the granularity the paper schedules
+//! NLP models at (modulo allocation "at a transformer level"), while the
+//! block's two backward kernels stay independently schedulable like any
+//! other layer's.
+
+use crate::error::{Error, Result};
+use crate::layers::{Cache, CacheExtra, Dense, Layer, LayerNorm};
+use crate::nlp::SelfAttention;
+use ooo_tensor::ops;
+use ooo_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A residual connection around an inner layer: `y = x + f(x)`.
+///
+/// The inner layer must preserve shape.
+pub struct Residual<L: Layer> {
+    inner: L,
+}
+
+impl<L: Layer> Residual<L> {
+    /// Wraps `inner` with a skip connection.
+    pub fn new(inner: L) -> Self {
+        Residual { inner }
+    }
+}
+
+impl<L: Layer> Layer for Residual<L> {
+    fn name(&self) -> &'static str {
+        "residual"
+    }
+
+    fn forward(&self, input: &Tensor) -> Result<(Tensor, Cache)> {
+        let (fy, cache) = self.inner.forward(input)?;
+        if fy.dims() != input.dims() {
+            return Err(Error::Invalid(format!(
+                "residual inner changed shape {:?} -> {:?}",
+                input.dims(),
+                fy.dims()
+            )));
+        }
+        let y = ops::add(input, &fy)?;
+        Ok((y, cache))
+    }
+
+    fn output_grad(&self, cache: &Cache, grad_out: &Tensor) -> Result<Tensor> {
+        // dy/dx = I + df/dx.
+        let inner = self.inner.output_grad(cache, grad_out)?;
+        Ok(ops::add(grad_out, &inner)?)
+    }
+
+    fn weight_grad(&self, cache: &Cache, grad_out: &Tensor) -> Result<Vec<Tensor>> {
+        self.inner.weight_grad(cache, grad_out)
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        self.inner.params()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        self.inner.params_mut()
+    }
+}
+
+/// Seeded inverted dropout. The mask is drawn once per forward pass from
+/// a per-layer RNG advanced deterministically, cached, and read by the
+/// backward kernel — so results remain schedule-invariant and
+/// run-reproducible.
+pub struct Dropout {
+    rate: f32,
+    seed: u64,
+    calls: std::sync::atomic::AtomicU64,
+}
+
+impl Dropout {
+    /// Creates dropout with drop probability `rate` in `[0, 1)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Invalid`] for out-of-range rates.
+    pub fn seeded(rate: f32, seed: u64) -> Result<Self> {
+        if !(0.0..1.0).contains(&rate) {
+            return Err(Error::Invalid(format!(
+                "dropout rate {rate} outside [0, 1)"
+            )));
+        }
+        Ok(Dropout {
+            rate,
+            seed,
+            calls: std::sync::atomic::AtomicU64::new(0),
+        })
+    }
+}
+
+impl Layer for Dropout {
+    fn name(&self) -> &'static str {
+        "dropout"
+    }
+
+    fn forward(&self, input: &Tensor) -> Result<(Tensor, Cache)> {
+        let call = self
+            .calls
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let mut rng = StdRng::seed_from_u64(self.seed ^ call.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let keep = 1.0 - self.rate;
+        let mask: Vec<f32> = (0..input.numel())
+            .map(|_| {
+                if rng.gen::<f32>() < keep {
+                    1.0 / keep
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let mask = Tensor::from_vec(mask, input.dims())?;
+        let y = ops::mul(input, &mask)?;
+        Ok((
+            y,
+            Cache {
+                input: input.clone(),
+                extra: CacheExtra::Norm {
+                    normalized: mask,
+                    inv_std: Vec::new(),
+                },
+            },
+        ))
+    }
+
+    fn output_grad(&self, cache: &Cache, grad_out: &Tensor) -> Result<Tensor> {
+        let CacheExtra::Norm {
+            normalized: mask, ..
+        } = &cache.extra
+        else {
+            return Err(Error::MissingState("dropout cache missing mask".into()));
+        };
+        Ok(ops::mul(grad_out, mask)?)
+    }
+
+    fn weight_grad(&self, _cache: &Cache, _grad_out: &Tensor) -> Result<Vec<Tensor>> {
+        Ok(Vec::new())
+    }
+}
+
+/// A pre-norm transformer encoder block as one scheduling layer:
+///
+/// ```text
+/// a = x + Attention(LN1(x))
+/// y = a + W2 GELU(W1 LN2(a))
+/// ```
+///
+/// The backward pass is recomputation-based: both backward kernels replay
+/// the cheap forward pieces they need from the cached input, which keeps
+/// the cache small and — crucially — keeps `output_grad` and
+/// `weight_grad` independent of each other's results.
+pub struct TransformerBlock {
+    ln1: LayerNorm,
+    attention: SelfAttention,
+    ln2: LayerNorm,
+    ff1: Dense,
+    ff2: Dense,
+}
+
+impl TransformerBlock {
+    /// Creates a seeded block of width `hidden` with a `4*hidden`
+    /// feed-forward inner width over sequences of `seq_len` tokens.
+    pub fn seeded(hidden: usize, seq_len: usize, seed: u64) -> Self {
+        TransformerBlock {
+            ln1: LayerNorm::new(hidden),
+            attention: SelfAttention::seeded(hidden, seq_len, seed),
+            ln2: LayerNorm::new(hidden),
+            ff1: Dense::seeded(hidden, 4 * hidden, seed + 100),
+            ff2: Dense::seeded(4 * hidden, hidden, seed + 200),
+        }
+    }
+
+    /// Forward through all sub-layers, returning every intermediate cache
+    /// needed by the backward kernels.
+    #[allow(clippy::type_complexity)]
+    fn forward_full(
+        &self,
+        x: &Tensor,
+    ) -> Result<(Tensor, (Cache, Cache, Tensor, Cache, Cache, Cache, Tensor))> {
+        let (n1, c_ln1) = self.ln1.forward(x)?;
+        let (att, c_att) = self.attention.forward(&n1)?;
+        let a = ops::add(x, &att)?;
+        let (n2, c_ln2) = self.ln2.forward(&a)?;
+        let (h, c_ff1) = self.ff1.forward(&n2)?;
+        let g = ops::gelu(&h);
+        let (f, c_ff2_pre) = self.ff2.forward(&g)?;
+        let y = ops::add(&a, &f)?;
+        Ok((y, (c_ln1, c_att, a.clone(), c_ln2, c_ff1, c_ff2_pre, h)))
+    }
+
+    /// Shared backward: returns `(dx, all weight grads)`; each public
+    /// kernel discards the half it does not need.
+    fn backward_full(&self, x: &Tensor, dy: &Tensor) -> Result<(Tensor, Vec<Tensor>)> {
+        let (_, (c_ln1, c_att, _a, c_ln2, c_ff1, c_ff2, h)) = self.forward_full(x)?;
+        // y = a + ff2(gelu(ff1(ln2(a)))).
+        let d_f = dy; // gradient into the FFN output
+        let d_g = self.ff2.output_grad(&c_ff2, d_f)?;
+        let dw_ff2 = self.ff2.weight_grad(&c_ff2, d_f)?;
+        let d_h = ops::gelu_grad(&h, &d_g)?;
+        let d_n2 = self.ff1.output_grad(&c_ff1, &d_h)?;
+        let dw_ff1 = self.ff1.weight_grad(&c_ff1, &d_h)?;
+        let d_a_ff = self.ln2.output_grad(&c_ln2, &d_n2)?;
+        let dw_ln2 = self.ln2.weight_grad(&c_ln2, &d_n2)?;
+        let d_a = ops::add(dy, &d_a_ff)?; // residual: da = dy + d(ffn path)
+                                          // a = x + attention(ln1(x)).
+        let d_att = &d_a;
+        let d_n1 = self.attention.output_grad(&c_att, d_att)?;
+        let dw_att = self.attention.weight_grad(&c_att, d_att)?;
+        let d_x_att = self.ln1.output_grad(&c_ln1, &d_n1)?;
+        let dw_ln1 = self.ln1.weight_grad(&c_ln1, &d_n1)?;
+        let dx = ops::add(&d_a, &d_x_att)?;
+        let mut grads = Vec::new();
+        grads.extend(dw_ln1);
+        grads.extend(dw_att);
+        grads.extend(dw_ln2);
+        grads.extend(dw_ff1);
+        grads.extend(dw_ff2);
+        Ok((dx, grads))
+    }
+}
+
+impl Layer for TransformerBlock {
+    fn name(&self) -> &'static str {
+        "transformer_block"
+    }
+
+    fn forward(&self, input: &Tensor) -> Result<(Tensor, Cache)> {
+        let (y, _) = self.forward_full(input)?;
+        Ok((
+            y,
+            Cache {
+                input: input.clone(),
+                extra: CacheExtra::None,
+            },
+        ))
+    }
+
+    fn output_grad(&self, cache: &Cache, grad_out: &Tensor) -> Result<Tensor> {
+        Ok(self.backward_full(&cache.input, grad_out)?.0)
+    }
+
+    fn weight_grad(&self, cache: &Cache, grad_out: &Tensor) -> Result<Vec<Tensor>> {
+        Ok(self.backward_full(&cache.input, grad_out)?.1)
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        let mut p = self.ln1.params();
+        p.extend(self.attention.params());
+        p.extend(self.ln2.params());
+        p.extend(self.ff1.params());
+        p.extend(self.ff2.params());
+        p
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        let mut p = self.ln1.params_mut();
+        p.extend(self.attention.params_mut());
+        p.extend(self.ln2.params_mut());
+        p.extend(self.ff1.params_mut());
+        p.extend(self.ff2.params_mut());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ooo_tensor::ops::sum;
+
+    #[test]
+    fn residual_identity_when_inner_zero() {
+        // A dense layer with zero weights: residual output == input.
+        let inner = Dense::new(Tensor::zeros(&[4, 4]), Tensor::zeros(&[4])).unwrap();
+        let res = Residual::new(inner);
+        let x = Tensor::from_vec((0..8).map(|i| i as f32).collect(), &[2, 4]).unwrap();
+        let (y, _) = res.forward(&x).unwrap();
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn residual_gradient_adds_identity() {
+        let inner = Dense::seeded(4, 4, 3);
+        let res = Residual::new(inner);
+        let x = Tensor::from_vec((0..8).map(|i| i as f32 * 0.1).collect(), &[2, 4]).unwrap();
+        let (y, cache) = res.forward(&x).unwrap();
+        let dy = Tensor::ones(y.dims());
+        let dx = res.output_grad(&cache, &dy).unwrap();
+        // Finite difference of sum(residual(x)).
+        let eps = 1e-2;
+        for i in 0..x.numel() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let fd = (sum(&res.forward(&xp).unwrap().0) - sum(&res.forward(&xm).unwrap().0))
+                / (2.0 * eps);
+            assert!((dx.data()[i] - fd).abs() < 1e-2, "i={i}");
+        }
+    }
+
+    #[test]
+    fn residual_rejects_shape_changes() {
+        let inner = Dense::seeded(4, 3, 1);
+        let res = Residual::new(inner);
+        assert!(res.forward(&Tensor::zeros(&[2, 4])).is_err());
+    }
+
+    #[test]
+    fn dropout_scales_and_masks() {
+        let d = Dropout::seeded(0.5, 7).unwrap();
+        let x = Tensor::ones(&[64, 8]);
+        let (y, cache) = d.forward(&x).unwrap();
+        // Kept entries are scaled by 1/keep = 2; dropped are 0.
+        assert!(y.data().iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+        let frac_kept = y.data().iter().filter(|&&v| v > 0.0).count() as f32 / y.numel() as f32;
+        assert!((0.35..0.65).contains(&frac_kept), "kept {frac_kept}");
+        // Backward uses the same mask.
+        let dy = Tensor::ones(y.dims());
+        let dx = d.output_grad(&cache, &dy).unwrap();
+        assert_eq!(dx.data(), y.data());
+        assert!(Dropout::seeded(1.0, 0).is_err());
+    }
+
+    #[test]
+    fn dropout_masks_differ_across_calls_but_reproduce_across_runs() {
+        let mk = || Dropout::seeded(0.5, 11).unwrap();
+        let x = Tensor::ones(&[32, 4]);
+        let a = mk();
+        let (y1, _) = a.forward(&x).unwrap();
+        let (y2, _) = a.forward(&x).unwrap();
+        assert_ne!(y1.data(), y2.data(), "mask should advance per call");
+        let b = mk();
+        let (z1, _) = b.forward(&x).unwrap();
+        assert_eq!(y1.data(), z1.data(), "fresh layer replays the sequence");
+    }
+
+    #[test]
+    fn transformer_block_input_gradient_checks() {
+        let block = TransformerBlock::seeded(4, 3, 31);
+        let x = Tensor::from_vec(
+            (0..24).map(|i| ((i * 7 % 13) as f32) * 0.1 - 0.6).collect(),
+            &[6, 4],
+        )
+        .unwrap();
+        let (y, cache) = block.forward(&x).unwrap();
+        assert_eq!(y.dims(), x.dims());
+        let dy = Tensor::ones(y.dims());
+        let dx = block.output_grad(&cache, &dy).unwrap();
+        let eps = 1e-2;
+        for i in (0..x.numel()).step_by(3) {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let fd = (sum(&block.forward(&xp).unwrap().0) - sum(&block.forward(&xm).unwrap().0))
+                / (2.0 * eps);
+            assert!(
+                (dx.data()[i] - fd).abs() < 0.15,
+                "i={i}: {} vs {fd}",
+                dx.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn transformer_block_weight_gradients_check() {
+        let mut block = TransformerBlock::seeded(4, 2, 13);
+        let x =
+            Tensor::from_vec((0..16).map(|i| (i as f32) * 0.05 - 0.4).collect(), &[4, 4]).unwrap();
+        let (y, cache) = block.forward(&x).unwrap();
+        let dy = Tensor::ones(y.dims());
+        let grads = block.weight_grad(&cache, &dy).unwrap();
+        assert_eq!(grads.len(), block.params().len());
+        let eps = 2e-2;
+        for (pi, grad) in grads.iter().enumerate() {
+            let grad = grad.clone();
+            for i in (0..grad.numel()).step_by(11) {
+                let orig = block.params()[pi].data()[i];
+                block.params_mut()[pi].data_mut()[i] = orig + eps;
+                let fp = sum(&block.forward(&x).unwrap().0);
+                block.params_mut()[pi].data_mut()[i] = orig - eps;
+                let fm = sum(&block.forward(&x).unwrap().0);
+                block.params_mut()[pi].data_mut()[i] = orig;
+                let fd = (fp - fm) / (2.0 * eps);
+                assert!(
+                    (grad.data()[i] - fd).abs() < 0.15,
+                    "param {pi}[{i}]: {} vs {fd}",
+                    grad.data()[i]
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Seeded synthetic datasets.
+//!
+//! The paper trains on CIFAR-100, ImageNet, IWSLT, MNLI, and OpenWebText.
+//! Scheduling results do not depend on the data values, so this crate
+//! substitutes deterministic synthetic datasets with the same shapes:
+//! Gaussian-cluster classification problems for the CNN/MLP models and
+//! token sequences for the NLP models (see DESIGN.md, Substitutions).
+
+use ooo_tensor::Tensor;
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A linearly separable-ish classification problem: `n` rows of `dim`
+/// features in `classes` Gaussian clusters. Returns `(features, labels)`.
+pub fn synthetic_classification(
+    seed: u64,
+    n: usize,
+    dim: usize,
+    classes: usize,
+) -> (Tensor, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<Vec<f32>> = (0..classes)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-2.0..2.0)).collect())
+        .collect();
+    let mut data = Vec::with_capacity(n * dim);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let c = i % classes.max(1);
+        labels.push(c);
+        for center in centers[c].iter().take(dim) {
+            data.push(center + rng.gen_range(-0.5..0.5));
+        }
+    }
+    (
+        Tensor::from_vec(data, &[n, dim]).expect("size matches"),
+        labels,
+    )
+}
+
+/// Synthetic image batches in NCHW layout with class-dependent channel
+/// biases, suitable for the CNN models.
+pub fn synthetic_images(
+    seed: u64,
+    n: usize,
+    channels: usize,
+    height: usize,
+    width: usize,
+    classes: usize,
+) -> (Tensor, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = Vec::with_capacity(n * channels * height * width);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let c = i % classes.max(1);
+        labels.push(c);
+        let bias = c as f32 / classes.max(1) as f32 - 0.5;
+        for _ in 0..channels * height * width {
+            data.push(bias + rng.gen_range(-0.5..0.5));
+        }
+    }
+    (
+        Tensor::from_vec(data, &[n, channels, height, width]).expect("size matches"),
+        labels,
+    )
+}
+
+/// Synthetic token sequences for NLP-shaped models: `n` sequences of
+/// `len` token ids below `vocab`.
+pub fn synthetic_tokens(seed: u64, n: usize, len: usize, vocab: usize) -> Vec<Vec<usize>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dist = Uniform::new(0, vocab.max(1));
+    (0..n)
+        .map(|_| (0..len).map(|_| dist.sample(&mut rng)).collect())
+        .collect()
+}
+
+/// Splits `(x, y)` row-wise into equal shards for data-parallel workers;
+/// trailing remainder rows go to the last shard.
+///
+/// # Panics
+///
+/// Panics when `workers == 0`.
+pub fn shard(x: &Tensor, y: &[usize], workers: usize) -> Vec<(Tensor, Vec<usize>)> {
+    assert!(workers > 0, "workers must be positive");
+    let n = x.dims()[0];
+    let row: usize = x.dims().iter().skip(1).product();
+    let per = n / workers;
+    let mut out = Vec::with_capacity(workers);
+    for w in 0..workers {
+        let lo = w * per;
+        let hi = if w + 1 == workers { n } else { lo + per };
+        let mut dims = x.dims().to_vec();
+        dims[0] = hi - lo;
+        let shard_x =
+            Tensor::from_vec(x.data()[lo * row..hi * row].to_vec(), &dims).expect("slice sized");
+        out.push((shard_x, y[lo..hi].to_vec()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_is_deterministic() {
+        let (a, la) = synthetic_classification(1, 10, 4, 3);
+        let (b, lb) = synthetic_classification(1, 10, 4, 3);
+        assert_eq!(a.data(), b.data());
+        assert_eq!(la, lb);
+        let (c, _) = synthetic_classification(2, 10, 4, 3);
+        assert_ne!(a.data(), c.data());
+    }
+
+    #[test]
+    fn labels_cover_all_classes() {
+        let (_, labels) = synthetic_classification(3, 30, 2, 5);
+        for c in 0..5 {
+            assert!(labels.contains(&c));
+        }
+        assert!(labels.iter().all(|&c| c < 5));
+    }
+
+    #[test]
+    fn images_shape() {
+        let (x, y) = synthetic_images(7, 6, 3, 8, 8, 2);
+        assert_eq!(x.dims(), &[6, 3, 8, 8]);
+        assert_eq!(y.len(), 6);
+    }
+
+    #[test]
+    fn tokens_bounded_by_vocab() {
+        let seqs = synthetic_tokens(5, 4, 16, 100);
+        assert_eq!(seqs.len(), 4);
+        assert!(seqs.iter().flatten().all(|&t| t < 100));
+    }
+
+    #[test]
+    fn shard_partitions_rows() {
+        let (x, y) = synthetic_classification(9, 10, 3, 2);
+        let shards = shard(&x, &y, 3);
+        assert_eq!(shards.len(), 3);
+        assert_eq!(shards[0].0.dims(), &[3, 3]);
+        assert_eq!(shards[2].0.dims(), &[4, 3]); // remainder rows
+        let total: usize = shards.iter().map(|(t, _)| t.dims()[0]).sum();
+        assert_eq!(total, 10);
+        // Shard contents match the source rows.
+        assert_eq!(shards[1].0.data(), &x.data()[9..18]);
+        assert_eq!(shards[1].1, &y[3..6]);
+    }
+}

@@ -1,0 +1,67 @@
+//! Error types for the training stack.
+
+use std::fmt;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by layers, networks, and the training loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// An underlying tensor operation failed.
+    Tensor(ooo_tensor::Error),
+    /// A scheduling-graph operation failed.
+    Schedule(ooo_core::Error),
+    /// The backward pass was driven with state missing (e.g. `dW_i`
+    /// requested before the incoming gradient of layer `i` exists).
+    MissingState(String),
+    /// Structural problem (empty network, shape mismatch between layers).
+    Invalid(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Tensor(e) => write!(f, "tensor error: {e}"),
+            Error::Schedule(e) => write!(f, "schedule error: {e}"),
+            Error::MissingState(msg) => write!(f, "missing state: {msg}"),
+            Error::Invalid(msg) => write!(f, "invalid: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Tensor(e) => Some(e),
+            Error::Schedule(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ooo_tensor::Error> for Error {
+    fn from(e: ooo_tensor::Error) -> Self {
+        Error::Tensor(e)
+    }
+}
+
+impl From<ooo_core::Error> for Error {
+    fn from(e: ooo_core::Error) -> Self {
+        Error::Schedule(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_source() {
+        let e: Error = ooo_tensor::Error::InvalidArgument("x".into()).into();
+        assert!(matches!(e, Error::Tensor(_)));
+        assert!(std::error::Error::source(&e).is_some());
+        let e: Error = ooo_core::Error::InvalidConfig("y".into()).into();
+        assert!(e.to_string().contains("schedule"));
+    }
+}

@@ -1,0 +1,983 @@
+//! Layers with split backward passes.
+//!
+//! Every layer exposes up to three kernels, mirroring how the paper's
+//! modified TensorFlow splits the grouped gradient node:
+//!
+//! - [`Layer::forward`] — `F_i`, producing the output and a cache;
+//! - [`Layer::output_grad`] — `dO_i`, the gradient w.r.t. the layer input
+//!   (the critical-path kernel);
+//! - [`Layer::weight_grad`] — `dW_i`, the gradient w.r.t. the parameters
+//!   (the reorderable kernel).
+//!
+//! `output_grad` and `weight_grad` take only the cache and the incoming
+//! gradient; neither reads the other's result, so they may run in either
+//! order or concurrently — the dependency structure of Figure 3 (b).
+
+use crate::error::{Error, Result};
+use ooo_tensor::conv::{conv2d, conv2d_input_grad, conv2d_weight_grad, Conv2dParams};
+use ooo_tensor::ops;
+use ooo_tensor::pool::{global_avg_pool, global_avg_pool_grad, max_pool2d, max_pool2d_grad};
+use ooo_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-invocation state saved by the forward pass for the two backward
+/// kernels.
+pub struct Cache {
+    /// The layer input (needed by most backward kernels).
+    pub input: Tensor,
+    /// Layer-specific extras.
+    pub extra: CacheExtra,
+}
+
+/// Layer-specific cache payloads.
+pub enum CacheExtra {
+    /// Nothing beyond the input.
+    None,
+    /// Argmax indices of a max-pooling window.
+    Argmax(Vec<usize>),
+    /// Normalization state of a LayerNorm: `(normalized, inv_std)`.
+    Norm {
+        /// The normalized activations before scale/shift.
+        normalized: Tensor,
+        /// Per-row `1 / sqrt(var + eps)`.
+        inv_std: Vec<f32>,
+    },
+}
+
+/// A neural-network layer with independently schedulable backward
+/// kernels.
+pub trait Layer: Send + Sync {
+    /// Human-readable layer name.
+    fn name(&self) -> &'static str;
+
+    /// Forward computation `F_i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns tensor errors on shape mismatches.
+    fn forward(&self, input: &Tensor) -> Result<(Tensor, Cache)>;
+
+    /// Input-gradient kernel `dO_i`: gradient w.r.t. the layer input.
+    ///
+    /// # Errors
+    ///
+    /// Returns tensor errors on shape mismatches.
+    fn output_grad(&self, cache: &Cache, grad_out: &Tensor) -> Result<Tensor>;
+
+    /// Weight-gradient kernel `dW_i`: one gradient per parameter tensor
+    /// (empty for parameter-free layers).
+    ///
+    /// # Errors
+    ///
+    /// Returns tensor errors on shape mismatches.
+    fn weight_grad(&self, cache: &Cache, grad_out: &Tensor) -> Result<Vec<Tensor>>;
+
+    /// The layer's parameter tensors.
+    fn params(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    /// Mutable access to the parameter tensors (for the optimizer).
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        Vec::new()
+    }
+
+    /// Whether the layer has parameters (and thus a real `dW_i`).
+    fn has_params(&self) -> bool {
+        !self.params().is_empty()
+    }
+}
+
+/// Fully connected layer: `y = x W + b` with `W: [in, out]`, `b: [out]`.
+pub struct Dense {
+    weight: Tensor,
+    bias: Tensor,
+}
+
+impl Dense {
+    /// Creates a layer with explicit parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Invalid`] when shapes are inconsistent.
+    pub fn new(weight: Tensor, bias: Tensor) -> Result<Self> {
+        if weight.shape().rank() != 2 || bias.dims() != [weight.dims()[1]] {
+            return Err(Error::Invalid(format!(
+                "dense expects W [in,out], b [out]; got {:?} and {:?}",
+                weight.dims(),
+                bias.dims()
+            )));
+        }
+        Ok(Dense { weight, bias })
+    }
+
+    /// Xavier-initialized layer with a fixed seed.
+    pub fn seeded(input: usize, output: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let weight = ooo_tensor::init::xavier(&mut rng, &[input, output], input, output);
+        Dense {
+            weight,
+            bias: Tensor::zeros(&[output]),
+        }
+    }
+
+    /// Input width.
+    pub fn input_dim(&self) -> usize {
+        self.weight.dims()[0]
+    }
+
+    /// Output width.
+    pub fn output_dim(&self) -> usize {
+        self.weight.dims()[1]
+    }
+}
+
+impl Layer for Dense {
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+
+    fn forward(&self, input: &Tensor) -> Result<(Tensor, Cache)> {
+        let y = ops::matmul(input, &self.weight)?;
+        let y = ops::add_row(&y, &self.bias)?;
+        Ok((
+            y,
+            Cache {
+                input: input.clone(),
+                extra: CacheExtra::None,
+            },
+        ))
+    }
+
+    fn output_grad(&self, _cache: &Cache, grad_out: &Tensor) -> Result<Tensor> {
+        // dX = dY × Wᵀ.
+        Ok(ops::matmul_nt(grad_out, &self.weight)?)
+    }
+
+    fn weight_grad(&self, cache: &Cache, grad_out: &Tensor) -> Result<Vec<Tensor>> {
+        // dW = Xᵀ × dY; db = column sums of dY.
+        let dw = ops::matmul_tn(&cache.input, grad_out)?;
+        let db = ops::sum_rows(grad_out)?;
+        Ok(vec![dw, db])
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+}
+
+/// 2-D convolution layer (no bias; batch-norm-style networks fold it).
+pub struct Conv2d {
+    weight: Tensor,
+    params_cfg: Conv2dParams,
+}
+
+impl Conv2d {
+    /// Creates a convolution with explicit weights `[k, c, kh, kw]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Invalid`] for non-rank-4 weights.
+    pub fn new(weight: Tensor, params: Conv2dParams) -> Result<Self> {
+        if weight.shape().rank() != 4 {
+            return Err(Error::Invalid(format!(
+                "conv weight must be rank 4, got {:?}",
+                weight.dims()
+            )));
+        }
+        Ok(Conv2d {
+            weight,
+            params_cfg: params,
+        })
+    }
+
+    /// He-initialized convolution with a fixed seed.
+    pub fn seeded(
+        out_ch: usize,
+        in_ch: usize,
+        kernel: usize,
+        params: Conv2dParams,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let fan_in = in_ch * kernel * kernel;
+        let weight = ooo_tensor::init::he(&mut rng, &[out_ch, in_ch, kernel, kernel], fan_in);
+        Conv2d {
+            weight,
+            params_cfg: params,
+        }
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+
+    fn forward(&self, input: &Tensor) -> Result<(Tensor, Cache)> {
+        let y = conv2d(input, &self.weight, &self.params_cfg)?;
+        Ok((
+            y,
+            Cache {
+                input: input.clone(),
+                extra: CacheExtra::None,
+            },
+        ))
+    }
+
+    fn output_grad(&self, cache: &Cache, grad_out: &Tensor) -> Result<Tensor> {
+        let hw = (cache.input.dims()[2], cache.input.dims()[3]);
+        Ok(conv2d_input_grad(
+            grad_out,
+            &self.weight,
+            hw,
+            &self.params_cfg,
+        )?)
+    }
+
+    fn weight_grad(&self, cache: &Cache, grad_out: &Tensor) -> Result<Vec<Tensor>> {
+        let k = (self.weight.dims()[2], self.weight.dims()[3]);
+        Ok(vec![conv2d_weight_grad(
+            &cache.input,
+            grad_out,
+            k,
+            &self.params_cfg,
+        )?])
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        vec![&self.weight]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.weight]
+    }
+}
+
+/// ReLU activation.
+#[derive(Default)]
+pub struct Relu;
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Relu
+    }
+}
+
+impl Layer for Relu {
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+
+    fn forward(&self, input: &Tensor) -> Result<(Tensor, Cache)> {
+        Ok((
+            ops::relu(input),
+            Cache {
+                input: input.clone(),
+                extra: CacheExtra::None,
+            },
+        ))
+    }
+
+    fn output_grad(&self, cache: &Cache, grad_out: &Tensor) -> Result<Tensor> {
+        Ok(ops::relu_grad(&cache.input, grad_out)?)
+    }
+
+    fn weight_grad(&self, _cache: &Cache, _grad_out: &Tensor) -> Result<Vec<Tensor>> {
+        Ok(Vec::new())
+    }
+}
+
+/// GELU activation (BERT/GPT-style networks).
+#[derive(Default)]
+pub struct Gelu;
+
+impl Gelu {
+    /// Creates a GELU layer.
+    pub fn new() -> Self {
+        Gelu
+    }
+}
+
+impl Layer for Gelu {
+    fn name(&self) -> &'static str {
+        "gelu"
+    }
+
+    fn forward(&self, input: &Tensor) -> Result<(Tensor, Cache)> {
+        Ok((
+            ops::gelu(input),
+            Cache {
+                input: input.clone(),
+                extra: CacheExtra::None,
+            },
+        ))
+    }
+
+    fn output_grad(&self, cache: &Cache, grad_out: &Tensor) -> Result<Tensor> {
+        Ok(ops::gelu_grad(&cache.input, grad_out)?)
+    }
+
+    fn weight_grad(&self, _cache: &Cache, _grad_out: &Tensor) -> Result<Vec<Tensor>> {
+        Ok(Vec::new())
+    }
+}
+
+/// Max pooling over square windows.
+pub struct MaxPool2d {
+    kernel: usize,
+    params_cfg: Conv2dParams,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pooling layer with window `kernel` and the given
+    /// stride/padding.
+    pub fn new(kernel: usize, params: Conv2dParams) -> Self {
+        MaxPool2d {
+            kernel,
+            params_cfg: params,
+        }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn name(&self) -> &'static str {
+        "max_pool2d"
+    }
+
+    fn forward(&self, input: &Tensor) -> Result<(Tensor, Cache)> {
+        let (y, arg) = max_pool2d(input, self.kernel, &self.params_cfg)?;
+        Ok((
+            y,
+            Cache {
+                input: input.clone(),
+                extra: CacheExtra::Argmax(arg),
+            },
+        ))
+    }
+
+    fn output_grad(&self, cache: &Cache, grad_out: &Tensor) -> Result<Tensor> {
+        let CacheExtra::Argmax(arg) = &cache.extra else {
+            return Err(Error::MissingState("max-pool cache has no argmax".into()));
+        };
+        Ok(max_pool2d_grad(grad_out, arg, cache.input.dims())?)
+    }
+
+    fn weight_grad(&self, _cache: &Cache, _grad_out: &Tensor) -> Result<Vec<Tensor>> {
+        Ok(Vec::new())
+    }
+}
+
+/// Global average pooling `[n,c,h,w] -> [n,c]`.
+#[derive(Default)]
+pub struct GlobalAvgPool;
+
+impl GlobalAvgPool {
+    /// Creates a global-average-pool layer.
+    pub fn new() -> Self {
+        GlobalAvgPool
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn name(&self) -> &'static str {
+        "global_avg_pool"
+    }
+
+    fn forward(&self, input: &Tensor) -> Result<(Tensor, Cache)> {
+        let y = global_avg_pool(input)?;
+        Ok((
+            y,
+            Cache {
+                input: input.clone(),
+                extra: CacheExtra::None,
+            },
+        ))
+    }
+
+    fn output_grad(&self, cache: &Cache, grad_out: &Tensor) -> Result<Tensor> {
+        Ok(global_avg_pool_grad(grad_out, cache.input.dims())?)
+    }
+
+    fn weight_grad(&self, _cache: &Cache, _grad_out: &Tensor) -> Result<Vec<Tensor>> {
+        Ok(Vec::new())
+    }
+}
+
+/// Flattens `[n, ...] -> [n, prod(...)]`.
+#[derive(Default)]
+pub struct Flatten;
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten
+    }
+}
+
+impl Layer for Flatten {
+    fn name(&self) -> &'static str {
+        "flatten"
+    }
+
+    fn forward(&self, input: &Tensor) -> Result<(Tensor, Cache)> {
+        let n = input.dims().first().copied().unwrap_or(1);
+        let rest: usize = input.dims().iter().skip(1).product();
+        let y = input.reshape(&[n, rest])?;
+        Ok((
+            y,
+            Cache {
+                input: input.clone(),
+                extra: CacheExtra::None,
+            },
+        ))
+    }
+
+    fn output_grad(&self, cache: &Cache, grad_out: &Tensor) -> Result<Tensor> {
+        Ok(grad_out.reshape(cache.input.dims())?)
+    }
+
+    fn weight_grad(&self, _cache: &Cache, _grad_out: &Tensor) -> Result<Vec<Tensor>> {
+        Ok(Vec::new())
+    }
+}
+
+/// Layer normalization over the last dimension, with scale and shift.
+pub struct LayerNorm {
+    gamma: Tensor,
+    beta: Tensor,
+    eps: f32,
+}
+
+impl LayerNorm {
+    /// Creates a LayerNorm over feature width `dim`.
+    pub fn new(dim: usize) -> Self {
+        LayerNorm {
+            gamma: Tensor::ones(&[dim]),
+            beta: Tensor::zeros(&[dim]),
+            eps: 1e-5,
+        }
+    }
+}
+
+#[allow(clippy::needless_range_loop)] // row/column indices mirror the math
+impl Layer for LayerNorm {
+    fn name(&self) -> &'static str {
+        "layer_norm"
+    }
+
+    fn forward(&self, input: &Tensor) -> Result<(Tensor, Cache)> {
+        if input.shape().rank() != 2 {
+            return Err(Error::Invalid("layer_norm expects [rows, dim]".into()));
+        }
+        let (m, n) = (input.dims()[0], input.dims()[1]);
+        if n != self.gamma.numel() {
+            return Err(Error::Invalid(format!(
+                "layer_norm dim {} != input width {n}",
+                self.gamma.numel()
+            )));
+        }
+        let mut normalized = Tensor::zeros(&[m, n]);
+        let mut inv_std = vec![0.0f32; m];
+        let mut out = Tensor::zeros(&[m, n]);
+        for r in 0..m {
+            let row = &input.data()[r * n..(r + 1) * n];
+            let mean: f32 = row.iter().sum::<f32>() / n as f32;
+            let var: f32 = row.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+            let is = 1.0 / (var + self.eps).sqrt();
+            inv_std[r] = is;
+            for c in 0..n {
+                let nv = (row[c] - mean) * is;
+                normalized.data_mut()[r * n + c] = nv;
+                out.data_mut()[r * n + c] = nv * self.gamma.data()[c] + self.beta.data()[c];
+            }
+        }
+        Ok((
+            out,
+            Cache {
+                input: input.clone(),
+                extra: CacheExtra::Norm {
+                    normalized,
+                    inv_std,
+                },
+            },
+        ))
+    }
+
+    fn output_grad(&self, cache: &Cache, grad_out: &Tensor) -> Result<Tensor> {
+        let CacheExtra::Norm {
+            normalized,
+            inv_std,
+        } = &cache.extra
+        else {
+            return Err(Error::MissingState(
+                "layer_norm cache has no norm state".into(),
+            ));
+        };
+        let (m, n) = (grad_out.dims()[0], grad_out.dims()[1]);
+        let mut dx = Tensor::zeros(&[m, n]);
+        for r in 0..m {
+            // dxhat = dy * gamma; dx = inv_std/n * (n*dxhat - sum(dxhat)
+            //         - xhat * sum(dxhat * xhat)).
+            let dy = &grad_out.data()[r * n..(r + 1) * n];
+            let xh = &normalized.data()[r * n..(r + 1) * n];
+            let mut s1 = 0.0f32;
+            let mut s2 = 0.0f32;
+            for c in 0..n {
+                let dxh = dy[c] * self.gamma.data()[c];
+                s1 += dxh;
+                s2 += dxh * xh[c];
+            }
+            let is = inv_std[r];
+            for c in 0..n {
+                let dxh = dy[c] * self.gamma.data()[c];
+                dx.data_mut()[r * n + c] = is / n as f32 * (n as f32 * dxh - s1 - xh[c] * s2);
+            }
+        }
+        Ok(dx)
+    }
+
+    fn weight_grad(&self, cache: &Cache, grad_out: &Tensor) -> Result<Vec<Tensor>> {
+        let CacheExtra::Norm { normalized, .. } = &cache.extra else {
+            return Err(Error::MissingState(
+                "layer_norm cache has no norm state".into(),
+            ));
+        };
+        let dgamma = ops::sum_rows(&ops::mul(grad_out, normalized)?)?;
+        let dbeta = ops::sum_rows(grad_out)?;
+        Ok(vec![dgamma, dbeta])
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        vec![&self.gamma, &self.beta]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite_diff_input<L: Layer>(layer: &L, x: &Tensor) {
+        let (y, cache) = layer.forward(x).unwrap();
+        let dy = Tensor::ones(y.dims());
+        let dx = layer.output_grad(&cache, &dy).unwrap();
+        let eps = 1e-2;
+        for i in 0..x.numel() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let fp = ops::sum(&layer.forward(&xp).unwrap().0);
+            let fm = ops::sum(&layer.forward(&xm).unwrap().0);
+            let fd = (fp - fm) / (2.0 * eps);
+            assert!(
+                (dx.data()[i] - fd).abs() < 2e-2,
+                "{}: dx[{i}] = {} vs fd {fd}",
+                layer.name(),
+                dx.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn dense_shapes_and_gradients() {
+        let layer = Dense::seeded(3, 5, 11);
+        let x = Tensor::from_vec(vec![0.5, -0.2, 0.1, 1.0, 0.3, -0.7], &[2, 3]).unwrap();
+        let (y, cache) = layer.forward(&x).unwrap();
+        assert_eq!(y.dims(), &[2, 5]);
+        finite_diff_input(&layer, &x);
+        // Weight gradient against finite differences.
+        let dy = Tensor::ones(&[2, 5]);
+        let grads = layer.weight_grad(&cache, &dy).unwrap();
+        assert_eq!(grads.len(), 2);
+        assert_eq!(grads[0].dims(), &[3, 5]);
+        assert_eq!(grads[1].dims(), &[5]);
+        // db is the column sums of dY = all 2s for ones input grad.
+        assert!(grads[1].data().iter().all(|&g| (g - 2.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn dense_rejects_bad_shapes() {
+        assert!(Dense::new(Tensor::zeros(&[3, 4]), Tensor::zeros(&[5])).is_err());
+        assert!(Dense::new(Tensor::zeros(&[3]), Tensor::zeros(&[3])).is_err());
+        assert!(Dense::new(Tensor::zeros(&[3, 4]), Tensor::zeros(&[4])).is_ok());
+    }
+
+    #[test]
+    fn relu_gelu_gradients() {
+        // Keep inputs away from ReLU's kink at 0 where the finite
+        // difference straddles the non-differentiable point.
+        let x = Tensor::from_vec(vec![-1.5, -0.1, 0.2, 0.4, 2.0, -3.0], &[2, 3]).unwrap();
+        finite_diff_input(&Relu::new(), &x);
+        finite_diff_input(&Gelu::new(), &x);
+    }
+
+    #[test]
+    fn conv_layer_gradients() {
+        let layer = Conv2d::seeded(
+            2,
+            1,
+            3,
+            Conv2dParams {
+                stride: 1,
+                padding: 1,
+            },
+            5,
+        );
+        let x = Tensor::from_vec(
+            (0..16).map(|i| (i as f32) * 0.1 - 0.8).collect(),
+            &[1, 1, 4, 4],
+        )
+        .unwrap();
+        finite_diff_input(&layer, &x);
+        let (_, cache) = layer.forward(&x).unwrap();
+        let dy = Tensor::ones(&[1, 2, 4, 4]);
+        let grads = layer.weight_grad(&cache, &dy).unwrap();
+        assert_eq!(grads.len(), 1);
+        assert_eq!(grads[0].dims(), &[2, 1, 3, 3]);
+    }
+
+    #[test]
+    fn pooling_layers() {
+        let x = Tensor::from_vec(
+            (0..32).map(|i| ((i * 7 % 11) as f32) - 5.0).collect(),
+            &[1, 2, 4, 4],
+        )
+        .unwrap();
+        let mp = MaxPool2d::new(
+            2,
+            Conv2dParams {
+                stride: 2,
+                padding: 0,
+            },
+        );
+        let (y, cache) = mp.forward(&x).unwrap();
+        assert_eq!(y.dims(), &[1, 2, 2, 2]);
+        let dy = Tensor::ones(y.dims());
+        let dx = mp.output_grad(&cache, &dy).unwrap();
+        assert_eq!(ops::sum(&dx), 8.0);
+        let gap = GlobalAvgPool::new();
+        let (y, cache) = gap.forward(&x).unwrap();
+        assert_eq!(y.dims(), &[1, 2]);
+        let dy = Tensor::ones(&[1, 2]);
+        let dx = gap.output_grad(&cache, &dy).unwrap();
+        assert!((ops::sum(&dx) - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn flatten_round_trips() {
+        let x = Tensor::ones(&[2, 3, 4]);
+        let f = Flatten::new();
+        let (y, cache) = f.forward(&x).unwrap();
+        assert_eq!(y.dims(), &[2, 12]);
+        let dx = f.output_grad(&cache, &y).unwrap();
+        assert_eq!(dx.dims(), &[2, 3, 4]);
+    }
+
+    #[test]
+    fn layer_norm_normalizes_and_gradients_check() {
+        let ln = LayerNorm::new(4);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, -2.0, 0.0, 2.0, 8.0], &[2, 4]).unwrap();
+        let (y, _) = ln.forward(&x).unwrap();
+        // Each output row has ~zero mean and ~unit variance (gamma=1,
+        // beta=0).
+        for r in 0..2 {
+            let row = &y.data()[r * 4..(r + 1) * 4];
+            let mean: f32 = row.iter().sum::<f32>() / 4.0;
+            let var: f32 = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5);
+            assert!((var - 1.0).abs() < 1e-3);
+        }
+        finite_diff_input(&ln, &x);
+    }
+
+    #[test]
+    fn layer_norm_weight_grads() {
+        let ln = LayerNorm::new(3);
+        let x = Tensor::from_vec(vec![1.0, -1.0, 0.5, 2.0, 0.0, -2.0], &[2, 3]).unwrap();
+        let (y, cache) = ln.forward(&x).unwrap();
+        let dy = Tensor::ones(y.dims());
+        let grads = ln.weight_grad(&cache, &dy).unwrap();
+        assert_eq!(grads.len(), 2);
+        // dbeta = column sums of ones = 2.
+        assert!(grads[1].data().iter().all(|&g| (g - 2.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn parameter_free_layers_report_no_params() {
+        assert!(!Relu::new().has_params());
+        assert!(!Flatten::new().has_params());
+        assert!(Dense::seeded(2, 2, 0).has_params());
+        assert!(Relu::new()
+            .weight_grad(
+                &Cache {
+                    input: Tensor::zeros(&[1]),
+                    extra: CacheExtra::None
+                },
+                &Tensor::zeros(&[1])
+            )
+            .unwrap()
+            .is_empty());
+    }
+}
+
+/// Batch normalization over NCHW feature maps (training mode: batch
+/// statistics), with learnable scale and shift per channel.
+pub struct BatchNorm2d {
+    gamma: Tensor,
+    beta: Tensor,
+    eps: f32,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer over `channels` feature maps.
+    pub fn new(channels: usize) -> Self {
+        BatchNorm2d {
+            gamma: Tensor::ones(&[channels]),
+            beta: Tensor::zeros(&[channels]),
+            eps: 1e-5,
+        }
+    }
+
+    fn stats(&self, input: &Tensor) -> Result<(Vec<f32>, Vec<f32>)> {
+        if input.shape().rank() != 4 || input.dims()[1] != self.gamma.numel() {
+            return Err(Error::Invalid(format!(
+                "batch_norm expects [n, {}, h, w]; got {:?}",
+                self.gamma.numel(),
+                input.dims()
+            )));
+        }
+        let (n, c, h, w) = (
+            input.dims()[0],
+            input.dims()[1],
+            input.dims()[2],
+            input.dims()[3],
+        );
+        let per = (n * h * w) as f32;
+        let mut mean = vec![0.0f32; c];
+        let mut var = vec![0.0f32; c];
+        for b in 0..n {
+            for ch in 0..c {
+                let base = (b * c + ch) * h * w;
+                for &v in &input.data()[base..base + h * w] {
+                    mean[ch] += v;
+                }
+            }
+        }
+        for m in &mut mean {
+            *m /= per;
+        }
+        for b in 0..n {
+            for ch in 0..c {
+                let base = (b * c + ch) * h * w;
+                for &v in &input.data()[base..base + h * w] {
+                    var[ch] += (v - mean[ch]) * (v - mean[ch]);
+                }
+            }
+        }
+        for v in &mut var {
+            *v /= per;
+        }
+        Ok((mean, var))
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn name(&self) -> &'static str {
+        "batch_norm2d"
+    }
+
+    fn forward(&self, input: &Tensor) -> Result<(Tensor, Cache)> {
+        let (mean, var) = self.stats(input)?;
+        let (n, c, h, w) = (
+            input.dims()[0],
+            input.dims()[1],
+            input.dims()[2],
+            input.dims()[3],
+        );
+        let mut normalized = Tensor::zeros(input.dims());
+        let mut out = Tensor::zeros(input.dims());
+        let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+        for b in 0..n {
+            for ch in 0..c {
+                let base = (b * c + ch) * h * w;
+                for i in base..base + h * w {
+                    let nv = (input.data()[i] - mean[ch]) * inv_std[ch];
+                    normalized.data_mut()[i] = nv;
+                    out.data_mut()[i] = nv * self.gamma.data()[ch] + self.beta.data()[ch];
+                }
+            }
+        }
+        Ok((
+            out,
+            Cache {
+                input: input.clone(),
+                extra: CacheExtra::Norm {
+                    normalized,
+                    inv_std,
+                },
+            },
+        ))
+    }
+
+    fn output_grad(&self, cache: &Cache, grad_out: &Tensor) -> Result<Tensor> {
+        let CacheExtra::Norm {
+            normalized,
+            inv_std,
+        } = &cache.extra
+        else {
+            return Err(Error::MissingState("batch_norm cache missing".into()));
+        };
+        let (n, c, h, w) = (
+            cache.input.dims()[0],
+            cache.input.dims()[1],
+            cache.input.dims()[2],
+            cache.input.dims()[3],
+        );
+        let per = (n * h * w) as f32;
+        // Standard batch-norm backward:
+        // dx = gamma * inv_std / m * (m*dxhat - sum(dxhat) - xhat * sum(dxhat*xhat)).
+        let mut s1 = vec![0.0f32; c];
+        let mut s2 = vec![0.0f32; c];
+        for b in 0..n {
+            for ch in 0..c {
+                let base = (b * c + ch) * h * w;
+                for i in base..base + h * w {
+                    s1[ch] += grad_out.data()[i];
+                    s2[ch] += grad_out.data()[i] * normalized.data()[i];
+                }
+            }
+        }
+        let mut dx = Tensor::zeros(cache.input.dims());
+        for b in 0..n {
+            for ch in 0..c {
+                let base = (b * c + ch) * h * w;
+                let g = self.gamma.data()[ch];
+                for i in base..base + h * w {
+                    dx.data_mut()[i] = g * inv_std[ch] / per
+                        * (per * grad_out.data()[i] - s1[ch] - normalized.data()[i] * s2[ch]);
+                }
+            }
+        }
+        Ok(dx)
+    }
+
+    fn weight_grad(&self, cache: &Cache, grad_out: &Tensor) -> Result<Vec<Tensor>> {
+        let CacheExtra::Norm { normalized, .. } = &cache.extra else {
+            return Err(Error::MissingState("batch_norm cache missing".into()));
+        };
+        let (n, c, h, w) = (
+            cache.input.dims()[0],
+            cache.input.dims()[1],
+            cache.input.dims()[2],
+            cache.input.dims()[3],
+        );
+        let mut dgamma = Tensor::zeros(&[c]);
+        let mut dbeta = Tensor::zeros(&[c]);
+        for b in 0..n {
+            for ch in 0..c {
+                let base = (b * c + ch) * h * w;
+                for i in base..base + h * w {
+                    dgamma.data_mut()[ch] += grad_out.data()[i] * normalized.data()[i];
+                    dbeta.data_mut()[ch] += grad_out.data()[i];
+                }
+            }
+        }
+        Ok(vec![dgamma, dbeta])
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        vec![&self.gamma, &self.beta]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+}
+
+#[cfg(test)]
+mod batch_norm_tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_per_channel() {
+        let bn = BatchNorm2d::new(2);
+        let x = Tensor::from_vec((0..16).map(|i| i as f32).collect(), &[2, 2, 2, 2]).unwrap();
+        let (y, _) = bn.forward(&x).unwrap();
+        // Per channel over (batch, h, w): mean ~0, var ~1.
+        for ch in 0..2 {
+            let mut vals = Vec::new();
+            for b in 0..2 {
+                let base = (b * 2 + ch) * 4;
+                vals.extend_from_slice(&y.data()[base..base + 4]);
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "ch {ch} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "ch {ch} var {var}");
+        }
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let bn = BatchNorm2d::new(1);
+        let x = Tensor::from_vec(
+            (0..8).map(|i| ((i * 3 % 5) as f32) * 0.3 - 0.6).collect(),
+            &[2, 1, 2, 2],
+        )
+        .unwrap();
+        let (y, cache) = bn.forward(&x).unwrap();
+        // Use a non-uniform upstream gradient: sum(y) has zero gradient
+        // through normalization by construction.
+        let dy = Tensor::from_vec((0..8).map(|i| (i as f32) * 0.1).collect(), y.dims()).unwrap();
+        let dx = bn.output_grad(&cache, &dy).unwrap();
+        let loss = |bn: &BatchNorm2d, x: &Tensor| -> f32 {
+            let (y, _) = bn.forward(x).unwrap();
+            y.data().iter().zip(dy.data()).map(|(a, b)| a * b).sum()
+        };
+        let eps = 1e-2;
+        for i in 0..x.numel() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let fd = (loss(&bn, &xp) - loss(&bn, &xm)) / (2.0 * eps);
+            assert!(
+                (dx.data()[i] - fd).abs() < 5e-2,
+                "i={i}: {} vs {fd}",
+                dx.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn weight_gradients_sum_correctly() {
+        let bn = BatchNorm2d::new(2);
+        let x = Tensor::from_vec((0..16).map(|i| i as f32 * 0.2).collect(), &[2, 2, 2, 2]).unwrap();
+        let (y, cache) = bn.forward(&x).unwrap();
+        let dy = Tensor::ones(y.dims());
+        let grads = bn.weight_grad(&cache, &dy).unwrap();
+        // dbeta = count per channel = 8.
+        assert!(grads[1].data().iter().all(|&g| (g - 8.0).abs() < 1e-5));
+        // dgamma = sum of normalized values = ~0 for symmetric data.
+        assert!(grads[0].data().iter().all(|&g| g.abs() < 1e-3));
+    }
+
+    #[test]
+    fn shape_validation() {
+        let bn = BatchNorm2d::new(3);
+        assert!(bn.forward(&Tensor::zeros(&[2, 2, 2, 2])).is_err());
+        assert!(bn.forward(&Tensor::zeros(&[2, 3])).is_err());
+    }
+}

@@ -1,0 +1,57 @@
+//! # ooo-nn — a training stack with schedulable backward passes
+//!
+//! Conventional frameworks fuse each layer's two backward computations
+//! (input gradient and weight gradient) into one unit, fixing the
+//! backward execution order. This crate keeps them separate: every
+//! [`layers::Layer`] exposes `output_grad` and `weight_grad` as
+//! independent kernels, and [`network::Sequential::backward_with_order`]
+//! executes a backward pass in **any order validated against the
+//! `ooo-core` dependency graph**.
+//!
+//! Because each kernel's internal computation is fixed and deterministic,
+//! reordering kernels cannot change any floating-point result — the crate
+//! proves the paper's semantics-preservation claim *numerically*: the
+//! conventional order, gradient fast-forwarding, reverse first-k, and
+//! arbitrary random valid orders all produce bitwise-identical gradients,
+//! updates, and losses (see the schedule-equivalence tests and the
+//! `schedule_equivalence` integration test).
+//!
+//! # Example
+//!
+//! ```
+//! use ooo_nn::layers::{Dense, Relu};
+//! use ooo_nn::network::Sequential;
+//! use ooo_nn::optim::Sgd;
+//! use ooo_nn::data::synthetic_classification;
+//!
+//! let mut net = Sequential::new();
+//! net.push(Dense::seeded(4, 16, 1));
+//! net.push(Relu::new());
+//! net.push(Dense::seeded(16, 3, 2));
+//!
+//! let (x, y) = synthetic_classification(42, 8, 4, 3);
+//! let mut opt = Sgd::new(0.1);
+//! let graph = net.train_graph();
+//! let order = graph.fast_forward_backprop(); // an ooo schedule
+//! let loss = net.train_step(&x, &y, &order, &mut opt).unwrap();
+//! assert!(loss.is_finite());
+//! ```
+
+#![warn(missing_docs)]
+// Index-based loops mirror the papers' subscripted formulas in the
+// numeric kernels; iterator rewrites would obscure them.
+#![allow(clippy::needless_range_loop)]
+
+pub mod composite;
+pub mod data;
+pub mod error;
+pub mod layers;
+pub mod metrics;
+pub mod network;
+pub mod nlp;
+pub mod optim;
+pub mod parallel;
+pub mod trainer;
+
+pub use error::{Error, Result};
+pub use network::Sequential;

@@ -1,0 +1,220 @@
+//! Evaluation metrics: accuracy, top-k, and per-class statistics.
+
+use crate::error::{Error, Result};
+use ooo_tensor::Tensor;
+
+/// Predicted class per row (argmax over logits).
+///
+/// # Errors
+///
+/// Returns [`Error::Invalid`] for non-matrix logits.
+pub fn predictions(logits: &Tensor) -> Result<Vec<usize>> {
+    if logits.shape().rank() != 2 {
+        return Err(Error::Invalid("logits must be [rows, classes]".into()));
+    }
+    let (rows, classes) = (logits.dims()[0], logits.dims()[1]);
+    let mut out = Vec::with_capacity(rows);
+    for r in 0..rows {
+        let row = &logits.data()[r * classes..(r + 1) * classes];
+        let pred = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        out.push(pred);
+    }
+    Ok(out)
+}
+
+/// Top-1 accuracy in `[0, 1]`.
+///
+/// # Errors
+///
+/// Returns [`Error::Invalid`] on shape/label mismatches.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> Result<f32> {
+    let preds = predictions(logits)?;
+    if preds.len() != labels.len() {
+        return Err(Error::Invalid(format!(
+            "{} predictions for {} labels",
+            preds.len(),
+            labels.len()
+        )));
+    }
+    if preds.is_empty() {
+        return Ok(0.0);
+    }
+    let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
+    Ok(correct as f32 / preds.len() as f32)
+}
+
+/// Top-k accuracy: the true label appears among the k highest logits.
+///
+/// # Errors
+///
+/// Returns [`Error::Invalid`] on shape/label mismatches or `k == 0`.
+pub fn top_k_accuracy(logits: &Tensor, labels: &[usize], k: usize) -> Result<f32> {
+    if logits.shape().rank() != 2 {
+        return Err(Error::Invalid("logits must be [rows, classes]".into()));
+    }
+    if k == 0 {
+        return Err(Error::Invalid("k must be positive".into()));
+    }
+    let (rows, classes) = (logits.dims()[0], logits.dims()[1]);
+    if labels.len() != rows {
+        return Err(Error::Invalid(format!(
+            "{} labels for {rows} rows",
+            labels.len()
+        )));
+    }
+    if rows == 0 {
+        return Ok(0.0);
+    }
+    let mut hits = 0usize;
+    for (r, &label) in labels.iter().enumerate() {
+        let row = &logits.data()[r * classes..(r + 1) * classes];
+        let mut idx: Vec<usize> = (0..classes).collect();
+        idx.sort_by(|&a, &b| {
+            row[b]
+                .partial_cmp(&row[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        if idx.iter().take(k.min(classes)).any(|&i| i == label) {
+            hits += 1;
+        }
+    }
+    Ok(hits as f32 / rows as f32)
+}
+
+/// A confusion matrix: `matrix[true][predicted]` counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    counts: Vec<u32>,
+}
+
+impl ConfusionMatrix {
+    /// Builds the matrix from logits and labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Invalid`] on mismatched inputs or out-of-range
+    /// labels.
+    pub fn from_logits(logits: &Tensor, labels: &[usize]) -> Result<Self> {
+        let classes = logits.dims().get(1).copied().unwrap_or(0);
+        let preds = predictions(logits)?;
+        if preds.len() != labels.len() {
+            return Err(Error::Invalid("prediction/label count mismatch".into()));
+        }
+        let mut counts = vec![0u32; classes * classes];
+        for (&p, &t) in preds.iter().zip(labels) {
+            if t >= classes {
+                return Err(Error::Invalid(format!(
+                    "label {t} out of {classes} classes"
+                )));
+            }
+            counts[t * classes + p] += 1;
+        }
+        Ok(ConfusionMatrix { classes, counts })
+    }
+
+    /// Count of `(true_class, predicted_class)` pairs.
+    pub fn count(&self, true_class: usize, predicted: usize) -> u32 {
+        self.counts[true_class * self.classes + predicted]
+    }
+
+    /// Per-class recall (`None` for classes without examples).
+    pub fn recall(&self, class: usize) -> Option<f32> {
+        let row = &self.counts[class * self.classes..(class + 1) * self.classes];
+        let total: u32 = row.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        Some(self.count(class, class) as f32 / total as f32)
+    }
+
+    /// Per-class precision (`None` for classes never predicted).
+    pub fn precision(&self, class: usize) -> Option<f32> {
+        let total: u32 = (0..self.classes).map(|t| self.count(t, class)).sum();
+        if total == 0 {
+            return None;
+        }
+        Some(self.count(class, class) as f32 / total as f32)
+    }
+
+    /// Overall accuracy from the matrix.
+    pub fn accuracy(&self) -> f32 {
+        let total: u32 = self.counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let diag: u32 = (0..self.classes).map(|c| self.count(c, c)).sum();
+        diag as f32 / total as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn logits(rows: &[&[f32]]) -> Tensor {
+        let classes = rows[0].len();
+        let data: Vec<f32> = rows.iter().flat_map(|r| r.iter().copied()).collect();
+        Tensor::from_vec(data, &[rows.len(), classes]).unwrap()
+    }
+
+    #[test]
+    fn predictions_take_argmax() {
+        let l = logits(&[&[0.1, 0.9, 0.0], &[2.0, 1.0, 1.5]]);
+        assert_eq!(predictions(&l).unwrap(), vec![1, 0]);
+        assert!(predictions(&Tensor::zeros(&[3])).is_err());
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let l = logits(&[&[0.9, 0.1], &[0.2, 0.8], &[0.6, 0.4], &[0.3, 0.7]]);
+        assert_eq!(accuracy(&l, &[0, 1, 1, 1]).unwrap(), 0.75);
+        assert!(accuracy(&l, &[0]).is_err());
+    }
+
+    #[test]
+    fn top_k_grows_with_k() {
+        let l = logits(&[&[0.5, 0.3, 0.2], &[0.1, 0.2, 0.7]]);
+        // Labels are second-best in both rows.
+        let labels = [1usize, 1];
+        assert_eq!(top_k_accuracy(&l, &labels, 1).unwrap(), 0.0);
+        assert_eq!(top_k_accuracy(&l, &labels, 2).unwrap(), 1.0);
+        assert_eq!(top_k_accuracy(&l, &labels, 5).unwrap(), 1.0);
+        assert!(top_k_accuracy(&l, &labels, 0).is_err());
+    }
+
+    #[test]
+    fn confusion_matrix_statistics() {
+        // True labels: 0,0,1,1; predictions: 0,1,1,1.
+        let l = logits(&[&[0.9, 0.1], &[0.2, 0.8], &[0.1, 0.9], &[0.4, 0.6]]);
+        let cm = ConfusionMatrix::from_logits(&l, &[0, 0, 1, 1]).unwrap();
+        assert_eq!(cm.count(0, 0), 1);
+        assert_eq!(cm.count(0, 1), 1);
+        assert_eq!(cm.count(1, 1), 2);
+        assert_eq!(cm.recall(0), Some(0.5));
+        assert_eq!(cm.recall(1), Some(1.0));
+        assert_eq!(cm.precision(0), Some(1.0));
+        assert_eq!(cm.precision(1), Some(2.0 / 3.0));
+        assert_eq!(cm.accuracy(), 0.75);
+    }
+
+    #[test]
+    fn confusion_matrix_validates_labels() {
+        let l = logits(&[&[0.9, 0.1]]);
+        assert!(ConfusionMatrix::from_logits(&l, &[2]).is_err());
+        assert!(ConfusionMatrix::from_logits(&l, &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn empty_class_statistics_are_none() {
+        let l = logits(&[&[0.9, 0.1]]);
+        let cm = ConfusionMatrix::from_logits(&l, &[0]).unwrap();
+        assert_eq!(cm.recall(1), None);
+        assert_eq!(cm.precision(1), None);
+    }
+}

@@ -1,0 +1,389 @@
+//! Sequential networks whose backward pass executes under an arbitrary
+//! valid schedule.
+//!
+//! [`Sequential::train_step`] takes an explicit operation order (any
+//! linearization of the `ooo-core` dependency graph — conventional,
+//! fast-forwarded, reverse first-k, or randomly shuffled-but-valid) and
+//! drives the layers' split backward kernels in exactly that order. The
+//! per-kernel computations are fixed, so **every valid order produces
+//! bitwise-identical results** — the numerically checkable version of the
+//! paper's claim that ooo backprop does not change training semantics.
+
+use crate::error::{Error, Result};
+use crate::layers::{Cache, Layer};
+use crate::optim::Optimizer;
+use ooo_core::graph::{GraphConfig, TrainGraph};
+use ooo_core::op::{LayerId, Op};
+use ooo_core::schedule::validate_partial_order;
+use ooo_tensor::ops::softmax_cross_entropy;
+use ooo_tensor::Tensor;
+
+/// A feed-forward stack of layers with schedulable backward execution.
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+/// Gradients produced by one backward pass: `grads[i]` holds layer `i`'s
+/// parameter gradients (empty for parameter-free layers).
+pub type Grads = Vec<Vec<Tensor>>;
+
+impl Sequential {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Sequential::default()
+    }
+
+    /// Appends a layer.
+    pub fn push<L: Layer + 'static>(&mut self, layer: L) {
+        self.layers.push(Box::new(layer));
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the network has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Layer names in order.
+    pub fn layer_names(&self) -> Vec<&'static str> {
+        self.layers.iter().map(|l| l.name()).collect()
+    }
+
+    /// The scheduling graph of one training iteration for this network
+    /// (single-GPU shape: no synchronization ops).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the network is empty.
+    pub fn train_graph(&self) -> TrainGraph {
+        TrainGraph::new(GraphConfig::single_gpu(self.layers.len())).expect("non-empty network")
+    }
+
+    /// Runs the forward pass, returning the logits and per-layer caches.
+    ///
+    /// # Errors
+    ///
+    /// Returns layer errors on shape mismatches, or [`Error::Invalid`] for
+    /// an empty network.
+    pub fn forward(&self, input: &Tensor) -> Result<(Tensor, Vec<Cache>)> {
+        if self.layers.is_empty() {
+            return Err(Error::Invalid("forward on an empty network".into()));
+        }
+        let mut caches = Vec::with_capacity(self.layers.len());
+        let mut x = input.clone();
+        for layer in &self.layers {
+            let (y, cache) = layer.forward(&x)?;
+            caches.push(cache);
+            x = y;
+        }
+        Ok((x, caches))
+    }
+
+    /// Computes the loss and parameter gradients of one batch, executing
+    /// the backward pass **in the given operation order**.
+    ///
+    /// `order` may be a full iteration order or backward-only; `Forward`,
+    /// `Update`, and synchronization operations are ignored here (updates
+    /// are applied by [`Sequential::train_step`]). The order is validated
+    /// against the network's dependency graph first.
+    ///
+    /// # Errors
+    ///
+    /// Returns validation errors for invalid orders and layer errors for
+    /// shape problems.
+    pub fn grads_with_order(
+        &self,
+        input: &Tensor,
+        labels: &[usize],
+        order: &[Op],
+    ) -> Result<(f32, Grads)> {
+        let (logits, caches) = self.forward(input)?;
+        let graph = self.train_graph();
+        validate_partial_order(&graph, order)?;
+        self.backward_with_order(&logits, &caches, labels, order)
+    }
+
+    /// The backward half of [`Sequential::grads_with_order`], reusing an
+    /// existing forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::MissingState`] when the order references a
+    /// gradient whose producer has not run — which cannot happen for
+    /// orders validated against the graph.
+    pub fn backward_with_order(
+        &self,
+        logits: &Tensor,
+        caches: &[Cache],
+        labels: &[usize],
+        order: &[Op],
+    ) -> Result<(f32, Grads)> {
+        let l = self.layers.len();
+        // out_grad[i] = gradient w.r.t. layer i's output (1-based).
+        let mut out_grad: Vec<Option<Tensor>> = vec![None; l + 1];
+        let mut grads: Vec<Option<Vec<Tensor>>> = vec![None; l];
+        let mut loss_value: Option<f32> = None;
+
+        for &op in order {
+            match op {
+                Op::Loss => {
+                    let (loss, g) = softmax_cross_entropy(logits, labels)?;
+                    loss_value = Some(loss);
+                    out_grad[l] = Some(g);
+                }
+                Op::OutputGrad(LayerId(i)) => {
+                    let incoming = out_grad[i]
+                        .as_ref()
+                        .ok_or_else(|| Error::MissingState(format!("dO{i} before its gradient")))?;
+                    let g = self.layers[i - 1].output_grad(&caches[i - 1], incoming)?;
+                    out_grad[i - 1] = Some(g);
+                }
+                Op::WeightGrad(LayerId(i)) => {
+                    let incoming = out_grad[i]
+                        .as_ref()
+                        .ok_or_else(|| Error::MissingState(format!("dW{i} before its gradient")))?;
+                    grads[i - 1] = Some(self.layers[i - 1].weight_grad(&caches[i - 1], incoming)?);
+                }
+                // Updates are applied by the caller; forwards belong to
+                // the next iteration; synchronizations are communication.
+                Op::Update(_) | Op::Forward(_) | Op::SyncWeightGrad(_) | Op::SyncOutputGrad(_) => {}
+            }
+        }
+
+        let loss = loss_value
+            .ok_or_else(|| Error::MissingState("order never computed the loss".into()))?;
+        let grads = grads
+            .into_iter()
+            .enumerate()
+            .map(|(i, g)| {
+                g.ok_or_else(|| Error::MissingState(format!("order never computed dW{}", i + 1)))
+            })
+            .collect::<Result<Grads>>()?;
+        Ok((loss, grads))
+    }
+
+    /// Applies parameter gradients with the optimizer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Invalid`] when the gradient structure does not
+    /// match the network.
+    pub fn apply_grads<O: Optimizer>(&mut self, grads: &Grads, opt: &mut O) -> Result<()> {
+        if grads.len() != self.layers.len() {
+            return Err(Error::Invalid(format!(
+                "{} gradient sets for {} layers",
+                grads.len(),
+                self.layers.len()
+            )));
+        }
+        for (li, (layer, layer_grads)) in self.layers.iter_mut().zip(grads).enumerate() {
+            let params = layer.params_mut();
+            if params.len() != layer_grads.len() {
+                return Err(Error::Invalid(format!(
+                    "layer {li}: {} gradients for {} params",
+                    layer_grads.len(),
+                    params.len()
+                )));
+            }
+            for (pi, (param, grad)) in params.into_iter().zip(layer_grads).enumerate() {
+                opt.step((li, pi), param, grad)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// One full training step under the given backward order: forward,
+    /// scheduled backward, parameter update. Returns the batch loss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation, layer, and optimizer errors.
+    pub fn train_step<O: Optimizer>(
+        &mut self,
+        input: &Tensor,
+        labels: &[usize],
+        order: &[Op],
+        opt: &mut O,
+    ) -> Result<f32> {
+        let (loss, grads) = self.grads_with_order(input, labels, order)?;
+        self.apply_grads(&grads, opt)?;
+        Ok(loss)
+    }
+
+    /// Loss and accuracy on a labelled batch (no parameter update).
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer errors.
+    pub fn evaluate(&self, input: &Tensor, labels: &[usize]) -> Result<(f32, f32)> {
+        let (logits, _) = self.forward(input)?;
+        let (loss, _) = softmax_cross_entropy(&logits, labels)?;
+        let n = logits.dims()[0];
+        let classes = logits.dims()[1];
+        let mut correct = 0usize;
+        for (r, &label) in labels.iter().enumerate() {
+            let row = &logits.data()[r * classes..(r + 1) * classes];
+            let pred = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            if pred == label {
+                correct += 1;
+            }
+        }
+        Ok((loss, correct as f32 / n.max(1) as f32))
+    }
+
+    /// Flattens all parameters into a single vector (for equivalence
+    /// checks).
+    pub fn snapshot_params(&self) -> Vec<f32> {
+        self.layers
+            .iter()
+            .flat_map(|l| l.params().into_iter().flat_map(|p| p.data().to_vec()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::synthetic_classification;
+    use crate::layers::{Dense, Relu};
+    use crate::optim::{Momentum, Sgd};
+
+    fn mlp(seed: u64) -> Sequential {
+        let mut net = Sequential::new();
+        net.push(Dense::seeded(6, 24, seed));
+        net.push(Relu::new());
+        net.push(Dense::seeded(24, 16, seed + 1));
+        net.push(Relu::new());
+        net.push(Dense::seeded(16, 4, seed + 2));
+        net
+    }
+
+    #[test]
+    fn forward_produces_logits() {
+        let net = mlp(1);
+        let (x, _) = synthetic_classification(0, 10, 6, 4);
+        let (logits, caches) = net.forward(&x).unwrap();
+        assert_eq!(logits.dims(), &[10, 4]);
+        assert_eq!(caches.len(), 5);
+    }
+
+    #[test]
+    fn empty_network_rejected() {
+        let net = Sequential::new();
+        assert!(net.forward(&Tensor::zeros(&[1, 1])).is_err());
+    }
+
+    #[test]
+    fn conventional_and_fast_forward_orders_bitwise_equal() {
+        let (x, y) = synthetic_classification(3, 16, 6, 4);
+        let net = mlp(9);
+        let graph = net.train_graph();
+        let (l1, g1) = net
+            .grads_with_order(&x, &y, &graph.conventional_backprop())
+            .unwrap();
+        let (l2, g2) = net
+            .grads_with_order(&x, &y, &graph.fast_forward_backprop())
+            .unwrap();
+        assert_eq!(l1.to_bits(), l2.to_bits());
+        for (a, b) in g1.iter().flatten().zip(g2.iter().flatten()) {
+            assert_eq!(a.data(), b.data());
+        }
+    }
+
+    #[test]
+    fn reverse_first_k_orders_bitwise_equal_for_all_k() {
+        let (x, y) = synthetic_classification(4, 8, 6, 4);
+        let net = mlp(2);
+        let graph = net.train_graph();
+        let baseline = net
+            .grads_with_order(&x, &y, &graph.conventional_backprop())
+            .unwrap();
+        for k in 0..=net.len() {
+            let order =
+                ooo_core::reverse_k::reverse_first_k::<ooo_core::cost::UnitCost>(&graph, k, None)
+                    .unwrap();
+            let (loss, grads) = net.grads_with_order(&x, &y, &order).unwrap();
+            assert_eq!(loss.to_bits(), baseline.0.to_bits(), "k={k}");
+            for (a, b) in grads.iter().flatten().zip(baseline.1.iter().flatten()) {
+                assert_eq!(a.data(), b.data(), "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_order_is_rejected() {
+        let (x, y) = synthetic_classification(5, 4, 6, 4);
+        let net = mlp(3);
+        // dW before the loss is a dependency violation.
+        let order = vec![Op::WeightGrad(LayerId(5)), Op::Loss];
+        assert!(net.grads_with_order(&x, &y, &order).is_err());
+    }
+
+    #[test]
+    fn missing_weight_grad_is_reported() {
+        let (x, y) = synthetic_classification(5, 4, 6, 4);
+        let net = mlp(3);
+        let graph = net.train_graph();
+        let mut order = graph.conventional_backprop();
+        order.retain(|op| *op != Op::WeightGrad(LayerId(1)));
+        let err = net.grads_with_order(&x, &y, &order).unwrap_err();
+        assert!(matches!(err, Error::MissingState(_)));
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let (x, y) = synthetic_classification(11, 64, 6, 4);
+        let mut net = mlp(4);
+        let graph = net.train_graph();
+        let order = graph.fast_forward_backprop();
+        let mut opt = Momentum::new(0.05, 0.9);
+        let first = net.train_step(&x, &y, &order, &mut opt).unwrap();
+        let mut last = first;
+        for _ in 0..40 {
+            last = net.train_step(&x, &y, &order, &mut opt).unwrap();
+        }
+        assert!(last < first * 0.5, "loss {first} -> {last}");
+        let (_, acc) = net.evaluate(&x, &y).unwrap();
+        assert!(acc > 0.7, "accuracy {acc}");
+    }
+
+    #[test]
+    fn whole_training_runs_identical_across_schedules() {
+        // Multiple steps with updates: parameters stay bitwise identical
+        // between the conventional and an out-of-order schedule.
+        let (x, y) = synthetic_classification(6, 32, 6, 4);
+        let mut a = mlp(7);
+        let mut b = mlp(7);
+        let graph = a.train_graph();
+        let conv = graph.conventional_backprop();
+        let ooo = graph.fast_forward_backprop();
+        let mut opt_a = Sgd::new(0.05);
+        let mut opt_b = Sgd::new(0.05);
+        for _ in 0..10 {
+            let la = a.train_step(&x, &y, &conv, &mut opt_a).unwrap();
+            let lb = b.train_step(&x, &y, &ooo, &mut opt_b).unwrap();
+            assert_eq!(la.to_bits(), lb.to_bits());
+        }
+        assert_eq!(a.snapshot_params(), b.snapshot_params());
+    }
+
+    #[test]
+    fn apply_grads_validates_structure() {
+        let mut net = mlp(8);
+        let mut opt = Sgd::new(0.1);
+        assert!(net.apply_grads(&vec![], &mut opt).is_err());
+        let bad: Grads = vec![vec![]; 5];
+        // Layer 0 (dense) expects 2 gradients but gets 0.
+        assert!(net.apply_grads(&bad, &mut opt).is_err());
+    }
+}

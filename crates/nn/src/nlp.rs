@@ -1,0 +1,565 @@
+//! NLP-model building blocks: embeddings, recurrent cells, self-attention,
+//! and transformer feed-forward blocks — the numeric substrate of the
+//! paper's RNN/BERT/GPT experiments, with the same split-backward
+//! interface as the vision layers.
+//!
+//! Shapes follow a flattened-token convention: activations are
+//! `[tokens, hidden]` matrices where `tokens = batch x seq_len`, so every
+//! block composes inside a [`crate::network::Sequential`] and inherits
+//! its schedule-driven backward execution.
+
+use crate::error::{Error, Result};
+use crate::layers::{Cache, CacheExtra, Layer};
+use ooo_tensor::ops;
+use ooo_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Token embedding lookup: `[tokens]` of ids (carried as a one-hot-free
+/// f32 tensor of indices) -> `[tokens, hidden]`.
+///
+/// The ids are passed as a `[tokens, 1]` tensor of integral floats so the
+/// layer fits the `Tensor -> Tensor` pipeline.
+pub struct Embedding {
+    table: Tensor,
+}
+
+impl Embedding {
+    /// Creates a seeded embedding table `[vocab, hidden]`.
+    pub fn seeded(vocab: usize, hidden: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Embedding {
+            table: ooo_tensor::init::xavier(&mut rng, &[vocab, hidden], vocab, hidden),
+        }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.table.dims()[0]
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.table.dims()[1]
+    }
+
+    fn ids(input: &Tensor, vocab: usize) -> Result<Vec<usize>> {
+        input
+            .data()
+            .iter()
+            .map(|&v| {
+                let id = v as usize;
+                if v < 0.0 || v.fract() != 0.0 || id >= vocab {
+                    return Err(Error::Invalid(format!(
+                        "embedding id {v} out of vocab {vocab}"
+                    )));
+                }
+                Ok(id)
+            })
+            .collect()
+    }
+}
+
+impl Layer for Embedding {
+    fn name(&self) -> &'static str {
+        "embedding"
+    }
+
+    fn forward(&self, input: &Tensor) -> Result<(Tensor, Cache)> {
+        let ids = Self::ids(input, self.vocab())?;
+        let h = self.hidden();
+        let mut out = Tensor::zeros(&[ids.len(), h]);
+        for (row, &id) in ids.iter().enumerate() {
+            out.data_mut()[row * h..(row + 1) * h]
+                .copy_from_slice(&self.table.data()[id * h..(id + 1) * h]);
+        }
+        Ok((
+            out,
+            Cache {
+                input: input.clone(),
+                extra: CacheExtra::None,
+            },
+        ))
+    }
+
+    fn output_grad(&self, cache: &Cache, _grad_out: &Tensor) -> Result<Tensor> {
+        // Token ids are not differentiable; the chain ends here.
+        Ok(Tensor::zeros(cache.input.dims()))
+    }
+
+    fn weight_grad(&self, cache: &Cache, grad_out: &Tensor) -> Result<Vec<Tensor>> {
+        let ids = Self::ids(&cache.input, self.vocab())?;
+        let h = self.hidden();
+        let mut dtable = Tensor::zeros(self.table.dims());
+        for (row, &id) in ids.iter().enumerate() {
+            for c in 0..h {
+                dtable.data_mut()[id * h + c] += grad_out.data()[row * h + c];
+            }
+        }
+        Ok(vec![dtable])
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        vec![&self.table]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.table]
+    }
+}
+
+/// A simple (Elman) recurrent cell unrolled over a fixed sequence length:
+/// `h_t = tanh(x_t W_x + h_{t-1} W_h)`, input `[batch*seq, width]`
+/// grouped as `seq` consecutive rows per batch element, output the same
+/// shape. This is the per-cell computation of the paper's 16-cell RNN.
+pub struct RnnCell {
+    w_input: Tensor,
+    w_hidden: Tensor,
+    seq_len: usize,
+}
+
+impl RnnCell {
+    /// Creates a seeded cell with hidden width `width` and sequence
+    /// length `seq_len`.
+    pub fn seeded(width: usize, seq_len: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        RnnCell {
+            w_input: ooo_tensor::init::xavier(&mut rng, &[width, width], width, width),
+            w_hidden: ooo_tensor::init::xavier(&mut rng, &[width, width], width, width),
+            seq_len,
+        }
+    }
+
+    fn split_checks(&self, input: &Tensor) -> Result<(usize, usize)> {
+        if input.shape().rank() != 2 {
+            return Err(Error::Invalid("rnn cell expects [tokens, width]".into()));
+        }
+        let (tokens, width) = (input.dims()[0], input.dims()[1]);
+        if width != self.w_input.dims()[0] {
+            return Err(Error::Invalid(format!(
+                "rnn width {} != input width {width}",
+                self.w_input.dims()[0]
+            )));
+        }
+        if tokens % self.seq_len != 0 {
+            return Err(Error::Invalid(format!(
+                "{tokens} tokens not divisible by seq_len {}",
+                self.seq_len
+            )));
+        }
+        Ok((tokens / self.seq_len, width))
+    }
+}
+
+impl Layer for RnnCell {
+    fn name(&self) -> &'static str {
+        "rnn_cell"
+    }
+
+    fn forward(&self, input: &Tensor) -> Result<(Tensor, Cache)> {
+        let (batch, width) = self.split_checks(input)?;
+        // Pre-activations are cached for the backward pass (stored as the
+        // normalized/extra slot: we keep the *outputs*, whose tanh
+        // derivative is 1 - y^2).
+        let mut out = Tensor::zeros(input.dims());
+        for b in 0..batch {
+            let mut h_prev = vec![0.0f32; width];
+            for t in 0..self.seq_len {
+                let row = b * self.seq_len + t;
+                let x = Tensor::from_vec(
+                    input.data()[row * width..(row + 1) * width].to_vec(),
+                    &[1, width],
+                )?;
+                let hp = Tensor::from_vec(h_prev.clone(), &[1, width])?;
+                let pre = ops::add(
+                    &ops::matmul(&x, &self.w_input)?,
+                    &ops::matmul(&hp, &self.w_hidden)?,
+                )?;
+                let h = ops::tanh(&pre);
+                out.data_mut()[row * width..(row + 1) * width].copy_from_slice(h.data());
+                h_prev = h.into_vec();
+            }
+        }
+        let extra = CacheExtra::Norm {
+            normalized: out.clone(),
+            inv_std: Vec::new(),
+        };
+        Ok((
+            out,
+            Cache {
+                input: input.clone(),
+                extra,
+            },
+        ))
+    }
+
+    fn output_grad(&self, cache: &Cache, grad_out: &Tensor) -> Result<Tensor> {
+        let (dx, _, _) = self.backward_full(cache, grad_out)?;
+        Ok(dx)
+    }
+
+    fn weight_grad(&self, cache: &Cache, grad_out: &Tensor) -> Result<Vec<Tensor>> {
+        let (_, dwx, dwh) = self.backward_full(cache, grad_out)?;
+        Ok(vec![dwx, dwh])
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        vec![&self.w_input, &self.w_hidden]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.w_input, &mut self.w_hidden]
+    }
+}
+
+impl RnnCell {
+    /// Backpropagation through time for one cell; returns
+    /// `(dx, dW_x, dW_h)`. Computed twice when both `output_grad` and
+    /// `weight_grad` run — the price of the split interface for recurrent
+    /// layers (conventional frameworks fuse them for RNNs too; the
+    /// paper's RNN results treat each cell as one scheduling layer).
+    fn backward_full(&self, cache: &Cache, grad_out: &Tensor) -> Result<(Tensor, Tensor, Tensor)> {
+        let CacheExtra::Norm {
+            normalized: outputs,
+            ..
+        } = &cache.extra
+        else {
+            return Err(Error::MissingState("rnn cache missing outputs".into()));
+        };
+        let (batch, width) = self.split_checks(&cache.input)?;
+        let mut dx = Tensor::zeros(cache.input.dims());
+        let mut dwx = Tensor::zeros(self.w_input.dims());
+        let mut dwh = Tensor::zeros(self.w_hidden.dims());
+        for b in 0..batch {
+            let mut dh_next = vec![0.0f32; width];
+            for t in (0..self.seq_len).rev() {
+                let row = b * self.seq_len + t;
+                let y = &outputs.data()[row * width..(row + 1) * width];
+                let g = &grad_out.data()[row * width..(row + 1) * width];
+                // dpre = (g + dh_next) * (1 - y^2).
+                let dpre: Vec<f32> = (0..width)
+                    .map(|c| (g[c] + dh_next[c]) * (1.0 - y[c] * y[c]))
+                    .collect();
+                let dpre_t = Tensor::from_vec(dpre, &[1, width])?;
+                let x = Tensor::from_vec(
+                    cache.input.data()[row * width..(row + 1) * width].to_vec(),
+                    &[1, width],
+                )?;
+                let h_prev = if t == 0 {
+                    Tensor::zeros(&[1, width])
+                } else {
+                    let prev = (row - 1) * width;
+                    Tensor::from_vec(outputs.data()[prev..prev + width].to_vec(), &[1, width])?
+                };
+                ops::axpy(&mut dwx, 1.0, &ops::matmul_tn(&x, &dpre_t)?)?;
+                ops::axpy(&mut dwh, 1.0, &ops::matmul_tn(&h_prev, &dpre_t)?)?;
+                let dxr = ops::matmul_nt(&dpre_t, &self.w_input)?;
+                dx.data_mut()[row * width..(row + 1) * width].copy_from_slice(dxr.data());
+                dh_next = ops::matmul_nt(&dpre_t, &self.w_hidden)?.into_vec();
+            }
+        }
+        Ok((dx, dwx, dwh))
+    }
+}
+
+/// Single-head self-attention over flattened token rows:
+/// `y = softmax(QK^T / sqrt(d)) V` with `Q = xW_q` etc., applied per
+/// sequence of `seq_len` consecutive rows.
+pub struct SelfAttention {
+    w_q: Tensor,
+    w_k: Tensor,
+    w_v: Tensor,
+    seq_len: usize,
+}
+
+impl SelfAttention {
+    /// Creates a seeded attention block of width `hidden`.
+    pub fn seeded(hidden: usize, seq_len: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mk =
+            |rng: &mut StdRng| ooo_tensor::init::xavier(rng, &[hidden, hidden], hidden, hidden);
+        SelfAttention {
+            w_q: mk(&mut rng),
+            w_k: mk(&mut rng),
+            w_v: mk(&mut rng),
+            seq_len,
+        }
+    }
+
+    fn checks(&self, input: &Tensor) -> Result<(usize, usize)> {
+        if input.shape().rank() != 2 {
+            return Err(Error::Invalid("attention expects [tokens, hidden]".into()));
+        }
+        let (tokens, width) = (input.dims()[0], input.dims()[1]);
+        if width != self.w_q.dims()[0] {
+            return Err(Error::Invalid("attention width mismatch".into()));
+        }
+        if tokens % self.seq_len != 0 {
+            return Err(Error::Invalid(format!(
+                "{tokens} tokens not divisible by seq_len {}",
+                self.seq_len
+            )));
+        }
+        Ok((tokens / self.seq_len, width))
+    }
+
+    fn forward_seq(&self, x: &Tensor) -> Result<(Tensor, Tensor, Tensor, Tensor, Tensor)> {
+        let q = ops::matmul(x, &self.w_q)?;
+        let k = ops::matmul(x, &self.w_k)?;
+        let v = ops::matmul(x, &self.w_v)?;
+        let d = (self.w_q.dims()[1] as f32).sqrt();
+        let scores = ops::scale(&ops::matmul_nt(&q, &k)?, 1.0 / d);
+        let attn = ops::softmax_rows(&scores)?;
+        let y = ops::matmul(&attn, &v)?;
+        Ok((y, q, k, v, attn))
+    }
+
+    /// Full backward for one sequence. Returns `(dx, dWq, dWk, dWv)`.
+    fn backward_seq(&self, x: &Tensor, dy: &Tensor) -> Result<(Tensor, Tensor, Tensor, Tensor)> {
+        let (_, q, k, v, attn) = self.forward_seq(x)?;
+        let d = (self.w_q.dims()[1] as f32).sqrt();
+        // y = attn x V.
+        let dattn = ops::matmul_nt(dy, &v)?;
+        let dv = ops::matmul_tn(&attn, dy)?;
+        // Softmax backward per row: ds = attn * (dattn - rowsum(dattn * attn)).
+        let (s, n) = (attn.dims()[0], attn.dims()[1]);
+        let mut dscores = Tensor::zeros(&[s, n]);
+        for r in 0..s {
+            let a = &attn.data()[r * n..(r + 1) * n];
+            let g = &dattn.data()[r * n..(r + 1) * n];
+            let dotv: f32 = a.iter().zip(g).map(|(x, y)| x * y).sum();
+            for c in 0..n {
+                dscores.data_mut()[r * n + c] = a[c] * (g[c] - dotv);
+            }
+        }
+        let dscores = ops::scale(&dscores, 1.0 / d);
+        // scores = Q K^T.
+        let dq = ops::matmul(&dscores, &k)?;
+        let dk = ops::matmul_tn(&dscores, &q)?;
+        // Projections.
+        let dwq = ops::matmul_tn(x, &dq)?;
+        let dwk = ops::matmul_tn(x, &dk)?;
+        let dwv = ops::matmul_tn(x, &dv)?;
+        let mut dx = ops::matmul_nt(&dq, &self.w_q)?;
+        ops::axpy(&mut dx, 1.0, &ops::matmul_nt(&dk, &self.w_k)?)?;
+        ops::axpy(&mut dx, 1.0, &ops::matmul_nt(&dv, &self.w_v)?)?;
+        Ok((dx, dwq, dwk, dwv))
+    }
+
+    fn per_sequence<F>(&self, input: &Tensor, grad_out: &Tensor, mut f: F) -> Result<()>
+    where
+        F: FnMut(usize, &Tensor, &Tensor) -> Result<()>,
+    {
+        let (batch, width) = self.checks(input)?;
+        for b in 0..batch {
+            let lo = b * self.seq_len * width;
+            let hi = lo + self.seq_len * width;
+            let x = Tensor::from_vec(input.data()[lo..hi].to_vec(), &[self.seq_len, width])?;
+            let dy = Tensor::from_vec(grad_out.data()[lo..hi].to_vec(), &[self.seq_len, width])?;
+            f(b, &x, &dy)?;
+        }
+        Ok(())
+    }
+}
+
+impl Layer for SelfAttention {
+    fn name(&self) -> &'static str {
+        "self_attention"
+    }
+
+    fn forward(&self, input: &Tensor) -> Result<(Tensor, Cache)> {
+        let (batch, width) = self.checks(input)?;
+        let mut out = Tensor::zeros(input.dims());
+        for b in 0..batch {
+            let lo = b * self.seq_len * width;
+            let hi = lo + self.seq_len * width;
+            let x = Tensor::from_vec(input.data()[lo..hi].to_vec(), &[self.seq_len, width])?;
+            let (y, ..) = self.forward_seq(&x)?;
+            out.data_mut()[lo..hi].copy_from_slice(y.data());
+        }
+        Ok((
+            out,
+            Cache {
+                input: input.clone(),
+                extra: CacheExtra::None,
+            },
+        ))
+    }
+
+    fn output_grad(&self, cache: &Cache, grad_out: &Tensor) -> Result<Tensor> {
+        let width = cache.input.dims()[1];
+        let mut dx = Tensor::zeros(cache.input.dims());
+        self.per_sequence(&cache.input, grad_out, |b, x, dy| {
+            let (d, ..) = self.backward_seq(x, dy)?;
+            let lo = b * self.seq_len * width;
+            dx.data_mut()[lo..lo + self.seq_len * width].copy_from_slice(d.data());
+            Ok(())
+        })?;
+        Ok(dx)
+    }
+
+    fn weight_grad(&self, cache: &Cache, grad_out: &Tensor) -> Result<Vec<Tensor>> {
+        let mut dwq = Tensor::zeros(self.w_q.dims());
+        let mut dwk = Tensor::zeros(self.w_k.dims());
+        let mut dwv = Tensor::zeros(self.w_v.dims());
+        self.per_sequence(&cache.input, grad_out, |_, x, dy| {
+            let (_, q, k, v) = self.backward_seq(x, dy)?;
+            ops::axpy(&mut dwq, 1.0, &q)?;
+            ops::axpy(&mut dwk, 1.0, &k)?;
+            ops::axpy(&mut dwv, 1.0, &v)?;
+            Ok(())
+        })?;
+        Ok(vec![dwq, dwk, dwv])
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        vec![&self.w_q, &self.w_k, &self.w_v]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.w_q, &mut self.w_k, &mut self.w_v]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ooo_tensor::ops::sum;
+
+    fn finite_diff_input<L: Layer>(layer: &L, x: &Tensor, tol: f32) {
+        let (y, cache) = layer.forward(x).unwrap();
+        let dy = Tensor::ones(y.dims());
+        let dx = layer.output_grad(&cache, &dy).unwrap();
+        let eps = 1e-2;
+        for i in 0..x.numel() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let fd = (sum(&layer.forward(&xp).unwrap().0) - sum(&layer.forward(&xm).unwrap().0))
+                / (2.0 * eps);
+            assert!(
+                (dx.data()[i] - fd).abs() < tol,
+                "{}: dx[{i}]={} fd={fd}",
+                layer.name(),
+                dx.data()[i]
+            );
+        }
+    }
+
+    fn finite_diff_weights<L: Layer>(layer: &mut L, x: &Tensor, tol: f32) {
+        let (y, cache) = layer.forward(x).unwrap();
+        let dy = Tensor::ones(y.dims());
+        let grads = layer.weight_grad(&cache, &dy).unwrap();
+        let eps = 1e-2;
+        for (pi, grad) in grads.iter().enumerate() {
+            let grad = grad.clone();
+            for i in (0..grad.numel()).step_by(7) {
+                let orig = layer.params()[pi].data()[i];
+                layer.params_mut()[pi].data_mut()[i] = orig + eps;
+                let fp = sum(&layer.forward(x).unwrap().0);
+                layer.params_mut()[pi].data_mut()[i] = orig - eps;
+                let fm = sum(&layer.forward(x).unwrap().0);
+                layer.params_mut()[pi].data_mut()[i] = orig;
+                let fd = (fp - fm) / (2.0 * eps);
+                assert!(
+                    (grad.data()[i] - fd).abs() < tol,
+                    "param {pi}[{i}]: {} vs {fd}",
+                    grad.data()[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn embedding_lookup_and_grads() {
+        let emb = Embedding::seeded(10, 4, 3);
+        let ids = Tensor::from_vec(vec![2.0, 7.0, 2.0], &[3, 1]).unwrap();
+        let (y, cache) = emb.forward(&ids).unwrap();
+        assert_eq!(y.dims(), &[3, 4]);
+        // Rows 0 and 2 are the same table row.
+        assert_eq!(&y.data()[0..4], &y.data()[8..12]);
+        let dy = Tensor::ones(&[3, 4]);
+        let grads = emb.weight_grad(&cache, &dy).unwrap();
+        // Token 2 appears twice: gradient 2.0 per column.
+        assert_eq!(grads[0].get(&[2, 0]).unwrap(), 2.0);
+        assert_eq!(grads[0].get(&[7, 0]).unwrap(), 1.0);
+        assert_eq!(grads[0].get(&[0, 0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn embedding_rejects_bad_ids() {
+        let emb = Embedding::seeded(4, 2, 1);
+        assert!(emb
+            .forward(&Tensor::from_vec(vec![4.0], &[1, 1]).unwrap())
+            .is_err());
+        assert!(emb
+            .forward(&Tensor::from_vec(vec![-1.0], &[1, 1]).unwrap())
+            .is_err());
+        assert!(emb
+            .forward(&Tensor::from_vec(vec![1.5], &[1, 1]).unwrap())
+            .is_err());
+    }
+
+    #[test]
+    fn rnn_cell_gradients() {
+        let mut cell = RnnCell::seeded(3, 4, 7);
+        let x = Tensor::from_vec(
+            (0..24).map(|i| ((i * 5 % 11) as f32) * 0.1 - 0.5).collect(),
+            &[8, 3],
+        )
+        .unwrap();
+        finite_diff_input(&cell, &x, 5e-2);
+        finite_diff_weights(&mut cell, &x, 5e-2);
+    }
+
+    #[test]
+    fn rnn_cell_state_propagates() {
+        // Changing an early token's input must change later outputs in
+        // the same sequence, but not other sequences.
+        let cell = RnnCell::seeded(2, 3, 9);
+        let x = Tensor::from_vec(vec![0.1; 12], &[6, 2]).unwrap();
+        let (y1, _) = cell.forward(&x).unwrap();
+        let mut x2 = x.clone();
+        x2.data_mut()[0] = 1.0; // first token of sequence 0
+        let (y2, _) = cell.forward(&x2).unwrap();
+        // Last token of sequence 0 differs.
+        assert_ne!(&y1.data()[4..6], &y2.data()[4..6]);
+        // Sequence 1 untouched.
+        assert_eq!(&y1.data()[6..12], &y2.data()[6..12]);
+    }
+
+    #[test]
+    fn attention_gradients() {
+        let mut attn = SelfAttention::seeded(4, 3, 21);
+        let x = Tensor::from_vec(
+            (0..24).map(|i| ((i * 7 % 13) as f32) * 0.1 - 0.6).collect(),
+            &[6, 4],
+        )
+        .unwrap();
+        finite_diff_input(&attn, &x, 6e-2);
+        finite_diff_weights(&mut attn, &x, 6e-2);
+    }
+
+    #[test]
+    fn attention_mixes_within_sequence_only() {
+        let attn = SelfAttention::seeded(4, 2, 5);
+        let x = Tensor::from_vec((0..16).map(|i| i as f32 * 0.1).collect(), &[4, 4]).unwrap();
+        let (y1, _) = attn.forward(&x).unwrap();
+        let mut x2 = x.clone();
+        x2.data_mut()[0] += 1.0; // token 0 of sequence 0
+        let (y2, _) = attn.forward(&x2).unwrap();
+        // Sequence 0 (rows 0-1) changes; sequence 1 (rows 2-3) does not.
+        assert_ne!(&y1.data()[0..8], &y2.data()[0..8]);
+        assert_eq!(&y1.data()[8..16], &y2.data()[8..16]);
+    }
+
+    #[test]
+    fn shape_validation() {
+        let attn = SelfAttention::seeded(4, 3, 1);
+        assert!(attn.forward(&Tensor::zeros(&[4, 4])).is_err()); // 4 % 3 != 0
+        assert!(attn.forward(&Tensor::zeros(&[3, 5])).is_err()); // width mismatch
+        let rnn = RnnCell::seeded(4, 3, 1);
+        assert!(rnn.forward(&Tensor::zeros(&[4, 4])).is_err());
+    }
+}

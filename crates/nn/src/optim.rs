@@ -1,0 +1,238 @@
+//! Optimizers: SGD, momentum, RMSProp, and Adam — the four the paper
+//! trains with (Section 8.1).
+//!
+//! Optimizer state is keyed by `(layer index, parameter index)` so that
+//! weight updates may execute in any order (out-of-order backprop
+//! reorders `U_i` along with `dW_i`) without state aliasing.
+
+use crate::error::Result;
+use ooo_tensor::ops::axpy;
+use ooo_tensor::Tensor;
+use std::collections::HashMap;
+
+/// Key identifying one parameter tensor across the network.
+pub type ParamKey = (usize, usize);
+
+/// A first-order optimizer.
+pub trait Optimizer: Send {
+    /// Applies one update to `param` given its `grad`.
+    ///
+    /// # Errors
+    ///
+    /// Returns tensor errors on shape mismatches.
+    fn step(&mut self, key: ParamKey, param: &mut Tensor, grad: &Tensor) -> Result<()>;
+
+    /// The optimizer's name.
+    fn name(&self) -> &'static str;
+}
+
+/// Plain stochastic gradient descent.
+pub struct Sgd {
+    lr: f32,
+}
+
+impl Sgd {
+    /// Creates SGD with learning rate `lr`.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, _key: ParamKey, param: &mut Tensor, grad: &Tensor) -> Result<()> {
+        axpy(param, -self.lr, grad)?;
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "sgd"
+    }
+}
+
+/// SGD with classical momentum.
+pub struct Momentum {
+    lr: f32,
+    beta: f32,
+    velocity: HashMap<ParamKey, Tensor>,
+}
+
+impl Momentum {
+    /// Creates momentum SGD with learning rate `lr` and momentum `beta`.
+    pub fn new(lr: f32, beta: f32) -> Self {
+        Momentum {
+            lr,
+            beta,
+            velocity: HashMap::new(),
+        }
+    }
+}
+
+impl Optimizer for Momentum {
+    fn step(&mut self, key: ParamKey, param: &mut Tensor, grad: &Tensor) -> Result<()> {
+        let v = self
+            .velocity
+            .entry(key)
+            .or_insert_with(|| Tensor::zeros(grad.dims()));
+        // v = beta * v + grad; param -= lr * v.
+        for (vi, gi) in v.data_mut().iter_mut().zip(grad.data()) {
+            *vi = self.beta * *vi + gi;
+        }
+        axpy(param, -self.lr, v)?;
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "momentum"
+    }
+}
+
+/// RMSProp.
+pub struct RmsProp {
+    lr: f32,
+    decay: f32,
+    eps: f32,
+    mean_sq: HashMap<ParamKey, Tensor>,
+}
+
+impl RmsProp {
+    /// Creates RMSProp with learning rate `lr` and decay `decay`.
+    pub fn new(lr: f32, decay: f32) -> Self {
+        RmsProp {
+            lr,
+            decay,
+            eps: 1e-8,
+            mean_sq: HashMap::new(),
+        }
+    }
+}
+
+impl Optimizer for RmsProp {
+    fn step(&mut self, key: ParamKey, param: &mut Tensor, grad: &Tensor) -> Result<()> {
+        let ms = self
+            .mean_sq
+            .entry(key)
+            .or_insert_with(|| Tensor::zeros(grad.dims()));
+        for ((m, g), p) in ms
+            .data_mut()
+            .iter_mut()
+            .zip(grad.data())
+            .zip(param.data_mut())
+        {
+            *m = self.decay * *m + (1.0 - self.decay) * g * g;
+            *p -= self.lr * g / (m.sqrt() + self.eps);
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "rmsprop"
+    }
+}
+
+/// Adam (used for the paper's BERT/GPT experiments).
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    state: HashMap<ParamKey, (Tensor, Tensor, u32)>,
+}
+
+impl Adam {
+    /// Creates Adam with the standard betas (0.9, 0.999).
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            state: HashMap::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, key: ParamKey, param: &mut Tensor, grad: &Tensor) -> Result<()> {
+        let (m, v, t) = self
+            .state
+            .entry(key)
+            .or_insert_with(|| (Tensor::zeros(grad.dims()), Tensor::zeros(grad.dims()), 0));
+        *t += 1;
+        let bc1 = 1.0 - self.beta1.powi(*t as i32);
+        let bc2 = 1.0 - self.beta2.powi(*t as i32);
+        for (((mi, vi), g), p) in m
+            .data_mut()
+            .iter_mut()
+            .zip(v.data_mut().iter_mut())
+            .zip(grad.data())
+            .zip(param.data_mut())
+        {
+            *mi = self.beta1 * *mi + (1.0 - self.beta1) * g;
+            *vi = self.beta2 * *vi + (1.0 - self.beta2) * g * g;
+            let mhat = *mi / bc1;
+            let vhat = *vi / bc2;
+            *p -= self.lr * mhat / (vhat.sqrt() + self.eps);
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "adam"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_descends<O: Optimizer>(mut opt: O) {
+        // Minimize f(x) = x² from x = 4; gradient is 2x.
+        let mut x = Tensor::from_vec(vec![4.0], &[1]).unwrap();
+        for _ in 0..200 {
+            let g = Tensor::from_vec(vec![2.0 * x.data()[0]], &[1]).unwrap();
+            opt.step((0, 0), &mut x, &g).unwrap();
+        }
+        assert!(
+            x.data()[0].abs() < 0.5,
+            "{} stalled at {}",
+            opt.name(),
+            x.data()[0]
+        );
+    }
+
+    #[test]
+    fn all_optimizers_minimize_a_quadratic() {
+        quadratic_descends(Sgd::new(0.05));
+        quadratic_descends(Momentum::new(0.02, 0.9));
+        quadratic_descends(RmsProp::new(0.05, 0.9));
+        quadratic_descends(Adam::new(0.2));
+    }
+
+    #[test]
+    fn sgd_is_exact() {
+        let mut x = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let g = Tensor::from_vec(vec![0.5, -0.5], &[2]).unwrap();
+        Sgd::new(0.1).step((0, 0), &mut x, &g).unwrap();
+        assert_eq!(x.data(), &[0.95, 2.05]);
+    }
+
+    #[test]
+    fn state_is_per_parameter() {
+        let mut opt = Momentum::new(0.1, 0.9);
+        let mut a = Tensor::from_vec(vec![1.0], &[1]).unwrap();
+        let mut b = Tensor::from_vec(vec![1.0], &[1]).unwrap();
+        let g = Tensor::from_vec(vec![1.0], &[1]).unwrap();
+        opt.step((0, 0), &mut a, &g).unwrap();
+        opt.step((0, 0), &mut a, &g).unwrap();
+        opt.step((1, 0), &mut b, &g).unwrap();
+        // `a` took two momentum-compounded steps, `b` one plain step.
+        assert!(a.data()[0] < b.data()[0]);
+    }
+
+    #[test]
+    fn shape_mismatch_is_an_error() {
+        let mut x = Tensor::zeros(&[2]);
+        let g = Tensor::zeros(&[3]);
+        assert!(Sgd::new(0.1).step((0, 0), &mut x, &g).is_err());
+    }
+}

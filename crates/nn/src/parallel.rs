@@ -1,0 +1,184 @@
+//! Numeric data-parallel training on CPU threads.
+//!
+//! Each worker computes gradients for its shard under its own backward
+//! order; gradients are then averaged and applied once — the synchronous
+//! data-parallel semantics whose *scheduling* the paper optimizes. Because
+//! gradient averaging is a fixed-order reduction, the result is again
+//! independent of each worker's backward order, extending the
+//! schedule-equivalence guarantee to distributed training.
+
+use crate::error::{Error, Result};
+use crate::network::{Grads, Sequential};
+use crate::optim::Optimizer;
+use ooo_core::op::Op;
+use ooo_tensor::ops::{axpy, scale};
+use ooo_tensor::Tensor;
+
+/// Averages per-worker gradients in worker order (a deterministic
+/// reduction).
+///
+/// # Errors
+///
+/// Returns [`Error::Invalid`] when the gradient structures disagree.
+pub fn average_grads(worker_grads: &[Grads]) -> Result<Grads> {
+    let Some(first) = worker_grads.first() else {
+        return Err(Error::Invalid("no worker gradients".into()));
+    };
+    let inv = 1.0 / worker_grads.len() as f32;
+    let mut acc: Grads = first
+        .iter()
+        .map(|layer| layer.iter().map(|g| scale(g, inv)).collect())
+        .collect();
+    for grads in &worker_grads[1..] {
+        if grads.len() != acc.len() {
+            return Err(Error::Invalid("worker gradient layer counts differ".into()));
+        }
+        for (a_layer, g_layer) in acc.iter_mut().zip(grads) {
+            if a_layer.len() != g_layer.len() {
+                return Err(Error::Invalid("worker gradient param counts differ".into()));
+            }
+            for (a, g) in a_layer.iter_mut().zip(g_layer) {
+                axpy(a, inv, g)?;
+            }
+        }
+    }
+    Ok(acc)
+}
+
+/// One synchronous data-parallel step: every worker computes gradients
+/// for its `(shard, labels)` under its own `order` (all on OS threads),
+/// the gradients are averaged, and the shared model is updated once.
+///
+/// Returns the mean worker loss.
+///
+/// # Errors
+///
+/// Propagates worker and aggregation errors.
+pub fn data_parallel_step<O: Optimizer>(
+    net: &mut Sequential,
+    shards: &[(Tensor, Vec<usize>)],
+    orders: &[Vec<Op>],
+    opt: &mut O,
+) -> Result<f32> {
+    if shards.is_empty() || shards.len() != orders.len() {
+        return Err(Error::Invalid(format!(
+            "{} shards with {} orders",
+            shards.len(),
+            orders.len()
+        )));
+    }
+    let net_ref: &Sequential = net;
+    let results: Vec<Result<(f32, Grads)>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .iter()
+            .zip(orders)
+            .map(|((x, y), order)| scope.spawn(move |_| net_ref.grads_with_order(x, y, order)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    })
+    .expect("thread scope");
+
+    let mut losses = Vec::with_capacity(results.len());
+    let mut grads = Vec::with_capacity(results.len());
+    for r in results {
+        let (loss, g) = r?;
+        losses.push(loss);
+        grads.push(g);
+    }
+    let avg = average_grads(&grads)?;
+    net.apply_grads(&avg, opt)?;
+    Ok(losses.iter().sum::<f32>() / losses.len() as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{shard, synthetic_classification};
+    use crate::layers::{Dense, Relu};
+    use crate::optim::Sgd;
+
+    fn mlp(seed: u64) -> Sequential {
+        let mut net = Sequential::new();
+        net.push(Dense::seeded(5, 16, seed));
+        net.push(Relu::new());
+        net.push(Dense::seeded(16, 3, seed + 1));
+        net
+    }
+
+    #[test]
+    fn averaging_is_mean() {
+        let g1: Grads = vec![vec![Tensor::from_vec(vec![2.0, 4.0], &[2]).unwrap()]];
+        let g2: Grads = vec![vec![Tensor::from_vec(vec![4.0, 0.0], &[2]).unwrap()]];
+        let avg = average_grads(&[g1, g2]).unwrap();
+        assert_eq!(avg[0][0].data(), &[3.0, 2.0]);
+        assert!(average_grads(&[]).is_err());
+    }
+
+    #[test]
+    fn mismatched_structures_rejected() {
+        let g1: Grads = vec![vec![Tensor::zeros(&[2])]];
+        let g2: Grads = vec![];
+        assert!(average_grads(&[g1, g2]).is_err());
+    }
+
+    #[test]
+    fn workers_with_different_orders_match_single_worker() {
+        // 4 workers using 4 different (all valid) backward orders must
+        // produce the same update as 1 worker over the full batch — the
+        // distributed schedule-equivalence property.
+        let (x, y) = synthetic_classification(21, 16, 5, 3);
+        let shards = shard(&x, &y, 4);
+        let mut net_par = mlp(5);
+        let graph = net_par.train_graph();
+        let orders: Vec<Vec<Op>> = (0..4)
+            .map(|k| {
+                ooo_core::reverse_k::reverse_first_k::<ooo_core::cost::UnitCost>(&graph, k, None)
+                    .unwrap()
+            })
+            .collect();
+        let mut opt = Sgd::new(0.1);
+        data_parallel_step(&mut net_par, &shards, &orders, &mut opt).unwrap();
+
+        // Reference: average of per-shard gradients computed serially with
+        // the conventional order.
+        let mut net_ref = mlp(5);
+        let conv = graph.conventional_backprop();
+        let grads: Vec<Grads> = shards
+            .iter()
+            .map(|(sx, sy)| net_ref.grads_with_order(sx, sy, &conv).unwrap().1)
+            .collect();
+        let avg = average_grads(&grads).unwrap();
+        let mut opt2 = Sgd::new(0.1);
+        net_ref.apply_grads(&avg, &mut opt2).unwrap();
+
+        assert_eq!(net_par.snapshot_params(), net_ref.snapshot_params());
+    }
+
+    #[test]
+    fn parallel_training_converges() {
+        let (x, y) = synthetic_classification(33, 64, 5, 3);
+        let shards = shard(&x, &y, 2);
+        let mut net = mlp(6);
+        let graph = net.train_graph();
+        let orders = vec![graph.fast_forward_backprop(), graph.conventional_backprop()];
+        let mut opt = Sgd::new(0.1);
+        let first = data_parallel_step(&mut net, &shards, &orders, &mut opt).unwrap();
+        let mut last = first;
+        for _ in 0..30 {
+            last = data_parallel_step(&mut net, &shards, &orders, &mut opt).unwrap();
+        }
+        assert!(last < first, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn shard_order_mismatch_rejected() {
+        let (x, y) = synthetic_classification(1, 8, 5, 3);
+        let shards = shard(&x, &y, 2);
+        let mut net = mlp(7);
+        let mut opt = Sgd::new(0.1);
+        assert!(data_parallel_step(&mut net, &shards, &[], &mut opt).is_err());
+    }
+}

@@ -1,0 +1,261 @@
+//! A small training harness: epochs over mini-batches, learning-rate
+//! schedules, and metric tracking — all under an explicit backward
+//! schedule, so whole training runs (not just single steps) are
+//! schedule-reproducible.
+
+use crate::error::{Error, Result};
+use crate::network::Sequential;
+use crate::optim::Optimizer;
+use ooo_core::op::Op;
+use ooo_tensor::Tensor;
+
+/// Learning-rate schedule, applied as a multiplier on the optimizer's
+/// base step (implemented by scaling gradients, which is equivalent for
+/// the first-order optimizers here when momentum-style state is scaled
+/// consistently — we therefore only expose schedules for plain SGD-like
+/// training loops and document the caveat).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrSchedule {
+    /// Constant multiplier 1.
+    Constant,
+    /// Linear warmup over the first `warmup_steps`, then constant.
+    Warmup {
+        /// Steps to ramp from 0 to 1.
+        warmup_steps: usize,
+    },
+    /// Step decay: multiply by `gamma` every `every` steps.
+    StepDecay {
+        /// Interval in steps.
+        every: usize,
+        /// Decay factor per interval.
+        gamma: f32,
+    },
+}
+
+impl LrSchedule {
+    /// The multiplier at a (0-based) step.
+    pub fn multiplier(&self, step: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant => 1.0,
+            LrSchedule::Warmup { warmup_steps } => {
+                if warmup_steps == 0 {
+                    1.0
+                } else {
+                    ((step + 1) as f32 / warmup_steps as f32).min(1.0)
+                }
+            }
+            LrSchedule::StepDecay { every, gamma } => match step.checked_div(every) {
+                None => 1.0,
+                Some(intervals) => gamma.powi(intervals as i32),
+            },
+        }
+    }
+}
+
+/// Per-epoch metrics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochMetrics {
+    /// Mean training loss over the epoch's batches.
+    pub mean_loss: f32,
+    /// Training accuracy measured after the epoch.
+    pub accuracy: f32,
+}
+
+/// Training-run configuration.
+#[derive(Debug, Clone)]
+pub struct TrainerConfig {
+    /// Number of epochs.
+    pub epochs: usize,
+    /// Mini-batch size (the last batch may be smaller).
+    pub batch_size: usize,
+    /// Learning-rate schedule.
+    pub schedule: LrSchedule,
+}
+
+impl Default for TrainerConfig {
+    fn default() -> Self {
+        TrainerConfig {
+            epochs: 1,
+            batch_size: 32,
+            schedule: LrSchedule::Constant,
+        }
+    }
+}
+
+/// Trains `net` on `(x, y)` under the given backward `order`, returning
+/// per-epoch metrics. Batching is deterministic (no shuffling), so runs
+/// are bitwise reproducible per schedule — and identical across
+/// schedules.
+///
+/// # Errors
+///
+/// Propagates layer/optimizer errors and rejects empty datasets.
+pub fn fit<O: Optimizer>(
+    net: &mut Sequential,
+    x: &Tensor,
+    y: &[usize],
+    order: &[Op],
+    opt: &mut O,
+    config: &TrainerConfig,
+) -> Result<Vec<EpochMetrics>> {
+    let n = x.dims().first().copied().unwrap_or(0);
+    if n == 0 || y.len() != n {
+        return Err(Error::Invalid(format!("{n} rows with {} labels", y.len())));
+    }
+    if config.batch_size == 0 || config.epochs == 0 {
+        return Err(Error::Invalid(
+            "batch_size and epochs must be positive".into(),
+        ));
+    }
+    let row: usize = x.dims().iter().skip(1).product();
+    let mut metrics = Vec::with_capacity(config.epochs);
+    let mut step = 0usize;
+    for _ in 0..config.epochs {
+        let mut losses = Vec::new();
+        let mut lo = 0;
+        while lo < n {
+            let hi = (lo + config.batch_size).min(n);
+            let mut dims = x.dims().to_vec();
+            dims[0] = hi - lo;
+            let bx = Tensor::from_vec(x.data()[lo * row..hi * row].to_vec(), &dims)?;
+            let by = &y[lo..hi];
+            let mult = config.schedule.multiplier(step);
+            let (loss, grads) = net.grads_with_order(&bx, by, order)?;
+            let scaled: crate::network::Grads = grads
+                .iter()
+                .map(|layer| layer.iter().map(|g| g.scale(mult)).collect())
+                .collect();
+            net.apply_grads(&scaled, opt)?;
+            losses.push(loss);
+            step += 1;
+            lo = hi;
+        }
+        let (_, accuracy) = net.evaluate(x, y)?;
+        metrics.push(EpochMetrics {
+            mean_loss: if losses.is_empty() {
+                0.0
+            } else {
+                losses.iter().sum::<f32>() / losses.len() as f32
+            },
+            accuracy,
+        });
+    }
+    Ok(metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::synthetic_classification;
+    use crate::layers::{Dense, Relu};
+    use crate::optim::Sgd;
+
+    fn mlp(seed: u64) -> Sequential {
+        let mut net = Sequential::new();
+        net.push(Dense::seeded(6, 24, seed));
+        net.push(Relu::new());
+        net.push(Dense::seeded(24, 4, seed + 1));
+        net
+    }
+
+    #[test]
+    fn schedules_multiply_correctly() {
+        assert_eq!(LrSchedule::Constant.multiplier(99), 1.0);
+        let w = LrSchedule::Warmup { warmup_steps: 4 };
+        assert_eq!(w.multiplier(0), 0.25);
+        assert_eq!(w.multiplier(3), 1.0);
+        assert_eq!(w.multiplier(10), 1.0);
+        let d = LrSchedule::StepDecay {
+            every: 10,
+            gamma: 0.5,
+        };
+        assert_eq!(d.multiplier(9), 1.0);
+        assert_eq!(d.multiplier(10), 0.5);
+        assert_eq!(d.multiplier(25), 0.25);
+        assert_eq!(LrSchedule::Warmup { warmup_steps: 0 }.multiplier(0), 1.0);
+        assert_eq!(
+            LrSchedule::StepDecay {
+                every: 0,
+                gamma: 0.5
+            }
+            .multiplier(5),
+            1.0
+        );
+    }
+
+    #[test]
+    fn fit_learns_and_reports() {
+        let (x, y) = synthetic_classification(17, 96, 6, 4);
+        let mut net = mlp(5);
+        let graph = net.train_graph();
+        let order = graph.fast_forward_backprop();
+        let mut opt = Sgd::new(0.1);
+        let cfg = TrainerConfig {
+            epochs: 8,
+            batch_size: 16,
+            schedule: LrSchedule::Constant,
+        };
+        let metrics = fit(&mut net, &x, &y, &order, &mut opt, &cfg).unwrap();
+        assert_eq!(metrics.len(), 8);
+        assert!(metrics.last().unwrap().mean_loss < metrics[0].mean_loss);
+        assert!(metrics.last().unwrap().accuracy > 0.7);
+    }
+
+    #[test]
+    fn fit_is_schedule_invariant() {
+        let (x, y) = synthetic_classification(23, 48, 6, 4);
+        let cfg = TrainerConfig {
+            epochs: 3,
+            batch_size: 16,
+            schedule: LrSchedule::Warmup { warmup_steps: 4 },
+        };
+        let mut a = mlp(9);
+        let mut b = mlp(9);
+        let graph = a.train_graph();
+        let ma = fit(
+            &mut a,
+            &x,
+            &y,
+            &graph.conventional_backprop(),
+            &mut Sgd::new(0.1),
+            &cfg,
+        )
+        .unwrap();
+        let mb = fit(
+            &mut b,
+            &x,
+            &y,
+            &graph.fast_forward_backprop(),
+            &mut Sgd::new(0.1),
+            &cfg,
+        )
+        .unwrap();
+        for (ea, eb) in ma.iter().zip(&mb) {
+            assert_eq!(ea.mean_loss.to_bits(), eb.mean_loss.to_bits());
+        }
+        assert_eq!(a.snapshot_params(), b.snapshot_params());
+    }
+
+    #[test]
+    fn fit_validates_inputs() {
+        let (x, y) = synthetic_classification(1, 8, 6, 4);
+        let mut net = mlp(1);
+        let graph = net.train_graph();
+        let order = graph.conventional_backprop();
+        let mut opt = Sgd::new(0.1);
+        let bad = TrainerConfig {
+            epochs: 0,
+            ..TrainerConfig::default()
+        };
+        assert!(fit(&mut net, &x, &y, &order, &mut opt, &bad).is_err());
+        assert!(fit(
+            &mut net,
+            &x,
+            &y[..4],
+            &order,
+            &mut opt,
+            &TrainerConfig::default()
+        )
+        .is_err());
+    }
+}

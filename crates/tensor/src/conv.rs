@@ -1,0 +1,456 @@
+//! 2-D convolution via im2col, with the three kernels exposed separately.
+//!
+//! The forward pass, the input-gradient pass (`conv2d_input_grad`,
+//! a `dO` kernel in the paper's terms), and the weight-gradient pass
+//! (`conv2d_weight_grad`, a `dW` kernel) are independent functions: the
+//! training stack schedules them as separate operations, which is what
+//! allows out-of-order backprop to move the weight gradient.
+//!
+//! Tensors use NCHW layout: inputs `[n, c, h, w]`, weights
+//! `[k, c, kh, kw]`, outputs `[n, k, oh, ow]`.
+
+use crate::error::{Error, Result};
+use crate::ops::{matmul, matmul_nt, matmul_tn};
+use crate::tensor::Tensor;
+
+/// Convolution hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dParams {
+    /// Stride in both dimensions.
+    pub stride: usize,
+    /// Zero padding in both dimensions.
+    pub padding: usize,
+}
+
+impl Default for Conv2dParams {
+    fn default() -> Self {
+        Conv2dParams {
+            stride: 1,
+            padding: 0,
+        }
+    }
+}
+
+impl Conv2dParams {
+    /// Output spatial size for an input of `(h, w)` under kernel
+    /// `(kh, kw)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidArgument`] when the kernel does not fit.
+    pub fn output_size(&self, h: usize, w: usize, kh: usize, kw: usize) -> Result<(usize, usize)> {
+        if self.stride == 0 {
+            return Err(Error::InvalidArgument("stride must be positive".into()));
+        }
+        let ph = h + 2 * self.padding;
+        let pw = w + 2 * self.padding;
+        if kh == 0 || kw == 0 || kh > ph || kw > pw {
+            return Err(Error::InvalidArgument(format!(
+                "kernel {kh}x{kw} does not fit padded input {ph}x{pw}"
+            )));
+        }
+        Ok(((ph - kh) / self.stride + 1, (pw - kw) / self.stride + 1))
+    }
+}
+
+/// Unfolds image patches into columns: input `[c, h, w]` becomes
+/// `[c*kh*kw, oh*ow]`.
+#[allow(clippy::too_many_arguments)] // the 9 values are one transform's coordinates
+fn im2col(
+    input: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    p: &Conv2dParams,
+    oh: usize,
+    ow: usize,
+) -> Vec<f32> {
+    let cols = oh * ow;
+    let mut out = vec![0.0f32; c * kh * kw * cols];
+    for ch in 0..c {
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let row = (ch * kh + ky) * kw + kx;
+                for oy in 0..oh {
+                    let iy = (oy * p.stride + ky) as isize - p.padding as isize;
+                    for ox in 0..ow {
+                        let ix = (ox * p.stride + kx) as isize - p.padding as isize;
+                        let v = if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
+                            input[(ch * h + iy as usize) * w + ix as usize]
+                        } else {
+                            0.0
+                        };
+                        out[row * cols + oy * ow + ox] = v;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Folds columns back into an image, accumulating overlaps — the adjoint
+/// of [`im2col`].
+#[allow(clippy::too_many_arguments)] // mirror of `im2col`
+fn col2im(
+    cols_data: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    p: &Conv2dParams,
+    oh: usize,
+    ow: usize,
+) -> Vec<f32> {
+    let cols = oh * ow;
+    let mut out = vec![0.0f32; c * h * w];
+    for ch in 0..c {
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let row = (ch * kh + ky) * kw + kx;
+                for oy in 0..oh {
+                    let iy = (oy * p.stride + ky) as isize - p.padding as isize;
+                    for ox in 0..ow {
+                        let ix = (ox * p.stride + kx) as isize - p.padding as isize;
+                        if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
+                            out[(ch * h + iy as usize) * w + ix as usize] +=
+                                cols_data[row * cols + oy * ow + ox];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn check_conv_shapes(input: &Tensor, weight: &Tensor, op: &'static str) -> Result<()> {
+    if input.shape().rank() != 4 || weight.shape().rank() != 4 {
+        return Err(Error::RankMismatch {
+            got: input.shape().rank().max(weight.shape().rank()),
+            expected: 4,
+            op,
+        });
+    }
+    if input.dims()[1] != weight.dims()[1] {
+        return Err(Error::ShapeMismatch {
+            left: input.dims().to_vec(),
+            right: weight.dims().to_vec(),
+            op,
+        });
+    }
+    Ok(())
+}
+
+/// Forward convolution: `input [n,c,h,w] * weight [k,c,kh,kw] ->
+/// [n,k,oh,ow]`.
+///
+/// # Errors
+///
+/// Returns shape/argument errors for incompatible operands.
+pub fn conv2d(input: &Tensor, weight: &Tensor, p: &Conv2dParams) -> Result<Tensor> {
+    check_conv_shapes(input, weight, "conv2d")?;
+    let (n, c, h, w) = (
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    );
+    let (k, _, kh, kw) = (
+        weight.dims()[0],
+        weight.dims()[1],
+        weight.dims()[2],
+        weight.dims()[3],
+    );
+    let (oh, ow) = p.output_size(h, w, kh, kw)?;
+    let wmat = weight.reshape(&[k, c * kh * kw])?;
+    let mut out = vec![0.0f32; n * k * oh * ow];
+    let img = c * h * w;
+    for b in 0..n {
+        let cols = im2col(
+            &input.data()[b * img..(b + 1) * img],
+            c,
+            h,
+            w,
+            kh,
+            kw,
+            p,
+            oh,
+            ow,
+        );
+        let cols = Tensor::from_vec(cols, &[c * kh * kw, oh * ow])?;
+        let y = matmul(&wmat, &cols)?; // [k, oh*ow]
+        out[b * k * oh * ow..(b + 1) * k * oh * ow].copy_from_slice(y.data());
+    }
+    Tensor::from_vec(out, &[n, k, oh, ow])
+}
+
+/// Input gradient of a convolution (`dX = Wᵀ ⊛ dY`): the output-gradient
+/// kernel the main stream runs.
+///
+/// # Errors
+///
+/// Returns shape/argument errors for incompatible operands.
+pub fn conv2d_input_grad(
+    grad_out: &Tensor,
+    weight: &Tensor,
+    input_hw: (usize, usize),
+    p: &Conv2dParams,
+) -> Result<Tensor> {
+    if grad_out.shape().rank() != 4 || weight.shape().rank() != 4 {
+        return Err(Error::RankMismatch {
+            got: grad_out.shape().rank().max(weight.shape().rank()),
+            expected: 4,
+            op: "conv2d_input_grad",
+        });
+    }
+    let (n, k, oh, ow) = (
+        grad_out.dims()[0],
+        grad_out.dims()[1],
+        grad_out.dims()[2],
+        grad_out.dims()[3],
+    );
+    let (kk, c, kh, kw) = (
+        weight.dims()[0],
+        weight.dims()[1],
+        weight.dims()[2],
+        weight.dims()[3],
+    );
+    if k != kk {
+        return Err(Error::ShapeMismatch {
+            left: grad_out.dims().to_vec(),
+            right: weight.dims().to_vec(),
+            op: "conv2d_input_grad",
+        });
+    }
+    let (h, w) = input_hw;
+    let wmat = weight.reshape(&[k, c * kh * kw])?;
+    let mut out = vec![0.0f32; n * c * h * w];
+    let oimg = k * oh * ow;
+    let img = c * h * w;
+    for b in 0..n {
+        let dy = Tensor::from_vec(
+            grad_out.data()[b * oimg..(b + 1) * oimg].to_vec(),
+            &[k, oh * ow],
+        )?;
+        // dcols = Wᵀ × dY : [c*kh*kw, oh*ow]
+        let dcols = matmul_tn(&wmat, &dy)?;
+        let dx = col2im(dcols.data(), c, h, w, kh, kw, p, oh, ow);
+        out[b * img..(b + 1) * img].copy_from_slice(&dx);
+    }
+    Tensor::from_vec(out, &[n, c, h, w])
+}
+
+/// Weight gradient of a convolution (`dW = dY ⊛ X`): the weight-gradient
+/// kernel out-of-order backprop reorders.
+///
+/// # Errors
+///
+/// Returns shape/argument errors for incompatible operands.
+pub fn conv2d_weight_grad(
+    input: &Tensor,
+    grad_out: &Tensor,
+    kernel_hw: (usize, usize),
+    p: &Conv2dParams,
+) -> Result<Tensor> {
+    if input.shape().rank() != 4 || grad_out.shape().rank() != 4 {
+        return Err(Error::RankMismatch {
+            got: input.shape().rank().max(grad_out.shape().rank()),
+            expected: 4,
+            op: "conv2d_weight_grad",
+        });
+    }
+    let (n, c, h, w) = (
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    );
+    let (n2, k, oh, ow) = (
+        grad_out.dims()[0],
+        grad_out.dims()[1],
+        grad_out.dims()[2],
+        grad_out.dims()[3],
+    );
+    if n != n2 {
+        return Err(Error::ShapeMismatch {
+            left: input.dims().to_vec(),
+            right: grad_out.dims().to_vec(),
+            op: "conv2d_weight_grad",
+        });
+    }
+    let (kh, kw) = kernel_hw;
+    let mut acc = Tensor::zeros(&[k, c * kh * kw]);
+    let img = c * h * w;
+    let oimg = k * oh * ow;
+    for b in 0..n {
+        let cols = im2col(
+            &input.data()[b * img..(b + 1) * img],
+            c,
+            h,
+            w,
+            kh,
+            kw,
+            p,
+            oh,
+            ow,
+        );
+        let cols = Tensor::from_vec(cols, &[c * kh * kw, oh * ow])?;
+        let dy = Tensor::from_vec(
+            grad_out.data()[b * oimg..(b + 1) * oimg].to_vec(),
+            &[k, oh * ow],
+        )?;
+        // dW += dY × colsᵀ : [k, c*kh*kw]
+        let dw = matmul_nt(&dy, &cols)?;
+        crate::ops::axpy(&mut acc, 1.0, &dw)?;
+    }
+    acc.reshape(&[k, c, kh, kw])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32], dims: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), dims).unwrap()
+    }
+
+    #[test]
+    fn output_size_math() {
+        let p = Conv2dParams {
+            stride: 1,
+            padding: 0,
+        };
+        assert_eq!(p.output_size(5, 5, 3, 3).unwrap(), (3, 3));
+        let p = Conv2dParams {
+            stride: 2,
+            padding: 1,
+        };
+        assert_eq!(p.output_size(4, 4, 3, 3).unwrap(), (2, 2));
+        assert!(Conv2dParams {
+            stride: 0,
+            padding: 0
+        }
+        .output_size(4, 4, 3, 3)
+        .is_err());
+        assert!(Conv2dParams::default().output_size(2, 2, 3, 3).is_err());
+    }
+
+    #[test]
+    fn identity_kernel_preserves_input() {
+        // A 1x1 kernel with weight 1 is the identity.
+        let x = t(&[1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let w = t(&[1.0], &[1, 1, 1, 1]);
+        let y = conv2d(&x, &w, &Conv2dParams::default()).unwrap();
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn known_convolution() {
+        // 3x3 input, 2x2 averaging-like kernel of ones.
+        let x = t(
+            &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0],
+            &[1, 1, 3, 3],
+        );
+        let w = t(&[1.0, 1.0, 1.0, 1.0], &[1, 1, 2, 2]);
+        let y = conv2d(&x, &w, &Conv2dParams::default()).unwrap();
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[12.0, 16.0, 24.0, 28.0]);
+    }
+
+    #[test]
+    fn padding_grows_output() {
+        let x = Tensor::ones(&[1, 1, 3, 3]);
+        let w = Tensor::ones(&[1, 1, 3, 3]);
+        let y = conv2d(
+            &x,
+            &w,
+            &Conv2dParams {
+                stride: 1,
+                padding: 1,
+            },
+        )
+        .unwrap();
+        assert_eq!(y.dims(), &[1, 1, 3, 3]);
+        // Center sees all 9 ones; corners only 4.
+        assert_eq!(y.get(&[0, 0, 1, 1]).unwrap(), 9.0);
+        assert_eq!(y.get(&[0, 0, 0, 0]).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn channel_mismatch_rejected() {
+        let x = Tensor::ones(&[1, 2, 3, 3]);
+        let w = Tensor::ones(&[1, 3, 2, 2]);
+        assert!(conv2d(&x, &w, &Conv2dParams::default()).is_err());
+    }
+
+    /// Finite-difference check of both gradient kernels on a small conv.
+    #[test]
+    fn gradients_match_finite_difference() {
+        let p = Conv2dParams {
+            stride: 1,
+            padding: 1,
+        };
+        let x = t(
+            &(0..18).map(|i| (i as f32) * 0.1 - 0.9).collect::<Vec<_>>(),
+            &[1, 2, 3, 3],
+        );
+        let w = t(
+            &(0..16)
+                .map(|i| ((i * 7 % 5) as f32) * 0.2 - 0.4)
+                .collect::<Vec<_>>(),
+            &[2, 2, 2, 2],
+        );
+        let y = conv2d(&x, &w, &p).unwrap();
+        // Loss = sum(y); dL/dy = ones.
+        let dy = Tensor::ones(y.dims());
+        let dx = conv2d_input_grad(&dy, &w, (3, 3), &p).unwrap();
+        let dw = conv2d_weight_grad(&x, &dy, (2, 2), &p).unwrap();
+        let eps = 1e-2;
+        for i in 0..x.numel() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let fp = crate::ops::sum(&conv2d(&xp, &w, &p).unwrap());
+            let fm = crate::ops::sum(&conv2d(&xm, &w, &p).unwrap());
+            let fd = (fp - fm) / (2.0 * eps);
+            assert!(
+                (dx.data()[i] - fd).abs() < 1e-2,
+                "dx[{i}]: {} vs {fd}",
+                dx.data()[i]
+            );
+        }
+        for i in 0..w.numel() {
+            let mut wp = w.clone();
+            wp.data_mut()[i] += eps;
+            let mut wm = w.clone();
+            wm.data_mut()[i] -= eps;
+            let fp = crate::ops::sum(&conv2d(&x, &wp, &p).unwrap());
+            let fm = crate::ops::sum(&conv2d(&x, &wm, &p).unwrap());
+            let fd = (fp - fm) / (2.0 * eps);
+            assert!(
+                (dw.data()[i] - fd).abs() < 1e-2,
+                "dw[{i}]: {} vs {fd}",
+                dw.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn batched_inputs_independent() {
+        // Two identical images in a batch give identical outputs.
+        let single = t(&[1.0, -1.0, 0.5, 2.0], &[1, 1, 2, 2]);
+        let mut batch_data = single.data().to_vec();
+        batch_data.extend_from_slice(single.data());
+        let batch = t(&batch_data, &[2, 1, 2, 2]);
+        let w = t(&[0.5, -0.5, 1.0, 1.0], &[1, 1, 2, 2]);
+        let y1 = conv2d(&single, &w, &Conv2dParams::default()).unwrap();
+        let y2 = conv2d(&batch, &w, &Conv2dParams::default()).unwrap();
+        assert_eq!(&y2.data()[..y1.numel()], y1.data());
+        assert_eq!(&y2.data()[y1.numel()..], y1.data());
+    }
+}

@@ -1,0 +1,73 @@
+//! Tensor error types.
+
+use std::fmt;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by tensor construction and operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The element count does not match the requested shape.
+    SizeMismatch {
+        /// Elements provided.
+        elements: usize,
+        /// Elements the shape requires.
+        expected: usize,
+    },
+    /// Two operands have incompatible shapes.
+    ShapeMismatch {
+        /// Left operand shape.
+        left: Vec<usize>,
+        /// Right operand shape.
+        right: Vec<usize>,
+        /// The operation that failed.
+        op: &'static str,
+    },
+    /// The operation requires a different rank (e.g. matmul needs rank 2).
+    RankMismatch {
+        /// Rank provided.
+        got: usize,
+        /// Rank required.
+        expected: usize,
+        /// The operation that failed.
+        op: &'static str,
+    },
+    /// A configuration value is invalid (zero kernel size, stride, ...).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::SizeMismatch { elements, expected } => {
+                write!(f, "{elements} elements do not fill a shape of {expected}")
+            }
+            Error::ShapeMismatch { left, right, op } => {
+                write!(f, "{op}: incompatible shapes {left:?} and {right:?}")
+            }
+            Error::RankMismatch { got, expected, op } => {
+                write!(f, "{op}: rank {got} where {expected} is required")
+            }
+            Error::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_context() {
+        let e = Error::ShapeMismatch {
+            left: vec![2, 3],
+            right: vec![4],
+            op: "add",
+        };
+        assert!(e.to_string().contains("add"));
+        assert!(e.to_string().contains("[2, 3]"));
+    }
+}

@@ -1,0 +1,61 @@
+//! Seeded weight initialization.
+//!
+//! All initializers take an explicit RNG so that entire training runs are
+//! reproducible — a prerequisite for the bitwise schedule-equivalence
+//! tests in `ooo-nn`.
+
+use crate::tensor::Tensor;
+use rand::distributions::{Distribution, Uniform};
+use rand::Rng;
+
+/// Uniform initialization in `[-limit, limit]`.
+pub fn uniform<R: Rng>(rng: &mut R, dims: &[usize], limit: f32) -> Tensor {
+    let dist = Uniform::new_inclusive(-limit, limit);
+    let n: usize = dims.iter().product();
+    let data: Vec<f32> = (0..n).map(|_| dist.sample(rng)).collect();
+    Tensor::from_vec(data, dims).expect("size matches by construction")
+}
+
+/// Xavier/Glorot uniform initialization for a weight of the given fan-in
+/// and fan-out.
+pub fn xavier<R: Rng>(rng: &mut R, dims: &[usize], fan_in: usize, fan_out: usize) -> Tensor {
+    let limit = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+    uniform(rng, dims, limit)
+}
+
+/// He/Kaiming uniform initialization (ReLU networks).
+pub fn he<R: Rng>(rng: &mut R, dims: &[usize], fan_in: usize) -> Tensor {
+    let limit = (6.0 / fan_in.max(1) as f32).sqrt();
+    uniform(rng, dims, limit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn seeded_init_is_reproducible() {
+        let a = xavier(&mut StdRng::seed_from_u64(7), &[4, 4], 4, 4);
+        let b = xavier(&mut StdRng::seed_from_u64(7), &[4, 4], 4, 4);
+        assert_eq!(a.data(), b.data());
+        let c = xavier(&mut StdRng::seed_from_u64(8), &[4, 4], 4, 4);
+        assert_ne!(a.data(), c.data());
+    }
+
+    #[test]
+    fn values_within_limit() {
+        let t = uniform(&mut StdRng::seed_from_u64(1), &[100], 0.5);
+        assert!(t.data().iter().all(|&x| (-0.5..=0.5).contains(&x)));
+    }
+
+    #[test]
+    fn he_scales_with_fan_in() {
+        let big = he(&mut StdRng::seed_from_u64(2), &[1000], 10);
+        let small = he(&mut StdRng::seed_from_u64(2), &[1000], 1000);
+        let max_big = big.data().iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+        let max_small = small.data().iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+        assert!(max_big > max_small);
+    }
+}

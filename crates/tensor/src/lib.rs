@@ -1,0 +1,41 @@
+//! # ooo-tensor — dense CPU tensors for the ooo-backprop workspace
+//!
+//! A small, dependency-light tensor library providing exactly the
+//! operations the `ooo-nn` training stack needs: elementwise arithmetic,
+//! matrix multiplication, 2-D convolution via im2col (with the input- and
+//! weight-gradient kernels exposed *separately* — the split that
+//! out-of-order backprop schedules), pooling, activations, softmax, and
+//! reductions.
+//!
+//! Determinism is a design goal: every operation iterates in a fixed
+//! order, so results are bitwise reproducible across runs and — crucially
+//! for validating out-of-order backprop — independent of *when* an
+//! operation executes relative to unrelated operations.
+//!
+//! # Example
+//!
+//! ```
+//! use ooo_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b).unwrap();
+//! assert_eq!(c.data(), a.data());
+//! ```
+
+#![warn(missing_docs)]
+// Index-based loops mirror the papers' subscripted formulas in the
+// numeric kernels; iterator rewrites would obscure them.
+#![allow(clippy::needless_range_loop)]
+
+pub mod conv;
+pub mod error;
+pub mod init;
+pub mod ops;
+pub mod pool;
+pub mod shape;
+pub mod tensor;
+
+pub use error::{Error, Result};
+pub use shape::Shape;
+pub use tensor::Tensor;

@@ -1,0 +1,623 @@
+//! Elementwise operations, matrix multiplication, activations, softmax,
+//! losses, and reductions.
+//!
+//! Gradient kernels are provided as separate functions (e.g.
+//! [`matmul_nt`]/[`matmul_tn`] compose the two halves of a dense layer's
+//! backward pass) so that the `ooo-nn` layers can expose output- and
+//! weight-gradient computations as independently schedulable operations.
+
+use crate::error::{Error, Result};
+use crate::tensor::Tensor;
+
+fn same_shape(a: &Tensor, b: &Tensor, op: &'static str) -> Result<()> {
+    if a.dims() != b.dims() {
+        return Err(Error::ShapeMismatch {
+            left: a.dims().to_vec(),
+            right: b.dims().to_vec(),
+            op,
+        });
+    }
+    Ok(())
+}
+
+/// Elementwise sum `a + b`.
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] when shapes differ.
+pub fn add(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    same_shape(a, b, "add")?;
+    let data = a.data().iter().zip(b.data()).map(|(x, y)| x + y).collect();
+    Tensor::from_vec(data, a.dims())
+}
+
+/// Elementwise difference `a - b`.
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] when shapes differ.
+pub fn sub(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    same_shape(a, b, "sub")?;
+    let data = a.data().iter().zip(b.data()).map(|(x, y)| x - y).collect();
+    Tensor::from_vec(data, a.dims())
+}
+
+/// Elementwise (Hadamard) product `a ⊙ b`.
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] when shapes differ.
+pub fn mul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    same_shape(a, b, "mul")?;
+    let data = a.data().iter().zip(b.data()).map(|(x, y)| x * y).collect();
+    Tensor::from_vec(data, a.dims())
+}
+
+/// Scalar scaling `s * a`.
+pub fn scale(a: &Tensor, s: f32) -> Tensor {
+    let data = a.data().iter().map(|x| x * s).collect();
+    Tensor::from_vec(data, a.dims()).expect("same element count")
+}
+
+/// In-place `a += s * b` (the optimizer's workhorse).
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] when shapes differ.
+pub fn axpy(a: &mut Tensor, s: f32, b: &Tensor) -> Result<()> {
+    same_shape(a, b, "axpy")?;
+    for (x, y) in a.data_mut().iter_mut().zip(b.data()) {
+        *x += s * y;
+    }
+    Ok(())
+}
+
+/// Adds a row vector `bias` (shape `[n]`) to every row of `a`
+/// (shape `[m, n]`).
+///
+/// # Errors
+///
+/// Returns [`Error::RankMismatch`] / [`Error::ShapeMismatch`] on
+/// incompatible shapes.
+pub fn add_row(a: &Tensor, bias: &Tensor) -> Result<Tensor> {
+    if a.shape().rank() != 2 {
+        return Err(Error::RankMismatch {
+            got: a.shape().rank(),
+            expected: 2,
+            op: "add_row",
+        });
+    }
+    let (m, n) = (a.dims()[0], a.dims()[1]);
+    if bias.dims() != [n] {
+        return Err(Error::ShapeMismatch {
+            left: a.dims().to_vec(),
+            right: bias.dims().to_vec(),
+            op: "add_row",
+        });
+    }
+    let mut out = a.clone();
+    for r in 0..m {
+        for c in 0..n {
+            out.data_mut()[r * n + c] += bias.data()[c];
+        }
+    }
+    Ok(out)
+}
+
+fn matmul_dims(a: &Tensor, b: &Tensor, op: &'static str) -> Result<()> {
+    if a.shape().rank() != 2 || b.shape().rank() != 2 {
+        return Err(Error::RankMismatch {
+            got: a.shape().rank().max(b.shape().rank()),
+            expected: 2,
+            op,
+        });
+    }
+    Ok(())
+}
+
+/// Matrix product `a[m,k] × b[k,n] -> [m,n]`.
+///
+/// # Errors
+///
+/// Returns rank/shape errors on incompatible operands.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    matmul_dims(a, b, "matmul")?;
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    if k != k2 {
+        return Err(Error::ShapeMismatch {
+            left: a.dims().to_vec(),
+            right: b.dims().to_vec(),
+            op: "matmul",
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for i in 0..m {
+        for p in 0..k {
+            let av = ad[i * k + p];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &bd[p * n..(p + 1) * n];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// `a[m,k] × bᵀ` where `b` is `[n,k]` — computes `[m,n]` without
+/// materializing the transpose (used for input gradients:
+/// `dX = dY × Wᵀ`).
+///
+/// # Errors
+///
+/// Returns rank/shape errors on incompatible operands.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    matmul_dims(a, b, "matmul_nt")?;
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (n, k2) = (b.dims()[0], b.dims()[1]);
+    if k != k2 {
+        return Err(Error::ShapeMismatch {
+            left: a.dims().to_vec(),
+            right: b.dims().to_vec(),
+            op: "matmul_nt",
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let arow = &a.data()[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &b.data()[j * k..(j + 1) * k];
+            out[i * n + j] = arow.iter().zip(brow).map(|(x, y)| x * y).sum();
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// `aᵀ × b` where `a` is `[k,m]`, `b` is `[k,n]` — computes `[m,n]`
+/// without materializing the transpose (used for weight gradients:
+/// `dW = Xᵀ × dY`).
+///
+/// # Errors
+///
+/// Returns rank/shape errors on incompatible operands.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    matmul_dims(a, b, "matmul_tn")?;
+    let (k, m) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    if k != k2 {
+        return Err(Error::ShapeMismatch {
+            left: a.dims().to_vec(),
+            right: b.dims().to_vec(),
+            op: "matmul_tn",
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    for p in 0..k {
+        let arow = &a.data()[p * m..(p + 1) * m];
+        let brow = &b.data()[p * n..(p + 1) * n];
+        for i in 0..m {
+            let av = arow[i];
+            if av == 0.0 {
+                continue;
+            }
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Matrix transpose of a rank-2 tensor.
+///
+/// # Errors
+///
+/// Returns [`Error::RankMismatch`] for non-matrices.
+pub fn transpose(a: &Tensor) -> Result<Tensor> {
+    if a.shape().rank() != 2 {
+        return Err(Error::RankMismatch {
+            got: a.shape().rank(),
+            expected: 2,
+            op: "transpose",
+        });
+    }
+    let (m, n) = (a.dims()[0], a.dims()[1]);
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            out[j * m + i] = a.data()[i * n + j];
+        }
+    }
+    Tensor::from_vec(out, &[n, m])
+}
+
+/// ReLU activation.
+pub fn relu(a: &Tensor) -> Tensor {
+    let data = a.data().iter().map(|&x| x.max(0.0)).collect();
+    Tensor::from_vec(data, a.dims()).expect("same element count")
+}
+
+/// ReLU gradient: `dx = dy ⊙ [x > 0]`.
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] when shapes differ.
+pub fn relu_grad(x: &Tensor, dy: &Tensor) -> Result<Tensor> {
+    same_shape(x, dy, "relu_grad")?;
+    let data = x
+        .data()
+        .iter()
+        .zip(dy.data())
+        .map(|(&x, &g)| if x > 0.0 { g } else { 0.0 })
+        .collect();
+    Tensor::from_vec(data, x.dims())
+}
+
+/// GELU activation (tanh approximation, as used by BERT/GPT).
+pub fn gelu(a: &Tensor) -> Tensor {
+    let c = (2.0f32 / std::f32::consts::PI).sqrt();
+    let data = a
+        .data()
+        .iter()
+        .map(|&x| 0.5 * x * (1.0 + (c * (x + 0.044715 * x * x * x)).tanh()))
+        .collect();
+    Tensor::from_vec(data, a.dims()).expect("same element count")
+}
+
+/// GELU gradient (tanh approximation).
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] when shapes differ.
+pub fn gelu_grad(x: &Tensor, dy: &Tensor) -> Result<Tensor> {
+    same_shape(x, dy, "gelu_grad")?;
+    let c = (2.0f32 / std::f32::consts::PI).sqrt();
+    let data = x
+        .data()
+        .iter()
+        .zip(dy.data())
+        .map(|(&x, &g)| {
+            let u = c * (x + 0.044715 * x * x * x);
+            let t = u.tanh();
+            let du = c * (1.0 + 3.0 * 0.044715 * x * x);
+            g * (0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du)
+        })
+        .collect();
+    Tensor::from_vec(data, x.dims())
+}
+
+/// Sigmoid activation.
+pub fn sigmoid(a: &Tensor) -> Tensor {
+    let data = a.data().iter().map(|&x| 1.0 / (1.0 + (-x).exp())).collect();
+    Tensor::from_vec(data, a.dims()).expect("same element count")
+}
+
+/// Tanh activation.
+pub fn tanh(a: &Tensor) -> Tensor {
+    let data = a.data().iter().map(|&x| x.tanh()).collect();
+    Tensor::from_vec(data, a.dims()).expect("same element count")
+}
+
+/// Row-wise softmax of a `[m, n]` matrix, numerically stabilized.
+///
+/// # Errors
+///
+/// Returns [`Error::RankMismatch`] for non-matrices.
+pub fn softmax_rows(a: &Tensor) -> Result<Tensor> {
+    if a.shape().rank() != 2 {
+        return Err(Error::RankMismatch {
+            got: a.shape().rank(),
+            expected: 2,
+            op: "softmax_rows",
+        });
+    }
+    let (m, n) = (a.dims()[0], a.dims()[1]);
+    let mut out = vec![0.0f32; m * n];
+    for r in 0..m {
+        let row = &a.data()[r * n..(r + 1) * n];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0;
+        for (o, &x) in out[r * n..(r + 1) * n].iter_mut().zip(row) {
+            let e = (x - max).exp();
+            *o = e;
+            denom += e;
+        }
+        for o in &mut out[r * n..(r + 1) * n] {
+            *o /= denom;
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Mean cross-entropy of logits `[m, n]` against integer labels, plus the
+/// gradient w.r.t. the logits (`(softmax - onehot) / m`) — returned
+/// together because the loss layer produces both in one kernel.
+///
+/// # Errors
+///
+/// Returns rank/argument errors for malformed inputs.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<(f32, Tensor)> {
+    if logits.shape().rank() != 2 {
+        return Err(Error::RankMismatch {
+            got: logits.shape().rank(),
+            expected: 2,
+            op: "softmax_cross_entropy",
+        });
+    }
+    let (m, n) = (logits.dims()[0], logits.dims()[1]);
+    if labels.len() != m {
+        return Err(Error::InvalidArgument(format!(
+            "{} labels for {m} rows",
+            labels.len()
+        )));
+    }
+    if let Some(&bad) = labels.iter().find(|&&c| c >= n) {
+        return Err(Error::InvalidArgument(format!(
+            "label {bad} out of {n} classes"
+        )));
+    }
+    let probs = softmax_rows(logits)?;
+    let mut loss = 0.0f32;
+    let mut grad = probs.clone();
+    for (r, &c) in labels.iter().enumerate() {
+        let p = probs.data()[r * n + c].max(1e-12);
+        loss -= p.ln();
+        grad.data_mut()[r * n + c] -= 1.0;
+    }
+    let grad = scale(&grad, 1.0 / m as f32);
+    Ok((loss / m as f32, grad))
+}
+
+/// Sum of all elements.
+pub fn sum(a: &Tensor) -> f32 {
+    a.data().iter().sum()
+}
+
+/// Mean of all elements (0 for empty tensors).
+pub fn mean(a: &Tensor) -> f32 {
+    if a.numel() == 0 {
+        return 0.0;
+    }
+    sum(a) / a.numel() as f32
+}
+
+/// Column sums of a `[m, n]` matrix — the bias gradient.
+///
+/// # Errors
+///
+/// Returns [`Error::RankMismatch`] for non-matrices.
+pub fn sum_rows(a: &Tensor) -> Result<Tensor> {
+    if a.shape().rank() != 2 {
+        return Err(Error::RankMismatch {
+            got: a.shape().rank(),
+            expected: 2,
+            op: "sum_rows",
+        });
+    }
+    let (m, n) = (a.dims()[0], a.dims()[1]);
+    let mut out = vec![0.0f32; n];
+    for r in 0..m {
+        for c in 0..n {
+            out[c] += a.data()[r * n + c];
+        }
+    }
+    Tensor::from_vec(out, &[n])
+}
+
+/// Method-style conveniences mirroring the free functions.
+impl Tensor {
+    /// Elementwise sum; see [`add`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] when shapes differ.
+    pub fn add(&self, other: &Tensor) -> Result<Tensor> {
+        add(self, other)
+    }
+
+    /// Elementwise difference; see [`sub`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] when shapes differ.
+    pub fn sub(&self, other: &Tensor) -> Result<Tensor> {
+        sub(self, other)
+    }
+
+    /// Hadamard product; see [`mul`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] when shapes differ.
+    pub fn mul(&self, other: &Tensor) -> Result<Tensor> {
+        mul(self, other)
+    }
+
+    /// Scalar scaling; see [`scale`].
+    pub fn scale(&self, s: f32) -> Tensor {
+        scale(self, s)
+    }
+
+    /// Matrix product; see [`matmul`].
+    ///
+    /// # Errors
+    ///
+    /// Returns rank/shape errors on incompatible operands.
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
+        matmul(self, other)
+    }
+
+    /// Matrix transpose; see [`transpose`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::RankMismatch`] for non-matrices.
+    pub fn transpose(&self) -> Result<Tensor> {
+        transpose(self)
+    }
+
+    /// ReLU activation; see [`relu`].
+    pub fn relu(&self) -> Tensor {
+        relu(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32], dims: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), dims).unwrap()
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = t(&[1.0, 2.0], &[2]);
+        let b = t(&[3.0, 5.0], &[2]);
+        assert_eq!(add(&a, &b).unwrap().data(), &[4.0, 7.0]);
+        assert_eq!(sub(&b, &a).unwrap().data(), &[2.0, 3.0]);
+        assert_eq!(mul(&a, &b).unwrap().data(), &[3.0, 10.0]);
+        assert_eq!(scale(&a, 2.0).data(), &[2.0, 4.0]);
+        assert!(add(&a, &t(&[1.0], &[1])).is_err());
+    }
+
+    #[test]
+    fn axpy_in_place() {
+        let mut a = t(&[1.0, 1.0], &[2]);
+        axpy(&mut a, -0.5, &t(&[2.0, 4.0], &[2])).unwrap();
+        assert_eq!(a.data(), &[0.0, -1.0]);
+    }
+
+    #[test]
+    fn add_row_broadcasts() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = t(&[10.0, 20.0], &[2]);
+        assert_eq!(add_row(&a, &b).unwrap().data(), &[11.0, 22.0, 13.0, 24.0]);
+        assert!(add_row(&a, &t(&[1.0], &[1])).is_err());
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = t(&[7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+        assert!(matmul(&a, &a).is_err());
+    }
+
+    #[test]
+    fn transposed_matmuls_agree_with_explicit_transpose() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = t(&[1.0, 0.5, -1.0, 2.0, 0.0, 3.0], &[2, 3]);
+        // a × bᵀ == a × transpose(b)
+        let nt = matmul_nt(&a, &b).unwrap();
+        let explicit = matmul(&a, &transpose(&b).unwrap()).unwrap();
+        assert_eq!(nt.data(), explicit.data());
+        // aᵀ × b == transpose(a) × b
+        let tn = matmul_tn(&a, &b).unwrap();
+        let explicit = matmul(&transpose(&a).unwrap(), &b).unwrap();
+        assert_eq!(tn.data(), explicit.data());
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let tt = transpose(&transpose(&a).unwrap()).unwrap();
+        assert_eq!(tt.data(), a.data());
+        assert_eq!(tt.dims(), a.dims());
+    }
+
+    #[test]
+    fn relu_and_grad() {
+        let x = t(&[-1.0, 0.0, 2.0], &[3]);
+        assert_eq!(relu(&x).data(), &[0.0, 0.0, 2.0]);
+        let dy = t(&[1.0, 1.0, 1.0], &[3]);
+        assert_eq!(relu_grad(&x, &dy).unwrap().data(), &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn gelu_matches_finite_difference() {
+        let x = t(&[-2.0, -0.5, 0.0, 0.7, 1.5], &[5]);
+        let dy = Tensor::ones(&[5]);
+        let g = gelu_grad(&x, &dy).unwrap();
+        let eps = 1e-3;
+        for i in 0..5 {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let fd = (gelu(&xp).data()[i] - gelu(&xm).data()[i]) / (2.0 * eps);
+            assert!(
+                (g.data()[i] - fd).abs() < 1e-3,
+                "i={i}: {} vs {fd}",
+                g.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn softmax_rows_normalized() {
+        let a = t(&[1.0, 2.0, 3.0, 1000.0, 1000.0, 1000.0], &[2, 3]);
+        let s = softmax_rows(&a).unwrap();
+        for r in 0..2 {
+            let row_sum: f32 = s.data()[r * 3..(r + 1) * 3].iter().sum();
+            assert!((row_sum - 1.0).abs() < 1e-5);
+        }
+        // The huge-but-equal row must not overflow.
+        assert!(s.all_finite());
+        assert!((s.data()[3] - 1.0 / 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_perfect_prediction_is_near_zero() {
+        let logits = t(&[100.0, 0.0, 0.0, 0.0, 100.0, 0.0], &[2, 3]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0, 1]).unwrap();
+        assert!(loss < 1e-3);
+        assert!(grad.all_finite());
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_difference() {
+        let logits = t(&[0.5, -0.2, 0.1, 1.0, 0.3, -0.7], &[2, 3]);
+        let labels = [2usize, 0];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels).unwrap();
+        let eps = 1e-2;
+        for i in 0..6 {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let (fp, _) = softmax_cross_entropy(&lp, &labels).unwrap();
+            let (fm, _) = softmax_cross_entropy(&lm, &labels).unwrap();
+            let fd = (fp - fm) / (2.0 * eps);
+            assert!(
+                (grad.data()[i] - fd).abs() < 1e-3,
+                "i={i}: {} vs {fd}",
+                grad.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn cross_entropy_validates_labels() {
+        let logits = Tensor::zeros(&[2, 3]);
+        assert!(softmax_cross_entropy(&logits, &[0]).is_err());
+        assert!(softmax_cross_entropy(&logits, &[0, 3]).is_err());
+    }
+
+    #[test]
+    fn reductions() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        assert_eq!(sum(&a), 10.0);
+        assert_eq!(mean(&a), 2.5);
+        assert_eq!(sum_rows(&a).unwrap().data(), &[4.0, 6.0]);
+    }
+}

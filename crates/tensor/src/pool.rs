@@ -1,0 +1,250 @@
+//! Max and average pooling with their backward kernels.
+//!
+//! Layout is NCHW, matching [`crate::conv`]. Pooling layers have no
+//! weights, so their backward pass consists only of an input-gradient
+//! kernel (a `dO` operation in the paper's terms).
+
+use crate::conv::Conv2dParams;
+use crate::error::{Error, Result};
+use crate::tensor::Tensor;
+
+fn check4(t: &Tensor, op: &'static str) -> Result<(usize, usize, usize, usize)> {
+    if t.shape().rank() != 4 {
+        return Err(Error::RankMismatch {
+            got: t.shape().rank(),
+            expected: 4,
+            op,
+        });
+    }
+    Ok((t.dims()[0], t.dims()[1], t.dims()[2], t.dims()[3]))
+}
+
+/// Max pooling with square window `k` and the given stride/padding.
+/// Returns the pooled tensor and the argmax indices (into the flattened
+/// input) needed by [`max_pool2d_grad`].
+///
+/// # Errors
+///
+/// Returns shape/argument errors for malformed inputs.
+pub fn max_pool2d(input: &Tensor, k: usize, p: &Conv2dParams) -> Result<(Tensor, Vec<usize>)> {
+    let (n, c, h, w) = check4(input, "max_pool2d")?;
+    let (oh, ow) = p.output_size(h, w, k, k)?;
+    let mut out = vec![0.0f32; n * c * oh * ow];
+    let mut arg = vec![0usize; n * c * oh * ow];
+    for b in 0..n {
+        for ch in 0..c {
+            let base = (b * c + ch) * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0usize;
+                    for ky in 0..k {
+                        let iy = (oy * p.stride + ky) as isize - p.padding as isize;
+                        if iy < 0 || iy as usize >= h {
+                            continue;
+                        }
+                        for kx in 0..k {
+                            let ix = (ox * p.stride + kx) as isize - p.padding as isize;
+                            if ix < 0 || ix as usize >= w {
+                                continue;
+                            }
+                            let idx = base + iy as usize * w + ix as usize;
+                            if input.data()[idx] > best {
+                                best = input.data()[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    let o = ((b * c + ch) * oh + oy) * ow + ox;
+                    out[o] = best;
+                    arg[o] = best_idx;
+                }
+            }
+        }
+    }
+    Ok((Tensor::from_vec(out, &[n, c, oh, ow])?, arg))
+}
+
+/// Backward of max pooling: routes each output gradient to the input
+/// position that won the max.
+///
+/// # Errors
+///
+/// Returns shape/argument errors for malformed inputs.
+pub fn max_pool2d_grad(
+    grad_out: &Tensor,
+    argmax: &[usize],
+    input_dims: &[usize],
+) -> Result<Tensor> {
+    check4(grad_out, "max_pool2d_grad")?;
+    if argmax.len() != grad_out.numel() {
+        return Err(Error::InvalidArgument(format!(
+            "{} argmax entries for {} outputs",
+            argmax.len(),
+            grad_out.numel()
+        )));
+    }
+    let mut dx = Tensor::zeros(input_dims);
+    for (o, &idx) in argmax.iter().enumerate() {
+        if idx >= dx.numel() {
+            return Err(Error::InvalidArgument(format!(
+                "argmax {idx} out of input range"
+            )));
+        }
+        dx.data_mut()[idx] += grad_out.data()[o];
+    }
+    Ok(dx)
+}
+
+/// Global average pooling: `[n, c, h, w] -> [n, c]`.
+///
+/// # Errors
+///
+/// Returns [`Error::RankMismatch`] for non-rank-4 inputs.
+pub fn global_avg_pool(input: &Tensor) -> Result<Tensor> {
+    let (n, c, h, w) = check4(input, "global_avg_pool")?;
+    let hw = (h * w) as f32;
+    let mut out = vec![0.0f32; n * c];
+    for b in 0..n {
+        for ch in 0..c {
+            let base = (b * c + ch) * h * w;
+            out[b * c + ch] = input.data()[base..base + h * w].iter().sum::<f32>() / hw;
+        }
+    }
+    Tensor::from_vec(out, &[n, c])
+}
+
+/// Backward of global average pooling: spreads each gradient uniformly.
+///
+/// # Errors
+///
+/// Returns shape errors for malformed inputs.
+pub fn global_avg_pool_grad(grad_out: &Tensor, input_dims: &[usize]) -> Result<Tensor> {
+    if grad_out.shape().rank() != 2 || input_dims.len() != 4 {
+        return Err(Error::RankMismatch {
+            got: grad_out.shape().rank(),
+            expected: 2,
+            op: "global_avg_pool_grad",
+        });
+    }
+    let (n, c, h, w) = (input_dims[0], input_dims[1], input_dims[2], input_dims[3]);
+    if grad_out.dims() != [n, c] {
+        return Err(Error::ShapeMismatch {
+            left: grad_out.dims().to_vec(),
+            right: input_dims.to_vec(),
+            op: "global_avg_pool_grad",
+        });
+    }
+    let hw = (h * w) as f32;
+    let mut dx = Tensor::zeros(input_dims);
+    for b in 0..n {
+        for ch in 0..c {
+            let g = grad_out.data()[b * c + ch] / hw;
+            let base = (b * c + ch) * h * w;
+            for v in &mut dx.data_mut()[base..base + h * w] {
+                *v = g;
+            }
+        }
+    }
+    Ok(dx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_picks_maxima() {
+        let x = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,
+                16.0,
+            ],
+            &[1, 1, 4, 4],
+        )
+        .unwrap();
+        let (y, arg) = max_pool2d(
+            &x,
+            2,
+            &Conv2dParams {
+                stride: 2,
+                padding: 0,
+            },
+        )
+        .unwrap();
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[6.0, 8.0, 14.0, 16.0]);
+        assert_eq!(arg, vec![5, 7, 13, 15]);
+    }
+
+    #[test]
+    fn max_pool_grad_routes_to_argmax() {
+        let x = Tensor::from_vec(vec![1.0, 5.0, 2.0, 3.0], &[1, 1, 2, 2]).unwrap();
+        let (_, arg) = max_pool2d(
+            &x,
+            2,
+            &Conv2dParams {
+                stride: 2,
+                padding: 0,
+            },
+        )
+        .unwrap();
+        let dy = Tensor::from_vec(vec![10.0], &[1, 1, 1, 1]).unwrap();
+        let dx = max_pool2d_grad(&dy, &arg, &[1, 1, 2, 2]).unwrap();
+        assert_eq!(dx.data(), &[0.0, 10.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn max_pool_grad_validates() {
+        let dy = Tensor::ones(&[1, 1, 1, 1]);
+        assert!(max_pool2d_grad(&dy, &[0, 1], &[1, 1, 2, 2]).is_err());
+        assert!(max_pool2d_grad(&dy, &[99], &[1, 1, 2, 2]).is_err());
+    }
+
+    #[test]
+    fn global_avg_pool_means() {
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0],
+            &[1, 2, 2, 2],
+        )
+        .unwrap();
+        let y = global_avg_pool(&x).unwrap();
+        assert_eq!(y.dims(), &[1, 2]);
+        assert_eq!(y.data(), &[2.5, 25.0]);
+    }
+
+    #[test]
+    fn global_avg_pool_grad_uniform() {
+        let dy = Tensor::from_vec(vec![4.0, 8.0], &[1, 2]).unwrap();
+        let dx = global_avg_pool_grad(&dy, &[1, 2, 2, 2]).unwrap();
+        assert_eq!(dx.data(), &[1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0]);
+        assert!(global_avg_pool_grad(&dy, &[1, 3, 2, 2]).is_err());
+    }
+
+    #[test]
+    fn pool_grad_matches_finite_difference() {
+        let x = Tensor::from_vec(
+            (0..16).map(|i| ((i * 13 % 7) as f32) - 3.0).collect(),
+            &[1, 1, 4, 4],
+        )
+        .unwrap();
+        let p = Conv2dParams {
+            stride: 2,
+            padding: 0,
+        };
+        let (y, arg) = max_pool2d(&x, 2, &p).unwrap();
+        let dy = Tensor::ones(y.dims());
+        let dx = max_pool2d_grad(&dy, &arg, x.dims()).unwrap();
+        let eps = 1e-2;
+        for i in 0..x.numel() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let (yp, _) = max_pool2d(&xp, 2, &p).unwrap();
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let (ym, _) = max_pool2d(&xm, 2, &p).unwrap();
+            let fd = (crate::ops::sum(&yp) - crate::ops::sum(&ym)) / (2.0 * eps);
+            assert!((dx.data()[i] - fd).abs() < 1e-2, "i={i}");
+        }
+    }
+}

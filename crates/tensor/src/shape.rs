@@ -1,0 +1,136 @@
+//! Shapes and row-major index arithmetic.
+
+use crate::error::{Error, Result};
+use std::fmt;
+
+/// A tensor shape (row-major).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from dimensions.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+
+    /// The dimensions.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total element count (1 for a scalar shape).
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Row-major strides.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Linear offset of a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidArgument`] when the index rank or any
+    /// coordinate is out of range.
+    pub fn offset(&self, index: &[usize]) -> Result<usize> {
+        if index.len() != self.rank() {
+            return Err(Error::InvalidArgument(format!(
+                "index rank {} != shape rank {}",
+                index.len(),
+                self.rank()
+            )));
+        }
+        let mut off = 0;
+        for ((&i, &d), s) in index.iter().zip(self.0.iter()).zip(self.strides()) {
+            if i >= d {
+                return Err(Error::InvalidArgument(format!(
+                    "index {i} out of bound {d}"
+                )));
+            }
+            off += i * s;
+        }
+        Ok(off)
+    }
+
+    /// Size of dimension `axis`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidArgument`] when `axis >= rank`.
+    pub fn dim(&self, axis: usize) -> Result<usize> {
+        self.0.get(axis).copied().ok_or_else(|| {
+            Error::InvalidArgument(format!("axis {axis} out of rank {}", self.rank()))
+        })
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_and_rank() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(Shape::new(&[]).numel(), 1);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(Shape::new(&[2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::new(&[5]).strides(), vec![1]);
+        assert!(Shape::new(&[]).strides().is_empty());
+    }
+
+    #[test]
+    fn offset_round_trip() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.offset(&[0, 0, 0]).unwrap(), 0);
+        assert_eq!(s.offset(&[1, 2, 3]).unwrap(), 23);
+        assert_eq!(s.offset(&[0, 1, 2]).unwrap(), 6);
+    }
+
+    #[test]
+    fn offset_bounds_checked() {
+        let s = Shape::new(&[2, 3]);
+        assert!(s.offset(&[2, 0]).is_err());
+        assert!(s.offset(&[0]).is_err());
+    }
+
+    #[test]
+    fn dim_accessor() {
+        let s = Shape::new(&[7, 9]);
+        assert_eq!(s.dim(1).unwrap(), 9);
+        assert!(s.dim(2).is_err());
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based tests of the tensor substrate.
+//!
+//! The key invariant is *adjointness*: the backward kernels must be the
+//! mathematical adjoints of the forward kernels, i.e.
+//! `<f(x), y> = <x, f_grad(y)>`. Adjointness plus determinism is what
+//! makes gradient results independent of schedule order.
+
+use ooo_tensor::conv::{conv2d, conv2d_input_grad, conv2d_weight_grad, Conv2dParams};
+use ooo_tensor::ops::{
+    add, matmul, matmul_nt, matmul_tn, relu, relu_grad, softmax_rows, sub, sum, transpose,
+};
+use ooo_tensor::Tensor;
+use proptest::prelude::*;
+
+fn tensor_strategy(dims: Vec<usize>) -> impl Strategy<Value = Tensor> {
+    let n: usize = dims.iter().product();
+    proptest::collection::vec(-2.0f32..2.0, n)
+        .prop_map(move |data| Tensor::from_vec(data, &dims).expect("sized"))
+}
+
+fn dot(a: &Tensor, b: &Tensor) -> f32 {
+    a.data().iter().zip(b.data()).map(|(x, y)| x * y).sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn add_commutes_and_sub_inverts(
+        a in tensor_strategy(vec![3, 4]),
+        b in tensor_strategy(vec![3, 4]),
+    ) {
+        let ab = add(&a, &b).unwrap();
+        let ba = add(&b, &a).unwrap();
+        prop_assert_eq!(ab.data().to_vec(), ba.data().to_vec());
+        let back = sub(&ab, &b).unwrap();
+        prop_assert!(back.max_abs_diff(&a).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn matmul_identity(a in tensor_strategy(vec![4, 4])) {
+        let i = Tensor::eye(4);
+        let right = matmul(&a, &i).unwrap();
+        let left = matmul(&i, &a).unwrap();
+        prop_assert_eq!(right.data(), a.data());
+        prop_assert_eq!(left.data(), a.data());
+    }
+
+    #[test]
+    fn matmul_transpose_identity(
+        a in tensor_strategy(vec![3, 5]),
+        b in tensor_strategy(vec![5, 4]),
+    ) {
+        // (A B)^T == B^T A^T.
+        let ab_t = transpose(&matmul(&a, &b).unwrap()).unwrap();
+        let bt_at = matmul(&transpose(&b).unwrap(), &transpose(&a).unwrap()).unwrap();
+        prop_assert!(ab_t.max_abs_diff(&bt_at).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn fused_transpose_matmuls_consistent(
+        a in tensor_strategy(vec![3, 5]),
+        b in tensor_strategy(vec![4, 5]),
+        c in tensor_strategy(vec![3, 4]),
+    ) {
+        // matmul_nt(a, b) == a x b^T; matmul_tn(a, c)... checked against
+        // explicit transposes.
+        let nt = matmul_nt(&a, &b).unwrap();
+        let explicit = matmul(&a, &transpose(&b).unwrap()).unwrap();
+        prop_assert!(nt.max_abs_diff(&explicit).unwrap() < 1e-4);
+        let tn = matmul_tn(&a, &c).unwrap();
+        let explicit = matmul(&transpose(&a).unwrap(), &c).unwrap();
+        prop_assert!(tn.max_abs_diff(&explicit).unwrap() < 1e-4);
+    }
+
+    /// The dense backward pair is the adjoint of the forward:
+    /// <xW, dy> == <x, dy W^T> and <xW, dy> == <W, x^T dy>.
+    #[test]
+    fn dense_gradients_are_adjoint(
+        x in tensor_strategy(vec![3, 5]),
+        w in tensor_strategy(vec![5, 4]),
+        dy in tensor_strategy(vec![3, 4]),
+    ) {
+        let y = matmul(&x, &w).unwrap();
+        let lhs = dot(&y, &dy);
+        let dx = matmul_nt(&dy, &w).unwrap();
+        prop_assert!((lhs - dot(&x, &dx)).abs() < 1e-2 * (1.0 + lhs.abs()));
+        let dw = matmul_tn(&x, &dy).unwrap();
+        prop_assert!((lhs - dot(&w, &dw)).abs() < 1e-2 * (1.0 + lhs.abs()));
+    }
+
+    /// The convolution input-gradient kernel is the adjoint of the
+    /// forward convolution: <conv(x, w), dy> == <x, conv_input_grad(dy, w)>.
+    #[test]
+    fn conv_input_grad_is_adjoint(
+        x in tensor_strategy(vec![1, 2, 5, 5]),
+        w in tensor_strategy(vec![3, 2, 3, 3]),
+        stride in 1usize..3,
+        padding in 0usize..2,
+    ) {
+        let p = Conv2dParams { stride, padding };
+        let Ok(y) = conv2d(&x, &w, &p) else { return Ok(()) };
+        let dims = y.dims().to_vec();
+        let n: usize = dims.iter().product();
+        let dy = Tensor::from_vec((0..n).map(|i| ((i % 7) as f32) - 3.0).collect(), &dims).unwrap();
+        let lhs = dot(&y, &dy);
+        let dx = conv2d_input_grad(&dy, &w, (5, 5), &p).unwrap();
+        prop_assert!((lhs - dot(&x, &dx)).abs() < 1e-2 * (1.0 + lhs.abs()),
+            "<y,dy>={lhs} <x,dx>={}", dot(&x, &dx));
+        // And the weight gradient: <conv(x, w), dy> == <w, wgrad>.
+        let dw = conv2d_weight_grad(&x, &dy, (3, 3), &p).unwrap();
+        prop_assert!((lhs - dot(&w, &dw)).abs() < 1e-2 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn relu_properties(x in tensor_strategy(vec![4, 4])) {
+        let y = relu(&x);
+        // Idempotent and non-negative.
+        let yy = relu(&y);
+        prop_assert_eq!(yy.data(), y.data());
+        prop_assert!(y.data().iter().all(|&v| v >= 0.0));
+        // Gradient masks exactly the non-positive entries.
+        let dy = Tensor::ones(&[4, 4]);
+        let g = relu_grad(&x, &dy).unwrap();
+        for (xv, gv) in x.data().iter().zip(g.data()) {
+            prop_assert_eq!(*gv, if *xv > 0.0 { 1.0 } else { 0.0 });
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(x in tensor_strategy(vec![3, 6])) {
+        let s = softmax_rows(&x).unwrap();
+        prop_assert!(s.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        for r in 0..3 {
+            let row: f32 = s.data()[r * 6..(r + 1) * 6].iter().sum();
+            prop_assert!((row - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn conv_linearity(
+        x1 in tensor_strategy(vec![1, 1, 4, 4]),
+        x2 in tensor_strategy(vec![1, 1, 4, 4]),
+        w in tensor_strategy(vec![2, 1, 3, 3]),
+    ) {
+        // conv(x1 + x2) == conv(x1) + conv(x2).
+        let p = Conv2dParams { stride: 1, padding: 1 };
+        let lhs = conv2d(&add(&x1, &x2).unwrap(), &w, &p).unwrap();
+        let rhs = add(&conv2d(&x1, &w, &p).unwrap(), &conv2d(&x2, &w, &p).unwrap()).unwrap();
+        prop_assert!(lhs.max_abs_diff(&rhs).unwrap() < 1e-3);
+    }
+
+    #[test]
+    fn sum_is_linear(a in tensor_strategy(vec![2, 8]), s in -3.0f32..3.0) {
+        let scaled = a.scale(s);
+        prop_assert!((sum(&scaled) - s * sum(&a)).abs() < 1e-2);
+    }
+}

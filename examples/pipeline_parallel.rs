@@ -1,0 +1,64 @@
+//! Pipeline-parallel scheduling scenario (the paper's Section 8.4).
+//!
+//! Reproduces the unit-time schedules of Figures 5 and 12 (with ASCII
+//! Gantt charts), then runs the BERT-24 fine-tuning comparison across
+//! GPipe / PipeDream / OOO-Pipe1 / OOO-Pipe2 on three interconnects —
+//! including the Ethernet regime where modulo allocation must be grouped.
+//!
+//! Run with: `cargo run --release --example pipeline_parallel`
+
+use ooo_backprop::cluster::pipeline::run;
+use ooo_backprop::core::pipeline::{simulate_pipeline, PipelineConfig, Strategy};
+use ooo_backprop::models::zoo::bert;
+use ooo_backprop::models::GpuProfile;
+use ooo_backprop::netsim::link::LinkSpec;
+
+fn main() {
+    println!("=== Figure 5: 8-layer network, 2 GPUs, unit-time kernels ===");
+    for (label, strategy) in [
+        ("conventional model parallelism", Strategy::ModelParallel),
+        ("gradient fast-forwarding", Strategy::OooPipe1),
+        ("+ modulo allocation", Strategy::OooPipe2),
+    ] {
+        let r = simulate_pipeline(&PipelineConfig::unit(8, 2, 1, strategy)).unwrap();
+        println!("--- {label}: makespan {} units ---", r.makespan());
+        print!("{}", r.render_ascii());
+        println!();
+    }
+
+    println!("=== Figure 12: 8-layer FFNN, 4 GPUs, 2 micro-batches ===");
+    for (label, strategy) in [
+        ("GPipe", Strategy::GPipe),
+        ("OOO-Pipe1", Strategy::OooPipe1),
+        ("OOO-Pipe2", Strategy::OooPipe2),
+    ] {
+        let r = simulate_pipeline(&PipelineConfig::unit(8, 4, 2, strategy)).unwrap();
+        println!("--- {label}: makespan {} units ---", r.makespan());
+        print!("{}", r.render_ascii());
+        println!();
+    }
+
+    println!("=== Figure 11b: BERT-24 fine-tuning, 4x V100, three interconnects ===");
+    let model = bert(24, 128);
+    let gpu = GpuProfile::v100();
+    for (net_name, link, group) in [
+        ("NVLink", LinkSpec::nvlink(), 1usize),
+        ("PCIe 3.0", LinkSpec::pcie3(), 1),
+        ("10GbE (grouped x2)", LinkSpec::ethernet_10g(), 2),
+    ] {
+        let gpipe = run(&model, 96, 4, &gpu, &link, 4, Strategy::GPipe, 1, 5).unwrap();
+        let pd = run(&model, 96, 4, &gpu, &link, 4, Strategy::PipeDream, 1, 5).unwrap();
+        let p2 = run(&model, 96, 4, &gpu, &link, 4, Strategy::OooPipe2, group, 5).unwrap();
+        println!(
+            "  {net_name:<18} GPipe {:>6.1}  PipeDream {:>6.1}  OOO-Pipe2 {:>6.1} seqs/s  \
+             (+{:.0}% over GPipe)",
+            gpipe.throughput,
+            pd.throughput,
+            p2.throughput,
+            (p2.throughput / gpipe.throughput - 1.0) * 100.0
+        );
+    }
+    println!("\nOn Ethernet, per-transformer modulo allocation drowns in transfers;");
+    println!("grouping two transformers per allocation unit restores the win —");
+    println!("the communication/overlap trade-off of the paper's Section 5.2.");
+}

@@ -1,0 +1,44 @@
+//! # ooo-backprop — Out-Of-Order BackProp, reproduced in Rust
+//!
+//! A workspace-level facade over the crates implementing *"Out-Of-Order
+//! BackProp: An Effective Scheduling Technique for Deep Learning"*
+//! (EuroSys '22):
+//!
+//! - [`core`] (`ooo-core`) — the paper's contribution: training-iteration
+//!   dependency graphs, out-of-order backprop, and the three scheduling
+//!   algorithms (multi-region joint scheduling, reverse first-k, gradient
+//!   fast-forwarding + modulo allocation).
+//! - [`tensor`] (`ooo-tensor`) and [`nn`] (`ooo-nn`) — a real CPU
+//!   training stack whose backward kernels are split per layer, proving
+//!   numerically that any valid schedule yields bitwise-identical
+//!   training.
+//! - [`gpusim`] (`ooo-gpusim`) — a discrete-event GPU with SM occupancy,
+//!   prioritized streams, kernel issue overheads, and CUDA-Graph launch.
+//! - [`netsim`] (`ooo-netsim`) — interconnects, topologies, and
+//!   chunk-preemptive priority communication.
+//! - [`models`] (`ooo-models`) — the twelve evaluated networks with cost
+//!   profiles.
+//! - [`cluster`] (`ooo-cluster`) — the single-GPU, data-parallel, and
+//!   pipeline-parallel experiment engines.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ooo_backprop::core::TrainGraph;
+//! use ooo_backprop::core::schedule::validate_order;
+//!
+//! let graph = TrainGraph::single_gpu(8);
+//! // Out-of-order backprop: the fast-forwarded order is a valid
+//! // linearization of the true dependencies.
+//! validate_order(&graph, &graph.fast_forward_backprop()).unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+pub use ooo_cluster as cluster;
+pub use ooo_core as core;
+pub use ooo_gpusim as gpusim;
+pub use ooo_models as models;
+pub use ooo_netsim as netsim;
+pub use ooo_nn as nn;
+pub use ooo_tensor as tensor;

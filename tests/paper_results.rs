@@ -1,0 +1,206 @@
+//! Integration tests pinning the *shape* of the paper's headline results
+//! across crates: who wins, by roughly what factor, and where regimes
+//! flip. Exact unit-time makespans from the paper's figures are asserted
+//! exactly; simulated throughputs are asserted as bands.
+
+use ooo_backprop::cluster::datapar::{self, CommSystem};
+use ooo_backprop::cluster::pipeline as cpipe;
+use ooo_backprop::cluster::single::{self, Engine};
+use ooo_backprop::core::pipeline::{simulate_pipeline, PipelineConfig, Strategy};
+use ooo_backprop::models::zoo::{bert, densenet121, ffnn16, resnet};
+use ooo_backprop::models::GpuProfile;
+use ooo_backprop::netsim::link::LinkSpec;
+use ooo_backprop::netsim::topology::ClusterTopology;
+
+#[test]
+fn figure5_exact_unit_makespans() {
+    // Paper: 23 -> 19 -> 16 unit times.
+    let m = |s| {
+        simulate_pipeline(&PipelineConfig::unit(8, 2, 1, s))
+            .unwrap()
+            .makespan()
+    };
+    assert_eq!(m(Strategy::ModelParallel), 23);
+    assert_eq!(m(Strategy::OooPipe1), 19);
+    assert_eq!(m(Strategy::OooPipe2), 16);
+}
+
+#[test]
+fn figure5_speedup_factors() {
+    // Paper: fast-forwarding gives 21% (23 -> 19), modulo 1.44x (23 -> 16).
+    let m = |s| {
+        simulate_pipeline(&PipelineConfig::unit(8, 2, 1, s))
+            .unwrap()
+            .makespan() as f64
+    };
+    let conv = m(Strategy::ModelParallel);
+    assert!((conv / m(Strategy::OooPipe1) - 1.21).abs() < 0.01);
+    assert!((conv / m(Strategy::OooPipe2) - 1.4375).abs() < 0.01);
+}
+
+#[test]
+fn figure12_ffnn16_bands() {
+    // Paper: on the 16-layer FFNN, fast-forwarding alone gives 1.22x over
+    // GPipe and with modulo allocation 1.62x (unit-time analysis).
+    let m = |s| {
+        simulate_pipeline(&PipelineConfig::unit(16, 4, 4, s))
+            .unwrap()
+            .makespan() as f64
+    };
+    let gpipe = m(Strategy::GPipe);
+    let p1 = gpipe / m(Strategy::OooPipe1);
+    let p2 = gpipe / m(Strategy::OooPipe2);
+    assert!((1.05..1.45).contains(&p1), "Pipe1/GPipe {p1}");
+    assert!((1.3..1.9).contains(&p2), "Pipe2/GPipe {p2}");
+    assert!(p2 > p1);
+}
+
+#[test]
+fn figure7_single_gpu_bands() {
+    // Paper: OOO-XLA is 1.03-1.58x over XLA; DenseNet-121 k=12 batch 32
+    // is near the top of the band.
+    let gpu = GpuProfile::v100();
+    let m = densenet121(12, 32);
+    let xla = single::run(&m, 32, &gpu, Engine::Xla).unwrap().throughput;
+    let ooo = single::run(&m, 32, &gpu, Engine::OooXla)
+        .unwrap()
+        .throughput;
+    let s = ooo / xla;
+    assert!((1.15..2.2).contains(&s), "DenseNet speedup {s}");
+
+    // ResNet stays at the bottom of the band.
+    let r = resnet(50);
+    let xla = single::run(&r, 64, &gpu, Engine::Xla).unwrap().throughput;
+    let ooo = single::run(&r, 64, &gpu, Engine::OooXla)
+        .unwrap()
+        .throughput;
+    let s = ooo / xla;
+    assert!((1.0..1.3).contains(&s), "ResNet speedup {s}");
+}
+
+#[test]
+fn figure7_nimble_comparison() {
+    // Paper: OOO-XLA >= Nimble everywhere (1.0-1.55x), Nimble OOM at
+    // batch 64 for most models.
+    let gpu = GpuProfile::v100();
+    let m = densenet121(24, 32);
+    let nimble = single::run(&m, 32, &gpu, Engine::Nimble)
+        .unwrap()
+        .throughput;
+    let ooo = single::run(&m, 32, &gpu, Engine::OooXla)
+        .unwrap()
+        .throughput;
+    assert!(ooo >= nimble * 0.99, "OOO {ooo} vs Nimble {nimble}");
+    assert!(single::run(&resnet(50), 64, &gpu, Engine::Nimble).is_err());
+}
+
+#[test]
+fn figure10_data_parallel_bands() {
+    // Paper: OOO-BytePS 1.10-1.27x over BytePS at 16-48 GPUs; Horovod far
+    // behind on Ethernet clusters.
+    let m = resnet(50);
+    let gpu = GpuProfile::v100();
+    let topo = ClusterTopology::pub_a();
+    for gpus in [16usize, 32, 48] {
+        let b = datapar::run(&m, 128, &gpu, &topo, gpus, CommSystem::BytePS).unwrap();
+        let o = datapar::run(&m, 128, &gpu, &topo, gpus, CommSystem::OooBytePS).unwrap();
+        let s = o.throughput / b.throughput;
+        assert!((1.03..1.45).contains(&s), "{gpus} GPUs: speedup {s}");
+        let h = datapar::run(&m, 128, &gpu, &topo, gpus, CommSystem::Horovod).unwrap();
+        assert!(
+            b.throughput > h.throughput,
+            "{gpus} GPUs: BytePS vs Horovod"
+        );
+    }
+}
+
+#[test]
+fn figure11a_fine_tuning_ranking() {
+    // Paper: model-par < GPipe < OOO-Pipe1 < OOO-Pipe2 for BERT-24 on 4
+    // V100s (1.59x GPipe for OOO-Pipe2).
+    let m = bert(24, 128);
+    let gpu = GpuProfile::v100();
+    let nv = LinkSpec::nvlink();
+    let gpipe = cpipe::run(&m, 96, 4, &gpu, &nv, 4, Strategy::GPipe, 1, 5)
+        .unwrap()
+        .throughput;
+    let p1 = cpipe::run(&m, 96, 4, &gpu, &nv, 4, Strategy::OooPipe1, 1, 5)
+        .unwrap()
+        .throughput;
+    let p2 = cpipe::run(&m, 96, 4, &gpu, &nv, 4, Strategy::OooPipe2, 1, 5)
+        .unwrap()
+        .throughput;
+    assert!(p1 >= gpipe);
+    assert!(p2 > p1);
+    let s = p2 / gpipe;
+    assert!((1.2..2.0).contains(&s), "BERT-24 Pipe2/GPipe {s}");
+}
+
+#[test]
+fn figure13_weak_scaling_keeps_the_gain() {
+    // Paper: growing GPUs 16 -> 32 with larger models, OOO-Pipe2's edge
+    // over GPipe does not shrink (41-45%).
+    let gpu = GpuProfile::v100();
+    let nv = LinkSpec::nvlink();
+    let gain = |layers: usize, devices: usize| {
+        let m = bert(layers, 128);
+        let gp = cpipe::run(&m, 512, 8, &gpu, &nv, devices, Strategy::GPipe, 1, 4)
+            .unwrap()
+            .throughput;
+        let p2 = cpipe::run(&m, 512, 8, &gpu, &nv, devices, Strategy::OooPipe2, 1, 4)
+            .unwrap()
+            .throughput;
+        p2 / gp
+    };
+    let g16 = gain(24, 16);
+    let g32 = gain(48, 32);
+    assert!(g16 > 1.15, "16 GPUs gain {g16}");
+    assert!(g32 > 1.15, "32 GPUs gain {g32}");
+}
+
+#[test]
+fn ffnn_pipeline_matches_experimental_reduction() {
+    // Paper: experiments show 1.18x / 1.5x (vs 1.22x / 1.62x analytic)
+    // once communication costs bite.
+    let m = ffnn16(4_096);
+    let gpu = GpuProfile::v100();
+    let nv = LinkSpec::nvlink();
+    let gp = cpipe::run(&m, 1_024, 4, &gpu, &nv, 4, Strategy::GPipe, 1, 4)
+        .unwrap()
+        .throughput;
+    let p2 = cpipe::run(&m, 1_024, 4, &gpu, &nv, 4, Strategy::OooPipe2, 1, 4)
+        .unwrap()
+        .throughput;
+    let s = p2 / gp;
+    assert!((1.25..1.9).contains(&s), "FFNN speedup {s}");
+}
+
+#[test]
+fn titan_xp_gains_mirror_v100() {
+    // Paper: "with 32 and 64 batch sizes, the performance gain of
+    // OOO-XLA [on Titan XP] is similar to that of V100."
+    let m = densenet121(12, 32);
+    let gain = |gpu: &GpuProfile| {
+        let xla = single::run(&m, 32, gpu, Engine::Xla).unwrap().throughput;
+        let ooo = single::run(&m, 32, gpu, Engine::OooXla).unwrap().throughput;
+        ooo / xla
+    };
+    let v100 = gain(&GpuProfile::v100());
+    let titan = gain(&GpuProfile::titan_xp());
+    assert!(titan > 1.1, "Titan XP gain {titan}");
+    assert!(
+        (titan / v100 - 1.0).abs() < 0.35,
+        "Titan {titan} vs V100 {v100}"
+    );
+}
+
+#[test]
+fn memory_overheads_stay_bounded() {
+    // Paper: single-GPU ooo peak-memory increase < 0.1% under a 1.1x
+    // budget; our coarser model stays within 5%.
+    let gpu = GpuProfile::v100();
+    let m = densenet121(12, 32);
+    let base = single::run(&m, 32, &gpu, Engine::Xla).unwrap().peak_mem;
+    let ooo = single::run(&m, 32, &gpu, Engine::OooXla).unwrap().peak_mem;
+    assert!((ooo as f64) < base as f64 * 1.05);
+}

@@ -1,0 +1,177 @@
+//! Property-based tests on the scheduling core and its numeric
+//! counterpart: every algorithm's output must be a valid linearization,
+//! schedules must cover all operations exactly once, memory accounting
+//! must balance, and simulators must respect conservation laws.
+
+use ooo_backprop::core::cost::{LayerCost, TableCost, UnitCost};
+use ooo_backprop::core::datapar::{reverse_k_makespan, CommPolicy};
+use ooo_backprop::core::memory::memory_profile;
+use ooo_backprop::core::pipeline::{
+    simulate_pipeline, PipeCost, PipelineConfig, Strategy, TaskKind,
+};
+use ooo_backprop::core::reverse_k::reverse_first_k;
+use ooo_backprop::core::schedule::{validate_order, validate_partial_order};
+use ooo_backprop::core::TrainGraph;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Reverse first-k always yields a valid partial order covering every
+    /// weight gradient exactly once, for every (L, k).
+    #[test]
+    fn reverse_k_always_valid(l in 1usize..40, k_frac in 0.0f64..=1.0) {
+        let k = ((l as f64) * k_frac) as usize;
+        let graph = TrainGraph::data_parallel(l);
+        let order = reverse_first_k::<UnitCost>(&graph, k.min(l), None).unwrap();
+        validate_partial_order(&graph, &order).unwrap();
+        let dws = order.iter().filter(|o| o.is_weight_grad()).count();
+        prop_assert_eq!(dws, l);
+    }
+
+    /// The canonical orders are valid for any graph flavour.
+    #[test]
+    fn canonical_orders_valid(l in 1usize..30, flavour in 0u8..3) {
+        let graph = match flavour {
+            0 => TrainGraph::single_gpu(l),
+            1 => TrainGraph::data_parallel(l),
+            _ => TrainGraph::pipeline_parallel(l),
+        };
+        validate_order(&graph, &graph.conventional_backprop()).unwrap();
+        validate_order(&graph, &graph.fast_forward_backprop()).unwrap();
+    }
+
+    /// Memory accounting balances: after a full iteration every
+    /// temporary buffer is freed, and the peak is at least the initial
+    /// resident set.
+    #[test]
+    fn memory_balances(l in 1usize..30, act in 1u64..100, w in 1u64..100) {
+        let graph = TrainGraph::single_gpu(l);
+        let cost = TableCost::uniform(
+            l,
+            LayerCost { activation_bytes: act, out_grad_bytes: act, weight_bytes: w, ..LayerCost::default() },
+        );
+        for order in [graph.conventional_backprop(), graph.fast_forward_backprop()] {
+            let p = memory_profile(&graph, &order, &cost).unwrap();
+            prop_assert_eq!(p.samples.last().unwrap().1, 0);
+            prop_assert!(p.peak >= p.initial);
+        }
+    }
+
+    /// Delaying weight gradients never *reduces* peak memory, and the
+    /// fast-forward peak is bounded by initial + all gradient buffers.
+    #[test]
+    fn ooo_memory_monotone(l in 2usize..25) {
+        let graph = TrainGraph::single_gpu(l);
+        let conv = memory_profile(&graph, &graph.conventional_backprop(), &UnitCost).unwrap();
+        let ooo = memory_profile(&graph, &graph.fast_forward_backprop(), &UnitCost).unwrap();
+        prop_assert!(ooo.peak >= conv.peak);
+        prop_assert!(ooo.peak <= ooo.initial + 2 * l as u64 + 1);
+    }
+
+    /// In the data-parallel simulator, priority communication is never
+    /// slower than FIFO, for any sync cost.
+    #[test]
+    fn priority_never_hurts(l in 2usize..25, sync in 0u64..8) {
+        let graph = TrainGraph::data_parallel(l);
+        let cost = TableCost::uniform(l, LayerCost { sync_weight: sync, ..LayerCost::default() });
+        let fifo = reverse_k_makespan(&graph, 0, &cost, CommPolicy::FifoCompletion).unwrap();
+        let prio = reverse_k_makespan(&graph, 0, &cost, CommPolicy::PriorityByLayer).unwrap();
+        prop_assert!(prio <= fifo);
+    }
+
+    /// The iteration makespan is bounded below by total compute and above
+    /// by compute plus all synchronization time (work conservation).
+    #[test]
+    fn datapar_makespan_bounds(l in 2usize..20, sync in 0u64..6, k_frac in 0.0f64..=1.0) {
+        let k = ((l as f64) * k_frac) as usize;
+        let graph = TrainGraph::data_parallel(l);
+        let cost = TableCost::uniform(l, LayerCost { sync_weight: sync, ..LayerCost::default() });
+        let m = reverse_k_makespan(&graph, k.min(l), &cost, CommPolicy::PriorityByLayer).unwrap();
+        let compute = cost.total_backward() + cost.total_forward() - 1; // dO_1 absent
+        let total_sync = sync * l as u64;
+        prop_assert!(m >= compute, "{m} < {compute}");
+        prop_assert!(m <= compute + total_sync, "{m} > {} + {}", compute, total_sync);
+    }
+
+    /// Pipeline simulation conservation: every compute task executes
+    /// exactly once, devices never self-overlap, and fast-forwarding
+    /// never increases the single-iteration makespan relative to the same
+    /// strategy without it.
+    #[test]
+    fn pipeline_conservation(
+        layers in 4usize..16,
+        devices in 2usize..4,
+        micros in 1usize..4,
+    ) {
+        prop_assume!(devices <= layers);
+        for strategy in [Strategy::GPipe, Strategy::OooPipe1, Strategy::OooPipe2] {
+            let cfg = PipelineConfig::unit(layers, devices, micros, strategy);
+            let r = simulate_pipeline(&cfg).unwrap();
+            let compute = r
+                .events
+                .iter()
+                .filter(|e| e.task.kind != TaskKind::Transfer)
+                .count();
+            // F: layers, dO: layers-1, dW: layers, per micro.
+            prop_assert_eq!(compute, micros * (3 * layers - 1));
+            for res in 0..2 * devices {
+                let mut evs: Vec<_> = r.events.iter().filter(|e| e.resource == res).collect();
+                evs.sort_by_key(|e| e.start);
+                for w in evs.windows(2) {
+                    prop_assert!(w[0].end <= w[1].start);
+                }
+            }
+        }
+        let gp = simulate_pipeline(&PipelineConfig::unit(layers, devices, micros, Strategy::GPipe))
+            .unwrap()
+            .makespan();
+        let p1 = simulate_pipeline(&PipelineConfig::unit(layers, devices, micros, Strategy::OooPipe1))
+            .unwrap()
+            .makespan();
+        prop_assert!(p1 <= gp, "ff {p1} > gpipe {gp}");
+    }
+
+    /// Pipeline cost scaling: doubling every kernel time doubles the
+    /// makespan exactly (linearity of the schedule).
+    #[test]
+    fn pipeline_time_scales_linearly(layers in 4usize..12, devices in 2usize..4) {
+        prop_assume!(devices <= layers);
+        let mut cfg = PipelineConfig::unit(layers, devices, 2, Strategy::OooPipe2);
+        let m1 = simulate_pipeline(&cfg).unwrap().makespan();
+        cfg.cost = PipeCost::uniform(layers, 2, 0);
+        let m2 = simulate_pipeline(&cfg).unwrap().makespan();
+        prop_assert_eq!(m2, 2 * m1);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Numeric invariance: gradients of a random MLP are bitwise equal
+    /// between conventional and any reverse-first-k schedule.
+    #[test]
+    fn numeric_invariance_random_widths(
+        hidden in 4usize..24,
+        seed in 0u64..1000,
+        k in 0usize..4,
+    ) {
+        use ooo_backprop::nn::layers::{Dense, Relu};
+        use ooo_backprop::nn::data::synthetic_classification;
+        use ooo_backprop::nn::Sequential;
+
+        let mut net = Sequential::new();
+        net.push(Dense::seeded(6, hidden, seed));
+        net.push(Relu::new());
+        net.push(Dense::seeded(hidden, 3, seed + 1));
+        let graph = net.train_graph();
+        let (x, y) = synthetic_classification(seed, 8, 6, 3);
+        let base = net.grads_with_order(&x, &y, &graph.conventional_backprop()).unwrap();
+        let order = reverse_first_k::<UnitCost>(&graph, k.min(net.len()), None).unwrap();
+        let (loss, grads) = net.grads_with_order(&x, &y, &order).unwrap();
+        prop_assert_eq!(loss.to_bits(), base.0.to_bits());
+        for (a, b) in grads.iter().flatten().zip(base.1.iter().flatten()) {
+            prop_assert_eq!(a.data(), b.data());
+        }
+    }
+}

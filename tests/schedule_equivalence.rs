@@ -1,0 +1,168 @@
+//! Cross-crate integration test: the central claim of the paper — that
+//! out-of-order backprop changes only the schedule, never the training
+//! semantics — checked numerically with real tensors on a CNN, under
+//! conventional, fast-forwarded, reverse-first-k, and *randomly shuffled
+//! valid* orders.
+
+use ooo_backprop::core::cost::UnitCost;
+use ooo_backprop::core::op::Op;
+use ooo_backprop::core::reverse_k::reverse_first_k;
+use ooo_backprop::core::schedule::validate_partial_order;
+use ooo_backprop::nn::data::{synthetic_classification, synthetic_images};
+use ooo_backprop::nn::layers::{Conv2d, Dense, GlobalAvgPool, LayerNorm, MaxPool2d, Relu};
+use ooo_backprop::nn::optim::{Adam, Momentum, RmsProp, Sgd};
+use ooo_backprop::nn::Sequential;
+use ooo_backprop::tensor::conv::Conv2dParams;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+fn small_cnn(seed: u64) -> Sequential {
+    let p1 = Conv2dParams {
+        stride: 1,
+        padding: 1,
+    };
+    let mut net = Sequential::new();
+    net.push(Conv2d::seeded(8, 1, 3, p1, seed));
+    net.push(Relu::new());
+    net.push(Conv2d::seeded(8, 8, 3, p1, seed + 1));
+    net.push(Relu::new());
+    net.push(MaxPool2d::new(
+        2,
+        Conv2dParams {
+            stride: 2,
+            padding: 0,
+        },
+    ));
+    net.push(Conv2d::seeded(16, 8, 3, p1, seed + 2));
+    net.push(Relu::new());
+    net.push(GlobalAvgPool::new());
+    net.push(Dense::seeded(16, 3, seed + 3));
+    net
+}
+
+/// A random valid linearization of the backward ops: repeatedly pick a
+/// random ready op.
+fn random_valid_backward(graph: &ooo_backprop::core::TrainGraph, rng: &mut StdRng) -> Vec<Op> {
+    let backward: Vec<Op> = graph
+        .ops()
+        .iter()
+        .copied()
+        .filter(|o| o.is_backward())
+        .collect();
+    let mut remaining = backward.clone();
+    let mut done: Vec<Op> = Vec::new();
+    while !remaining.is_empty() {
+        let mut ready: Vec<usize> = remaining
+            .iter()
+            .enumerate()
+            .filter(|(_, &op)| {
+                graph
+                    .deps(op)
+                    .unwrap()
+                    .iter()
+                    .all(|d| !remaining.contains(d) || done.contains(d))
+            })
+            .map(|(i, _)| i)
+            .collect();
+        ready.shuffle(rng);
+        let pick = ready[0];
+        done.push(remaining.remove(pick));
+    }
+    done
+}
+
+#[test]
+fn cnn_gradients_identical_across_schedules() {
+    let net = small_cnn(11);
+    let graph = net.train_graph();
+    let (x, y) = synthetic_images(5, 6, 1, 8, 8, 3);
+    let baseline = net
+        .grads_with_order(&x, &y, &graph.conventional_backprop())
+        .unwrap();
+
+    let mut orders: Vec<Vec<Op>> = vec![graph.fast_forward_backprop()];
+    for k in [1, 3, net.len()] {
+        orders.push(reverse_first_k::<UnitCost>(&graph, k, None).unwrap());
+    }
+    let mut rng = StdRng::seed_from_u64(77);
+    for _ in 0..5 {
+        orders.push(random_valid_backward(&graph, &mut rng));
+    }
+
+    for (oi, order) in orders.iter().enumerate() {
+        validate_partial_order(&graph, order).unwrap();
+        let (loss, grads) = net.grads_with_order(&x, &y, order).unwrap();
+        assert_eq!(loss.to_bits(), baseline.0.to_bits(), "order {oi}");
+        for (a, b) in grads.iter().flatten().zip(baseline.1.iter().flatten()) {
+            assert_eq!(a.data(), b.data(), "order {oi}");
+        }
+    }
+}
+
+#[test]
+fn multi_step_training_identical_for_every_optimizer() {
+    let (x, y) = synthetic_classification(3, 24, 8, 3);
+    let graph_layers = 5;
+    let mk = || {
+        let mut net = Sequential::new();
+        net.push(Dense::seeded(8, 32, 41));
+        net.push(Relu::new());
+        net.push(Dense::seeded(32, 16, 42));
+        net.push(LayerNorm::new(16));
+        net.push(Dense::seeded(16, 3, 43));
+        assert_eq!(net.len(), graph_layers);
+        net
+    };
+
+    // Each optimizer: conventional vs fast-forward over 8 steps.
+    fn check<O: ooo_backprop::nn::optim::Optimizer>(
+        mk: impl Fn() -> Sequential,
+        x: &ooo_backprop::tensor::Tensor,
+        y: &[usize],
+        mut opt_a: O,
+        mut opt_b: O,
+    ) {
+        let mut a = mk();
+        let mut b = mk();
+        let g = a.train_graph();
+        for _ in 0..8 {
+            let la = a
+                .train_step(x, y, &g.conventional_backprop(), &mut opt_a)
+                .unwrap();
+            let lb = b
+                .train_step(x, y, &g.fast_forward_backprop(), &mut opt_b)
+                .unwrap();
+            assert_eq!(la.to_bits(), lb.to_bits(), "{}", opt_a.name());
+        }
+        assert_eq!(a.snapshot_params(), b.snapshot_params(), "{}", opt_a.name());
+    }
+
+    check(mk, &x, &y, Sgd::new(0.05), Sgd::new(0.05));
+    check(
+        mk,
+        &x,
+        &y,
+        Momentum::new(0.02, 0.9),
+        Momentum::new(0.02, 0.9),
+    );
+    check(mk, &x, &y, RmsProp::new(0.01, 0.9), RmsProp::new(0.01, 0.9));
+    check(mk, &x, &y, Adam::new(0.01), Adam::new(0.01));
+}
+
+#[test]
+fn cnn_trains_to_high_accuracy_under_ooo_schedule() {
+    let mut net = small_cnn(21);
+    let graph = net.train_graph();
+    let order = graph.fast_forward_backprop();
+    let (x, y) = synthetic_images(17, 24, 1, 8, 8, 3);
+    let mut opt = Momentum::new(0.05, 0.9);
+    let first = net.train_step(&x, &y, &order, &mut opt).unwrap();
+    let mut last = first;
+    for _ in 0..60 {
+        last = net.train_step(&x, &y, &order, &mut opt).unwrap();
+    }
+    assert!(last < first * 0.5, "loss {first} -> {last}");
+    let (_, acc) = net.evaluate(&x, &y).unwrap();
+    assert!(acc >= 0.8, "accuracy {acc}");
+}
