@@ -1,0 +1,61 @@
+//! Debug-build schedule verification hooks.
+//!
+//! Every schedule this crate hands to a simulator was produced by one of
+//! the paper's algorithms; in debug builds (and in release builds with
+//! the `verify` feature enabled) each one is re-checked by the
+//! `ooo-verify` static analyzer before use. A scheduler bug that races a
+//! gradient buffer or deadlocks a pipeline then fails loudly at the
+//! source instead of producing a silently wrong makespan. Plain release
+//! builds compile the hooks to nothing; the closures are never called.
+
+#[cfg(any(debug_assertions, feature = "verify"))]
+pub(crate) fn order_lazy<F>(build: F, complete: bool, what: &str)
+where
+    F: FnOnce() -> (ooo_core::TrainGraph, Vec<ooo_core::Op>),
+{
+    use ooo_verify::{Verifier, VerifyConfig};
+    let (graph, order) = build();
+    let report = Verifier::new(&graph)
+        .with_config(VerifyConfig {
+            require_complete: complete,
+            ..VerifyConfig::default()
+        })
+        .verify_order(&order);
+    assert!(
+        !report.has_errors(),
+        "{what}: scheduler produced an unsafe order:\n{report}"
+    );
+}
+
+#[cfg(not(any(debug_assertions, feature = "verify")))]
+pub(crate) fn order_lazy<F>(_build: F, _complete: bool, _what: &str)
+where
+    F: FnOnce() -> (ooo_core::TrainGraph, Vec<ooo_core::Op>),
+{
+}
+
+#[cfg(any(debug_assertions, feature = "verify"))]
+pub(crate) fn schedule_lazy<F>(build: F, complete: bool, what: &str)
+where
+    F: FnOnce() -> (ooo_core::TrainGraph, ooo_core::Schedule),
+{
+    use ooo_verify::{Verifier, VerifyConfig};
+    let (graph, schedule) = build();
+    let report = Verifier::new(&graph)
+        .with_config(VerifyConfig {
+            require_complete: complete,
+            ..VerifyConfig::default()
+        })
+        .verify(&schedule);
+    assert!(
+        !report.has_errors(),
+        "{what}: scheduler produced an unsafe schedule:\n{report}"
+    );
+}
+
+#[cfg(not(any(debug_assertions, feature = "verify")))]
+pub(crate) fn schedule_lazy<F>(_build: F, _complete: bool, _what: &str)
+where
+    F: FnOnce() -> (ooo_core::TrainGraph, ooo_core::Schedule),
+{
+}

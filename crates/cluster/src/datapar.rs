@@ -201,6 +201,13 @@ pub fn run(
         };
     let eval = |k: usize| -> Result<SimTime> {
         let order = reverse_first_k::<TableCost>(&graph, k, None)?;
+        // Debug builds re-check the backward order with the static
+        // analyzer (partial: the order covers only the backward pass).
+        crate::checks::order_lazy(
+            || (graph.clone(), order.clone()),
+            false,
+            "reverse first-k order",
+        );
         Ok(simulate_iteration(
             &cost,
             &wire_bytes,
@@ -258,6 +265,11 @@ pub fn run_with_fixed_k(
     let link = effective_link(topology, gpus, BYTEPS_TENSOR_OVERHEAD_NS);
     let tau = aggregation_latency_ns(topology, gpus);
     let order = reverse_first_k::<TableCost>(&graph, k, None)?;
+    crate::checks::order_lazy(
+        || (graph.clone(), order.clone()),
+        false,
+        "reverse first-k order (fixed k)",
+    );
     let iter_ns = simulate_iteration(&cost, &wire_bytes, &order, &link, Policy::Priority, tau);
     let pure_compute: SimTime = cost.total_backward() + cost.total_forward();
     Ok(DataParReport {

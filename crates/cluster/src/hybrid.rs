@@ -47,6 +47,21 @@ pub fn run_combined(
     iterations: usize,
 ) -> Result<HybridReport> {
     let strategy = Strategy::OooPipe2;
+    // Debug builds re-check the Section 6 combination implied by this
+    // split: reverse first-k over layers 1..=k, fast-forwarding for the
+    // rest, against the data-parallel dependency graph whose S[dW] edges
+    // model the cross-replica synchronizations prioritized below.
+    crate::checks::order_lazy(
+        || {
+            let l = model.num_layers();
+            let graph = ooo_core::graph::TrainGraph::data_parallel(l);
+            let order = ooo_core::combined::combined_backward_order(&graph, k.min(l))
+                .expect("k clamped to the layer count");
+            (graph, order)
+        },
+        false,
+        "combined reverse first-k + fast-forwarding order",
+    );
     let report = run_pipeline(
         model,
         batch,

@@ -24,6 +24,7 @@
 
 pub mod ablation;
 pub mod analysis;
+mod checks;
 pub mod datapar;
 pub mod hybrid;
 pub mod pipeline;

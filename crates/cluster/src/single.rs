@@ -435,9 +435,17 @@ fn plan_multi_region(
     let cost = to_table_cost(model, batch, gpu);
     let conv_peak = memory_profile(&graph, &graph.conventional_backprop(), &cost)?.peak;
     let budget = conv_peak + conv_peak / 10;
-    Ok(schedule_with_memory_budget(
-        &graph, &regions, &subs, &profile, &cost, budget,
-    )?)
+    let schedule = schedule_with_memory_budget(&graph, &regions, &subs, &profile, &cost, budget)?;
+    // Debug builds re-check the two-stream plan with the static analyzer:
+    // no race between the streams, no deadlock, within the memory budget,
+    // and only dW-class ops moved. Updates are implicit in this engine,
+    // so the schedule is partial.
+    crate::checks::schedule_lazy(
+        || (graph.clone(), schedule.to_schedule(&regions)),
+        false,
+        "multi-region joint schedule",
+    );
+    Ok(schedule)
 }
 
 /// Splits the backward critical path plus the next forward pass into

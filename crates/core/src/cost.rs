@@ -7,7 +7,6 @@
 
 use crate::op::{LayerId, Op};
 use crate::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Execution time and memory footprint provider for the operations of one
 /// training iteration.
@@ -62,7 +61,7 @@ impl CostModel for UnitCost {
 }
 
 /// Per-layer cost entry of a [`TableCost`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LayerCost {
     /// Forward computation time (ns).
     pub forward: SimTime,
@@ -102,7 +101,7 @@ impl Default for LayerCost {
 
 /// A table-driven cost model with one [`LayerCost`] per layer (1-based,
 /// like [`LayerId`]).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct TableCost {
     layers: Vec<LayerCost>,
     /// Loss computation time (ns).

@@ -29,11 +29,10 @@
 
 use crate::error::{Error, Result};
 use crate::op::{LayerId, Op};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Configuration for building a [`TrainGraph`].
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GraphConfig {
     /// Number of layers `L` (must be at least 1).
     pub layers: usize,

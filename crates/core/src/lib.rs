@@ -61,6 +61,7 @@ pub mod error;
 pub mod export;
 pub mod graph;
 pub mod heft;
+pub mod json;
 pub mod list_scheduling;
 pub mod memory;
 pub mod multi_region;

@@ -5,11 +5,10 @@
 //! operation alphabet. Layers are numbered `1..=L` as in the paper; layer
 //! `L+1` conceptually holds the loss.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A 1-based layer index, matching the paper's notation (`1..=L`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LayerId(pub usize);
 
 impl LayerId {
@@ -41,7 +40,7 @@ impl fmt::Display for LayerId {
 ///   data-parallel training (all-reduce or PS push/pull).
 /// - `SyncOutputGrad(i)` is `S[dO_i]`: the activation-gradient transfer of
 ///   pipeline-parallel training.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Op {
     /// Forward computation `F_i`.
     Forward(LayerId),
@@ -96,6 +95,18 @@ impl Op {
     pub fn is_weight_grad(self) -> bool {
         matches!(self, Op::WeightGrad(_))
     }
+
+    /// Returns `true` for the `dW`-class operations — the weight gradient
+    /// itself plus its private consumers (`S[dW_i]`, `U_i`). These are the
+    /// only operations out-of-order backprop may move relative to the
+    /// conventional order; everything else is on the backward critical
+    /// path or the next iteration's forward chain.
+    pub fn is_weight_grad_class(self) -> bool {
+        matches!(
+            self,
+            Op::WeightGrad(_) | Op::SyncWeightGrad(_) | Op::Update(_)
+        )
+    }
 }
 
 impl fmt::Display for Op {
@@ -109,6 +120,43 @@ impl fmt::Display for Op {
             Op::SyncWeightGrad(l) => write!(f, "S[dW{}]", l.0),
             Op::SyncOutputGrad(l) => write!(f, "S[dO{}]", l.0),
         }
+    }
+}
+
+impl std::str::FromStr for Op {
+    type Err = String;
+
+    /// Parses the paper notation produced by [`fmt::Display`]: `F4`,
+    /// `dO4`, `dW4`, `U4`, `S[dW4]`, `S[dO4]`, `Loss`.
+    fn from_str(s: &str) -> Result<Self, String> {
+        fn layer(digits: &str, s: &str) -> Result<LayerId, String> {
+            digits
+                .parse::<usize>()
+                .map(LayerId)
+                .map_err(|_| format!("invalid op: {s:?}"))
+        }
+        if s == "Loss" {
+            return Ok(Op::Loss);
+        }
+        if let Some(rest) = s.strip_prefix("S[dW").and_then(|r| r.strip_suffix(']')) {
+            return layer(rest, s).map(Op::SyncWeightGrad);
+        }
+        if let Some(rest) = s.strip_prefix("S[dO").and_then(|r| r.strip_suffix(']')) {
+            return layer(rest, s).map(Op::SyncOutputGrad);
+        }
+        if let Some(rest) = s.strip_prefix("dO") {
+            return layer(rest, s).map(Op::OutputGrad);
+        }
+        if let Some(rest) = s.strip_prefix("dW") {
+            return layer(rest, s).map(Op::WeightGrad);
+        }
+        if let Some(rest) = s.strip_prefix('F') {
+            return layer(rest, s).map(Op::Forward);
+        }
+        if let Some(rest) = s.strip_prefix('U') {
+            return layer(rest, s).map(Op::Update);
+        }
+        Err(format!("invalid op: {s:?}"))
     }
 }
 
@@ -144,6 +192,25 @@ mod tests {
         assert_eq!(Op::WeightGrad(LayerId(4)).to_string(), "dW4");
         assert_eq!(Op::SyncWeightGrad(LayerId(4)).to_string(), "S[dW4]");
         assert_eq!(Op::Loss.to_string(), "Loss");
+    }
+
+    #[test]
+    fn parse_round_trips_display() {
+        let ops = [
+            Op::Forward(LayerId(4)),
+            Op::Loss,
+            Op::OutputGrad(LayerId(12)),
+            Op::WeightGrad(LayerId(1)),
+            Op::Update(LayerId(7)),
+            Op::SyncWeightGrad(LayerId(30)),
+            Op::SyncOutputGrad(LayerId(2)),
+        ];
+        for op in ops {
+            assert_eq!(op.to_string().parse::<Op>().unwrap(), op);
+        }
+        for bad in ["", "G4", "dW", "S[dWx]", "F-1", "loss"] {
+            assert!(bad.parse::<Op>().is_err(), "accepted: {bad}");
+        }
     }
 
     #[test]

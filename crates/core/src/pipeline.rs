@@ -25,11 +25,10 @@
 
 use crate::error::{Error, Result};
 use crate::SimTime;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Which device owns each layer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Allocation {
     /// Consecutive layers are grouped into `devices` equal stages — the
     /// conventional scheme of GPipe/PipeDream.
@@ -74,7 +73,7 @@ impl Allocation {
 }
 
 /// Pipeline training strategy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Strategy {
     /// Cross-layer model parallelism: a single micro-batch, contiguous
     /// allocation, conventional backprop (Figure 5 (a)).
@@ -143,7 +142,7 @@ impl Strategy {
 }
 
 /// Per-layer execution costs for pipeline simulation.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PipeCost {
     /// Forward time per layer (1-based index at `forward[l-1]`).
     pub forward: Vec<SimTime>,
@@ -186,7 +185,7 @@ impl PipeCost {
 }
 
 /// Full configuration of a pipeline simulation.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PipelineConfig {
     /// Number of layers.
     pub layers: usize,
@@ -246,7 +245,7 @@ impl PipelineConfig {
 }
 
 /// Kind of a pipeline task.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TaskKind {
     /// Forward computation.
     Forward,
@@ -259,7 +258,7 @@ pub enum TaskKind {
 }
 
 /// One simulated pipeline task.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PipeTask {
     /// Task kind.
     pub kind: TaskKind,

@@ -10,15 +10,14 @@
 use crate::error::{Error, Result};
 use crate::graph::TrainGraph;
 use crate::op::Op;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Identifier of an execution resource (stream, device, or link).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ResourceId(pub usize);
 
 /// The ordered operation list of one resource.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ResourceSchedule {
     /// Resource this lane belongs to.
     pub resource: ResourceId,
@@ -33,7 +32,7 @@ pub struct ResourceSchedule {
 /// The schedule fixes per-resource issue order; actual start times emerge
 /// from the dependency structure when the schedule is simulated (see
 /// [`crate::list_scheduling::simulate`]).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Schedule {
     /// One lane per resource.
     pub lanes: Vec<ResourceSchedule>,
@@ -85,19 +84,22 @@ impl Schedule {
     }
 }
 
-/// Validates that `order` is a complete topological linearization of
-/// `graph`: every operation appears exactly once and no operation precedes
-/// one of its dependencies.
+/// Builds the `op -> position` index of an operation sequence, rejecting
+/// operations outside the graph and duplicates.
+///
+/// This is the shared front end of every validator here and of the
+/// `ooo-verify` analyzer's structural rules (`OV001`/`OV002`).
 ///
 /// # Errors
 ///
-/// - [`Error::UnknownOp`] if `order` contains an op not in the graph.
+/// - [`Error::UnknownOp`] if the sequence contains an op not in the graph.
 /// - [`Error::DuplicateOp`] if an op appears twice.
-/// - [`Error::MissingOp`] if an op of the graph is absent.
-/// - [`Error::DependencyViolation`] if the order breaks a dependency.
-pub fn validate_order(graph: &TrainGraph, order: &[Op]) -> Result<()> {
-    let mut pos: HashMap<Op, usize> = HashMap::with_capacity(order.len());
-    for (i, &op) in order.iter().enumerate() {
+pub fn index_positions(
+    graph: &TrainGraph,
+    ops: impl IntoIterator<Item = Op>,
+) -> Result<HashMap<Op, usize>> {
+    let mut pos: HashMap<Op, usize> = HashMap::new();
+    for (i, op) in ops.into_iter().enumerate() {
         if !graph.contains(op) {
             return Err(Error::UnknownOp(op));
         }
@@ -105,37 +107,33 @@ pub fn validate_order(graph: &TrainGraph, order: &[Op]) -> Result<()> {
             return Err(Error::DuplicateOp(op));
         }
     }
+    Ok(pos)
+}
+
+/// Requires `pos` (from [`index_positions`]) to cover every operation of
+/// the graph.
+///
+/// # Errors
+///
+/// Returns [`Error::MissingOp`] naming the first absent operation (in
+/// canonical graph order).
+pub fn require_complete(graph: &TrainGraph, pos: &HashMap<Op, usize>) -> Result<()> {
     for &op in graph.ops() {
         if !pos.contains_key(&op) {
             return Err(Error::MissingOp(op));
         }
     }
-    check_deps(graph, &pos)
+    Ok(())
 }
 
-/// Validates that `order` is a *partial* topological linearization: each
-/// operation appears at most once, and every dependency that is itself part
-/// of `order` appears earlier. Dependencies outside `order` are assumed to
-/// have completed before the partial schedule starts (e.g. when scheduling
-/// only the backward pass).
+/// Checks that every dependency present in `pos` is positioned before its
+/// dependent. Dependencies absent from `pos` are assumed to have completed
+/// before the (partial) order starts.
 ///
 /// # Errors
 ///
-/// Same as [`validate_order`] except that missing operations are allowed.
-pub fn validate_partial_order(graph: &TrainGraph, order: &[Op]) -> Result<()> {
-    let mut pos: HashMap<Op, usize> = HashMap::with_capacity(order.len());
-    for (i, &op) in order.iter().enumerate() {
-        if !graph.contains(op) {
-            return Err(Error::UnknownOp(op));
-        }
-        if pos.insert(op, i).is_some() {
-            return Err(Error::DuplicateOp(op));
-        }
-    }
-    check_deps(graph, &pos)
-}
-
-fn check_deps(graph: &TrainGraph, pos: &HashMap<Op, usize>) -> Result<()> {
+/// Returns [`Error::DependencyViolation`] for the first out-of-order pair.
+pub fn check_positions(graph: &TrainGraph, pos: &HashMap<Op, usize>) -> Result<()> {
     for (&op, &i) in pos {
         for dep in graph.deps(op)? {
             if let Some(&j) = pos.get(&dep) {
@@ -151,53 +149,94 @@ fn check_deps(graph: &TrainGraph, pos: &HashMap<Op, usize>) -> Result<()> {
     Ok(())
 }
 
-/// Validates a multi-lane [`Schedule`]: each operation appears on exactly
-/// one lane, all graph operations are covered, and there exists an
-/// interleaving of the lanes respecting both per-lane order and the
-/// dependency DAG (i.e. the union of lane orders and dependencies is
-/// acyclic).
+/// Validates that `order` is a complete topological linearization of
+/// `graph`: every operation appears exactly once and no operation precedes
+/// one of its dependencies.
 ///
 /// # Errors
 ///
-/// Same classes as [`validate_order`]; a [`Error::DependencyViolation`] is
-/// reported when the lanes cannot be interleaved without breaking a
-/// dependency (the reported pair lies on the detected cycle).
-pub fn validate_schedule(graph: &TrainGraph, schedule: &Schedule) -> Result<()> {
-    let mut seen: HashMap<Op, ResourceId> = HashMap::new();
-    for (res, op) in schedule.iter_ops() {
-        if !graph.contains(op) {
-            return Err(Error::UnknownOp(op));
-        }
-        if seen.insert(op, res).is_some() {
-            return Err(Error::DuplicateOp(op));
-        }
-    }
-    for &op in graph.ops() {
-        if !seen.contains_key(&op) {
-            return Err(Error::MissingOp(op));
-        }
-    }
-    // Kahn's algorithm over the union of dependency edges and per-lane
-    // successor edges; if not all ops drain, the union has a cycle.
+/// - [`Error::UnknownOp`] if `order` contains an op not in the graph.
+/// - [`Error::DuplicateOp`] if an op appears twice.
+/// - [`Error::MissingOp`] if an op of the graph is absent.
+/// - [`Error::DependencyViolation`] if the order breaks a dependency.
+pub fn validate_order(graph: &TrainGraph, order: &[Op]) -> Result<()> {
+    let pos = index_positions(graph, order.iter().copied())?;
+    require_complete(graph, &pos)?;
+    check_positions(graph, &pos)
+}
+
+/// Validates that `order` is a *partial* topological linearization: each
+/// operation appears at most once, and every dependency that is itself part
+/// of `order` appears earlier. Dependencies outside `order` are assumed to
+/// have completed before the partial schedule starts (e.g. when scheduling
+/// only the backward pass).
+///
+/// # Errors
+///
+/// Same as [`validate_order`] except that missing operations are allowed.
+pub fn validate_partial_order(graph: &TrainGraph, order: &[Op]) -> Result<()> {
+    let pos = index_positions(graph, order.iter().copied())?;
+    check_positions(graph, &pos)
+}
+
+/// Merges a (possibly partial) multi-lane schedule into one topological
+/// order of the union of per-lane issue orders and the dependency edges
+/// between *scheduled* operations — Kahn's algorithm over the union graph.
+/// Dependencies on unscheduled operations are assumed satisfied, matching
+/// [`validate_partial_order`]'s contract.
+///
+/// The merged order is the linearization used by sequential analyses
+/// (memory accounting, replay); its existence is exactly the
+/// interleaving-feasibility property checked by [`validate_schedule`].
+///
+/// The schedule must already be indexable (no unknown/duplicate ops);
+/// call [`index_positions`] first.
+///
+/// # Errors
+///
+/// Returns [`Error::DependencyViolation`] when the union graph has a
+/// cycle, i.e. the lanes cannot be interleaved without breaking a
+/// dependency or a lane's issue order (the reported pair lies on the
+/// cycle).
+pub fn merge_lanes(graph: &TrainGraph, schedule: &Schedule) -> Result<Vec<Op>> {
     let n = graph.len();
+    let mut scheduled = vec![false; n];
+    for (_, op) in schedule.iter_ops() {
+        let i = graph.op_index(op).ok_or(Error::UnknownOp(op))?;
+        scheduled[i] = true;
+    }
     let mut extra_succ: Vec<Vec<usize>> = vec![Vec::new(); n];
-    let mut indeg: Vec<usize> = (0..n).map(|i| graph.dep_indices(i).len()).collect();
+    let mut indeg: Vec<usize> = (0..n)
+        .map(|i| {
+            if !scheduled[i] {
+                return 0;
+            }
+            graph
+                .dep_indices(i)
+                .iter()
+                .filter(|&&d| scheduled[d])
+                .count()
+        })
+        .collect();
     for lane in &schedule.lanes {
         for w in lane.ops.windows(2) {
-            let a = graph.op_index(w[0]).expect("validated above");
-            let b = graph.op_index(w[1]).expect("validated above");
+            let a = graph.op_index(w[0]).expect("checked above");
+            let b = graph.op_index(w[1]).expect("checked above");
             extra_succ[a].push(b);
             indeg[b] += 1;
         }
     }
-    let mut ready: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
-    let mut drained = 0;
+    let total = scheduled.iter().filter(|&&s| s).count();
+    let mut ready: Vec<usize> = (0..n).filter(|&i| scheduled[i] && indeg[i] == 0).collect();
+    let mut merged = Vec::with_capacity(total);
     while let Some(i) = ready.pop() {
-        drained += 1;
+        merged.push(graph.ops()[i]);
         for &j in graph.dependent_indices(i) {
-            indeg[j] -= 1;
-            if indeg[j] == 0 {
-                ready.push(j);
+            if scheduled[j] {
+                indeg[j] -= 1;
+                if indeg[j] == 0 {
+                    ready.push(j);
+                }
             }
         }
         for &j in &extra_succ[i] {
@@ -207,22 +246,44 @@ pub fn validate_schedule(graph: &TrainGraph, schedule: &Schedule) -> Result<()> 
             }
         }
     }
-    if drained != n {
+    if merged.len() != total {
         // Find a blocked op and one of its unsatisfied dependencies to
         // produce an actionable error message.
         let blocked = (0..n)
-            .find(|&i| indeg[i] > 0)
+            .find(|&i| scheduled[i] && indeg[i] > 0)
             .expect("cycle implies a blocked op");
         let op = graph.ops()[blocked];
         let missing_dep = graph
             .dep_indices(blocked)
             .iter()
             .map(|&d| graph.ops()[d])
-            .next()
+            .find(|&d| graph.op_index(d).map(|x| scheduled[x]) == Some(true))
             .unwrap_or(op);
         return Err(Error::DependencyViolation { op, missing_dep });
     }
-    Ok(())
+    Ok(merged)
+}
+
+/// Validates a multi-lane [`Schedule`]: each operation appears on exactly
+/// one lane, all graph operations are covered, and there exists an
+/// interleaving of the lanes respecting both per-lane order and the
+/// dependency DAG (i.e. the union of lane orders and dependencies is
+/// acyclic).
+///
+/// This is the structural subset of the `ooo-verify` analyzer's checks;
+/// run that crate's `Verifier` for the full hazard analysis
+/// (happens-before races, deadlock cycles, memory liveness, ooo
+/// legality).
+///
+/// # Errors
+///
+/// Same classes as [`validate_order`]; a [`Error::DependencyViolation`] is
+/// reported when the lanes cannot be interleaved without breaking a
+/// dependency (the reported pair lies on the detected cycle).
+pub fn validate_schedule(graph: &TrainGraph, schedule: &Schedule) -> Result<()> {
+    let pos = index_positions(graph, schedule.iter_ops().map(|(_, op)| op))?;
+    require_complete(graph, &pos)?;
+    merge_lanes(graph, schedule).map(|_| ())
 }
 
 #[cfg(test)]

@@ -1,10 +1,9 @@
 //! Kernel descriptions.
 
 use crate::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// One GPU kernel: a grid of identical thread blocks.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Kernel {
     /// Kernel name (for traces).
     pub name: String,

@@ -1,12 +1,10 @@
 //! GPU hardware specifications.
 
-use serde::{Deserialize, Serialize};
-
 /// Static description of a GPU, reduced to the quantities the simulator
 /// needs. The block-slot counts follow the paper's V100 observation that
 /// the SMs can hold 1,520 thread blocks of the DenseBlock-4 weight
 /// gradient kernels at once.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GpuSpec {
     /// Marketing name.
     pub name: &'static str,

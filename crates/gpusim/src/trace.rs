@@ -1,10 +1,9 @@
 //! Simulation traces and derived utilization metrics.
 
 use crate::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// One executed kernel.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct KernelRecord {
     /// Kernel name.
     pub name: String,

@@ -6,10 +6,9 @@ use crate::spec::{LayerSpec, ModelSpec};
 use ooo_core::cost::{LayerCost, TableCost};
 use ooo_core::pipeline::PipeCost;
 use ooo_core::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// A kernel ready for the GPU simulator.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct KernelProfile {
     /// Kernel name.
     pub name: String,
@@ -22,7 +21,7 @@ pub struct KernelProfile {
 }
 
 /// The three kernels of one layer.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LayerKernels {
     /// Forward kernel.
     pub forward: KernelProfile,

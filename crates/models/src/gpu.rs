@@ -1,11 +1,9 @@
 //! GPU performance profiles for cost derivation.
 
-use serde::{Deserialize, Serialize};
-
 /// Effective per-GPU performance used to turn FLOP counts into kernel
 /// times. `flops_per_sec` is the *sustained* throughput for DNN kernels
 /// (peak x typical efficiency), not the datasheet peak.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GpuProfile {
     /// GPU name.
     pub name: &'static str,

@@ -1,10 +1,8 @@
 //! Model and layer descriptions.
 
-use serde::{Deserialize, Serialize};
-
 /// Operator class of a scheduling layer; determines issue costs and
 /// thread-block shapes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LayerKind {
     /// Convolution (with folded activation).
     Conv,
@@ -50,7 +48,7 @@ impl LayerKind {
 }
 
 /// One scheduling layer (the unit the paper's graphs operate on).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LayerSpec {
     /// Layer name, e.g. `"denseblock3.conv12"`.
     pub name: String,
@@ -84,7 +82,7 @@ impl LayerSpec {
 }
 
 /// A whole network.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModelSpec {
     /// Model name, e.g. `"DenseNet-121 (k=12)"`.
     pub name: String,

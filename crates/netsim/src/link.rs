@@ -1,10 +1,9 @@
 //! Link specifications.
 
 use crate::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// A point-to-point (or NIC) link.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LinkSpec {
     /// Link name.
     pub name: &'static str,

@@ -1,11 +1,10 @@
 //! Cluster topologies (the paper's Table 2).
 
 use crate::link::LinkSpec;
-use serde::{Deserialize, Serialize};
 
 /// A homogeneous GPU cluster: `nodes` machines with `gpus_per_node` GPUs
 /// each, a fast intra-node link, and a slower inter-node network.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterTopology {
     /// Cluster name.
     pub name: &'static str,

@@ -68,18 +68,17 @@ pub fn data_parallel_step<O: Optimizer>(
         )));
     }
     let net_ref: &Sequential = net;
-    let results: Vec<Result<(f32, Grads)>> = crossbeam::thread::scope(|scope| {
+    let results: Vec<Result<(f32, Grads)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = shards
             .iter()
             .zip(orders)
-            .map(|((x, y), order)| scope.spawn(move |_| net_ref.grads_with_order(x, y, order)))
+            .map(|((x, y), order)| scope.spawn(move || net_ref.grads_with_order(x, y, order)))
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("worker thread panicked"))
             .collect()
-    })
-    .expect("thread scope");
+    });
 
     let mut losses = Vec::with_capacity(results.len());
     let mut grads = Vec::with_capacity(results.len());

@@ -1,0 +1,175 @@
+//! Happens-before construction over a multi-lane schedule.
+//!
+//! The analyzer models a schedule as a set of *events* (the scheduled
+//! operations) with two edge families:
+//!
+//! - **program order**: consecutive operations on the same lane
+//!   (resource issue order), and
+//! - **data/sync order**: every dependency edge of the
+//!   [`TrainGraph`] whose endpoints are both scheduled. Synchronization
+//!   operations (`S[dW]`, `S[dO]`) are ordinary events, so the
+//!   cross-device ordering they provide is exactly their dependency
+//!   edges — dropping a sync op from a schedule removes the only
+//!   happens-before path between producer and consumer, which is what
+//!   the race rule detects.
+//!
+//! Dependencies on *unscheduled* operations contribute no edges: a
+//! partial schedule assumes those completed beforehand (matching
+//! [`ooo_core::schedule::validate_partial_order`]).
+//!
+//! The relation is materialized as a transitive-closure bitset per
+//! event — schedules here are a few thousand events at most, so the
+//! closure (O(V·E/64) via reverse-topological accumulation) is cheap
+//! and makes every `happens_before` query O(1).
+
+use ooo_core::schedule::Schedule;
+use ooo_core::{Op, TrainGraph};
+use std::collections::HashMap;
+
+/// The happens-before relation over one schedule, or the wait cycle that
+/// prevents it from existing.
+#[derive(Debug)]
+pub enum HbResult {
+    /// The union graph is acyclic; queries are available.
+    Relation(HbRelation),
+    /// The union graph has a cycle: the schedule deadlocks. The cycle is
+    /// reported in order (each op waits for the next; the last waits for
+    /// the first).
+    Cycle(Vec<Op>),
+}
+
+/// O(1)-queryable happens-before relation (transitive closure).
+#[derive(Debug)]
+pub struct HbRelation {
+    /// Dense event id per scheduled op.
+    event_of: HashMap<Op, u32>,
+    /// `reach[a]` has bit `b` set iff `a` happens-before `b` (strict).
+    reach: Vec<Vec<u64>>,
+}
+
+impl HbRelation {
+    /// Returns `true` iff `a` must complete before `b` starts in every
+    /// execution of the schedule. Strict: `happens_before(x, x)` is
+    /// `false` for any `x` (the union graph is acyclic).
+    pub fn happens_before(&self, a: Op, b: Op) -> bool {
+        match (self.event_of.get(&a), self.event_of.get(&b)) {
+            (Some(&ea), Some(&eb)) => {
+                self.reach[ea as usize][(eb / 64) as usize] >> (eb % 64) & 1 == 1
+            }
+            _ => false,
+        }
+    }
+
+    /// Returns `true` iff the two events are ordered either way.
+    pub fn ordered(&self, a: Op, b: Op) -> bool {
+        self.happens_before(a, b) || self.happens_before(b, a)
+    }
+}
+
+/// Builds the happens-before relation for `schedule`, or extracts a wait
+/// cycle. The schedule must contain no unknown or duplicate operations
+/// (the analyzer's structural rules run first).
+pub fn build(graph: &TrainGraph, schedule: &Schedule) -> HbResult {
+    // Dense event ids in lane-major order.
+    let mut events: Vec<Op> = Vec::with_capacity(schedule.num_ops());
+    let mut event_of: HashMap<Op, u32> = HashMap::with_capacity(schedule.num_ops());
+    for (_, op) in schedule.iter_ops() {
+        event_of.insert(op, events.len() as u32);
+        events.push(op);
+    }
+    let m = events.len();
+
+    let mut succ: Vec<Vec<u32>> = vec![Vec::new(); m];
+    let mut indeg: Vec<u32> = vec![0; m];
+    let add_edge = |succ: &mut Vec<Vec<u32>>, indeg: &mut Vec<u32>, a: u32, b: u32| {
+        succ[a as usize].push(b);
+        indeg[b as usize] += 1;
+    };
+    // Program order.
+    for lane in &schedule.lanes {
+        for w in lane.ops.windows(2) {
+            add_edge(&mut succ, &mut indeg, event_of[&w[0]], event_of[&w[1]]);
+        }
+    }
+    // Data and sync dependencies between scheduled ops.
+    for (&op, &e) in &event_of {
+        for dep in graph.deps(op).expect("scheduled ops are in the graph") {
+            if let Some(&d) = event_of.get(&dep) {
+                add_edge(&mut succ, &mut indeg, d, e);
+            }
+        }
+    }
+
+    // Kahn's toposort.
+    let mut topo: Vec<u32> = Vec::with_capacity(m);
+    let mut remaining = indeg.clone();
+    let mut ready: Vec<u32> = (0..m as u32)
+        .filter(|&e| remaining[e as usize] == 0)
+        .collect();
+    while let Some(e) = ready.pop() {
+        topo.push(e);
+        for &s in &succ[e as usize] {
+            remaining[s as usize] -= 1;
+            if remaining[s as usize] == 0 {
+                ready.push(s);
+            }
+        }
+    }
+    if topo.len() != m {
+        return HbResult::Cycle(extract_cycle(&succ, &remaining, &events));
+    }
+
+    // Transitive closure, accumulated in reverse topological order:
+    // reach(a) = Union over successors s of ({s} ∪ reach(s)).
+    let words = m.div_ceil(64).max(1);
+    let mut reach: Vec<Vec<u64>> = vec![vec![0u64; words]; m];
+    for &e in topo.iter().rev() {
+        let e = e as usize;
+        // Move out to satisfy the borrow checker while unioning rows.
+        let mut row = std::mem::take(&mut reach[e]);
+        for &s in &succ[e] {
+            let s = s as usize;
+            row[s / 64] |= 1u64 << (s % 64);
+            for (w, &bits) in row.iter_mut().zip(&reach[s]) {
+                *w |= bits;
+            }
+        }
+        reach[e] = row;
+    }
+
+    HbResult::Relation(HbRelation { event_of, reach })
+}
+
+/// Finds one cycle among the events that did not drain in the toposort
+/// (`remaining[e] > 0`). Every blocked event has at least one blocked
+/// *predecessor* (the one still holding up its in-degree), so walking
+/// predecessors from any blocked event must revisit an event; the
+/// revisited segment, reversed, is a cycle in edge direction.
+fn extract_cycle(succ: &[Vec<u32>], remaining: &[u32], events: &[Op]) -> Vec<Op> {
+    let m = events.len();
+    let mut pred: Vec<Vec<u32>> = vec![Vec::new(); m];
+    for (a, outs) in succ.iter().enumerate() {
+        for &b in outs {
+            pred[b as usize].push(a as u32);
+        }
+    }
+    let start = (0..m as u32)
+        .find(|&e| remaining[e as usize] > 0)
+        .expect("called only when some event is blocked");
+    let mut seen_at: HashMap<u32, usize> = HashMap::new();
+    let mut path: Vec<u32> = Vec::new();
+    let mut cur = start;
+    loop {
+        if let Some(&i) = seen_at.get(&cur) {
+            let mut cycle: Vec<Op> = path[i..].iter().map(|&e| events[e as usize]).collect();
+            cycle.reverse();
+            return cycle;
+        }
+        seen_at.insert(cur, path.len());
+        path.push(cur);
+        cur = *pred[cur as usize]
+            .iter()
+            .find(|&&p| remaining[p as usize] > 0)
+            .expect("a blocked event always has a blocked predecessor");
+    }
+}

@@ -1,0 +1,779 @@
+//! # ooo-verify — static schedule-safety analyzer for out-of-order backprop
+//!
+//! Out-of-order backprop buys its speedups by deviating from the
+//! conventional execution order, which makes "is this schedule actually
+//! safe to run?" a real question: a hand-tuned or search-produced
+//! schedule can race on a gradient buffer, deadlock across pipeline
+//! stages, blow the memory budget, or reorder an operation the technique
+//! is *not* allowed to move. This crate answers that question statically,
+//! lint-style: a [`Verifier`] consumes a [`TrainGraph`] and a
+//! [`Schedule`] and produces a [`Report`] of structured [`Diagnostic`]s,
+//! each tagged with a stable [`RuleId`] and [`Severity`].
+//!
+//! ## Rule catalog
+//!
+//! | Rule    | Severity | Meaning |
+//! |---------|----------|---------|
+//! | `OV001` | error    | schedule references an op outside the graph |
+//! | `OV002` | error    | op assigned to more than one lane/position |
+//! | `OV003` | error    | graph op missing from a complete schedule |
+//! | `OV101` | error    | op scheduled before its own dependency on one lane |
+//! | `OV102` | error    | cross-lane wait cycle (deadlock) |
+//! | `OV201` | error    | unsynchronized conflicting accesses to one buffer |
+//! | `OV301` | error    | peak memory exceeds the configured budget |
+//! | `OV401` | warning  | non-`dW`-class ops deviate from conventional order |
+//!
+//! ## Analyses
+//!
+//! 1. **Happens-before** ([`hb`]): program order per lane unioned with
+//!    the dependency edges between scheduled ops, materialized as a
+//!    transitive closure for O(1) ordering queries.
+//! 2. **Race detection** (`OV201`): conflicting accesses (same buffer,
+//!    at least one write, different lanes) with no happens-before path,
+//!    using the buffer model of [`access`].
+//! 3. **Deadlock detection** (`OV101`/`OV102`): a cycle in the union
+//!    graph means no execution can make progress; same-lane dependency
+//!    inversions are reported precisely, genuine cross-lane wait cycles
+//!    are reported with the full cycle.
+//! 4. **Memory liveness** (`OV301`): interval-based peak estimation over
+//!    the merged linearization via [`ooo_core::memory::memory_profile`],
+//!    checked against a configurable budget.
+//! 5. **OOO legality** (`OV401`): the paper's central claim is that only
+//!    `dW_i` (and its private consumers `S[dW_i]`, `U_i`) may move
+//!    relative to the conventional order; any other same-lane reordering
+//!    is flagged.
+//!
+//! ## Example
+//!
+//! ```
+//! use ooo_core::TrainGraph;
+//! use ooo_verify::Verifier;
+//!
+//! let graph = TrainGraph::single_gpu(4);
+//! let report = Verifier::new(&graph).verify_order(&graph.fast_forward_backprop());
+//! assert!(report.is_clean());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod access;
+pub mod hb;
+
+use access::{accesses, AccessKind, BufferId};
+use ooo_core::cost::{CostModel, UnitCost};
+use ooo_core::export::DiagnosticRecord;
+use ooo_core::memory::memory_profile;
+use ooo_core::schedule::{merge_lanes, Schedule};
+use ooo_core::{Op, TrainGraph};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational note.
+    Info,
+    /// Suspicious but not necessarily unsafe.
+    Warning,
+    /// The schedule is unsafe or malformed.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case name used in the JSON diagnostics format.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Stable identifier of one analyzer rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleId {
+    /// `OV001`: an op in the schedule is not part of the graph.
+    UnknownOp,
+    /// `OV002`: an op appears more than once across the lanes.
+    DuplicateOp,
+    /// `OV003`: a graph op is absent from a schedule required to be
+    /// complete.
+    MissingOp,
+    /// `OV101`: an op precedes one of its dependencies on the same lane.
+    DependencyInversion,
+    /// `OV102`: the lanes wait on each other in a cycle.
+    CrossLaneDeadlock,
+    /// `OV201`: two conflicting buffer accesses lack a happens-before
+    /// path.
+    BufferRace,
+    /// `OV301`: peak memory of the merged order exceeds the budget.
+    MemoryBudgetExceeded,
+    /// `OV401`: non-`dW`-class ops were reordered relative to the
+    /// conventional execution order.
+    NonWeightGradReorder,
+}
+
+impl RuleId {
+    /// The stable rule code (e.g. `"OV201"`).
+    pub fn code(self) -> &'static str {
+        match self {
+            RuleId::UnknownOp => "OV001",
+            RuleId::DuplicateOp => "OV002",
+            RuleId::MissingOp => "OV003",
+            RuleId::DependencyInversion => "OV101",
+            RuleId::CrossLaneDeadlock => "OV102",
+            RuleId::BufferRace => "OV201",
+            RuleId::MemoryBudgetExceeded => "OV301",
+            RuleId::NonWeightGradReorder => "OV401",
+        }
+    }
+
+    /// The severity this rule reports at.
+    pub fn severity(self) -> Severity {
+        match self {
+            RuleId::NonWeightGradReorder => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// One finding of the analyzer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The rule that fired.
+    pub rule: RuleId,
+    /// Operations involved in the finding.
+    pub ops: Vec<Op>,
+    /// Names of the lanes involved (empty when not lane-specific).
+    pub lanes: Vec<String>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Severity of the finding (derived from the rule).
+    pub fn severity(&self) -> Severity {
+        self.rule.severity()
+    }
+
+    /// Converts the finding into the machine-readable interchange record
+    /// of [`ooo_core::export`].
+    pub fn to_record(&self) -> DiagnosticRecord {
+        DiagnosticRecord {
+            rule: self.rule.code().to_string(),
+            severity: self.severity().as_str().to_string(),
+            ops: self.ops.clone(),
+            lanes: self.lanes.clone(),
+            message: self.message.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}: {}", self.rule, self.severity(), self.message)
+    }
+}
+
+/// The outcome of one verification run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    /// All findings, in analysis order (structural, deadlock, race,
+    /// memory, legality).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// `true` when no rule fired at all.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// `true` when at least one error-severity rule fired.
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity() == Severity::Error)
+    }
+
+    /// The findings of one rule.
+    pub fn by_rule(&self, rule: RuleId) -> Vec<&Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.rule == rule).collect()
+    }
+
+    /// The distinct rule codes that fired.
+    pub fn rule_codes(&self) -> Vec<&'static str> {
+        let mut codes: Vec<&'static str> = self.diagnostics.iter().map(|d| d.rule.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        codes
+    }
+
+    /// Converts every finding into the interchange format, ready for
+    /// [`ooo_core::export::diagnostics_to_json`].
+    pub fn to_records(&self) -> Vec<DiagnosticRecord> {
+        self.diagnostics.iter().map(Diagnostic::to_record).collect()
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return writeln!(f, "clean: no findings");
+        }
+        for d in &self.diagnostics {
+            writeln!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Configuration of a verification run.
+#[derive(Debug, Clone)]
+pub struct VerifyConfig {
+    /// Require every graph op to be scheduled (`OV003`). Disable for
+    /// partial schedules such as the backward-only orders of
+    /// reverse first-k scheduling.
+    pub require_complete: bool,
+    /// Peak-memory budget in bytes for `OV301`; `None` disables the
+    /// memory-liveness analysis.
+    pub memory_budget: Option<u64>,
+    /// Run the ooo-legality lint (`OV401`).
+    pub check_legality: bool,
+}
+
+impl Default for VerifyConfig {
+    fn default() -> Self {
+        VerifyConfig {
+            require_complete: true,
+            memory_budget: None,
+            check_legality: true,
+        }
+    }
+}
+
+/// The analyzer. Borrows the dependency graph; one instance can verify
+/// any number of schedules for that graph.
+#[derive(Debug)]
+pub struct Verifier<'g, C = UnitCost> {
+    graph: &'g TrainGraph,
+    cost: C,
+    config: VerifyConfig,
+}
+
+impl<'g> Verifier<'g, UnitCost> {
+    /// A verifier with default configuration and unit buffer sizes.
+    pub fn new(graph: &'g TrainGraph) -> Self {
+        Verifier {
+            graph,
+            cost: UnitCost,
+            config: VerifyConfig::default(),
+        }
+    }
+}
+
+impl<'g, C: CostModel> Verifier<'g, C> {
+    /// Replaces the configuration.
+    pub fn with_config(mut self, config: VerifyConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Replaces the cost model used by the memory-liveness analysis.
+    pub fn with_cost<D: CostModel>(self, cost: D) -> Verifier<'g, D> {
+        Verifier {
+            graph: self.graph,
+            cost,
+            config: self.config,
+        }
+    }
+
+    /// Verifies a flat execution order (a single-lane schedule).
+    pub fn verify_order(&self, order: &[Op]) -> Report {
+        self.verify(&Schedule::single_lane("order", order.to_vec()))
+    }
+
+    /// Runs all analyses over `schedule` and returns the findings.
+    pub fn verify(&self, schedule: &Schedule) -> Report {
+        let mut diags = Vec::new();
+
+        // --- Structural rules (OV001/OV002/OV003). A schedule that fails
+        // OV001/OV002 has no well-defined event set, so the deeper
+        // analyses are skipped.
+        let mut seen: HashSet<Op> = HashSet::new();
+        let mut structural_broken = false;
+        for lane in &schedule.lanes {
+            for &op in &lane.ops {
+                if !self.graph.contains(op) {
+                    diags.push(Diagnostic {
+                        rule: RuleId::UnknownOp,
+                        ops: vec![op],
+                        lanes: vec![lane.name.clone()],
+                        message: format!("{op} (lane {}) is not part of the graph", lane.name),
+                    });
+                    structural_broken = true;
+                } else if !seen.insert(op) {
+                    let lanes: Vec<String> = schedule
+                        .lanes
+                        .iter()
+                        .filter(|l| l.ops.contains(&op))
+                        .map(|l| l.name.clone())
+                        .collect();
+                    diags.push(Diagnostic {
+                        rule: RuleId::DuplicateOp,
+                        ops: vec![op],
+                        message: format!(
+                            "{op} is assigned more than once (lanes: {}); its output buffer \
+                             would be produced twice",
+                            lanes.join(", ")
+                        ),
+                        lanes,
+                    });
+                    structural_broken = true;
+                }
+            }
+        }
+        if structural_broken {
+            return Report { diagnostics: diags };
+        }
+        if self.config.require_complete {
+            let missing: Vec<Op> = self
+                .graph
+                .ops()
+                .iter()
+                .copied()
+                .filter(|op| !seen.contains(op))
+                .collect();
+            if !missing.is_empty() {
+                let shown: Vec<String> = missing.iter().map(|op| op.to_string()).collect();
+                diags.push(Diagnostic {
+                    rule: RuleId::MissingOp,
+                    ops: missing,
+                    lanes: Vec::new(),
+                    message: format!(
+                        "schedule is missing {} graph operation(s): {}",
+                        shown.len(),
+                        shown.join(", ")
+                    ),
+                });
+            }
+        }
+
+        // --- OOO legality (OV401): purely positional, so it works even
+        // when the schedule deadlocks.
+        if self.config.check_legality {
+            self.check_legality(schedule, &mut diags);
+        }
+
+        // --- Happens-before; on a cycle, report the deadlock and stop
+        // (races and memory are undefined without a feasible execution).
+        let relation = match hb::build(self.graph, schedule) {
+            hb::HbResult::Cycle(cycle) => {
+                self.report_cycle(schedule, cycle, &mut diags);
+                return Report { diagnostics: diags };
+            }
+            hb::HbResult::Relation(r) => r,
+        };
+
+        // --- Race detection (OV201).
+        self.check_races(schedule, &relation, &mut diags);
+
+        // --- Memory liveness (OV301).
+        if let Some(budget) = self.config.memory_budget {
+            self.check_memory(schedule, budget, &mut diags);
+        }
+
+        Report { diagnostics: diags }
+    }
+
+    /// Same-lane pairs of non-`dW`-class ops whose relative order deviates
+    /// from conventional backprop. Cross-lane deviations of non-`dW` ops
+    /// need no separate rule: the forward chain transitively depends on
+    /// the whole backward chain, so any such inversion already manifests
+    /// as a dependency cycle (`OV101`/`OV102`).
+    fn check_legality(&self, schedule: &Schedule, diags: &mut Vec<Diagnostic>) {
+        let conv_pos: HashMap<Op, usize> = self
+            .graph
+            .conventional_backprop()
+            .into_iter()
+            .zip(0..)
+            .collect();
+        for lane in &schedule.lanes {
+            let fixed: Vec<Op> = lane
+                .ops
+                .iter()
+                .copied()
+                .filter(|op| !op.is_weight_grad_class())
+                .collect();
+            for (i, &a) in fixed.iter().enumerate() {
+                for &b in &fixed[i + 1..] {
+                    if conv_pos[&a] > conv_pos[&b] {
+                        diags.push(Diagnostic {
+                            rule: RuleId::NonWeightGradReorder,
+                            ops: vec![a, b],
+                            lanes: vec![lane.name.clone()],
+                            message: format!(
+                                "{a} runs before {b} on lane {}, inverting their conventional \
+                                 order; out-of-order backprop may only move dW-class ops \
+                                 (dW/S[dW]/U)",
+                                lane.name
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Classifies a union-graph cycle: same-lane dependency inversions
+    /// are the precise cause when they exist (`OV101`), otherwise the
+    /// lanes genuinely deadlock against each other (`OV102`).
+    fn report_cycle(&self, schedule: &Schedule, cycle: Vec<Op>, diags: &mut Vec<Diagnostic>) {
+        let mut found_inversion = false;
+        for lane in &schedule.lanes {
+            let lane_pos: HashMap<Op, usize> = lane.ops.iter().copied().zip(0..).collect();
+            for (i, &op) in lane.ops.iter().enumerate() {
+                for dep in self.graph.deps(op).expect("structurally checked") {
+                    if lane_pos.get(&dep).is_some_and(|&j| j > i) {
+                        found_inversion = true;
+                        diags.push(Diagnostic {
+                            rule: RuleId::DependencyInversion,
+                            ops: vec![op, dep],
+                            lanes: vec![lane.name.clone()],
+                            message: format!(
+                                "{op} is scheduled before its dependency {dep} on lane {}",
+                                lane.name
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        if !found_inversion {
+            let mut lanes: Vec<String> = cycle
+                .iter()
+                .filter_map(|&op| schedule.lane_of(op))
+                .map(|r| schedule.lanes[r.0].name.clone())
+                .collect();
+            lanes.sort();
+            lanes.dedup();
+            let chain: Vec<String> = cycle.iter().map(|op| op.to_string()).collect();
+            diags.push(Diagnostic {
+                rule: RuleId::CrossLaneDeadlock,
+                ops: cycle,
+                lanes,
+                message: format!(
+                    "cross-lane wait cycle: {} -> (back to start); no lane can make progress",
+                    chain.join(" -> ")
+                ),
+            });
+        }
+    }
+
+    /// Conflicting buffer accesses with no happens-before path (`OV201`).
+    fn check_races(
+        &self,
+        schedule: &Schedule,
+        relation: &hb::HbRelation,
+        diags: &mut Vec<Diagnostic>,
+    ) {
+        let layers = self.graph.layers();
+        let mut by_buffer: HashMap<BufferId, Vec<(Op, usize, AccessKind)>> = HashMap::new();
+        for (lane_idx, lane) in schedule.lanes.iter().enumerate() {
+            for &op in &lane.ops {
+                for (buf, kind) in accesses(op, layers) {
+                    by_buffer.entry(buf).or_default().push((op, lane_idx, kind));
+                }
+            }
+        }
+        let mut buffers: Vec<BufferId> = by_buffer.keys().copied().collect();
+        buffers.sort_unstable();
+        for buf in buffers {
+            let accs = &by_buffer[&buf];
+            for (i, &(a, la, ka)) in accs.iter().enumerate() {
+                for &(b, lb, kb) in &accs[i + 1..] {
+                    let conflicting =
+                        la != lb && (ka == AccessKind::Write || kb == AccessKind::Write);
+                    if conflicting && !relation.ordered(a, b) {
+                        diags.push(Diagnostic {
+                            rule: RuleId::BufferRace,
+                            ops: vec![a, b],
+                            lanes: vec![
+                                schedule.lanes[la].name.clone(),
+                                schedule.lanes[lb].name.clone(),
+                            ],
+                            message: format!(
+                                "unsynchronized accesses to {buf}: {a} ({ka}, lane {}) and \
+                                 {b} ({kb}, lane {}) have no happens-before path",
+                                schedule.lanes[la].name, schedule.lanes[lb].name
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Peak memory of the merged linearization against the budget
+    /// (`OV301`).
+    fn check_memory(&self, schedule: &Schedule, budget: u64, diags: &mut Vec<Diagnostic>) {
+        // The union graph is acyclic here (the deadlock analysis passed),
+        // so the merge over the same edge set cannot fail.
+        let merged = match merge_lanes(self.graph, schedule) {
+            Ok(m) => m,
+            Err(_) => return,
+        };
+        let profile = match memory_profile(self.graph, &merged, &self.cost) {
+            Ok(p) => p,
+            Err(_) => return,
+        };
+        if profile.peak > budget {
+            // The op whose sample is highest marks where the peak region
+            // lies (the exact peak may occur transiently inside an op).
+            let at = profile
+                .samples
+                .iter()
+                .max_by_key(|&&(_, m)| m)
+                .map(|&(op, _)| op);
+            diags.push(Diagnostic {
+                rule: RuleId::MemoryBudgetExceeded,
+                ops: at.into_iter().collect(),
+                lanes: Vec::new(),
+                message: format!(
+                    "peak memory {} bytes exceeds the budget of {budget} bytes \
+                     (resident at backward start: {} bytes)",
+                    profile.peak, profile.initial
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ooo_core::memory::memory_profile;
+    use ooo_core::op::LayerId;
+
+    fn codes(report: &Report) -> Vec<&'static str> {
+        report.rule_codes()
+    }
+
+    #[test]
+    fn conventional_and_fast_forward_are_clean() {
+        for graph in [
+            TrainGraph::single_gpu(6),
+            TrainGraph::data_parallel(6),
+            TrainGraph::pipeline_parallel(6),
+        ] {
+            let v = Verifier::new(&graph);
+            assert!(v.verify_order(&graph.conventional_backprop()).is_clean());
+            assert!(v.verify_order(&graph.fast_forward_backprop()).is_clean());
+        }
+    }
+
+    #[test]
+    fn unknown_op_is_ov001() {
+        let graph = TrainGraph::single_gpu(3);
+        let mut order = graph.conventional_backprop();
+        order.push(Op::Forward(LayerId(99)));
+        let report = Verifier::new(&graph).verify_order(&order);
+        assert_eq!(codes(&report), vec!["OV001"]);
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn double_assigned_op_is_ov002() {
+        let graph = TrainGraph::single_gpu(3);
+        let mut s = Schedule::new();
+        s.add_lane("main", graph.conventional_backprop());
+        // dW3's buffer produced a second time on another lane.
+        s.add_lane("sub", vec![Op::WeightGrad(LayerId(3))]);
+        let report = Verifier::new(&graph).verify(&s);
+        assert_eq!(codes(&report), vec!["OV002"]);
+        let d = &report.by_rule(RuleId::DuplicateOp)[0];
+        assert_eq!(d.ops, vec![Op::WeightGrad(LayerId(3))]);
+        assert_eq!(d.lanes, vec!["main".to_string(), "sub".to_string()]);
+    }
+
+    #[test]
+    fn missing_op_is_ov003_and_only_with_require_complete() {
+        let graph = TrainGraph::single_gpu(3);
+        let mut order = graph.conventional_backprop();
+        let dropped = order.pop().unwrap();
+        let report = Verifier::new(&graph).verify_order(&order);
+        assert_eq!(codes(&report), vec!["OV003"]);
+        assert_eq!(report.by_rule(RuleId::MissingOp)[0].ops, vec![dropped]);
+
+        let partial = Verifier::new(&graph)
+            .with_config(VerifyConfig {
+                require_complete: false,
+                ..VerifyConfig::default()
+            })
+            .verify_order(&order);
+        assert!(partial.is_clean());
+    }
+
+    #[test]
+    fn dependency_inversion_of_do_pair_is_ov101_plus_ov401() {
+        let graph = TrainGraph::single_gpu(4);
+        let mut order = graph.conventional_backprop();
+        let p3 = order
+            .iter()
+            .position(|&o| o == Op::OutputGrad(LayerId(3)))
+            .unwrap();
+        let p2 = order
+            .iter()
+            .position(|&o| o == Op::OutputGrad(LayerId(2)))
+            .unwrap();
+        order.swap(p3, p2);
+        let report = Verifier::new(&graph).verify_order(&order);
+        assert_eq!(codes(&report), vec!["OV101", "OV401"]);
+        let inv = &report.by_rule(RuleId::DependencyInversion)[0];
+        assert_eq!(
+            inv.ops,
+            vec![Op::OutputGrad(LayerId(2)), Op::OutputGrad(LayerId(3))]
+        );
+    }
+
+    #[test]
+    fn weight_grad_class_inversion_is_ov101_without_ov401() {
+        let graph = TrainGraph::single_gpu(4);
+        let mut order = graph.conventional_backprop();
+        let pw = order
+            .iter()
+            .position(|&o| o == Op::WeightGrad(LayerId(4)))
+            .unwrap();
+        let pu = order
+            .iter()
+            .position(|&o| o == Op::Update(LayerId(4)))
+            .unwrap();
+        order.swap(pw, pu);
+        let report = Verifier::new(&graph).verify_order(&order);
+        assert_eq!(codes(&report), vec!["OV101"]);
+    }
+
+    #[test]
+    fn dropped_sync_op_races_on_the_gradient_buffer() {
+        // Pipeline training: dO3 on gpu1 produces grad[2]; dW2 on gpu0
+        // consumes it. With S[dO3] dropped from the schedule there is no
+        // happens-before path between them.
+        let graph = TrainGraph::pipeline_parallel(3);
+        let mut s = Schedule::new();
+        s.add_lane("gpu1", vec![Op::Loss, Op::OutputGrad(LayerId(3))]);
+        s.add_lane("gpu0", vec![Op::WeightGrad(LayerId(2))]);
+        let report = Verifier::new(&graph)
+            .with_config(VerifyConfig {
+                require_complete: false,
+                ..VerifyConfig::default()
+            })
+            .verify(&s);
+        assert_eq!(codes(&report), vec!["OV201"]);
+        let race = &report.by_rule(RuleId::BufferRace)[0];
+        assert!(race.message.contains("grad[2]"), "{}", race.message);
+
+        // Restoring the sync op on a link lane removes the race.
+        let mut fixed = Schedule::new();
+        fixed.add_lane("gpu1", vec![Op::Loss, Op::OutputGrad(LayerId(3))]);
+        fixed.add_lane("gpu0", vec![Op::WeightGrad(LayerId(2))]);
+        fixed.add_lane("link", vec![Op::SyncOutputGrad(LayerId(3))]);
+        let report = Verifier::new(&graph)
+            .with_config(VerifyConfig {
+                require_complete: false,
+                ..VerifyConfig::default()
+            })
+            .verify(&fixed);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn cross_lane_wait_cycle_is_ov102() {
+        // Three lanes of a 4-layer pipeline wait on each other: the
+        // compute lane "a" wants dW1 (needs S[dO2]) before it produces
+        // dO4, but S[dO2] transitively needs dO4.
+        let graph = TrainGraph::pipeline_parallel(4);
+        let mut s = Schedule::new();
+        s.add_lane(
+            "a",
+            vec![Op::WeightGrad(LayerId(1)), Op::OutputGrad(LayerId(4))],
+        );
+        s.add_lane(
+            "b",
+            vec![
+                Op::Loss,
+                Op::OutputGrad(LayerId(3)),
+                Op::OutputGrad(LayerId(2)),
+            ],
+        );
+        s.add_lane(
+            "c",
+            vec![
+                Op::SyncOutputGrad(LayerId(4)),
+                Op::SyncOutputGrad(LayerId(3)),
+                Op::SyncOutputGrad(LayerId(2)),
+            ],
+        );
+        let report = Verifier::new(&graph)
+            .with_config(VerifyConfig {
+                require_complete: false,
+                ..VerifyConfig::default()
+            })
+            .verify(&s);
+        assert_eq!(codes(&report), vec!["OV102"]);
+        let d = &report.by_rule(RuleId::CrossLaneDeadlock)[0];
+        assert!(d.ops.len() >= 2);
+        assert!(d.lanes.len() >= 2, "cycle spans lanes: {:?}", d.lanes);
+    }
+
+    #[test]
+    fn memory_budget_violation_is_ov301() {
+        let graph = TrainGraph::single_gpu(6);
+        let conv = memory_profile(&graph, &graph.conventional_backprop(), &UnitCost).unwrap();
+        let ooo = memory_profile(&graph, &graph.fast_forward_backprop(), &UnitCost).unwrap();
+        assert!(ooo.peak > conv.peak, "test premise");
+
+        let v = Verifier::new(&graph).with_config(VerifyConfig {
+            memory_budget: Some(conv.peak),
+            ..VerifyConfig::default()
+        });
+        // The conventional order fits the budget...
+        assert!(v.verify_order(&graph.conventional_backprop()).is_clean());
+        // ...but delaying every dW to the end does not.
+        let report = v.verify_order(&graph.fast_forward_backprop());
+        assert_eq!(codes(&report), vec!["OV301"]);
+        assert!(report.by_rule(RuleId::MemoryBudgetExceeded)[0]
+            .message
+            .contains("exceeds the budget"));
+    }
+
+    #[test]
+    fn report_display_and_records() {
+        let graph = TrainGraph::single_gpu(3);
+        let mut order = graph.conventional_backprop();
+        order.pop();
+        let report = Verifier::new(&graph).verify_order(&order);
+        let shown = report.to_string();
+        assert!(shown.contains("OV003"), "{shown}");
+        let records = report.to_records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].rule, "OV003");
+        assert_eq!(records[0].severity, "error");
+        assert!(Verifier::new(&graph)
+            .verify_order(&graph.conventional_backprop())
+            .to_string()
+            .contains("clean"));
+    }
+}

@@ -1,0 +1,184 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! ships a tiny wall-clock benchmark harness behind the subset of the
+//! criterion 0.5 API its benches use: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Statistics are deliberately simple — a warm-up pass, then a fixed
+//! number of timed samples reported as min/mean. Good enough to compare
+//! scheduling algorithms locally; not a replacement for criterion's
+//! rigorous analysis.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Per-iteration timer handed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, once per sample, after one warm-up call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up
+                        // Aim for enough iterations that timer resolution is irrelevant
+                        // while keeping total time per benchmark bounded.
+        let probe = Instant::now();
+        black_box(f());
+        let once = probe.elapsed().max(Duration::from_nanos(1));
+        let per_sample = (Duration::from_millis(2).as_nanos() / once.as_nanos()).clamp(1, 1000);
+        for _ in 0..self.sample_count() {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(f());
+            }
+            self.samples.push(start.elapsed() / per_sample as u32);
+        }
+    }
+
+    fn sample_count(&self) -> u32 {
+        10
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<50} (no samples)");
+            return;
+        }
+        let min = self.samples.iter().min().copied().unwrap_or_default();
+        let sum: Duration = self.samples.iter().sum();
+        let mean = sum / self.samples.len() as u32;
+        println!("{name:<50} min {min:>12.3?}   mean {mean:>12.3?}");
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Driver honouring a substring filter from the command line
+    /// (`cargo bench -- <filter>`).
+    pub fn from_args() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        Criterion { filter }
+    }
+
+    fn enabled(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<S, F>(&mut self, name: S, f: F) -> &mut Self
+    where
+        S: Into<String>,
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        if self.enabled(&name) {
+            run_one(&name, f);
+        }
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, mut f: F) {
+    let mut b = Bencher::default();
+    f(&mut b);
+    b.report(name);
+}
+
+/// A group of benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark sample count (accepted, ignored: the shim
+    /// uses a fixed small count).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<S, F>(&mut self, name: S, f: F) -> &mut Self
+    where
+        S: Into<String>,
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        if self.criterion.enabled(&full) {
+            run_one(&full, f);
+        }
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark entry point named `$group` running each
+/// function in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `fn main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_bench(c: &mut Criterion) {
+        c.bench_function("sum_1k", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        let mut group = c.benchmark_group("grouped");
+        group.sample_size(10);
+        group.bench_function("sq", |b| b.iter(|| black_box(7u64) * black_box(7u64)));
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion::default();
+        sum_bench(&mut c);
+    }
+}

@@ -1,0 +1,366 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! ships a small, deterministic property-testing harness behind the
+//! subset of the proptest 1.x API it uses: the [`proptest!`] macro,
+//! [`strategy::Strategy`] with ranges / tuples / `collection::vec` /
+//! `prop_map`, and the `prop_assert!` / `prop_assert_eq!` /
+//! [`prop_assume!`] macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! - inputs are drawn from a seeded RNG (seed derived from the test
+//!   name), so every run exercises the same cases — failures are always
+//!   reproducible;
+//! - no shrinking: the failing input values are printed as drawn.
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+
+/// Test-runner plumbing used by the [`proptest!`] macro.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Per-test configuration (only `cases` is honoured).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Configuration running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` filtered the input out; the case is skipped.
+        Reject(String),
+        /// A `prop_assert!` failed; the test fails.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure with the given message.
+        pub fn fail<S: Into<String>>(msg: S) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Builds a rejection with the given message.
+        pub fn reject<S: Into<String>>(msg: S) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// A single test's driver: hands out per-case RNGs.
+    #[derive(Debug)]
+    pub struct TestRunner {
+        config: ProptestConfig,
+        seed: u64,
+    }
+
+    impl TestRunner {
+        /// Builds a runner for the named test.
+        pub fn new(config: ProptestConfig, test_name: &str) -> Self {
+            // FNV-1a over the test name: stable across runs and rustc
+            // versions, unlike `DefaultHasher`.
+            let mut seed = 0xcbf2_9ce4_8422_2325u64;
+            for b in test_name.bytes() {
+                seed ^= b as u64;
+                seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRunner { config, seed }
+        }
+
+        /// Number of cases to attempt.
+        pub fn cases(&self) -> u32 {
+            self.config.cases
+        }
+
+        /// Deterministic RNG for case number `case`.
+        pub fn rng(&self, case: u32) -> StdRng {
+            StdRng::seed_from_u64(self.seed ^ ((case as u64) << 32 | 0x5bd1_e995))
+        }
+    }
+}
+
+/// Strategies for collections.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Number-of-elements specification: a fixed count or a range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "collection::vec: empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy producing a `Vec` of values drawn from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy: each element drawn from `element`, length drawn
+    /// from `size` (a `usize` or a `usize` range).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = if self.size.lo + 1 >= self.size.hi {
+                self.size.lo
+            } else {
+                rng.gen_range(self.size.lo..self.size.hi)
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from
+/// strategies; runs each over many deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{
+            @cfg($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+     $(#[$meta:meta])+
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])+
+        fn $name() {
+            let runner =
+                $crate::test_runner::TestRunner::new($cfg, stringify!($name));
+            let mut rejected = 0u32;
+            for case in 0..runner.cases() {
+                let mut rng = runner.rng(case);
+                $(
+                    let $arg =
+                        $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                )+
+                #[allow(unreachable_code)]
+                let outcome = (|| -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    Ok(())
+                })();
+                match outcome {
+                    Ok(()) => {}
+                    Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                        rejected += 1;
+                    }
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest case {}/{} failed: {}",
+                            case + 1,
+                            runner.cases(),
+                            msg
+                        );
+                    }
+                }
+            }
+            assert!(
+                rejected < runner.cases(),
+                "proptest: every case was rejected by prop_assume!"
+            );
+        }
+        $crate::__proptest_impl!{ @cfg($cfg) $($rest)* }
+    };
+}
+
+/// `assert!` that fails the enclosing proptest case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` that fails the enclosing proptest case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    l,
+                    r
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    }};
+}
+
+/// `assert_ne!` that fails the enclosing proptest case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if l == r {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_draw_in_bounds(x in 3usize..9, y in -1.0f64..=1.0) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-1.0..=1.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_and_map_compose(
+            v in crate::collection::vec((1u32..5, 0u64..10), 2..6)
+                .prop_map(|pairs| pairs.into_iter().map(|(a, b)| a as u64 + b).collect::<Vec<_>>()),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            for x in &v {
+                prop_assert!(*x >= 1 && *x < 15, "out of bounds: {}", x);
+            }
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn early_return_ok_is_accepted(n in 0u32..10) {
+            if n > 100 {
+                return Ok(());
+            }
+            prop_assert!(n < 10);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runners() {
+        use crate::strategy::Strategy;
+        let runner = crate::test_runner::TestRunner::new(ProptestConfig::with_cases(4), "det");
+        let a: Vec<u64> = (0..4)
+            .map(|c| (0u64..1000).generate(&mut runner.rng(c)))
+            .collect();
+        let b: Vec<u64> = (0..4)
+            .map(|c| (0u64..1000).generate(&mut runner.rng(c)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}

@@ -20,6 +20,9 @@
 //!   profiles.
 //! - [`cluster`] (`ooo-cluster`) — the single-GPU, data-parallel, and
 //!   pipeline-parallel experiment engines.
+//! - [`verify`] (`ooo-verify`) — the static schedule-safety analyzer
+//!   (happens-before, race, deadlock, memory-liveness, and ooo-legality
+//!   lints) and the `ooo-lint` CLI.
 //!
 //! # Quickstart
 //!
@@ -42,3 +45,4 @@ pub use ooo_models as models;
 pub use ooo_netsim as netsim;
 pub use ooo_nn as nn;
 pub use ooo_tensor as tensor;
+pub use ooo_verify as verify;

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/data_parallel-4196ca00a38323aa.d: crates/bench/benches/data_parallel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdata_parallel-4196ca00a38323aa.rmeta: crates/bench/benches/data_parallel.rs Cargo.toml
+
+crates/bench/benches/data_parallel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

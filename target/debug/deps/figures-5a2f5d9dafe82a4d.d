@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-5a2f5d9dafe82a4d.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-5a2f5d9dafe82a4d: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-c9a906f02368200d.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-c9a906f02368200d: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nlp_training-77c68eb40f8a4f4f.d: tests/nlp_training.rs
+
+/root/repo/target/debug/deps/nlp_training-77c68eb40f8a4f4f: tests/nlp_training.rs
+
+tests/nlp_training.rs:

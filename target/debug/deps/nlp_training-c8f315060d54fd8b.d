@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nlp_training-c8f315060d54fd8b.d: tests/nlp_training.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnlp_training-c8f315060d54fd8b.rmeta: tests/nlp_training.rs Cargo.toml
+
+tests/nlp_training.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nlp_training-cc8d7a0e5ed471d5.d: tests/nlp_training.rs
+
+/root/repo/target/debug/deps/nlp_training-cc8d7a0e5ed471d5: tests/nlp_training.rs
+
+tests/nlp_training.rs:

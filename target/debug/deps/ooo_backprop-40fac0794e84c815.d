@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ooo_backprop-40fac0794e84c815.d: src/lib.rs
+
+/root/repo/target/debug/deps/libooo_backprop-40fac0794e84c815.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libooo_backprop-40fac0794e84c815.rmeta: src/lib.rs
+
+src/lib.rs:

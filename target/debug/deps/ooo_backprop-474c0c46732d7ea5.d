@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ooo_backprop-474c0c46732d7ea5.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libooo_backprop-474c0c46732d7ea5.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ooo_backprop-4d0f5cd68dc50b5f.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libooo_backprop-4d0f5cd68dc50b5f.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

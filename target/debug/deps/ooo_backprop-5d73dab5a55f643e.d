@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ooo_backprop-5d73dab5a55f643e.d: src/lib.rs
+
+/root/repo/target/debug/deps/ooo_backprop-5d73dab5a55f643e: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ooo_backprop-e736072875ac49d5.d: src/lib.rs
+
+/root/repo/target/debug/deps/libooo_backprop-e736072875ac49d5.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libooo_backprop-e736072875ac49d5.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ooo_backprop-fb8f9fbecd656e97.d: src/lib.rs
+
+/root/repo/target/debug/deps/ooo_backprop-fb8f9fbecd656e97: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ooo_bench-2b90496ef38d5594.d: crates/bench/src/lib.rs crates/bench/src/figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libooo_bench-2b90496ef38d5594.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/ooo_bench-6a29936dc0e02c56.d: crates/bench/src/lib.rs crates/bench/src/figures.rs
+
+/root/repo/target/debug/deps/ooo_bench-6a29936dc0e02c56: crates/bench/src/lib.rs crates/bench/src/figures.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:

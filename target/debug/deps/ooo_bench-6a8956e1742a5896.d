@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ooo_bench-6a8956e1742a5896.d: crates/bench/src/lib.rs crates/bench/src/figures.rs
+
+/root/repo/target/debug/deps/libooo_bench-6a8956e1742a5896.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs
+
+/root/repo/target/debug/deps/libooo_bench-6a8956e1742a5896.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/ooo_bench-d1543b89d63698b2.d: crates/bench/src/lib.rs crates/bench/src/figures.rs
+
+/root/repo/target/debug/deps/ooo_bench-d1543b89d63698b2: crates/bench/src/lib.rs crates/bench/src/figures.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:

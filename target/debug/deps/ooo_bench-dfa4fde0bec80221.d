@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ooo_bench-dfa4fde0bec80221.d: crates/bench/src/lib.rs crates/bench/src/figures.rs
+
+/root/repo/target/debug/deps/libooo_bench-dfa4fde0bec80221.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs
+
+/root/repo/target/debug/deps/libooo_bench-dfa4fde0bec80221.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:

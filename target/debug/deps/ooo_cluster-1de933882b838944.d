@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ooo_cluster-1de933882b838944.d: crates/cluster/src/lib.rs crates/cluster/src/ablation.rs crates/cluster/src/analysis.rs crates/cluster/src/datapar.rs crates/cluster/src/hybrid.rs crates/cluster/src/pipeline.rs crates/cluster/src/single.rs
+
+/root/repo/target/debug/deps/libooo_cluster-1de933882b838944.rlib: crates/cluster/src/lib.rs crates/cluster/src/ablation.rs crates/cluster/src/analysis.rs crates/cluster/src/datapar.rs crates/cluster/src/hybrid.rs crates/cluster/src/pipeline.rs crates/cluster/src/single.rs
+
+/root/repo/target/debug/deps/libooo_cluster-1de933882b838944.rmeta: crates/cluster/src/lib.rs crates/cluster/src/ablation.rs crates/cluster/src/analysis.rs crates/cluster/src/datapar.rs crates/cluster/src/hybrid.rs crates/cluster/src/pipeline.rs crates/cluster/src/single.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/ablation.rs:
+crates/cluster/src/analysis.rs:
+crates/cluster/src/datapar.rs:
+crates/cluster/src/hybrid.rs:
+crates/cluster/src/pipeline.rs:
+crates/cluster/src/single.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ooo_cluster-3bcfabcaa97cebd6.d: crates/cluster/src/lib.rs crates/cluster/src/ablation.rs crates/cluster/src/analysis.rs crates/cluster/src/checks.rs crates/cluster/src/datapar.rs crates/cluster/src/hybrid.rs crates/cluster/src/pipeline.rs crates/cluster/src/single.rs Cargo.toml
+
+/root/repo/target/debug/deps/libooo_cluster-3bcfabcaa97cebd6.rmeta: crates/cluster/src/lib.rs crates/cluster/src/ablation.rs crates/cluster/src/analysis.rs crates/cluster/src/checks.rs crates/cluster/src/datapar.rs crates/cluster/src/hybrid.rs crates/cluster/src/pipeline.rs crates/cluster/src/single.rs Cargo.toml
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/ablation.rs:
+crates/cluster/src/analysis.rs:
+crates/cluster/src/checks.rs:
+crates/cluster/src/datapar.rs:
+crates/cluster/src/hybrid.rs:
+crates/cluster/src/pipeline.rs:
+crates/cluster/src/single.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

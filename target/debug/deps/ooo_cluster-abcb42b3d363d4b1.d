@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ooo_cluster-abcb42b3d363d4b1.d: crates/cluster/src/lib.rs crates/cluster/src/ablation.rs crates/cluster/src/analysis.rs crates/cluster/src/datapar.rs crates/cluster/src/hybrid.rs crates/cluster/src/pipeline.rs crates/cluster/src/single.rs
+
+/root/repo/target/debug/deps/ooo_cluster-abcb42b3d363d4b1: crates/cluster/src/lib.rs crates/cluster/src/ablation.rs crates/cluster/src/analysis.rs crates/cluster/src/datapar.rs crates/cluster/src/hybrid.rs crates/cluster/src/pipeline.rs crates/cluster/src/single.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/ablation.rs:
+crates/cluster/src/analysis.rs:
+crates/cluster/src/datapar.rs:
+crates/cluster/src/hybrid.rs:
+crates/cluster/src/pipeline.rs:
+crates/cluster/src/single.rs:

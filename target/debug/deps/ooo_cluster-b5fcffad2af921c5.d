@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ooo_cluster-b5fcffad2af921c5.d: crates/cluster/src/lib.rs crates/cluster/src/ablation.rs crates/cluster/src/analysis.rs crates/cluster/src/checks.rs crates/cluster/src/datapar.rs crates/cluster/src/hybrid.rs crates/cluster/src/pipeline.rs crates/cluster/src/single.rs
+
+/root/repo/target/debug/deps/ooo_cluster-b5fcffad2af921c5: crates/cluster/src/lib.rs crates/cluster/src/ablation.rs crates/cluster/src/analysis.rs crates/cluster/src/checks.rs crates/cluster/src/datapar.rs crates/cluster/src/hybrid.rs crates/cluster/src/pipeline.rs crates/cluster/src/single.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/ablation.rs:
+crates/cluster/src/analysis.rs:
+crates/cluster/src/checks.rs:
+crates/cluster/src/datapar.rs:
+crates/cluster/src/hybrid.rs:
+crates/cluster/src/pipeline.rs:
+crates/cluster/src/single.rs:

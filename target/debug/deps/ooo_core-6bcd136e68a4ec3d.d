@@ -1,0 +1,26 @@
+/root/repo/target/debug/deps/ooo_core-6bcd136e68a4ec3d.d: crates/core/src/lib.rs crates/core/src/bounds.rs crates/core/src/combined.rs crates/core/src/cost.rs crates/core/src/datapar.rs crates/core/src/error.rs crates/core/src/export.rs crates/core/src/graph.rs crates/core/src/heft.rs crates/core/src/json.rs crates/core/src/list_scheduling.rs crates/core/src/memory.rs crates/core/src/multi_region.rs crates/core/src/op.rs crates/core/src/pipeline.rs crates/core/src/recompute.rs crates/core/src/reverse_k.rs crates/core/src/schedule.rs Cargo.toml
+
+/root/repo/target/debug/deps/libooo_core-6bcd136e68a4ec3d.rmeta: crates/core/src/lib.rs crates/core/src/bounds.rs crates/core/src/combined.rs crates/core/src/cost.rs crates/core/src/datapar.rs crates/core/src/error.rs crates/core/src/export.rs crates/core/src/graph.rs crates/core/src/heft.rs crates/core/src/json.rs crates/core/src/list_scheduling.rs crates/core/src/memory.rs crates/core/src/multi_region.rs crates/core/src/op.rs crates/core/src/pipeline.rs crates/core/src/recompute.rs crates/core/src/reverse_k.rs crates/core/src/schedule.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/bounds.rs:
+crates/core/src/combined.rs:
+crates/core/src/cost.rs:
+crates/core/src/datapar.rs:
+crates/core/src/error.rs:
+crates/core/src/export.rs:
+crates/core/src/graph.rs:
+crates/core/src/heft.rs:
+crates/core/src/json.rs:
+crates/core/src/list_scheduling.rs:
+crates/core/src/memory.rs:
+crates/core/src/multi_region.rs:
+crates/core/src/op.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/recompute.rs:
+crates/core/src/reverse_k.rs:
+crates/core/src/schedule.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

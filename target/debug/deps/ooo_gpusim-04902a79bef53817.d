@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ooo_gpusim-04902a79bef53817.d: crates/gpusim/src/lib.rs crates/gpusim/src/engine.rs crates/gpusim/src/kernel.rs crates/gpusim/src/spec.rs crates/gpusim/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libooo_gpusim-04902a79bef53817.rmeta: crates/gpusim/src/lib.rs crates/gpusim/src/engine.rs crates/gpusim/src/kernel.rs crates/gpusim/src/spec.rs crates/gpusim/src/trace.rs Cargo.toml
+
+crates/gpusim/src/lib.rs:
+crates/gpusim/src/engine.rs:
+crates/gpusim/src/kernel.rs:
+crates/gpusim/src/spec.rs:
+crates/gpusim/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

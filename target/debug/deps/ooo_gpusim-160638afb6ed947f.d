@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ooo_gpusim-160638afb6ed947f.d: crates/gpusim/src/lib.rs crates/gpusim/src/engine.rs crates/gpusim/src/kernel.rs crates/gpusim/src/spec.rs crates/gpusim/src/trace.rs
+
+/root/repo/target/debug/deps/ooo_gpusim-160638afb6ed947f: crates/gpusim/src/lib.rs crates/gpusim/src/engine.rs crates/gpusim/src/kernel.rs crates/gpusim/src/spec.rs crates/gpusim/src/trace.rs
+
+crates/gpusim/src/lib.rs:
+crates/gpusim/src/engine.rs:
+crates/gpusim/src/kernel.rs:
+crates/gpusim/src/spec.rs:
+crates/gpusim/src/trace.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ooo_gpusim-ffffb5e225882e84.d: crates/gpusim/src/lib.rs crates/gpusim/src/engine.rs crates/gpusim/src/kernel.rs crates/gpusim/src/spec.rs crates/gpusim/src/trace.rs
+
+/root/repo/target/debug/deps/libooo_gpusim-ffffb5e225882e84.rlib: crates/gpusim/src/lib.rs crates/gpusim/src/engine.rs crates/gpusim/src/kernel.rs crates/gpusim/src/spec.rs crates/gpusim/src/trace.rs
+
+/root/repo/target/debug/deps/libooo_gpusim-ffffb5e225882e84.rmeta: crates/gpusim/src/lib.rs crates/gpusim/src/engine.rs crates/gpusim/src/kernel.rs crates/gpusim/src/spec.rs crates/gpusim/src/trace.rs
+
+crates/gpusim/src/lib.rs:
+crates/gpusim/src/engine.rs:
+crates/gpusim/src/kernel.rs:
+crates/gpusim/src/spec.rs:
+crates/gpusim/src/trace.rs:

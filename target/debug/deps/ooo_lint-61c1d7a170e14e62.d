@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ooo_lint-61c1d7a170e14e62.d: crates/verify/src/bin/ooo-lint.rs Cargo.toml
+
+/root/repo/target/debug/deps/libooo_lint-61c1d7a170e14e62.rmeta: crates/verify/src/bin/ooo-lint.rs Cargo.toml
+
+crates/verify/src/bin/ooo-lint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ooo_lint-af2c52ba9e89935e.d: crates/verify/src/bin/ooo-lint.rs
+
+/root/repo/target/debug/deps/ooo_lint-af2c52ba9e89935e: crates/verify/src/bin/ooo-lint.rs
+
+crates/verify/src/bin/ooo-lint.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ooo_lint-eb11512f5b057179.d: crates/verify/src/bin/ooo-lint.rs
+
+/root/repo/target/debug/deps/ooo_lint-eb11512f5b057179: crates/verify/src/bin/ooo-lint.rs
+
+crates/verify/src/bin/ooo-lint.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ooo_models-7ec21c55f52a86fd.d: crates/models/src/lib.rs crates/models/src/cost.rs crates/models/src/gpu.rs crates/models/src/spec.rs crates/models/src/zoo.rs
+
+/root/repo/target/debug/deps/ooo_models-7ec21c55f52a86fd: crates/models/src/lib.rs crates/models/src/cost.rs crates/models/src/gpu.rs crates/models/src/spec.rs crates/models/src/zoo.rs
+
+crates/models/src/lib.rs:
+crates/models/src/cost.rs:
+crates/models/src/gpu.rs:
+crates/models/src/spec.rs:
+crates/models/src/zoo.rs:

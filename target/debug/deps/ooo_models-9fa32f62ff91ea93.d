@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ooo_models-9fa32f62ff91ea93.d: crates/models/src/lib.rs crates/models/src/cost.rs crates/models/src/gpu.rs crates/models/src/spec.rs crates/models/src/zoo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libooo_models-9fa32f62ff91ea93.rmeta: crates/models/src/lib.rs crates/models/src/cost.rs crates/models/src/gpu.rs crates/models/src/spec.rs crates/models/src/zoo.rs Cargo.toml
+
+crates/models/src/lib.rs:
+crates/models/src/cost.rs:
+crates/models/src/gpu.rs:
+crates/models/src/spec.rs:
+crates/models/src/zoo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

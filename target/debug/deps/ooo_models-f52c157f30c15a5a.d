@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ooo_models-f52c157f30c15a5a.d: crates/models/src/lib.rs crates/models/src/cost.rs crates/models/src/gpu.rs crates/models/src/spec.rs crates/models/src/zoo.rs
+
+/root/repo/target/debug/deps/libooo_models-f52c157f30c15a5a.rlib: crates/models/src/lib.rs crates/models/src/cost.rs crates/models/src/gpu.rs crates/models/src/spec.rs crates/models/src/zoo.rs
+
+/root/repo/target/debug/deps/libooo_models-f52c157f30c15a5a.rmeta: crates/models/src/lib.rs crates/models/src/cost.rs crates/models/src/gpu.rs crates/models/src/spec.rs crates/models/src/zoo.rs
+
+crates/models/src/lib.rs:
+crates/models/src/cost.rs:
+crates/models/src/gpu.rs:
+crates/models/src/spec.rs:
+crates/models/src/zoo.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ooo_netsim-39480735ff41ac2b.d: crates/netsim/src/lib.rs crates/netsim/src/collective.rs crates/netsim/src/commsim.rs crates/netsim/src/flows.rs crates/netsim/src/link.rs crates/netsim/src/topology.rs
+
+/root/repo/target/debug/deps/ooo_netsim-39480735ff41ac2b: crates/netsim/src/lib.rs crates/netsim/src/collective.rs crates/netsim/src/commsim.rs crates/netsim/src/flows.rs crates/netsim/src/link.rs crates/netsim/src/topology.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/collective.rs:
+crates/netsim/src/commsim.rs:
+crates/netsim/src/flows.rs:
+crates/netsim/src/link.rs:
+crates/netsim/src/topology.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ooo_netsim-a44bde9ceac843cc.d: crates/netsim/src/lib.rs crates/netsim/src/collective.rs crates/netsim/src/commsim.rs crates/netsim/src/flows.rs crates/netsim/src/link.rs crates/netsim/src/topology.rs
+
+/root/repo/target/debug/deps/libooo_netsim-a44bde9ceac843cc.rlib: crates/netsim/src/lib.rs crates/netsim/src/collective.rs crates/netsim/src/commsim.rs crates/netsim/src/flows.rs crates/netsim/src/link.rs crates/netsim/src/topology.rs
+
+/root/repo/target/debug/deps/libooo_netsim-a44bde9ceac843cc.rmeta: crates/netsim/src/lib.rs crates/netsim/src/collective.rs crates/netsim/src/commsim.rs crates/netsim/src/flows.rs crates/netsim/src/link.rs crates/netsim/src/topology.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/collective.rs:
+crates/netsim/src/commsim.rs:
+crates/netsim/src/flows.rs:
+crates/netsim/src/link.rs:
+crates/netsim/src/topology.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ooo_netsim-c30c0f0f18d59d1e.d: crates/netsim/src/lib.rs crates/netsim/src/collective.rs crates/netsim/src/commsim.rs crates/netsim/src/flows.rs crates/netsim/src/link.rs crates/netsim/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libooo_netsim-c30c0f0f18d59d1e.rmeta: crates/netsim/src/lib.rs crates/netsim/src/collective.rs crates/netsim/src/commsim.rs crates/netsim/src/flows.rs crates/netsim/src/link.rs crates/netsim/src/topology.rs Cargo.toml
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/collective.rs:
+crates/netsim/src/commsim.rs:
+crates/netsim/src/flows.rs:
+crates/netsim/src/link.rs:
+crates/netsim/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

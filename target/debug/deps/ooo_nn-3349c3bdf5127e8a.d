@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/ooo_nn-3349c3bdf5127e8a.d: crates/nn/src/lib.rs crates/nn/src/composite.rs crates/nn/src/data.rs crates/nn/src/error.rs crates/nn/src/layers.rs crates/nn/src/metrics.rs crates/nn/src/network.rs crates/nn/src/nlp.rs crates/nn/src/optim.rs crates/nn/src/parallel.rs crates/nn/src/trainer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libooo_nn-3349c3bdf5127e8a.rmeta: crates/nn/src/lib.rs crates/nn/src/composite.rs crates/nn/src/data.rs crates/nn/src/error.rs crates/nn/src/layers.rs crates/nn/src/metrics.rs crates/nn/src/network.rs crates/nn/src/nlp.rs crates/nn/src/optim.rs crates/nn/src/parallel.rs crates/nn/src/trainer.rs Cargo.toml
+
+crates/nn/src/lib.rs:
+crates/nn/src/composite.rs:
+crates/nn/src/data.rs:
+crates/nn/src/error.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/metrics.rs:
+crates/nn/src/network.rs:
+crates/nn/src/nlp.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/parallel.rs:
+crates/nn/src/trainer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ooo_nn-b3db7d94018b63c9.d: crates/nn/src/lib.rs crates/nn/src/composite.rs crates/nn/src/data.rs crates/nn/src/error.rs crates/nn/src/layers.rs crates/nn/src/metrics.rs crates/nn/src/network.rs crates/nn/src/nlp.rs crates/nn/src/optim.rs crates/nn/src/parallel.rs crates/nn/src/trainer.rs
+
+/root/repo/target/debug/deps/ooo_nn-b3db7d94018b63c9: crates/nn/src/lib.rs crates/nn/src/composite.rs crates/nn/src/data.rs crates/nn/src/error.rs crates/nn/src/layers.rs crates/nn/src/metrics.rs crates/nn/src/network.rs crates/nn/src/nlp.rs crates/nn/src/optim.rs crates/nn/src/parallel.rs crates/nn/src/trainer.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/composite.rs:
+crates/nn/src/data.rs:
+crates/nn/src/error.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/metrics.rs:
+crates/nn/src/network.rs:
+crates/nn/src/nlp.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/parallel.rs:
+crates/nn/src/trainer.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ooo_tensor-f0c78b70affb45ec.d: crates/tensor/src/lib.rs crates/tensor/src/conv.rs crates/tensor/src/error.rs crates/tensor/src/init.rs crates/tensor/src/ops.rs crates/tensor/src/pool.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/debug/deps/ooo_tensor-f0c78b70affb45ec: crates/tensor/src/lib.rs crates/tensor/src/conv.rs crates/tensor/src/error.rs crates/tensor/src/init.rs crates/tensor/src/ops.rs crates/tensor/src/pool.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/conv.rs:
+crates/tensor/src/error.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/ops.rs:
+crates/tensor/src/pool.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor.rs:

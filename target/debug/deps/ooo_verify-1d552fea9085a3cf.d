@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ooo_verify-1d552fea9085a3cf.d: crates/verify/src/lib.rs crates/verify/src/access.rs crates/verify/src/hb.rs
+
+/root/repo/target/debug/deps/libooo_verify-1d552fea9085a3cf.rlib: crates/verify/src/lib.rs crates/verify/src/access.rs crates/verify/src/hb.rs
+
+/root/repo/target/debug/deps/libooo_verify-1d552fea9085a3cf.rmeta: crates/verify/src/lib.rs crates/verify/src/access.rs crates/verify/src/hb.rs
+
+crates/verify/src/lib.rs:
+crates/verify/src/access.rs:
+crates/verify/src/hb.rs:

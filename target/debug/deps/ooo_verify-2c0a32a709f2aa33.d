@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ooo_verify-2c0a32a709f2aa33.d: crates/verify/src/lib.rs crates/verify/src/access.rs crates/verify/src/hb.rs Cargo.toml
+
+/root/repo/target/debug/deps/libooo_verify-2c0a32a709f2aa33.rmeta: crates/verify/src/lib.rs crates/verify/src/access.rs crates/verify/src/hb.rs Cargo.toml
+
+crates/verify/src/lib.rs:
+crates/verify/src/access.rs:
+crates/verify/src/hb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

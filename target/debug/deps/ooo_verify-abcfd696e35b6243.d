@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ooo_verify-abcfd696e35b6243.d: crates/verify/src/lib.rs crates/verify/src/access.rs crates/verify/src/hb.rs
+
+/root/repo/target/debug/deps/ooo_verify-abcfd696e35b6243: crates/verify/src/lib.rs crates/verify/src/access.rs crates/verify/src/hb.rs
+
+crates/verify/src/lib.rs:
+crates/verify/src/access.rs:
+crates/verify/src/hb.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_results-624452a1cb701167.d: tests/paper_results.rs
+
+/root/repo/target/debug/deps/paper_results-624452a1cb701167: tests/paper_results.rs
+
+tests/paper_results.rs:

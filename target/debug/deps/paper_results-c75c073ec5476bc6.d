@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_results-c75c073ec5476bc6.d: tests/paper_results.rs
+
+/root/repo/target/debug/deps/paper_results-c75c073ec5476bc6: tests/paper_results.rs
+
+tests/paper_results.rs:

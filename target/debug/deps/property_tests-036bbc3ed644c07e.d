@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_tests-036bbc3ed644c07e.d: tests/property_tests.rs
+
+/root/repo/target/debug/deps/property_tests-036bbc3ed644c07e: tests/property_tests.rs
+
+tests/property_tests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_tests-e9233b203b680ad7.d: tests/property_tests.rs
+
+/root/repo/target/debug/deps/property_tests-e9233b203b680ad7: tests/property_tests.rs
+
+tests/property_tests.rs:

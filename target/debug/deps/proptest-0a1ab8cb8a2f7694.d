@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/proptest-0a1ab8cb8a2f7694.d: shims/proptest/src/lib.rs shims/proptest/src/strategy.rs
+
+/root/repo/target/debug/deps/libproptest-0a1ab8cb8a2f7694.rlib: shims/proptest/src/lib.rs shims/proptest/src/strategy.rs
+
+/root/repo/target/debug/deps/libproptest-0a1ab8cb8a2f7694.rmeta: shims/proptest/src/lib.rs shims/proptest/src/strategy.rs
+
+shims/proptest/src/lib.rs:
+shims/proptest/src/strategy.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/proptest-ea34704528509e1d.d: shims/proptest/src/lib.rs shims/proptest/src/strategy.rs
+
+/root/repo/target/debug/deps/proptest-ea34704528509e1d: shims/proptest/src/lib.rs shims/proptest/src/strategy.rs
+
+shims/proptest/src/lib.rs:
+shims/proptest/src/strategy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-259beb5736858268.d: crates/tensor/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-259beb5736858268: crates/tensor/tests/proptests.rs
+
+crates/tensor/tests/proptests.rs:

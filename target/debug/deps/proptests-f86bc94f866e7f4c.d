@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-f86bc94f866e7f4c.d: crates/gpusim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-f86bc94f866e7f4c: crates/gpusim/tests/proptests.rs
+
+crates/gpusim/tests/proptests.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-59a3af0285953da1.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-59a3af0285953da1.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-59a3af0285953da1.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-d086da519c74d6e9.d: shims/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-d086da519c74d6e9.rmeta: shims/rand/src/lib.rs Cargo.toml
+
+shims/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-f15f75197259f5ea.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-f15f75197259f5ea: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/schedule_equivalence-3afaf3d7b8e0aafe.d: tests/schedule_equivalence.rs
+
+/root/repo/target/debug/deps/schedule_equivalence-3afaf3d7b8e0aafe: tests/schedule_equivalence.rs
+
+tests/schedule_equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/schedule_equivalence-55dd36eb9f48bbf4.d: tests/schedule_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libschedule_equivalence-55dd36eb9f48bbf4.rmeta: tests/schedule_equivalence.rs Cargo.toml
+
+tests/schedule_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

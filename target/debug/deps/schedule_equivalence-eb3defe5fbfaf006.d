@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/schedule_equivalence-eb3defe5fbfaf006.d: tests/schedule_equivalence.rs
+
+/root/repo/target/debug/deps/schedule_equivalence-eb3defe5fbfaf006: tests/schedule_equivalence.rs
+
+tests/schedule_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/schedule_shipping-4785970be8912b2f.d: tests/schedule_shipping.rs
+
+/root/repo/target/debug/deps/schedule_shipping-4785970be8912b2f: tests/schedule_shipping.rs
+
+tests/schedule_shipping.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/schedule_shipping-736116dea2b49ca8.d: tests/schedule_shipping.rs
+
+/root/repo/target/debug/deps/schedule_shipping-736116dea2b49ca8: tests/schedule_shipping.rs
+
+tests/schedule_shipping.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/schedule_shipping-edb015b4975a0654.d: tests/schedule_shipping.rs Cargo.toml
+
+/root/repo/target/debug/deps/libschedule_shipping-edb015b4975a0654.rmeta: tests/schedule_shipping.rs Cargo.toml
+
+tests/schedule_shipping.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

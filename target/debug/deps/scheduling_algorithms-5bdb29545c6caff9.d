@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scheduling_algorithms-5bdb29545c6caff9.d: crates/bench/benches/scheduling_algorithms.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscheduling_algorithms-5bdb29545c6caff9.rmeta: crates/bench/benches/scheduling_algorithms.rs Cargo.toml
+
+crates/bench/benches/scheduling_algorithms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

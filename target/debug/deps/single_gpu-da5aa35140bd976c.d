@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/single_gpu-da5aa35140bd976c.d: crates/bench/benches/single_gpu.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsingle_gpu-da5aa35140bd976c.rmeta: crates/bench/benches/single_gpu.rs Cargo.toml
+
+crates/bench/benches/single_gpu.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

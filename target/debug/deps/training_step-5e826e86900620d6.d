@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/training_step-5e826e86900620d6.d: crates/bench/benches/training_step.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtraining_step-5e826e86900620d6.rmeta: crates/bench/benches/training_step.rs Cargo.toml
+
+crates/bench/benches/training_step.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/data_parallel-293bd0d7f217335e.d: examples/data_parallel.rs
+
+/root/repo/target/debug/examples/data_parallel-293bd0d7f217335e: examples/data_parallel.rs
+
+examples/data_parallel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/data_parallel-5d13dd0f9086ccdc.d: examples/data_parallel.rs
+
+/root/repo/target/debug/examples/data_parallel-5d13dd0f9086ccdc: examples/data_parallel.rs
+
+examples/data_parallel.rs:

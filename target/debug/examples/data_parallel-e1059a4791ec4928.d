@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/data_parallel-e1059a4791ec4928.d: examples/data_parallel.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdata_parallel-e1059a4791ec4928.rmeta: examples/data_parallel.rs Cargo.toml
+
+examples/data_parallel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

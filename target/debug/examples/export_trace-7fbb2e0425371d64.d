@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/export_trace-7fbb2e0425371d64.d: examples/export_trace.rs
+
+/root/repo/target/debug/examples/export_trace-7fbb2e0425371d64: examples/export_trace.rs
+
+examples/export_trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/export_trace-c2e115c15f059c26.d: examples/export_trace.rs
+
+/root/repo/target/debug/examples/export_trace-c2e115c15f059c26: examples/export_trace.rs
+
+examples/export_trace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/export_trace-e29bba66c2d42519.d: examples/export_trace.rs Cargo.toml
+
+/root/repo/target/debug/examples/libexport_trace-e29bba66c2d42519.rmeta: examples/export_trace.rs Cargo.toml
+
+examples/export_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

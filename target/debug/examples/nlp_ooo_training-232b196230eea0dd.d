@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/nlp_ooo_training-232b196230eea0dd.d: examples/nlp_ooo_training.rs
+
+/root/repo/target/debug/examples/nlp_ooo_training-232b196230eea0dd: examples/nlp_ooo_training.rs
+
+examples/nlp_ooo_training.rs:

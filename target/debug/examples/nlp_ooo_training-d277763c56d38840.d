@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/nlp_ooo_training-d277763c56d38840.d: examples/nlp_ooo_training.rs
+
+/root/repo/target/debug/examples/nlp_ooo_training-d277763c56d38840: examples/nlp_ooo_training.rs
+
+examples/nlp_ooo_training.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/nlp_ooo_training-de1af5ba6dfa1236.d: examples/nlp_ooo_training.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnlp_ooo_training-de1af5ba6dfa1236.rmeta: examples/nlp_ooo_training.rs Cargo.toml
+
+examples/nlp_ooo_training.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

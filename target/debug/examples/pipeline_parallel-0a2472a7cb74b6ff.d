@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pipeline_parallel-0a2472a7cb74b6ff.d: examples/pipeline_parallel.rs
+
+/root/repo/target/debug/examples/pipeline_parallel-0a2472a7cb74b6ff: examples/pipeline_parallel.rs
+
+examples/pipeline_parallel.rs:

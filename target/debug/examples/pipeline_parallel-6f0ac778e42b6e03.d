@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pipeline_parallel-6f0ac778e42b6e03.d: examples/pipeline_parallel.rs
+
+/root/repo/target/debug/examples/pipeline_parallel-6f0ac778e42b6e03: examples/pipeline_parallel.rs
+
+examples/pipeline_parallel.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pipeline_parallel-edd0a53cfcacf7f4.d: examples/pipeline_parallel.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpipeline_parallel-edd0a53cfcacf7f4.rmeta: examples/pipeline_parallel.rs Cargo.toml
+
+examples/pipeline_parallel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-1f7c07e42fdc6699.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-1f7c07e42fdc6699: examples/quickstart.rs
+
+examples/quickstart.rs:

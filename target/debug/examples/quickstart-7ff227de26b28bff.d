@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-7ff227de26b28bff.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-7ff227de26b28bff: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/single_gpu_training-27bea31f1bebe33b.d: examples/single_gpu_training.rs
+
+/root/repo/target/debug/examples/single_gpu_training-27bea31f1bebe33b: examples/single_gpu_training.rs
+
+examples/single_gpu_training.rs:

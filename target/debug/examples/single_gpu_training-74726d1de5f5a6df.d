@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/single_gpu_training-74726d1de5f5a6df.d: examples/single_gpu_training.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsingle_gpu_training-74726d1de5f5a6df.rmeta: examples/single_gpu_training.rs Cargo.toml
+
+examples/single_gpu_training.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

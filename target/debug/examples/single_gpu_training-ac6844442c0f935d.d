@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/single_gpu_training-ac6844442c0f935d.d: examples/single_gpu_training.rs
+
+/root/repo/target/debug/examples/single_gpu_training-ac6844442c0f935d: examples/single_gpu_training.rs
+
+examples/single_gpu_training.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ooo_backprop-e9cbd4a6da128993.d: src/lib.rs
+
+/root/repo/target/release/deps/libooo_backprop-e9cbd4a6da128993.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libooo_backprop-e9cbd4a6da128993.rmeta: src/lib.rs
+
+src/lib.rs:

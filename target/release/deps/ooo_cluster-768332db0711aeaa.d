@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/ooo_cluster-768332db0711aeaa.d: crates/cluster/src/lib.rs crates/cluster/src/ablation.rs crates/cluster/src/analysis.rs crates/cluster/src/checks.rs crates/cluster/src/datapar.rs crates/cluster/src/hybrid.rs crates/cluster/src/pipeline.rs crates/cluster/src/single.rs
+
+/root/repo/target/release/deps/libooo_cluster-768332db0711aeaa.rlib: crates/cluster/src/lib.rs crates/cluster/src/ablation.rs crates/cluster/src/analysis.rs crates/cluster/src/checks.rs crates/cluster/src/datapar.rs crates/cluster/src/hybrid.rs crates/cluster/src/pipeline.rs crates/cluster/src/single.rs
+
+/root/repo/target/release/deps/libooo_cluster-768332db0711aeaa.rmeta: crates/cluster/src/lib.rs crates/cluster/src/ablation.rs crates/cluster/src/analysis.rs crates/cluster/src/checks.rs crates/cluster/src/datapar.rs crates/cluster/src/hybrid.rs crates/cluster/src/pipeline.rs crates/cluster/src/single.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/ablation.rs:
+crates/cluster/src/analysis.rs:
+crates/cluster/src/checks.rs:
+crates/cluster/src/datapar.rs:
+crates/cluster/src/hybrid.rs:
+crates/cluster/src/pipeline.rs:
+crates/cluster/src/single.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ooo_gpusim-73a0102b51b0cfe7.d: crates/gpusim/src/lib.rs crates/gpusim/src/engine.rs crates/gpusim/src/kernel.rs crates/gpusim/src/spec.rs crates/gpusim/src/trace.rs
+
+/root/repo/target/release/deps/libooo_gpusim-73a0102b51b0cfe7.rlib: crates/gpusim/src/lib.rs crates/gpusim/src/engine.rs crates/gpusim/src/kernel.rs crates/gpusim/src/spec.rs crates/gpusim/src/trace.rs
+
+/root/repo/target/release/deps/libooo_gpusim-73a0102b51b0cfe7.rmeta: crates/gpusim/src/lib.rs crates/gpusim/src/engine.rs crates/gpusim/src/kernel.rs crates/gpusim/src/spec.rs crates/gpusim/src/trace.rs
+
+crates/gpusim/src/lib.rs:
+crates/gpusim/src/engine.rs:
+crates/gpusim/src/kernel.rs:
+crates/gpusim/src/spec.rs:
+crates/gpusim/src/trace.rs:

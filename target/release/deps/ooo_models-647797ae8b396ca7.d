@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ooo_models-647797ae8b396ca7.d: crates/models/src/lib.rs crates/models/src/cost.rs crates/models/src/gpu.rs crates/models/src/spec.rs crates/models/src/zoo.rs
+
+/root/repo/target/release/deps/libooo_models-647797ae8b396ca7.rlib: crates/models/src/lib.rs crates/models/src/cost.rs crates/models/src/gpu.rs crates/models/src/spec.rs crates/models/src/zoo.rs
+
+/root/repo/target/release/deps/libooo_models-647797ae8b396ca7.rmeta: crates/models/src/lib.rs crates/models/src/cost.rs crates/models/src/gpu.rs crates/models/src/spec.rs crates/models/src/zoo.rs
+
+crates/models/src/lib.rs:
+crates/models/src/cost.rs:
+crates/models/src/gpu.rs:
+crates/models/src/spec.rs:
+crates/models/src/zoo.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ooo_netsim-6a3b1dab5b154a88.d: crates/netsim/src/lib.rs crates/netsim/src/collective.rs crates/netsim/src/commsim.rs crates/netsim/src/flows.rs crates/netsim/src/link.rs crates/netsim/src/topology.rs
+
+/root/repo/target/release/deps/libooo_netsim-6a3b1dab5b154a88.rlib: crates/netsim/src/lib.rs crates/netsim/src/collective.rs crates/netsim/src/commsim.rs crates/netsim/src/flows.rs crates/netsim/src/link.rs crates/netsim/src/topology.rs
+
+/root/repo/target/release/deps/libooo_netsim-6a3b1dab5b154a88.rmeta: crates/netsim/src/lib.rs crates/netsim/src/collective.rs crates/netsim/src/commsim.rs crates/netsim/src/flows.rs crates/netsim/src/link.rs crates/netsim/src/topology.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/collective.rs:
+crates/netsim/src/commsim.rs:
+crates/netsim/src/flows.rs:
+crates/netsim/src/link.rs:
+crates/netsim/src/topology.rs:

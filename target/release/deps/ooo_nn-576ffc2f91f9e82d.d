@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/ooo_nn-576ffc2f91f9e82d.d: crates/nn/src/lib.rs crates/nn/src/composite.rs crates/nn/src/data.rs crates/nn/src/error.rs crates/nn/src/layers.rs crates/nn/src/metrics.rs crates/nn/src/network.rs crates/nn/src/nlp.rs crates/nn/src/optim.rs crates/nn/src/parallel.rs crates/nn/src/trainer.rs
+
+/root/repo/target/release/deps/libooo_nn-576ffc2f91f9e82d.rlib: crates/nn/src/lib.rs crates/nn/src/composite.rs crates/nn/src/data.rs crates/nn/src/error.rs crates/nn/src/layers.rs crates/nn/src/metrics.rs crates/nn/src/network.rs crates/nn/src/nlp.rs crates/nn/src/optim.rs crates/nn/src/parallel.rs crates/nn/src/trainer.rs
+
+/root/repo/target/release/deps/libooo_nn-576ffc2f91f9e82d.rmeta: crates/nn/src/lib.rs crates/nn/src/composite.rs crates/nn/src/data.rs crates/nn/src/error.rs crates/nn/src/layers.rs crates/nn/src/metrics.rs crates/nn/src/network.rs crates/nn/src/nlp.rs crates/nn/src/optim.rs crates/nn/src/parallel.rs crates/nn/src/trainer.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/composite.rs:
+crates/nn/src/data.rs:
+crates/nn/src/error.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/metrics.rs:
+crates/nn/src/network.rs:
+crates/nn/src/nlp.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/parallel.rs:
+crates/nn/src/trainer.rs:

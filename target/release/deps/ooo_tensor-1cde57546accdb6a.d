@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/ooo_tensor-1cde57546accdb6a.d: crates/tensor/src/lib.rs crates/tensor/src/conv.rs crates/tensor/src/error.rs crates/tensor/src/init.rs crates/tensor/src/ops.rs crates/tensor/src/pool.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/release/deps/libooo_tensor-1cde57546accdb6a.rlib: crates/tensor/src/lib.rs crates/tensor/src/conv.rs crates/tensor/src/error.rs crates/tensor/src/init.rs crates/tensor/src/ops.rs crates/tensor/src/pool.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/release/deps/libooo_tensor-1cde57546accdb6a.rmeta: crates/tensor/src/lib.rs crates/tensor/src/conv.rs crates/tensor/src/error.rs crates/tensor/src/init.rs crates/tensor/src/ops.rs crates/tensor/src/pool.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/conv.rs:
+crates/tensor/src/error.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/ops.rs:
+crates/tensor/src/pool.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor.rs:

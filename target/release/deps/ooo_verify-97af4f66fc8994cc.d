@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ooo_verify-97af4f66fc8994cc.d: crates/verify/src/lib.rs crates/verify/src/access.rs crates/verify/src/hb.rs
+
+/root/repo/target/release/deps/libooo_verify-97af4f66fc8994cc.rlib: crates/verify/src/lib.rs crates/verify/src/access.rs crates/verify/src/hb.rs
+
+/root/repo/target/release/deps/libooo_verify-97af4f66fc8994cc.rmeta: crates/verify/src/lib.rs crates/verify/src/access.rs crates/verify/src/hb.rs
+
+crates/verify/src/lib.rs:
+crates/verify/src/access.rs:
+crates/verify/src/hb.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-a04dc320eddc992f.d: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-a04dc320eddc992f.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-a04dc320eddc992f.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -6,12 +6,17 @@
 use ooo_backprop::core::cost::{LayerCost, TableCost, UnitCost};
 use ooo_backprop::core::datapar::{reverse_k_makespan, CommPolicy};
 use ooo_backprop::core::memory::memory_profile;
+use ooo_backprop::core::multi_region::{
+    backward_regions, multi_region_joint_schedule, ConstantProfile,
+};
+use ooo_backprop::core::op::{LayerId, Op};
 use ooo_backprop::core::pipeline::{
     simulate_pipeline, PipeCost, PipelineConfig, Strategy, TaskKind,
 };
 use ooo_backprop::core::reverse_k::reverse_first_k;
-use ooo_backprop::core::schedule::{validate_order, validate_partial_order};
+use ooo_backprop::core::schedule::{validate_order, validate_partial_order, Schedule};
 use ooo_backprop::core::TrainGraph;
+use ooo_backprop::verify::{Verifier, VerifyConfig};
 use proptest::prelude::*;
 
 proptest! {
@@ -142,6 +147,124 @@ proptest! {
         cfg.cost = PipeCost::uniform(layers, 2, 0);
         let m2 = simulate_pipeline(&cfg).unwrap().makespan();
         prop_assert_eq!(m2, 2 * m1);
+    }
+}
+
+/// Partial-schedule configuration for the static analyzer: backward-only
+/// orders and two-stream assignments omit forwards and updates by design.
+fn partial() -> VerifyConfig {
+    VerifyConfig {
+        require_complete: false,
+        ..VerifyConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every reverse-first-k order passes every `ooo-verify` lint, for
+    /// every (L, k).
+    #[test]
+    fn reverse_k_passes_all_lints(l in 1usize..30, k_frac in 0.0f64..=1.0) {
+        let k = ((l as f64) * k_frac) as usize;
+        let graph = TrainGraph::data_parallel(l);
+        let order = reverse_first_k::<UnitCost>(&graph, k.min(l), None).unwrap();
+        let report = Verifier::new(&graph).with_config(partial()).verify_order(&order);
+        prop_assert!(report.is_clean(), "{}", report);
+    }
+
+    /// Algorithm 1's two-stream (main/sub) schedule passes every lint for
+    /// any region granularity and co-run speedup.
+    #[test]
+    fn multi_region_schedule_passes_all_lints(
+        l in 1usize..25,
+        per in 1usize..6,
+        speedup in 1.0f64..2.0,
+    ) {
+        let graph = TrainGraph::single_gpu(l);
+        let (regions, subs) = backward_regions(&graph, &UnitCost, per);
+        let profile = ConstantProfile { speedup, sub_time: 1 };
+        let plan = multi_region_joint_schedule(&graph, &regions, &subs, &profile).unwrap();
+        let report = Verifier::new(&graph)
+            .with_config(partial())
+            .verify(&plan.to_schedule(&regions));
+        prop_assert!(report.is_clean(), "{}", report);
+    }
+
+    /// Every pipeline strategy's op-level schedule (device lanes plus the
+    /// activation-gradient link lane) passes every lint, complete.
+    #[test]
+    fn pipeline_op_schedules_pass_all_lints(
+        layers in 1usize..20,
+        devices in 1usize..5,
+        modulo in 1usize..3,
+    ) {
+        prop_assume!(devices <= layers);
+        for strategy in [
+            Strategy::ModelParallel,
+            Strategy::GPipe,
+            Strategy::PipeDream,
+            Strategy::OooPipe1,
+            Strategy::OooPipe2,
+        ] {
+            let (graph, schedule) =
+                ooo_backprop::cluster::pipeline::op_level_schedule(layers, devices, strategy, modulo);
+            let report = Verifier::new(&graph).verify(&schedule);
+            prop_assert!(report.is_clean(), "{:?}: {}", strategy, report);
+        }
+    }
+
+    /// Mutation: swapping two adjacent output gradients inverts a true
+    /// dependency — flagged `OV101`, with the `OV401` ooo-legality
+    /// warning riding along (dO is not weight-gradient-class).
+    #[test]
+    fn mutation_swapped_output_grads_flagged(l in 3usize..30) {
+        let graph = TrainGraph::single_gpu(l);
+        let mut order = graph.conventional_backprop();
+        let pos = |ops: &[Op], op: Op| ops.iter().position(|&o| o == op).unwrap();
+        let a = pos(&order, Op::OutputGrad(LayerId(l)));
+        let b = pos(&order, Op::OutputGrad(LayerId(l - 1)));
+        order.swap(a, b);
+        let report = Verifier::new(&graph).verify_order(&order);
+        prop_assert_eq!(report.rule_codes(), vec!["OV101", "OV401"]);
+    }
+
+    /// Mutation: dropping the activation-gradient transfer between two
+    /// devices leaves the consumer racing the producer on the gradient
+    /// buffer — flagged `OV201`; restoring the link lane is clean.
+    #[test]
+    fn mutation_dropped_sync_flagged(l in 2usize..20) {
+        let graph = TrainGraph::pipeline_parallel(l);
+        let upper: Vec<Op> = std::iter::once(Op::Loss)
+            .chain((2..=l).rev().map(|i| Op::OutputGrad(LayerId(i))))
+            .collect();
+        let mut broken = Schedule::new();
+        broken.add_lane("gpu1", upper.clone());
+        broken.add_lane("gpu0", vec![Op::WeightGrad(LayerId(1))]);
+        let report = Verifier::new(&graph).with_config(partial()).verify(&broken);
+        prop_assert_eq!(report.rule_codes(), vec!["OV201"]);
+
+        let mut fixed = Schedule::new();
+        fixed.add_lane("gpu1", upper);
+        fixed.add_lane("gpu0", vec![Op::WeightGrad(LayerId(1))]);
+        fixed.add_lane(
+            "link",
+            (2..=l).rev().map(|i| Op::SyncOutputGrad(LayerId(i))).collect(),
+        );
+        let report = Verifier::new(&graph).with_config(partial()).verify(&fixed);
+        prop_assert!(report.is_clean(), "{}", report);
+    }
+
+    /// Mutation: assigning one op to two lanes is a structural duplicate —
+    /// flagged `OV002` before any ordering analysis runs.
+    #[test]
+    fn mutation_double_assignment_flagged(l in 1usize..20) {
+        let graph = TrainGraph::single_gpu(l);
+        let mut schedule = Schedule::new();
+        schedule.add_lane("gpu0", graph.conventional_backprop());
+        schedule.add_lane("gpu1", vec![Op::WeightGrad(LayerId(1))]);
+        let report = Verifier::new(&graph).with_config(partial()).verify(&schedule);
+        prop_assert_eq!(report.rule_codes(), vec!["OV002"]);
     }
 }
 
