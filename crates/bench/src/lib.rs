@@ -64,6 +64,7 @@ pub fn all_ids() -> Vec<&'static str> {
         "sec83",
         "ablations",
         "recompute",
+        "tracemetrics",
     ]
 }
 
@@ -96,6 +97,7 @@ pub fn generate(id: &str) -> FigureReport {
         "sec83" => figures::sec83(),
         "ablations" => figures::ablations(),
         "recompute" => figures::recompute(),
+        "tracemetrics" => figures::tracemetrics(),
         other => panic!("unknown figure id {other}"),
     }
 }

@@ -20,12 +20,15 @@ use ooo_core::cost::{CostModel, TableCost};
 use ooo_core::graph::TrainGraph;
 use ooo_core::op::{LayerId, Op};
 use ooo_core::reverse_k::{reverse_first_k, search_optimal_k};
+use ooo_core::trace::{Span, Timeline, CAT_STALL};
 use ooo_models::cost::to_table_cost;
 use ooo_models::{GpuProfile, ModelSpec};
 use ooo_netsim::collective::{
     worker_bottleneck_bytes_per_sec, BYTEPS_TENSOR_OVERHEAD_NS, HOROVOD_TENSOR_OVERHEAD_NS,
 };
-use ooo_netsim::commsim::{finish_of, simulate_queue, CommRequest, Policy};
+use ooo_netsim::commsim::{
+    finish_of, intervals_to_lane, simulate_queue, simulate_queue_recorded, CommRequest, Policy,
+};
 use ooo_netsim::link::LinkSpec;
 use ooo_netsim::topology::ClusterTopology;
 
@@ -138,6 +141,81 @@ fn simulate_iteration(
     t
 }
 
+/// [`simulate_iteration`] with full tracing: rebuilds the same iteration
+/// and renders it as a [`Timeline`] with a `compute` lane (backward ops,
+/// sync-gated forward ops, explicit stall spans where the forward pass
+/// waits on parameters) and `uplink`/`downlink` lanes carrying the push
+/// and pull queues' service intervals.
+fn simulate_iteration_traced(
+    cost: &TableCost,
+    wire_bytes: &[u64],
+    order: &[Op],
+    link: &LinkSpec,
+    policy: Policy,
+    agg_latency_ns: SimTime,
+    name: &str,
+) -> (SimTime, Timeline) {
+    let l = cost.layers();
+    let mut tl = Timeline::new(name);
+    let mut compute: Vec<Span> = Vec::new();
+    let mut t: SimTime = 0;
+    let mut dw_finish = vec![0u64; l + 1];
+    for &op in order {
+        let d = cost.duration(op);
+        let mut span = Span::new(op.to_string(), "compute", t, t + d);
+        if let Some(layer) = op.layer() {
+            span.args.push(("layer".into(), layer.0 as f64));
+        }
+        compute.push(span);
+        t += d;
+        if let Op::WeightGrad(LayerId(i)) = op {
+            dw_finish[i] = t;
+        }
+    }
+    let backward_end = t;
+    let push: Vec<CommRequest> = (1..=l)
+        .map(|i| CommRequest {
+            id: i,
+            bytes: wire_bytes[i - 1],
+            ready_ns: dw_finish[i],
+            priority: i as i64,
+        })
+        .collect();
+    let (push_done, push_iv) = simulate_queue_recorded(link, CHUNK_BYTES, policy, &push);
+    let pull: Vec<CommRequest> = (1..=l)
+        .map(|i| CommRequest {
+            id: i,
+            bytes: wire_bytes[i - 1],
+            ready_ns: finish_of(&push_done, i).unwrap_or(0),
+            priority: i as i64,
+        })
+        .collect();
+    let (pull_done, pull_iv) = simulate_queue_recorded(link, CHUNK_BYTES, policy, &pull);
+    let mut t = backward_end;
+    for i in 1..=l {
+        let sync = finish_of(&pull_done, i)
+            .unwrap_or(0)
+            .saturating_add(agg_latency_ns);
+        if sync > t {
+            compute.push(Span::new(format!("wait S[dW{i}]"), CAT_STALL, t, sync));
+            t = sync;
+        }
+        let d = cost.duration(Op::Forward(LayerId(i)));
+        let mut span = Span::new(Op::Forward(LayerId(i)).to_string(), "compute", t, t + d);
+        span.args.push(("layer".into(), i as f64));
+        compute.push(span);
+        t += d;
+    }
+    tl.lane_mut("compute").spans = compute;
+    tl.lanes.push(intervals_to_lane("uplink", &push_iv, |i| {
+        format!("push S[dW{i}]")
+    }));
+    tl.lanes.push(intervals_to_lane("downlink", &pull_iv, |i| {
+        format!("pull S[dW{i}]")
+    }));
+    (t, tl)
+}
+
 /// Per-tensor aggregation-latency tail: the time between a worker's push
 /// completing and the aggregated parameters being available, growing with
 /// worker count (barrier over all workers, server queueing, and TCP
@@ -156,19 +234,26 @@ fn aggregation_latency_ns(topology: &ClusterTopology, gpus: usize) -> SimTime {
     }
 }
 
-/// Runs one data-parallel configuration.
-///
-/// # Errors
-///
-/// Propagates scheduling errors (invalid `k`, malformed orders).
-pub fn run(
+/// The shared per-configuration state of [`run`] and [`run_traced`]:
+/// cost table, dependency graph, wire volumes, queue discipline, link
+/// and aggregation tail.
+struct Setup {
+    cost: TableCost,
+    graph: TrainGraph,
+    wire_bytes: Vec<u64>,
+    policy: Policy,
+    link: LinkSpec,
+    tau: SimTime,
+}
+
+fn setup(
     model: &ModelSpec,
     per_gpu_batch: usize,
     gpu: &GpuProfile,
     topology: &ClusterTopology,
     gpus: usize,
     system: CommSystem,
-) -> Result<DataParReport> {
+) -> Setup {
     let cost = to_table_cost(model, per_gpu_batch, gpu);
     let l = cost.layers();
     let graph = TrainGraph::data_parallel(l);
@@ -191,7 +276,6 @@ pub fn run(
         CommSystem::BytePS | CommSystem::OooBytePS => (Policy::Priority, BYTEPS_TENSOR_OVERHEAD_NS),
     };
     let link = effective_link(topology, gpus, overhead);
-
     let tau = aggregation_latency_ns(topology, gpus)
         * match system {
             // Horovod's negotiate-then-allreduce protocol roughly doubles
@@ -199,22 +283,47 @@ pub fn run(
             CommSystem::Horovod => 2,
             _ => 1,
         };
+    Setup {
+        cost,
+        graph,
+        wire_bytes,
+        policy,
+        link,
+        tau,
+    }
+}
+
+/// Runs one data-parallel configuration.
+///
+/// # Errors
+///
+/// Propagates scheduling errors (invalid `k`, malformed orders).
+pub fn run(
+    model: &ModelSpec,
+    per_gpu_batch: usize,
+    gpu: &GpuProfile,
+    topology: &ClusterTopology,
+    gpus: usize,
+    system: CommSystem,
+) -> Result<DataParReport> {
+    let s = setup(model, per_gpu_batch, gpu, topology, gpus, system);
+    let l = s.cost.layers();
     let eval = |k: usize| -> Result<SimTime> {
-        let order = reverse_first_k::<TableCost>(&graph, k, None)?;
+        let order = reverse_first_k::<TableCost>(&s.graph, k, None)?;
         // Debug builds re-check the backward order with the static
         // analyzer (partial: the order covers only the backward pass).
         crate::checks::order_lazy(
-            || (graph.clone(), order.clone()),
+            || (s.graph.clone(), order.clone()),
             false,
             "reverse first-k order",
         );
         Ok(simulate_iteration(
-            &cost,
-            &wire_bytes,
+            &s.cost,
+            &s.wire_bytes,
             &order,
-            &link,
-            policy,
-            tau,
+            &s.link,
+            s.policy,
+            s.tau,
         ))
     };
 
@@ -230,13 +339,46 @@ pub fn run(
         }
     };
 
-    let pure_compute: SimTime = cost.total_backward() + cost.total_forward();
+    let pure_compute: SimTime = s.cost.total_backward() + s.cost.total_forward();
     Ok(DataParReport {
         iter_ns,
         throughput: (per_gpu_batch * gpus) as f64 * 1e9 / iter_ns.max(1) as f64,
         k,
         exposed_sync_ns: iter_ns.saturating_sub(pure_compute),
     })
+}
+
+/// Like [`run`], additionally returning the traced [`Timeline`] of one
+/// steady-state iteration at the chosen `k`: a `compute` lane with
+/// explicit stall spans where the forward pass waits on parameter
+/// synchronization, plus `uplink`/`downlink` lanes showing per-transfer
+/// link occupancy.
+///
+/// # Errors
+///
+/// Propagates scheduling errors (invalid `k`, malformed orders).
+pub fn run_traced(
+    model: &ModelSpec,
+    per_gpu_batch: usize,
+    gpu: &GpuProfile,
+    topology: &ClusterTopology,
+    gpus: usize,
+    system: CommSystem,
+) -> Result<(DataParReport, Timeline)> {
+    let report = run(model, per_gpu_batch, gpu, topology, gpus, system)?;
+    let s = setup(model, per_gpu_batch, gpu, topology, gpus, system);
+    let order = reverse_first_k::<TableCost>(&s.graph, report.k, None)?;
+    let name = format!("datapar/{}/{}gpus", system.name(), gpus);
+    let (_, timeline) = simulate_iteration_traced(
+        &s.cost,
+        &s.wire_bytes,
+        &order,
+        &s.link,
+        s.policy,
+        s.tau,
+        &name,
+    );
+    Ok((report, timeline))
 }
 
 /// Like [`run`] with the OOO-BytePS system but a *fixed* `k` instead of
@@ -361,6 +503,28 @@ mod tests {
             .throughput;
         assert!(t16 > 4.0 * t1, "no scaling: {t16} vs {t1}");
         assert!(t16 < 16.0 * t1, "super-linear scaling is impossible");
+    }
+
+    #[test]
+    fn traced_iteration_matches_report() {
+        let m = resnet(50);
+        let topo = ClusterTopology::pub_a();
+        let (r, tl) = run_traced(&m, 128, &v100(), &topo, 16, CommSystem::OooBytePS).unwrap();
+        tl.validate().unwrap();
+        // The timeline's horizon is exactly the simulated iteration: the
+        // compute lane ends at the last forward op.
+        assert_eq!(tl.horizon_ns(), r.iter_ns);
+        // The compute lane tiles the whole iteration: backward ops are
+        // gapless from t=0 and every forward-pass wait is an explicit
+        // stall span.
+        let summary = tl.summarize();
+        let compute = summary.lane("compute").unwrap();
+        assert_eq!(compute.busy_ns + compute.stall_ns, r.iter_ns);
+        // With 16 GPUs real bytes cross the wire in both directions.
+        for lane in ["uplink", "downlink"] {
+            let l = summary.lane(lane).unwrap();
+            assert!(l.busy_ns > 0, "{lane} idle");
+        }
     }
 
     #[test]

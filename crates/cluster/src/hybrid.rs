@@ -12,8 +12,11 @@
 use crate::pipeline::run as run_pipeline;
 use crate::{Result, SimTime};
 use ooo_core::pipeline::{Strategy, TaskKind};
+use ooo_core::trace::Timeline;
 use ooo_models::{GpuProfile, ModelSpec};
-use ooo_netsim::commsim::{simulate_queue, total_finish, CommRequest, Policy};
+use ooo_netsim::commsim::{
+    intervals_to_lane, simulate_queue_recorded, total_finish, CommRequest, Policy,
+};
 use ooo_netsim::link::LinkSpec;
 
 /// Result of a hybrid run.
@@ -46,6 +49,73 @@ pub fn run_combined(
     k: usize,
     iterations: usize,
 ) -> Result<HybridReport> {
+    run_combined_inner(
+        model,
+        batch,
+        micro_batches,
+        gpu,
+        intra_link,
+        sync_link,
+        devices,
+        replicas,
+        k,
+        iterations,
+        false,
+    )
+    .map(|(r, _)| r)
+}
+
+/// Like [`run_combined`], additionally returning the traced [`Timeline`]:
+/// the pipeline's per-device lanes (with explicit bubble stalls) plus a
+/// `sync` lane showing the cross-replica gradient synchronizations of the
+/// final simulated iteration, aligned to that iteration's start.
+///
+/// # Errors
+///
+/// Propagates pipeline-simulation errors.
+#[allow(clippy::too_many_arguments)]
+pub fn run_combined_traced(
+    model: &ModelSpec,
+    batch: usize,
+    micro_batches: usize,
+    gpu: &GpuProfile,
+    intra_link: &LinkSpec,
+    sync_link: &LinkSpec,
+    devices: usize,
+    replicas: usize,
+    k: usize,
+    iterations: usize,
+) -> Result<(HybridReport, Timeline)> {
+    let (report, timeline) = run_combined_inner(
+        model,
+        batch,
+        micro_batches,
+        gpu,
+        intra_link,
+        sync_link,
+        devices,
+        replicas,
+        k,
+        iterations,
+        true,
+    )?;
+    Ok((report, timeline.expect("traced run returns a timeline")))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_combined_inner(
+    model: &ModelSpec,
+    batch: usize,
+    micro_batches: usize,
+    gpu: &GpuProfile,
+    intra_link: &LinkSpec,
+    sync_link: &LinkSpec,
+    devices: usize,
+    replicas: usize,
+    k: usize,
+    iterations: usize,
+    traced: bool,
+) -> Result<(HybridReport, Option<Timeline>)> {
     let strategy = Strategy::OooPipe2;
     // Debug builds re-check the Section 6 combination implied by this
     // split: reverse first-k over layers 1..=k, fast-forwarding for the
@@ -74,13 +144,25 @@ pub fn run_combined(
         iterations,
     )?;
     let iter = report.iter_ns;
+    let mut timeline = if traced {
+        Some(
+            report
+                .result
+                .to_timeline(&format!("hybrid/{devices}pipe x{replicas}")),
+        )
+    } else {
+        None
+    };
     if replicas <= 1 {
         // No data-parallel dimension: pure pipeline.
-        return Ok(HybridReport {
-            iter_ns: iter,
-            throughput: batch as f64 * 1e9 / iter.max(1) as f64,
-            k,
-        });
+        return Ok((
+            HybridReport {
+                iter_ns: iter,
+                throughput: batch as f64 * 1e9 / iter.max(1) as f64,
+                k,
+            },
+            timeline,
+        ));
     }
 
     // Gradient synchronization across replicas: one request per layer,
@@ -119,16 +201,35 @@ pub fn run_combined(
             priority: if i <= k { i as i64 } else { 1_000 + i as i64 },
         })
         .collect();
-    let completions = simulate_queue(sync_link, 512 * 1024, Policy::Priority, &requests);
+    let (completions, intervals) =
+        simulate_queue_recorded(sync_link, 512 * 1024, Policy::Priority, &requests);
+    if let Some(tl) = &mut timeline {
+        // The queue runs in iteration-relative time; shift its intervals
+        // to the final iteration's start so the sync lane lines up with
+        // the pipeline lanes.
+        let shifted: Vec<_> = intervals
+            .iter()
+            .map(|iv| ooo_netsim::commsim::ServiceInterval {
+                start_ns: iv.start_ns + iter_start,
+                end_ns: iv.end_ns + iter_start,
+                ..*iv
+            })
+            .collect();
+        tl.lanes
+            .push(intervals_to_lane("sync", &shifted, |i| format!("S[dW{i}]")));
+    }
     let sync_end = total_finish(&completions);
     // Exposed synchronization: whatever finishes after the pipeline's own
     // iteration time delays the next iteration.
     let iter_ns = iter.max(sync_end);
-    Ok(HybridReport {
-        iter_ns,
-        throughput: (batch * replicas) as f64 * 1e9 / iter_ns.max(1) as f64,
-        k,
-    })
+    Ok((
+        HybridReport {
+            iter_ns,
+            throughput: (batch * replicas) as f64 * 1e9 / iter_ns.max(1) as f64,
+            k,
+        },
+        timeline,
+    ))
 }
 
 /// Searches the split `k` with the concave heuristic and returns the best
@@ -206,6 +307,21 @@ mod tests {
         let four = run_combined(&m, 96, 4, &gpu, &nv, &eth, 4, 4, 0, 4).unwrap();
         assert!(four.iter_ns >= one.iter_ns);
         assert!(four.throughput > one.throughput);
+    }
+
+    #[test]
+    fn traced_hybrid_aligns_sync_with_pipeline_lanes() {
+        let m = bert(12, 128);
+        let gpu = GpuProfile::v100();
+        let nv = LinkSpec::nvlink();
+        let eth = LinkSpec::ethernet_10g();
+        let (r, tl) = run_combined_traced(&m, 96, 4, &gpu, &nv, &eth, 4, 4, 2, 4).unwrap();
+        tl.validate().unwrap();
+        let plain = run_combined(&m, 96, 4, &gpu, &nv, &eth, 4, 4, 2, 4).unwrap();
+        assert_eq!(r.iter_ns, plain.iter_ns);
+        let summary = tl.summarize();
+        assert!(summary.lane("gpu0").is_some(), "pipeline lanes missing");
+        assert!(summary.lane("sync").unwrap().busy_ns > 0, "sync lane idle");
     }
 
     #[test]

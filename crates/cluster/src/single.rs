@@ -292,6 +292,25 @@ pub fn run(
     })
 }
 
+/// Like [`run`], additionally rendering the kernel-level trace as a
+/// [`Timeline`](ooo_core::trace::Timeline): one lane per stream with
+/// issue-stall spans, plus the `sm_slots_in_use` occupancy counter.
+///
+/// # Errors
+///
+/// As [`run`].
+pub fn run_traced(
+    model: &ModelSpec,
+    batch: usize,
+    gpu: &GpuProfile,
+    engine: Engine,
+) -> Result<(SingleGpuReport, ooo_core::trace::Timeline)> {
+    let report = run(model, batch, gpu, engine)?;
+    let name = format!("single/{}/{}", engine.name(), model.name);
+    let timeline = report.trace.to_timeline(&name);
+    Ok((report, timeline))
+}
+
 /// Builds the two prioritized GPU streams of the OOO-XLA engine for a
 /// given sub-stream weight-gradient order. Events enforce the true
 /// dependencies in both directions: a dW kernel waits for its incoming
@@ -628,6 +647,25 @@ mod tests {
         // The paper's overall single-GPU band: 1.03-1.58x over XLA.
         let speedup = full / xla;
         assert!((1.02..2.2).contains(&speedup), "OOO/XLA = {speedup}");
+    }
+
+    #[test]
+    fn traced_single_gpu_timeline_is_well_formed() {
+        let m = resnet(50);
+        let gpu = GpuProfile::v100();
+        let (r, tl) = run_traced(&m, 64, &gpu, Engine::OooXla).unwrap();
+        tl.validate().unwrap();
+        // Two prioritized streams → two lanes, both busy.
+        let summary = tl.summarize();
+        for lane in ["stream0", "stream1"] {
+            assert!(summary.lane(lane).unwrap().busy_ns > 0, "{lane} idle");
+        }
+        // The horizon covers the simulated iterations.
+        assert!(tl.horizon_ns() >= r.iter_ns);
+        // The occupancy counter never exceeds the device's block slots.
+        let occ = summary.counter("sm_slots_in_use").unwrap();
+        assert!(occ.mean > 0.0);
+        assert!(occ.mean_fraction.unwrap() <= 1.0);
     }
 
     #[test]

@@ -33,6 +33,9 @@ pub enum Error {
     /// The requested configuration is structurally invalid (e.g. zero
     /// layers, zero devices, more pipeline stages than layers).
     InvalidConfig(String),
+    /// A trace document is structurally invalid: unparsable JSON, a
+    /// missing required field, out-of-order or overlapping spans.
+    MalformedTrace(String),
 }
 
 impl fmt::Display for Error {
@@ -51,6 +54,7 @@ impl fmt::Display for Error {
                 write!(f, "peak memory {peak} B exceeds budget {budget} B")
             }
             Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::MalformedTrace(msg) => write!(f, "malformed trace: {msg}"),
         }
     }
 }

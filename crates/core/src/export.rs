@@ -253,16 +253,27 @@ fn graph_config_to_value(cfg: &GraphConfig) -> Value {
     ])
 }
 
+/// Upper bound on `layers` accepted from untrusted bundles; graph
+/// construction allocates per-layer vectors, so an absurd count from a
+/// corrupt document must fail cleanly instead of exhausting memory.
+const MAX_BUNDLE_LAYERS: usize = 1_000_000;
+
 fn graph_config_from_value(v: &Value) -> Result<GraphConfig> {
     let flag = |key: &str| -> Result<bool> {
         require(v, key)?
             .as_bool()
             .ok_or_else(|| Error::InvalidConfig(format!("{key}: expected bool")))
     };
+    let layers = require(v, "layers")?
+        .as_usize()
+        .ok_or_else(|| Error::InvalidConfig("layers: expected integer".into()))?;
+    if layers > MAX_BUNDLE_LAYERS {
+        return Err(Error::InvalidConfig(format!(
+            "layers: {layers} exceeds the bundle limit of {MAX_BUNDLE_LAYERS}"
+        )));
+    }
     Ok(GraphConfig {
-        layers: require(v, "layers")?
-            .as_usize()
-            .ok_or_else(|| Error::InvalidConfig("layers: expected integer".into()))?,
+        layers,
         sync_weight_grads: flag("sync_weight_grads")?,
         sync_output_grads: flag("sync_output_grads")?,
         include_updates: flag("include_updates")?,
@@ -415,6 +426,20 @@ mod tests {
     fn malformed_json_rejected() {
         assert!(ScheduleBundle::from_json("not json").is_err());
         assert!(ScheduleBundle::from_json("{}").is_err());
+    }
+
+    #[test]
+    fn absurd_layer_counts_rejected_before_allocation() {
+        let graph = TrainGraph::single_gpu(2);
+        let bundle = ScheduleBundle::new("toy", &graph);
+        let json = bundle.to_json().unwrap();
+        let tampered = json.replace("\"layers\": 2", "\"layers\": 1000000000000");
+        assert_ne!(json, tampered, "fixture no longer matches serialization");
+        let err = ScheduleBundle::from_json(&tampered).unwrap_err();
+        assert!(
+            err.to_string().contains("exceeds the bundle limit"),
+            "unexpected error: {err}"
+        );
     }
 
     #[test]

@@ -134,6 +134,7 @@ impl Value {
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let v = p.value()?;
@@ -202,9 +203,18 @@ fn write_seq(
     out.push(close);
 }
 
+/// Maximum container-nesting depth the parser accepts.
+///
+/// The parser is recursive-descent, so unbounded nesting in a malicious
+/// or corrupt document (`[[[[…`) would overflow the stack. Real bundle
+/// and trace documents nest a handful of levels deep; 512 is far above
+/// anything legitimate while keeping recursion well inside stack limits.
+const MAX_PARSE_DEPTH: usize = 512;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -246,11 +256,32 @@ impl Parser<'_> {
             Some(b't') => self.literal("true", Value::Bool(true)),
             Some(b'f') => self.literal("false", Value::Bool(false)),
             Some(b'"') => self.string().map(Value::Str),
-            Some(b'[') => self.array(),
-            Some(b'{') => self.object(),
+            Some(b'[') => {
+                self.descend()?;
+                let v = self.array();
+                self.depth -= 1;
+                v
+            }
+            Some(b'{') => {
+                self.descend()?;
+                let v = self.object();
+                self.depth -= 1;
+                v
+            }
             Some(b'-' | b'0'..=b'9') => self.number(),
             _ => Err(format!("unexpected character at byte {}", self.pos)),
         }
+    }
+
+    fn descend(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_PARSE_DEPTH} levels at byte {}",
+                self.pos
+            ));
+        }
+        Ok(())
     }
 
     fn array(&mut self) -> Result<Value, String> {
@@ -391,7 +422,8 @@ impl Parser<'_> {
         ) {
             self.pos += 1;
         }
-        let s = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        let s = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("invalid number at byte {start}"))?;
         s.parse::<f64>()
             .map(Value::Num)
             .map_err(|_| format!("invalid number at byte {start}"))
@@ -454,6 +486,27 @@ pub fn obj<const N: usize>(pairs: [(&str, Value); N]) -> Value {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn deep_nesting_is_rejected_not_a_stack_overflow() {
+        let deep = "[".repeat(MAX_PARSE_DEPTH + 1);
+        let err = Value::parse(&deep).unwrap_err();
+        assert!(err.contains("nesting deeper"), "{err}");
+        // Nesting at exactly the limit still parses.
+        let ok = format!(
+            "{}{}",
+            "[".repeat(MAX_PARSE_DEPTH),
+            "]".repeat(MAX_PARSE_DEPTH)
+        );
+        assert!(Value::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn malformed_numbers_error_cleanly() {
+        for bad in ["-", "1e", "1.2.3", "--4", "1e+"] {
+            assert!(Value::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
 
     #[test]
     fn round_trips_structures() {

@@ -70,6 +70,7 @@ pub mod pipeline;
 pub mod recompute;
 pub mod reverse_k;
 pub mod schedule;
+pub mod trace;
 
 pub use error::{Error, Result};
 pub use graph::TrainGraph;

@@ -82,10 +82,18 @@ pub fn max_feasible_k<C: CostModel>(graph: &TrainGraph, max_bytes: u64, cost: &C
 /// halved, until the step reaches 1. `throughput(k)` is typically a
 /// closure running the data-parallel simulator (in the paper it is a live
 /// measurement of the training job).
+///
+/// Results are memoized per `k`: the refinement window
+/// `(best_k−Δk, best_k+Δk)` always re-includes values measured in earlier
+/// rounds, and each measurement may be a full simulator sweep (or, in a
+/// live system, a noisy throughput sample whose re-measurement could move
+/// `best_k` between rounds). The closure is therefore invoked **at most
+/// once per distinct `k`**.
 pub fn search_optimal_k<F>(layers: usize, mut throughput: F) -> usize
 where
     F: FnMut(usize) -> f64,
 {
+    let mut measured: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
     let mut best_k = 0usize;
     let mut best_t = f64::NEG_INFINITY;
     let mut lo = 0usize;
@@ -94,7 +102,7 @@ where
     loop {
         let mut k = lo;
         while k <= hi && k <= layers {
-            let t = throughput(k);
+            let t = *measured.entry(k).or_insert_with(|| throughput(k));
             if t > best_t {
                 best_t = t;
                 best_k = k;
@@ -211,5 +219,25 @@ mod tests {
     fn search_peak_at_boundaries() {
         assert_eq!(search_optimal_k(50, |k| k as f64), 50);
         assert_eq!(search_optimal_k(50, |k| -(k as f64)), 0);
+    }
+
+    #[test]
+    fn search_evaluates_each_k_at_most_once() {
+        use std::collections::HashMap;
+        for layers in [1usize, 2, 7, 10, 50, 100, 137] {
+            let mut calls: HashMap<usize, usize> = HashMap::new();
+            let best = search_optimal_k(layers, |k| {
+                *calls.entry(k).or_insert(0) += 1;
+                // Concave with an off-center peak to force refinement rounds.
+                -((k as f64) - (layers as f64) * 0.37).powi(2)
+            });
+            assert!(best <= layers);
+            for (k, n) in &calls {
+                assert_eq!(
+                    *n, 1,
+                    "throughput({k}) evaluated {n} times for layers = {layers}"
+                );
+            }
+        }
     }
 }

@@ -1,0 +1,810 @@
+//! Structured execution tracing shared by the three simulators.
+//!
+//! The paper derives out-of-order backprop from per-kernel GPU timelines
+//! (Section 2): idle SM intervals and serialized `dW` chains only become
+//! visible when every kernel, transfer, and stall is laid out on a common
+//! time axis. This module is that axis. A [`Timeline`] holds named
+//! [`Lane`]s of non-overlapping [`Span`]s (kernels, transfers, pipeline
+//! tasks, explicit stalls) plus sampled [`Counter`]s (e.g. SM slots in
+//! use), and can
+//!
+//! - check its own well-formedness ([`Timeline::validate`]),
+//! - reduce itself to headline metrics ([`Timeline::summarize`]): per-lane
+//!   busy/stall time and utilization, time-weighted counter means, and
+//! - round-trip through the Chrome trace-event JSON format
+//!   ([`Timeline::to_chrome_json`] / [`Timeline::from_chrome_json`]) so
+//!   any trace loads directly in Perfetto or `chrome://tracing`.
+//!
+//! The emitters live next to the simulators: `gpusim` renders its kernel
+//! records and occupancy samples, `netsim` its link service intervals, and
+//! the `cluster` engines their per-device compute/communication lanes.
+
+use crate::error::{Error, Result};
+use crate::json::{obj, Value};
+use crate::SimTime;
+
+/// Span category used for explicit idle intervals.
+///
+/// Spans in this category count toward a lane's stall time instead of its
+/// busy time in [`Timeline::summarize`].
+pub const CAT_STALL: &str = "stall";
+
+/// One closed interval of activity on a lane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Display name (e.g. a kernel or tensor name).
+    pub name: String,
+    /// Category: `"kernel"`, `"transfer"`, `"compute"`, [`CAT_STALL`], …
+    pub cat: String,
+    /// Start time in simulated nanoseconds.
+    pub start_ns: SimTime,
+    /// End time in simulated nanoseconds (`end_ns >= start_ns`).
+    pub end_ns: SimTime,
+    /// Numeric key/value annotations (block counts, bytes, layer ids, …).
+    pub args: Vec<(String, f64)>,
+}
+
+impl Span {
+    /// A span without annotations.
+    pub fn new(
+        name: impl Into<String>,
+        cat: impl Into<String>,
+        start_ns: SimTime,
+        end_ns: SimTime,
+    ) -> Self {
+        Span {
+            name: name.into(),
+            cat: cat.into(),
+            start_ns,
+            end_ns,
+            args: Vec::new(),
+        }
+    }
+
+    /// The span's duration in nanoseconds.
+    pub fn duration_ns(&self) -> SimTime {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// A named sequence of non-overlapping spans (one GPU stream, one link
+/// direction, one pipeline device, …). Maps to one Chrome-trace thread.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Lane {
+    /// Display name (e.g. `"stream0"`, `"uplink"`, `"gpu2"`).
+    pub name: String,
+    /// Spans, kept ordered by `start_ns`.
+    pub spans: Vec<Span>,
+}
+
+/// A sampled scalar tracked over time (e.g. SM slots in use).
+///
+/// Each sample `(t, v)` means the value is `v` from `t` until the next
+/// sample (or the end of the timeline).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Counter {
+    /// Display name (e.g. `"sm_slots_in_use"`).
+    pub name: String,
+    /// The value's physical maximum, when one exists; lets
+    /// [`Timeline::summarize`] report the mean as an occupancy fraction.
+    pub capacity: Option<f64>,
+    /// `(time_ns, value)` samples ordered by time.
+    pub samples: Vec<(SimTime, f64)>,
+}
+
+/// A complete trace: lanes plus counters under one display name.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Timeline {
+    /// Display name for the whole trace (engine/model identifier).
+    pub name: String,
+    /// Span lanes, in display order.
+    pub lanes: Vec<Lane>,
+    /// Counters, in display order.
+    pub counters: Vec<Counter>,
+}
+
+impl Timeline {
+    /// An empty timeline with the given display name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Timeline {
+            name: name.into(),
+            ..Timeline::default()
+        }
+    }
+
+    /// Returns the lane with the given name, creating it (at the end of
+    /// the display order) when absent.
+    pub fn lane_mut(&mut self, name: &str) -> &mut Lane {
+        if let Some(i) = self.lanes.iter().position(|l| l.name == name) {
+            return &mut self.lanes[i];
+        }
+        self.lanes.push(Lane {
+            name: name.to_string(),
+            spans: Vec::new(),
+        });
+        self.lanes.last_mut().expect("just pushed")
+    }
+
+    /// Returns the counter with the given name, creating it when absent.
+    pub fn counter_mut(&mut self, name: &str, capacity: Option<f64>) -> &mut Counter {
+        if let Some(i) = self.counters.iter().position(|c| c.name == name) {
+            return &mut self.counters[i];
+        }
+        self.counters.push(Counter {
+            name: name.to_string(),
+            capacity,
+            samples: Vec::new(),
+        });
+        self.counters.last_mut().expect("just pushed")
+    }
+
+    /// The end of the timeline: the maximum span end or counter sample
+    /// time, or 0 for an empty trace.
+    pub fn horizon_ns(&self) -> SimTime {
+        let span_max = self
+            .lanes
+            .iter()
+            .flat_map(|l| l.spans.iter().map(|s| s.end_ns))
+            .max()
+            .unwrap_or(0);
+        let counter_max = self
+            .counters
+            .iter()
+            .flat_map(|c| c.samples.iter().map(|&(t, _)| t))
+            .max()
+            .unwrap_or(0);
+        span_max.max(counter_max)
+    }
+
+    /// Checks structural well-formedness.
+    ///
+    /// Every span must satisfy `end_ns >= start_ns`; within one lane
+    /// spans must be ordered by start time and must not overlap; counter
+    /// samples must be ordered by time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::MalformedTrace`] naming the first offending lane,
+    /// span, or counter.
+    pub fn validate(&self) -> Result<()> {
+        for lane in &self.lanes {
+            for (i, s) in lane.spans.iter().enumerate() {
+                if s.end_ns < s.start_ns {
+                    return Err(Error::MalformedTrace(format!(
+                        "lane {:?} span {:?} (index {i}) ends at {} before it starts at {}",
+                        lane.name, s.name, s.end_ns, s.start_ns
+                    )));
+                }
+                if i > 0 {
+                    let prev = &lane.spans[i - 1];
+                    if s.start_ns < prev.start_ns {
+                        return Err(Error::MalformedTrace(format!(
+                            "lane {:?} spans out of order: {:?} at {} after {:?} at {}",
+                            lane.name, s.name, s.start_ns, prev.name, prev.start_ns
+                        )));
+                    }
+                    if s.start_ns < prev.end_ns {
+                        return Err(Error::MalformedTrace(format!(
+                            "lane {:?} spans overlap: {:?} starts at {} before {:?} ends at {}",
+                            lane.name, s.name, s.start_ns, prev.name, prev.end_ns
+                        )));
+                    }
+                }
+            }
+        }
+        for c in &self.counters {
+            for w in c.samples.windows(2) {
+                if w[1].0 < w[0].0 {
+                    return Err(Error::MalformedTrace(format!(
+                        "counter {:?} samples out of order at t = {}",
+                        c.name, w[1].0
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Reduces the timeline to its headline metrics.
+    ///
+    /// The reported horizon is [`Timeline::horizon_ns`]; all utilizations
+    /// are fractions of that shared horizon so that lanes are directly
+    /// comparable.
+    pub fn summarize(&self) -> TraceSummary {
+        let horizon = self.horizon_ns();
+        let lanes = self
+            .lanes
+            .iter()
+            .map(|lane| {
+                let busy_ns: SimTime = lane
+                    .spans
+                    .iter()
+                    .filter(|s| s.cat != CAT_STALL)
+                    .map(Span::duration_ns)
+                    .sum();
+                let stall_ns: SimTime = lane
+                    .spans
+                    .iter()
+                    .filter(|s| s.cat == CAT_STALL)
+                    .map(Span::duration_ns)
+                    .sum();
+                LaneSummary {
+                    lane: lane.name.clone(),
+                    span_count: lane.spans.len(),
+                    busy_ns,
+                    stall_ns,
+                    utilization: if horizon == 0 {
+                        0.0
+                    } else {
+                        busy_ns as f64 / horizon as f64
+                    },
+                }
+            })
+            .collect();
+        let counters = self
+            .counters
+            .iter()
+            .map(|c| {
+                let mean = counter_time_weighted_mean(c, horizon);
+                CounterSummary {
+                    counter: c.name.clone(),
+                    mean,
+                    capacity: c.capacity,
+                    mean_fraction: c.capacity.filter(|&cap| cap > 0.0).map(|cap| mean / cap),
+                }
+            })
+            .collect();
+        TraceSummary {
+            name: self.name.clone(),
+            horizon_ns: horizon,
+            lanes,
+            counters,
+        }
+    }
+
+    /// Serializes to a Chrome trace-event [`Value`]
+    /// (`{"traceEvents": […], "displayTimeUnit": "ns", …}`).
+    ///
+    /// Lanes become threads of process 0 (named via `"M"` metadata
+    /// events), spans become `"X"` complete events, counters become
+    /// `"C"` counter events. Timestamps are microseconds, as the format
+    /// requires; nanosecond precision survives in the fraction.
+    pub fn to_chrome_value(&self) -> Value {
+        let mut events: Vec<Value> = Vec::new();
+        for (tid, lane) in self.lanes.iter().enumerate() {
+            events.push(obj([
+                ("name", "thread_name".into()),
+                ("ph", "M".into()),
+                ("pid", 0usize.into()),
+                ("tid", tid.into()),
+                ("args", obj([("name", lane.name.as_str().into())])),
+            ]));
+            for s in &lane.spans {
+                let mut ev = vec![
+                    ("name".to_string(), Value::Str(s.name.clone())),
+                    ("cat".to_string(), Value::Str(s.cat.clone())),
+                    ("ph".to_string(), Value::Str("X".to_string())),
+                    ("ts".to_string(), Value::Num(ns_to_us(s.start_ns))),
+                    ("dur".to_string(), Value::Num(ns_to_us(s.duration_ns()))),
+                    ("pid".to_string(), Value::Num(0.0)),
+                    ("tid".to_string(), Value::Num(tid as f64)),
+                ];
+                if !s.args.is_empty() {
+                    ev.push((
+                        "args".to_string(),
+                        Value::Obj(
+                            s.args
+                                .iter()
+                                .map(|(k, v)| (k.clone(), Value::Num(*v)))
+                                .collect(),
+                        ),
+                    ));
+                }
+                events.push(Value::Obj(ev));
+            }
+        }
+        for c in &self.counters {
+            for &(t, v) in &c.samples {
+                events.push(obj([
+                    ("name", c.name.as_str().into()),
+                    ("ph", "C".into()),
+                    ("ts", Value::Num(ns_to_us(t))),
+                    ("pid", 0usize.into()),
+                    ("args", obj([("value", Value::Num(v))])),
+                ]));
+            }
+        }
+        let capacities: Vec<(String, Value)> = self
+            .counters
+            .iter()
+            .filter_map(|c| c.capacity.map(|cap| (c.name.clone(), Value::Num(cap))))
+            .collect();
+        obj([
+            ("traceEvents", Value::Arr(events)),
+            ("displayTimeUnit", "ns".into()),
+            (
+                "otherData",
+                Value::Obj(vec![
+                    ("name".to_string(), Value::Str(self.name.clone())),
+                    ("counterCapacities".to_string(), Value::Obj(capacities)),
+                ]),
+            ),
+        ])
+    }
+
+    /// Serializes to pretty-printed Chrome trace-event JSON.
+    pub fn to_chrome_json(&self) -> String {
+        self.to_chrome_value().to_pretty()
+    }
+
+    /// Reconstructs a timeline from a Chrome trace-event [`Value`]
+    /// produced by [`Timeline::to_chrome_value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::MalformedTrace`] when the document is not a
+    /// Chrome trace object or an event is missing a required field.
+    pub fn from_chrome_value(v: &Value) -> Result<Timeline> {
+        let bad = |msg: &str| Error::MalformedTrace(msg.to_string());
+        let events = v
+            .get("traceEvents")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| bad("missing \"traceEvents\" array"))?;
+        let other = v.get("otherData");
+        let mut tl = Timeline::new(
+            other
+                .and_then(|o| o.get("name"))
+                .and_then(Value::as_str)
+                .unwrap_or(""),
+        );
+        let capacities = other
+            .and_then(|o| o.get("counterCapacities"))
+            .and_then(Value::as_obj)
+            .unwrap_or(&[]);
+        // tid -> lane name (from metadata), plus spans gathered per tid.
+        let mut lane_names: Vec<(usize, String)> = Vec::new();
+        let mut lane_spans: Vec<(usize, Vec<Span>)> = Vec::new();
+        for (i, ev) in events.iter().enumerate() {
+            let ph = ev
+                .get("ph")
+                .and_then(Value::as_str)
+                .ok_or_else(|| Error::MalformedTrace(format!("event {i}: missing \"ph\"")))?;
+            let field_ns = |key: &str| -> Result<SimTime> {
+                ev.get(key)
+                    .and_then(Value::as_f64)
+                    .map(us_to_ns)
+                    .ok_or_else(|| {
+                        Error::MalformedTrace(format!("event {i}: missing number {key:?}"))
+                    })
+            };
+            let name = |key: &str| -> Result<String> {
+                ev.get(key)
+                    .and_then(Value::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| {
+                        Error::MalformedTrace(format!("event {i}: missing string {key:?}"))
+                    })
+            };
+            match ph {
+                "M" if ev.get("name").and_then(Value::as_str) == Some("thread_name") => {
+                    let tid = ev
+                        .get("tid")
+                        .and_then(Value::as_usize)
+                        .ok_or_else(|| Error::MalformedTrace(format!("event {i}: bad tid")))?;
+                    let lane = ev
+                        .get("args")
+                        .and_then(|a| a.get("name"))
+                        .and_then(Value::as_str)
+                        .ok_or_else(|| {
+                            Error::MalformedTrace(format!(
+                                "event {i}: thread_name without args.name"
+                            ))
+                        })?;
+                    lane_names.push((tid, lane.to_string()));
+                }
+                "X" => {
+                    let tid = ev
+                        .get("tid")
+                        .and_then(Value::as_usize)
+                        .ok_or_else(|| Error::MalformedTrace(format!("event {i}: bad tid")))?;
+                    let start_ns = field_ns("ts")?;
+                    let mut span = Span::new(
+                        name("name")?,
+                        name("cat").unwrap_or_default(),
+                        start_ns,
+                        start_ns + field_ns("dur")?,
+                    );
+                    if let Some(args) = ev.get("args").and_then(Value::as_obj) {
+                        span.args = args
+                            .iter()
+                            .filter_map(|(k, v)| v.as_f64().map(|n| (k.clone(), n)))
+                            .collect();
+                    }
+                    match lane_spans.iter_mut().find(|(t, _)| *t == tid) {
+                        Some((_, spans)) => spans.push(span),
+                        None => lane_spans.push((tid, vec![span])),
+                    }
+                }
+                "C" => {
+                    let cname = name("name")?;
+                    let t = field_ns("ts")?;
+                    let value = ev
+                        .get("args")
+                        .and_then(|a| a.get("value"))
+                        .and_then(Value::as_f64)
+                        .ok_or_else(|| {
+                            Error::MalformedTrace(format!("event {i}: counter without args.value"))
+                        })?;
+                    let capacity = capacities
+                        .iter()
+                        .find(|(k, _)| *k == cname)
+                        .and_then(|(_, v)| v.as_f64());
+                    tl.counter_mut(&cname, capacity).samples.push((t, value));
+                }
+                _ => {} // Other phases (instants, flows, …) are ignored.
+            }
+        }
+        lane_names.sort_by_key(|&(tid, _)| tid);
+        for (tid, lname) in &lane_names {
+            let spans = lane_spans
+                .iter_mut()
+                .find(|(t, _)| t == tid)
+                .map(|(_, s)| std::mem::take(s))
+                .unwrap_or_default();
+            tl.lanes.push(Lane {
+                name: lname.clone(),
+                spans,
+            });
+        }
+        // Spans whose tid had no thread_name metadata get synthetic lanes.
+        lane_spans.retain(|(_, s)| !s.is_empty());
+        lane_spans.sort_by_key(|&(tid, _)| tid);
+        for (tid, spans) in lane_spans {
+            tl.lanes.push(Lane {
+                name: format!("tid{tid}"),
+                spans,
+            });
+        }
+        Ok(tl)
+    }
+
+    /// Reconstructs a timeline from Chrome trace-event JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::MalformedTrace`] on both JSON syntax errors and
+    /// schema violations.
+    pub fn from_chrome_json(text: &str) -> Result<Timeline> {
+        let v = Value::parse(text).map_err(Error::MalformedTrace)?;
+        Timeline::from_chrome_value(&v)
+    }
+}
+
+/// Per-lane reduction of a [`Timeline`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaneSummary {
+    /// Lane name.
+    pub lane: String,
+    /// Number of spans on the lane.
+    pub span_count: usize,
+    /// Total duration of non-stall spans.
+    pub busy_ns: SimTime,
+    /// Total duration of explicit [`CAT_STALL`] spans.
+    pub stall_ns: SimTime,
+    /// `busy_ns` as a fraction of the timeline horizon.
+    pub utilization: f64,
+}
+
+/// Per-counter reduction of a [`Timeline`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterSummary {
+    /// Counter name.
+    pub counter: String,
+    /// Time-weighted mean value over the timeline horizon.
+    pub mean: f64,
+    /// Declared capacity, when present.
+    pub capacity: Option<f64>,
+    /// `mean / capacity` when a positive capacity is declared — e.g. SM
+    /// occupancy as a fraction.
+    pub mean_fraction: Option<f64>,
+}
+
+/// Headline metrics derived from a [`Timeline`] by
+/// [`Timeline::summarize`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSummary {
+    /// Timeline display name.
+    pub name: String,
+    /// Timeline horizon (see [`Timeline::horizon_ns`]).
+    pub horizon_ns: SimTime,
+    /// One entry per lane, in display order.
+    pub lanes: Vec<LaneSummary>,
+    /// One entry per counter, in display order.
+    pub counters: Vec<CounterSummary>,
+}
+
+impl TraceSummary {
+    /// Looks up a lane summary by name.
+    pub fn lane(&self, name: &str) -> Option<&LaneSummary> {
+        self.lanes.iter().find(|l| l.lane == name)
+    }
+
+    /// Looks up a counter summary by name.
+    pub fn counter(&self, name: &str) -> Option<&CounterSummary> {
+        self.counters.iter().find(|c| c.counter == name)
+    }
+
+    /// Renders the summary as an aligned human-readable table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "trace {:?}: horizon {} ns, {} lanes, {} counters\n",
+            self.name,
+            self.horizon_ns,
+            self.lanes.len(),
+            self.counters.len()
+        ));
+        let width = self
+            .lanes
+            .iter()
+            .map(|l| l.lane.len())
+            .chain(self.counters.iter().map(|c| c.counter.len()))
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        for l in &self.lanes {
+            out.push_str(&format!(
+                "  lane    {:width$}  busy {:>12} ns  stall {:>12} ns  util {:>6.1}%  ({} spans)\n",
+                l.lane,
+                l.busy_ns,
+                l.stall_ns,
+                l.utilization * 100.0,
+                l.span_count,
+            ));
+        }
+        for c in &self.counters {
+            match (c.capacity, c.mean_fraction) {
+                (Some(cap), Some(frac)) => out.push_str(&format!(
+                    "  counter {:width$}  mean {:>12.2}     of {:>12.0}     occ  {:>6.1}%\n",
+                    c.counter,
+                    c.mean,
+                    cap,
+                    frac * 100.0,
+                )),
+                _ => out.push_str(&format!(
+                    "  counter {:width$}  mean {:>12.2}\n",
+                    c.counter, c.mean
+                )),
+            }
+        }
+        out
+    }
+}
+
+/// The integral of a counter over `[first_sample_time, horizon_ns]`,
+/// in value·nanoseconds. Each sample holds until the next one; the last
+/// holds until the horizon.
+pub fn counter_integral(counter: &Counter, horizon_ns: SimTime) -> f64 {
+    let mut total = 0.0;
+    for (i, &(t, v)) in counter.samples.iter().enumerate() {
+        let until = counter
+            .samples
+            .get(i + 1)
+            .map(|&(t2, _)| t2)
+            .unwrap_or(horizon_ns)
+            .max(t);
+        total += v * (until - t) as f64;
+    }
+    total
+}
+
+/// The time-weighted mean of a counter over `[0, horizon_ns]`, treating
+/// the value as 0 before the first sample.
+pub fn counter_time_weighted_mean(counter: &Counter, horizon_ns: SimTime) -> f64 {
+    if horizon_ns == 0 {
+        return 0.0;
+    }
+    counter_integral(counter, horizon_ns) / horizon_ns as f64
+}
+
+fn ns_to_us(ns: SimTime) -> f64 {
+    ns as f64 / 1000.0
+}
+
+fn us_to_ns(us: f64) -> SimTime {
+    (us * 1000.0).round() as SimTime
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_timeline() -> Timeline {
+        let mut tl = Timeline::new("sample");
+        let lane = tl.lane_mut("stream0");
+        lane.spans.push(Span::new("F1", "kernel", 0, 100));
+        lane.spans.push(Span::new("idle", CAT_STALL, 100, 150));
+        let mut s = Span::new("dW1", "kernel", 150, 400);
+        s.args.push(("blocks".to_string(), 8.0));
+        lane.spans.push(s);
+        let lane = tl.lane_mut("uplink");
+        lane.spans.push(Span::new("S[dW1]", "transfer", 200, 380));
+        let c = tl.counter_mut("sm_slots_in_use", Some(4.0));
+        c.samples.push((0, 2.0));
+        c.samples.push((100, 0.0));
+        c.samples.push((150, 4.0));
+        tl
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        sample_timeline().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_overlap_and_disorder() {
+        let mut tl = sample_timeline();
+        tl.lanes[0].spans[1].start_ns = 90; // overlaps F1
+        assert!(matches!(
+            tl.validate(),
+            Err(Error::MalformedTrace(msg)) if msg.contains("overlap")
+        ));
+
+        let mut tl = sample_timeline();
+        tl.lanes[0].spans[2].end_ns = 120; // ends before it starts
+        assert!(tl.validate().is_err());
+
+        let mut tl = sample_timeline();
+        tl.counters[0].samples.swap(0, 2);
+        assert!(matches!(
+            tl.validate(),
+            Err(Error::MalformedTrace(msg)) if msg.contains("counter")
+        ));
+    }
+
+    #[test]
+    fn summarize_matches_hand_computation() {
+        let s = sample_timeline().summarize();
+        assert_eq!(s.horizon_ns, 400);
+        let l0 = s.lane("stream0").unwrap();
+        assert_eq!(l0.busy_ns, 350);
+        assert_eq!(l0.stall_ns, 50);
+        assert!((l0.utilization - 350.0 / 400.0).abs() < 1e-12);
+        let up = s.lane("uplink").unwrap();
+        assert_eq!(up.busy_ns, 180);
+        assert_eq!(up.stall_ns, 0);
+        // Counter: 2.0 for 100 ns, 0.0 for 50 ns, 4.0 for 250 ns.
+        let c = s.counter("sm_slots_in_use").unwrap();
+        let expect = (2.0 * 100.0 + 4.0 * 250.0) / 400.0;
+        assert!((c.mean - expect).abs() < 1e-12);
+        assert!((c.mean_fraction.unwrap() - expect / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chrome_round_trip_is_identity() {
+        let tl = sample_timeline();
+        let json = tl.to_chrome_json();
+        let back = Timeline::from_chrome_json(&json).unwrap();
+        assert_eq!(tl, back);
+    }
+
+    #[test]
+    fn from_chrome_rejects_malformed_documents() {
+        assert!(Timeline::from_chrome_json("{not json").is_err());
+        assert!(Timeline::from_chrome_json("{\"a\": 1}").is_err());
+        // An X event without a ts is a schema violation, not a panic.
+        let doc = r#"{"traceEvents": [{"ph": "X", "name": "k", "tid": 0, "dur": 1}]}"#;
+        assert!(matches!(
+            Timeline::from_chrome_json(doc),
+            Err(Error::MalformedTrace(msg)) if msg.contains("ts")
+        ));
+    }
+
+    #[test]
+    fn spans_without_metadata_get_synthetic_lanes() {
+        let doc = r#"{"traceEvents": [
+            {"ph": "X", "name": "k", "cat": "kernel", "ts": 1.5, "dur": 2, "pid": 0, "tid": 7}
+        ]}"#;
+        let tl = Timeline::from_chrome_json(doc).unwrap();
+        assert_eq!(tl.lanes.len(), 1);
+        assert_eq!(tl.lanes[0].name, "tid7");
+        assert_eq!(tl.lanes[0].spans[0].start_ns, 1500);
+        assert_eq!(tl.lanes[0].spans[0].end_ns, 3500);
+    }
+
+    #[test]
+    fn ns_survive_microsecond_encoding() {
+        for ns in [0u64, 1, 999, 1000, 123_456_789, 10_u64.pow(15) + 1] {
+            assert_eq!(us_to_ns(ns_to_us(ns)), ns);
+        }
+    }
+
+    /// Golden fixture: the exact Chrome trace-event JSON for a small
+    /// timeline. Guards the interchange format — a serialization change
+    /// that breaks previously exported traces must show up here — and the
+    /// fixture itself must parse back to the identical timeline.
+    #[test]
+    fn golden_chrome_json_is_stable() {
+        let mut tl = Timeline::new("golden");
+        let lane = tl.lane_mut("stream0");
+        lane.spans.push(Span::new("F1", "kernel", 0, 1500));
+        lane.spans.push(Span::new("idle", CAT_STALL, 1500, 2000));
+        let mut s = Span::new("dW1", "kernel", 2000, 4500);
+        s.args.push(("blocks".to_string(), 8.0));
+        lane.spans.push(s);
+        let c = tl.counter_mut("sm_slots_in_use", Some(4.0));
+        c.samples.push((0, 2.0));
+        c.samples.push((2000, 4.0));
+
+        let golden = r#"{
+  "traceEvents": [
+    {
+      "name": "thread_name",
+      "ph": "M",
+      "pid": 0,
+      "tid": 0,
+      "args": {
+        "name": "stream0"
+      }
+    },
+    {
+      "name": "F1",
+      "cat": "kernel",
+      "ph": "X",
+      "ts": 0,
+      "dur": 1.5,
+      "pid": 0,
+      "tid": 0
+    },
+    {
+      "name": "idle",
+      "cat": "stall",
+      "ph": "X",
+      "ts": 1.5,
+      "dur": 0.5,
+      "pid": 0,
+      "tid": 0
+    },
+    {
+      "name": "dW1",
+      "cat": "kernel",
+      "ph": "X",
+      "ts": 2,
+      "dur": 2.5,
+      "pid": 0,
+      "tid": 0,
+      "args": {
+        "blocks": 8
+      }
+    },
+    {
+      "name": "sm_slots_in_use",
+      "ph": "C",
+      "ts": 0,
+      "pid": 0,
+      "args": {
+        "value": 2
+      }
+    },
+    {
+      "name": "sm_slots_in_use",
+      "ph": "C",
+      "ts": 2,
+      "pid": 0,
+      "args": {
+        "value": 4
+      }
+    }
+  ],
+  "displayTimeUnit": "ns",
+  "otherData": {
+    "name": "golden",
+    "counterCapacities": {
+      "sm_slots_in_use": 4
+    }
+  }
+}"#;
+        assert_eq!(tl.to_chrome_json(), golden);
+        assert_eq!(Timeline::from_chrome_json(golden).unwrap(), tl);
+    }
+}

@@ -10,9 +10,22 @@
 
 use crate::kernel::Kernel;
 use crate::spec::GpuSpec;
-use crate::trace::{KernelRecord, Trace};
+use crate::trace::{KernelRecord, Trace, WaveRecord};
 use crate::{Error, Result, SimTime};
 use std::collections::{BinaryHeap, HashMap};
+
+/// The blocked event waits of every stalled stream — the evidence
+/// reported by [`Error::Deadlock`].
+fn blocked_waits(states: &[StreamState], recorded: &HashMap<u32, SimTime>) -> Vec<(usize, u32)> {
+    states
+        .iter()
+        .enumerate()
+        .filter_map(|(si, st)| match st.commands.get(st.cmd_idx) {
+            Some(Command::WaitEvent(id)) if !recorded.contains_key(id) => Some((si, *id)),
+            _ => None,
+        })
+        .collect()
+}
 
 /// One stream command.
 #[derive(Debug, Clone)]
@@ -148,6 +161,10 @@ impl GpuSim {
         let slots_total = self.spec.block_slots();
         let mut slots_free = slots_total;
         let mut records: Vec<KernelRecord> = Vec::new();
+        let mut waves: Vec<WaveRecord> = Vec::new();
+        // `(time, slots in use)` samples, one per simulated instant at
+        // which the in-use count changed.
+        let mut occupancy: Vec<(SimTime, u32)> = Vec::new();
         let mut recorded: HashMap<u32, SimTime> = HashMap::new();
         // Completion events: (time, stream, blocks). Wakes: (time).
         let mut completions: BinaryHeap<std::cmp::Reverse<(SimTime, usize, u32)>> =
@@ -165,7 +182,9 @@ impl GpuSim {
         while !all_done(&states) {
             guard += 1;
             if guard > 10_000_000 {
-                return Err(Error::Deadlock);
+                return Err(Error::Deadlock {
+                    waits: blocked_waits(&states, &recorded),
+                });
             }
             // Next event time.
             let tc = completions.peek().map(|std::cmp::Reverse((t, _, _))| *t);
@@ -174,7 +193,11 @@ impl GpuSim {
                 (Some(a), Some(b)) => a.min(b),
                 (Some(a), None) => a,
                 (None, Some(b)) => b,
-                (None, None) => return Err(Error::Deadlock),
+                (None, None) => {
+                    return Err(Error::Deadlock {
+                        waits: blocked_waits(&states, &recorded),
+                    })
+                }
             };
             while wakes.peek().is_some_and(|std::cmp::Reverse(w)| *w <= t) {
                 wakes.pop();
@@ -285,6 +308,13 @@ impl GpuSim {
                         active.started = Some(t);
                         records[active.kernel_idx].exec_start = t;
                     }
+                    waves.push(WaveRecord {
+                        kernel: active.kernel_idx,
+                        stream: si,
+                        blocks: n,
+                        start: t,
+                        end: t + active.block_time,
+                    });
                     completions.push(std::cmp::Reverse((t + active.block_time, si, n)));
                     changed = true;
                 }
@@ -292,15 +322,37 @@ impl GpuSim {
                     break;
                 }
             }
+            let in_use = slots_total - slots_free;
+            match occupancy.last_mut() {
+                Some(last) if last.0 == t => last.1 = in_use,
+                Some(last) if last.1 == in_use => {}
+                _ => occupancy.push((t, in_use)),
+            }
             if completions.is_empty() && wakes.is_empty() && !all_done(&states) {
-                return Err(Error::Deadlock);
+                return Err(Error::Deadlock {
+                    waits: blocked_waits(&states, &recorded),
+                });
             }
         }
 
-        records.sort_by_key(|r| (r.exec_start, r.stream));
+        // Records are reported sorted by `(exec_start, stream)`; remap the
+        // wave records' kernel indices through the same permutation.
+        let mut perm: Vec<usize> = (0..records.len()).collect();
+        perm.sort_by_key(|&i| (records[i].exec_start, records[i].stream, i));
+        let mut new_index = vec![0usize; records.len()];
+        for (new, &old) in perm.iter().enumerate() {
+            new_index[old] = new;
+        }
+        let records: Vec<KernelRecord> = perm.iter().map(|&i| records[i].clone()).collect();
+        for w in &mut waves {
+            w.kernel = new_index[w.kernel];
+        }
+        waves.sort_by_key(|w| (w.start, w.stream, w.kernel));
         Ok(Trace {
             records,
             slots: slots_total,
+            waves,
+            occupancy,
         })
     }
 }
@@ -522,7 +574,87 @@ mod tests {
                 commands: vec![Command::WaitEvent(2), Command::RecordEvent(1)],
             },
         ]);
-        assert_eq!(r.unwrap_err(), Error::Deadlock);
+        let err = r.unwrap_err();
+        assert_eq!(
+            err,
+            Error::Deadlock {
+                waits: vec![(0, 1), (1, 2)],
+            }
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("stream 0 blocked on event 1"), "{msg}");
+        assert!(msg.contains("stream 1 blocked on event 2"), "{msg}");
+    }
+
+    #[test]
+    fn same_stream_wait_before_record_reports_cycle() {
+        // A stream waiting on an event that only it records *later* can
+        // never make progress: the wait must fail with the same
+        // cycle-reporting error as a cross-stream cycle, naming the
+        // stream and event, rather than hanging or reporting a generic
+        // stall.
+        let sim = GpuSim::new(tiny_spec(10, 0), IssueMode::PreCompiled { launch_ns: 0 });
+        let r = sim.run(vec![
+            StreamSpec {
+                priority: 0,
+                commands: vec![launch("other", 4, 100, 0)],
+            },
+            StreamSpec {
+                priority: 0,
+                commands: vec![
+                    Command::WaitEvent(7),
+                    launch("gated", 4, 100, 0),
+                    Command::RecordEvent(7),
+                ],
+            },
+        ]);
+        let err = r.unwrap_err();
+        assert_eq!(
+            err,
+            Error::Deadlock {
+                waits: vec![(1, 7)],
+            }
+        );
+        assert!(err.to_string().contains("stream 1 blocked on event 7"));
+    }
+
+    #[test]
+    fn timeline_occupancy_integral_matches_wave_ledger() {
+        // Two streams with partial overlap: the occupancy counter's
+        // integral over time must equal the total block·time booked in
+        // the wave ledger (each in-use slot belongs to exactly one wave).
+        let sim = GpuSim::new(tiny_spec(8, 10), IssueMode::PreCompiled { launch_ns: 0 });
+        let trace = sim
+            .run(vec![
+                StreamSpec {
+                    priority: 1,
+                    commands: vec![launch("main1", 6, 100, 0), launch("main2", 12, 80, 0)],
+                },
+                StreamSpec {
+                    priority: 0,
+                    commands: vec![launch("sub", 5, 120, 0)],
+                },
+            ])
+            .unwrap();
+        let tl = trace.to_timeline("test");
+        tl.validate().unwrap();
+        let counter = &tl.counters[0];
+        let integral = ooo_core::trace::counter_integral(counter, tl.horizon_ns());
+        let wave_block_time: f64 = trace
+            .waves
+            .iter()
+            .map(|w| w.blocks as f64 * (w.end - w.start) as f64)
+            .sum();
+        assert!(
+            (integral - wave_block_time).abs() < 1e-6,
+            "integral {integral} != wave ledger {wave_block_time}"
+        );
+        // Wave kernel indices survived the record sort.
+        for w in &trace.waves {
+            let r = &trace.records[w.kernel];
+            assert_eq!(r.stream, w.stream);
+            assert!(w.start >= r.exec_start && w.end <= r.exec_end);
+        }
     }
 
     #[test]

@@ -55,7 +55,13 @@ pub enum Error {
     /// A wait refers to an event that no stream records.
     UnknownEvent(u32),
     /// The streams deadlock on events.
-    Deadlock,
+    Deadlock {
+        /// The blocked `(stream index, event id)` waits forming the
+        /// cycle — including a stream waiting on an event only it records
+        /// later (a self-deadlock). Empty only when the engine hit its
+        /// progress guard without identifying the blocked waits.
+        waits: Vec<(usize, u32)>,
+    },
     /// Invalid configuration (zero slots, empty kernel, ...).
     InvalidConfig(String),
 }
@@ -64,7 +70,19 @@ impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Error::UnknownEvent(id) => write!(f, "wait on unrecorded event {id}"),
-            Error::Deadlock => write!(f, "streams deadlocked on events"),
+            Error::Deadlock { waits } if waits.is_empty() => {
+                write!(f, "streams deadlocked on events")
+            }
+            Error::Deadlock { waits } => {
+                write!(f, "streams deadlocked on events: ")?;
+                for (i, (stream, event)) in waits.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "stream {stream} blocked on event {event}")?;
+                }
+                Ok(())
+            }
             Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
         }
     }

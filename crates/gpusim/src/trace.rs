@@ -1,6 +1,7 @@
 //! Simulation traces and derived utilization metrics.
 
 use crate::SimTime;
+use ooo_core::trace::{Counter, Span, Timeline, CAT_STALL};
 
 /// One executed kernel.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,6 +27,26 @@ impl KernelRecord {
     }
 }
 
+/// One block wave: a set of thread blocks of a kernel granted slots at
+/// the same instant and completing together.
+///
+/// Waves of *different* kernels (or even of one kernel whose tail wave
+/// co-runs with a later grant) may overlap in time; they are raw slot
+/// ledger entries, not lane spans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WaveRecord {
+    /// Index into [`Trace::records`] of the kernel the wave belongs to.
+    pub kernel: usize,
+    /// Stream index the kernel ran on.
+    pub stream: usize,
+    /// Thread blocks in the wave.
+    pub blocks: u32,
+    /// When the wave's blocks were granted slots.
+    pub start: SimTime,
+    /// When the wave's blocks completed.
+    pub end: SimTime,
+}
+
 /// A completed simulation run.
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
@@ -33,6 +54,12 @@ pub struct Trace {
     pub records: Vec<KernelRecord>,
     /// Total block slots of the simulated GPU.
     pub slots: u32,
+    /// Every block wave, sorted by `(start, stream)`; wave `kernel`
+    /// indices point into [`Trace::records`].
+    pub waves: Vec<WaveRecord>,
+    /// `(time, block slots in use)` samples at every instant the in-use
+    /// count changed — the SM occupancy counter.
+    pub occupancy: Vec<(SimTime, u32)>,
 }
 
 impl Trace {
@@ -101,6 +128,52 @@ impl Trace {
         (block_time / (self.slots as f64 * m as f64)).min(1.0)
     }
 
+    /// Renders the run as a structured [`Timeline`]: one `stream{i}` lane
+    /// per stream with a span per kernel (annotated with its block and
+    /// wave counts), explicit [`CAT_STALL`] spans filling every idle gap
+    /// on each stream, and an `sm_slots_in_use` counter carrying the SM
+    /// occupancy samples with the GPU's slot count as capacity.
+    pub fn to_timeline(&self, name: &str) -> Timeline {
+        let mut tl = Timeline::new(name);
+        let max_stream = self.records.iter().map(|r| r.stream).max();
+        if let Some(max_stream) = max_stream {
+            for stream in 0..=max_stream {
+                let lane = tl.lane_mut(&format!("stream{stream}"));
+                let mut recs: Vec<(usize, &KernelRecord)> = self
+                    .records
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, r)| r.stream == stream)
+                    .collect();
+                recs.sort_by_key(|(_, r)| r.exec_start);
+                let mut prev_end: SimTime = 0;
+                for (idx, r) in recs {
+                    if r.exec_start > prev_end {
+                        lane.spans
+                            .push(Span::new("stall", CAT_STALL, prev_end, r.exec_start));
+                    }
+                    let mut span = Span::new(r.name.clone(), "kernel", r.exec_start, r.exec_end);
+                    span.args.push(("blocks".into(), r.blocks as f64));
+                    span.args.push((
+                        "waves".into(),
+                        self.waves.iter().filter(|w| w.kernel == idx).count() as f64,
+                    ));
+                    span.args.push(("issue_end_ns".into(), r.issue_end as f64));
+                    lane.spans.push(span);
+                    prev_end = prev_end.max(r.exec_end);
+                }
+            }
+        }
+        if !self.occupancy.is_empty() {
+            tl.counters.push(Counter {
+                name: "sm_slots_in_use".into(),
+                capacity: Some(self.slots as f64),
+                samples: self.occupancy.iter().map(|&(t, v)| (t, v as f64)).collect(),
+            });
+        }
+        tl
+    }
+
     /// Per-kernel `(issue overhead, execution time)` pairs in execution
     /// order — the data behind the paper's Figure 1. The issue overhead
     /// of a kernel is the time the GPU sat idle on its stream waiting for
@@ -140,6 +213,7 @@ mod tests {
         let t = Trace {
             records: vec![rec("a", 0, 0, 10), rec("b", 0, 15, 25), rec("c", 1, 5, 30)],
             slots: 4,
+            ..Trace::default()
         };
         assert_eq!(t.makespan(), 30);
         assert_eq!(t.stream_busy(0), 20);
@@ -153,6 +227,7 @@ mod tests {
         let t = Trace {
             records: vec![rec("a", 0, 0, 10), rec("b", 0, 5, 12)],
             slots: 1,
+            ..Trace::default()
         };
         assert_eq!(t.stream_busy(0), 12);
     }
@@ -162,6 +237,7 @@ mod tests {
         let t = Trace {
             records: vec![rec("a", 0, 2, 10), rec("b", 0, 14, 20)],
             slots: 1,
+            ..Trace::default()
         };
         let s = t.issue_gap_vs_exec(0);
         assert_eq!(s.len(), 2);
@@ -176,6 +252,7 @@ mod tests {
         let t = Trace {
             records: vec![r],
             slots: 4,
+            ..Trace::default()
         };
         assert!((t.mean_occupancy() - 1.0).abs() < 1e-9);
         let empty = Trace::default();
@@ -227,6 +304,7 @@ mod chrome_tests {
                 exec_end: 3_000,
             }],
             slots: 4,
+            ..Trace::default()
         };
         let json = to_chrome_trace(&t);
         assert!(json.starts_with('['));

@@ -9,6 +9,7 @@
 
 use crate::link::LinkSpec;
 use crate::SimTime;
+use ooo_core::trace::{Lane, Span};
 
 /// Queue service discipline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,6 +46,22 @@ pub struct CommCompletion {
     pub finish_ns: SimTime,
 }
 
+/// One contiguous interval during which the link served (part of) a
+/// request — the raw material of per-transfer link-occupancy traces.
+/// Adjacent chunks of the same request merge into one interval, so a
+/// preempted bulk tensor shows up as several intervals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceInterval {
+    /// The request id being served.
+    pub id: usize,
+    /// Interval start (includes the tensor latency for a first chunk).
+    pub start_ns: SimTime,
+    /// Interval end.
+    pub end_ns: SimTime,
+    /// Bytes moved during the interval.
+    pub bytes: u64,
+}
+
 /// Simulates the queue over one link.
 ///
 /// Chunked requests pay the link latency once per *tensor* (pipelined
@@ -56,6 +73,18 @@ pub fn simulate_queue(
     policy: Policy,
     requests: &[CommRequest],
 ) -> Vec<CommCompletion> {
+    simulate_queue_recorded(link, chunk_bytes, policy, requests).0
+}
+
+/// Like [`simulate_queue`], additionally returning the link's service
+/// intervals in time order. The intervals never overlap (the link is a
+/// serial resource), so they render directly as one trace lane.
+pub fn simulate_queue_recorded(
+    link: &LinkSpec,
+    chunk_bytes: u64,
+    policy: Policy,
+    requests: &[CommRequest],
+) -> (Vec<CommCompletion>, Vec<ServiceInterval>) {
     #[derive(Clone)]
     struct Pending {
         req: CommRequest,
@@ -75,6 +104,7 @@ pub fn simulate_queue(
         })
         .collect();
     let mut done: Vec<CommCompletion> = Vec::with_capacity(pending.len());
+    let mut intervals: Vec<ServiceInterval> = Vec::new();
     let mut now: SimTime = 0;
 
     while !pending.is_empty() {
@@ -104,6 +134,7 @@ pub fn simulate_queue(
             continue;
         };
         let p = &mut pending[idx];
+        let service_start = now;
         if p.started.is_none() {
             // Tensor-level latency paid once, up front.
             p.started = Some(now);
@@ -115,6 +146,18 @@ pub fn simulate_queue(
         };
         now += (send as f64 / link.bytes_per_sec * 1e9) as SimTime;
         p.remaining -= send;
+        match intervals.last_mut() {
+            Some(iv) if iv.id == p.req.id && iv.end_ns == service_start => {
+                iv.end_ns = now;
+                iv.bytes += send;
+            }
+            _ => intervals.push(ServiceInterval {
+                id: p.req.id,
+                start_ns: service_start,
+                end_ns: now,
+                bytes: send,
+            }),
+        }
         if p.remaining == 0 {
             let finished = pending.swap_remove(idx);
             done.push(CommCompletion {
@@ -125,7 +168,28 @@ pub fn simulate_queue(
         }
     }
     done.sort_by_key(|c| (c.finish_ns, c.id));
-    done
+    (done, intervals)
+}
+
+/// Renders service intervals as one trace [`Lane`]: one `"transfer"`
+/// span per interval, named by `name_of(request id)` and annotated with
+/// the bytes moved.
+pub fn intervals_to_lane<F: Fn(usize) -> String>(
+    lane_name: &str,
+    intervals: &[ServiceInterval],
+    name_of: F,
+) -> Lane {
+    Lane {
+        name: lane_name.to_string(),
+        spans: intervals
+            .iter()
+            .map(|iv| {
+                let mut s = Span::new(name_of(iv.id), "transfer", iv.start_ns, iv.end_ns);
+                s.args.push(("bytes".into(), iv.bytes as f64));
+                s
+            })
+            .collect(),
+    }
 }
 
 /// Finish time of the last request.
@@ -250,6 +314,55 @@ mod tests {
         let done = simulate_queue(&link(), 4, Policy::Priority, &reqs);
         assert_eq!(finish_of(&done, 0), Some(10));
         assert_eq!(finish_of(&done, 1), Some(110));
+    }
+
+    #[test]
+    fn service_intervals_cover_exact_bytes_and_never_overlap() {
+        let reqs = [
+            CommRequest {
+                id: 0,
+                bytes: 1_000,
+                ready_ns: 0,
+                priority: 10,
+            },
+            CommRequest {
+                id: 1,
+                bytes: 50,
+                ready_ns: 10,
+                priority: 0,
+            },
+        ];
+        let (done, intervals) = simulate_queue_recorded(&link(), 20, Policy::Priority, &reqs);
+        // Every byte of every request is accounted to exactly one interval.
+        for r in &reqs {
+            let total: u64 = intervals
+                .iter()
+                .filter(|iv| iv.id == r.id)
+                .map(|iv| iv.bytes)
+                .sum();
+            assert_eq!(total, r.bytes.max(1));
+        }
+        // The preempted bulk tensor splits into several intervals.
+        assert!(intervals.iter().filter(|iv| iv.id == 0).count() >= 2);
+        // Intervals are ordered and disjoint; the lane validates.
+        for w in intervals.windows(2) {
+            assert!(w[1].start_ns >= w[0].end_ns);
+        }
+        let lane = intervals_to_lane("uplink", &intervals, |id| format!("t{id}"));
+        let mut tl = ooo_core::trace::Timeline::new("queue");
+        tl.lanes.push(lane);
+        tl.validate().unwrap();
+        // Busy time on the lane equals the span of actual service.
+        let busy = tl.summarize().lane("uplink").unwrap().busy_ns;
+        let total_service: u64 = intervals.iter().map(|iv| iv.end_ns - iv.start_ns).sum();
+        assert_eq!(busy, total_service);
+        // Completion bounds agree with the interval ledger.
+        for c in &done {
+            let first = intervals.iter().find(|iv| iv.id == c.id).unwrap();
+            let last = intervals.iter().rev().find(|iv| iv.id == c.id).unwrap();
+            assert_eq!(first.start_ns, c.start_ns);
+            assert_eq!(last.end_ns, c.finish_ns);
+        }
     }
 
     #[test]

@@ -1,0 +1,39 @@
+//! Exports a small ResNet-50 schedule bundle — the conventional backward
+//! order plus a reverse first-k order — as validated JSON, ready for
+//! `ooo-lint`:
+//!
+//! ```text
+//! cargo run --release --example export_bundle
+//! cargo run --release -p ooo-verify --bin ooo-lint -- bundle_resnet50.json --partial
+//! ```
+
+use ooo_backprop::core::cost::UnitCost;
+use ooo_backprop::core::export::ScheduleBundle;
+use ooo_backprop::core::reverse_k::reverse_first_k;
+use ooo_backprop::core::TrainGraph;
+use ooo_backprop::models::zoo::resnet;
+
+fn main() -> std::io::Result<()> {
+    let model = resnet(50);
+    let graph = TrainGraph::data_parallel(model.num_layers());
+    let mut bundle = ScheduleBundle::new(&model.name, &graph);
+    bundle
+        .add_order("conventional", &graph, graph.conventional_backprop())
+        .expect("conventional order validates");
+    let k = 10;
+    bundle
+        .add_order(
+            &format!("reverse_first_{k}"),
+            &graph,
+            reverse_first_k::<UnitCost>(&graph, k, None).expect("reverse first-k order"),
+        )
+        .expect("reverse first-k order validates");
+    let path = "bundle_resnet50.json";
+    std::fs::write(path, bundle.to_json().expect("serialization"))?;
+    println!(
+        "{path}: {} layers, {} orders",
+        model.num_layers(),
+        bundle.orders.len()
+    );
+    Ok(())
+}
