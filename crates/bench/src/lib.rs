@@ -65,6 +65,7 @@ pub fn all_ids() -> Vec<&'static str> {
         "ablations",
         "recompute",
         "tracemetrics",
+        "chaosrecovery",
     ]
 }
 
@@ -98,6 +99,7 @@ pub fn generate(id: &str) -> FigureReport {
         "ablations" => figures::ablations(),
         "recompute" => figures::recompute(),
         "tracemetrics" => figures::tracemetrics(),
+        "chaosrecovery" => figures::chaosrecovery(),
         other => panic!("unknown figure id {other}"),
     }
 }

@@ -27,7 +27,8 @@ use ooo_netsim::collective::{
     worker_bottleneck_bytes_per_sec, BYTEPS_TENSOR_OVERHEAD_NS, HOROVOD_TENSOR_OVERHEAD_NS,
 };
 use ooo_netsim::commsim::{
-    finish_of, intervals_to_lane, simulate_queue, simulate_queue_recorded, CommRequest, Policy,
+    finish_of, intervals_to_lane, simulate_queue_faulty, CommRequest, LinkFault, LossHandling,
+    Policy,
 };
 use ooo_netsim::link::LinkSpec;
 use ooo_netsim::topology::ClusterTopology;
@@ -88,6 +89,7 @@ fn effective_link(topology: &ClusterTopology, gpus: usize, overhead_ns: SimTime)
 /// a layer's pull becomes ready when its push (and the server's
 /// aggregation) completes. Both queues are chunk-preemptive priority
 /// queues keyed by layer index.
+#[allow(clippy::too_many_arguments)]
 fn simulate_iteration(
     cost: &TableCost,
     wire_bytes: &[u64],
@@ -95,6 +97,8 @@ fn simulate_iteration(
     link: &LinkSpec,
     policy: Policy,
     agg_latency_ns: SimTime,
+    fault: &LinkFault,
+    loss: LossHandling,
 ) -> SimTime {
     let l = cost.layers();
     // 1. Backward compute, sequential in the given order.
@@ -116,7 +120,7 @@ fn simulate_iteration(
             priority: i as i64,
         })
         .collect();
-    let push_done = simulate_queue(link, CHUNK_BYTES, policy, &push);
+    let (push_done, _) = simulate_queue_faulty(link, CHUNK_BYTES, policy, &push, fault, loss);
     // 3. Pull queue on the downlink, gated per layer on the push.
     let pull: Vec<CommRequest> = (1..=l)
         .map(|i| CommRequest {
@@ -126,7 +130,7 @@ fn simulate_iteration(
             priority: i as i64,
         })
         .collect();
-    let pull_done = simulate_queue(link, CHUNK_BYTES, policy, &pull);
+    let (pull_done, _) = simulate_queue_faulty(link, CHUNK_BYTES, policy, &pull, fault, loss);
     // 4. Forward pass gated per layer on its pulled parameters. Each
     //    synchronization additionally carries the aggregation latency
     //    tail (end-to-end, pipelined across tensors — it delays
@@ -146,6 +150,7 @@ fn simulate_iteration(
 /// sync-gated forward ops, explicit stall spans where the forward pass
 /// waits on parameters) and `uplink`/`downlink` lanes carrying the push
 /// and pull queues' service intervals.
+#[allow(clippy::too_many_arguments)]
 fn simulate_iteration_traced(
     cost: &TableCost,
     wire_bytes: &[u64],
@@ -153,6 +158,8 @@ fn simulate_iteration_traced(
     link: &LinkSpec,
     policy: Policy,
     agg_latency_ns: SimTime,
+    fault: &LinkFault,
+    loss: LossHandling,
     name: &str,
 ) -> (SimTime, Timeline) {
     let l = cost.layers();
@@ -181,7 +188,7 @@ fn simulate_iteration_traced(
             priority: i as i64,
         })
         .collect();
-    let (push_done, push_iv) = simulate_queue_recorded(link, CHUNK_BYTES, policy, &push);
+    let (push_done, push_iv) = simulate_queue_faulty(link, CHUNK_BYTES, policy, &push, fault, loss);
     let pull: Vec<CommRequest> = (1..=l)
         .map(|i| CommRequest {
             id: i,
@@ -190,7 +197,7 @@ fn simulate_iteration_traced(
             priority: i as i64,
         })
         .collect();
-    let (pull_done, pull_iv) = simulate_queue_recorded(link, CHUNK_BYTES, policy, &pull);
+    let (pull_done, pull_iv) = simulate_queue_faulty(link, CHUNK_BYTES, policy, &pull, fault, loss);
     let mut t = backward_end;
     for i in 1..=l {
         let sync = finish_of(&pull_done, i)
@@ -324,6 +331,8 @@ pub fn run(
             &s.link,
             s.policy,
             s.tau,
+            &LinkFault::none(),
+            LossHandling::RestartTensor,
         ))
     };
 
@@ -376,9 +385,152 @@ pub fn run_traced(
         &s.link,
         s.policy,
         s.tau,
+        &LinkFault::none(),
+        LossHandling::RestartTensor,
         &name,
     );
     Ok((report, timeline))
+}
+
+/// A deterministic fault environment for one data-parallel run: a
+/// whole-worker compute slowdown (GPU straggler), a static bandwidth
+/// degradation of the bottleneck link (this is where the
+/// [`LinkSpec::degraded`] knob feeds a cluster engine), and a windowed
+/// [`LinkFault`] applied to the push/pull queues with a loss-handling
+/// strategy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEnv {
+    /// Multiplier on every compute duration (effective only when > 1).
+    pub compute_factor: f64,
+    /// Divisor on the bottleneck link's bandwidth (effective only
+    /// when > 1).
+    pub degrade_factor: f64,
+    /// Outage/degradation windows on the communication queues.
+    pub link_fault: LinkFault,
+    /// What a sender does with transfers an outage killed.
+    pub loss: LossHandling,
+}
+
+impl FaultEnv {
+    /// An environment that injects nothing.
+    pub fn none() -> Self {
+        FaultEnv {
+            compute_factor: 1.0,
+            degrade_factor: 1.0,
+            link_fault: LinkFault::none(),
+            loss: LossHandling::RestartTensor,
+        }
+    }
+
+    /// Whether this environment can perturb a run at all.
+    pub fn is_noop(&self) -> bool {
+        let live = |f: f64| f > 1.0 && f.is_finite();
+        !live(self.compute_factor) && !live(self.degrade_factor) && self.link_fault.is_noop()
+    }
+}
+
+/// A copy of `cost` with every compute duration stretched by `factor`
+/// (straggler injection). Factors ≤ 1 return the table unchanged, so a
+/// no-op environment reproduces the fault-free arithmetic exactly.
+fn scaled_cost(cost: &TableCost, factor: f64) -> TableCost {
+    if factor <= 1.0 || !factor.is_finite() {
+        return cost.clone();
+    }
+    let scale = |t: SimTime| (t as f64 * factor) as SimTime;
+    let mut c = cost.clone();
+    c.loss = scale(c.loss);
+    for i in 1..=c.layers() {
+        let lc = c.layer_mut(LayerId(i));
+        lc.forward = scale(lc.forward);
+        lc.output_grad = scale(lc.output_grad);
+        lc.weight_grad = scale(lc.weight_grad);
+        lc.update = scale(lc.update);
+    }
+    c
+}
+
+/// Runs one data-parallel configuration under a [`FaultEnv`], returning
+/// the report and the traced timeline of the faulted iteration.
+///
+/// `fixed_k` pins the reverse first-k depth (e.g. the stale `k` tuned on
+/// healthy hardware — the no-recovery stance); `None` re-runs
+/// `search_optimal_k` against the *faulted* costs, which is the
+/// re-tuning recovery policy. Baseline systems always use `k = 0`.
+///
+/// With `env.is_noop()` and `fixed_k: None` this reproduces
+/// [`run_traced`] exactly.
+///
+/// # Errors
+///
+/// Propagates scheduling errors (invalid `k`, malformed orders).
+#[allow(clippy::too_many_arguments)]
+pub fn run_fault_injected(
+    model: &ModelSpec,
+    per_gpu_batch: usize,
+    gpu: &GpuProfile,
+    topology: &ClusterTopology,
+    gpus: usize,
+    system: CommSystem,
+    env: &FaultEnv,
+    fixed_k: Option<usize>,
+) -> Result<(DataParReport, Timeline)> {
+    let mut s = setup(model, per_gpu_batch, gpu, topology, gpus, system);
+    s.cost = scaled_cost(&s.cost, env.compute_factor);
+    if env.degrade_factor > 1.0 && env.degrade_factor.is_finite() {
+        s.link = s.link.degraded(env.degrade_factor);
+    }
+    let l = s.cost.layers();
+    let eval = |k: usize| -> Result<SimTime> {
+        let order = reverse_first_k::<TableCost>(&s.graph, k, None)?;
+        crate::checks::order_lazy(
+            || (s.graph.clone(), order.clone()),
+            false,
+            "reverse first-k order (fault-injected)",
+        );
+        Ok(simulate_iteration(
+            &s.cost,
+            &s.wire_bytes,
+            &order,
+            &s.link,
+            s.policy,
+            s.tau,
+            &env.link_fault,
+            env.loss,
+        ))
+    };
+    let k = match (system, fixed_k) {
+        (_, Some(k)) => k.min(l),
+        (CommSystem::Horovod | CommSystem::BytePS, None) => 0,
+        (CommSystem::OooBytePS, None) => search_optimal_k(l, |k| {
+            eval(k)
+                .map(|t| 1e9 / t.max(1) as f64)
+                .unwrap_or(f64::NEG_INFINITY)
+        }),
+    };
+    let iter_ns = eval(k)?;
+    let order = reverse_first_k::<TableCost>(&s.graph, k, None)?;
+    let name = format!("datapar/{}/{}gpus/faulted", system.name(), gpus);
+    let (_, timeline) = simulate_iteration_traced(
+        &s.cost,
+        &s.wire_bytes,
+        &order,
+        &s.link,
+        s.policy,
+        s.tau,
+        &env.link_fault,
+        env.loss,
+        &name,
+    );
+    let pure_compute: SimTime = s.cost.total_backward() + s.cost.total_forward();
+    Ok((
+        DataParReport {
+            iter_ns,
+            throughput: (per_gpu_batch * gpus) as f64 * 1e9 / iter_ns.max(1) as f64,
+            k,
+            exposed_sync_ns: iter_ns.saturating_sub(pure_compute),
+        },
+        timeline,
+    ))
 }
 
 /// Like [`run`] with the OOO-BytePS system but a *fixed* `k` instead of
@@ -412,7 +564,16 @@ pub fn run_with_fixed_k(
         false,
         "reverse first-k order (fixed k)",
     );
-    let iter_ns = simulate_iteration(&cost, &wire_bytes, &order, &link, Policy::Priority, tau);
+    let iter_ns = simulate_iteration(
+        &cost,
+        &wire_bytes,
+        &order,
+        &link,
+        Policy::Priority,
+        tau,
+        &LinkFault::none(),
+        LossHandling::RestartTensor,
+    );
     let pure_compute: SimTime = cost.total_backward() + cost.total_forward();
     Ok(DataParReport {
         iter_ns,
@@ -525,6 +686,111 @@ mod tests {
             let l = summary.lane(lane).unwrap();
             assert!(l.busy_ns > 0, "{lane} idle");
         }
+    }
+
+    #[test]
+    fn noop_fault_env_reproduces_run_traced() {
+        let m = resnet(50);
+        let topo = ClusterTopology::pub_a();
+        let (base, base_tl) =
+            run_traced(&m, 128, &v100(), &topo, 16, CommSystem::OooBytePS).expect("fault-free run");
+        let env = FaultEnv::none();
+        assert!(env.is_noop());
+        let (faulted, faulted_tl) = run_fault_injected(
+            &m,
+            128,
+            &v100(),
+            &topo,
+            16,
+            CommSystem::OooBytePS,
+            &env,
+            None,
+        )
+        .expect("noop-faulted run");
+        assert_eq!(base.iter_ns, faulted.iter_ns);
+        assert_eq!(base.k, faulted.k);
+        assert_eq!(base.exposed_sync_ns, faulted.exposed_sync_ns);
+        // Identical spans modulo the timeline name.
+        let a = base_tl.summarize();
+        let b = faulted_tl.summarize();
+        for lane in ["compute", "uplink", "downlink"] {
+            assert_eq!(
+                a.lane(lane).map(|l| (l.busy_ns, l.stall_ns)),
+                b.lane(lane).map(|l| (l.busy_ns, l.stall_ns)),
+                "{lane} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn degraded_link_strictly_increases_iteration_time() {
+        // The `LinkSpec::degraded` knob, wired end-to-end through the
+        // data-parallel engine.
+        let m = resnet(50);
+        let topo = ClusterTopology::pub_a();
+        let base = run(&m, 128, &v100(), &topo, 16, CommSystem::BytePS).unwrap();
+        let env = FaultEnv {
+            degrade_factor: 4.0,
+            ..FaultEnv::none()
+        };
+        let (degraded, tl) =
+            run_fault_injected(&m, 128, &v100(), &topo, 16, CommSystem::BytePS, &env, None)
+                .unwrap();
+        assert!(
+            degraded.iter_ns > base.iter_ns,
+            "degraded {} vs base {}",
+            degraded.iter_ns,
+            base.iter_ns
+        );
+        tl.validate().unwrap();
+    }
+
+    #[test]
+    fn straggler_inflates_compute_and_flap_inflates_sync() {
+        let m = resnet(50);
+        let topo = ClusterTopology::pub_a();
+        let base = run(&m, 128, &v100(), &topo, 16, CommSystem::OooBytePS).unwrap();
+        let straggle = FaultEnv {
+            compute_factor: 1.5,
+            ..FaultEnv::none()
+        };
+        let (s, s_tl) = run_fault_injected(
+            &m,
+            128,
+            &v100(),
+            &topo,
+            16,
+            CommSystem::OooBytePS,
+            &straggle,
+            None,
+        )
+        .unwrap();
+        assert!(s.iter_ns > base.iter_ns);
+        s_tl.validate().unwrap();
+        let flap = FaultEnv {
+            link_fault: LinkFault {
+                degraded: vec![],
+                outages: vec![(0, 40_000_000), (90_000_000, 120_000_000)],
+            },
+            loss: LossHandling::ResumeChunks {
+                backoff_ns: 1_000_000,
+                max_backoff_ns: 16_000_000,
+            },
+            ..FaultEnv::none()
+        };
+        let (f, f_tl) = run_fault_injected(
+            &m,
+            128,
+            &v100(),
+            &topo,
+            16,
+            CommSystem::OooBytePS,
+            &flap,
+            None,
+        )
+        .unwrap();
+        assert!(f.exposed_sync_ns > base.exposed_sync_ns);
+        f_tl.validate().unwrap();
     }
 
     #[test]

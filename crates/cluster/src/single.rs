@@ -27,7 +27,7 @@ use ooo_core::multi_region::{
     merged_order, schedule_with_memory_budget, MultiRegionSchedule, RegionSpec, SpeedupProfile,
 };
 use ooo_core::op::{LayerId, Op};
-use ooo_gpusim::engine::{co_run_speedup, Command, GpuSim, IssueMode, StreamSpec};
+use ooo_gpusim::engine::{co_run_speedup, Command, GpuSim, IssueMode, Slowdown, StreamSpec};
 use ooo_gpusim::kernel::Kernel;
 use ooo_gpusim::spec::GpuSpec;
 use ooo_gpusim::trace::Trace;
@@ -180,6 +180,33 @@ pub fn run(
     gpu: &GpuProfile,
     engine: Engine,
 ) -> Result<SingleGpuReport> {
+    run_inner(model, batch, gpu, engine, None)
+}
+
+/// Like [`run`] with a device [`Slowdown`] injected into the GPU
+/// simulation — the single-GPU straggler fault. A no-op slowdown
+/// reproduces [`run`] exactly.
+///
+/// # Errors
+///
+/// As [`run`].
+pub fn run_straggled(
+    model: &ModelSpec,
+    batch: usize,
+    gpu: &GpuProfile,
+    engine: Engine,
+    slowdown: Slowdown,
+) -> Result<SingleGpuReport> {
+    run_inner(model, batch, gpu, engine, Some(slowdown))
+}
+
+fn run_inner(
+    model: &ModelSpec,
+    batch: usize,
+    gpu: &GpuProfile,
+    engine: Engine,
+    slowdown: Option<Slowdown>,
+) -> Result<SingleGpuReport> {
     let required = memory_estimate(model, batch, engine);
     let capacity = gpu_capacity(gpu);
     if required > capacity {
@@ -257,7 +284,11 @@ pub fn run(
         }]
     };
 
-    let trace = GpuSim::new(spec, issue_mode).run(streams)?;
+    let mut sim = GpuSim::new(spec, issue_mode);
+    if let Some(s) = slowdown {
+        sim = sim.with_slowdown(s);
+    }
+    let trace = sim.run(streams)?;
     // Steady-state: completion of the last forward of iteration 2 minus
     // iteration 1. The two iterations launch identical kernel names; take
     // the two completions of the end-marker kernel.
@@ -666,6 +697,45 @@ mod tests {
         let occ = summary.counter("sm_slots_in_use").unwrap();
         assert!(occ.mean > 0.0);
         assert!(occ.mean_fraction.unwrap() <= 1.0);
+    }
+
+    #[test]
+    fn straggled_gpu_slows_training_and_noop_is_exact() {
+        let m = resnet(50);
+        let gpu = GpuProfile::v100();
+        let base = run(&m, 64, &gpu, Engine::OooXla).unwrap();
+        let noop = run_straggled(
+            &m,
+            64,
+            &gpu,
+            Engine::OooXla,
+            Slowdown {
+                factor: 1.0,
+                start_ns: 0,
+                end_ns: SimTime::MAX,
+            },
+        )
+        .unwrap();
+        assert_eq!(base.iter_ns, noop.iter_ns);
+        let slow = run_straggled(
+            &m,
+            64,
+            &gpu,
+            Engine::OooXla,
+            Slowdown {
+                factor: 2.0,
+                start_ns: 0,
+                end_ns: SimTime::MAX,
+            },
+        )
+        .unwrap();
+        assert!(
+            slow.iter_ns > base.iter_ns,
+            "straggled {} vs base {}",
+            slow.iter_ns,
+            base.iter_ns
+        );
+        slow.trace.to_timeline("straggled").validate().unwrap();
     }
 
     #[test]

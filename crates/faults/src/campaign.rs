@@ -1,0 +1,618 @@
+//! The chaos campaign: inject each scenario, run it once with
+//! [`NoRecovery`] and once with the fault family's matched policy, check
+//! the safety invariants, and report the degradation of both stances
+//! against the fault-free baseline.
+//!
+//! The campaign is deterministic end to end: scenarios come from a
+//! seeded generator ([`crate::fault::generate`]), the simulators are
+//! discrete-event, and the JSON report is rendered with
+//! `ooo_core::json`'s stable formatting — the same seed always produces
+//! a byte-identical report.
+//!
+//! Three invariants are asserted after every scenario:
+//!
+//! 1. **Schedule safety** — the order the recovered job executes passes
+//!    the `ooo-verify` static analyzer (for schedule corruption: the
+//!    corrupted order is *flagged* and the fallback order is clean).
+//! 2. **Timeline validity** — the traced timeline of the recovered run
+//!    passes `Timeline::validate`.
+//! 3. **Recovery wins** — the matched policy strictly beats
+//!    [`NoRecovery`] on time-to-result under the identical fault trace.
+
+use crate::fault::{generate, Fault, Scenario};
+use crate::recovery::{policy_for, NoRecovery, RecoveryPolicy};
+use ooo_cluster::datapar::{self, CommSystem, FaultEnv};
+use ooo_cluster::hybrid;
+use ooo_core::cost::{CostModel, TableCost};
+use ooo_core::json::{obj, Value};
+use ooo_core::reverse_k::reverse_first_k;
+use ooo_core::trace::{Span, Timeline, CAT_STALL};
+use ooo_core::{Op, SimTime, TrainGraph};
+use ooo_models::cost::to_table_cost;
+use ooo_models::zoo;
+use ooo_models::GpuProfile;
+use ooo_netsim::commsim::LinkFault;
+use ooo_netsim::link::LinkSpec;
+use ooo_netsim::topology::ClusterTopology;
+use ooo_verify::{Verifier, VerifyConfig};
+
+/// The fixed workload every scenario perturbs: ResNet-50 data-parallel
+/// training on 16 V100s (the paper's Figure 9 configuration, scaled to
+/// one bottleneck link), with the crash family alternating onto the
+/// hybrid engine.
+const GPUS: usize = 16;
+const BATCH: usize = 64;
+
+/// Outcome of one scenario: both stances plus the invariant checks.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// Scenario id (position in the campaign).
+    pub id: usize,
+    /// Fault family name.
+    pub family: &'static str,
+    /// Human rendering of the fault magnitudes.
+    pub detail: String,
+    /// Name of the matched recovery policy.
+    pub policy: &'static str,
+    /// Fault-free reference time for this scenario's unit of work
+    /// (an iteration for link/compute faults, the full run for crashes,
+    /// the backward pass for schedule corruption).
+    pub baseline_ns: SimTime,
+    /// Time under the fault with [`NoRecovery`].
+    pub no_recovery_ns: SimTime,
+    /// Time under the same fault trace with the matched policy.
+    pub recovered_ns: SimTime,
+    /// Invariant 1: the executed schedule passes `ooo-verify`.
+    pub schedule_clean: bool,
+    /// Invariant 2: the recovered run's timeline validates.
+    pub timeline_valid: bool,
+}
+
+impl ScenarioOutcome {
+    /// Inflation of the no-recovery stance over the baseline.
+    pub fn no_recovery_inflation(&self) -> f64 {
+        self.no_recovery_ns as f64 / self.baseline_ns.max(1) as f64
+    }
+
+    /// Inflation of the recovered stance over the baseline.
+    pub fn recovered_inflation(&self) -> f64 {
+        self.recovered_ns as f64 / self.baseline_ns.max(1) as f64
+    }
+
+    /// Invariant 3: the policy strictly beats no-recovery.
+    pub fn recovery_wins(&self) -> bool {
+        self.recovered_ns < self.no_recovery_ns
+    }
+
+    /// All three invariants hold.
+    pub fn invariants_ok(&self) -> bool {
+        self.schedule_clean && self.timeline_valid && self.recovery_wins()
+    }
+}
+
+/// The full campaign report.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// The campaign seed.
+    pub seed: u64,
+    /// Fault-free data-parallel iteration time of the shared workload.
+    pub baseline_iter_ns: SimTime,
+    /// The reverse first-k depth tuned on healthy hardware.
+    pub stale_k: usize,
+    /// Per-scenario outcomes, in campaign order.
+    pub outcomes: Vec<ScenarioOutcome>,
+}
+
+impl CampaignReport {
+    /// Whether every scenario satisfied all three invariants.
+    pub fn all_pass(&self) -> bool {
+        self.outcomes.iter().all(ScenarioOutcome::invariants_ok)
+    }
+
+    /// The deterministic JSON form of the report. Rendering the same
+    /// campaign twice yields byte-identical text.
+    pub fn to_json(&self) -> Value {
+        let results = self
+            .outcomes
+            .iter()
+            .map(|o| {
+                obj([
+                    ("id", Value::Num(o.id as f64)),
+                    ("family", Value::Str(o.family.to_string())),
+                    ("detail", Value::Str(o.detail.clone())),
+                    ("policy", Value::Str(o.policy.to_string())),
+                    ("baseline_ns", Value::Num(o.baseline_ns as f64)),
+                    ("no_recovery_ns", Value::Num(o.no_recovery_ns as f64)),
+                    ("recovered_ns", Value::Num(o.recovered_ns as f64)),
+                    (
+                        "no_recovery_inflation",
+                        Value::Num(round3(o.no_recovery_inflation())),
+                    ),
+                    (
+                        "recovered_inflation",
+                        Value::Num(round3(o.recovered_inflation())),
+                    ),
+                    ("schedule_clean", Value::Bool(o.schedule_clean)),
+                    ("timeline_valid", Value::Bool(o.timeline_valid)),
+                    ("recovery_wins", Value::Bool(o.recovery_wins())),
+                    ("invariants_ok", Value::Bool(o.invariants_ok())),
+                ])
+            })
+            .collect();
+        obj([
+            ("seed", Value::Num(self.seed as f64)),
+            ("scenarios", Value::Num(self.outcomes.len() as f64)),
+            ("baseline_iter_ns", Value::Num(self.baseline_iter_ns as f64)),
+            ("stale_k", Value::Num(self.stale_k as f64)),
+            ("all_pass", Value::Bool(self.all_pass())),
+            ("results", Value::Arr(results)),
+        ])
+    }
+
+    /// A human-readable degradation table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "chaos campaign: seed {}, {} scenario(s), baseline iter {:.1} ms (k = {})\n",
+            self.seed,
+            self.outcomes.len(),
+            self.baseline_iter_ns as f64 / 1e6,
+            self.stale_k,
+        ));
+        out.push_str(&format!(
+            "{:<4} {:<20} {:<34} {:<20} {:>10} {:>10} {:>6}\n",
+            "id", "family", "fault", "policy", "no-rec", "recovered", "ok"
+        ));
+        for o in &self.outcomes {
+            out.push_str(&format!(
+                "{:<4} {:<20} {:<34} {:<20} {:>9.2}x {:>9.2}x {:>6}\n",
+                o.id,
+                o.family,
+                o.detail,
+                o.policy,
+                o.no_recovery_inflation(),
+                o.recovered_inflation(),
+                if o.invariants_ok() { "pass" } else { "FAIL" },
+            ));
+        }
+        out.push_str(if self.all_pass() {
+            "all invariants hold\n"
+        } else {
+            "INVARIANT VIOLATION\n"
+        });
+        out
+    }
+}
+
+/// Rounds to 3 decimals so report ratios stay stable and readable.
+fn round3(x: f64) -> f64 {
+    (x * 1000.0).round() / 1000.0
+}
+
+/// Shared campaign state: the healthy workload everything perturbs.
+struct Ctx {
+    model: ooo_models::ModelSpec,
+    gpu: GpuProfile,
+    topology: ClusterTopology,
+    cost: TableCost,
+    graph: TrainGraph,
+    stale_k: usize,
+    baseline_iter_ns: SimTime,
+    /// Lazily computed hybrid-engine iteration time (crash scenarios
+    /// alternate between the data-parallel and hybrid engines).
+    hybrid_iter_ns: Option<SimTime>,
+}
+
+impl Ctx {
+    fn new() -> Result<Self, String> {
+        let model = zoo::resnet(50);
+        let gpu = GpuProfile::v100();
+        let topology = ClusterTopology::pub_a();
+        let cost = to_table_cost(&model, BATCH, &gpu);
+        let graph = TrainGraph::data_parallel(cost.layers());
+        let report = datapar::run(&model, BATCH, &gpu, &topology, GPUS, CommSystem::OooBytePS)
+            .map_err(|e| format!("baseline data-parallel run failed: {e}"))?;
+        Ok(Ctx {
+            model,
+            gpu,
+            topology,
+            cost,
+            graph,
+            stale_k: report.k,
+            baseline_iter_ns: report.iter_ns,
+            hybrid_iter_ns: None,
+        })
+    }
+
+    fn hybrid_iter_ns(&mut self) -> Result<SimTime, String> {
+        if let Some(t) = self.hybrid_iter_ns {
+            return Ok(t);
+        }
+        let report = hybrid::run_combined(
+            &self.model,
+            BATCH,
+            4,
+            &self.gpu,
+            &LinkSpec::nvlink(),
+            &LinkSpec::ethernet_10g(),
+            4,
+            4,
+            2,
+            2,
+        )
+        .map_err(|e| format!("hybrid baseline run failed: {e}"))?;
+        self.hybrid_iter_ns = Some(report.iter_ns);
+        Ok(report.iter_ns)
+    }
+
+    /// `true` when `order` passes the analyzer (backward-only orders are
+    /// partial, so completeness is not required).
+    fn order_is_clean(&self, order: &[Op]) -> bool {
+        !Verifier::new(&self.graph)
+            .with_config(VerifyConfig {
+                require_complete: false,
+                ..VerifyConfig::default()
+            })
+            .verify_order(order)
+            .has_errors()
+    }
+
+    /// Lowers a link/compute fault onto a [`FaultEnv`] under the given
+    /// loss-handling stance.
+    fn env_for(&self, fault: &Fault, loss: ooo_netsim::commsim::LossHandling) -> FaultEnv {
+        match fault {
+            Fault::GpuStraggler {
+                compute_factor,
+                nic_factor,
+            } => FaultEnv {
+                compute_factor: *compute_factor,
+                degrade_factor: *nic_factor,
+                link_fault: LinkFault::none(),
+                loss,
+            },
+            Fault::LinkDegradation { factor } => FaultEnv {
+                compute_factor: 1.0,
+                degrade_factor: *factor,
+                link_fault: LinkFault::none(),
+                loss,
+            },
+            Fault::LinkFlapping { windows, .. } => {
+                let base = self.baseline_iter_ns as f64;
+                let outages = windows
+                    .iter()
+                    .map(|&(s, d)| ((s * base) as SimTime, ((s + d) * base) as SimTime))
+                    .collect();
+                FaultEnv {
+                    compute_factor: 1.0,
+                    degrade_factor: 1.0,
+                    link_fault: LinkFault {
+                        degraded: Vec::new(),
+                        outages,
+                    },
+                    loss,
+                }
+            }
+            _ => FaultEnv::none(),
+        }
+    }
+
+    /// Link/compute faults: run the data-parallel engine under the same
+    /// fault trace with each stance. The policy decides the reverse
+    /// first-k depth (stale vs retuned) and the loss handling.
+    fn eval_datapar(
+        &self,
+        sc: &Scenario,
+        policy: &dyn RecoveryPolicy,
+    ) -> Result<ScenarioOutcome, String> {
+        let run_with = |p: &dyn RecoveryPolicy| -> Result<(SimTime, usize, Timeline), String> {
+            let env = self.env_for(&sc.fault, p.loss_handling());
+            let fixed_k = if p.retunes_k() {
+                None
+            } else {
+                Some(self.stale_k)
+            };
+            let (report, tl) = datapar::run_fault_injected(
+                &self.model,
+                BATCH,
+                &self.gpu,
+                &self.topology,
+                GPUS,
+                CommSystem::OooBytePS,
+                &env,
+                fixed_k,
+            )
+            .map_err(|e| format!("scenario {}: fault-injected run failed: {e}", sc.id))?;
+            Ok((report.iter_ns, report.k, tl))
+        };
+        let (no_recovery_ns, stale_k, stale_tl) = run_with(&NoRecovery)?;
+        let (retuned_ns, retuned_k, retuned_tl) = run_with(policy)?;
+        // A retuning policy measures the candidate against the running
+        // configuration and only switches when it improves.
+        let (recovered_ns, recovered_k, timeline) = if retuned_ns <= no_recovery_ns {
+            (retuned_ns, retuned_k, retuned_tl)
+        } else {
+            (no_recovery_ns, stale_k, stale_tl)
+        };
+        let order = reverse_first_k::<TableCost>(&self.graph, recovered_k, None)
+            .map_err(|e| format!("scenario {}: schedule build failed: {e}", sc.id))?;
+        Ok(ScenarioOutcome {
+            id: sc.id,
+            family: sc.fault.family(),
+            detail: sc.fault.detail(),
+            policy: policy.name(),
+            baseline_ns: self.baseline_iter_ns,
+            no_recovery_ns,
+            recovered_ns,
+            schedule_clean: self.order_is_clean(&order),
+            timeline_valid: timeline.validate().is_ok(),
+        })
+    }
+
+    /// Worker crash: a closed-form makespan model over the engine's
+    /// measured iteration time. Without checkpoints the whole run is
+    /// re-executed after the restart; with them the worker rolls back to
+    /// the last checkpoint and re-executes at most `period - 1`
+    /// iterations, paying the periodic checkpoint cost.
+    fn eval_crash(
+        &mut self,
+        sc: &Scenario,
+        policy: &dyn RecoveryPolicy,
+    ) -> Result<ScenarioOutcome, String> {
+        let Fault::WorkerCrash {
+            total_iters,
+            crash_iter,
+            restart_ns,
+            ..
+        } = sc.fault
+        else {
+            return Err(format!("scenario {}: not a crash fault", sc.id));
+        };
+        // Alternate the engine the crash hits: even scenarios use the
+        // data-parallel iteration time, odd ones the hybrid engine's.
+        let iter = if (sc.id / 5).is_multiple_of(2) {
+            self.baseline_iter_ns
+        } else {
+            self.hybrid_iter_ns()?
+        };
+        let total = total_iters as SimTime * iter;
+        let makespan = |ckpt: Option<crate::recovery::Checkpointing>| -> SimTime {
+            match ckpt {
+                // Lost all progress: the crashed iteration count is
+                // re-executed from scratch after the restart.
+                None => (crash_iter as SimTime * iter)
+                    .saturating_add(restart_ns)
+                    .saturating_add(total),
+                // Roll back to the last checkpoint: re-execute only the
+                // iterations since it, plus the periodic write cost.
+                Some(c) => {
+                    let redo = (crash_iter % c.period_iters.max(1)) as SimTime * iter;
+                    let writes = total_iters.div_ceil(c.period_iters.max(1)) as SimTime * c.cost_ns;
+                    total
+                        .saturating_add(redo)
+                        .saturating_add(writes)
+                        .saturating_add(restart_ns)
+                }
+            }
+        };
+        let no_recovery_ns = makespan(NoRecovery.checkpointing());
+        let recovered_ns = makespan(policy.checkpointing());
+        let timeline = crash_timeline(&sc.fault, iter, policy.checkpointing());
+        // The running schedule is untouched by the crash; the invariant
+        // is that the re-executed iterations reuse the verified order.
+        let order = reverse_first_k::<TableCost>(&self.graph, self.stale_k, None)
+            .map_err(|e| format!("scenario {}: schedule build failed: {e}", sc.id))?;
+        Ok(ScenarioOutcome {
+            id: sc.id,
+            family: sc.fault.family(),
+            detail: sc.fault.detail(),
+            policy: policy.name(),
+            baseline_ns: total,
+            no_recovery_ns,
+            recovered_ns,
+            schedule_clean: self.order_is_clean(&order),
+            timeline_valid: timeline.validate().is_ok(),
+        })
+    }
+
+    /// Schedule corruption: the executed order violates the dependency
+    /// graph. Without recovery the corrupted run completes, the silent
+    /// corruption is noticed `detect_ns` later, and the backward pass is
+    /// redone in order. With recovery the pre-run `ooo-verify` lint
+    /// (cost `lint_ns`) flags the order and the job falls back to the
+    /// in-order baseline immediately.
+    fn eval_corruption(
+        &self,
+        sc: &Scenario,
+        policy: &dyn RecoveryPolicy,
+    ) -> Result<ScenarioOutcome, String> {
+        let Fault::ScheduleCorruption { detect_ns, lint_ns } = sc.fault else {
+            return Err(format!("scenario {}: not a corruption fault", sc.id));
+        };
+        let healthy = reverse_first_k::<TableCost>(&self.graph, self.stale_k, None)
+            .map_err(|e| format!("scenario {}: schedule build failed: {e}", sc.id))?;
+        // The corruption: rotate the order so the loss gradient runs
+        // last — every other backward op now precedes its dependency.
+        let mut corrupted = healthy.clone();
+        corrupted.rotate_left(1);
+        let fallback = reverse_first_k::<TableCost>(&self.graph, 0, None)
+            .map_err(|e| format!("scenario {}: fallback build failed: {e}", sc.id))?;
+        let sum =
+            |order: &[Op]| -> SimTime { order.iter().map(|&op| self.cost.duration(op)).sum() };
+        let t_healthy = sum(&healthy);
+        let t_corrupt = sum(&corrupted);
+        let t_inorder = sum(&fallback);
+        let no_recovery_ns = t_corrupt
+            .saturating_add(detect_ns)
+            .saturating_add(t_inorder);
+        let recovered_ns = if policy.falls_back_in_order() {
+            lint_ns.saturating_add(t_inorder)
+        } else {
+            no_recovery_ns
+        };
+        // Invariant 1 for this family: the analyzer flags the corrupted
+        // order AND passes the fallback the policy switches to.
+        let schedule_clean = !self.order_is_clean(&corrupted) && self.order_is_clean(&fallback);
+        let mut timeline = Timeline::new(format!("chaos/corruption/{}", sc.id));
+        let lane = timeline.lane_mut("scheduler");
+        lane.spans
+            .push(Span::new("ooo-lint", CAT_STALL, 0, lint_ns));
+        lane.spans.push(Span::new(
+            "in-order backward",
+            "compute",
+            lint_ns,
+            lint_ns.saturating_add(t_inorder),
+        ));
+        Ok(ScenarioOutcome {
+            id: sc.id,
+            family: sc.fault.family(),
+            detail: sc.fault.detail(),
+            policy: policy.name(),
+            baseline_ns: t_healthy,
+            no_recovery_ns,
+            recovered_ns,
+            schedule_clean,
+            timeline_valid: timeline.validate().is_ok(),
+        })
+    }
+
+    fn evaluate(&mut self, sc: &Scenario) -> Result<ScenarioOutcome, String> {
+        let policy = policy_for(&sc.fault);
+        match sc.fault {
+            Fault::GpuStraggler { .. }
+            | Fault::LinkDegradation { .. }
+            | Fault::LinkFlapping { .. } => self.eval_datapar(sc, &*policy),
+            Fault::WorkerCrash { .. } => self.eval_crash(sc, &*policy),
+            Fault::ScheduleCorruption { .. } => self.eval_corruption(sc, &*policy),
+        }
+    }
+}
+
+/// A synthetic per-worker timeline of the recovered crash run:
+/// iterations, periodic checkpoint writes, the restart stall, and the
+/// rolled-back re-execution, laid out sequentially.
+fn crash_timeline(
+    fault: &Fault,
+    iter: SimTime,
+    ckpt: Option<crate::recovery::Checkpointing>,
+) -> Timeline {
+    let Fault::WorkerCrash {
+        total_iters,
+        crash_iter,
+        restart_ns,
+        ..
+    } = *fault
+    else {
+        return Timeline::new("chaos/crash/invalid");
+    };
+    let mut tl = Timeline::new("chaos/crash");
+    let lane = tl.lane_mut("worker0");
+    let mut t: SimTime = 0;
+    let mut push = |lane: &mut ooo_core::trace::Lane, name: String, cat: &str, dur: SimTime| {
+        let end = t.saturating_add(dur);
+        lane.spans.push(Span::new(name, cat, t, end));
+        t = end;
+    };
+    let period = ckpt.map(|c| c.period_iters.max(1)).unwrap_or(usize::MAX);
+    let rollback_to = if period == usize::MAX {
+        0
+    } else {
+        crash_iter - crash_iter % period
+    };
+    for i in 0..crash_iter {
+        push(lane, format!("iter {i}"), "compute", iter);
+        if (i + 1) % period == 0 {
+            if let Some(c) = ckpt {
+                push(lane, format!("ckpt@{}", i + 1), "checkpoint", c.cost_ns);
+            }
+        }
+    }
+    push(lane, "restart".to_string(), CAT_STALL, restart_ns);
+    for i in rollback_to..total_iters {
+        push(lane, format!("iter {i}"), "compute", iter);
+    }
+    tl
+}
+
+/// Runs a full campaign: `count` scenarios generated from `seed`, each
+/// evaluated with no recovery and with its matched policy.
+///
+/// # Errors
+///
+/// Returns a message when a simulator rejects the workload — never
+/// panics.
+pub fn run_campaign(seed: u64, count: usize) -> Result<CampaignReport, String> {
+    let mut ctx = Ctx::new()?;
+    let mut outcomes = Vec::with_capacity(count);
+    for sc in generate(seed, count) {
+        outcomes.push(ctx.evaluate(&sc)?);
+    }
+    Ok(CampaignReport {
+        seed,
+        baseline_iter_ns: ctx.baseline_iter_ns,
+        stale_k: ctx.stale_k,
+        outcomes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_is_deterministic_and_invariants_hold() {
+        let a = run_campaign(42, 5).expect("campaign runs");
+        let b = run_campaign(42, 5).expect("campaign runs");
+        assert_eq!(a.to_json().to_pretty(), b.to_json().to_pretty());
+        assert_eq!(a.outcomes.len(), 5);
+        for o in &a.outcomes {
+            assert!(
+                o.invariants_ok(),
+                "scenario {} ({}, {}) violated invariants: clean={} valid={} wins={} \
+                 (no-rec {} vs recovered {})",
+                o.id,
+                o.family,
+                o.detail,
+                o.schedule_clean,
+                o.timeline_valid,
+                o.recovery_wins(),
+                o.no_recovery_ns,
+                o.recovered_ns,
+            );
+        }
+        assert!(a.all_pass());
+    }
+
+    #[test]
+    fn different_seeds_draw_different_magnitudes() {
+        let a = generate(1, 5);
+        let b = generate(2, 5);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn crash_makespan_model_is_strictly_better_with_checkpoints() {
+        let report = run_campaign(3, 10).expect("campaign runs");
+        let crashes: Vec<_> = report
+            .outcomes
+            .iter()
+            .filter(|o| o.family == "worker-crash")
+            .collect();
+        assert_eq!(crashes.len(), 2);
+        for o in crashes {
+            assert!(o.recovered_ns < o.no_recovery_ns);
+            assert!(o.no_recovery_inflation() > 1.0);
+        }
+    }
+
+    #[test]
+    fn corruption_scenarios_flag_the_bad_order_and_pass_the_fallback() {
+        let report = run_campaign(8, 5).expect("campaign runs");
+        let o = report
+            .outcomes
+            .iter()
+            .find(|o| o.family == "schedule-corruption")
+            .expect("family present");
+        assert!(o.schedule_clean, "corrupt flagged + fallback clean");
+        assert!(o.recovery_wins());
+    }
+}

@@ -1,0 +1,271 @@
+//! The fault taxonomy and seeded scenario generation.
+//!
+//! A [`Fault`] is a *declarative* description of one failure to inject —
+//! magnitudes only, no simulator state. The campaign driver
+//! (`crate::campaign`) lowers each variant onto the concrete injection
+//! hooks the simulators expose:
+//!
+//! - [`Fault::GpuStraggler`] → `ooo_cluster::datapar::FaultEnv`
+//!   (`compute_factor` scales every kernel, `nic_factor` degrades the
+//!   straggler's bottleneck NIC via `LinkSpec::degraded`),
+//! - [`Fault::LinkDegradation`] → `FaultEnv::degrade_factor`,
+//! - [`Fault::LinkFlapping`] → `ooo_netsim::commsim::LinkFault` outage
+//!   windows on the push/pull queues,
+//! - [`Fault::WorkerCrash`] → the closed-form makespan model of
+//!   `crate::campaign` (crash-at-iteration plus restart cost),
+//! - [`Fault::ScheduleCorruption`] → a perturbed reverse first-k order
+//!   that `ooo-verify` must flag.
+//!
+//! Scenario generation is fully deterministic: [`generate`] draws every
+//! magnitude from a `StdRng` seeded with the campaign seed, and scenario
+//! `i` of seed `s` is identical regardless of how many scenarios follow
+//! it (draws are strictly sequential).
+
+use ooo_core::SimTime;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One failure to inject, described by magnitudes alone.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fault {
+    /// One worker's GPU runs slow (thermal throttling, a noisy
+    /// neighbour): every compute duration is multiplied by
+    /// `compute_factor`, and — stragglers rarely come alone — its NIC
+    /// bandwidth is divided by `nic_factor`.
+    GpuStraggler {
+        /// Multiplier on every kernel duration (> 1).
+        compute_factor: f64,
+        /// Divisor on the straggler's NIC bandwidth (≥ 1).
+        nic_factor: f64,
+    },
+    /// The bottleneck link runs degraded for the whole iteration
+    /// (autonegotiation fallback, a failing transceiver): bandwidth is
+    /// divided by `factor`.
+    LinkDegradation {
+        /// Divisor on the bottleneck bandwidth (> 1).
+        factor: f64,
+    },
+    /// The link flaps: it goes down over a set of windows, killing
+    /// whatever was in flight. Windows are expressed as fractions of the
+    /// fault-free iteration time so one scenario is meaningful across
+    /// models.
+    LinkFlapping {
+        /// `(start, duration)` pairs as fractions of the baseline
+        /// iteration time.
+        windows: Vec<(f64, f64)>,
+        /// Initial retry backoff of the resuming sender.
+        backoff_ns: SimTime,
+        /// Backoff ceiling.
+        max_backoff_ns: SimTime,
+    },
+    /// A worker crashes at iteration `crash_iter` of a `total_iters`
+    /// training run and takes `restart_ns` to come back.
+    WorkerCrash {
+        /// Length of the training run, iterations.
+        total_iters: usize,
+        /// Iteration at which the worker dies (0-based, `< total_iters`).
+        crash_iter: usize,
+        /// Wall time to restart the worker process.
+        restart_ns: SimTime,
+        /// Checkpoint period available to the recovery policy.
+        period_iters: usize,
+        /// Cost of writing one checkpoint.
+        checkpoint_cost_ns: SimTime,
+    },
+    /// The out-of-order schedule itself is corrupted (a bad cache, a
+    /// version-skewed scheduler): the executed order violates the
+    /// dependency graph.
+    ScheduleCorruption {
+        /// Time until silent corruption is noticed *after* the run
+        /// (diverged loss, NaN watchdog).
+        detect_ns: SimTime,
+        /// Time for `ooo-verify` to lint the order *before* the run.
+        lint_ns: SimTime,
+    },
+}
+
+impl Fault {
+    /// The family name used in reports and the `ooo-chaos list` output.
+    pub fn family(&self) -> &'static str {
+        match self {
+            Fault::GpuStraggler { .. } => "gpu-straggler",
+            Fault::LinkDegradation { .. } => "link-degradation",
+            Fault::LinkFlapping { .. } => "link-flapping",
+            Fault::WorkerCrash { .. } => "worker-crash",
+            Fault::ScheduleCorruption { .. } => "schedule-corruption",
+        }
+    }
+
+    /// A one-line human rendering of the magnitudes.
+    pub fn detail(&self) -> String {
+        match self {
+            Fault::GpuStraggler {
+                compute_factor,
+                nic_factor,
+            } => format!("compute x{compute_factor:.2}, nic /{nic_factor:.2}"),
+            Fault::LinkDegradation { factor } => format!("bandwidth /{factor:.2}"),
+            Fault::LinkFlapping {
+                windows,
+                backoff_ns,
+                ..
+            } => format!(
+                "{} outage(s) {}, backoff {}us",
+                windows.len(),
+                windows
+                    .iter()
+                    .map(|(s, d)| format!("[{:.0}%+{:.0}%]", s * 100.0, d * 100.0))
+                    .collect::<Vec<_>>()
+                    .join(" "),
+                backoff_ns / 1_000
+            ),
+            Fault::WorkerCrash {
+                total_iters,
+                crash_iter,
+                restart_ns,
+                period_iters,
+                ..
+            } => format!(
+                "crash at iter {crash_iter}/{total_iters}, restart {}ms, ckpt every {period_iters}",
+                restart_ns / 1_000_000
+            ),
+            Fault::ScheduleCorruption {
+                detect_ns, lint_ns, ..
+            } => format!(
+                "silent detect {}ms vs lint {}ms",
+                detect_ns / 1_000_000,
+                lint_ns / 1_000_000
+            ),
+        }
+    }
+}
+
+/// One numbered campaign entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Position in the campaign (0-based).
+    pub id: usize,
+    /// The failure to inject.
+    pub fault: Fault,
+}
+
+const MS: SimTime = 1_000_000;
+
+/// Generates `count` scenarios from `seed`, cycling through the five
+/// fault families. Deterministic: the same `(seed, count)` always yields
+/// the same scenarios, and a prefix of a longer campaign equals the
+/// shorter campaign.
+pub fn generate(seed: u64, count: usize) -> Vec<Scenario> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|id| {
+            let fault = match id % 5 {
+                0 => Fault::GpuStraggler {
+                    compute_factor: rng.gen_range(1.6..2.5),
+                    nic_factor: rng.gen_range(1.0..1.2),
+                },
+                1 => Fault::LinkDegradation {
+                    factor: rng.gen_range(3.0..5.0),
+                },
+                2 => {
+                    let n = rng.gen_range(2..=3usize);
+                    // Windows sit in the drain phase of the iteration
+                    // ([0.4, 0.9) of the fault-free time), where the
+                    // deferred first-k synchronizations keep the link on
+                    // the critical path.
+                    let windows = (0..n)
+                        .map(|_| (rng.gen_range(0.40..0.70), rng.gen_range(0.05..0.20)))
+                        .collect();
+                    let backoff_ns = rng.gen_range(250_000..2_000_000u64);
+                    Fault::LinkFlapping {
+                        windows,
+                        backoff_ns,
+                        max_backoff_ns: backoff_ns.saturating_mul(8),
+                    }
+                }
+                3 => {
+                    let total_iters = rng.gen_range(40..=80usize);
+                    Fault::WorkerCrash {
+                        total_iters,
+                        crash_iter: rng.gen_range(total_iters / 2..total_iters),
+                        restart_ns: rng.gen_range(50..200u64) * MS,
+                        period_iters: rng.gen_range(5..=10usize),
+                        checkpoint_cost_ns: rng.gen_range(2..10u64) * MS,
+                    }
+                }
+                _ => Fault::ScheduleCorruption {
+                    detect_ns: rng.gen_range(5..20u64) * MS,
+                    lint_ns: rng.gen_range(1..3u64) * MS,
+                },
+            };
+            Scenario { id, fault }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_prefix_stable() {
+        let a = generate(7, 10);
+        let b = generate(7, 10);
+        assert_eq!(a, b);
+        let prefix = generate(7, 4);
+        assert_eq!(&a[..4], &prefix[..]);
+    }
+
+    #[test]
+    fn families_cycle_in_order() {
+        let s = generate(1, 5);
+        let names: Vec<_> = s.iter().map(|s| s.fault.family()).collect();
+        assert_eq!(
+            names,
+            [
+                "gpu-straggler",
+                "link-degradation",
+                "link-flapping",
+                "worker-crash",
+                "schedule-corruption"
+            ]
+        );
+    }
+
+    #[test]
+    fn magnitudes_are_in_band() {
+        for sc in generate(99, 25) {
+            match sc.fault {
+                Fault::GpuStraggler {
+                    compute_factor,
+                    nic_factor,
+                } => {
+                    assert!(compute_factor > 1.0 && nic_factor >= 1.0);
+                }
+                Fault::LinkDegradation { factor } => assert!(factor > 1.0),
+                Fault::LinkFlapping {
+                    ref windows,
+                    backoff_ns,
+                    max_backoff_ns,
+                } => {
+                    assert!(!windows.is_empty());
+                    assert!(backoff_ns > 0 && max_backoff_ns >= backoff_ns);
+                    for (s, d) in windows {
+                        assert!(*s >= 0.0 && *d > 0.0 && s + d < 1.0);
+                    }
+                }
+                Fault::WorkerCrash {
+                    total_iters,
+                    crash_iter,
+                    period_iters,
+                    ..
+                } => {
+                    assert!(crash_iter < total_iters);
+                    assert!(period_iters > 0);
+                }
+                Fault::ScheduleCorruption { detect_ns, lint_ns } => {
+                    assert!(detect_ns > lint_ns, "silent detection must cost more");
+                }
+            }
+        }
+    }
+}

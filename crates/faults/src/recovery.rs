@@ -1,0 +1,225 @@
+//! Recovery policies: what a training job *does* about an injected
+//! fault.
+//!
+//! A policy is a small strategy object consulted by the campaign driver.
+//! Each knob maps to one concrete mechanism in the simulators:
+//!
+//! - [`RecoveryPolicy::loss_handling`] — how a sender treats transfers an
+//!   outage killed (`ooo_netsim::commsim::LossHandling`): resend the whole
+//!   tensor, or keep delivered chunks and retry with bounded exponential
+//!   backoff.
+//! - [`RecoveryPolicy::retunes_k`] — whether the job re-runs
+//!   `ooo_core::reverse_k::search_optimal_k` against the *faulted* cost
+//!   model instead of keeping the `k` tuned on healthy hardware.
+//! - [`RecoveryPolicy::checkpointing`] — periodic checkpoints so a
+//!   crashed worker rolls back to the last checkpoint instead of
+//!   restarting the run from scratch.
+//! - [`RecoveryPolicy::falls_back_in_order`] — lint the schedule with
+//!   `ooo-verify` before running it, and fall back to the safe in-order
+//!   baseline (`reverse_first_k` with `k = 0`) when the lint flags it.
+//!
+//! [`NoRecovery`] leaves every knob at its do-nothing default and is the
+//! baseline each policy is compared against.
+
+use crate::fault::Fault;
+use ooo_core::SimTime;
+use ooo_netsim::commsim::LossHandling;
+
+/// Periodic checkpointing parameters used by crash recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Checkpointing {
+    /// Iterations between checkpoints.
+    pub period_iters: usize,
+    /// Cost of writing one checkpoint.
+    pub cost_ns: SimTime,
+}
+
+/// A recovery strategy, consulted by the chaos campaign.
+pub trait RecoveryPolicy {
+    /// Display name used in reports.
+    fn name(&self) -> &'static str;
+
+    /// How the communication layer treats transfers an outage killed.
+    fn loss_handling(&self) -> LossHandling {
+        LossHandling::RestartTensor
+    }
+
+    /// Whether `search_optimal_k` is re-run against the faulted costs.
+    fn retunes_k(&self) -> bool {
+        false
+    }
+
+    /// Checkpointing available to crash recovery, if any.
+    fn checkpointing(&self) -> Option<Checkpointing> {
+        None
+    }
+
+    /// Whether a corrupted schedule is caught by a pre-run `ooo-verify`
+    /// lint and replaced with the in-order baseline.
+    fn falls_back_in_order(&self) -> bool {
+        false
+    }
+}
+
+/// The do-nothing baseline: stale `k`, whole-tensor resends, no
+/// checkpoints, no pre-run lint.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoRecovery;
+
+impl RecoveryPolicy for NoRecovery {
+    fn name(&self) -> &'static str {
+        "no-recovery"
+    }
+}
+
+/// Keep delivered chunks and retry with bounded exponential backoff —
+/// the collective/queue answer to a flapping link.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryBackoff {
+    /// Initial backoff after a killed transfer.
+    pub backoff_ns: SimTime,
+    /// Backoff ceiling.
+    pub max_backoff_ns: SimTime,
+}
+
+impl RecoveryPolicy for RetryBackoff {
+    fn name(&self) -> &'static str {
+        "retry-backoff"
+    }
+
+    fn loss_handling(&self) -> LossHandling {
+        LossHandling::ResumeChunks {
+            backoff_ns: self.backoff_ns,
+            max_backoff_ns: self.max_backoff_ns,
+        }
+    }
+}
+
+/// Re-run `search_optimal_k` against the faulted cost model — the
+/// straggler/degradation answer: the overlap trade-off moved, so the
+/// reverse first-k depth must move with it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Retune;
+
+impl RecoveryPolicy for Retune {
+    fn name(&self) -> &'static str {
+        "retune-k"
+    }
+
+    fn retunes_k(&self) -> bool {
+        true
+    }
+}
+
+/// Periodic checkpoints plus rollback and bounded re-execution after a
+/// worker crash.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckpointRollback {
+    /// Iterations between checkpoints.
+    pub period_iters: usize,
+    /// Cost of writing one checkpoint.
+    pub cost_ns: SimTime,
+}
+
+impl RecoveryPolicy for CheckpointRollback {
+    fn name(&self) -> &'static str {
+        "checkpoint-rollback"
+    }
+
+    fn checkpointing(&self) -> Option<Checkpointing> {
+        Some(Checkpointing {
+            period_iters: self.period_iters,
+            cost_ns: self.cost_ns,
+        })
+    }
+}
+
+/// Lint the schedule with `ooo-verify` before executing it; on findings,
+/// fall back to the safe in-order baseline instead of running garbage.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FallbackInOrder;
+
+impl RecoveryPolicy for FallbackInOrder {
+    fn name(&self) -> &'static str {
+        "fallback-in-order"
+    }
+
+    fn falls_back_in_order(&self) -> bool {
+        true
+    }
+}
+
+/// The policy the campaign pits against [`NoRecovery`] for a given
+/// fault, parameterized from the fault's own magnitudes.
+pub fn policy_for(fault: &Fault) -> Box<dyn RecoveryPolicy> {
+    match fault {
+        Fault::GpuStraggler { .. } | Fault::LinkDegradation { .. } => Box::new(Retune),
+        Fault::LinkFlapping {
+            backoff_ns,
+            max_backoff_ns,
+            ..
+        } => Box::new(RetryBackoff {
+            backoff_ns: *backoff_ns,
+            max_backoff_ns: *max_backoff_ns,
+        }),
+        Fault::WorkerCrash {
+            period_iters,
+            checkpoint_cost_ns,
+            ..
+        } => Box::new(CheckpointRollback {
+            period_iters: *period_iters,
+            cost_ns: *checkpoint_cost_ns,
+        }),
+        Fault::ScheduleCorruption { .. } => Box::new(FallbackInOrder),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_the_do_nothing_stance() {
+        let p = NoRecovery;
+        assert_eq!(p.loss_handling(), LossHandling::RestartTensor);
+        assert!(!p.retunes_k());
+        assert!(p.checkpointing().is_none());
+        assert!(!p.falls_back_in_order());
+    }
+
+    #[test]
+    fn policy_for_pairs_each_family_with_its_mechanism() {
+        let flap = Fault::LinkFlapping {
+            windows: vec![(0.1, 0.1)],
+            backoff_ns: 500,
+            max_backoff_ns: 4_000,
+        };
+        assert_eq!(
+            policy_for(&flap).loss_handling(),
+            LossHandling::ResumeChunks {
+                backoff_ns: 500,
+                max_backoff_ns: 4_000
+            }
+        );
+        let crash = Fault::WorkerCrash {
+            total_iters: 10,
+            crash_iter: 5,
+            restart_ns: 1,
+            period_iters: 3,
+            checkpoint_cost_ns: 2,
+        };
+        assert_eq!(
+            policy_for(&crash).checkpointing(),
+            Some(Checkpointing {
+                period_iters: 3,
+                cost_ns: 2
+            })
+        );
+        assert!(policy_for(&Fault::LinkDegradation { factor: 3.0 }).retunes_k());
+        assert!(policy_for(&Fault::ScheduleCorruption {
+            detect_ns: 10,
+            lint_ns: 1
+        })
+        .falls_back_in_order());
+    }
+}

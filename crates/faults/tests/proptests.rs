@@ -1,0 +1,152 @@
+//! Property tests of the fault-injection layer.
+//!
+//! Two families of properties:
+//!
+//! 1. **Safety under arbitrary faults** — whatever the injected
+//!    magnitudes, a fault-injected run still produces a structurally
+//!    valid timeline, a verifier-clean schedule, and never *speeds up*
+//!    relative to the fault-free run.
+//! 2. **Noop exactness** — a zero-magnitude fault environment reproduces
+//!    the fault-free simulation bit for bit, so the injection layer
+//!    provably adds no arithmetic of its own.
+
+use ooo_cluster::datapar::{self, CommSystem, FaultEnv};
+use ooo_models::zoo;
+use ooo_models::GpuProfile;
+use ooo_netsim::commsim::{
+    finish_of, simulate_queue_faulty, simulate_queue_recorded, CommRequest, LinkFault,
+    LossHandling, Policy,
+};
+use ooo_netsim::link::LinkSpec;
+use ooo_netsim::topology::ClusterTopology;
+use proptest::prelude::*;
+
+/// A small, fast workload shared by the data-parallel properties.
+fn workload() -> (ooo_models::ModelSpec, GpuProfile, ClusterTopology) {
+    (
+        zoo::ffnn16(4096),
+        GpuProfile::v100(),
+        ClusterTopology::pub_a(),
+    )
+}
+
+fn fault_env_strategy() -> impl Strategy<Value = FaultEnv> {
+    (
+        1.0f64..3.0,
+        1.0f64..4.0,
+        proptest::collection::vec((0u64..400_000_000, 1u64..80_000_000), 0..3),
+        0u32..2,
+    )
+        .prop_map(|(compute, degrade, outages, resume)| FaultEnv {
+            compute_factor: compute,
+            degrade_factor: degrade,
+            link_fault: LinkFault {
+                degraded: Vec::new(),
+                outages: outages.iter().map(|&(s, d)| (s, s + d)).collect(),
+            },
+            loss: if resume == 1 {
+                LossHandling::ResumeChunks {
+                    backoff_ns: 1_000_000,
+                    max_backoff_ns: 8_000_000,
+                }
+            } else {
+                LossHandling::RestartTensor
+            },
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any fault-injected data-parallel run yields a timeline that
+    /// passes `Timeline::validate`, and the fault can only slow the
+    /// iteration down, never speed it up.
+    #[test]
+    fn fault_injected_runs_produce_valid_timelines(
+        env in fault_env_strategy(),
+        k in 0usize..16,
+    ) {
+        let (model, gpu, topo) = workload();
+        let (healthy, _) = datapar::run_fault_injected(
+            &model, 32, &gpu, &topo, 8, CommSystem::OooBytePS,
+            &FaultEnv::none(), Some(k),
+        ).expect("healthy run");
+        let (faulted, tl) = datapar::run_fault_injected(
+            &model, 32, &gpu, &topo, 8, CommSystem::OooBytePS,
+            &env, Some(k),
+        ).expect("faulted run");
+        prop_assert!(tl.validate().is_ok(), "timeline invalid: {:?}", tl.validate());
+        prop_assert!(faulted.iter_ns >= healthy.iter_ns,
+            "fault sped the run up: {} < {}", faulted.iter_ns, healthy.iter_ns);
+    }
+
+    /// A zero-magnitude fault environment reproduces the fault-free
+    /// result exactly — same iteration time, same `k`, same exposed
+    /// synchronization.
+    #[test]
+    fn zero_magnitude_fault_is_exact(
+        batch_pow in 4u32..7,
+        gpus in 2usize..12,
+    ) {
+        let batch = 1usize << batch_pow; // 16, 32, or 64
+        let (model, gpu, topo) = workload();
+        let baseline = datapar::run(&model, batch, &gpu, &topo, gpus, CommSystem::OooBytePS)
+            .expect("baseline run");
+        let (noop, tl) = datapar::run_fault_injected(
+            &model, batch, &gpu, &topo, gpus, CommSystem::OooBytePS,
+            &FaultEnv::none(), None,
+        ).expect("noop run");
+        prop_assert_eq!(noop.iter_ns, baseline.iter_ns);
+        prop_assert_eq!(noop.k, baseline.k);
+        prop_assert_eq!(noop.exposed_sync_ns, baseline.exposed_sync_ns);
+        prop_assert!(tl.validate().is_ok());
+    }
+
+    /// Under any outage pattern the faulty queue delivers every request
+    /// — transfers are delayed and retried, never dropped — and no
+    /// request finishes earlier than in the fault-free schedule.
+    #[test]
+    fn faulty_queue_never_loses_traffic(
+        reqs in proptest::collection::vec(
+            (1u64..4_000_000, 0u64..50_000_000, 0i64..50), 1..12),
+        outages in proptest::collection::vec(
+            (0u64..80_000_000, 1u64..20_000_000), 0..4),
+        resume in 0u32..2,
+    ) {
+        let link = LinkSpec { name: "prop", bytes_per_sec: 1.25e9, latency_ns: 5_000 };
+        let requests: Vec<CommRequest> = reqs.iter().enumerate()
+            .map(|(i, &(bytes, ready_ns, priority))| CommRequest {
+                id: i, bytes, ready_ns, priority,
+            })
+            .collect();
+        let fault = LinkFault {
+            degraded: Vec::new(),
+            outages: outages.iter().map(|&(s, d)| (s, s + d)).collect(),
+        };
+        let loss = if resume == 1 {
+            LossHandling::ResumeChunks { backoff_ns: 100_000, max_backoff_ns: 1_600_000 }
+        } else {
+            LossHandling::RestartTensor
+        };
+        let (clean, _) = simulate_queue_recorded(&link, 262_144, Policy::Priority, &requests);
+        let (faulty, intervals) =
+            simulate_queue_faulty(&link, 262_144, Policy::Priority, &requests, &fault, loss);
+        for req in &requests {
+            let clean_finish = finish_of(&clean, req.id).expect("clean completion");
+            let fault_finish = finish_of(&faulty, req.id);
+            prop_assert!(fault_finish.is_some(), "request {} was dropped", req.id);
+            prop_assert!(fault_finish.unwrap() >= clean_finish,
+                "request {} finished early under the fault", req.id);
+        }
+        // No service may *start* while the link is down (in-flight
+        // chunks may run into an outage — store-and-forward — but new
+        // ones wait it out).
+        for iv in &intervals {
+            for &(s, e) in &fault.outages {
+                prop_assert!(!(s <= iv.start_ns && iv.start_ns < e),
+                    "interval [{}, {}) started inside outage [{s}, {e})",
+                    iv.start_ns, iv.end_ns);
+            }
+        }
+    }
+}

@@ -79,16 +79,58 @@ struct StreamState {
     active: Option<ActiveKernel>,
 }
 
+/// A whole-device straggler fault: every block wave whose execution
+/// starts inside `[start_ns, end_ns)` runs `factor`× slower (thermal
+/// throttling, a noisy co-tenant, ECC scrubbing). A factor ≤ 1 or an
+/// empty window injects nothing — the simulation is then bit-identical
+/// to the fault-free run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Slowdown {
+    /// Multiplier on block execution time (effective only when > 1).
+    pub factor: f64,
+    /// Window start (inclusive).
+    pub start_ns: SimTime,
+    /// Window end (exclusive).
+    pub end_ns: SimTime,
+}
+
+impl Slowdown {
+    /// Slowdown factor in effect for a wave starting at `t`.
+    pub fn factor_at(&self, t: SimTime) -> f64 {
+        if self.start_ns <= t && t < self.end_ns && self.factor.is_finite() && self.factor > 1.0 {
+            self.factor
+        } else {
+            1.0
+        }
+    }
+
+    /// Whether this slowdown can perturb a simulation at all.
+    pub fn is_noop(&self) -> bool {
+        self.end_ns <= self.start_ns || self.factor <= 1.0 || !self.factor.is_finite()
+    }
+}
+
 /// The simulator.
 pub struct GpuSim {
     spec: GpuSpec,
     issue_mode: IssueMode,
+    slowdown: Option<Slowdown>,
 }
 
 impl GpuSim {
     /// Creates a simulator for `spec` under `issue_mode`.
     pub fn new(spec: GpuSpec, issue_mode: IssueMode) -> Self {
-        GpuSim { spec, issue_mode }
+        GpuSim {
+            spec,
+            issue_mode,
+            slowdown: None,
+        }
+    }
+
+    /// Injects a device [`Slowdown`] into every subsequent [`GpuSim::run`].
+    pub fn with_slowdown(mut self, slowdown: Slowdown) -> Self {
+        self.slowdown = Some(slowdown);
+        self
     }
 
     /// Runs the streams to completion.
@@ -308,14 +350,23 @@ impl GpuSim {
                         active.started = Some(t);
                         records[active.kernel_idx].exec_start = t;
                     }
+                    // Straggler injection: waves starting inside the
+                    // slowdown window stretch; factor 1 leaves the
+                    // arithmetic untouched for exact baseline replay.
+                    let factor = self.slowdown.map_or(1.0, |s| s.factor_at(t));
+                    let block_time = if factor > 1.0 {
+                        (active.block_time as f64 * factor) as SimTime
+                    } else {
+                        active.block_time
+                    };
                     waves.push(WaveRecord {
                         kernel: active.kernel_idx,
                         stream: si,
                         blocks: n,
                         start: t,
-                        end: t + active.block_time,
+                        end: t + block_time,
                     });
-                    completions.push(std::cmp::Reverse((t + active.block_time, si, n)));
+                    completions.push(std::cmp::Reverse((t + block_time, si, n)));
                     changed = true;
                 }
                 if !changed {
@@ -654,6 +705,79 @@ mod tests {
             let r = &trace.records[w.kernel];
             assert_eq!(r.stream, w.stream);
             assert!(w.start >= r.exec_start && w.end <= r.exec_end);
+        }
+    }
+
+    #[test]
+    fn slowdown_window_stretches_covered_waves_only() {
+        // Waves of 4/4/2 blocks at t=0/100/200 without fault. A 2×
+        // slowdown over [90, 150) catches only the second wave.
+        let streams = || {
+            vec![StreamSpec {
+                priority: 0,
+                commands: vec![launch("k", 10, 100, 0)],
+            }]
+        };
+        let base = GpuSim::new(tiny_spec(4, 0), IssueMode::PreCompiled { launch_ns: 0 })
+            .run(streams())
+            .unwrap();
+        assert_eq!(base.makespan(), 300);
+        let slow = GpuSim::new(tiny_spec(4, 0), IssueMode::PreCompiled { launch_ns: 0 })
+            .with_slowdown(Slowdown {
+                factor: 2.0,
+                start_ns: 90,
+                end_ns: 150,
+            })
+            .run(streams())
+            .unwrap();
+        // Second wave takes 200 ns; third starts at 300 and runs clean.
+        assert_eq!(slow.makespan(), 400);
+        let tl = slow.to_timeline("straggler");
+        tl.validate().unwrap();
+    }
+
+    #[test]
+    fn noop_slowdown_reproduces_baseline_exactly() {
+        let streams = || {
+            vec![
+                StreamSpec {
+                    priority: 1,
+                    commands: vec![launch("main1", 6, 100, 0), launch("main2", 12, 80, 0)],
+                },
+                StreamSpec {
+                    priority: 0,
+                    commands: vec![launch("sub", 5, 120, 0)],
+                },
+            ]
+        };
+        let base = GpuSim::new(tiny_spec(8, 10), IssueMode::PreCompiled { launch_ns: 0 })
+            .run(streams())
+            .unwrap();
+        for s in [
+            Slowdown {
+                factor: 1.0,
+                start_ns: 0,
+                end_ns: SimTime::MAX,
+            },
+            Slowdown {
+                factor: 4.0,
+                start_ns: 50,
+                end_ns: 50,
+            },
+            Slowdown {
+                factor: 0.25,
+                start_ns: 0,
+                end_ns: SimTime::MAX,
+            },
+        ] {
+            assert!(s.is_noop());
+            let faulted = GpuSim::new(tiny_spec(8, 10), IssueMode::PreCompiled { launch_ns: 0 })
+                .with_slowdown(s)
+                .run(streams())
+                .unwrap();
+            assert_eq!(base.waves, faulted.waves);
+            assert_eq!(base.records, faulted.records);
+            assert_eq!(base.occupancy, faulted.occupancy);
         }
     }
 

@@ -14,7 +14,7 @@
 //!   it far behind BytePS on Ethernet clusters.
 
 use crate::topology::ClusterTopology;
-use crate::SimTime;
+use crate::{Error, Result, SimTime};
 
 /// Per-tensor coordination overhead of BytePS (scheduler + RDMA/TCP
 /// bookkeeping).
@@ -34,6 +34,31 @@ pub fn worker_bottleneck_bytes_per_sec(topology: &ClusterTopology, gpus: usize) 
         // All GPUs of a node share its NIC for inter-node traffic.
         topology.inter.bytes_per_sec / topology.gpus_per_node as f64
     }
+}
+
+/// Checked variant of [`worker_bottleneck_bytes_per_sec`].
+///
+/// # Errors
+///
+/// Returns [`Error::NoWorkers`] for a zero-GPU job or a topology with
+/// zero GPUs per node (the unchecked version would divide by zero), and
+/// [`Error::DeadLink`] when the bottleneck link carries no bandwidth.
+pub fn try_worker_bottleneck_bytes_per_sec(topology: &ClusterTopology, gpus: usize) -> Result<f64> {
+    if gpus == 0 || topology.gpus_per_node == 0 {
+        return Err(Error::NoWorkers);
+    }
+    let link = if topology.single_node(gpus) {
+        &topology.intra
+    } else {
+        &topology.inter
+    };
+    if link.is_dead() {
+        return Err(Error::DeadLink {
+            link: link.name.to_string(),
+            bytes_per_sec: link.bytes_per_sec,
+        });
+    }
+    Ok(worker_bottleneck_bytes_per_sec(topology, gpus))
 }
 
 /// BytePS synchronization time for one tensor of `bytes` on `gpus` GPUs:
@@ -98,6 +123,52 @@ mod tests {
         let a = byteps_sync_ns(&c, 8, 1 << 20);
         let b = byteps_sync_ns(&c, 8, 8 << 20);
         assert!(b > 4 * (a - BYTEPS_TENSOR_OVERHEAD_NS));
+    }
+
+    #[test]
+    fn zero_workers_is_an_error_not_a_division_by_zero() {
+        let c = ClusterTopology::pub_a();
+        assert_eq!(
+            try_worker_bottleneck_bytes_per_sec(&c, 0),
+            Err(Error::NoWorkers)
+        );
+        let mut broken = ClusterTopology::priv_a();
+        broken.gpus_per_node = 0;
+        assert_eq!(
+            try_worker_bottleneck_bytes_per_sec(&broken, 8),
+            Err(Error::NoWorkers)
+        );
+    }
+
+    #[test]
+    fn dead_bottleneck_link_reported() {
+        let mut c = ClusterTopology::priv_a();
+        c.inter.bytes_per_sec = 0.0;
+        // 8 GPUs on 1-GPU nodes cross the (dead) inter-node network.
+        assert!(matches!(
+            try_worker_bottleneck_bytes_per_sec(&c, 8),
+            Err(Error::DeadLink { .. })
+        ));
+        // A single-node slice never touches the NIC, so it stays healthy.
+        let ok = try_worker_bottleneck_bytes_per_sec(&c, 1).unwrap();
+        assert_eq!(ok, c.intra.bytes_per_sec);
+    }
+
+    #[test]
+    fn checked_and_unchecked_agree_on_live_links() {
+        for c in [
+            ClusterTopology::priv_a(),
+            ClusterTopology::priv_b(),
+            ClusterTopology::pub_a(),
+            ClusterTopology::pub_b(),
+        ] {
+            for gpus in [1, 4, 16] {
+                assert_eq!(
+                    try_worker_bottleneck_bytes_per_sec(&c, gpus).unwrap(),
+                    worker_bottleneck_bytes_per_sec(&c, gpus)
+                );
+            }
+        }
     }
 
     #[test]
@@ -212,6 +283,22 @@ mod algo_tests {
             AllReduceAlgo::Hierarchical,
         ] {
             assert_eq!(allreduce_ns(&c, 1, 1 << 20, algo), 0);
+        }
+    }
+
+    #[test]
+    fn degraded_inter_link_strictly_increases_allreduce() {
+        let healthy = ClusterTopology::priv_b();
+        let degraded = healthy.degrade_inter(3.0);
+        let bytes = 16 << 20;
+        for algo in [
+            AllReduceAlgo::Ring,
+            AllReduceAlgo::Tree,
+            AllReduceAlgo::Hierarchical,
+        ] {
+            let h = allreduce_ns(&healthy, 20, bytes, algo);
+            let d = allreduce_ns(&degraded, 20, bytes, algo);
+            assert!(d > h, "{algo:?}: degraded {d} not above healthy {h}");
         }
     }
 }

@@ -8,7 +8,7 @@
 //! cluster engine.
 
 use crate::link::LinkSpec;
-use crate::SimTime;
+use crate::{Error, Result, SimTime};
 use ooo_core::trace::{Lane, Span};
 
 /// Queue service discipline.
@@ -202,6 +202,247 @@ pub fn finish_of(completions: &[CommCompletion], id: usize) -> Option<SimTime> {
     completions.iter().find(|c| c.id == id).map(|c| c.finish_ns)
 }
 
+/// Checked variant of [`finish_of`].
+///
+/// # Errors
+///
+/// Returns [`Error::UnknownRequest`] when `id` never completed — the
+/// panic-prone call sites previously `unwrap`ped the `Option`.
+pub fn try_finish_of(completions: &[CommCompletion], id: usize) -> Result<SimTime> {
+    finish_of(completions, id).ok_or(Error::UnknownRequest(id))
+}
+
+/// A deterministic fault trace applied to one link: time-windowed
+/// bandwidth degradation plus hard outages (flapping / message loss).
+///
+/// All windows are half-open `[start, end)` in simulated nanoseconds.
+/// An empty fault (no windows, or windows with factor ≤ 1) is a no-op:
+/// [`simulate_queue_faulty`] then reproduces [`simulate_queue_recorded`]
+/// byte-for-byte.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinkFault {
+    /// `(start_ns, end_ns, factor)`: wire time of chunks whose service
+    /// starts inside the window is multiplied by `factor` (clamped ≥ 1).
+    pub degraded: Vec<(SimTime, SimTime, f64)>,
+    /// `(start_ns, end_ns)`: the link is down; chunks in flight when an
+    /// outage is hit are lost and handled per [`LossHandling`].
+    pub outages: Vec<(SimTime, SimTime)>,
+}
+
+impl LinkFault {
+    /// A fault that injects nothing.
+    pub fn none() -> Self {
+        LinkFault::default()
+    }
+
+    /// Whether this fault can perturb a simulation at all.
+    pub fn is_noop(&self) -> bool {
+        self.outages.iter().all(|&(s, e)| e <= s)
+            && self
+                .degraded
+                .iter()
+                .all(|&(s, e, f)| e <= s || f <= 1.0 || !f.is_finite())
+    }
+
+    /// Combined slowdown factor at time `t` (product of covering
+    /// windows, each clamped to ≥ 1; non-finite factors are ignored).
+    pub fn slowdown_at(&self, t: SimTime) -> f64 {
+        let mut factor = 1.0;
+        for &(s, e, f) in &self.degraded {
+            if s <= t && t < e && f.is_finite() && f > 1.0 {
+                factor *= f;
+            }
+        }
+        factor
+    }
+
+    /// End of the outage window covering `t`, if the link is down at `t`.
+    /// Chained/overlapping windows are collapsed to the furthest end.
+    pub fn outage_end_at(&self, t: SimTime) -> Option<SimTime> {
+        let mut end = None;
+        let mut probe = t;
+        loop {
+            let cover = self
+                .outages
+                .iter()
+                .filter(|&&(s, e)| s <= probe && probe < e)
+                .map(|&(_, e)| e)
+                .max();
+            match cover {
+                Some(e) if Some(e) > end => {
+                    end = Some(e);
+                    probe = e;
+                }
+                _ => return end,
+            }
+        }
+    }
+}
+
+/// What a sender does with a tensor whose transfer an outage killed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LossHandling {
+    /// Discard delivered chunks and resend the whole tensor once the
+    /// link returns (the no-recovery baseline: latency is re-paid and
+    /// every byte crosses the wire again).
+    RestartTensor,
+    /// Keep delivered chunks and resume from the first missing one
+    /// after a bounded exponential backoff: retry `r` waits
+    /// `min(backoff_ns << r, max_backoff_ns)` past the outage.
+    ResumeChunks {
+        /// Initial backoff.
+        backoff_ns: SimTime,
+        /// Backoff ceiling.
+        max_backoff_ns: SimTime,
+    },
+}
+
+impl LossHandling {
+    fn penalty_ns(&self, retries: u32) -> SimTime {
+        match *self {
+            LossHandling::RestartTensor => 0,
+            LossHandling::ResumeChunks {
+                backoff_ns,
+                max_backoff_ns,
+            } => backoff_ns
+                .saturating_mul(1u64 << retries.min(63))
+                .min(max_backoff_ns),
+        }
+    }
+}
+
+/// Like [`simulate_queue_recorded`], with a [`LinkFault`] applied.
+///
+/// The fault model works at chunk granularity: a chunk whose service
+/// starts inside a degradation window transmits `factor`× slower; when
+/// the queue reaches a time inside an outage window, every in-flight
+/// tensor loses its unfinished transfer (handled per `loss`) and the
+/// link resumes at the window's end. Chunks already in flight when an
+/// outage begins complete (store-and-forward). Latency is not scaled by
+/// degradation.
+///
+/// With `fault.is_noop()` the output is identical to
+/// [`simulate_queue_recorded`] — the zero-magnitude guarantee the
+/// chaos proptests pin down.
+pub fn simulate_queue_faulty(
+    link: &LinkSpec,
+    chunk_bytes: u64,
+    policy: Policy,
+    requests: &[CommRequest],
+    fault: &LinkFault,
+    loss: LossHandling,
+) -> (Vec<CommCompletion>, Vec<ServiceInterval>) {
+    struct Pending {
+        req: CommRequest,
+        remaining: u64,
+        started: Option<SimTime>,
+        seq: usize,
+        not_before: SimTime,
+        retries: u32,
+    }
+    impl Pending {
+        fn effective_ready(&self) -> SimTime {
+            self.req.ready_ns.max(self.not_before)
+        }
+    }
+    let chunk = chunk_bytes.max(1);
+    let mut pending: Vec<Pending> = requests
+        .iter()
+        .enumerate()
+        .map(|(seq, &req)| Pending {
+            req,
+            remaining: req.bytes.max(1),
+            started: None,
+            seq,
+            not_before: 0,
+            retries: 0,
+        })
+        .collect();
+    let mut done: Vec<CommCompletion> = Vec::with_capacity(pending.len());
+    let mut intervals: Vec<ServiceInterval> = Vec::new();
+    let mut now: SimTime = 0;
+
+    while !pending.is_empty() {
+        let earliest = pending
+            .iter()
+            .map(|p| p.effective_ready())
+            .min()
+            .expect("non-empty");
+        now = now.max(earliest);
+        if let Some(outage_end) = fault.outage_end_at(now) {
+            // The link is down: in-flight tensors lose their transfer.
+            for p in pending.iter_mut() {
+                if p.started.is_some() && p.remaining > 0 {
+                    let resume = outage_end.saturating_add(loss.penalty_ns(p.retries));
+                    p.not_before = p.not_before.max(resume);
+                    p.retries = p.retries.saturating_add(1);
+                    if loss == LossHandling::RestartTensor {
+                        p.remaining = p.req.bytes.max(1);
+                        p.started = None;
+                    }
+                }
+            }
+            now = outage_end;
+            continue;
+        }
+        // Pick among ready requests (same discipline as the fault-free
+        // queue, over fault-adjusted readiness).
+        let idx = match policy {
+            Policy::Fifo => pending
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.effective_ready() <= now)
+                .min_by_key(|(_, p)| (p.req.ready_ns, p.seq))
+                .map(|(i, _)| i),
+            Policy::Priority => pending
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.effective_ready() <= now)
+                .min_by_key(|(_, p)| (p.req.priority, p.req.ready_ns, p.seq))
+                .map(|(i, _)| i),
+        };
+        let Some(idx) = idx else {
+            continue;
+        };
+        let p = &mut pending[idx];
+        let service_start = now;
+        if p.started.is_none() {
+            p.started = Some(now);
+            now = now.saturating_add(link.latency_ns);
+        }
+        let send = match policy {
+            Policy::Fifo => p.remaining,
+            Policy::Priority => p.remaining.min(chunk),
+        };
+        let factor = fault.slowdown_at(service_start);
+        let wire = (send as f64 / link.bytes_per_sec * 1e9 * factor) as SimTime;
+        now = now.saturating_add(wire);
+        p.remaining -= send;
+        match intervals.last_mut() {
+            Some(iv) if iv.id == p.req.id && iv.end_ns == service_start => {
+                iv.end_ns = now;
+                iv.bytes += send;
+            }
+            _ => intervals.push(ServiceInterval {
+                id: p.req.id,
+                start_ns: service_start,
+                end_ns: now,
+                bytes: send,
+            }),
+        }
+        if p.remaining == 0 {
+            let finished = pending.swap_remove(idx);
+            done.push(CommCompletion {
+                id: finished.req.id,
+                start_ns: finished.started.expect("started before finishing"),
+                finish_ns: now,
+            });
+        }
+    }
+    done.sort_by_key(|c| (c.finish_ns, c.id));
+    (done, intervals)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -376,5 +617,200 @@ mod tests {
         let done = simulate_queue(&link(), 4, Policy::Priority, &reqs);
         assert_eq!(done.len(), 1);
         assert!(done[0].finish_ns >= 5);
+    }
+
+    #[test]
+    fn unknown_request_id_is_an_error() {
+        let reqs = [CommRequest {
+            id: 3,
+            bytes: 10,
+            ready_ns: 0,
+            priority: 0,
+        }];
+        let done = simulate_queue(&link(), 4, Policy::Priority, &reqs);
+        assert!(try_finish_of(&done, 3).is_ok());
+        assert_eq!(try_finish_of(&done, 99), Err(Error::UnknownRequest(99)));
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+
+    fn link() -> LinkSpec {
+        LinkSpec {
+            name: "unit",
+            bytes_per_sec: 1e9,
+            latency_ns: 0,
+        }
+    }
+
+    fn reqs() -> Vec<CommRequest> {
+        vec![
+            CommRequest {
+                id: 0,
+                bytes: 400,
+                ready_ns: 0,
+                priority: 5,
+            },
+            CommRequest {
+                id: 1,
+                bytes: 120,
+                ready_ns: 30,
+                priority: 0,
+            },
+            CommRequest {
+                id: 2,
+                bytes: 250,
+                ready_ns: 60,
+                priority: 2,
+            },
+        ]
+    }
+
+    #[test]
+    fn noop_fault_reproduces_fault_free_run_exactly() {
+        for policy in [Policy::Fifo, Policy::Priority] {
+            let base = simulate_queue_recorded(&link(), 32, policy, &reqs());
+            for fault in [
+                LinkFault::none(),
+                LinkFault {
+                    // Empty windows and factor ≤ 1 are all no-ops.
+                    degraded: vec![(0, 0, 9.0), (10, 500, 1.0), (20, 30, 0.5)],
+                    outages: vec![(100, 100), (40, 10)],
+                },
+            ] {
+                assert!(fault.is_noop());
+                let faulty = simulate_queue_faulty(
+                    &link(),
+                    32,
+                    policy,
+                    &reqs(),
+                    &fault,
+                    LossHandling::RestartTensor,
+                );
+                assert_eq!(base, faulty, "policy {policy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn degradation_window_slows_only_covered_chunks() {
+        let fault = LinkFault {
+            degraded: vec![(0, 60, 2.0)],
+            outages: vec![],
+        };
+        let one = [CommRequest {
+            id: 0,
+            bytes: 100,
+            ready_ns: 0,
+            priority: 0,
+        }];
+        let (done, _) = simulate_queue_faulty(
+            &link(),
+            25,
+            Policy::Priority,
+            &one,
+            &fault,
+            LossHandling::RestartTensor,
+        );
+        // Chunks starting at t=0 and t=50 are degraded (2×25 ns each);
+        // chunks at t=100 and t=125 run at full speed.
+        assert_eq!(finish_of(&done, 0), Some(150));
+    }
+
+    #[test]
+    fn outage_with_restart_resends_every_byte() {
+        let fault = LinkFault {
+            degraded: vec![],
+            outages: vec![(30, 100)],
+        };
+        let one = [CommRequest {
+            id: 0,
+            bytes: 200,
+            ready_ns: 0,
+            priority: 0,
+        }];
+        let (done, intervals) = simulate_queue_faulty(
+            &link(),
+            20,
+            Policy::Priority,
+            &one,
+            &fault,
+            LossHandling::RestartTensor,
+        );
+        // Chunks at t=0 and t=20 are wasted; the whole tensor restarts
+        // at t=100 and start_ns reflects the restart.
+        let c = done[0];
+        assert_eq!(c.start_ns, 100);
+        assert_eq!(c.finish_ns, 300);
+        let total: u64 = intervals.iter().map(|iv| iv.bytes).sum();
+        assert_eq!(total, 240, "40 wasted bytes + 200 resent");
+    }
+
+    #[test]
+    fn outage_with_resume_keeps_delivered_chunks_and_backs_off() {
+        let fault = LinkFault {
+            degraded: vec![],
+            outages: vec![(30, 100), (150, 170)],
+        };
+        let one = [CommRequest {
+            id: 0,
+            bytes: 200,
+            ready_ns: 0,
+            priority: 0,
+        }];
+        let loss = LossHandling::ResumeChunks {
+            backoff_ns: 8,
+            max_backoff_ns: 12,
+        };
+        let (done, intervals) =
+            simulate_queue_faulty(&link(), 20, Policy::Priority, &one, &fault, loss);
+        let c = done[0];
+        // Original start is preserved under resume.
+        assert_eq!(c.start_ns, 0);
+        // 40 bytes land before the first outage; retry 0 resumes at
+        // 100+8=108 and sends 60 more until the chunk boundary at 168
+        // falls inside the second outage; retry 1 backs off
+        // min(8<<1, 12) = 12 past its end → resumes at 182 with 100
+        // bytes left.
+        assert_eq!(c.finish_ns, 182 + 100);
+        let total: u64 = intervals.iter().map(|iv| iv.bytes).sum();
+        assert_eq!(total, 200, "no byte is resent under resume");
+    }
+
+    #[test]
+    fn flapping_link_strictly_delays_but_preserves_all_traffic() {
+        let fault = LinkFault {
+            degraded: vec![(0, 200, 1.5)],
+            outages: vec![(40, 70), (120, 140)],
+        };
+        let (base, _) = simulate_queue_recorded(&link(), 16, Policy::Priority, &reqs());
+        let loss = LossHandling::ResumeChunks {
+            backoff_ns: 4,
+            max_backoff_ns: 64,
+        };
+        let (faulty, _) =
+            simulate_queue_faulty(&link(), 16, Policy::Priority, &reqs(), &fault, loss);
+        assert_eq!(faulty.len(), base.len());
+        assert!(total_finish(&faulty) > total_finish(&base));
+        for r in reqs() {
+            assert!(
+                try_finish_of(&faulty, r.id).unwrap() >= finish_of(&base, r.id).unwrap(),
+                "request {} finished earlier under faults",
+                r.id
+            );
+        }
+    }
+
+    #[test]
+    fn overlapping_outages_collapse() {
+        let f = LinkFault {
+            degraded: vec![],
+            outages: vec![(10, 50), (40, 90), (90, 120)],
+        };
+        assert_eq!(f.outage_end_at(15), Some(120));
+        assert_eq!(f.outage_end_at(120), None);
+        assert_eq!(f.outage_end_at(5), None);
     }
 }

@@ -1,6 +1,10 @@
 //! Link specifications.
 
-use crate::SimTime;
+use crate::{Error, Result, SimTime};
+
+/// Bandwidth (bytes/sec) below which a link is considered dead: no
+/// gradient tensor could cross it within a training run's lifetime.
+pub const MIN_LIVE_BYTES_PER_SEC: f64 = 1e-3;
 
 /// A point-to-point (or NIC) link.
 #[derive(Debug, Clone, PartialEq)]
@@ -59,9 +63,38 @@ impl LinkSpec {
         }
     }
 
+    /// Whether the link can make progress at all (see
+    /// [`MIN_LIVE_BYTES_PER_SEC`]).
+    pub fn is_dead(&self) -> bool {
+        !self.bytes_per_sec.is_finite() || self.bytes_per_sec < MIN_LIVE_BYTES_PER_SEC
+    }
+
     /// Time to move `bytes` over this link, including latency.
+    ///
+    /// On a dead link (zero/near-zero or non-finite bandwidth, as fault
+    /// injection can produce) this saturates to [`SimTime::MAX`] instead
+    /// of overflowing; use [`LinkSpec::try_transfer_ns`] to surface the
+    /// condition as an error.
     pub fn transfer_ns(&self, bytes: u64) -> SimTime {
-        self.latency_ns + (bytes as f64 / self.bytes_per_sec * 1e9) as SimTime
+        self.try_transfer_ns(bytes).unwrap_or(SimTime::MAX)
+    }
+
+    /// Checked transfer time: like [`LinkSpec::transfer_ns`], but a dead
+    /// link is reported instead of saturating silently.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DeadLink`] when the bandwidth is zero, near-zero,
+    /// or non-finite.
+    pub fn try_transfer_ns(&self, bytes: u64) -> Result<SimTime> {
+        if self.is_dead() {
+            return Err(Error::DeadLink {
+                link: self.name.to_string(),
+                bytes_per_sec: self.bytes_per_sec,
+            });
+        }
+        let wire = bytes as f64 / self.bytes_per_sec * 1e9;
+        Ok(self.latency_ns.saturating_add(wire as SimTime))
     }
 
     /// A degraded copy of this link (for failure/straggler injection):
@@ -99,6 +132,40 @@ mod tests {
         assert_eq!(l.transfer_ns(1_000_000), 100 + 1_000_000);
         // 1 GB over 1 GB/s = 1 s.
         assert_eq!(l.transfer_ns(1_000_000_000), 100 + 1_000_000_000);
+    }
+
+    #[test]
+    fn zero_bandwidth_is_an_error_not_a_panic() {
+        let l = LinkSpec {
+            name: "dead",
+            bytes_per_sec: 0.0,
+            latency_ns: 2_000,
+        };
+        assert!(l.is_dead());
+        assert_eq!(
+            l.try_transfer_ns(1 << 20),
+            Err(Error::DeadLink {
+                link: "dead".to_string(),
+                bytes_per_sec: 0.0,
+            })
+        );
+        // The unchecked path saturates instead of overflowing in debug.
+        assert_eq!(l.transfer_ns(1 << 20), SimTime::MAX);
+    }
+
+    #[test]
+    fn near_zero_and_non_finite_bandwidth_rejected() {
+        for bw in [1e-9, f64::NAN, f64::INFINITY, -1.0] {
+            let l = LinkSpec {
+                name: "odd",
+                bytes_per_sec: bw,
+                latency_ns: 0,
+            };
+            assert!(l.try_transfer_ns(1).is_err(), "bw {bw} accepted");
+        }
+        // A healthy link still reports exact times through the checked path.
+        let ok = LinkSpec::pcie3();
+        assert_eq!(ok.try_transfer_ns(16_000).unwrap(), ok.transfer_ns(16_000));
     }
 
     #[test]

@@ -98,6 +98,16 @@ impl ClusterTopology {
     pub fn single_node(&self, gpus: usize) -> bool {
         gpus <= self.gpus_per_node
     }
+
+    /// A copy with the inter-node network degraded by `factor` (see
+    /// [`LinkSpec::degraded`]) — the topology-level entry point for link
+    /// fault injection.
+    pub fn degrade_inter(&self, factor: f64) -> Self {
+        ClusterTopology {
+            inter: self.inter.degraded(factor),
+            ..self.clone()
+        }
+    }
 }
 
 #[cfg(test)]

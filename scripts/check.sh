@@ -13,4 +13,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> ooo-chaos smoke campaign (determinism + invariants)"
+cargo build -q -p ooo-faults --bin ooo-chaos
+./target/debug/ooo-chaos run --seed 42 --scenarios 5 --json --out /tmp/ooo-chaos-a.json
+./target/debug/ooo-chaos run --seed 42 --scenarios 5 --json --out /tmp/ooo-chaos-b.json
+cmp /tmp/ooo-chaos-a.json /tmp/ooo-chaos-b.json \
+  || { echo "ooo-chaos: same seed produced different reports"; exit 1; }
+rm -f /tmp/ooo-chaos-a.json /tmp/ooo-chaos-b.json
+
 echo "All checks passed."
