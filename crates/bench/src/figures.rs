@@ -1084,6 +1084,65 @@ pub fn chaosrecovery() -> FigureReport {
     }
 }
 
+/// Static analysis vs simulation: the `ooo-advise` makespan predictor
+/// evaluated against the list-scheduling simulator on every pipeline
+/// strategy's op-level schedule, with the advisories each strategy earns.
+pub fn perfadvice() -> FigureReport {
+    use ooo_core::cost::UnitCost;
+    use ooo_core::list_scheduling::simulate;
+    use ooo_core::pipeline::op_level_schedule;
+    use ooo_verify::perf::advise_pipeline;
+
+    let (layers, devices, group) = (8, 2, 1);
+    let mut lines = vec![format!(
+        "{:<22} {:>9} {:>9} {:>6} {:>8}  advisories",
+        "strategy", "predicted", "simulated", "gap", "bubble"
+    )];
+    for (name, strategy) in [
+        ("model-parallel", Strategy::ModelParallel),
+        ("gpipe", Strategy::GPipe),
+        ("ooo-pipe1", Strategy::OooPipe1),
+        ("ooo-pipe2", Strategy::OooPipe2),
+    ] {
+        let (graph, schedule) = op_level_schedule(layers, devices, strategy, group);
+        let simulated = simulate(&graph, &schedule, &UnitCost)
+            .expect("op-level schedule simulates")
+            .makespan();
+        let report = advise_pipeline(layers, devices, strategy, group).expect("advisor runs");
+        assert_eq!(
+            report.predicted_makespan, simulated,
+            "{name}: the static predictor must match the simulator exactly"
+        );
+        let bubble = report.prediction.idle_fraction(|n| n.starts_with("gpu"));
+        let codes: Vec<&str> = report
+            .advice
+            .iter()
+            .map(|a| a.diagnostic.rule.code())
+            .collect();
+        lines.push(format!(
+            "{:<22} {:>9} {:>9} {:>6} {:>7.1}%  {}",
+            name,
+            report.predicted_makespan,
+            simulated,
+            report
+                .optimality_gap
+                .map_or_else(|| "n/a".to_string(), |g| format!("{g:.3}")),
+            bubble * 100.0,
+            if codes.is_empty() {
+                "none".to_string()
+            } else {
+                codes.join(" ")
+            },
+        ));
+    }
+    FigureReport {
+        id: "perfadvice",
+        title: "Static makespan prediction vs simulation (8 layers, 2 devices)",
+        paper: "analyzer extension: prediction is exact; only non-OOO strategies draw advisories",
+        lines,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -66,6 +66,7 @@ pub fn all_ids() -> Vec<&'static str> {
         "recompute",
         "tracemetrics",
         "chaosrecovery",
+        "perfadvice",
     ]
 }
 
@@ -100,6 +101,7 @@ pub fn generate(id: &str) -> FigureReport {
         "recompute" => figures::recompute(),
         "tracemetrics" => figures::tracemetrics(),
         "chaosrecovery" => figures::chaosrecovery(),
+        "perfadvice" => figures::perfadvice(),
         other => panic!("unknown figure id {other}"),
     }
 }

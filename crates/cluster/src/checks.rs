@@ -59,3 +59,35 @@ where
     F: FnOnce() -> (ooo_core::TrainGraph, ooo_core::Schedule),
 {
 }
+
+/// Runs the static performance advisor over a schedule the engine is
+/// about to simulate, asserting the analysis itself is sound: it must
+/// not error on an engine-produced schedule, and the reported gap must
+/// be a valid ratio (≥ 1, the makespan can never beat the lower bound).
+/// Advisories themselves are informational and do not fail the run.
+#[cfg(any(debug_assertions, feature = "verify"))]
+pub(crate) fn advise_lazy<F>(build: F, what: &str)
+where
+    F: FnOnce() -> (ooo_core::TrainGraph, ooo_core::Schedule),
+{
+    use ooo_verify::perf::PerfAdvisor;
+    let (graph, schedule) = build();
+    let report = PerfAdvisor::new(&graph)
+        .analyze(&schedule)
+        .unwrap_or_else(|e| panic!("{what}: performance analysis failed: {e}"));
+    if let Some(gap) = report.optimality_gap {
+        assert!(
+            gap >= 1.0 - 1e-9,
+            "{what}: predicted makespan {} beats the lower bound {} (gap {gap})",
+            report.predicted_makespan,
+            report.lower_bound
+        );
+    }
+}
+
+#[cfg(not(any(debug_assertions, feature = "verify")))]
+pub(crate) fn advise_lazy<F>(_build: F, _what: &str)
+where
+    F: FnOnce() -> (ooo_core::TrainGraph, ooo_core::Schedule),
+{
+}

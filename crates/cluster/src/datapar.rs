@@ -324,6 +324,15 @@ pub fn run(
             false,
             "reverse first-k order",
         );
+        crate::checks::advise_lazy(
+            || {
+                (
+                    s.graph.clone(),
+                    ooo_core::Schedule::single_lane("gpu", order.clone()),
+                )
+            },
+            "reverse first-k order",
+        );
         Ok(simulate_iteration(
             &s.cost,
             &s.wire_bytes,
@@ -487,6 +496,15 @@ pub fn run_fault_injected(
             false,
             "reverse first-k order (fault-injected)",
         );
+        crate::checks::advise_lazy(
+            || {
+                (
+                    s.graph.clone(),
+                    ooo_core::Schedule::single_lane("gpu", order.clone()),
+                )
+            },
+            "reverse first-k order (fault-injected)",
+        );
         Ok(simulate_iteration(
             &s.cost,
             &s.wire_bytes,
@@ -562,6 +580,15 @@ pub fn run_with_fixed_k(
     crate::checks::order_lazy(
         || (graph.clone(), order.clone()),
         false,
+        "reverse first-k order (fixed k)",
+    );
+    crate::checks::advise_lazy(
+        || {
+            (
+                graph.clone(),
+                ooo_core::Schedule::single_lane("gpu", order.clone()),
+            )
+        },
         "reverse first-k order (fixed k)",
     );
     let iter_ns = simulate_iteration(

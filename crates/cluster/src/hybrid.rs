@@ -132,6 +132,16 @@ fn run_combined_inner(
         false,
         "combined reverse first-k + fast-forwarding order",
     );
+    crate::checks::advise_lazy(
+        || {
+            let l = model.num_layers();
+            let graph = ooo_core::graph::TrainGraph::data_parallel(l);
+            let order = ooo_core::combined::combined_backward_order(&graph, k.min(l))
+                .expect("k clamped to the layer count");
+            (graph, ooo_core::Schedule::single_lane("gpu", order))
+        },
+        "combined reverse first-k + fast-forwarding order",
+    );
     let report = run_pipeline(
         model,
         batch,

@@ -6,10 +6,11 @@
 //! PipeDream's steady state is measured fairly.
 
 use crate::{Error, Result, SimTime};
-use ooo_core::graph::TrainGraph;
-use ooo_core::op::{LayerId, Op};
 use ooo_core::pipeline::{simulate_pipeline, PipelineConfig, PipelineResult, Strategy};
-use ooo_core::schedule::Schedule;
+// The op-level schedule builder lives in `ooo_core::pipeline` so the
+// static analyzers can evaluate strategies without depending on this
+// crate; re-exported here for engine users.
+pub use ooo_core::pipeline::op_level_schedule;
 use ooo_models::cost::to_pipe_cost;
 use ooo_models::{GpuProfile, ModelSpec};
 use ooo_netsim::link::LinkSpec;
@@ -127,6 +128,10 @@ fn run_inner(
         true,
         "pipeline op-level schedule",
     );
+    crate::checks::advise_lazy(
+        || op_level_schedule(model.num_layers(), devices, strategy, modulo_group),
+        "pipeline op-level schedule",
+    );
     let mut cost = to_pipe_cost(model, micro, gpu, |bytes| link.transfer_ns(bytes));
     if let Some((dev, factor)) = straggler {
         if factor > 1.0 && factor.is_finite() {
@@ -163,67 +168,6 @@ fn run_inner(
         mean_utilization,
         result,
     })
-}
-
-/// The operation-level rendering of one pipeline iteration under a
-/// strategy: one lane per device holding its layers' computations in
-/// issue order, plus a `link` lane carrying the activation-gradient
-/// transfers `S[dO_i]` between stages.
-///
-/// Fast-forwarding strategies (OOO-Pipe1/2) issue the full
-/// output-gradient chain before any weight gradient; the others follow
-/// conventional per-layer backprop. This is the schedule the `ooo-verify`
-/// analyzer checks in debug builds — device placement comes from the
-/// strategy's allocation, so a placement or ordering bug shows up as a
-/// race or cross-lane deadlock here before the micro-batch simulator
-/// ever runs it.
-pub fn op_level_schedule(
-    layers: usize,
-    devices: usize,
-    strategy: Strategy,
-    modulo_group: usize,
-) -> (TrainGraph, Schedule) {
-    let devices = devices.max(1);
-    let graph = TrainGraph::pipeline_parallel(layers);
-    let alloc = strategy.allocation(layers, devices, modulo_group);
-    let dev_of = |i: usize| alloc.device_of(i, layers, devices);
-    let mut lanes: Vec<Vec<Op>> = vec![Vec::new(); devices];
-    // Backward pass: the loss on the last layer's device, then down the
-    // layer chain.
-    lanes[dev_of(layers)].push(Op::Loss);
-    if strategy.fast_forwarding() {
-        // Gradient fast-forwarding: every dO first, the dW tail delayed.
-        for i in (2..=layers).rev() {
-            lanes[dev_of(i)].push(Op::OutputGrad(LayerId(i)));
-        }
-        for i in (1..=layers).rev() {
-            lanes[dev_of(i)].push(Op::WeightGrad(LayerId(i)));
-            lanes[dev_of(i)].push(Op::Update(LayerId(i)));
-        }
-    } else {
-        // Conventional backprop per layer.
-        for i in (1..=layers).rev() {
-            if i >= 2 {
-                lanes[dev_of(i)].push(Op::OutputGrad(LayerId(i)));
-            }
-            lanes[dev_of(i)].push(Op::WeightGrad(LayerId(i)));
-            lanes[dev_of(i)].push(Op::Update(LayerId(i)));
-        }
-    }
-    // Next iteration's forward pass up the chain.
-    for i in 1..=layers {
-        lanes[dev_of(i)].push(Op::Forward(LayerId(i)));
-    }
-    let mut schedule = Schedule::new();
-    for (d, ops) in lanes.into_iter().enumerate() {
-        schedule.add_lane(&format!("gpu{d}"), ops);
-    }
-    let link: Vec<Op> = (2..=layers)
-        .rev()
-        .map(|i| Op::SyncOutputGrad(LayerId(i)))
-        .collect();
-    schedule.add_lane("link", link);
-    (graph, schedule)
 }
 
 /// Single-GPU reference throughput for normalization (Figure 11a's

@@ -495,6 +495,12 @@ fn plan_multi_region(
         false,
         "multi-region joint schedule",
     );
+    // And the performance advisor: the analysis must hold on every
+    // engine-produced schedule (predictor succeeds, gap well-formed).
+    crate::checks::advise_lazy(
+        || (graph.clone(), schedule.to_schedule(&regions)),
+        "multi-region joint schedule",
+    );
     Ok(schedule)
 }
 

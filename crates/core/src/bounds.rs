@@ -61,6 +61,12 @@ pub fn lower_bound<C: CostModel>(
 }
 
 /// Makespan divided by the lower bound (1.0 = provably optimal).
+///
+/// A zero lower bound (empty graph or all-zero cost model) is
+/// degenerate: any schedule takes at least 0, so a zero makespan is
+/// vacuously optimal (gap 1.0) while a positive makespan against a zero
+/// bound has an unbounded gap (`f64::INFINITY`), never a garbage ratio
+/// or a panic.
 pub fn optimality_gap<C: CostModel>(
     graph: &TrainGraph,
     cost: &C,
@@ -70,7 +76,7 @@ pub fn optimality_gap<C: CostModel>(
 ) -> f64 {
     let lb = lower_bound(graph, cost, compute_lanes, link_lanes);
     if lb == 0 {
-        return 1.0;
+        return if makespan == 0 { 1.0 } else { f64::INFINITY };
     }
     makespan as f64 / lb as f64
 }
@@ -142,6 +148,116 @@ mod tests {
         let m = reverse_k_makespan(&g, k, &cost, CommPolicy::PriorityByLayer).unwrap();
         let gap = optimality_gap(&g, &cost, 1, 1, m);
         assert!(gap < 1.3, "gap {gap}");
+    }
+
+    #[test]
+    fn chain_bounds_hand_computed() {
+        // L=1 single-GPU: the whole graph is the chain
+        // Loss(3) -> dW_1(5) -> U_1(2) -> F_1(7), total 17.
+        let g = TrainGraph::single_gpu(1);
+        let mut cost = TableCost::uniform(
+            1,
+            LayerCost {
+                forward: 7,
+                weight_grad: 5,
+                update: 2,
+                ..LayerCost::default()
+            },
+        );
+        cost.loss = 3;
+        assert_eq!(critical_path(&g, &cost), 17);
+        assert_eq!(resource_bound(&g, &cost, 1, 1), 17);
+        // A chain admits no parallelism: more lanes lower the resource
+        // bound but the critical path keeps the combined bound at 17.
+        assert_eq!(resource_bound(&g, &cost, 2, 1), 8);
+        assert_eq!(lower_bound(&g, &cost, 1, 1), 17);
+        assert_eq!(lower_bound(&g, &cost, 2, 1), 17);
+    }
+
+    #[test]
+    fn diamond_bounds_hand_computed() {
+        // L=2 single-GPU is a diamond: Loss forks into the dO_2 arm
+        // (Loss -> dO_2 -> dW_1 -> U_1 -> F_1 -> F_2, cost 18) and the
+        // dW_2 arm (Loss -> dW_2 -> U_2 -> F_2, cost 10), rejoining at
+        // F_2.
+        let g = TrainGraph::single_gpu(2);
+        let mut cost = TableCost::new(vec![
+            LayerCost {
+                forward: 5,
+                weight_grad: 4,
+                update: 0,
+                ..LayerCost::default()
+            },
+            LayerCost {
+                forward: 6,
+                output_grad: 2,
+                weight_grad: 3,
+                update: 0,
+                ..LayerCost::default()
+            },
+        ]);
+        cost.loss = 1;
+        assert_eq!(critical_path(&g, &cost), 18);
+        // Total work 1+2+4+5 + 3+6 = 21.
+        assert_eq!(resource_bound(&g, &cost, 1, 1), 21);
+        assert_eq!(resource_bound(&g, &cost, 2, 1), 10);
+        assert_eq!(lower_bound(&g, &cost, 1, 1), 21);
+        // Two lanes: the long diamond arm dominates the halved work.
+        assert_eq!(lower_bound(&g, &cost, 2, 1), 18);
+    }
+
+    #[test]
+    fn wide_fanout_bounds_hand_computed() {
+        // Backward-only graph with free dO ops: all four dW_i(5) fan out
+        // from Loss(2) at the same depth — a root with four wide,
+        // independent children.
+        let config = crate::graph::GraphConfig {
+            include_updates: false,
+            include_forward: false,
+            ..crate::graph::GraphConfig::single_gpu(4)
+        };
+        let g = TrainGraph::new(config).unwrap();
+        let mut cost = TableCost::uniform(
+            4,
+            LayerCost {
+                output_grad: 0,
+                weight_grad: 5,
+                ..LayerCost::default()
+            },
+        );
+        cost.loss = 2;
+        // Longest chain: Loss -> (free dO prefix) -> one dW.
+        assert_eq!(critical_path(&g, &cost), 7);
+        // Work: 2 + 4*5 = 22 units.
+        assert_eq!(resource_bound(&g, &cost, 1, 1), 22);
+        assert_eq!(resource_bound(&g, &cost, 4, 1), 5);
+        assert_eq!(lower_bound(&g, &cost, 1, 1), 22);
+        // Four lanes: the chain through the root dominates.
+        assert_eq!(lower_bound(&g, &cost, 4, 1), 7);
+    }
+
+    #[test]
+    fn zero_lower_bound_gap_is_well_defined() {
+        // All-zero cost model: the lower bound collapses to 0. A zero
+        // makespan is vacuously optimal; a positive one has an unbounded
+        // (infinite) gap — never NaN, a panic, or a bogus finite ratio.
+        let g = TrainGraph::single_gpu(3);
+        let zero = TableCost::uniform(
+            3,
+            LayerCost {
+                forward: 0,
+                output_grad: 0,
+                weight_grad: 0,
+                update: 0,
+                ..LayerCost::default()
+            },
+        );
+        assert_eq!(lower_bound(&g, &zero, 1, 1), 0);
+        let gap0 = optimality_gap(&g, &zero, 1, 1, 0);
+        assert!((gap0 - 1.0).abs() < 1e-12, "zero/zero gap {gap0}");
+        let gap_pos = optimality_gap(&g, &zero, 1, 1, 42);
+        assert!(gap_pos.is_infinite() && gap_pos > 0.0, "gap {gap_pos}");
+        assert!(!gap_pos.is_nan());
     }
 
     #[test]

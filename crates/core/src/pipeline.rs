@@ -24,6 +24,9 @@
 //! 16 with modulo allocation.
 
 use crate::error::{Error, Result};
+use crate::graph::TrainGraph;
+use crate::op::{LayerId, Op};
+use crate::schedule::Schedule;
 use crate::SimTime;
 use std::collections::HashMap;
 
@@ -821,6 +824,68 @@ pub fn simulate_pipeline(config: &PipelineConfig) -> Result<PipelineResult> {
         devices: d,
         iteration_finish,
     })
+}
+
+/// The operation-level rendering of one pipeline iteration under a
+/// strategy: one lane per device holding its layers' computations in
+/// issue order, plus a `link` lane carrying the activation-gradient
+/// transfers `S[dO_i]` between stages.
+///
+/// Fast-forwarding strategies (OOO-Pipe1/2) issue the full
+/// output-gradient chain before any weight gradient; the others follow
+/// conventional per-layer backprop. This is the schedule the `ooo-verify`
+/// analyzer checks in debug builds — device placement comes from the
+/// strategy's allocation, so a placement or ordering bug shows up as a
+/// race or cross-lane deadlock here before the micro-batch simulator
+/// ever runs it. The static performance analyzer (`ooo-advise`) evaluates
+/// the same rendering to compare strategies' bubble fractions.
+pub fn op_level_schedule(
+    layers: usize,
+    devices: usize,
+    strategy: Strategy,
+    modulo_group: usize,
+) -> (TrainGraph, Schedule) {
+    let devices = devices.max(1);
+    let graph = TrainGraph::pipeline_parallel(layers);
+    let alloc = strategy.allocation(layers, devices, modulo_group);
+    let dev_of = |i: usize| alloc.device_of(i, layers, devices);
+    let mut lanes: Vec<Vec<Op>> = vec![Vec::new(); devices];
+    // Backward pass: the loss on the last layer's device, then down the
+    // layer chain.
+    lanes[dev_of(layers)].push(Op::Loss);
+    if strategy.fast_forwarding() {
+        // Gradient fast-forwarding: every dO first, the dW tail delayed.
+        for i in (2..=layers).rev() {
+            lanes[dev_of(i)].push(Op::OutputGrad(LayerId(i)));
+        }
+        for i in (1..=layers).rev() {
+            lanes[dev_of(i)].push(Op::WeightGrad(LayerId(i)));
+            lanes[dev_of(i)].push(Op::Update(LayerId(i)));
+        }
+    } else {
+        // Conventional backprop per layer.
+        for i in (1..=layers).rev() {
+            if i >= 2 {
+                lanes[dev_of(i)].push(Op::OutputGrad(LayerId(i)));
+            }
+            lanes[dev_of(i)].push(Op::WeightGrad(LayerId(i)));
+            lanes[dev_of(i)].push(Op::Update(LayerId(i)));
+        }
+    }
+    // Next iteration's forward pass up the chain.
+    for i in 1..=layers {
+        lanes[dev_of(i)].push(Op::Forward(LayerId(i)));
+    }
+    let mut schedule = Schedule::new();
+    for (d, ops) in lanes.into_iter().enumerate() {
+        schedule.add_lane(&format!("gpu{d}"), ops);
+    }
+    let link: Vec<Op> = (2..=layers)
+        .rev()
+        .map(|i| Op::SyncOutputGrad(LayerId(i)))
+        .collect();
+    schedule.add_lane("link", link);
+    (graph, schedule)
 }
 
 #[cfg(test)]

@@ -10,18 +10,33 @@
 //! [`Schedule`] and produces a [`Report`] of structured [`Diagnostic`]s,
 //! each tagged with a stable [`RuleId`] and [`Severity`].
 //!
+//! The crate also answers the companion question — "is this schedule
+//! actually *fast*?" — statically: [`predict`] evaluates any schedule's
+//! makespan by cost-model list evaluation (no discrete-event
+//! simulation), and [`perf`] turns the prediction into the advisory
+//! `OP`-series lints below, each carrying an applicable fix suggestion
+//! where one exists.
+//!
 //! ## Rule catalog
 //!
-//! | Rule    | Severity | Meaning |
-//! |---------|----------|---------|
-//! | `OV001` | error    | schedule references an op outside the graph |
-//! | `OV002` | error    | op assigned to more than one lane/position |
-//! | `OV003` | error    | graph op missing from a complete schedule |
-//! | `OV101` | error    | op scheduled before its own dependency on one lane |
-//! | `OV102` | error    | cross-lane wait cycle (deadlock) |
-//! | `OV201` | error    | unsynchronized conflicting accesses to one buffer |
-//! | `OV301` | error    | peak memory exceeds the configured budget |
-//! | `OV401` | warning  | non-`dW`-class ops deviate from conventional order |
+//! The table below is generated from [`RuleId::summary`]; a unit test
+//! asserts it stays in sync with the README copy.
+//!
+//! | Rule | Severity | Meaning |
+//! |------|----------|---------|
+//! | `OV001` | error | schedule references an op outside the graph |
+//! | `OV002` | error | op assigned to more than one lane/position |
+//! | `OV003` | error | graph op missing from a complete schedule |
+//! | `OV101` | error | op scheduled before its own dependency on one lane |
+//! | `OV102` | error | cross-lane wait cycle (deadlock) |
+//! | `OV201` | error | unsynchronized conflicting accesses to one buffer |
+//! | `OV301` | error | peak memory exceeds the configured budget |
+//! | `OV401` | warning | non-`dW`-class ops deviate from conventional order |
+//! | `OP101` | advice | deferrable dW op sits on the predicted critical path |
+//! | `OP201` | advice | sync op on a compute lane stalls independent work |
+//! | `OP301` | advice | reverse first-k depth is off the concave-model optimum |
+//! | `OP401` | advice | pipeline bubble fraction exceeds the modulo-allocation bound |
+//! | `OP501` | advice | deferring a dW op would shrink the peak-memory high-water mark |
 //!
 //! ## Analyses
 //!
@@ -58,6 +73,8 @@
 
 pub mod access;
 pub mod hb;
+pub mod perf;
+pub mod predict;
 
 use access::{accesses, AccessKind, BufferId};
 use ooo_core::cost::{CostModel, UnitCost};
@@ -73,6 +90,9 @@ use std::fmt;
 pub enum Severity {
     /// Informational note.
     Info,
+    /// Performance advisory: the schedule is safe but measurably slower
+    /// (or heavier) than an available alternative.
+    Advice,
     /// Suspicious but not necessarily unsafe.
     Warning,
     /// The schedule is unsafe or malformed.
@@ -84,6 +104,7 @@ impl Severity {
     pub fn as_str(self) -> &'static str {
         match self {
             Severity::Info => "info",
+            Severity::Advice => "advice",
             Severity::Warning => "warning",
             Severity::Error => "error",
         }
@@ -118,7 +139,40 @@ pub enum RuleId {
     /// `OV401`: non-`dW`-class ops were reordered relative to the
     /// conventional execution order.
     NonWeightGradReorder,
+    /// `OP101`: a `dW` op on the predicted critical path could legally
+    /// run later, shortening the makespan (missed ooo opportunity).
+    MissedOooOpportunity,
+    /// `OP201`: a synchronization op placed on a compute lane serializes
+    /// work that does not depend on it (avoidable stall).
+    AvoidableBarrierStall,
+    /// `OP301`: the order's reverse first-k depth is not the optimum of
+    /// the concave-makespan model.
+    SuboptimalReverseK,
+    /// `OP401`: the pipeline schedule's bubble fraction exceeds what
+    /// gradient fast-forwarding with modulo allocation achieves.
+    ExcessPipelineBubble,
+    /// `OP501`: a `dW` op executed early keeps its gradient buffer live
+    /// across the peak; deferring it would shrink the high-water mark.
+    PeakMemoryHotspot,
 }
+
+/// Every analyzer rule, in rule-code order — the single source the
+/// documentation tables are generated from.
+pub const RULES: &[RuleId] = &[
+    RuleId::UnknownOp,
+    RuleId::DuplicateOp,
+    RuleId::MissingOp,
+    RuleId::DependencyInversion,
+    RuleId::CrossLaneDeadlock,
+    RuleId::BufferRace,
+    RuleId::MemoryBudgetExceeded,
+    RuleId::NonWeightGradReorder,
+    RuleId::MissedOooOpportunity,
+    RuleId::AvoidableBarrierStall,
+    RuleId::SuboptimalReverseK,
+    RuleId::ExcessPipelineBubble,
+    RuleId::PeakMemoryHotspot,
+];
 
 impl RuleId {
     /// The stable rule code (e.g. `"OV201"`).
@@ -132,6 +186,11 @@ impl RuleId {
             RuleId::BufferRace => "OV201",
             RuleId::MemoryBudgetExceeded => "OV301",
             RuleId::NonWeightGradReorder => "OV401",
+            RuleId::MissedOooOpportunity => "OP101",
+            RuleId::AvoidableBarrierStall => "OP201",
+            RuleId::SuboptimalReverseK => "OP301",
+            RuleId::ExcessPipelineBubble => "OP401",
+            RuleId::PeakMemoryHotspot => "OP501",
         }
     }
 
@@ -139,7 +198,35 @@ impl RuleId {
     pub fn severity(self) -> Severity {
         match self {
             RuleId::NonWeightGradReorder => Severity::Warning,
+            RuleId::MissedOooOpportunity
+            | RuleId::AvoidableBarrierStall
+            | RuleId::SuboptimalReverseK
+            | RuleId::ExcessPipelineBubble
+            | RuleId::PeakMemoryHotspot => Severity::Advice,
             _ => Severity::Error,
+        }
+    }
+
+    /// One-line meaning, as shown in the documentation rule tables.
+    pub fn summary(self) -> &'static str {
+        match self {
+            RuleId::UnknownOp => "schedule references an op outside the graph",
+            RuleId::DuplicateOp => "op assigned to more than one lane/position",
+            RuleId::MissingOp => "graph op missing from a complete schedule",
+            RuleId::DependencyInversion => "op scheduled before its own dependency on one lane",
+            RuleId::CrossLaneDeadlock => "cross-lane wait cycle (deadlock)",
+            RuleId::BufferRace => "unsynchronized conflicting accesses to one buffer",
+            RuleId::MemoryBudgetExceeded => "peak memory exceeds the configured budget",
+            RuleId::NonWeightGradReorder => "non-`dW`-class ops deviate from conventional order",
+            RuleId::MissedOooOpportunity => "deferrable dW op sits on the predicted critical path",
+            RuleId::AvoidableBarrierStall => "sync op on a compute lane stalls independent work",
+            RuleId::SuboptimalReverseK => "reverse first-k depth is off the concave-model optimum",
+            RuleId::ExcessPipelineBubble => {
+                "pipeline bubble fraction exceeds the modulo-allocation bound"
+            }
+            RuleId::PeakMemoryHotspot => {
+                "deferring a dW op would shrink the peak-memory high-water mark"
+            }
         }
     }
 }
@@ -570,6 +657,25 @@ mod tests {
 
     fn codes(report: &Report) -> Vec<&'static str> {
         report.rule_codes()
+    }
+
+    #[test]
+    fn rule_tables_are_generated_from_summaries() {
+        // One source of truth: the crate-docs table and the README table
+        // must both carry exactly the row `RuleId::summary` renders for
+        // every rule, so the three never drift apart.
+        let lib = include_str!("lib.rs");
+        let readme = include_str!("../../../README.md");
+        for &rule in RULES {
+            let row = format!(
+                "| `{}` | {} | {} |",
+                rule.code(),
+                rule.severity().as_str(),
+                rule.summary()
+            );
+            assert!(lib.contains(&row), "crate docs missing row: {row}");
+            assert!(readme.contains(&row), "README missing row: {row}");
+        }
     }
 
     #[test]

@@ -1,0 +1,400 @@
+//! Static makespan prediction by cost-model list evaluation.
+//!
+//! [`predict_makespan`] derives exact start/finish times for every op of
+//! a fixed multi-lane [`Schedule`] without running a discrete-event
+//! simulation: the union graph (per-lane program order plus the
+//! dependency edges between scheduled ops) is evaluated once in
+//! topological order with the recurrence
+//!
+//! ```text
+//! start(op) = max(finish(lane predecessor), max over deps finish(dep))
+//! finish(op) = start(op) + cost.duration(op)
+//! ```
+//!
+//! which is the same recurrence [`ooo_core::list_scheduling::simulate`]
+//! resolves event by event — so for any fixed schedule the prediction
+//! matches the simulated timeline **exactly** (tolerance 0). Dependencies
+//! outside the schedule are treated as finished at time zero, supporting
+//! the partial schedules of reverse first-k scheduling.
+//!
+//! [`datapar_schedule`] statically reconstructs the two-lane schedule
+//! realized by [`ooo_core::datapar::simulate_data_parallel`] for a given
+//! backward order and communication policy; predicting it reproduces the
+//! data-parallel simulator's makespan exactly (zero latency tail).
+
+use ooo_core::cost::CostModel;
+use ooo_core::datapar::CommPolicy;
+use ooo_core::op::LayerId;
+use ooo_core::schedule::Schedule;
+use ooo_core::{Error, Op, SimTime, TrainGraph};
+use std::collections::HashMap;
+
+/// One scheduled operation with its predicted interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PredictedOp {
+    /// The operation.
+    pub op: Op,
+    /// Index of the lane it is placed on.
+    pub lane: usize,
+    /// Position within the lane.
+    pub index: usize,
+    /// Predicted start time (ns).
+    pub start: SimTime,
+    /// Predicted finish time (ns).
+    pub end: SimTime,
+}
+
+/// The outcome of statically evaluating one schedule.
+#[derive(Debug, Clone)]
+pub struct Prediction {
+    lane_names: Vec<String>,
+    ops: Vec<PredictedOp>,
+    index: HashMap<Op, usize>,
+    /// For each op (by node index), the node whose finish bound its start
+    /// (`None` for ops starting at time zero).
+    binding: Vec<Option<usize>>,
+    makespan: SimTime,
+}
+
+impl Prediction {
+    /// The predicted makespan: latest finish across all lanes.
+    pub fn makespan(&self) -> SimTime {
+        self.makespan
+    }
+
+    /// Every op with its predicted interval, in lane-major schedule
+    /// order.
+    pub fn ops(&self) -> &[PredictedOp] {
+        &self.ops
+    }
+
+    /// The lane names, in schedule order.
+    pub fn lane_names(&self) -> &[String] {
+        &self.lane_names
+    }
+
+    /// Predicted start time of `op`, if scheduled.
+    pub fn start_of(&self, op: Op) -> Option<SimTime> {
+        self.index.get(&op).map(|&i| self.ops[i].start)
+    }
+
+    /// Predicted finish time of `op`, if scheduled.
+    pub fn finish_of(&self, op: Op) -> Option<SimTime> {
+        self.index.get(&op).map(|&i| self.ops[i].end)
+    }
+
+    /// Total predicted busy time of lane `lane`.
+    pub fn lane_busy(&self, lane: usize) -> SimTime {
+        self.ops
+            .iter()
+            .filter(|p| p.lane == lane)
+            .map(|p| p.end - p.start)
+            .sum()
+    }
+
+    /// The idle (bubble) fraction across the lanes selected by `select`,
+    /// over the full `[0, makespan]` window: `1 - busy / (lanes * makespan)`.
+    pub fn idle_fraction(&self, select: impl Fn(&str) -> bool) -> f64 {
+        let lanes: Vec<usize> = (0..self.lane_names.len())
+            .filter(|&i| select(&self.lane_names[i]))
+            .collect();
+        if lanes.is_empty() || self.makespan == 0 {
+            return 0.0;
+        }
+        let busy: SimTime = lanes.iter().map(|&i| self.lane_busy(i)).sum();
+        1.0 - busy as f64 / (lanes.len() as SimTime * self.makespan) as f64
+    }
+
+    /// One predicted critical path: a chain of ops, each starting exactly
+    /// when its binding predecessor finishes, ending at the makespan.
+    /// Deterministic (ties resolve to the smallest node index).
+    pub fn critical_ops(&self) -> Vec<Op> {
+        let Some(last) = self
+            .ops
+            .iter()
+            .enumerate()
+            .max_by(|(ia, a), (ib, b)| a.end.cmp(&b.end).then(ib.cmp(ia)))
+            .map(|(i, _)| i)
+        else {
+            return Vec::new();
+        };
+        let mut chain = Vec::new();
+        let mut cur = Some(last);
+        while let Some(i) = cur {
+            chain.push(self.ops[i].op);
+            cur = self.binding[i];
+        }
+        chain.reverse();
+        chain
+    }
+}
+
+/// Statically evaluates `schedule` under `cost`: a single topological
+/// pass over the union of lane program order and dependency edges.
+///
+/// # Errors
+///
+/// Mirrors [`ooo_core::list_scheduling::simulate`]:
+/// [`Error::UnknownOp`] / [`Error::DuplicateOp`] for malformed schedules
+/// and [`Error::DependencyViolation`] when the lanes deadlock.
+pub fn predict_makespan<C: CostModel>(
+    graph: &TrainGraph,
+    schedule: &Schedule,
+    cost: &C,
+) -> Result<Prediction, Error> {
+    let mut index: HashMap<Op, usize> = HashMap::new();
+    let mut nodes: Vec<PredictedOp> = Vec::new();
+    for (li, lane) in schedule.lanes.iter().enumerate() {
+        for (pos, &op) in lane.ops.iter().enumerate() {
+            if !graph.contains(op) {
+                return Err(Error::UnknownOp(op));
+            }
+            if index.insert(op, nodes.len()).is_some() {
+                return Err(Error::DuplicateOp(op));
+            }
+            nodes.push(PredictedOp {
+                op,
+                lane: li,
+                index: pos,
+                start: 0,
+                end: 0,
+            });
+        }
+    }
+
+    // Union-graph predecessors: the lane predecessor plus every
+    // *scheduled* dependency (outside deps are complete at time zero).
+    let n = nodes.len();
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, node) in nodes.iter().enumerate() {
+        if node.index > 0 {
+            preds[i].push(i - 1);
+        }
+        for dep in graph.deps(node.op)? {
+            if let Some(&d) = index.get(&dep) {
+                preds[i].push(d);
+            }
+        }
+    }
+    let mut indeg: Vec<usize> = preds.iter().map(Vec::len).collect();
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, ps) in preds.iter().enumerate() {
+        for &p in ps {
+            succs[p].push(i);
+        }
+    }
+
+    let mut binding: Vec<Option<usize>> = vec![None; n];
+    let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut done = 0usize;
+    while let Some(i) = queue.pop() {
+        done += 1;
+        let mut start: SimTime = 0;
+        for &p in &preds[i] {
+            // The first predecessor reaching the maximum finish becomes
+            // the binding one (preds order is deterministic: lane
+            // predecessor first, then deps in graph order).
+            let f = nodes[p].end;
+            if f > start {
+                start = f;
+                binding[i] = Some(p);
+            }
+        }
+        nodes[i].start = start;
+        nodes[i].end = start + cost.duration(nodes[i].op);
+        for &s in &succs[i] {
+            indeg[s] -= 1;
+            if indeg[s] == 0 {
+                queue.push(s);
+            }
+        }
+    }
+    if done < n {
+        // The union graph has a cycle: the lanes deadlock. Report one
+        // blocked op with a scheduled-but-unfinished dependency, the way
+        // the simulator does.
+        let blocked = (0..n).find(|&i| indeg[i] > 0).expect("cycle exists");
+        let op = nodes[blocked].op;
+        let missing = graph
+            .deps(op)?
+            .into_iter()
+            .find(|d| index.get(d).is_some_and(|&di| indeg[di] > 0))
+            .unwrap_or(op);
+        return Err(Error::DependencyViolation {
+            op,
+            missing_dep: missing,
+        });
+    }
+
+    let makespan = nodes.iter().map(|p| p.end).max().unwrap_or(0);
+    Ok(Prediction {
+        lane_names: schedule.lanes.iter().map(|l| l.name.clone()).collect(),
+        ops: nodes,
+        index,
+        binding,
+        makespan,
+    })
+}
+
+/// Statically reconstructs the two-lane schedule the data-parallel
+/// simulator realizes for `backward` under `policy`: the compute lane
+/// runs the backward order followed by `U_i`/`F_i` in layer order, the
+/// link lane serves each `S[dW_i]` in the order the policy would pick it
+/// given the sequential backward finish times.
+///
+/// Predicting the returned schedule reproduces
+/// [`ooo_core::datapar::simulate_data_parallel`]'s timeline exactly
+/// (zero latency tail).
+///
+/// # Errors
+///
+/// Propagates validation errors when `backward` is not a valid partial
+/// order of `graph`.
+pub fn datapar_schedule<C: CostModel>(
+    graph: &TrainGraph,
+    backward: &[Op],
+    cost: &C,
+    policy: CommPolicy,
+) -> Result<Schedule, Error> {
+    ooo_core::schedule::validate_partial_order(graph, backward)?;
+    let l = graph.layers();
+
+    // Sequential backward finish times drive the policy's pick order.
+    let mut t: SimTime = 0;
+    let mut dw_finish: Vec<SimTime> = vec![0; l + 1];
+    for &op in backward {
+        t += cost.duration(op);
+        if let Op::WeightGrad(LayerId(i)) = op {
+            dw_finish[i] = t;
+        }
+    }
+
+    let mut compute: Vec<Op> = backward.to_vec();
+    for i in 1..=l {
+        let u = Op::Update(LayerId(i));
+        if graph.contains(u) {
+            compute.push(u);
+        }
+        compute.push(Op::Forward(LayerId(i)));
+    }
+    let mut schedule = Schedule::new();
+    schedule.add_lane("gpu", compute);
+
+    if graph.contains(Op::SyncWeightGrad(LayerId(1))) {
+        let mut pending: Vec<usize> = (1..=l).collect();
+        let mut link_free: SimTime = 0;
+        let mut link: Vec<Op> = Vec::with_capacity(l);
+        while !pending.is_empty() {
+            let earliest = pending.iter().map(|&i| dw_finish[i]).min().expect("some");
+            let now = link_free.max(earliest);
+            let pick = match policy {
+                CommPolicy::FifoCompletion => pending
+                    .iter()
+                    .copied()
+                    .filter(|&i| dw_finish[i] <= now)
+                    .min_by_key(|&i| (dw_finish[i], i))
+                    .expect("earliest-ready qualifies"),
+                CommPolicy::PriorityByLayer => pending
+                    .iter()
+                    .copied()
+                    .filter(|&i| dw_finish[i] <= now)
+                    .min()
+                    .expect("earliest-ready qualifies"),
+            };
+            pending.retain(|&i| i != pick);
+            let op = Op::SyncWeightGrad(LayerId(pick));
+            link_free = now + cost.duration(op);
+            link.push(op);
+        }
+        schedule.add_lane("link", link);
+    }
+    Ok(schedule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ooo_core::cost::{LayerCost, TableCost, UnitCost};
+    use ooo_core::datapar::simulate_data_parallel;
+    use ooo_core::list_scheduling::simulate;
+    use ooo_core::reverse_k::reverse_first_k;
+
+    #[test]
+    fn prediction_matches_simulation_exactly_on_multi_lane_schedules() {
+        let g = TrainGraph::single_gpu(7);
+        let mut main = vec![Op::Loss];
+        for i in (2..=7).rev() {
+            main.push(Op::OutputGrad(LayerId(i)));
+        }
+        for i in 1..=7 {
+            main.push(Op::Forward(LayerId(i)));
+        }
+        let mut sub = Vec::new();
+        for i in (1..=7).rev() {
+            sub.push(Op::WeightGrad(LayerId(i)));
+            sub.push(Op::Update(LayerId(i)));
+        }
+        let mut s = Schedule::new();
+        s.add_lane("main", main);
+        s.add_lane("sub", sub);
+        let sim = simulate(&g, &s, &UnitCost).unwrap();
+        let pred = predict_makespan(&g, &s, &UnitCost).unwrap();
+        assert_eq!(pred.makespan(), sim.makespan());
+        for e in &sim.entries {
+            assert_eq!(pred.start_of(e.op), Some(e.start), "{}", e.op);
+            assert_eq!(pred.finish_of(e.op), Some(e.end), "{}", e.op);
+        }
+    }
+
+    #[test]
+    fn deadlock_is_an_error_not_a_prediction() {
+        let g = TrainGraph::single_gpu(2);
+        let mut s = Schedule::new();
+        s.add_lane("a", vec![Op::WeightGrad(LayerId(1)), Op::Loss]);
+        s.add_lane("b", vec![Op::OutputGrad(LayerId(2))]);
+        assert!(matches!(
+            predict_makespan(&g, &s, &UnitCost),
+            Err(Error::DependencyViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn critical_path_ends_at_makespan_and_is_a_chain() {
+        let g = TrainGraph::single_gpu(5);
+        let s = Schedule::single_lane("gpu", g.conventional_backprop());
+        let p = predict_makespan(&g, &s, &UnitCost).unwrap();
+        let chain = p.critical_ops();
+        assert!(!chain.is_empty());
+        assert_eq!(p.finish_of(*chain.last().unwrap()), Some(p.makespan()));
+        for w in chain.windows(2) {
+            assert_eq!(p.finish_of(w[0]), p.start_of(w[1]));
+        }
+    }
+
+    #[test]
+    fn datapar_reconstruction_is_exact_for_both_policies() {
+        for l in [4usize, 9, 16] {
+            for k in [0, l / 3, l] {
+                for policy in [CommPolicy::FifoCompletion, CommPolicy::PriorityByLayer] {
+                    let g = TrainGraph::data_parallel(l);
+                    let mut cost = TableCost::uniform(
+                        l,
+                        LayerCost {
+                            sync_weight: 3,
+                            ..LayerCost::default()
+                        },
+                    );
+                    cost.layer_mut(LayerId(1)).sync_weight = 11;
+                    let order = reverse_first_k(&g, k, None::<(u64, &TableCost)>).unwrap();
+                    let sim = simulate_data_parallel(&g, &order, &cost, policy).unwrap();
+                    let s = datapar_schedule(&g, &order, &cost, policy).unwrap();
+                    let pred = predict_makespan(&g, &s, &cost).unwrap();
+                    assert_eq!(pred.makespan(), sim.makespan(), "l={l} k={k}");
+                    for e in &sim.entries {
+                        assert_eq!(pred.finish_of(e.op), Some(e.end), "l={l} k={k} {}", e.op);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -21,4 +21,18 @@ cmp /tmp/ooo-chaos-a.json /tmp/ooo-chaos-b.json \
   || { echo "ooo-chaos: same seed produced different reports"; exit 1; }
 rm -f /tmp/ooo-chaos-a.json /tmp/ooo-chaos-b.json
 
+echo "==> ooo-advise smoke (exit-code contract + determinism)"
+cargo build -q -p ooo-verify --bin ooo-advise
+rc=0; ./target/debug/ooo-advise pipeline --layers 8 --devices 2 --strategy pipe2 || rc=$?
+[ "$rc" -eq 0 ] || { echo "ooo-advise: OOO-Pipe2 should be advisory-free (got $rc)"; exit 1; }
+rc=0; ./target/debug/ooo-advise pipeline --layers 8 --devices 2 --strategy gpipe || rc=$?
+[ "$rc" -eq 1 ] || { echo "ooo-advise: GPipe should draw OP401 (got $rc)"; exit 1; }
+rc=0; ./target/debug/ooo-advise pipeline --layers 8 --devices 2 --strategy gpipe --json --out /tmp/ooo-advise-a.json || rc=$?
+[ "$rc" -eq 1 ] || { echo "ooo-advise: unexpected exit $rc"; exit 1; }
+rc=0; ./target/debug/ooo-advise pipeline --layers 8 --devices 2 --strategy gpipe --json --out /tmp/ooo-advise-b.json || rc=$?
+[ "$rc" -eq 1 ] || { echo "ooo-advise: unexpected exit $rc"; exit 1; }
+cmp /tmp/ooo-advise-a.json /tmp/ooo-advise-b.json \
+  || { echo "ooo-advise: same configuration produced different reports"; exit 1; }
+rm -f /tmp/ooo-advise-a.json /tmp/ooo-advise-b.json
+
 echo "All checks passed."
