@@ -67,6 +67,7 @@ pub fn all_ids() -> Vec<&'static str> {
         "tracemetrics",
         "chaosrecovery",
         "perfadvice",
+        "tuned",
     ]
 }
 
@@ -102,6 +103,7 @@ pub fn generate(id: &str) -> FigureReport {
         "tracemetrics" => figures::tracemetrics(),
         "chaosrecovery" => figures::chaosrecovery(),
         "perfadvice" => figures::perfadvice(),
+        "tuned" => figures::tuned(),
         other => panic!("unknown figure id {other}"),
     }
 }

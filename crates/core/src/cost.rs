@@ -184,6 +184,24 @@ impl CostModel for TableCost {
     }
 }
 
+impl<C: CostModel + ?Sized> CostModel for &C {
+    fn duration(&self, op: Op) -> SimTime {
+        (**self).duration(op)
+    }
+
+    fn activation_bytes(&self, layer: LayerId) -> u64 {
+        (**self).activation_bytes(layer)
+    }
+
+    fn out_grad_bytes(&self, layer: LayerId) -> u64 {
+        (**self).out_grad_bytes(layer)
+    }
+
+    fn weight_bytes(&self, layer: LayerId) -> u64 {
+        (**self).weight_bytes(layer)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

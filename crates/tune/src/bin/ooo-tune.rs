@@ -1,0 +1,599 @@
+//! `ooo-tune` — predictor-guided schedule autotuning.
+//!
+//! Three modes:
+//!
+//! ```text
+//! ooo-tune order --layers N [--k K] [--sync NS] [--policy fifo|bylayer]
+//!                [--restarts N] [--json] [--out FILE]
+//! ooo-tune bundle <bundle.json> [--schedule NAME] [--policy fifo|bylayer]
+//!                [--restarts N] [--json] [--out FILE]
+//! ooo-tune pipeline --layers N --devices D --strategy NAME [--group G]
+//!                [--restarts N] [--json] [--out FILE]
+//! ```
+//!
+//! `order` tunes a reverse-first-k backward order of a data-parallel
+//! graph with uniform per-layer costs (`--sync` sets the `S[dW]`
+//! duration). `bundle` tunes every order and schedule of a
+//! JSON-exported [`ScheduleBundle`]. `pipeline` tunes one strategy's
+//! op-level schedule under unit cost. Every winner is certified:
+//! predicted makespan == simulated makespan, tolerance 0.
+//!
+//! Output is deterministic: the same input produces byte-identical
+//! output (CI runs every invocation twice and compares). Exit status:
+//! `0` when every input was tuned and certified (improved or already
+//! optimal), `1` when an input schedule fails the `ooo-verify` safety
+//! gate (the tuner refuses unsafe starting points), `2` on usage, I/O,
+//! or parse problems.
+
+use ooo_core::cost::{LayerCost, TableCost, UnitCost};
+use ooo_core::datapar::CommPolicy;
+use ooo_core::export::ScheduleBundle;
+use ooo_core::json::{obj, Value};
+use ooo_core::pipeline::Strategy;
+use ooo_core::reverse_k::reverse_first_k;
+use ooo_core::{SimTime, TrainGraph};
+use ooo_tune::order::{certify_order, tune_backward_order, KFamily};
+use ooo_tune::pipeline::tune_pipeline;
+use ooo_tune::{certify_schedule, tune_schedule, AppliedMove, Error, TuneOptions};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: ooo-tune order --layers N [--k K] [--sync NS] \
+                     [--policy fifo|bylayer] [--restarts N] [--json] [--out FILE]\n\
+                     \x20      ooo-tune bundle <bundle.json> [--schedule NAME] \
+                     [--policy fifo|bylayer] [--restarts N] [--json] [--out FILE]\n\
+                     \x20      ooo-tune pipeline --layers N --devices D --strategy NAME \
+                     [--group G] [--restarts N] [--json] [--out FILE]";
+
+enum Mode {
+    Order {
+        layers: usize,
+        k: usize,
+        sync: SimTime,
+        policy: CommPolicy,
+    },
+    Bundle {
+        path: String,
+        schedule: Option<String>,
+        policy: CommPolicy,
+    },
+    Pipeline {
+        layers: usize,
+        devices: usize,
+        strategy: Strategy,
+        group: usize,
+    },
+}
+
+struct Args {
+    mode: Mode,
+    restarts: u64,
+    json: bool,
+    out: Option<String>,
+}
+
+fn parse_strategy(name: &str) -> Result<Strategy, String> {
+    Ok(match name {
+        "mp" | "modelparallel" => Strategy::ModelParallel,
+        "gpipe" => Strategy::GPipe,
+        "pipedream" => Strategy::PipeDream,
+        "dapple" => Strategy::Dapple,
+        "megatron" => Strategy::MegatronInterleaved { chunks: 2 },
+        "pipe1" => Strategy::OooPipe1,
+        "pipe2" => Strategy::OooPipe2,
+        other => return Err(format!("unknown strategy: {other:?}")),
+    })
+}
+
+fn parse_policy(name: &str) -> Result<CommPolicy, String> {
+    Ok(match name {
+        "fifo" => CommPolicy::FifoCompletion,
+        "bylayer" => CommPolicy::PriorityByLayer,
+        other => return Err(format!("unknown policy: {other:?}")),
+    })
+}
+
+fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
+    argv.next(); // program name
+    let mode_word = argv.next().ok_or_else(|| USAGE.to_string())?;
+    let need_value = |argv: &mut std::env::Args, flag: &str| {
+        argv.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    let parse_usize = |flag: &str, v: String| {
+        v.parse::<usize>()
+            .map_err(|_| format!("{flag}: not a count: {v:?}"))
+    };
+    let mut restarts = TuneOptions::default().restarts;
+    let mut json = false;
+    let mut out = None;
+
+    let mode = match mode_word.as_str() {
+        "order" => {
+            let mut layers = None;
+            let mut k = 0usize;
+            let mut sync: SimTime = 3;
+            let mut policy = CommPolicy::PriorityByLayer;
+            while let Some(arg) = argv.next() {
+                match arg.as_str() {
+                    "--layers" => {
+                        layers = Some(parse_usize("--layers", need_value(&mut argv, "--layers")?)?)
+                    }
+                    "--k" => k = parse_usize("--k", need_value(&mut argv, "--k")?)?,
+                    "--sync" => {
+                        sync = parse_usize("--sync", need_value(&mut argv, "--sync")?)? as SimTime
+                    }
+                    "--policy" => policy = parse_policy(&need_value(&mut argv, "--policy")?)?,
+                    "--restarts" => {
+                        restarts =
+                            parse_usize("--restarts", need_value(&mut argv, "--restarts")?)? as u64
+                    }
+                    "--json" => json = true,
+                    "--out" => out = Some(need_value(&mut argv, "--out")?),
+                    "--help" | "-h" => return Err(USAGE.to_string()),
+                    other => return Err(format!("unexpected argument: {other}")),
+                }
+            }
+            match layers {
+                Some(layers) if layers > 0 && k <= layers => Mode::Order {
+                    layers,
+                    k,
+                    sync,
+                    policy,
+                },
+                _ => return Err(USAGE.to_string()),
+            }
+        }
+        "bundle" => {
+            let mut path = String::new();
+            let mut schedule = None;
+            let mut policy = CommPolicy::PriorityByLayer;
+            while let Some(arg) = argv.next() {
+                match arg.as_str() {
+                    "--schedule" => schedule = Some(need_value(&mut argv, "--schedule")?),
+                    "--policy" => policy = parse_policy(&need_value(&mut argv, "--policy")?)?,
+                    "--restarts" => {
+                        restarts =
+                            parse_usize("--restarts", need_value(&mut argv, "--restarts")?)? as u64
+                    }
+                    "--json" => json = true,
+                    "--out" => out = Some(need_value(&mut argv, "--out")?),
+                    "--help" | "-h" => return Err(USAGE.to_string()),
+                    other if other.starts_with('-') => {
+                        return Err(format!("unknown flag: {other}"))
+                    }
+                    other if path.is_empty() => path = other.to_string(),
+                    other => return Err(format!("unexpected argument: {other}")),
+                }
+            }
+            if path.is_empty() {
+                return Err(USAGE.to_string());
+            }
+            Mode::Bundle {
+                path,
+                schedule,
+                policy,
+            }
+        }
+        "pipeline" => {
+            let mut layers = None;
+            let mut devices = None;
+            let mut strategy = None;
+            let mut group = 1usize;
+            while let Some(arg) = argv.next() {
+                match arg.as_str() {
+                    "--layers" => {
+                        layers = Some(parse_usize("--layers", need_value(&mut argv, "--layers")?)?)
+                    }
+                    "--devices" => {
+                        devices = Some(parse_usize(
+                            "--devices",
+                            need_value(&mut argv, "--devices")?,
+                        )?)
+                    }
+                    "--strategy" => {
+                        strategy = Some(parse_strategy(&need_value(&mut argv, "--strategy")?)?)
+                    }
+                    "--group" => group = parse_usize("--group", need_value(&mut argv, "--group")?)?,
+                    "--restarts" => {
+                        restarts =
+                            parse_usize("--restarts", need_value(&mut argv, "--restarts")?)? as u64
+                    }
+                    "--json" => json = true,
+                    "--out" => out = Some(need_value(&mut argv, "--out")?),
+                    "--help" | "-h" => return Err(USAGE.to_string()),
+                    other => return Err(format!("unexpected argument: {other}")),
+                }
+            }
+            match (layers, devices, strategy) {
+                (Some(layers), Some(devices), Some(strategy))
+                    if layers > 0 && devices > 0 && group >= 1 =>
+                {
+                    Mode::Pipeline {
+                        layers,
+                        devices,
+                        strategy,
+                        group,
+                    }
+                }
+                _ => return Err(USAGE.to_string()),
+            }
+        }
+        "--help" | "-h" => return Err(USAGE.to_string()),
+        other => return Err(format!("unknown mode: {other:?}\n{USAGE}")),
+    };
+    Ok(Args {
+        mode,
+        restarts,
+        json,
+        out,
+    })
+}
+
+/// One tuned (or refused) input, ready for rendering.
+struct Outcome {
+    name: String,
+    kind: &'static str,
+    baseline: SimTime,
+    tuned: SimTime,
+    certified: SimTime,
+    k: Option<usize>,
+    moves: Vec<AppliedMove>,
+    restarts_adopted: usize,
+}
+
+enum ItemResult {
+    Tuned(Outcome),
+    /// The input failed the safety gate; carries the fired rule codes.
+    Unsafe {
+        name: String,
+        codes: Vec<String>,
+    },
+}
+
+fn outcome_to_json(o: &Outcome) -> Value {
+    obj([
+        ("name", o.name.as_str().into()),
+        ("kind", o.kind.into()),
+        ("baseline_makespan", Value::Num(o.baseline as f64)),
+        ("tuned_makespan", Value::Num(o.tuned as f64)),
+        ("certified_makespan", Value::Num(o.certified as f64)),
+        ("improved", Value::Bool(o.tuned < o.baseline)),
+        (
+            "k",
+            match o.k {
+                Some(k) => Value::Num(k as f64),
+                None => Value::Null,
+            },
+        ),
+        (
+            "moves",
+            Value::Arr(
+                o.moves
+                    .iter()
+                    .map(|m| Value::Str(format!("{}: {}", m.kind.as_str(), m.description)))
+                    .collect(),
+            ),
+        ),
+        ("restarts_adopted", Value::Num(o.restarts_adopted as f64)),
+    ])
+}
+
+fn item_to_json(r: &ItemResult) -> Value {
+    match r {
+        ItemResult::Tuned(o) => outcome_to_json(o),
+        ItemResult::Unsafe { name, codes } => obj([
+            ("name", name.as_str().into()),
+            ("kind", "unsafe".into()),
+            (
+                "diagnostics",
+                Value::Arr(codes.iter().map(|c| c.as_str().into()).collect()),
+            ),
+        ]),
+    }
+}
+
+fn item_to_human(r: &ItemResult) -> String {
+    match r {
+        ItemResult::Tuned(o) => {
+            let mut s = format!(
+                "{}: baseline {} -> tuned {} (certified {}, {})\n",
+                o.name,
+                o.baseline,
+                o.tuned,
+                o.certified,
+                if o.tuned < o.baseline {
+                    "improved"
+                } else {
+                    "already optimal under the move set"
+                }
+            );
+            for m in &o.moves {
+                s.push_str(&format!(
+                    "  {} {} -> {}\n",
+                    m.kind.as_str(),
+                    m.description,
+                    m.predicted
+                ));
+            }
+            s
+        }
+        ItemResult::Unsafe { name, codes } => {
+            format!(
+                "{name}: input fails the safety gate ({}), refusing to tune\n",
+                codes.join(", ")
+            )
+        }
+    }
+}
+
+fn opts_with(restarts: u64, require_complete: bool) -> TuneOptions {
+    TuneOptions {
+        restarts,
+        require_complete,
+        ..TuneOptions::default()
+    }
+}
+
+/// Error split: gate refusals become exit-1 items, everything else
+/// aborts with exit 2.
+fn push_or_fail(
+    results: &mut Vec<ItemResult>,
+    name: &str,
+    r: Result<Outcome, Error>,
+) -> Result<(), String> {
+    match r {
+        Ok(o) => {
+            results.push(ItemResult::Tuned(o));
+            Ok(())
+        }
+        Err(Error::Unsafe(report)) => {
+            results.push(ItemResult::Unsafe {
+                name: name.to_string(),
+                codes: report.rule_codes().iter().map(|c| c.to_string()).collect(),
+            });
+            Ok(())
+        }
+        Err(e) => Err(format!("{name}: {e}")),
+    }
+}
+
+fn run_order_mode(
+    layers: usize,
+    k: usize,
+    sync: SimTime,
+    policy: CommPolicy,
+    restarts: u64,
+) -> Result<Outcome, Error> {
+    let graph = TrainGraph::data_parallel(layers);
+    let cost = TableCost::uniform(
+        layers,
+        LayerCost {
+            sync_weight: sync,
+            ..LayerCost::default()
+        },
+    );
+    let baseline = reverse_first_k(&graph, k, None::<(u64, &TableCost)>)?;
+    let tuned = tune_backward_order(
+        &graph,
+        &baseline,
+        Some(k),
+        &cost,
+        policy,
+        KFamily::ReverseFirstK,
+        &opts_with(restarts, true),
+    )?;
+    let certified = certify_order(&graph, &tuned.order, &cost, policy)?;
+    Ok(Outcome {
+        name: format!("reverse-first-k(l={layers}, k={k})"),
+        kind: "order",
+        baseline: tuned.baseline,
+        tuned: tuned.predicted,
+        certified,
+        k: tuned.k,
+        moves: tuned.moves,
+        restarts_adopted: tuned.restarts_adopted,
+    })
+}
+
+fn run_bundle_mode(
+    path: &str,
+    wanted: Option<&str>,
+    policy: CommPolicy,
+    restarts: u64,
+) -> Result<Vec<ItemResult>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let bundle = ScheduleBundle::from_json_lenient(&text)
+        .map_err(|e| format!("cannot parse {path}: {e}"))?;
+    let graph = TrainGraph::new(bundle.graph.clone())
+        .map_err(|e| format!("invalid graph configuration: {e}"))?;
+
+    let mut results = Vec::new();
+    for (name, order) in &bundle.orders {
+        if wanted.is_some_and(|w| w != name) {
+            continue;
+        }
+        // Backward orders of a data-parallel graph run against the link
+        // lane the engine would add; anything else is a flat schedule.
+        let item = if graph.config().sync_weight_grads {
+            let backward: Vec<_> = order.iter().copied().filter(|o| o.is_backward()).collect();
+            let cost = UnitCost;
+            tune_backward_order(
+                &graph,
+                &backward,
+                None,
+                &cost,
+                policy,
+                KFamily::ReverseFirstK,
+                &opts_with(restarts, true),
+            )
+            .and_then(|t| {
+                let certified = certify_order(&graph, &t.order, &cost, policy)?;
+                Ok(Outcome {
+                    name: name.clone(),
+                    kind: "order",
+                    baseline: t.baseline,
+                    tuned: t.predicted,
+                    certified,
+                    k: t.k,
+                    moves: t.moves,
+                    restarts_adopted: t.restarts_adopted,
+                })
+            })
+        } else {
+            let s = ooo_core::schedule::Schedule::single_lane(name, order.clone());
+            tune_one_schedule(&graph, name, &s, restarts)
+        };
+        push_or_fail(&mut results, name, item)?;
+    }
+    for (name, schedule) in &bundle.schedules {
+        if wanted.is_some_and(|w| w != name) {
+            continue;
+        }
+        let item = tune_one_schedule(&graph, name, schedule, restarts);
+        push_or_fail(&mut results, name, item)?;
+    }
+    if results.is_empty() {
+        return Err(match wanted {
+            Some(w) => format!("no order or schedule named {w:?} in the bundle"),
+            None => "bundle holds no orders or schedules".to_string(),
+        });
+    }
+    Ok(results)
+}
+
+fn tune_one_schedule(
+    graph: &TrainGraph,
+    name: &str,
+    schedule: &ooo_core::schedule::Schedule,
+    restarts: u64,
+) -> Result<Outcome, Error> {
+    // Exported schedules may be partial (engines with implicit updates),
+    // so the gate does not demand completeness.
+    let tuned = tune_schedule(graph, schedule, &UnitCost, &opts_with(restarts, false))?;
+    let certified = certify_schedule(graph, &tuned.schedule, &UnitCost)?;
+    Ok(Outcome {
+        name: name.to_string(),
+        kind: "schedule",
+        baseline: tuned.baseline,
+        tuned: tuned.predicted,
+        certified,
+        k: None,
+        moves: tuned.moves,
+        restarts_adopted: tuned.restarts_adopted,
+    })
+}
+
+fn run_pipeline_mode(
+    layers: usize,
+    devices: usize,
+    strategy: Strategy,
+    group: usize,
+    restarts: u64,
+) -> Result<Outcome, Error> {
+    let tuned = tune_pipeline(
+        layers,
+        devices,
+        strategy,
+        group,
+        &UnitCost,
+        &opts_with(restarts, true),
+    )?;
+    let certified = certify_schedule(&tuned.graph, &tuned.schedule, &UnitCost)?;
+    let name = match strategy {
+        Strategy::ModelParallel => "model-parallel",
+        Strategy::GPipe => "gpipe",
+        Strategy::PipeDream => "pipedream",
+        Strategy::Dapple => "dapple",
+        Strategy::MegatronInterleaved { .. } => "megatron-interleaved",
+        Strategy::OooPipe1 => "ooo-pipe1",
+        Strategy::OooPipe2 => "ooo-pipe2",
+    };
+    Ok(Outcome {
+        name: name.to_string(),
+        kind: "pipeline",
+        baseline: tuned.baseline,
+        tuned: tuned.predicted,
+        certified,
+        k: Some(tuned.group),
+        moves: tuned.moves,
+        restarts_adopted: tuned.restarts_adopted,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args(std::env::args()) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut results = Vec::new();
+    let outcome = match &args.mode {
+        Mode::Order {
+            layers,
+            k,
+            sync,
+            policy,
+        } => push_or_fail(
+            &mut results,
+            "order",
+            run_order_mode(*layers, *k, *sync, *policy, args.restarts),
+        ),
+        Mode::Bundle {
+            path,
+            schedule,
+            policy,
+        } => {
+            run_bundle_mode(path, schedule.as_deref(), *policy, args.restarts).map(|r| results = r)
+        }
+        Mode::Pipeline {
+            layers,
+            devices,
+            strategy,
+            group,
+        } => push_or_fail(
+            &mut results,
+            "pipeline",
+            run_pipeline_mode(*layers, *devices, *strategy, *group, args.restarts),
+        ),
+    };
+    if let Err(msg) = outcome {
+        eprintln!("ooo-tune: {msg}");
+        return ExitCode::from(2);
+    }
+
+    let any_unsafe = results
+        .iter()
+        .any(|r| matches!(r, ItemResult::Unsafe { .. }));
+    let json_output = || {
+        let docs: Vec<String> = results
+            .iter()
+            .map(|r| item_to_json(r).to_pretty())
+            .collect();
+        if docs.len() == 1 {
+            docs[0].clone()
+        } else {
+            format!("[\n{}\n]", docs.join(",\n"))
+        }
+    };
+    if let Some(path) = &args.out {
+        if let Err(e) = std::fs::write(path, json_output() + "\n") {
+            eprintln!("ooo-tune: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if args.json {
+        println!("{}", json_output());
+    } else {
+        for r in &results {
+            print!("{}", item_to_human(r));
+        }
+    }
+
+    if any_unsafe {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,582 @@
+//! Predictor-guided schedule autotuning.
+//!
+//! The paper fixes its schedules with hand-designed heuristics —
+//! Algorithm 1's multi-region joint scheduling, Algorithm 2's reverse
+//! first-k, OOO-Pipe2's modulo allocation. Its own job-shop formulation
+//! (§2) admits *search*, and the exact static makespan predictor
+//! ([`ooo_verify::predict::predict_makespan`]) is a zero-tolerance
+//! oracle that is far cheaper than discrete-event simulation. This crate
+//! closes that loop: a local-search autotuner whose move set is exactly
+//! the freedom out-of-order backprop licenses, whose every accepted move
+//! is gated by the [`ooo_verify::Verifier`] safety analyzer, and whose
+//! winner is certified by running the real simulator once at the end
+//! (predicted == simulated, tolerance 0).
+//!
+//! # Move set
+//!
+//! Only `dW`-class operations ([`Op::is_weight_grad_class`]: `dW_i`,
+//! `S[dW_i]`, `U_i`) ever move — everything else sits on the backward
+//! critical path or the next iteration's forward chain, which is the
+//! paper's ooo-legality rule. The concrete moves are:
+//!
+//! - defer / hoist a `dW`-class op within its lane,
+//! - swap a `dW`-class op onto another lane (sub-stream reassignment),
+//! - jump to a different reverse-first-k depth (flat backward orders,
+//!   see [`order`]),
+//! - regroup pipeline layers under a different modulo group (see
+//!   [`pipeline`]).
+//!
+//! # Search loop
+//!
+//! Best-improvement greedy descent (deterministic: candidates are tried
+//! in `(predicted makespan, enumeration index)` order and the first one
+//! that passes the safety gate wins), followed by seeded restart
+//! perturbations: from the incumbent, a few random gate-clean moves are
+//! applied with [`rand::rngs::StdRng`] seeded `1..=restarts`, greedy
+//! descent re-runs, and a strictly better result replaces the incumbent
+//! (which restarts the seed sweep). The loop ends when a full seed sweep
+//! fails to improve — which makes tuning a *fixpoint*: re-tuning a tuned
+//! schedule replays exactly that failed sweep and changes nothing.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod order;
+pub mod pipeline;
+
+use ooo_core::cost::CostModel;
+use ooo_core::schedule::Schedule;
+use ooo_core::{SimTime, TrainGraph};
+use ooo_verify::predict::predict_makespan;
+use ooo_verify::{Report, Verifier, VerifyConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Failures of a tuning run.
+#[derive(Debug)]
+pub enum Error {
+    /// A core scheduling error (malformed schedule, unknown op, ...).
+    Core(ooo_core::Error),
+    /// The *input* schedule failed the safety gate; the tuner refuses to
+    /// optimize an unsafe starting point. Carries the verifier report.
+    Unsafe(Report),
+    /// End-of-run certification failed: the predicted makespan of the
+    /// winner disagreed with its simulated makespan. This indicates a
+    /// predictor/simulator divergence and should never happen.
+    Certification {
+        /// Statically predicted makespan of the winner.
+        predicted: SimTime,
+        /// Simulated makespan of the winner.
+        simulated: SimTime,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Core(e) => write!(f, "{e}"),
+            Error::Unsafe(report) => write!(
+                f,
+                "input schedule fails the safety gate: {}",
+                report.rule_codes().join(", ")
+            ),
+            Error::Certification {
+                predicted,
+                simulated,
+            } => write!(
+                f,
+                "certification failed: predicted {predicted} != simulated {simulated}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<ooo_core::Error> for Error {
+    fn from(e: ooo_core::Error) -> Self {
+        Error::Core(e)
+    }
+}
+
+/// Result alias of this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// How an accepted move was found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MoveKind {
+    /// Best-improvement greedy descent: strictly decreases the predicted
+    /// makespan relative to the immediately preceding state.
+    Greedy,
+    /// Seeded restart perturbation: gate-clean but free to regress; only
+    /// kept when the descent it enables ends strictly better.
+    Perturb,
+}
+
+impl MoveKind {
+    /// Lower-case label (`greedy` / `perturb`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MoveKind::Greedy => "greedy",
+            MoveKind::Perturb => "perturb",
+        }
+    }
+}
+
+/// One accepted move of the search trajectory.
+#[derive(Debug, Clone)]
+pub struct AppliedMove {
+    /// Whether the move came from greedy descent or a perturbation.
+    pub kind: MoveKind,
+    /// Human-readable description of the transformation.
+    pub description: String,
+    /// Predicted makespan right after applying the move.
+    pub predicted: SimTime,
+}
+
+/// Tuning knobs. The defaults are deliberately small: the predictor is
+/// cheap but the verifier gate runs on every accepted candidate.
+#[derive(Debug, Clone)]
+pub struct TuneOptions {
+    /// Number of perturbation seeds tried per restart sweep.
+    pub restarts: u64,
+    /// Random moves applied per perturbation.
+    pub perturb_moves: usize,
+    /// Hard cap on accepted moves per greedy descent (safety valve; the
+    /// integer makespan strictly decreases, so descent terminates on its
+    /// own long before this).
+    pub max_moves: usize,
+    /// Allow moving `dW`-class ops across lanes (sub-stream swaps).
+    pub cross_lane: bool,
+    /// Require schedules to cover the whole graph (pass `false` for the
+    /// partial schedules of engines whose updates are implicit).
+    pub require_complete: bool,
+    /// Optional memory budget forwarded to the verifier's liveness
+    /// analysis (OV301).
+    pub memory_budget: Option<u64>,
+}
+
+impl Default for TuneOptions {
+    fn default() -> Self {
+        TuneOptions {
+            restarts: 3,
+            perturb_moves: 3,
+            max_moves: 256,
+            cross_lane: true,
+            require_complete: true,
+            memory_budget: None,
+        }
+    }
+}
+
+impl TuneOptions {
+    /// Greedy-only options (no restarts): useful where strict
+    /// monotonicity of the whole trajectory is wanted.
+    pub fn greedy_only() -> Self {
+        TuneOptions {
+            restarts: 0,
+            ..TuneOptions::default()
+        }
+    }
+
+    pub(crate) fn verify_config(&self) -> VerifyConfig {
+        VerifyConfig {
+            require_complete: self.require_complete,
+            memory_budget: self.memory_budget,
+            check_legality: true,
+        }
+    }
+}
+
+/// The outcome of tuning one multi-lane schedule.
+#[derive(Debug, Clone)]
+pub struct Tuned {
+    /// The tuned schedule.
+    pub schedule: Schedule,
+    /// Predicted makespan of the input (heuristic baseline).
+    pub baseline: SimTime,
+    /// Predicted makespan of the tuned schedule.
+    pub predicted: SimTime,
+    /// The accepted move trajectory from input to winner.
+    pub moves: Vec<AppliedMove>,
+    /// How many restart perturbations were adopted.
+    pub restarts_adopted: usize,
+}
+
+impl Tuned {
+    /// `true` when the tuner strictly beat the baseline.
+    pub fn improved(&self) -> bool {
+        self.predicted < self.baseline
+    }
+}
+
+/// A tunable search space: states scored by the exact predictor and
+/// gated by the safety analyzer. Implementations enumerate the ooo-legal
+/// neighborhood of a state deterministically.
+pub(crate) trait SearchSpace {
+    /// One point of the space.
+    type State: Clone;
+
+    /// Predicted makespan, or `None` when the state does not evaluate
+    /// (e.g. an illegal placement the predictor rejects).
+    fn score(&self, state: &Self::State) -> Option<SimTime>;
+
+    /// The `ooo-verify` gate: `true` iff the state produces zero
+    /// diagnostics.
+    fn clean(&self, state: &Self::State) -> bool;
+
+    /// The legal neighborhood, in a deterministic enumeration order,
+    /// each with a human-readable move description.
+    fn candidates(&self, state: &Self::State) -> Vec<(Self::State, String)>;
+}
+
+/// Best-improvement greedy descent. Candidates are ranked by
+/// `(predicted makespan, enumeration index)`; the best strictly
+/// improving candidate that passes the gate is accepted, until none is
+/// left.
+fn greedy<S: SearchSpace>(
+    space: &S,
+    mut cur: S::State,
+    mut cur_m: SimTime,
+    moves: &mut Vec<AppliedMove>,
+    opts: &TuneOptions,
+) -> (S::State, SimTime) {
+    while moves.len() < opts.max_moves {
+        let cands = space.candidates(&cur);
+        let mut scored: Vec<(SimTime, usize)> = cands
+            .iter()
+            .enumerate()
+            .filter_map(|(i, (st, _))| space.score(st).map(|m| (m, i)))
+            .filter(|&(m, _)| m < cur_m)
+            .collect();
+        scored.sort_unstable();
+        let accepted = scored.into_iter().find(|&(_, i)| space.clean(&cands[i].0));
+        let Some((m, i)) = accepted else { break };
+        let (state, description) = cands[i].clone();
+        moves.push(AppliedMove {
+            kind: MoveKind::Greedy,
+            description,
+            predicted: m,
+        });
+        cur = state;
+        cur_m = m;
+    }
+    (cur, cur_m)
+}
+
+/// Applies up to `perturb_moves` random gate-clean moves drawn from a
+/// deterministically seeded RNG. Moves are free to regress.
+fn perturb<S: SearchSpace>(
+    space: &S,
+    cur: S::State,
+    cur_m: SimTime,
+    seed: u64,
+    moves: &mut Vec<AppliedMove>,
+    opts: &TuneOptions,
+) -> (S::State, SimTime) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut state = cur;
+    let mut makespan = cur_m;
+    for _ in 0..opts.perturb_moves {
+        let cands = space.candidates(&state);
+        if cands.is_empty() {
+            break;
+        }
+        let mut picked = None;
+        for _ in 0..16 {
+            let i = rng.gen_range(0..cands.len());
+            if let Some(m) = space.score(&cands[i].0) {
+                if space.clean(&cands[i].0) {
+                    picked = Some((i, m));
+                    break;
+                }
+            }
+        }
+        let Some((i, m)) = picked else { break };
+        let (next, description) = cands[i].clone();
+        moves.push(AppliedMove {
+            kind: MoveKind::Perturb,
+            description,
+            predicted: m,
+        });
+        state = next;
+        makespan = m;
+    }
+    (state, makespan)
+}
+
+/// The full search loop: greedy descent, then restart sweeps over seeds
+/// `1..=restarts`, adopting a perturbed descent only when strictly
+/// better (and restarting the sweep on adoption). Terminates because
+/// every adoption strictly decreases an integer makespan; the final
+/// state is a greedy local optimum that survived a full failed sweep,
+/// which is what makes re-tuning a no-op.
+pub(crate) fn local_search<S: SearchSpace>(
+    space: &S,
+    init: S::State,
+    init_m: SimTime,
+    opts: &TuneOptions,
+) -> (S::State, SimTime, Vec<AppliedMove>, usize) {
+    let mut moves = Vec::new();
+    let (mut cur, mut cur_m) = greedy(space, init, init_m, &mut moves, opts);
+    let mut adopted = 0usize;
+    'sweep: loop {
+        for seed in 1..=opts.restarts {
+            let mut trial = Vec::new();
+            let (p, pm) = perturb(space, cur.clone(), cur_m, seed, &mut trial, opts);
+            let (g, gm) = greedy(space, p, pm, &mut trial, opts);
+            if gm < cur_m {
+                cur = g;
+                cur_m = gm;
+                moves.extend(trial);
+                adopted += 1;
+                continue 'sweep;
+            }
+        }
+        break;
+    }
+    (cur, cur_m, moves, adopted)
+}
+
+/// The multi-lane schedule space: `dW`-class ops relocate within their
+/// lane and (optionally) across lanes.
+struct ScheduleSpace<'g, C: CostModel> {
+    graph: &'g TrainGraph,
+    cost: &'g C,
+    verifier: Verifier<'g, &'g C>,
+    cross_lane: bool,
+}
+
+impl<C: CostModel> SearchSpace for ScheduleSpace<'_, C> {
+    type State = Schedule;
+
+    fn score(&self, state: &Schedule) -> Option<SimTime> {
+        predict_makespan(self.graph, state, self.cost)
+            .ok()
+            .map(|p| p.makespan())
+    }
+
+    fn clean(&self, state: &Schedule) -> bool {
+        self.verifier.verify(state).is_clean()
+    }
+
+    fn candidates(&self, state: &Schedule) -> Vec<(Schedule, String)> {
+        schedule_moves(state, self.cross_lane)
+    }
+}
+
+/// Enumerates every relocation of a `dW`-class op: all in-lane target
+/// positions, plus (when `cross_lane`) every insertion point of every
+/// other lane. A `dW_i` whose `U_i` sits on the same lane additionally
+/// moves as a `[dW_i, U_i]` block — relocating the gradient alone would
+/// always violate the update's dependency, so deferring a weight
+/// gradient past its own update needs the pair to travel together.
+/// Deterministic: lanes and positions in schedule order.
+pub(crate) fn schedule_moves(state: &Schedule, cross_lane: bool) -> Vec<(Schedule, String)> {
+    use ooo_core::Op;
+    let mut out = Vec::new();
+    for (li, lane) in state.lanes.iter().enumerate() {
+        for (pi, &op) in lane.ops.iter().enumerate() {
+            if !op.is_weight_grad_class() {
+                continue;
+            }
+            // In-lane: remove at `pi`, insert at each position of the
+            // reduced lane. Inserting back at `pi` reproduces the input.
+            for to in 0..lane.ops.len() {
+                if to == pi {
+                    continue;
+                }
+                let mut next = state.clone();
+                let ops = &mut next.lanes[li].ops;
+                ops.remove(pi);
+                ops.insert(to.min(ops.len()), op);
+                out.push((next, format!("move {op} to {}:{to}", lane.name)));
+            }
+            if cross_lane {
+                for (lj, other) in state.lanes.iter().enumerate() {
+                    if lj == li {
+                        continue;
+                    }
+                    for to in 0..=other.ops.len() {
+                        let mut next = state.clone();
+                        next.lanes[li].ops.remove(pi);
+                        next.lanes[lj].ops.insert(to, op);
+                        out.push((next, format!("move {op} to {}:{to}", other.name)));
+                    }
+                }
+            }
+            // Block moves: `[dW_i, U_i]` as one unit.
+            let Op::WeightGrad(layer) = op else { continue };
+            let update = Op::Update(layer);
+            let Some(ui) = lane.ops.iter().position(|&o| o == update) else {
+                continue;
+            };
+            let mut reduced = lane.ops.clone();
+            reduced.remove(pi.max(ui));
+            reduced.remove(pi.min(ui));
+            for to in 0..=reduced.len() {
+                let mut next = state.clone();
+                let ops = &mut next.lanes[li].ops;
+                *ops = reduced.clone();
+                ops.insert(to, update);
+                ops.insert(to, op);
+                if next == *state {
+                    continue;
+                }
+                out.push((next, format!("move {op}+{update} to {}:{to}", lane.name)));
+            }
+            if cross_lane {
+                for (lj, other) in state.lanes.iter().enumerate() {
+                    if lj == li {
+                        continue;
+                    }
+                    for to in 0..=other.ops.len() {
+                        let mut next = state.clone();
+                        next.lanes[li].ops = reduced.clone();
+                        next.lanes[lj].ops.insert(to, update);
+                        next.lanes[lj].ops.insert(to, op);
+                        out.push((next, format!("move {op}+{update} to {}:{to}", other.name)));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Tunes a multi-lane schedule in place: greedy + seeded-restart search
+/// over `dW`-class relocations, scored by the exact predictor and gated
+/// by the verifier.
+///
+/// # Errors
+///
+/// [`Error::Unsafe`] when the *input* already fails the safety gate;
+/// [`Error::Core`] when the input does not evaluate under the predictor.
+pub fn tune_schedule<C: CostModel>(
+    graph: &TrainGraph,
+    baseline: &Schedule,
+    cost: &C,
+    opts: &TuneOptions,
+) -> Result<Tuned> {
+    let verifier = Verifier::new(graph)
+        .with_config(opts.verify_config())
+        .with_cost(cost);
+    let report = verifier.verify(baseline);
+    if !report.is_clean() {
+        return Err(Error::Unsafe(report));
+    }
+    let base_m = predict_makespan(graph, baseline, cost)?.makespan();
+    let space = ScheduleSpace {
+        graph,
+        cost,
+        verifier,
+        cross_lane: opts.cross_lane,
+    };
+    let (schedule, predicted, moves, restarts_adopted) =
+        local_search(&space, baseline.clone(), base_m, opts);
+    Ok(Tuned {
+        schedule,
+        baseline: base_m,
+        predicted,
+        moves,
+        restarts_adopted,
+    })
+}
+
+/// Certifies a tuned schedule: runs the discrete-event simulator once
+/// and demands the statically predicted makespan match **exactly**
+/// (tolerance 0). Returns the certified makespan.
+///
+/// # Errors
+///
+/// [`Error::Certification`] on any disagreement; [`Error::Core`] when
+/// the schedule does not simulate.
+pub fn certify_schedule<C: CostModel>(
+    graph: &TrainGraph,
+    schedule: &Schedule,
+    cost: &C,
+) -> Result<SimTime> {
+    let predicted = predict_makespan(graph, schedule, cost)?.makespan();
+    let simulated = ooo_core::list_scheduling::simulate(graph, schedule, cost)?.makespan();
+    if predicted != simulated {
+        return Err(Error::Certification {
+            predicted,
+            simulated,
+        });
+    }
+    Ok(simulated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ooo_core::cost::UnitCost;
+    use ooo_core::Op;
+
+    /// A two-lane single-GPU schedule with all dW/U work appended to the
+    /// end of the sub lane: the tuner should interleave it.
+    fn lazy_two_lane(l: usize) -> (TrainGraph, Schedule) {
+        let graph = TrainGraph::single_gpu(l);
+        let mut main = vec![Op::Loss];
+        for i in (2..=l).rev() {
+            main.push(Op::OutputGrad(ooo_core::op::LayerId(i)));
+        }
+        for i in 1..=l {
+            main.push(Op::Forward(ooo_core::op::LayerId(i)));
+        }
+        let mut sub = Vec::new();
+        for i in 1..=l {
+            sub.push(Op::WeightGrad(ooo_core::op::LayerId(i)));
+            sub.push(Op::Update(ooo_core::op::LayerId(i)));
+        }
+        let mut s = Schedule::new();
+        s.add_lane("main", main);
+        s.add_lane("sub", sub);
+        (graph, s)
+    }
+
+    #[test]
+    fn tuner_improves_a_lazy_schedule_and_certifies() {
+        let (graph, baseline) = lazy_two_lane(6);
+        let tuned = tune_schedule(&graph, &baseline, &UnitCost, &TuneOptions::default()).unwrap();
+        assert!(tuned.predicted <= tuned.baseline);
+        let certified = certify_schedule(&graph, &tuned.schedule, &UnitCost).unwrap();
+        assert_eq!(certified, tuned.predicted);
+    }
+
+    #[test]
+    fn tuning_is_deterministic() {
+        let (graph, baseline) = lazy_two_lane(5);
+        let a = tune_schedule(&graph, &baseline, &UnitCost, &TuneOptions::default()).unwrap();
+        let b = tune_schedule(&graph, &baseline, &UnitCost, &TuneOptions::default()).unwrap();
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.predicted, b.predicted);
+        assert_eq!(a.moves.len(), b.moves.len());
+    }
+
+    #[test]
+    fn unsafe_input_is_refused() {
+        let graph = TrainGraph::single_gpu(3);
+        // dW3 scheduled before the loss: a dependency-order violation.
+        let s = Schedule::single_lane(
+            "gpu",
+            vec![
+                Op::WeightGrad(ooo_core::op::LayerId(3)),
+                Op::Loss,
+                Op::OutputGrad(ooo_core::op::LayerId(3)),
+                Op::OutputGrad(ooo_core::op::LayerId(2)),
+                Op::WeightGrad(ooo_core::op::LayerId(2)),
+                Op::WeightGrad(ooo_core::op::LayerId(1)),
+            ],
+        );
+        let opts = TuneOptions {
+            require_complete: false,
+            ..TuneOptions::default()
+        };
+        assert!(matches!(
+            tune_schedule(&graph, &s, &UnitCost, &opts),
+            Err(Error::Unsafe(_))
+        ));
+    }
+}

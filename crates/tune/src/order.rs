@@ -1,0 +1,323 @@
+//! Tuning flat backward orders of data-parallel training.
+//!
+//! The engines hand the data-parallel simulator a *backward order*
+//! (loss, `dO`s, `dW`s); updates, forwards, and the link lane are
+//! implicit. [`tune_backward_order`] searches that order directly: the
+//! moves are `dW` relocations within the flat order plus *k-jumps* —
+//! replacing the whole order by the reverse-first-k (or combined
+//! split-k) shape for some `k`, which is what lets the tuner escape the
+//! local minima the concave [`ooo_core::reverse_k::search_optimal_k`]
+//! heuristic can stop at on non-concave cost surfaces.
+//!
+//! Scoring reconstructs the realized two-lane schedule with
+//! [`ooo_verify::predict::datapar_schedule`] and evaluates it with the
+//! exact predictor; the safety gate verifies that same reconstruction.
+
+use crate::{local_search, AppliedMove, Error, Result, SearchSpace, TuneOptions};
+use ooo_core::cost::CostModel;
+use ooo_core::datapar::{simulate_data_parallel, CommPolicy};
+use ooo_core::{Op, SimTime, TrainGraph};
+use ooo_verify::predict::{datapar_schedule, predict_makespan};
+use ooo_verify::Verifier;
+
+/// Which family of whole-order jumps the k-move draws from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KFamily {
+    /// No k-jumps: only `dW` relocations.
+    None,
+    /// [`ooo_core::reverse_k::reverse_first_k`] orders (data-parallel).
+    ReverseFirstK,
+    /// [`ooo_core::combined::combined_backward_order`] orders (hybrid
+    /// data+pipeline parallel).
+    Combined,
+}
+
+/// The outcome of tuning one flat backward order.
+#[derive(Debug, Clone)]
+pub struct TunedOrder {
+    /// The tuned backward order.
+    pub order: Vec<Op>,
+    /// The k of the last accepted k-jump, when the final order is still
+    /// a pure k-shape (no later relocation touched it).
+    pub k: Option<usize>,
+    /// Predicted makespan of the input order.
+    pub baseline: SimTime,
+    /// Predicted makespan of the tuned order.
+    pub predicted: SimTime,
+    /// The accepted move trajectory.
+    pub moves: Vec<AppliedMove>,
+    /// How many restart perturbations were adopted.
+    pub restarts_adopted: usize,
+}
+
+impl TunedOrder {
+    /// `true` when the tuner strictly beat the baseline.
+    pub fn improved(&self) -> bool {
+        self.predicted < self.baseline
+    }
+}
+
+#[derive(Clone)]
+struct OrderState {
+    order: Vec<Op>,
+    k: Option<usize>,
+}
+
+struct OrderSpace<'g, C: CostModel> {
+    graph: &'g TrainGraph,
+    cost: &'g C,
+    policy: CommPolicy,
+    family: KFamily,
+    verifier: Verifier<'g, &'g C>,
+}
+
+impl<C: CostModel> OrderSpace<'_, C> {
+    fn family_order(&self, k: usize) -> Option<Vec<Op>> {
+        match self.family {
+            KFamily::None => None,
+            KFamily::ReverseFirstK => {
+                ooo_core::reverse_k::reverse_first_k(self.graph, k, None::<(u64, &C)>).ok()
+            }
+            KFamily::Combined => ooo_core::combined::combined_backward_order(self.graph, k).ok(),
+        }
+    }
+}
+
+impl<C: CostModel> SearchSpace for OrderSpace<'_, C> {
+    type State = OrderState;
+
+    fn score(&self, state: &OrderState) -> Option<SimTime> {
+        let s = datapar_schedule(self.graph, &state.order, self.cost, self.policy).ok()?;
+        predict_makespan(self.graph, &s, self.cost)
+            .ok()
+            .map(|p| p.makespan())
+    }
+
+    fn clean(&self, state: &OrderState) -> bool {
+        match datapar_schedule(self.graph, &state.order, self.cost, self.policy) {
+            Ok(s) => self.verifier.verify(&s).is_clean(),
+            Err(_) => false,
+        }
+    }
+
+    fn candidates(&self, state: &OrderState) -> Vec<(OrderState, String)> {
+        let mut out = Vec::new();
+        // k-jumps first: whole-order replacements, one per depth.
+        for k in 0..=self.graph.layers() {
+            let Some(order) = self.family_order(k) else {
+                break;
+            };
+            if order == state.order {
+                continue;
+            }
+            let label = match self.family {
+                KFamily::None => unreachable!("family_order returned Some"),
+                KFamily::ReverseFirstK => format!("set reverse-first-k k={k}"),
+                KFamily::Combined => format!("set combined split k={k}"),
+            };
+            out.push((OrderState { order, k: Some(k) }, label));
+        }
+        // dW relocations within the flat order.
+        for (pi, &op) in state.order.iter().enumerate() {
+            if !op.is_weight_grad() {
+                continue;
+            }
+            for to in 0..state.order.len() {
+                if to == pi {
+                    continue;
+                }
+                let mut order = state.order.clone();
+                order.remove(pi);
+                order.insert(to.min(order.len()), op);
+                out.push((
+                    OrderState { order, k: None },
+                    format!("move {op} to position {to}"),
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Tunes a flat backward order for the data-parallel simulator under
+/// `policy`. `baseline_k` documents the k-shape of the input, if any.
+///
+/// # Errors
+///
+/// [`Error::Unsafe`] when the input's realized schedule already fails
+/// the safety gate; [`Error::Core`] when it does not evaluate.
+pub fn tune_backward_order<C: CostModel>(
+    graph: &TrainGraph,
+    baseline: &[Op],
+    baseline_k: Option<usize>,
+    cost: &C,
+    policy: CommPolicy,
+    family: KFamily,
+    opts: &TuneOptions,
+) -> Result<TunedOrder> {
+    let verifier = Verifier::new(graph)
+        .with_config(opts.verify_config())
+        .with_cost(cost);
+    let realized = datapar_schedule(graph, baseline, cost, policy)?;
+    let report = verifier.verify(&realized);
+    if !report.is_clean() {
+        return Err(Error::Unsafe(report));
+    }
+    let base_m = predict_makespan(graph, &realized, cost)?.makespan();
+    let space = OrderSpace {
+        graph,
+        cost,
+        policy,
+        family,
+        verifier,
+    };
+    let init = OrderState {
+        order: baseline.to_vec(),
+        k: baseline_k,
+    };
+    let (state, predicted, moves, restarts_adopted) = local_search(&space, init, base_m, opts);
+    Ok(TunedOrder {
+        order: state.order,
+        k: state.k,
+        baseline: base_m,
+        predicted,
+        moves,
+        restarts_adopted,
+    })
+}
+
+/// Certifies a tuned backward order: runs the data-parallel
+/// discrete-event simulator and demands it match the static prediction
+/// of the reconstructed schedule exactly. Returns the certified
+/// makespan.
+///
+/// # Errors
+///
+/// [`Error::Certification`] on any disagreement; [`Error::Core`] when
+/// the order does not simulate.
+pub fn certify_order<C: CostModel>(
+    graph: &TrainGraph,
+    order: &[Op],
+    cost: &C,
+    policy: CommPolicy,
+) -> Result<SimTime> {
+    let s = datapar_schedule(graph, order, cost, policy)?;
+    let predicted = predict_makespan(graph, &s, cost)?.makespan();
+    let simulated = simulate_data_parallel(graph, order, cost, policy)?.makespan();
+    if predicted != simulated {
+        return Err(Error::Certification {
+            predicted,
+            simulated,
+        });
+    }
+    Ok(simulated)
+}
+
+/// Exhaustive predictor sweep over every combined split depth `k`:
+/// returns the `(k, makespan)` minimizing the predicted makespan (ties
+/// to the smallest `k`). This is the tuner's k-move restricted to the
+/// combined family — the hybrid engine's exact alternative to the
+/// concave [`ooo_core::combined::choose_split_k`] heuristic.
+///
+/// # Errors
+///
+/// Propagates order-construction and prediction errors.
+pub fn best_combined_k<C: CostModel>(
+    graph: &TrainGraph,
+    cost: &C,
+    policy: CommPolicy,
+) -> Result<(usize, SimTime)> {
+    let mut best: Option<(SimTime, usize)> = None;
+    for k in 0..=graph.layers() {
+        let order = ooo_core::combined::combined_backward_order(graph, k)?;
+        let s = datapar_schedule(graph, &order, cost, policy)?;
+        let m = predict_makespan(graph, &s, cost)?.makespan();
+        if best.is_none_or(|(bm, _)| m < bm) {
+            best = Some((m, k));
+        }
+    }
+    let (m, k) = best.expect("graphs have at least one layer");
+    Ok((k, m))
+}
+
+/// Exhaustive predictor sweep over every reverse-first-k depth:
+/// returns the `(k, makespan)` minimizing the predicted makespan (ties
+/// to the smallest `k`).
+///
+/// # Errors
+///
+/// Propagates order-construction and prediction errors.
+pub fn best_reverse_k<C: CostModel>(
+    graph: &TrainGraph,
+    cost: &C,
+    policy: CommPolicy,
+) -> Result<(usize, SimTime)> {
+    let mut best: Option<(SimTime, usize)> = None;
+    for k in 0..=graph.layers() {
+        let order = ooo_core::reverse_k::reverse_first_k(graph, k, None::<(u64, &C)>)?;
+        let s = datapar_schedule(graph, &order, cost, policy)?;
+        let m = predict_makespan(graph, &s, cost)?.makespan();
+        if best.is_none_or(|(bm, _)| m < bm) {
+            best = Some((m, k));
+        }
+    }
+    let (m, k) = best.expect("graphs have at least one layer");
+    Ok((k, m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ooo_core::cost::{LayerCost, TableCost};
+    use ooo_core::reverse_k::reverse_first_k;
+
+    fn sync_heavy(l: usize) -> TableCost {
+        TableCost::uniform(
+            l,
+            LayerCost {
+                sync_weight: 3,
+                ..LayerCost::default()
+            },
+        )
+    }
+
+    #[test]
+    fn k_jump_beats_conventional_order_under_heavy_sync() {
+        let l = 8;
+        let graph = TrainGraph::data_parallel(l);
+        let cost = sync_heavy(l);
+        let base = reverse_first_k(&graph, 0, None::<(u64, &TableCost)>).unwrap();
+        let tuned = tune_backward_order(
+            &graph,
+            &base,
+            Some(0),
+            &cost,
+            CommPolicy::PriorityByLayer,
+            KFamily::ReverseFirstK,
+            &TuneOptions::default(),
+        )
+        .unwrap();
+        assert!(tuned.improved(), "sync-heavy k=0 must be improvable");
+        let certified =
+            certify_order(&graph, &tuned.order, &cost, CommPolicy::PriorityByLayer).unwrap();
+        assert_eq!(certified, tuned.predicted);
+    }
+
+    #[test]
+    fn best_reverse_k_matches_brute_force_simulation() {
+        let l = 6;
+        let graph = TrainGraph::data_parallel(l);
+        let cost = sync_heavy(l);
+        let (k, m) = best_reverse_k(&graph, &cost, CommPolicy::FifoCompletion).unwrap();
+        let mut sim_best = SimTime::MAX;
+        for kk in 0..=l {
+            let order = reverse_first_k(&graph, kk, None::<(u64, &TableCost)>).unwrap();
+            let s = simulate_data_parallel(&graph, &order, &cost, CommPolicy::FifoCompletion)
+                .unwrap()
+                .makespan();
+            sim_best = sim_best.min(s);
+        }
+        assert_eq!(m, sim_best);
+        assert!(k <= l);
+    }
+}

@@ -1,0 +1,188 @@
+//! Tuning op-level pipeline-parallel schedules.
+//!
+//! [`tune_pipeline`] starts from a strategy's op-level schedule
+//! ([`ooo_core::pipeline::op_level_schedule`]) and searches two move
+//! families: `dW`-class relocations *within* a device lane (an op may
+//! not change devices — the layer allocation is fixed by the strategy),
+//! and *regrouping* — replacing the whole schedule by the same
+//! strategy's rendering under a different modulo group, the knob behind
+//! OOO-Pipe2's modulo allocation. For strategies whose allocation
+//! ignores the group the regroup moves are no-ops and greedy descent
+//! simply never accepts them.
+
+use crate::{local_search, AppliedMove, Error, Result, SearchSpace, TuneOptions};
+use ooo_core::cost::CostModel;
+use ooo_core::pipeline::{op_level_schedule, Strategy};
+use ooo_core::schedule::Schedule;
+use ooo_core::{SimTime, TrainGraph};
+use ooo_verify::predict::predict_makespan;
+use ooo_verify::Verifier;
+
+/// The outcome of tuning one op-level pipeline schedule.
+#[derive(Debug, Clone)]
+pub struct TunedPipeline {
+    /// The (group-independent) pipeline dependency graph.
+    pub graph: TrainGraph,
+    /// The tuned schedule.
+    pub schedule: Schedule,
+    /// The modulo group of the final schedule.
+    pub group: usize,
+    /// Predicted makespan of the input schedule.
+    pub baseline: SimTime,
+    /// Predicted makespan of the tuned schedule.
+    pub predicted: SimTime,
+    /// The accepted move trajectory.
+    pub moves: Vec<AppliedMove>,
+    /// How many restart perturbations were adopted.
+    pub restarts_adopted: usize,
+}
+
+impl TunedPipeline {
+    /// `true` when the tuner strictly beat the baseline.
+    pub fn improved(&self) -> bool {
+        self.predicted < self.baseline
+    }
+}
+
+#[derive(Clone)]
+struct PipeState {
+    schedule: Schedule,
+    group: usize,
+}
+
+struct PipeSpace<'g, C: CostModel> {
+    graph: &'g TrainGraph,
+    cost: &'g C,
+    verifier: Verifier<'g, &'g C>,
+    layers: usize,
+    devices: usize,
+    strategy: Strategy,
+}
+
+impl<C: CostModel> SearchSpace for PipeSpace<'_, C> {
+    type State = PipeState;
+
+    fn score(&self, state: &PipeState) -> Option<SimTime> {
+        predict_makespan(self.graph, &state.schedule, self.cost)
+            .ok()
+            .map(|p| p.makespan())
+    }
+
+    fn clean(&self, state: &PipeState) -> bool {
+        self.verifier.verify(&state.schedule).is_clean()
+    }
+
+    fn candidates(&self, state: &PipeState) -> Vec<(PipeState, String)> {
+        let mut out = Vec::new();
+        // Regroup: re-render the strategy under every other modulo group.
+        for group in 1..=self.layers {
+            if group == state.group {
+                continue;
+            }
+            let (_, schedule) = op_level_schedule(self.layers, self.devices, self.strategy, group);
+            if schedule == state.schedule {
+                continue;
+            }
+            out.push((
+                PipeState { schedule, group },
+                format!("regroup modulo {group}"),
+            ));
+        }
+        // In-lane dW-class relocations; ops stay on their device.
+        for (next, description) in crate::schedule_moves(&state.schedule, false) {
+            out.push((
+                PipeState {
+                    schedule: next,
+                    group: state.group,
+                },
+                description,
+            ));
+        }
+        out
+    }
+}
+
+/// Tunes the op-level schedule of `strategy` over `layers` layers and
+/// `devices` devices, starting from modulo group `group`.
+///
+/// # Errors
+///
+/// [`Error::Unsafe`] when the strategy's own schedule fails the safety
+/// gate; [`Error::Core`] when it does not evaluate.
+pub fn tune_pipeline<C: CostModel>(
+    layers: usize,
+    devices: usize,
+    strategy: Strategy,
+    group: usize,
+    cost: &C,
+    opts: &TuneOptions,
+) -> Result<TunedPipeline> {
+    let (graph, baseline) = op_level_schedule(layers, devices, strategy, group);
+    let verifier = Verifier::new(&graph)
+        .with_config(opts.verify_config())
+        .with_cost(cost);
+    let report = verifier.verify(&baseline);
+    if !report.is_clean() {
+        return Err(Error::Unsafe(report));
+    }
+    let base_m = predict_makespan(&graph, &baseline, cost)?.makespan();
+    let space = PipeSpace {
+        graph: &graph,
+        cost,
+        verifier,
+        layers,
+        devices,
+        strategy,
+    };
+    let init = PipeState {
+        schedule: baseline,
+        group,
+    };
+    let (state, predicted, moves, restarts_adopted) = local_search(&space, init, base_m, opts);
+    Ok(TunedPipeline {
+        graph: graph.clone(),
+        schedule: state.schedule,
+        group: state.group,
+        baseline: base_m,
+        predicted,
+        moves,
+        restarts_adopted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::certify_schedule;
+    use ooo_core::cost::UnitCost;
+
+    #[test]
+    fn gpipe_schedule_is_improvable_by_dw_moves() {
+        // GPipe computes dW eagerly inside the backward chain; deferring
+        // the [dW, U] blocks (gradient fast-forwarding) shortens the
+        // critical path.
+        let tuned =
+            tune_pipeline(8, 4, Strategy::GPipe, 1, &UnitCost, &TuneOptions::default()).unwrap();
+        assert!(
+            tuned.improved(),
+            "GPipe's eager dW blocks must be hoistable"
+        );
+        let certified = certify_schedule(&tuned.graph, &tuned.schedule, &UnitCost).unwrap();
+        assert_eq!(certified, tuned.predicted);
+    }
+
+    #[test]
+    fn ooo_pipe2_is_already_near_optimal() {
+        let tuned = tune_pipeline(
+            8,
+            4,
+            Strategy::OooPipe2,
+            1,
+            &UnitCost,
+            &TuneOptions::default(),
+        )
+        .unwrap();
+        assert!(tuned.predicted <= tuned.baseline);
+        certify_schedule(&tuned.graph, &tuned.schedule, &UnitCost).unwrap();
+    }
+}

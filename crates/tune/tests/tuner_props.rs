@@ -1,0 +1,119 @@
+//! Property layer for the autotuner: every accepted move keeps the
+//! schedule safe, greedy descent is monotone in the predicted makespan,
+//! and tuning is a fixpoint — re-tuning a tuned schedule changes nothing.
+
+use ooo_core::cost::{LayerCost, TableCost};
+use ooo_core::graph::TrainGraph;
+use ooo_core::op::{LayerId, Op};
+use ooo_core::schedule::Schedule;
+use ooo_tune::{tune_schedule, MoveKind, TuneOptions};
+use ooo_verify::{Verifier, VerifyConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deliberately lazy two-lane schedule: the main stream runs the
+/// backward spine and forwards, while every `dW` and `U` is parked at
+/// the end of the sub-stream — maximal room for the tuner's moves.
+fn lazy_two_lane(l: usize) -> (TrainGraph, Schedule) {
+    let graph = TrainGraph::single_gpu(l);
+    let mut main = vec![Op::Loss];
+    for i in (2..=l).rev() {
+        main.push(Op::OutputGrad(LayerId(i)));
+    }
+    for i in 1..=l {
+        main.push(Op::Forward(LayerId(i)));
+    }
+    let mut sub = Vec::new();
+    for i in 1..=l {
+        sub.push(Op::WeightGrad(LayerId(i)));
+        sub.push(Op::Update(LayerId(i)));
+    }
+    let mut s = Schedule::new();
+    s.add_lane("main", main);
+    s.add_lane("sub", sub);
+    (graph, s)
+}
+
+fn varied_cost(l: usize, seed: u64) -> TableCost {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cost = TableCost::uniform(l, LayerCost::default());
+    for i in 1..=l {
+        let c = cost.layer_mut(LayerId(i));
+        c.forward = rng.gen_range(1..8);
+        c.output_grad = rng.gen_range(1..8);
+        c.weight_grad = rng.gen_range(1..8);
+        c.update = rng.gen_range(1..4);
+    }
+    cost
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// (a) Whatever sequence of moves the tuner accepts, the result
+    /// passes the `ooo-verify` safety gate with zero diagnostics.
+    #[test]
+    fn accepted_moves_keep_the_schedule_verify_clean(
+        l in 2usize..10,
+        seed in 0u64..500,
+    ) {
+        let (graph, baseline) = lazy_two_lane(l);
+        let cost = varied_cost(l, seed);
+        let tuned = tune_schedule(&graph, &baseline, &cost, &TuneOptions::default()).unwrap();
+        let report = Verifier::new(&graph)
+            .with_config(VerifyConfig::default())
+            .with_cost(&cost)
+            .verify(&tuned.schedule);
+        prop_assert!(
+            report.is_clean(),
+            "tuned schedule drew diagnostics {:?}",
+            report.rule_codes()
+        );
+    }
+
+    /// (b) Under greedy-only search every accepted move strictly lowers
+    /// the predicted makespan: the recorded per-move predictions form a
+    /// strictly decreasing chain from the baseline.
+    #[test]
+    fn greedy_moves_are_monotone_non_increasing(
+        l in 2usize..10,
+        seed in 0u64..500,
+    ) {
+        let (graph, baseline) = lazy_two_lane(l);
+        let cost = varied_cost(l, seed);
+        let tuned =
+            tune_schedule(&graph, &baseline, &cost, &TuneOptions::greedy_only()).unwrap();
+        let mut last = tuned.baseline;
+        for m in &tuned.moves {
+            prop_assert_eq!(m.kind, MoveKind::Greedy);
+            prop_assert!(
+                m.predicted < last,
+                "greedy move '{}' did not improve: {} -> {}",
+                m.description,
+                last,
+                m.predicted
+            );
+            last = m.predicted;
+        }
+        prop_assert_eq!(last, tuned.predicted);
+    }
+
+    /// (c) Tuning is a fixpoint: feeding the tuned schedule back through
+    /// the tuner accepts no further moves and reproduces it exactly.
+    #[test]
+    fn tuning_is_a_fixpoint(
+        l in 2usize..10,
+        seed in 0u64..500,
+    ) {
+        let (graph, baseline) = lazy_two_lane(l);
+        let cost = varied_cost(l, seed);
+        let opts = TuneOptions::default();
+        let once = tune_schedule(&graph, &baseline, &cost, &opts).unwrap();
+        let twice = tune_schedule(&graph, &once.schedule, &cost, &opts).unwrap();
+        prop_assert!(twice.moves.is_empty(), "re-tuning accepted {:?}", twice.moves);
+        prop_assert_eq!(&twice.schedule, &once.schedule);
+        prop_assert_eq!(twice.predicted, once.predicted);
+        prop_assert_eq!(twice.baseline, once.predicted);
+    }
+}

@@ -35,4 +35,16 @@ cmp /tmp/ooo-advise-a.json /tmp/ooo-advise-b.json \
   || { echo "ooo-advise: same configuration produced different reports"; exit 1; }
 rm -f /tmp/ooo-advise-a.json /tmp/ooo-advise-b.json
 
+echo "==> ooo-tune smoke (known-improvable input + determinism)"
+cargo build -q -p ooo-tune --bin ooo-tune
+rc=0; ./target/debug/ooo-tune order --layers 8 --k 0 --sync 3 --json --out /tmp/ooo-tune-a.json || rc=$?
+[ "$rc" -eq 0 ] || { echo "ooo-tune: tuning a safe order should succeed (got $rc)"; exit 1; }
+grep -q '"improved": true' /tmp/ooo-tune-a.json \
+  || { echo "ooo-tune: depth-0 under sync=3 should tune strictly better"; exit 1; }
+rc=0; ./target/debug/ooo-tune order --layers 8 --k 0 --sync 3 --json --out /tmp/ooo-tune-b.json || rc=$?
+[ "$rc" -eq 0 ] || { echo "ooo-tune: unexpected exit $rc"; exit 1; }
+cmp /tmp/ooo-tune-a.json /tmp/ooo-tune-b.json \
+  || { echo "ooo-tune: same input produced different reports"; exit 1; }
+rm -f /tmp/ooo-tune-a.json /tmp/ooo-tune-b.json
+
 echo "All checks passed."

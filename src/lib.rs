@@ -23,6 +23,9 @@
 //! - [`verify`] (`ooo-verify`) — the static schedule-safety analyzer
 //!   (happens-before, race, deadlock, memory-liveness, and ooo-legality
 //!   lints) and the `ooo-lint` CLI.
+//! - [`tune`] (`ooo-tune`) — the predictor-guided schedule autotuner:
+//!   local search over ooo-legal moves, gated by the verifier, scored by
+//!   the exact makespan predictor, certified by simulation.
 //!
 //! # Quickstart
 //!
@@ -45,4 +48,5 @@ pub use ooo_models as models;
 pub use ooo_netsim as netsim;
 pub use ooo_nn as nn;
 pub use ooo_tensor as tensor;
+pub use ooo_tune as tune;
 pub use ooo_verify as verify;

@@ -1,0 +1,284 @@
+//! The shared CLI contract, asserted in one place for all five tools
+//! (`ooo-lint`, `ooo-advise`, `ooo-trace`, `ooo-chaos`, `ooo-tune`):
+//!
+//! * exit code 0 on success, 1 when findings fire (diagnostics,
+//!   advisories, unsafe inputs, unparsable traces), 2 on usage/IO/parse
+//!   errors;
+//! * graceful failure — never a panic — on malformed, empty, and
+//!   deeply-nested JSON inputs;
+//! * byte-identical output across double runs of the same invocation.
+
+use ooo_backprop::core::export::ScheduleBundle;
+use ooo_backprop::core::op::{LayerId, Op};
+use ooo_backprop::core::schedule::Schedule;
+use ooo_backprop::core::TrainGraph;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+/// The five CLIs under contract, with the package that owns each.
+const CLIS: [(&str, &str); 5] = [
+    ("ooo-lint", "ooo-verify"),
+    ("ooo-advise", "ooo-verify"),
+    ("ooo-trace", "ooo-cluster"),
+    ("ooo-chaos", "ooo-faults"),
+    ("ooo-tune", "ooo-tune"),
+];
+
+/// Path to a CLI binary, building it on demand: the root package's
+/// integration tests do not implicitly build other crates' binaries.
+fn bin(name: &str) -> PathBuf {
+    let exe = std::env::current_exe().expect("test executable path");
+    let debug_dir = exe
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("target/debug dir")
+        .to_path_buf();
+    let path = debug_dir.join(name);
+    if !path.exists() {
+        let pkg = CLIS
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, p)| *p)
+            .expect("known CLI");
+        let status = Command::new(env!("CARGO"))
+            .args(["build", "-q", "-p", pkg, "--bin", name])
+            .status()
+            .expect("cargo build runs");
+        assert!(status.success(), "building {name} failed");
+    }
+    path
+}
+
+fn run(name: &str, args: &[&str]) -> Output {
+    Command::new(bin(name))
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("{name} failed to spawn: {e}"))
+}
+
+fn code(out: &Output) -> i32 {
+    out.status.code().expect("CLI terminated by signal")
+}
+
+fn assert_no_panic(name: &str, out: &Output) {
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!stderr.contains("panicked"), "{name} panicked:\n{stderr}");
+}
+
+/// Scratch directory for generated inputs, unique per test process.
+fn scratch(file: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ooo-cli-contracts-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir.join(file)
+}
+
+/// A well-formed bundle whose only entry is the canonical complete
+/// backprop order — every linter and tuner accepts it cleanly.
+fn clean_bundle_json() -> String {
+    let graph = TrainGraph::single_gpu(4);
+    let mut bundle = ScheduleBundle::new("contract-clean", &graph);
+    bundle
+        .add_order("conventional", &graph, graph.conventional_backprop())
+        .expect("canonical order validates");
+    bundle.to_json().expect("bundle serializes")
+}
+
+/// A structurally valid bundle carrying a schedule that breaks the
+/// dependency graph (`dW2` runs before the `dO3` it consumes): parses
+/// everywhere, then draws findings from every analysis tool.
+fn unsafe_bundle_json() -> String {
+    let graph = TrainGraph::single_gpu(3);
+    let mut bundle = ScheduleBundle::new("contract-unsafe", &graph);
+    let mut s = Schedule::new();
+    s.add_lane(
+        "gpu",
+        vec![
+            Op::Loss,
+            Op::WeightGrad(LayerId(2)),
+            Op::OutputGrad(LayerId(3)),
+        ],
+    );
+    bundle.schedules.insert("broken".to_string(), s);
+    bundle.to_json().expect("bundle serializes")
+}
+
+/// Bare invocations (and `--help`) are usage errors: exit 2, a usage
+/// string on stderr, and no panic — for every CLI.
+#[test]
+fn bare_invocations_exit_2_with_usage() {
+    for (name, _) in CLIS {
+        let out = run(name, &[]);
+        assert_no_panic(name, &out);
+        assert_eq!(code(&out), 2, "{name} bare invocation");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("usage:"),
+            "{name} must print usage, got:\n{stderr}"
+        );
+        let help = run(name, &["--help"]);
+        assert_no_panic(name, &help);
+        assert_eq!(code(&help), 2, "{name} --help");
+    }
+}
+
+/// Malformed, empty, and deeply-nested JSON inputs fail gracefully in
+/// every file-consuming CLI: the documented nonzero exit code, no panic,
+/// no stack overflow from nesting.
+#[test]
+fn hostile_json_inputs_fail_gracefully() {
+    let malformed = scratch("malformed.json");
+    std::fs::write(&malformed, "{ this is not json").unwrap();
+    let empty = scratch("empty.json");
+    std::fs::write(&empty, "").unwrap();
+    let nested = scratch("nested.json");
+    std::fs::write(&nested, "[".repeat(100_000)).unwrap();
+
+    for hostile in [&malformed, &empty, &nested] {
+        let path = hostile.to_str().unwrap();
+        // Bundle consumers treat unparsable input as an IO/parse error.
+        for (name, args) in [
+            ("ooo-lint", vec![path]),
+            ("ooo-advise", vec!["bundle", path]),
+            ("ooo-tune", vec!["bundle", path]),
+        ] {
+            let out = run(name, &args);
+            assert_no_panic(name, &out);
+            assert_eq!(code(&out), 2, "{name} on {path}");
+        }
+        // The trace tool diagnoses an unparsable *trace* as a finding.
+        let out = run("ooo-trace", &["summarize", path]);
+        assert_no_panic("ooo-trace", &out);
+        assert_eq!(code(&out), 1, "ooo-trace summarize on {path}");
+    }
+}
+
+/// Each CLI's success path exits 0 and its findings path exits 1.
+#[test]
+fn success_and_findings_exit_codes() {
+    let clean = scratch("clean.json");
+    std::fs::write(&clean, clean_bundle_json()).unwrap();
+    let unsafe_b = scratch("unsafe.json");
+    std::fs::write(&unsafe_b, unsafe_bundle_json()).unwrap();
+
+    // ooo-lint: clean bundle passes, broken schedule draws diagnostics.
+    let out = run("ooo-lint", &[clean.to_str().unwrap()]);
+    assert_no_panic("ooo-lint", &out);
+    assert_eq!(code(&out), 0, "ooo-lint clean bundle");
+    let out = run("ooo-lint", &[unsafe_b.to_str().unwrap()]);
+    assert_no_panic("ooo-lint", &out);
+    assert_eq!(code(&out), 1, "ooo-lint unsafe bundle");
+
+    // ooo-advise: OOO-Pipe2 is advisory-free; GPipe draws advisories.
+    let pipe2 = run(
+        "ooo-advise",
+        &[
+            "pipeline",
+            "--layers",
+            "8",
+            "--devices",
+            "2",
+            "--strategy",
+            "pipe2",
+        ],
+    );
+    assert_no_panic("ooo-advise", &pipe2);
+    assert_eq!(code(&pipe2), 0, "ooo-advise pipe2");
+    let gpipe = run(
+        "ooo-advise",
+        &[
+            "pipeline",
+            "--layers",
+            "8",
+            "--devices",
+            "2",
+            "--strategy",
+            "gpipe",
+        ],
+    );
+    assert_no_panic("ooo-advise", &gpipe);
+    assert_eq!(code(&gpipe), 1, "ooo-advise gpipe");
+
+    // ooo-trace: export a pipeline timeline, then summarize it back.
+    let trace = scratch("trace.json");
+    let out = run(
+        "ooo-trace",
+        &[
+            "export",
+            "--system",
+            "pipeline",
+            "--out",
+            trace.to_str().unwrap(),
+        ],
+    );
+    assert_no_panic("ooo-trace", &out);
+    assert_eq!(code(&out), 0, "ooo-trace export");
+    let out = run("ooo-trace", &["summarize", trace.to_str().unwrap()]);
+    assert_no_panic("ooo-trace", &out);
+    assert_eq!(code(&out), 0, "ooo-trace summarize");
+
+    // ooo-chaos: a deterministic campaign completes with recovery intact.
+    let out = run("ooo-chaos", &["run", "--seed", "42", "--scenarios", "5"]);
+    assert_no_panic("ooo-chaos", &out);
+    assert_eq!(code(&out), 0, "ooo-chaos run");
+    let out = run("ooo-chaos", &["list"]);
+    assert_no_panic("ooo-chaos", &out);
+    assert_eq!(code(&out), 0, "ooo-chaos list");
+
+    // ooo-tune: a known-improvable depth-0 order tunes successfully; the
+    // broken bundle is refused by the safety gate.
+    let out = run(
+        "ooo-tune",
+        &["order", "--layers", "8", "--k", "0", "--sync", "3"],
+    );
+    assert_no_panic("ooo-tune", &out);
+    assert_eq!(code(&out), 0, "ooo-tune order");
+    let out = run("ooo-tune", &["bundle", unsafe_b.to_str().unwrap()]);
+    assert_no_panic("ooo-tune", &out);
+    assert_eq!(code(&out), 1, "ooo-tune unsafe bundle");
+}
+
+/// Double runs of the same invocation are byte-identical on stdout —
+/// the determinism half of the contract, JSON mode included.
+#[test]
+fn double_runs_are_byte_identical() {
+    let unsafe_b = scratch("unsafe-det.json");
+    std::fs::write(&unsafe_b, unsafe_bundle_json()).unwrap();
+
+    let invocations: Vec<(&str, Vec<&str>)> = vec![
+        ("ooo-lint", vec![unsafe_b.to_str().unwrap(), "--json"]),
+        (
+            "ooo-advise",
+            vec![
+                "pipeline",
+                "--layers",
+                "8",
+                "--devices",
+                "2",
+                "--strategy",
+                "gpipe",
+                "--json",
+            ],
+        ),
+        ("ooo-trace", vec!["export", "--system", "pipeline"]),
+        (
+            "ooo-chaos",
+            vec!["run", "--seed", "42", "--scenarios", "5", "--json"],
+        ),
+        (
+            "ooo-tune",
+            vec![
+                "order", "--layers", "8", "--k", "0", "--sync", "3", "--json",
+            ],
+        ),
+    ];
+    for (name, args) in invocations {
+        let first = run(name, &args);
+        let second = run(name, &args);
+        assert_no_panic(name, &first);
+        assert_eq!(
+            first.stdout, second.stdout,
+            "{name} {args:?} not byte-deterministic"
+        );
+        assert_eq!(code(&first), code(&second), "{name} exit code changed");
+    }
+}
