@@ -7,6 +7,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cert_trajectory;
 pub mod figures;
 
 /// A regenerated figure or table.
@@ -68,6 +69,7 @@ pub fn all_ids() -> Vec<&'static str> {
         "chaosrecovery",
         "perfadvice",
         "tuned",
+        "certgap",
     ]
 }
 
@@ -104,6 +106,7 @@ pub fn generate(id: &str) -> FigureReport {
         "chaosrecovery" => figures::chaosrecovery(),
         "perfadvice" => figures::perfadvice(),
         "tuned" => figures::tuned(),
+        "certgap" => cert_trajectory::certgap(),
         other => panic!("unknown figure id {other}"),
     }
 }

@@ -7,10 +7,15 @@
 //! - **critical path**: the longest dependency chain through the
 //!   iteration (no schedule can beat the chain);
 //! - **resource bound**: total work per resource class divided by the
-//!   number of lanes of that class.
+//!   number of lanes of that class;
+//! - **class load bound**: the resource bound sharpened with the
+//!   earliest time any op of the class can start and the shortest
+//!   dependency chain that must still run after the last one finishes —
+//!   on `datapar` graphs this accounts for the transfer/compute overlap
+//!   the plain work bound ignores.
 //!
-//! `optimality_gap` compares a simulated makespan against the larger of
-//! the two.
+//! `optimality_gap` compares a simulated makespan against the largest of
+//! the three.
 
 use crate::cost::CostModel;
 use crate::graph::TrainGraph;
@@ -50,14 +55,168 @@ pub fn resource_bound<C: CostModel>(
     c.max(s)
 }
 
-/// The combined lower bound.
+/// Earliest possible start time of every op (by dense graph index)
+/// ignoring resource contention: the longest cost-weighted dependency
+/// chain ending at the op's start. In any schedule that executes the
+/// whole graph, no op can start earlier.
+pub fn earliest_starts<C: CostModel>(graph: &TrainGraph, cost: &C) -> Vec<SimTime> {
+    let n = graph.len();
+    let mut indeg: Vec<usize> = (0..n).map(|i| graph.dep_indices(i).len()).collect();
+    let mut est: Vec<SimTime> = vec![0; n];
+    let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    while let Some(i) = queue.pop() {
+        let finish = est[i] + cost.duration(graph.ops()[i]);
+        for &s in graph.dependent_indices(i) {
+            est[s] = est[s].max(finish);
+            indeg[s] -= 1;
+            if indeg[s] == 0 {
+                queue.push(s);
+            }
+        }
+    }
+    est
+}
+
+/// The per-class load bound with head and tail slack: for each resource
+/// class (compute ops on `compute_lanes`, synchronizations on
+/// `link_lanes`),
+///
+/// ```text
+/// min est(op) + ceil(class work / class lanes) + min (rank(op) - dur(op))
+/// ```
+///
+/// over the class's positive-duration ops. The class's work cannot begin
+/// before its earliest possible start, needs at least `work / lanes` of
+/// wall time on the class's lanes, and whichever class op finishes last
+/// still has its remaining critical path (`rank - dur`, at least the
+/// class minimum) ahead of it. Unlike [`resource_bound`] this is tight
+/// on `datapar` graphs where the link lane can neither start before the
+/// first `dW` lands nor finish the iteration by itself.
+pub fn class_load_bound<C: CostModel>(
+    graph: &TrainGraph,
+    cost: &C,
+    compute_lanes: usize,
+    link_lanes: usize,
+) -> SimTime {
+    let est = earliest_starts(graph, cost);
+    let ranks = crate::heft::upward_ranks(graph, cost);
+    let mut best: SimTime = 0;
+    for (class_is_sync, lanes) in [(false, compute_lanes), (true, link_lanes)] {
+        let mut work: SimTime = 0;
+        let mut head = SimTime::MAX;
+        let mut tail = SimTime::MAX;
+        for (i, &op) in graph.ops().iter().enumerate() {
+            if op.is_sync() != class_is_sync {
+                continue;
+            }
+            let d = cost.duration(op);
+            if d == 0 {
+                // Zero-duration ops add no load and would only weaken
+                // the head/tail slack.
+                continue;
+            }
+            work += d;
+            head = head.min(est[i]);
+            tail = tail.min(ranks[i] - d);
+        }
+        if work > 0 {
+            best = best.max(head + work.div_ceil(lanes.max(1) as SimTime) + tail);
+        }
+    }
+    best
+}
+
+/// The combined lower bound: the largest of the critical path, the
+/// plain resource bound, and the head/tail-sharpened class load bound.
 pub fn lower_bound<C: CostModel>(
     graph: &TrainGraph,
     cost: &C,
     compute_lanes: usize,
     link_lanes: usize,
 ) -> SimTime {
-    critical_path(graph, cost).max(resource_bound(graph, cost, compute_lanes, link_lanes))
+    critical_path(graph, cost)
+        .max(resource_bound(graph, cost, compute_lanes, link_lanes))
+        .max(class_load_bound(graph, cost, compute_lanes, link_lanes))
+}
+
+/// The combined lower bound restricted to the op subset `scheduled`:
+/// every schedule that executes exactly these ops on the given lane
+/// counts takes at least this long, under the partial-schedule contract
+/// that dependencies outside the subset are treated as finished at
+/// time 0.
+///
+/// This is [`lower_bound`] when `scheduled` covers the whole graph; on
+/// a proper subset (e.g. the backward-plus-sync realization that
+/// [`crate::datapar`] engines run) the whole-graph bound would
+/// over-count work the schedule never executes and is *not* a valid
+/// bound, while this one is. Ops not in the graph are ignored.
+pub fn partial_lower_bound<C: CostModel>(
+    graph: &TrainGraph,
+    cost: &C,
+    scheduled: &[crate::Op],
+    compute_lanes: usize,
+    link_lanes: usize,
+) -> SimTime {
+    let n = graph.len();
+    let mut in_set = vec![false; n];
+    for &op in scheduled {
+        if let Some(i) = graph.op_index(op) {
+            in_set[i] = true;
+        }
+    }
+    // Canonical storage order is topological: ascending indices for the
+    // forward pass, descending for the backward pass.
+    let mut est: Vec<SimTime> = vec![0; n];
+    for i in 0..n {
+        if !in_set[i] {
+            continue;
+        }
+        for &d in graph.dep_indices(i) {
+            if in_set[d] {
+                est[i] = est[i].max(est[d] + cost.duration(graph.ops()[d]));
+            }
+        }
+    }
+    let mut rank: Vec<SimTime> = vec![0; n];
+    for i in (0..n).rev() {
+        if !in_set[i] {
+            continue;
+        }
+        let mut below: SimTime = 0;
+        for &s in graph.dependent_indices(i) {
+            if in_set[s] {
+                below = below.max(rank[s]);
+            }
+        }
+        rank[i] = cost.duration(graph.ops()[i]) + below;
+    }
+    let mut best: SimTime = 0;
+    for i in 0..n {
+        if in_set[i] {
+            best = best.max(est[i] + rank[i]);
+        }
+    }
+    for (class_is_sync, lanes) in [(false, compute_lanes), (true, link_lanes)] {
+        let mut work: SimTime = 0;
+        let mut head = SimTime::MAX;
+        let mut tail = SimTime::MAX;
+        for (i, &op) in graph.ops().iter().enumerate() {
+            if !in_set[i] || op.is_sync() != class_is_sync {
+                continue;
+            }
+            let d = cost.duration(op);
+            if d == 0 {
+                continue;
+            }
+            work += d;
+            head = head.min(est[i]);
+            tail = tail.min(rank[i] - d);
+        }
+        if work > 0 {
+            best = best.max(head + work.div_ceil(lanes.max(1) as SimTime) + tail);
+        }
+    }
+    best
 }
 
 /// Makespan divided by the lower bound (1.0 = provably optimal).
@@ -237,6 +396,58 @@ mod tests {
     }
 
     #[test]
+    fn class_load_bound_is_strictly_tighter_on_sync_heavy_datapar() {
+        // l=4 data-parallel, sync_weight=4, defaults elsewhere.
+        // Compute work 11, sync work 16, critical path 12, so the old
+        // bound is max(12, 16) = 16. The link lane cannot start before
+        // the first dW lands (est(S[dW4]) = 1) and after the last sync
+        // at least U+F work (1) remains: 1 + 16 + 1 = 18.
+        let g = TrainGraph::data_parallel(4);
+        let cost = TableCost::uniform(
+            4,
+            LayerCost {
+                sync_weight: 4,
+                ..LayerCost::default()
+            },
+        );
+        let old = critical_path(&g, &cost).max(resource_bound(&g, &cost, 1, 1));
+        assert_eq!(old, 16);
+        assert_eq!(class_load_bound(&g, &cost, 1, 1), 18);
+        assert_eq!(lower_bound(&g, &cost, 1, 1), 18);
+        // And no reverse-k realization beats the tightened bound.
+        for k in 0..=4 {
+            let m = reverse_k_makespan(&g, k, &cost, CommPolicy::FifoCompletion).unwrap();
+            assert!(m >= 18, "k={k} makespan {m}");
+        }
+    }
+
+    #[test]
+    fn class_load_bound_never_exceeds_simulated_makespans() {
+        // Validity sweep: the tightened bound stays below every
+        // realizable data-parallel makespan across layer counts, sync
+        // weights, ks, and both communication policies.
+        for l in [2usize, 5, 9, 13] {
+            for sync in [1, 3, 7] {
+                let g = TrainGraph::data_parallel(l);
+                let cost = TableCost::uniform(
+                    l,
+                    LayerCost {
+                        sync_weight: sync,
+                        ..LayerCost::default()
+                    },
+                );
+                let lb = lower_bound(&g, &cost, 1, 1);
+                for k in 0..=l {
+                    for policy in [CommPolicy::FifoCompletion, CommPolicy::PriorityByLayer] {
+                        let m = reverse_k_makespan(&g, k, &cost, policy).unwrap();
+                        assert!(m >= lb, "l={l} sync={sync} k={k} {m} < {lb}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn zero_lower_bound_gap_is_well_defined() {
         // All-zero cost model: the lower bound collapses to 0. A zero
         // makespan is vacuously optimal; a positive one has an unbounded
@@ -258,6 +469,68 @@ mod tests {
         let gap_pos = optimality_gap(&g, &zero, 1, 1, 42);
         assert!(gap_pos.is_infinite() && gap_pos > 0.0, "gap {gap_pos}");
         assert!(!gap_pos.is_nan());
+    }
+
+    #[test]
+    fn partial_bound_matches_full_bound_on_the_whole_graph() {
+        for l in [3usize, 6] {
+            let g = TrainGraph::data_parallel(l);
+            let cost = TableCost::uniform(
+                l,
+                LayerCost {
+                    sync_weight: 3,
+                    ..LayerCost::default()
+                },
+            );
+            let all: Vec<crate::Op> = g.ops().to_vec();
+            assert_eq!(
+                partial_lower_bound(&g, &cost, &all, 1, 1),
+                lower_bound(&g, &cost, 1, 1),
+                "l={l}"
+            );
+        }
+    }
+
+    #[test]
+    fn partial_bound_is_valid_for_backward_only_realizations() {
+        // The datapar engines realize only the backward + sync subset;
+        // the whole-graph bound over-counts the forward/update work they
+        // never run, while the subset bound stays below every
+        // realization.
+        let l = 6;
+        let g = TrainGraph::data_parallel(l);
+        let cost = TableCost::uniform(
+            l,
+            LayerCost {
+                sync_weight: 2,
+                ..LayerCost::default()
+            },
+        );
+        let subset: Vec<crate::Op> = g
+            .ops()
+            .iter()
+            .copied()
+            .filter(|o| o.is_backward() || o.is_sync())
+            .collect();
+        let plb = partial_lower_bound(&g, &cost, &subset, 1, 1);
+        assert!(plb > 0);
+        for k in 0..=l {
+            let order =
+                crate::reverse_k::reverse_first_k(&g, k, None::<(u64, &TableCost)>).unwrap();
+            let syncs: Vec<crate::Op> = order
+                .iter()
+                .filter(|o| o.is_weight_grad())
+                .map(|o| crate::Op::SyncWeightGrad(o.layer().unwrap()))
+                .collect();
+            let mut s = Schedule::default();
+            s.add_lane("gpu", order);
+            s.add_lane("link", syncs);
+            let m = simulate(&g, &s, &cost).unwrap().makespan();
+            assert!(m >= plb, "k={k} {m} < {plb}");
+            // ... while the whole-graph bound over-counts and is NOT a
+            // valid bound for this subset.
+            assert!(plb < lower_bound(&g, &cost, 1, 1), "k={k}");
+        }
     }
 
     #[test]

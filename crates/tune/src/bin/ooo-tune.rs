@@ -25,13 +25,14 @@
 //! gate (the tuner refuses unsafe starting points), `2` on usage, I/O,
 //! or parse problems.
 
-use ooo_core::cost::{LayerCost, TableCost, UnitCost};
+use ooo_core::cost::{CostModel, LayerCost, TableCost, UnitCost};
 use ooo_core::datapar::CommPolicy;
 use ooo_core::export::ScheduleBundle;
 use ooo_core::json::{obj, Value};
 use ooo_core::pipeline::Strategy;
 use ooo_core::reverse_k::reverse_first_k;
-use ooo_core::{SimTime, TrainGraph};
+use ooo_core::schedule::Schedule;
+use ooo_core::{Op, SimTime, TrainGraph};
 use ooo_tune::order::{certify_order, tune_backward_order, KFamily};
 use ooo_tune::pipeline::tune_pipeline;
 use ooo_tune::{certify_schedule, tune_schedule, AppliedMove, Error, TuneOptions};
@@ -235,9 +236,41 @@ struct Outcome {
     baseline: SimTime,
     tuned: SimTime,
     certified: SimTime,
+    /// Certified lower bound over the scheduled op subset; fed to the
+    /// tuner as its early-termination target.
+    lower_bound: SimTime,
+    /// `true` when the certified makespan meets the lower bound: the
+    /// tuned schedule is provably makespan-optimal for its op set and
+    /// lane structure.
+    proven_optimal: bool,
     k: Option<usize>,
     moves: Vec<AppliedMove>,
     restarts_adopted: usize,
+}
+
+/// The certified makespan floor of `schedule`'s op subset on its lane
+/// structure ([`ooo_core::bounds::partial_lower_bound`]). The tuner's
+/// moves never add lanes or ops, so no tuned descendant can beat this
+/// bound — reaching it proves optimality and stops the search early.
+fn certified_floor<C: CostModel>(graph: &TrainGraph, schedule: &Schedule, cost: &C) -> SimTime {
+    let scheduled: Vec<Op> = schedule
+        .lanes
+        .iter()
+        .flat_map(|l| l.ops.iter().copied())
+        .collect();
+    let compute = schedule
+        .lanes
+        .iter()
+        .filter(|l| l.ops.iter().any(|o| o.is_compute()))
+        .count()
+        .max(1);
+    let link = schedule
+        .lanes
+        .iter()
+        .filter(|l| l.ops.iter().any(|o| o.is_sync()))
+        .count()
+        .max(1);
+    ooo_core::bounds::partial_lower_bound(graph, cost, &scheduled, compute, link)
 }
 
 enum ItemResult {
@@ -256,6 +289,8 @@ fn outcome_to_json(o: &Outcome) -> Value {
         ("baseline_makespan", Value::Num(o.baseline as f64)),
         ("tuned_makespan", Value::Num(o.tuned as f64)),
         ("certified_makespan", Value::Num(o.certified as f64)),
+        ("lower_bound", Value::Num(o.lower_bound as f64)),
+        ("proven_optimal", Value::Bool(o.proven_optimal)),
         ("improved", Value::Bool(o.tuned < o.baseline)),
         (
             "k",
@@ -295,12 +330,15 @@ fn item_to_human(r: &ItemResult) -> String {
     match r {
         ItemResult::Tuned(o) => {
             let mut s = format!(
-                "{}: baseline {} -> tuned {} (certified {}, {})\n",
+                "{}: baseline {} -> tuned {} (certified {}, lower bound {}, {})\n",
                 o.name,
                 o.baseline,
                 o.tuned,
                 o.certified,
-                if o.tuned < o.baseline {
+                o.lower_bound,
+                if o.proven_optimal {
+                    "proven optimal"
+                } else if o.tuned < o.baseline {
                     "improved"
                 } else {
                     "already optimal under the move set"
@@ -325,10 +363,11 @@ fn item_to_human(r: &ItemResult) -> String {
     }
 }
 
-fn opts_with(restarts: u64, require_complete: bool) -> TuneOptions {
+fn opts_with(restarts: u64, require_complete: bool, target: Option<SimTime>) -> TuneOptions {
     TuneOptions {
         restarts,
         require_complete,
+        target,
         ..TuneOptions::default()
     }
 }
@@ -372,6 +411,8 @@ fn run_order_mode(
         },
     );
     let baseline = reverse_first_k(&graph, k, None::<(u64, &TableCost)>)?;
+    let realized = ooo_verify::predict::datapar_schedule(&graph, &baseline, &cost, policy)?;
+    let floor = certified_floor(&graph, &realized, &cost);
     let tuned = tune_backward_order(
         &graph,
         &baseline,
@@ -379,7 +420,7 @@ fn run_order_mode(
         &cost,
         policy,
         KFamily::ReverseFirstK,
-        &opts_with(restarts, true),
+        &opts_with(restarts, true, Some(floor)),
     )?;
     let certified = certify_order(&graph, &tuned.order, &cost, policy)?;
     Ok(Outcome {
@@ -388,6 +429,8 @@ fn run_order_mode(
         baseline: tuned.baseline,
         tuned: tuned.predicted,
         certified,
+        lower_bound: floor,
+        proven_optimal: certified == floor,
         k: tuned.k,
         moves: tuned.moves,
         restarts_adopted: tuned.restarts_adopted,
@@ -416,28 +459,33 @@ fn run_bundle_mode(
         let item = if graph.config().sync_weight_grads {
             let backward: Vec<_> = order.iter().copied().filter(|o| o.is_backward()).collect();
             let cost = UnitCost;
-            tune_backward_order(
-                &graph,
-                &backward,
-                None,
-                &cost,
-                policy,
-                KFamily::ReverseFirstK,
-                &opts_with(restarts, true),
-            )
-            .and_then(|t| {
-                let certified = certify_order(&graph, &t.order, &cost, policy)?;
-                Ok(Outcome {
-                    name: name.clone(),
-                    kind: "order",
-                    baseline: t.baseline,
-                    tuned: t.predicted,
-                    certified,
-                    k: t.k,
-                    moves: t.moves,
-                    restarts_adopted: t.restarts_adopted,
+            ooo_verify::predict::datapar_schedule(&graph, &backward, &cost, policy)
+                .map_err(Error::from)
+                .and_then(|realized| {
+                    let floor = certified_floor(&graph, &realized, &cost);
+                    let t = tune_backward_order(
+                        &graph,
+                        &backward,
+                        None,
+                        &cost,
+                        policy,
+                        KFamily::ReverseFirstK,
+                        &opts_with(restarts, true, Some(floor)),
+                    )?;
+                    let certified = certify_order(&graph, &t.order, &cost, policy)?;
+                    Ok(Outcome {
+                        name: name.clone(),
+                        kind: "order",
+                        baseline: t.baseline,
+                        tuned: t.predicted,
+                        certified,
+                        lower_bound: floor,
+                        proven_optimal: certified == floor,
+                        k: t.k,
+                        moves: t.moves,
+                        restarts_adopted: t.restarts_adopted,
+                    })
                 })
-            })
         } else {
             let s = ooo_core::schedule::Schedule::single_lane(name, order.clone());
             tune_one_schedule(&graph, name, &s, restarts)
@@ -467,8 +515,15 @@ fn tune_one_schedule(
     restarts: u64,
 ) -> Result<Outcome, Error> {
     // Exported schedules may be partial (engines with implicit updates),
-    // so the gate does not demand completeness.
-    let tuned = tune_schedule(graph, schedule, &UnitCost, &opts_with(restarts, false))?;
+    // so the gate does not demand completeness. The subset lower bound
+    // is still valid — it covers exactly the ops the schedule runs.
+    let floor = certified_floor(graph, schedule, &UnitCost);
+    let tuned = tune_schedule(
+        graph,
+        schedule,
+        &UnitCost,
+        &opts_with(restarts, false, Some(floor)),
+    )?;
     let certified = certify_schedule(graph, &tuned.schedule, &UnitCost)?;
     Ok(Outcome {
         name: name.to_string(),
@@ -476,6 +531,8 @@ fn tune_one_schedule(
         baseline: tuned.baseline,
         tuned: tuned.predicted,
         certified,
+        lower_bound: floor,
+        proven_optimal: certified == floor,
         k: None,
         moves: tuned.moves,
         restarts_adopted: tuned.restarts_adopted,
@@ -489,13 +546,16 @@ fn run_pipeline_mode(
     group: usize,
     restarts: u64,
 ) -> Result<Outcome, Error> {
+    let (pgraph, pschedule) =
+        ooo_core::pipeline::op_level_schedule(layers, devices, strategy, group);
+    let floor = certified_floor(&pgraph, &pschedule, &UnitCost);
     let tuned = tune_pipeline(
         layers,
         devices,
         strategy,
         group,
         &UnitCost,
-        &opts_with(restarts, true),
+        &opts_with(restarts, true, Some(floor)),
     )?;
     let certified = certify_schedule(&tuned.graph, &tuned.schedule, &UnitCost)?;
     let name = match strategy {
@@ -513,6 +573,8 @@ fn run_pipeline_mode(
         baseline: tuned.baseline,
         tuned: tuned.predicted,
         certified,
+        lower_bound: floor,
+        proven_optimal: certified == floor,
         k: Some(tuned.group),
         moves: tuned.moves,
         restarts_adopted: tuned.restarts_adopted,

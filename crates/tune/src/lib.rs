@@ -47,7 +47,7 @@ pub mod pipeline;
 use ooo_core::cost::CostModel;
 use ooo_core::schedule::Schedule;
 use ooo_core::{SimTime, TrainGraph};
-use ooo_verify::predict::predict_makespan;
+use ooo_verify::predict::{predict_makespan, DeltaEval};
 use ooo_verify::{Report, Verifier, VerifyConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -155,6 +155,13 @@ pub struct TuneOptions {
     /// Optional memory budget forwarded to the verifier's liveness
     /// analysis (OV301).
     pub memory_budget: Option<u64>,
+    /// Optional certified target makespan (a proven lower bound, e.g.
+    /// from `ooo_core::bounds::lower_bound` or an `ooo-cert`
+    /// certificate). The search stops as soon as the incumbent reaches
+    /// it: no schedule can beat a valid lower bound, so every further
+    /// candidate is provably futile. With a *valid* bound this changes
+    /// nothing but wasted work — the result is identical.
+    pub target: Option<SimTime>,
 }
 
 impl Default for TuneOptions {
@@ -166,6 +173,7 @@ impl Default for TuneOptions {
             cross_lane: true,
             require_complete: true,
             memory_budget: None,
+            target: None,
         }
     }
 }
@@ -229,6 +237,26 @@ pub(crate) trait SearchSpace {
     /// The legal neighborhood, in a deterministic enumeration order,
     /// each with a human-readable move description.
     fn candidates(&self, state: &Self::State) -> Vec<(Self::State, String)>;
+
+    /// The neighborhood with each candidate's score attached, computed
+    /// the cheapest way the space knows. The default scores every
+    /// candidate with a full [`SearchSpace::score`] pass; spaces whose
+    /// moves are schedule relocations override this with incremental
+    /// delta evaluation ([`ooo_verify::predict::DeltaEval`]), which
+    /// re-scores only the affected cone per candidate. Overrides must
+    /// return the same candidates, order, and scores as the default.
+    fn scored_candidates(
+        &self,
+        state: &Self::State,
+    ) -> Vec<(Self::State, String, Option<SimTime>)> {
+        self.candidates(state)
+            .into_iter()
+            .map(|(st, d)| {
+                let m = self.score(&st);
+                (st, d, m)
+            })
+            .collect()
+    }
 }
 
 /// Best-improvement greedy descent. Candidates are ranked by
@@ -243,17 +271,22 @@ fn greedy<S: SearchSpace>(
     opts: &TuneOptions,
 ) -> (S::State, SimTime) {
     while moves.len() < opts.max_moves {
-        let cands = space.candidates(&cur);
+        // A certified lower bound already reached proves optimality:
+        // no candidate can strictly improve, skip enumerating them.
+        if opts.target.is_some_and(|t| cur_m <= t) {
+            break;
+        }
+        let cands = space.scored_candidates(&cur);
         let mut scored: Vec<(SimTime, usize)> = cands
             .iter()
             .enumerate()
-            .filter_map(|(i, (st, _))| space.score(st).map(|m| (m, i)))
+            .filter_map(|(i, (_, _, m))| m.map(|m| (m, i)))
             .filter(|&(m, _)| m < cur_m)
             .collect();
         scored.sort_unstable();
         let accepted = scored.into_iter().find(|&(_, i)| space.clean(&cands[i].0));
         let Some((m, i)) = accepted else { break };
-        let (state, description) = cands[i].clone();
+        let (state, description, _) = cands[i].clone();
         moves.push(AppliedMove {
             kind: MoveKind::Greedy,
             description,
@@ -279,14 +312,14 @@ fn perturb<S: SearchSpace>(
     let mut state = cur;
     let mut makespan = cur_m;
     for _ in 0..opts.perturb_moves {
-        let cands = space.candidates(&state);
+        let cands = space.scored_candidates(&state);
         if cands.is_empty() {
             break;
         }
         let mut picked = None;
         for _ in 0..16 {
             let i = rng.gen_range(0..cands.len());
-            if let Some(m) = space.score(&cands[i].0) {
+            if let Some(m) = cands[i].2 {
                 if space.clean(&cands[i].0) {
                     picked = Some((i, m));
                     break;
@@ -294,7 +327,7 @@ fn perturb<S: SearchSpace>(
             }
         }
         let Some((i, m)) = picked else { break };
-        let (next, description) = cands[i].clone();
+        let (next, description, _) = cands[i].clone();
         moves.push(AppliedMove {
             kind: MoveKind::Perturb,
             description,
@@ -322,6 +355,11 @@ pub(crate) fn local_search<S: SearchSpace>(
     let (mut cur, mut cur_m) = greedy(space, init, init_m, &mut moves, opts);
     let mut adopted = 0usize;
     'sweep: loop {
+        // Proven optimal: restart perturbations cannot end strictly
+        // better than a certified lower bound.
+        if opts.target.is_some_and(|t| cur_m <= t) {
+            break;
+        }
         for seed in 1..=opts.restarts {
             let mut trial = Vec::new();
             let (p, pm) = perturb(space, cur.clone(), cur_m, seed, &mut trial, opts);
@@ -364,16 +402,67 @@ impl<C: CostModel> SearchSpace for ScheduleSpace<'_, C> {
     fn candidates(&self, state: &Schedule) -> Vec<(Schedule, String)> {
         schedule_moves(state, self.cross_lane)
     }
+
+    /// Delta-evaluated scoring: one [`DeltaEval`] carries the incumbent's
+    /// exact timing state; each candidate is probed with
+    /// [`DeltaEval::relocate_many`] (re-scoring only the affected cone)
+    /// and reverted. Candidates, order, and scores are identical to the
+    /// default full-scoring path — only the work per candidate shrinks.
+    fn scored_candidates(&self, state: &Schedule) -> Vec<(Schedule, String, Option<SimTime>)> {
+        let Ok(mut de) = DeltaEval::new(self.graph, state, self.cost) else {
+            // An incumbent the predictor rejects never arises from the
+            // search itself; fall back to the default path for safety.
+            return schedule_moves(state, self.cross_lane)
+                .into_iter()
+                .map(|(st, d)| {
+                    let m = self.score(&st);
+                    (st, d, m)
+                })
+                .collect();
+        };
+        let mut out = Vec::new();
+        for (batch, description) in schedule_move_batches(state, self.cross_lane) {
+            let next = apply_move_batch(state, &batch);
+            if next == *state {
+                continue;
+            }
+            let origins: Vec<(ooo_core::Op, usize, usize)> = batch
+                .iter()
+                .map(|&(op, _, _)| {
+                    let (l, p) = de.position_of(op).expect("moved op is scheduled");
+                    (op, l, p)
+                })
+                .collect();
+            let m = de.relocate_many(&batch).ok();
+            if m.is_some() {
+                de.relocate_many(&origins)
+                    .expect("reverting to the incumbent cannot deadlock");
+            }
+            out.push((next, description, m));
+        }
+        out
+    }
 }
 
-/// Enumerates every relocation of a `dW`-class op: all in-lane target
-/// positions, plus (when `cross_lane`) every insertion point of every
-/// other lane. A `dW_i` whose `U_i` sits on the same lane additionally
-/// moves as a `[dW_i, U_i]` block — relocating the gradient alone would
-/// always violate the update's dependency, so deferring a weight
-/// gradient past its own update needs the pair to travel together.
-/// Deterministic: lanes and positions in schedule order.
-pub(crate) fn schedule_moves(state: &Schedule, cross_lane: bool) -> Vec<(Schedule, String)> {
+/// One relocation batch: every `(op, target lane, target position)` is
+/// applied atomically, positions addressing the final lane contents in
+/// ascending `(lane, position)` order — the same semantics as
+/// [`DeltaEval::relocate_many`].
+pub(crate) type MoveBatch = Vec<(ooo_core::Op, usize, usize)>;
+
+/// Enumerates every relocation of a `dW`-class op as a move descriptor:
+/// all in-lane target positions, plus (when `cross_lane`) every
+/// insertion point of every other lane. A `dW_i` whose `U_i` sits on the
+/// same lane additionally moves as a `[dW_i, U_i]` block — relocating
+/// the gradient alone would always violate the update's dependency, so
+/// deferring a weight gradient past its own update needs the pair to
+/// travel together. Deterministic: lanes and positions in schedule
+/// order. Descriptors may reproduce the input state; appliers filter
+/// identities.
+pub(crate) fn schedule_move_batches(
+    state: &Schedule,
+    cross_lane: bool,
+) -> Vec<(MoveBatch, String)> {
     use ooo_core::Op;
     let mut out = Vec::new();
     for (li, lane) in state.lanes.iter().enumerate() {
@@ -381,17 +470,16 @@ pub(crate) fn schedule_moves(state: &Schedule, cross_lane: bool) -> Vec<(Schedul
             if !op.is_weight_grad_class() {
                 continue;
             }
-            // In-lane: remove at `pi`, insert at each position of the
-            // reduced lane. Inserting back at `pi` reproduces the input.
+            // In-lane: every position of the reduced lane except the
+            // identity.
             for to in 0..lane.ops.len() {
                 if to == pi {
                     continue;
                 }
-                let mut next = state.clone();
-                let ops = &mut next.lanes[li].ops;
-                ops.remove(pi);
-                ops.insert(to.min(ops.len()), op);
-                out.push((next, format!("move {op} to {}:{to}", lane.name)));
+                out.push((
+                    vec![(op, li, to)],
+                    format!("move {op} to {}:{to}", lane.name),
+                ));
             }
             if cross_lane {
                 for (lj, other) in state.lanes.iter().enumerate() {
@@ -399,32 +487,24 @@ pub(crate) fn schedule_moves(state: &Schedule, cross_lane: bool) -> Vec<(Schedul
                         continue;
                     }
                     for to in 0..=other.ops.len() {
-                        let mut next = state.clone();
-                        next.lanes[li].ops.remove(pi);
-                        next.lanes[lj].ops.insert(to, op);
-                        out.push((next, format!("move {op} to {}:{to}", other.name)));
+                        out.push((
+                            vec![(op, lj, to)],
+                            format!("move {op} to {}:{to}", other.name),
+                        ));
                     }
                 }
             }
             // Block moves: `[dW_i, U_i]` as one unit.
             let Op::WeightGrad(layer) = op else { continue };
             let update = Op::Update(layer);
-            let Some(ui) = lane.ops.iter().position(|&o| o == update) else {
+            if !lane.ops.contains(&update) {
                 continue;
-            };
-            let mut reduced = lane.ops.clone();
-            reduced.remove(pi.max(ui));
-            reduced.remove(pi.min(ui));
-            for to in 0..=reduced.len() {
-                let mut next = state.clone();
-                let ops = &mut next.lanes[li].ops;
-                *ops = reduced.clone();
-                ops.insert(to, update);
-                ops.insert(to, op);
-                if next == *state {
-                    continue;
-                }
-                out.push((next, format!("move {op}+{update} to {}:{to}", lane.name)));
+            }
+            for to in 0..=lane.ops.len().saturating_sub(2) {
+                out.push((
+                    vec![(op, li, to), (update, li, to + 1)],
+                    format!("move {op}+{update} to {}:{to}", lane.name),
+                ));
             }
             if cross_lane {
                 for (lj, other) in state.lanes.iter().enumerate() {
@@ -432,17 +512,49 @@ pub(crate) fn schedule_moves(state: &Schedule, cross_lane: bool) -> Vec<(Schedul
                         continue;
                     }
                     for to in 0..=other.ops.len() {
-                        let mut next = state.clone();
-                        next.lanes[li].ops = reduced.clone();
-                        next.lanes[lj].ops.insert(to, update);
-                        next.lanes[lj].ops.insert(to, op);
-                        out.push((next, format!("move {op}+{update} to {}:{to}", other.name)));
+                        out.push((
+                            vec![(op, lj, to), (update, lj, to + 1)],
+                            format!("move {op}+{update} to {}:{to}", other.name),
+                        ));
                     }
                 }
             }
         }
     }
     out
+}
+
+/// Applies a move batch to a plain [`Schedule`] clone, mirroring
+/// [`DeltaEval::relocate_many`]: remove every moved op, then insert at
+/// the target coordinates in ascending `(lane, position)` order,
+/// clamped to the lane length.
+pub(crate) fn apply_move_batch(state: &Schedule, batch: &MoveBatch) -> Schedule {
+    let mut next = state.clone();
+    for &(op, _, _) in batch {
+        for lane in &mut next.lanes {
+            lane.ops.retain(|&o| o != op);
+        }
+    }
+    let mut inserts = batch.clone();
+    inserts.sort_unstable_by_key(|&(_, l, p)| (l, p));
+    for (op, l, p) in inserts {
+        let ops = &mut next.lanes[l].ops;
+        ops.insert(p.min(ops.len()), op);
+    }
+    next
+}
+
+/// Enumerates every `dW`-class relocation as a materialized schedule;
+/// see [`schedule_move_batches`] for the move set. Identity moves are
+/// filtered out.
+pub(crate) fn schedule_moves(state: &Schedule, cross_lane: bool) -> Vec<(Schedule, String)> {
+    schedule_move_batches(state, cross_lane)
+        .into_iter()
+        .filter_map(|(batch, description)| {
+            let next = apply_move_batch(state, &batch);
+            (next != *state).then_some((next, description))
+        })
+        .collect()
 }
 
 /// Tunes a multi-lane schedule in place: greedy + seeded-restart search

@@ -211,6 +211,11 @@ fn report_to_json(name: &str, report: &PerfReport) -> Value {
             Value::Num(report.predicted_makespan as f64),
         ),
         ("lower_bound", Value::Num(report.lower_bound as f64)),
+        (
+            "scheduled_lower_bound",
+            Value::Num(report.scheduled_lower_bound as f64),
+        ),
+        ("proven_optimal", Value::Bool(report.proven_optimal)),
         ("optimality_gap", gap_value(report.optimality_gap)),
         ("advice", Value::Arr(advice)),
     ])
@@ -223,8 +228,14 @@ fn report_to_human(name: &str, report: &PerfReport) -> String {
         Some(g) => format!("{g:.3}"),
     };
     let mut s = format!(
-        "{name}: predicted makespan {}, lower bound {}, gap {gap}\n",
-        report.predicted_makespan, report.lower_bound
+        "{name}: predicted makespan {}, lower bound {}, gap {gap}{}\n",
+        report.predicted_makespan,
+        report.lower_bound,
+        if report.proven_optimal {
+            " (proven optimal)"
+        } else {
+            ""
+        }
     );
     for a in &report.advice {
         s.push_str(&format!(

@@ -143,6 +143,17 @@ pub struct PerfReport {
     pub predicted_makespan: SimTime,
     /// Combined lower bound for the inferred lane counts.
     pub lower_bound: SimTime,
+    /// Certified lower bound over the *scheduled* op subset
+    /// ([`bounds::partial_lower_bound`]): valid for partial schedules
+    /// too, and equal to [`PerfReport::lower_bound`] when the schedule
+    /// is complete.
+    pub scheduled_lower_bound: SimTime,
+    /// `true` when the predicted makespan meets
+    /// [`PerfReport::scheduled_lower_bound`] exactly: the schedule is
+    /// provably makespan-optimal for its op set and lane counts, so the
+    /// `OP101`/`OP201`/`OP301` mutation scans are skipped — no movement
+    /// can be strictly faster than a certified bound.
+    pub proven_optimal: bool,
     /// Predicted makespan over the lower bound; `None` for partial
     /// schedules (the bound covers the whole graph's work).
     pub optimality_gap: Option<f64>,
@@ -224,6 +235,18 @@ impl<'g, C: CostModel> PerfAdvisor<'g, C> {
             .count()
             .max(1);
         let lower = bounds::lower_bound(self.graph, &self.cost, compute_lanes, link_lanes);
+        let scheduled: Vec<Op> = schedule
+            .lanes
+            .iter()
+            .flat_map(|l| l.ops.iter().copied())
+            .collect();
+        let scheduled_lower = bounds::partial_lower_bound(
+            self.graph,
+            &self.cost,
+            &scheduled,
+            compute_lanes,
+            link_lanes,
+        );
         let gap = complete.then(|| {
             bounds::optimality_gap(
                 self.graph,
@@ -234,13 +257,24 @@ impl<'g, C: CostModel> PerfAdvisor<'g, C> {
             )
         });
 
+        // A predicted makespan that meets the certified subset bound is
+        // provably unimprovable by op movement: skip the OP101/OP201
+        // mutation scans (each validated candidate would have to be
+        // strictly faster than a lower bound, a contradiction). The
+        // OP501 memory scan still runs — it optimizes the high-water
+        // mark, not the makespan.
+        let proven = prediction.makespan() == scheduled_lower;
         let mut advice = Vec::new();
-        self.check_deferrable_dw(schedule, &prediction, complete, &mut advice);
-        self.check_barrier_stalls(schedule, &prediction, complete, &mut advice);
+        if !proven {
+            self.check_deferrable_dw(schedule, &prediction, complete, &mut advice);
+            self.check_barrier_stalls(schedule, &prediction, complete, &mut advice);
+        }
         self.check_memory_hotspot(schedule, &mut advice);
         Ok(PerfReport {
             predicted_makespan: prediction.makespan(),
             lower_bound: lower,
+            scheduled_lower_bound: scheduled_lower,
+            proven_optimal: proven,
             optimality_gap: gap,
             prediction,
             advice,
@@ -258,6 +292,13 @@ impl<'g, C: CostModel> PerfAdvisor<'g, C> {
     pub fn analyze_order(&self, backward: &[Op], policy: CommPolicy) -> Result<PerfReport, Error> {
         let schedule = datapar_schedule(self.graph, backward, &self.cost, policy)?;
         let mut report = self.analyze(&schedule)?;
+        if report.proven_optimal {
+            // Every reverse first-k realization schedules the same op
+            // subset on the same lane structure, so none can beat the
+            // certified subset bound this order already meets: the whole
+            // OP301 depth sweep is provably fruitless.
+            return Ok(report);
+        }
 
         let eval = |k: usize| -> Result<SimTime, Error> {
             let order = reverse_first_k(self.graph, k, None::<(u64, &C)>)?;
@@ -801,6 +842,82 @@ mod tests {
         let fixed = hits[0].suggestion.as_ref().unwrap().apply(&s).unwrap();
         let after = memory_profile(&g, &fixed.lanes[0].ops, &cost).unwrap().peak;
         assert!(after < before, "{after} vs {before}");
+    }
+
+    #[test]
+    fn certified_bound_gates_the_mutation_scans() {
+        // A single-lane conventional schedule meets the one-lane
+        // resource bound exactly: the subset bound certifies it optimal
+        // and the OP101/OP201 scans are skipped outright.
+        let g = TrainGraph::single_gpu(6);
+        let s = Schedule::single_lane("gpu", g.conventional_backprop());
+        let report = PerfAdvisor::new(&g).analyze(&s).unwrap();
+        assert!(report.proven_optimal);
+        assert_eq!(report.scheduled_lower_bound, report.predicted_makespan);
+        assert_eq!(report.scheduled_lower_bound, report.lower_bound);
+        assert!(report.by_rule(RuleId::MissedOooOpportunity).is_empty());
+        assert!(report.by_rule(RuleId::AvoidableBarrierStall).is_empty());
+    }
+
+    #[test]
+    fn certified_bound_gates_the_op301_sweep_on_sync_free_orders() {
+        // With zero sync weight the single-compute-lane realization of
+        // any backward order runs back-to-back: its makespan equals the
+        // resource bound, the certificate fires, and the whole OP301
+        // depth sweep is provably fruitless and skipped. The realization
+        // is complete, so the subset bound coincides with the
+        // whole-graph bound here.
+        let l = 8;
+        let g = TrainGraph::data_parallel(l);
+        let order = reverse_first_k(&g, 3, None::<(u64, &UnitCost)>).unwrap();
+        let advisor = PerfAdvisor::new(&g);
+        let report = advisor
+            .analyze_order(&order, CommPolicy::PriorityByLayer)
+            .unwrap();
+        assert!(report.proven_optimal, "{report:?}");
+        assert_eq!(report.scheduled_lower_bound, report.lower_bound);
+        assert!(report.by_rule(RuleId::SuboptimalReverseK).is_empty());
+    }
+
+    #[test]
+    fn proven_optimal_is_false_when_the_schedule_can_improve() {
+        // The OP201 fixture is strictly improvable, so the gate must
+        // stay open and the scans must still fire (guards against the
+        // gate suppressing true positives).
+        let g = TrainGraph::data_parallel(3);
+        let cost = TableCost::uniform(
+            3,
+            LayerCost {
+                sync_weight: 5,
+                ..LayerCost::default()
+            },
+        );
+        let mut main = vec![
+            Op::Loss,
+            Op::OutputGrad(LayerId(3)),
+            Op::WeightGrad(LayerId(3)),
+            Op::SyncWeightGrad(LayerId(3)),
+            Op::OutputGrad(LayerId(2)),
+            Op::WeightGrad(LayerId(2)),
+            Op::WeightGrad(LayerId(1)),
+        ];
+        for i in 1..=3 {
+            main.push(Op::Update(LayerId(i)));
+            main.push(Op::Forward(LayerId(i)));
+        }
+        let mut s = Schedule::default();
+        s.add_lane("gpu", main);
+        s.add_lane(
+            "link",
+            vec![
+                Op::SyncWeightGrad(LayerId(2)),
+                Op::SyncWeightGrad(LayerId(1)),
+            ],
+        );
+        let report = PerfAdvisor::new(&g).with_cost(cost).analyze(&s).unwrap();
+        assert!(!report.proven_optimal);
+        assert!(report.predicted_makespan > report.scheduled_lower_bound);
+        assert_eq!(report.by_rule(RuleId::AvoidableBarrierStall).len(), 1);
     }
 
     #[test]

@@ -311,6 +311,527 @@ pub fn datapar_schedule<C: CostModel>(
     Ok(schedule)
 }
 
+/// Per-op placement and timing state inside a [`DeltaEval`], indexed by
+/// the op's dense graph index.
+#[derive(Debug, Clone, Copy)]
+struct NodeState {
+    scheduled: bool,
+    lane: usize,
+    pos: usize,
+    start: SimTime,
+    end: SimTime,
+}
+
+const UNPLACED: NodeState = NodeState {
+    scheduled: false,
+    lane: 0,
+    pos: 0,
+    start: 0,
+    end: 0,
+};
+
+/// Incremental (delta) makespan evaluator over the union graph.
+///
+/// Maintains the exact [`predict_makespan`] timing state for a mutable
+/// multi-lane schedule, but after each edit — [`DeltaEval::place`] or
+/// [`DeltaEval::relocate_many`] — re-scores **only the affected cone**:
+/// the union-graph descendants of the ops whose predecessor set changed,
+/// instead of running a full topological pass. For every reachable state
+/// the times equal a fresh `predict_makespan` of [`DeltaEval::to_schedule`]
+/// at tolerance 0 (the recurrence is identical; only the evaluation
+/// order differs, and the recurrence is confluent).
+///
+/// Edits are all-or-nothing: an edit that would deadlock the lanes
+/// (create a union-graph cycle) is rolled back structurally and timing-
+/// wise, and reported as [`Error::DependencyViolation`].
+///
+/// The evaluator keeps two work counters — [`DeltaEval::rescored`]
+/// (nodes actually re-scored) and [`DeltaEval::full_equivalent`] (nodes
+/// a full re-evaluation would have scored per edit) — whose ratio is the
+/// delta-evaluation speedup reported by the bench layer.
+#[derive(Debug, Clone)]
+pub struct DeltaEval<'g> {
+    graph: &'g TrainGraph,
+    dur: Vec<SimTime>,
+    lane_names: Vec<String>,
+    /// Dense op indices per lane, in program order.
+    lanes: Vec<Vec<usize>>,
+    nodes: Vec<NodeState>,
+    scheduled: usize,
+    makespan: SimTime,
+    rescored: u64,
+    full_equivalent: u64,
+}
+
+impl<'g> DeltaEval<'g> {
+    /// An evaluator over `graph` with the given (empty) lanes.
+    pub fn empty<C: CostModel>(
+        graph: &'g TrainGraph,
+        lane_names: impl IntoIterator<Item = impl Into<String>>,
+        cost: &C,
+    ) -> Self {
+        let n = graph.len();
+        let names: Vec<String> = lane_names.into_iter().map(Into::into).collect();
+        DeltaEval {
+            graph,
+            dur: graph.ops().iter().map(|&op| cost.duration(op)).collect(),
+            lanes: vec![Vec::new(); names.len()],
+            lane_names: names,
+            nodes: vec![UNPLACED; n],
+            scheduled: 0,
+            makespan: 0,
+            rescored: 0,
+            full_equivalent: 0,
+        }
+    }
+
+    /// An evaluator seeded from an existing (possibly partial) schedule.
+    ///
+    /// # Errors
+    ///
+    /// Mirrors [`predict_makespan`]: [`Error::UnknownOp`] /
+    /// [`Error::DuplicateOp`] for malformed schedules and
+    /// [`Error::DependencyViolation`] when the lanes deadlock.
+    pub fn new<C: CostModel>(
+        graph: &'g TrainGraph,
+        schedule: &Schedule,
+        cost: &C,
+    ) -> Result<Self, Error> {
+        let mut de = Self::empty(graph, schedule.lanes.iter().map(|l| l.name.clone()), cost);
+        for (li, lane) in schedule.lanes.iter().enumerate() {
+            for &op in &lane.ops {
+                let v = graph.op_index(op).ok_or(Error::UnknownOp(op))?;
+                if de.nodes[v].scheduled {
+                    return Err(Error::DuplicateOp(op));
+                }
+                de.nodes[v] = NodeState {
+                    scheduled: true,
+                    lane: li,
+                    pos: de.lanes[li].len(),
+                    start: 0,
+                    end: 0,
+                };
+                de.lanes[li].push(v);
+                de.scheduled += 1;
+            }
+        }
+        let seeds: Vec<usize> = de
+            .lanes
+            .iter()
+            .flatten()
+            .copied()
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        de.full_equivalent += de.scheduled as u64;
+        if let Err(blocked) = de.recompute_cone(&seeds) {
+            return Err(de.deadlock_error(blocked));
+        }
+        Ok(de)
+    }
+
+    /// The current makespan: latest finish across all lanes.
+    pub fn makespan(&self) -> SimTime {
+        self.makespan
+    }
+
+    /// Number of scheduled ops.
+    pub fn num_scheduled(&self) -> usize {
+        self.scheduled
+    }
+
+    /// Number of lanes.
+    pub fn num_lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Number of ops currently on lane `lane`.
+    pub fn lane_len(&self, lane: usize) -> usize {
+        self.lanes[lane].len()
+    }
+
+    /// Time lane `lane` becomes available: the finish of its last op
+    /// (lane times are monotone along program order), `0` when empty.
+    pub fn lane_available(&self, lane: usize) -> SimTime {
+        self.lanes[lane]
+            .last()
+            .map(|&v| self.nodes[v].end)
+            .unwrap_or(0)
+    }
+
+    /// Current `(lane, position)` of `op`, if scheduled.
+    pub fn position_of(&self, op: Op) -> Option<(usize, usize)> {
+        let v = self.graph.op_index(op)?;
+        let st = self.nodes[v];
+        st.scheduled.then_some((st.lane, st.pos))
+    }
+
+    /// Current start time of `op`, if scheduled.
+    pub fn start_of(&self, op: Op) -> Option<SimTime> {
+        let v = self.graph.op_index(op)?;
+        self.nodes[v].scheduled.then_some(self.nodes[v].start)
+    }
+
+    /// Current finish time of `op`, if scheduled.
+    pub fn finish_of(&self, op: Op) -> Option<SimTime> {
+        let v = self.graph.op_index(op)?;
+        self.nodes[v].scheduled.then_some(self.nodes[v].end)
+    }
+
+    /// Nodes re-scored by delta evaluation so far.
+    pub fn rescored(&self) -> u64 {
+        self.rescored
+    }
+
+    /// Nodes full re-evaluation would have scored over the same edits.
+    pub fn full_equivalent(&self) -> u64 {
+        self.full_equivalent
+    }
+
+    /// The current placement as a plain [`Schedule`].
+    pub fn to_schedule(&self) -> Schedule {
+        let mut s = Schedule::new();
+        for (li, lane) in self.lanes.iter().enumerate() {
+            s.add_lane(
+                &self.lane_names[li],
+                lane.iter().map(|&v| self.graph.ops()[v]).collect(),
+            );
+        }
+        s
+    }
+
+    /// Appends `op` to the end of lane `lane` and re-scores its cone.
+    /// For the branch-and-bound append discipline (all dependencies
+    /// already placed, no dependents placed) the cone is the single new
+    /// node — an O(deps) update. Returns the new makespan.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownOp`] if `op` is not in the graph,
+    /// [`Error::DuplicateOp`] if already placed,
+    /// [`Error::InvalidConfig`] if `lane` is out of range, and
+    /// [`Error::DependencyViolation`] (with the placement rolled back)
+    /// if the append deadlocks the lanes.
+    pub fn place(&mut self, lane: usize, op: Op) -> Result<SimTime, Error> {
+        let v = self.graph.op_index(op).ok_or(Error::UnknownOp(op))?;
+        if self.nodes[v].scheduled {
+            return Err(Error::DuplicateOp(op));
+        }
+        if lane >= self.lanes.len() {
+            return Err(Error::InvalidConfig(format!(
+                "lane {lane} out of range ({} lanes)",
+                self.lanes.len()
+            )));
+        }
+        self.nodes[v] = NodeState {
+            scheduled: true,
+            lane,
+            pos: self.lanes[lane].len(),
+            start: 0,
+            end: 0,
+        };
+        self.lanes[lane].push(v);
+        self.scheduled += 1;
+        self.full_equivalent += self.scheduled as u64;
+        if let Err(blocked) = self.recompute_cone(&[v]) {
+            let err = self.deadlock_error(blocked);
+            self.lanes[lane].pop();
+            self.nodes[v] = UNPLACED;
+            self.scheduled -= 1;
+            self.refresh_makespan();
+            return Err(err);
+        }
+        Ok(self.makespan)
+    }
+
+    /// Removes the last op of lane `lane` (the inverse of
+    /// [`DeltaEval::place`]) and re-scores the removed node's cone.
+    /// Returns the removed op, or `None` when the lane is empty.
+    pub fn unplace_last(&mut self, lane: usize) -> Option<Op> {
+        let v = self.lanes[lane].pop()?;
+        self.nodes[v] = UNPLACED;
+        self.scheduled -= 1;
+        // Removing a node can only relax its union-graph successors; the
+        // popped node was last on its lane, so only graph dependents of
+        // `v` that are still scheduled can change.
+        let seeds: Vec<usize> = self
+            .graph
+            .dependent_indices(v)
+            .iter()
+            .copied()
+            .filter(|&d| self.nodes[d].scheduled)
+            .collect();
+        self.full_equivalent += self.scheduled as u64;
+        if !seeds.is_empty() {
+            self.recompute_cone(&seeds)
+                .expect("removal cannot create a cycle");
+        }
+        self.refresh_makespan();
+        Some(self.graph.ops()[v])
+    }
+
+    /// Applies a batch of relocations atomically: every `(op, lane, pos)`
+    /// is removed from its current slot, then re-inserted at the target
+    /// coordinates (interpreted against the final lane contents, applied
+    /// in ascending `(lane, pos)` order; positions are clamped to the
+    /// lane length). Only the affected cone — ops whose lane predecessor
+    /// changed, plus their union-graph descendants — is re-scored.
+    /// Returns the new makespan.
+    ///
+    /// Batching matters: block moves such as relocating `[dW_i, U_i]`
+    /// together have no legal single-op intermediate state.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownOp`] for ops not in the graph or not scheduled,
+    /// [`Error::DuplicateOp`] for an op listed twice,
+    /// [`Error::InvalidConfig`] for an out-of-range target lane, and
+    /// [`Error::DependencyViolation`] — with the whole batch rolled
+    /// back — when the move deadlocks the lanes.
+    pub fn relocate_many(&mut self, moves: &[(Op, usize, usize)]) -> Result<SimTime, Error> {
+        if moves.is_empty() {
+            return Ok(self.makespan);
+        }
+        let mut ids: Vec<(usize, usize, usize)> = Vec::with_capacity(moves.len());
+        for &(op, to_lane, to_pos) in moves {
+            let v = self.graph.op_index(op).ok_or(Error::UnknownOp(op))?;
+            if !self.nodes[v].scheduled {
+                return Err(Error::UnknownOp(op));
+            }
+            if ids.iter().any(|&(w, _, _)| w == v) {
+                return Err(Error::DuplicateOp(op));
+            }
+            if to_lane >= self.lanes.len() {
+                return Err(Error::InvalidConfig(format!(
+                    "lane {to_lane} out of range ({} lanes)",
+                    self.lanes.len()
+                )));
+            }
+            ids.push((v, to_lane, to_pos));
+        }
+
+        // Snapshot every lane the batch touches, for rollback and for
+        // the precise predecessor-changed seed computation.
+        let mut touched: Vec<usize> = ids
+            .iter()
+            .flat_map(|&(v, to_lane, _)| [self.nodes[v].lane, to_lane])
+            .collect();
+        touched.sort_unstable();
+        touched.dedup();
+        let saved: Vec<(usize, Vec<usize>)> = touched
+            .iter()
+            .map(|&l| (l, self.lanes[l].clone()))
+            .collect();
+
+        // Structural edit: remove all, then insert in ascending target
+        // order so each requested position addresses the final contents.
+        for &(v, _, _) in &ids {
+            let (l, p) = (self.nodes[v].lane, self.nodes[v].pos);
+            self.lane_remove(l, p);
+        }
+        let mut inserts = ids.clone();
+        inserts.sort_unstable_by_key(|&(_, l, p)| (l, p));
+        for &(v, l, p) in &inserts {
+            let p = p.min(self.lanes[l].len());
+            self.lane_insert(l, p, v);
+        }
+
+        // Seeds: exactly the ops whose lane predecessor changed.
+        let mut seeds: Vec<usize> = Vec::new();
+        for (l, old) in &saved {
+            let mut old_pred: HashMap<usize, Option<usize>> = HashMap::new();
+            for (p, &v) in old.iter().enumerate() {
+                old_pred.insert(v, (p > 0).then(|| old[p - 1]));
+            }
+            for (p, &v) in self.lanes[*l].iter().enumerate() {
+                let new_pred = (p > 0).then(|| self.lanes[*l][p - 1]);
+                if old_pred.get(&v) != Some(&new_pred) {
+                    seeds.push(v);
+                }
+            }
+        }
+        seeds.sort_unstable();
+        seeds.dedup();
+
+        self.full_equivalent += self.scheduled as u64;
+        if let Err(blocked) = self.recompute_cone(&seeds) {
+            let err = self.deadlock_error(blocked);
+            for (l, old) in saved {
+                for (p, &v) in old.iter().enumerate() {
+                    self.nodes[v].lane = l;
+                    self.nodes[v].pos = p;
+                }
+                self.lanes[l] = old;
+            }
+            // Times of rolled-back nodes were restored by the failed
+            // cone pass itself; only the makespan cache needs a refresh.
+            self.refresh_makespan();
+            return Err(err);
+        }
+        Ok(self.makespan)
+    }
+
+    /// Relocates a single op; see [`DeltaEval::relocate_many`].
+    pub fn relocate(&mut self, op: Op, lane: usize, pos: usize) -> Result<SimTime, Error> {
+        self.relocate_many(&[(op, lane, pos)])
+    }
+
+    fn lane_remove(&mut self, lane: usize, pos: usize) -> usize {
+        let v = self.lanes[lane].remove(pos);
+        for (p, &w) in self.lanes[lane].iter().enumerate().skip(pos) {
+            self.nodes[w].pos = p;
+        }
+        v
+    }
+
+    fn lane_insert(&mut self, lane: usize, pos: usize, v: usize) {
+        self.lanes[lane].insert(pos, v);
+        self.nodes[v].lane = lane;
+        for (p, &w) in self.lanes[lane].iter().enumerate().skip(pos) {
+            self.nodes[w].pos = p;
+        }
+    }
+
+    fn start_bound(&self, v: usize) -> SimTime {
+        let st = self.nodes[v];
+        let mut start: SimTime = 0;
+        if st.pos > 0 {
+            start = start.max(self.nodes[self.lanes[st.lane][st.pos - 1]].end);
+        }
+        for &d in self.graph.dep_indices(v) {
+            if self.nodes[d].scheduled {
+                start = start.max(self.nodes[d].end);
+            }
+        }
+        start
+    }
+
+    /// Re-scores the union-graph descendants of `seeds` (inclusive) in
+    /// topological order. On a cycle, restores the previous times of
+    /// every cone node and returns one blocked node.
+    fn recompute_cone(&mut self, seeds: &[usize]) -> Result<(), usize> {
+        // Collect the cone: DFS over union-graph successors.
+        let mut in_cone = vec![false; self.nodes.len()];
+        let mut cone: Vec<usize> = Vec::new();
+        let mut stack: Vec<usize> = seeds
+            .iter()
+            .copied()
+            .filter(|&v| self.nodes[v].scheduled)
+            .collect();
+        while let Some(v) = stack.pop() {
+            if in_cone[v] {
+                continue;
+            }
+            in_cone[v] = true;
+            cone.push(v);
+            let st = self.nodes[v];
+            if st.pos + 1 < self.lanes[st.lane].len() {
+                stack.push(self.lanes[st.lane][st.pos + 1]);
+            }
+            for &d in self.graph.dependent_indices(v) {
+                if self.nodes[d].scheduled {
+                    stack.push(d);
+                }
+            }
+        }
+        if cone.is_empty() {
+            self.refresh_makespan();
+            return Ok(());
+        }
+        let undo: Vec<(usize, SimTime, SimTime)> = cone
+            .iter()
+            .map(|&v| (v, self.nodes[v].start, self.nodes[v].end))
+            .collect();
+
+        // Kahn over cone-internal edges; predecessors outside the cone
+        // already carry final times.
+        let mut indeg: HashMap<usize, usize> = HashMap::with_capacity(cone.len());
+        for &v in &cone {
+            let st = self.nodes[v];
+            let mut d = 0;
+            if st.pos > 0 && in_cone[self.lanes[st.lane][st.pos - 1]] {
+                d += 1;
+            }
+            d += self
+                .graph
+                .dep_indices(v)
+                .iter()
+                .filter(|&&p| self.nodes[p].scheduled && in_cone[p])
+                .count();
+            indeg.insert(v, d);
+        }
+        let mut queue: Vec<usize> = cone.iter().copied().filter(|v| indeg[v] == 0).collect();
+        let mut done = 0usize;
+        while let Some(v) = queue.pop() {
+            done += 1;
+            let start = self.start_bound(v);
+            self.nodes[v].start = start;
+            self.nodes[v].end = start + self.dur[v];
+            let st = self.nodes[v];
+            if st.pos + 1 < self.lanes[st.lane].len() {
+                let s = self.lanes[st.lane][st.pos + 1];
+                if in_cone[s] {
+                    let d = indeg.get_mut(&s).expect("cone node");
+                    *d -= 1;
+                    if *d == 0 {
+                        queue.push(s);
+                    }
+                }
+            }
+            for &s in self.graph.dependent_indices(v) {
+                if self.nodes[s].scheduled && in_cone[s] {
+                    let d = indeg.get_mut(&s).expect("cone node");
+                    *d -= 1;
+                    if *d == 0 {
+                        queue.push(s);
+                    }
+                }
+            }
+        }
+        self.rescored += done as u64;
+        if done < cone.len() {
+            for (v, start, end) in undo {
+                self.nodes[v].start = start;
+                self.nodes[v].end = end;
+            }
+            let blocked = cone
+                .iter()
+                .copied()
+                .find(|v| indeg[v] > 0)
+                .expect("cycle exists");
+            return Err(blocked);
+        }
+        self.refresh_makespan();
+        Ok(())
+    }
+
+    fn refresh_makespan(&mut self) {
+        // The last op of each lane carries the lane's maximum finish.
+        self.makespan = self
+            .lanes
+            .iter()
+            .filter_map(|l| l.last().map(|&v| self.nodes[v].end))
+            .max()
+            .unwrap_or(0);
+    }
+
+    fn deadlock_error(&self, blocked: usize) -> Error {
+        let op = self.graph.ops()[blocked];
+        let missing = self
+            .graph
+            .dep_indices(blocked)
+            .iter()
+            .copied()
+            .find(|&d| self.nodes[d].scheduled)
+            .map(|d| self.graph.ops()[d])
+            .unwrap_or(op);
+        Error::DependencyViolation {
+            op,
+            missing_dep: missing,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -369,6 +890,114 @@ mod tests {
         for w in chain.windows(2) {
             assert_eq!(p.finish_of(w[0]), p.start_of(w[1]));
         }
+    }
+
+    /// Every schedule reachable by `DeltaEval` edits must score exactly
+    /// like a fresh full prediction of the same placement.
+    fn assert_delta_matches_full(g: &TrainGraph, de: &DeltaEval<'_>) {
+        let full = predict_makespan(g, &de.to_schedule(), &UnitCost).unwrap();
+        assert_eq!(de.makespan(), full.makespan(), "makespan diverged");
+        for p in full.ops() {
+            assert_eq!(de.start_of(p.op), Some(p.start), "{} start", p.op);
+            assert_eq!(de.finish_of(p.op), Some(p.end), "{} end", p.op);
+        }
+    }
+
+    #[test]
+    fn delta_eval_matches_full_prediction_after_relocations() {
+        let g = TrainGraph::single_gpu(6);
+        let mut main = vec![Op::Loss];
+        for i in (2..=6).rev() {
+            main.push(Op::OutputGrad(LayerId(i)));
+        }
+        for i in 1..=6 {
+            main.push(Op::Forward(LayerId(i)));
+        }
+        let mut sub = Vec::new();
+        for i in (1..=6).rev() {
+            sub.push(Op::WeightGrad(LayerId(i)));
+            sub.push(Op::Update(LayerId(i)));
+        }
+        let mut s = Schedule::new();
+        s.add_lane("main", main);
+        s.add_lane("sub", sub);
+        let mut de = DeltaEval::new(&g, &s, &UnitCost).unwrap();
+        assert_delta_matches_full(&g, &de);
+
+        // A sequence of legal single-op and block relocations, in-lane
+        // and cross-lane, each checked against a full re-evaluation.
+        de.relocate_many(&[
+            (Op::WeightGrad(LayerId(6)), 1, 10),
+            (Op::Update(LayerId(6)), 1, 11),
+        ])
+        .unwrap();
+        assert_delta_matches_full(&g, &de);
+        de.relocate(Op::WeightGrad(LayerId(1)), 0, 6).unwrap();
+        assert_delta_matches_full(&g, &de);
+        de.relocate_many(&[
+            (Op::WeightGrad(LayerId(4)), 0, 3),
+            (Op::Update(LayerId(4)), 0, 4),
+        ])
+        .unwrap();
+        assert_delta_matches_full(&g, &de);
+        de.relocate(Op::WeightGrad(LayerId(6)), 1, 6).unwrap();
+        assert_delta_matches_full(&g, &de);
+
+        // Delta evaluation did strictly less work than full passes would.
+        assert!(de.rescored() < de.full_equivalent());
+    }
+
+    #[test]
+    fn delta_eval_place_and_unplace_match_prediction() {
+        let g = TrainGraph::single_gpu(5);
+        let order = g.conventional_backprop();
+        let mut de = DeltaEval::empty(&g, ["gpu"], &UnitCost);
+        for &op in &order {
+            de.place(0, op).unwrap();
+        }
+        assert_delta_matches_full(&g, &de);
+        let full =
+            predict_makespan(&g, &Schedule::single_lane("gpu", order.clone()), &UnitCost).unwrap();
+        assert_eq!(de.makespan(), full.makespan());
+        assert_eq!(de.unplace_last(0), Some(*order.last().unwrap()));
+        assert_delta_matches_full(&g, &de);
+    }
+
+    #[test]
+    fn delta_eval_rolls_back_deadlocking_edits() {
+        let g = TrainGraph::single_gpu(4);
+        let mut s = Schedule::new();
+        s.add_lane("main", {
+            let mut v = vec![Op::Loss];
+            for i in (2..=4).rev() {
+                v.push(Op::OutputGrad(LayerId(i)));
+            }
+            for i in 1..=4 {
+                v.push(Op::Forward(LayerId(i)));
+            }
+            v
+        });
+        s.add_lane("sub", {
+            let mut v = Vec::new();
+            for i in (1..=4).rev() {
+                v.push(Op::WeightGrad(LayerId(i)));
+                v.push(Op::Update(LayerId(i)));
+            }
+            v
+        });
+        let mut de = DeltaEval::new(&g, &s, &UnitCost).unwrap();
+        let before_schedule = de.to_schedule();
+        let before_makespan = de.makespan();
+        // U4 before its own dW4 deadlocks lane "sub".
+        let err = de.relocate(Op::Update(LayerId(4)), 1, 0).unwrap_err();
+        assert!(matches!(err, Error::DependencyViolation { .. }));
+        assert_eq!(
+            de.to_schedule(),
+            before_schedule,
+            "structure not rolled back"
+        );
+        assert_eq!(de.makespan(), before_makespan, "timing not rolled back");
+        assert_delta_matches_full(&g, &de);
     }
 
     #[test]

@@ -47,4 +47,18 @@ cmp /tmp/ooo-tune-a.json /tmp/ooo-tune-b.json \
   || { echo "ooo-tune: same input produced different reports"; exit 1; }
 rm -f /tmp/ooo-tune-a.json /tmp/ooo-tune-b.json
 
+echo "==> ooo-cert smoke (exact certification + determinism)"
+cargo build -q -p ooo-cert --bin ooo-cert
+rc=0; ./target/debug/ooo-cert order --layers 3 --k 0 --sync 0 --json --out /tmp/ooo-cert-a.json || rc=$?
+[ "$rc" -eq 0 ] || { echo "ooo-cert: sync-free order should certify optimal (got $rc)"; exit 1; }
+grep -q '"status": "optimal"' /tmp/ooo-cert-a.json \
+  || { echo "ooo-cert: sync-free conventional realization should be optimal"; exit 1; }
+rc=0; ./target/debug/ooo-cert order --layers 3 --k 0 --sync 2 --json --out /tmp/ooo-cert-b.json || rc=$?
+[ "$rc" -eq 1 ] || { echo "ooo-cert: eager order under sync=2 should be improvable (got $rc)"; exit 1; }
+rc=0; ./target/debug/ooo-cert order --layers 3 --k 0 --sync 2 --json --out /tmp/ooo-cert-c.json || rc=$?
+[ "$rc" -eq 1 ] || { echo "ooo-cert: unexpected exit $rc"; exit 1; }
+cmp /tmp/ooo-cert-b.json /tmp/ooo-cert-c.json \
+  || { echo "ooo-cert: same instance produced different certificates"; exit 1; }
+rm -f /tmp/ooo-cert-a.json /tmp/ooo-cert-b.json /tmp/ooo-cert-c.json
+
 echo "All checks passed."

@@ -26,6 +26,10 @@
 //! - [`tune`] (`ooo-tune`) — the predictor-guided schedule autotuner:
 //!   local search over ooo-legal moves, gated by the verifier, scored by
 //!   the exact makespan predictor, certified by simulation.
+//! - [`cert`] (`ooo-cert`) — exact optimality certification: a
+//!   branch-and-bound solver over the union graph, driven by incremental
+//!   delta evaluation, that proves schedules optimal (or exhibits a
+//!   strictly better witness).
 //!
 //! # Quickstart
 //!
@@ -41,6 +45,7 @@
 
 #![warn(missing_docs)]
 
+pub use ooo_cert as cert;
 pub use ooo_cluster as cluster;
 pub use ooo_core as core;
 pub use ooo_gpusim as gpusim;

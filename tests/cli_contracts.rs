@@ -1,5 +1,6 @@
-//! The shared CLI contract, asserted in one place for all five tools
-//! (`ooo-lint`, `ooo-advise`, `ooo-trace`, `ooo-chaos`, `ooo-tune`):
+//! The shared CLI contract, asserted in one place for all six tools
+//! (`ooo-lint`, `ooo-advise`, `ooo-trace`, `ooo-chaos`, `ooo-tune`,
+//! `ooo-cert`):
 //!
 //! * exit code 0 on success, 1 when findings fire (diagnostics,
 //!   advisories, unsafe inputs, unparsable traces), 2 on usage/IO/parse
@@ -15,13 +16,14 @@ use ooo_backprop::core::TrainGraph;
 use std::path::PathBuf;
 use std::process::{Command, Output};
 
-/// The five CLIs under contract, with the package that owns each.
-const CLIS: [(&str, &str); 5] = [
+/// The six CLIs under contract, with the package that owns each.
+const CLIS: [(&str, &str); 6] = [
     ("ooo-lint", "ooo-verify"),
     ("ooo-advise", "ooo-verify"),
     ("ooo-trace", "ooo-cluster"),
     ("ooo-chaos", "ooo-faults"),
     ("ooo-tune", "ooo-tune"),
+    ("ooo-cert", "ooo-cert"),
 ];
 
 /// Path to a CLI binary, building it on demand: the root package's
@@ -140,6 +142,7 @@ fn hostile_json_inputs_fail_gracefully() {
             ("ooo-lint", vec![path]),
             ("ooo-advise", vec!["bundle", path]),
             ("ooo-tune", vec!["bundle", path]),
+            ("ooo-cert", vec!["bundle", path]),
         ] {
             let out = run(name, &args);
             assert_no_panic(name, &out);
@@ -235,6 +238,22 @@ fn success_and_findings_exit_codes() {
     let out = run("ooo-tune", &["bundle", unsafe_b.to_str().unwrap()]);
     assert_no_panic("ooo-tune", &out);
     assert_eq!(code(&out), 1, "ooo-tune unsafe bundle");
+
+    // ooo-cert: a sync-free order realization runs back-to-back and is
+    // certified optimal (exit 0); the eager depth-0 order under heavy
+    // syncs is refuted with a better witness (exit 1, a finding).
+    let out = run(
+        "ooo-cert",
+        &["order", "--layers", "3", "--k", "0", "--sync", "0"],
+    );
+    assert_no_panic("ooo-cert", &out);
+    assert_eq!(code(&out), 0, "ooo-cert optimal order");
+    let out = run(
+        "ooo-cert",
+        &["order", "--layers", "3", "--k", "0", "--sync", "2"],
+    );
+    assert_no_panic("ooo-cert", &out);
+    assert_eq!(code(&out), 1, "ooo-cert improvable order");
 }
 
 /// Double runs of the same invocation are byte-identical on stdout —
@@ -268,6 +287,12 @@ fn double_runs_are_byte_identical() {
             "ooo-tune",
             vec![
                 "order", "--layers", "8", "--k", "0", "--sync", "3", "--json",
+            ],
+        ),
+        (
+            "ooo-cert",
+            vec![
+                "order", "--layers", "3", "--k", "0", "--sync", "2", "--json",
             ],
         ),
     ];
