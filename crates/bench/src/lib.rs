@@ -9,6 +9,7 @@
 
 pub mod cert_trajectory;
 pub mod figures;
+pub mod scale;
 
 /// A regenerated figure or table.
 #[derive(Debug, Clone)]
@@ -70,6 +71,7 @@ pub fn all_ids() -> Vec<&'static str> {
         "perfadvice",
         "tuned",
         "certgap",
+        "scale",
     ]
 }
 
@@ -107,6 +109,7 @@ pub fn generate(id: &str) -> FigureReport {
         "perfadvice" => figures::perfadvice(),
         "tuned" => figures::tuned(),
         "certgap" => cert_trajectory::certgap(),
+        "scale" => scale::scale_figure(),
         other => panic!("unknown figure id {other}"),
     }
 }

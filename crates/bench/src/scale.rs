@@ -1,0 +1,515 @@
+//! The scale sweep behind `BENCH_scale.json` and `figures scale`.
+//!
+//! Every hot path that PR "scale" rewrote from a quadratic pending-list
+//! scan to a cursor/heap/delta structure is measured here against its
+//! frozen pre-refactor reference on the same instance, at 10/100/1000
+//! stages × 8/64/512 workers:
+//!
+//! - **predict** — full makespan prediction of the OOO-Pipe2 op-level
+//!   schedule (new path only; the predictor was already linear).
+//! - **flows** — [`ooo_netsim::flows::simulate_flows`] (arrival cursor)
+//!   vs the `pending.remove(0)` original
+//!   ([`ooo_netsim::reference::simulate_flows_naive`]).
+//! - **commsim** — [`ooo_netsim::commsim::simulate_queue_recorded`]
+//!   (cursor + ready heap) vs the per-chunk filter-and-min original.
+//! - **sync plan** — [`ooo_core::datapar::plan_sync_service`] vs the
+//!   `pending.retain` original (re-created verbatim below).
+//! - **tune scoring** — one windowed in-lane candidate sweep scored by
+//!   [`ooo_verify::predict::DeltaEval`] probe-and-revert vs a full
+//!   [`predict_makespan`] pass per candidate.
+//! - **cert** — [`ooo_tune::certify_schedule`] of the pipeline schedule
+//!   (new path only).
+//!
+//! Every old/new pair is asserted *equal element-for-element* before its
+//! wall times are reported, so the emitted speedups double as a
+//! differential proof at each size. Flow/request counts are capped (the
+//! caps are reported in the rows) so the quadratic references stay
+//! measurable at the largest point.
+
+use ooo_core::datapar::{plan_sync_service, CommPolicy};
+use ooo_core::json::{obj, Value};
+use ooo_core::op::Op;
+use ooo_core::pipeline::{op_level_schedule, Strategy};
+use ooo_core::schedule::Schedule;
+use ooo_core::SimTime;
+use ooo_netsim::commsim::{CommRequest, Policy};
+use ooo_netsim::flows::{Capacities, Flow};
+use ooo_netsim::link::LinkSpec;
+use ooo_verify::predict::{predict_makespan, DeltaEval};
+use std::time::Instant;
+
+/// Flow-count cap: the `remove(0)` reference moves O(n²) bytes, so the
+/// largest sweep point runs it on this many flows instead of the full
+/// `stages × workers` (the row records the count actually used).
+const FLOW_CAP: usize = 50_000;
+/// Request cap for the chunk-queue reference (O(n²) scans).
+const COMM_CAP: usize = 20_000;
+/// Relocation window for the tune-scoring sweep (the CLI's `--window`).
+const WINDOW: usize = 4;
+
+/// The three sweep points: stages × data-parallel workers.
+pub fn sweep_points() -> Vec<(usize, usize)> {
+    vec![(10, 8), (100, 64), (1000, 512)]
+}
+
+/// Small deterministic points for the CI smoke run.
+pub fn smoke_points() -> Vec<(usize, usize)> {
+    vec![(10, 8), (20, 16)]
+}
+
+/// One sweep point's measurements. All wall times in microseconds.
+#[derive(Debug, Clone)]
+pub struct ScaleRow {
+    /// Pipeline stages (layers).
+    pub stages: usize,
+    /// Data-parallel workers.
+    pub workers: usize,
+    /// Flows actually simulated (`min(stages × workers, FLOW_CAP)`).
+    pub flows: usize,
+    /// Queue requests actually simulated.
+    pub comm_requests: usize,
+    /// Tune-scoring candidates in the windowed sweep.
+    pub candidates: usize,
+    /// Makespan prediction of the op-level pipeline schedule.
+    pub predict_us: f64,
+    /// Flow simulation, cursor rewrite.
+    pub flows_us: f64,
+    /// Flow simulation, `remove(0)` reference.
+    pub flows_naive_us: f64,
+    /// Chunk queue, cursor + heap rewrite.
+    pub commsim_us: f64,
+    /// Chunk queue, filter-and-min reference.
+    pub commsim_naive_us: f64,
+    /// Link sync-service planning, cursor + heap rewrite.
+    pub syncplan_us: f64,
+    /// Link sync-service planning, `retain` reference.
+    pub syncplan_naive_us: f64,
+    /// Candidate sweep scored by `DeltaEval` probe-and-revert.
+    pub tune_delta_us: f64,
+    /// Candidate sweep scored by full `predict_makespan` passes.
+    pub tune_full_us: f64,
+    /// Schedule certification (predict == simulate).
+    pub cert_us: f64,
+    /// Order-insensitive digest over every differential output, for the
+    /// smoke mode's byte-identity check.
+    pub digest: u64,
+}
+
+impl ScaleRow {
+    /// Wall-clock speedup of the flow-simulation rewrite.
+    pub fn flows_speedup(&self) -> f64 {
+        self.flows_naive_us / self.flows_us.max(1e-3)
+    }
+    /// Wall-clock speedup of the chunk-queue rewrite.
+    pub fn commsim_speedup(&self) -> f64 {
+        self.commsim_naive_us / self.commsim_us.max(1e-3)
+    }
+    /// Wall-clock speedup of delta-scored over full-scored tuning sweeps.
+    pub fn tune_speedup(&self) -> f64 {
+        self.tune_full_us / self.tune_delta_us.max(1e-3)
+    }
+}
+
+fn us(t: Instant) -> f64 {
+    t.elapsed().as_secs_f64() * 1e6
+}
+
+/// FNV-1a over a stream of u64 words.
+struct Digest(u64);
+
+impl Digest {
+    fn new() -> Self {
+        Digest(0xcbf2_9ce4_8422_2325)
+    }
+    fn word(&mut self, w: u64) {
+        for byte in w.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+/// The pre-refactor link sync-service planner
+/// ([`ooo_core::datapar`]'s `pending.retain(|&i| i != pick)` loop),
+/// kept verbatim as the differential oracle for
+/// [`plan_sync_service`].
+fn plan_sync_service_naive(
+    dw_finish: &[SimTime],
+    policy: CommPolicy,
+    mut sync_ns: impl FnMut(usize) -> SimTime,
+) -> Vec<(usize, SimTime, SimTime)> {
+    let l = dw_finish.len().saturating_sub(1);
+    let mut pending: Vec<usize> = (1..=l).collect();
+    let mut link_free: SimTime = 0;
+    let mut out = Vec::with_capacity(l);
+    while !pending.is_empty() {
+        let earliest_ready = pending
+            .iter()
+            .map(|&i| dw_finish[i])
+            .min()
+            .expect("non-empty");
+        let now = link_free.max(earliest_ready);
+        let pick = match policy {
+            CommPolicy::FifoCompletion => pending
+                .iter()
+                .copied()
+                .filter(|&i| dw_finish[i] <= now)
+                .min_by_key(|&i| (dw_finish[i], i))
+                .expect("at least the earliest-ready sync qualifies"),
+            CommPolicy::PriorityByLayer => pending
+                .iter()
+                .copied()
+                .filter(|&i| dw_finish[i] <= now)
+                .min()
+                .expect("at least the earliest-ready sync qualifies"),
+        };
+        pending.retain(|&i| i != pick);
+        let start = now;
+        let end = start + sync_ns(pick);
+        out.push((pick, start, end));
+        link_free = end;
+    }
+    out
+}
+
+/// Deterministic pseudo-random stream without an RNG dependency: a
+/// splitmix64 step.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// In-lane windowed relocation candidates of every `dW`-class op,
+/// mirroring the tuner's in-lane move family (single-op moves).
+fn inlane_candidates(schedule: &Schedule) -> Vec<(Op, usize, usize, usize)> {
+    let mut out = Vec::new();
+    for (li, lane) in schedule.lanes.iter().enumerate() {
+        for (pi, &op) in lane.ops.iter().enumerate() {
+            if !op.is_weight_grad_class() {
+                continue;
+            }
+            for to in pi.saturating_sub(WINDOW)..=(pi + WINDOW).min(lane.ops.len() - 1) {
+                if to != pi {
+                    out.push((op, li, pi, to));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Applies one in-lane relocation to a schedule clone.
+fn apply_relocation(schedule: &Schedule, op: Op, lane: usize, to: usize) -> Schedule {
+    let mut next = schedule.clone();
+    let ops = &mut next.lanes[lane].ops;
+    ops.retain(|&o| o != op);
+    ops.insert(to.min(ops.len()), op);
+    next
+}
+
+/// Measures one sweep point.
+///
+/// # Panics
+///
+/// Panics when any rewritten path disagrees with its pre-refactor
+/// reference — the benchmark is also the differential proof, so a
+/// mismatch must fail loudly rather than report a bogus speedup.
+pub fn run_point(stages: usize, workers: usize) -> ScaleRow {
+    let mut digest = Digest::new();
+    let mut seed = (stages as u64) << 32 | workers as u64;
+
+    // --- flows: one staggered all-reduce burst over shared NICs ---
+    let n_flows = (stages * workers).min(FLOW_CAP);
+    let mut flows = Vec::with_capacity(n_flows);
+    for i in 0..n_flows {
+        flows.push(Flow {
+            id: i,
+            src: i % 8,
+            dst: 8 + (i % 4),
+            bytes: 1_000_000 + (mix(&mut seed) % 97) * 10_000,
+            ready_ns: (i as SimTime) * 2_000_000,
+        });
+    }
+    let mut capacities = Capacities::new();
+    for r in 0..12 {
+        capacities.insert(r, 4e9);
+    }
+    let t = Instant::now();
+    let flows_fast = ooo_netsim::flows::simulate_flows(&flows, &capacities);
+    let flows_us = us(t);
+    let t = Instant::now();
+    let flows_naive = ooo_netsim::reference::simulate_flows_naive(&flows, &capacities);
+    let flows_naive_us = us(t);
+    assert_eq!(flows_fast, flows_naive, "flow cursor rewrite diverged");
+    for &(id, fin) in &flows_fast {
+        digest.word(id as u64);
+        digest.word(fin);
+    }
+
+    // --- commsim: priority chunk queue on one NIC ---
+    let n_comm = (stages * workers).min(COMM_CAP);
+    let mut requests = Vec::with_capacity(n_comm);
+    for i in 0..n_comm {
+        requests.push(CommRequest {
+            id: i,
+            bytes: 200_000 + (mix(&mut seed) % 31) * 10_000,
+            ready_ns: (i as SimTime) * 40_000,
+            priority: (mix(&mut seed) % 64) as i64,
+        });
+    }
+    let link = LinkSpec::nvlink();
+    let t = Instant::now();
+    let comm_fast =
+        ooo_netsim::commsim::simulate_queue_recorded(&link, 250_000, Policy::Priority, &requests);
+    let commsim_us = us(t);
+    let t = Instant::now();
+    let comm_naive = ooo_netsim::reference::simulate_queue_recorded_naive(
+        &link,
+        250_000,
+        Policy::Priority,
+        &requests,
+    );
+    let commsim_naive_us = us(t);
+    assert_eq!(comm_fast, comm_naive, "chunk-queue heap rewrite diverged");
+    for c in &comm_fast.0 {
+        digest.word(c.id as u64);
+        digest.word(c.start_ns);
+        digest.word(c.finish_ns);
+    }
+
+    // --- link sync-service planning at `stages` layers ---
+    let dw_finish: Vec<SimTime> = (0..=stages)
+        .map(|i| {
+            if i == 0 {
+                0
+            } else {
+                (mix(&mut seed) % (4 * stages as u64 + 1)) as SimTime
+            }
+        })
+        .collect();
+    let sync_of = |i: usize| 1 + (i as SimTime % 5);
+    let mut plans = Vec::new();
+    let mut plans_naive = Vec::new();
+    let t = Instant::now();
+    for policy in [CommPolicy::FifoCompletion, CommPolicy::PriorityByLayer] {
+        plans.push(plan_sync_service(&dw_finish, policy, sync_of));
+    }
+    let syncplan_us = us(t);
+    let t = Instant::now();
+    for policy in [CommPolicy::FifoCompletion, CommPolicy::PriorityByLayer] {
+        plans_naive.push(plan_sync_service_naive(&dw_finish, policy, sync_of));
+    }
+    let syncplan_naive_us = us(t);
+    assert_eq!(plans, plans_naive, "sync-service heap rewrite diverged");
+    for plan in &plans {
+        for &(pick, start, end) in plan {
+            digest.word(pick as u64);
+            digest.word(start);
+            digest.word(end);
+        }
+    }
+
+    // --- pipeline prediction, tune scoring, certification ---
+    let (graph, schedule) = op_level_schedule(stages, workers.min(stages), Strategy::OooPipe2, 1);
+    let cost = ooo_core::cost::UnitCost;
+    let t = Instant::now();
+    let predicted = predict_makespan(&graph, &schedule, &cost)
+        .expect("pipeline schedule predicts")
+        .makespan();
+    let predict_us = us(t);
+    digest.word(predicted as u64);
+
+    let candidates = inlane_candidates(&schedule);
+    let t = Instant::now();
+    let mut delta_scores: Vec<Option<SimTime>> = Vec::with_capacity(candidates.len());
+    let mut de = DeltaEval::new(&graph, &schedule, &cost).expect("incumbent evaluates");
+    for &(op, lane, from, to) in &candidates {
+        let m = de.relocate_many(&[(op, lane, to)]).ok();
+        if m.is_some() {
+            de.relocate_many(&[(op, lane, from)])
+                .expect("reverting to the incumbent cannot deadlock");
+        }
+        delta_scores.push(m);
+    }
+    let tune_delta_us = us(t);
+    let t = Instant::now();
+    let mut full_scores: Vec<Option<SimTime>> = Vec::with_capacity(candidates.len());
+    for &(op, lane, _, to) in &candidates {
+        let next = apply_relocation(&schedule, op, lane, to);
+        full_scores.push(
+            predict_makespan(&graph, &next, &cost)
+                .ok()
+                .map(|p| p.makespan()),
+        );
+    }
+    let tune_full_us = us(t);
+    assert_eq!(delta_scores, full_scores, "delta scoring diverged");
+    for m in delta_scores.iter().flatten() {
+        digest.word(*m);
+    }
+
+    let t = Instant::now();
+    let certified =
+        ooo_tune::certify_schedule(&graph, &schedule, &cost).expect("pipeline schedule certifies");
+    let cert_us = us(t);
+    assert_eq!(certified, predicted, "certification disagrees with predict");
+
+    ScaleRow {
+        stages,
+        workers,
+        flows: n_flows,
+        comm_requests: n_comm,
+        candidates: candidates.len(),
+        predict_us,
+        flows_us,
+        flows_naive_us,
+        commsim_us,
+        commsim_naive_us,
+        syncplan_us,
+        syncplan_naive_us,
+        tune_delta_us,
+        tune_full_us,
+        cert_us,
+        digest: digest.0,
+    }
+}
+
+/// Runs a full sweep.
+pub fn run_sweep(points: &[(usize, usize)]) -> Vec<ScaleRow> {
+    points.iter().map(|&(s, w)| run_point(s, w)).collect()
+}
+
+fn row_to_json(r: &ScaleRow, with_timings: bool) -> Value {
+    let mut fields: Vec<(&str, Value)> = vec![
+        ("stages", Value::Num(r.stages as f64)),
+        ("workers", Value::Num(r.workers as f64)),
+        ("flows", Value::Num(r.flows as f64)),
+        ("comm_requests", Value::Num(r.comm_requests as f64)),
+        ("candidates", Value::Num(r.candidates as f64)),
+        ("digest", Value::Str(format!("{:016x}", r.digest))),
+    ];
+    if with_timings {
+        fields.extend([
+            ("predict_us", Value::Num(r.predict_us)),
+            ("flows_us", Value::Num(r.flows_us)),
+            ("flows_naive_us", Value::Num(r.flows_naive_us)),
+            ("flows_speedup", Value::Num(r.flows_speedup())),
+            ("commsim_us", Value::Num(r.commsim_us)),
+            ("commsim_naive_us", Value::Num(r.commsim_naive_us)),
+            ("commsim_speedup", Value::Num(r.commsim_speedup())),
+            ("syncplan_us", Value::Num(r.syncplan_us)),
+            ("syncplan_naive_us", Value::Num(r.syncplan_naive_us)),
+            ("tune_delta_us", Value::Num(r.tune_delta_us)),
+            ("tune_full_us", Value::Num(r.tune_full_us)),
+            ("tune_speedup", Value::Num(r.tune_speedup())),
+            ("cert_us", Value::Num(r.cert_us)),
+        ]);
+    }
+    Value::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Renders the sweep as the `BENCH_scale.json` document. With
+/// `with_timings = false` (the `--smoke` mode) only the deterministic
+/// fields are emitted, so a double run must produce byte-identical
+/// output.
+pub fn to_json(rows: &[ScaleRow], with_timings: bool) -> Value {
+    let mut fields: Vec<(&str, Value)> = vec![
+        ("bench", "scale".into()),
+        (
+            "sweep",
+            Value::Arr(rows.iter().map(|r| row_to_json(r, with_timings)).collect()),
+        ),
+    ];
+    if with_timings {
+        if let Some(last) = rows.last() {
+            fields.push((
+                "headline",
+                obj([
+                    ("stages", Value::Num(last.stages as f64)),
+                    ("workers", Value::Num(last.workers as f64)),
+                    ("flows_speedup", Value::Num(last.flows_speedup())),
+                    ("commsim_speedup", Value::Num(last.commsim_speedup())),
+                    ("tune_speedup", Value::Num(last.tune_speedup())),
+                    (
+                        "max_speedup",
+                        Value::Num(
+                            last.flows_speedup()
+                                .max(last.commsim_speedup())
+                                .max(last.tune_speedup()),
+                        ),
+                    ),
+                    ("requirement", Value::Num(10.0)),
+                ]),
+            ));
+        }
+    }
+    Value::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// The `figures scale` report: the first two sweep points measured
+/// live (the 1000-stage point lives in the committed `BENCH_scale.json`
+/// regenerated by `scale-bench`).
+pub fn scale_figure() -> crate::FigureReport {
+    let rows = run_sweep(&sweep_points()[..2]);
+    let mut lines = vec![format!(
+        "{:>7} {:>8} {:>9} {:>12} {:>12} {:>9} {:>12} {:>12} {:>9}",
+        "stages",
+        "workers",
+        "flows_ms",
+        "flows_old_ms",
+        "speedup",
+        "tune_ms",
+        "tune_full_ms",
+        "speedup",
+        "cert_ms"
+    )];
+    for r in &rows {
+        lines.push(format!(
+            "{:>7} {:>8} {:>9.2} {:>12.2} {:>12.1}x {:>9.2} {:>12.2} {:>12.1}x {:>9.2}",
+            r.stages,
+            r.workers,
+            r.flows_us / 1e3,
+            r.flows_naive_us / 1e3,
+            r.flows_speedup(),
+            r.tune_delta_us / 1e3,
+            r.tune_full_us / 1e3,
+            r.tune_speedup(),
+            r.cert_us / 1e3,
+        ));
+    }
+    lines.push("(1000 stages x 512 workers: see committed BENCH_scale.json / scale-bench)".into());
+    crate::FigureReport {
+        id: "scale",
+        title: "Simulator scaling: rewritten hot paths vs pre-refactor references",
+        paper: "scheduling overhead must stay negligible at cluster scale (Sec 5/8)",
+        lines,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_points_are_identical_and_deterministic() {
+        let a = run_sweep(&smoke_points());
+        let b = run_sweep(&smoke_points());
+        let ja = to_json(&a, false).to_pretty();
+        let jb = to_json(&b, false).to_pretty();
+        assert_eq!(ja, jb, "smoke output must be byte-identical across runs");
+        assert!(a.iter().all(|r| r.candidates > 0));
+    }
+}

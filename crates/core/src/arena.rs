@@ -1,0 +1,217 @@
+//! Arena-style dense op storage.
+//!
+//! A [`GraphArena`] maps every [`Op`] of a training iteration to a
+//! compact `u32` id in O(1) — no hashing, no `Vec<Op>` scans. The op
+//! alphabet is a fixed product of seven kinds and `L + 1` layer slots
+//! (slot 0 holds the layerless [`Op::Loss`]), so an op's home slot is a
+//! single multiply-add into one flat table; absent slots hold a
+//! sentinel. [`crate::graph::TrainGraph`] and the schedule validators in
+//! [`crate::schedule`] index through an arena instead of a
+//! `HashMap<Op, usize>`, which is what keeps million-op union graphs
+//! from spending their time chasing hash lookups.
+
+use crate::op::{LayerId, Op};
+
+/// Number of [`Op`] kinds (enum variants).
+const KINDS: usize = 7;
+
+/// Sentinel for "this op is not present".
+const ABSENT: u32 = u32::MAX;
+
+/// O(1) bidirectional mapping between [`Op`]s and dense `u32` ids.
+///
+/// Ids are assigned by the caller (insertion order) and are dense in
+/// `0..len`, so they index parallel `Vec`s directly. The arena bounds
+/// ids at `u32::MAX - 1` — million-op graphs fit with room to spare
+/// while halving the index-table footprint versus `usize`.
+#[derive(Debug, Clone)]
+pub struct GraphArena {
+    layers: usize,
+    /// `kind * (layers + 1) + layer → id`, [`ABSENT`] when missing.
+    slots: Vec<u32>,
+    /// `id → Op`, insertion order.
+    ops: Vec<Op>,
+}
+
+/// Kind index of `op` inside the slot table.
+fn kind_of(op: Op) -> usize {
+    match op {
+        Op::Forward(_) => 0,
+        Op::Loss => 1,
+        Op::OutputGrad(_) => 2,
+        Op::WeightGrad(_) => 3,
+        Op::Update(_) => 4,
+        Op::SyncWeightGrad(_) => 5,
+        Op::SyncOutputGrad(_) => 6,
+    }
+}
+
+impl GraphArena {
+    /// An empty arena sized for layers `1..=layers`.
+    pub fn new(layers: usize) -> Self {
+        GraphArena {
+            layers,
+            slots: vec![ABSENT; KINDS * (layers + 1)],
+            ops: Vec::new(),
+        }
+    }
+
+    /// Builds an arena whose ids are the positions of `ops` (which must
+    /// be distinct and within `1..=layers`, except [`Op::Loss`]).
+    pub fn from_ops(layers: usize, ops: &[Op]) -> Self {
+        let mut arena = GraphArena::new(layers);
+        for &op in ops {
+            arena.insert(op);
+        }
+        arena
+    }
+
+    /// Flat slot of `op`, or `None` when its layer is out of range.
+    fn slot(&self, op: Op) -> Option<usize> {
+        let layer = match op.layer() {
+            Some(LayerId(i)) => {
+                if i == 0 || i > self.layers {
+                    return None;
+                }
+                i
+            }
+            None => 0,
+        };
+        Some(kind_of(op) * (self.layers + 1) + layer)
+    }
+
+    /// Registers `op`, assigning it the next dense id. Re-inserting an
+    /// op keeps its original id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `op`'s layer exceeds the arena's layer bound or the
+    /// arena is full (`u32::MAX - 1` ops).
+    pub fn insert(&mut self, op: Op) -> u32 {
+        let slot = self.slot(op).expect("op layer within arena bound");
+        if self.slots[slot] != ABSENT {
+            return self.slots[slot];
+        }
+        let id = u32::try_from(self.ops.len()).expect("arena full");
+        assert!(id != ABSENT, "arena full");
+        self.slots[slot] = id;
+        self.ops.push(op);
+        id
+    }
+
+    /// Dense id of `op`, if present.
+    #[inline]
+    pub fn id_of(&self, op: Op) -> Option<u32> {
+        match self.slot(op) {
+            Some(slot) => match self.slots[slot] {
+                ABSENT => None,
+                id => Some(id),
+            },
+            None => None,
+        }
+    }
+
+    /// Whether `op` is registered.
+    #[inline]
+    pub fn contains(&self, op: Op) -> bool {
+        self.id_of(op).is_some()
+    }
+
+    /// The op with dense id `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` was never assigned.
+    #[inline]
+    pub fn op_of(&self, id: u32) -> Op {
+        self.ops[id as usize]
+    }
+
+    /// Number of registered ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the arena holds no ops.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Layer bound the arena was sized for.
+    pub fn layers(&self) -> usize {
+        self.layers
+    }
+
+    /// All registered ops in id order.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alphabet(l: usize) -> Vec<Op> {
+        let mut ops = vec![Op::Loss];
+        for i in 1..=l {
+            ops.extend([
+                Op::Forward(LayerId(i)),
+                Op::OutputGrad(LayerId(i)),
+                Op::WeightGrad(LayerId(i)),
+                Op::Update(LayerId(i)),
+                Op::SyncWeightGrad(LayerId(i)),
+                Op::SyncOutputGrad(LayerId(i)),
+            ]);
+        }
+        ops
+    }
+
+    #[test]
+    fn ids_are_insertion_order_and_round_trip() {
+        let ops = alphabet(5);
+        let arena = GraphArena::from_ops(5, &ops);
+        assert_eq!(arena.len(), ops.len());
+        for (i, &op) in ops.iter().enumerate() {
+            assert_eq!(arena.id_of(op), Some(i as u32), "{op}");
+            assert_eq!(arena.op_of(i as u32), op);
+        }
+    }
+
+    #[test]
+    fn absent_ops_report_none() {
+        let arena = GraphArena::from_ops(3, &[Op::Loss, Op::WeightGrad(LayerId(2))]);
+        assert_eq!(arena.id_of(Op::WeightGrad(LayerId(1))), None);
+        assert_eq!(arena.id_of(Op::Forward(LayerId(3))), None);
+        assert!(!arena.contains(Op::Update(LayerId(2))));
+    }
+
+    #[test]
+    fn out_of_range_layers_report_none() {
+        let arena = GraphArena::from_ops(3, &alphabet(3));
+        assert_eq!(arena.id_of(Op::Forward(LayerId(4))), None);
+        assert_eq!(arena.id_of(Op::Forward(LayerId(0))), None);
+        assert_eq!(arena.id_of(Op::WeightGrad(LayerId(usize::MAX))), None);
+    }
+
+    #[test]
+    fn reinsert_keeps_original_id() {
+        let mut arena = GraphArena::new(2);
+        let a = arena.insert(Op::Loss);
+        let b = arena.insert(Op::WeightGrad(LayerId(1)));
+        assert_eq!(arena.insert(Op::Loss), a);
+        assert_eq!(arena.insert(Op::WeightGrad(LayerId(1))), b);
+        assert_eq!(arena.len(), 2);
+    }
+
+    #[test]
+    fn matches_hash_map_semantics_on_training_graphs() {
+        for l in 1..=12 {
+            let g = crate::graph::TrainGraph::data_parallel(l);
+            let arena = GraphArena::from_ops(l, g.ops());
+            for (i, &op) in g.ops().iter().enumerate() {
+                assert_eq!(arena.id_of(op), Some(i as u32));
+            }
+        }
+    }
+}

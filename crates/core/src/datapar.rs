@@ -37,6 +37,72 @@ pub const COMPUTE: ResourceId = ResourceId(0);
 /// Resource id of the communication lane in the produced timeline.
 pub const LINK: ResourceId = ResourceId(1);
 
+/// Plans the order in which the link serves the layer synchronizations
+/// `S[dW_i]`, given each layer's gradient completion time `dw_finish[i]`
+/// (1-based; index 0 unused) and per-layer wire occupancy `sync_ns(i)`.
+/// Returns `(layer, wire_start, wire_end)` in service order.
+///
+/// This is the shared service-order core behind
+/// [`simulate_data_parallel_with_tail`] and the static reconstruction in
+/// `ooo-verify`'s `datapar_schedule`. It runs in O(L log L) — arrivals
+/// sorted once and consumed through a cursor, plus (for the priority
+/// policy) a min-layer ready heap — but picks the exact sequence of the
+/// previous O(L²) scan-and-retain loop:
+///
+/// - **FIFO by completion**: the old loop picked the pending layer
+///   minimizing `(dw_finish, layer)` among those ready at
+///   `now = max(link_free, earliest_ready)`; the global minimizer is
+///   always ready at `now` (its finish *is* `earliest_ready`), so service
+///   order equals arrival order `(dw_finish, layer)`.
+/// - **Priority by layer**: every admitted-but-unserved layer has
+///   `dw_finish ≤ link_free` (it was ready at an earlier service instant),
+///   so when the ready heap is non-empty `now = link_free` exactly as the
+///   old `max(link_free, earliest_ready)`; admitting all arrivals with
+///   `dw_finish ≤ now` then popping the minimum layer reproduces the old
+///   filter-then-`min()` pick.
+pub fn plan_sync_service(
+    dw_finish: &[SimTime],
+    policy: CommPolicy,
+    mut sync_ns: impl FnMut(usize) -> SimTime,
+) -> Vec<(usize, SimTime, SimTime)> {
+    let l = dw_finish.len().saturating_sub(1);
+    let mut arrivals: Vec<usize> = (1..=l).collect();
+    arrivals.sort_by_key(|&i| (dw_finish[i], i));
+    let mut out: Vec<(usize, SimTime, SimTime)> = Vec::with_capacity(l);
+    let mut link_free: SimTime = 0;
+    match policy {
+        CommPolicy::FifoCompletion => {
+            for &i in &arrivals {
+                let start = link_free.max(dw_finish[i]);
+                let end = start + sync_ns(i);
+                out.push((i, start, end));
+                link_free = end;
+            }
+        }
+        CommPolicy::PriorityByLayer => {
+            let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<usize>> =
+                std::collections::BinaryHeap::new();
+            let mut cursor = 0usize;
+            while out.len() < l {
+                let now = if ready.is_empty() {
+                    link_free.max(dw_finish[arrivals[cursor]])
+                } else {
+                    link_free
+                };
+                while cursor < arrivals.len() && dw_finish[arrivals[cursor]] <= now {
+                    ready.push(std::cmp::Reverse(arrivals[cursor]));
+                    cursor += 1;
+                }
+                let std::cmp::Reverse(pick) = ready.pop().expect("admitted at least one");
+                let end = now + sync_ns(pick);
+                out.push((pick, now, end));
+                link_free = end;
+            }
+        }
+    }
+    out
+}
+
 /// Simulates one data-parallel iteration.
 ///
 /// `backward` is the compute order of the backward pass (loss, `dO`s and
@@ -100,49 +166,25 @@ pub fn simulate_data_parallel_with_tail<C: CostModel>(
     }
     let backward_done = t;
 
-    // 2. Synchronizations on the link lane under `policy`.
+    // 2. Synchronizations on the link lane under `policy`. FIFO by
+    //    completion = ready-time order with completion sequence as the
+    //    tie-break, which equals ready-time order here because each dW
+    //    finish time is distinct per compute sequencing (ties broken by
+    //    layer for determinism). The service order itself comes from the
+    //    shared O(L log L) planner.
     let mut sync_finish: Vec<SimTime> = vec![0; l + 1];
-    let mut pending: Vec<usize> = (1..=l).collect();
-    // FIFO by completion = ready-time order with completion sequence as
-    // the tie-break, which equals ready-time order here because each dW
-    // finish time is distinct per compute sequencing (ties broken by
-    // layer for determinism).
-    let mut link_free: SimTime = 0;
-    while !pending.is_empty() {
-        let earliest_ready = pending
-            .iter()
-            .map(|&i| dw_finish[i])
-            .min()
-            .expect("non-empty");
-        let now = link_free.max(earliest_ready);
-        // Candidates ready at `now`.
-        let pick = match policy {
-            CommPolicy::FifoCompletion => pending
-                .iter()
-                .copied()
-                .filter(|&i| dw_finish[i] <= now)
-                .min_by_key(|&i| (dw_finish[i], i))
-                .expect("at least the earliest-ready sync qualifies"),
-            CommPolicy::PriorityByLayer => pending
-                .iter()
-                .copied()
-                .filter(|&i| dw_finish[i] <= now)
-                .min()
-                .expect("at least the earliest-ready sync qualifies"),
-        };
-        pending.retain(|&i| i != pick);
+    for (pick, start, end) in plan_sync_service(&dw_finish, policy, |i| {
+        cost.duration(Op::SyncWeightGrad(LayerId(i)))
+    }) {
         let op = Op::SyncWeightGrad(LayerId(pick));
-        let start = now;
-        let end = start + cost.duration(op);
         entries.push(TimedOp {
             op,
             resource: LINK,
             start,
             end: end + tail_ns,
         });
-        sync_finish[pick] = end + tail_ns;
         // Only the wire occupancy blocks the link; the tail pipelines.
-        link_free = end;
+        sync_finish[pick] = end + tail_ns;
     }
 
     // 3. Updates and forward pass on the compute lane, layer order. U_i is

@@ -27,9 +27,9 @@
 //! than its own synchronization/update*. Nothing in the backward chain
 //! waits for it, so it may execute at any point after `dO_{i+1}`.
 
+use crate::arena::GraphArena;
 use crate::error::{Error, Result};
 use crate::op::{LayerId, Op};
-use std::collections::HashMap;
 
 /// Configuration for building a [`TrainGraph`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -97,8 +97,7 @@ impl GraphConfig {
 #[derive(Debug, Clone)]
 pub struct TrainGraph {
     config: GraphConfig,
-    ops: Vec<Op>,
-    index: HashMap<Op, usize>,
+    arena: GraphArena,
     deps: Vec<Vec<usize>>,
     dependents: Vec<Vec<usize>>,
 }
@@ -147,7 +146,11 @@ impl TrainGraph {
             }
         }
 
-        let index: HashMap<Op, usize> = ops.iter().copied().zip(0..).collect();
+        // The arena gives every op an O(1) computed slot; ids are the
+        // positions in the canonical storage order built above.
+        let arena = GraphArena::from_ops(l, &ops);
+        let index =
+            |op: Op| -> usize { arena.id_of(op).expect("dependency op is in the graph") as usize };
         let mut deps: Vec<Vec<usize>> = vec![Vec::new(); ops.len()];
 
         // The incoming gradient available to layer i's computations: for
@@ -163,17 +166,17 @@ impl TrainGraph {
             }
         };
 
-        for (op, &idx) in &index {
-            match *op {
+        for (idx, &op) in ops.iter().enumerate() {
+            match op {
                 Op::Loss => {}
                 Op::OutputGrad(LayerId(i)) | Op::WeightGrad(LayerId(i)) => {
-                    deps[idx].push(index[&grad_source(i)]);
+                    deps[idx].push(index(grad_source(i)));
                 }
                 Op::SyncOutputGrad(LayerId(i)) => {
-                    deps[idx].push(index[&Op::OutputGrad(LayerId(i))]);
+                    deps[idx].push(index(Op::OutputGrad(LayerId(i))));
                 }
                 Op::SyncWeightGrad(LayerId(i)) => {
-                    deps[idx].push(index[&Op::WeightGrad(LayerId(i))]);
+                    deps[idx].push(index(Op::WeightGrad(LayerId(i))));
                 }
                 Op::Update(LayerId(i)) => {
                     let dep = if config.sync_weight_grads {
@@ -181,7 +184,7 @@ impl TrainGraph {
                     } else {
                         Op::WeightGrad(LayerId(i))
                     };
-                    deps[idx].push(index[&dep]);
+                    deps[idx].push(index(dep));
                 }
                 Op::Forward(LayerId(i)) => {
                     // The next iteration's forward computation of layer i
@@ -194,9 +197,9 @@ impl TrainGraph {
                     } else {
                         Op::WeightGrad(LayerId(i))
                     };
-                    deps[idx].push(index[&weight_ready]);
+                    deps[idx].push(index(weight_ready));
                     if i > 1 {
-                        deps[idx].push(index[&Op::Forward(LayerId(i - 1))]);
+                        deps[idx].push(index(Op::Forward(LayerId(i - 1))));
                     }
                 }
             }
@@ -212,8 +215,7 @@ impl TrainGraph {
         }
         Ok(TrainGraph {
             config,
-            ops,
-            index,
+            arena,
             deps,
             dependents,
         })
@@ -260,27 +262,32 @@ impl TrainGraph {
 
     /// All operations in canonical storage order.
     pub fn ops(&self) -> &[Op] {
-        &self.ops
+        self.arena.ops()
+    }
+
+    /// The arena mapping ops to dense u32 ids in O(1).
+    pub fn arena(&self) -> &GraphArena {
+        &self.arena
     }
 
     /// Number of operations in the graph.
     pub fn len(&self) -> usize {
-        self.ops.len()
+        self.arena.len()
     }
 
     /// Whether the graph has no operations (never true for a valid graph).
     pub fn is_empty(&self) -> bool {
-        self.ops.is_empty()
+        self.arena.is_empty()
     }
 
     /// Whether `op` is part of this graph.
     pub fn contains(&self, op: Op) -> bool {
-        self.index.contains_key(&op)
+        self.arena.contains(op)
     }
 
-    /// Dense index of `op`, if present.
+    /// Dense index of `op`, if present — an O(1) arena slot computation.
     pub fn op_index(&self, op: Op) -> Option<usize> {
-        self.index.get(&op).copied()
+        self.arena.id_of(op).map(|id| id as usize)
     }
 
     /// Direct dependencies of `op`.
@@ -290,7 +297,10 @@ impl TrainGraph {
     /// Returns [`Error::UnknownOp`] when `op` is not part of the graph.
     pub fn deps(&self, op: Op) -> Result<Vec<Op>> {
         let idx = self.op_index(op).ok_or(Error::UnknownOp(op))?;
-        Ok(self.deps[idx].iter().map(|&i| self.ops[i]).collect())
+        Ok(self.deps[idx]
+            .iter()
+            .map(|&i| self.arena.op_of(i as u32))
+            .collect())
     }
 
     /// Direct dependents of `op`.
@@ -300,7 +310,10 @@ impl TrainGraph {
     /// Returns [`Error::UnknownOp`] when `op` is not part of the graph.
     pub fn dependents(&self, op: Op) -> Result<Vec<Op>> {
         let idx = self.op_index(op).ok_or(Error::UnknownOp(op))?;
-        Ok(self.dependents[idx].iter().map(|&i| self.ops[i]).collect())
+        Ok(self.dependents[idx]
+            .iter()
+            .map(|&i| self.arena.op_of(i as u32))
+            .collect())
     }
 
     /// Dependency indices of the op at dense index `idx`.
@@ -319,7 +332,7 @@ impl TrainGraph {
     /// as existing deep-learning systems execute it.
     pub fn conventional_backprop(&self) -> Vec<Op> {
         // The canonical storage order was chosen to be exactly this.
-        self.ops.clone()
+        self.arena.ops().to_vec()
     }
 
     /// The gradient fast-forwarding order of Section 5.2: all output

@@ -53,6 +53,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod bounds;
 pub mod combined;
 pub mod cost;
@@ -72,6 +73,7 @@ pub mod reverse_k;
 pub mod schedule;
 pub mod trace;
 
+pub use arena::GraphArena;
 pub use error::{Error, Result};
 pub use graph::TrainGraph;
 pub use op::{LayerId, Op};

@@ -110,6 +110,57 @@ pub fn index_positions(
     Ok(pos)
 }
 
+/// Sentinel in a dense position table for "op not in the sequence".
+const UNPOSITIONED: u32 = u32::MAX;
+
+/// Dense counterpart of [`index_positions`]: a table indexed by the
+/// graph's arena id holding each op's position in the sequence
+/// ([`UNPOSITIONED`] when absent). O(1) per op via
+/// [`crate::arena::GraphArena`] instead of hashing — the validators below
+/// run on this, which is what lets them keep up with million-op union
+/// graphs.
+fn dense_positions(graph: &TrainGraph, ops: impl IntoIterator<Item = Op>) -> Result<Vec<u32>> {
+    let mut pos = vec![UNPOSITIONED; graph.len()];
+    for (i, op) in ops.into_iter().enumerate() {
+        let idx = graph.op_index(op).ok_or(Error::UnknownOp(op))?;
+        if pos[idx] != UNPOSITIONED {
+            return Err(Error::DuplicateOp(op));
+        }
+        pos[idx] = u32::try_from(i).expect("sequence longer than u32::MAX ops");
+    }
+    Ok(pos)
+}
+
+/// Dense counterpart of [`require_complete`].
+fn dense_require_complete(graph: &TrainGraph, pos: &[u32]) -> Result<()> {
+    for (i, &p) in pos.iter().enumerate() {
+        if p == UNPOSITIONED {
+            return Err(Error::MissingOp(graph.ops()[i]));
+        }
+    }
+    Ok(())
+}
+
+/// Dense counterpart of [`check_positions`]: scans ops in canonical graph
+/// order (deterministic, unlike hash iteration).
+fn dense_check_positions(graph: &TrainGraph, pos: &[u32]) -> Result<()> {
+    for (idx, &p) in pos.iter().enumerate() {
+        if p == UNPOSITIONED {
+            continue;
+        }
+        for &d in graph.dep_indices(idx) {
+            let q = pos[d];
+            if q != UNPOSITIONED && q >= p {
+                return Err(Error::DependencyViolation {
+                    op: graph.ops()[idx],
+                    missing_dep: graph.ops()[d],
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Requires `pos` (from [`index_positions`]) to cover every operation of
 /// the graph.
 ///
@@ -160,9 +211,9 @@ pub fn check_positions(graph: &TrainGraph, pos: &HashMap<Op, usize>) -> Result<(
 /// - [`Error::MissingOp`] if an op of the graph is absent.
 /// - [`Error::DependencyViolation`] if the order breaks a dependency.
 pub fn validate_order(graph: &TrainGraph, order: &[Op]) -> Result<()> {
-    let pos = index_positions(graph, order.iter().copied())?;
-    require_complete(graph, &pos)?;
-    check_positions(graph, &pos)
+    let pos = dense_positions(graph, order.iter().copied())?;
+    dense_require_complete(graph, &pos)?;
+    dense_check_positions(graph, &pos)
 }
 
 /// Validates that `order` is a *partial* topological linearization: each
@@ -175,8 +226,8 @@ pub fn validate_order(graph: &TrainGraph, order: &[Op]) -> Result<()> {
 ///
 /// Same as [`validate_order`] except that missing operations are allowed.
 pub fn validate_partial_order(graph: &TrainGraph, order: &[Op]) -> Result<()> {
-    let pos = index_positions(graph, order.iter().copied())?;
-    check_positions(graph, &pos)
+    let pos = dense_positions(graph, order.iter().copied())?;
+    dense_check_positions(graph, &pos)
 }
 
 /// Merges a (possibly partial) multi-lane schedule into one topological
@@ -281,8 +332,8 @@ pub fn merge_lanes(graph: &TrainGraph, schedule: &Schedule) -> Result<Vec<Op>> {
 /// reported when the lanes cannot be interleaved without breaking a
 /// dependency (the reported pair lies on the detected cycle).
 pub fn validate_schedule(graph: &TrainGraph, schedule: &Schedule) -> Result<()> {
-    let pos = index_positions(graph, schedule.iter_ops().map(|(_, op)| op))?;
-    require_complete(graph, &pos)?;
+    let pos = dense_positions(graph, schedule.iter_ops().map(|(_, op)| op))?;
+    dense_require_complete(graph, &pos)?;
     merge_lanes(graph, schedule).map(|_| ())
 }
 

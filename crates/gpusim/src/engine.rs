@@ -220,6 +220,12 @@ impl GpuSim {
                 .all(|s| s.cmd_idx == s.commands.len() && s.active.is_none())
         };
 
+        // Allocation order: priority, stable by stream index. Stream
+        // priorities are immutable for the whole run, so this is computed
+        // once here instead of being re-sorted on every scheduling step.
+        let mut alloc_order: Vec<usize> = (0..states.len()).collect();
+        alloc_order.sort_by_key(|&i| (std::cmp::Reverse(states[i].priority), i));
+
         let mut guard = 0u64;
         while !all_done(&states) {
             guard += 1;
@@ -325,9 +331,7 @@ impl GpuSim {
                 // may only use capacity the higher streams genuinely
                 // leave over (e.g. a tail wave), matching how the
                 // hardware scheduler drains priority streams first.
-                let mut order: Vec<usize> = (0..states.len()).collect();
-                order.sort_by_key(|&i| (std::cmp::Reverse(states[i].priority), i));
-                for &si in &order {
+                for &si in &alloc_order {
                     if slots_free == 0 {
                         break;
                     }

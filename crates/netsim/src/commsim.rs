@@ -90,81 +90,109 @@ pub fn simulate_queue_recorded(
         req: CommRequest,
         remaining: u64,
         started: Option<SimTime>,
-        seq: usize,
     }
     let chunk = chunk_bytes.max(1);
+    // `pending` is never reordered, so an entry's index doubles as the
+    // arrival sequence number used in tie-breaks.
     let mut pending: Vec<Pending> = requests
         .iter()
-        .enumerate()
-        .map(|(seq, &req)| Pending {
+        .map(|&req| Pending {
             req,
             remaining: req.bytes.max(1),
             started: None,
-            seq,
         })
         .collect();
-    let mut done: Vec<CommCompletion> = Vec::with_capacity(pending.len());
+    let n = pending.len();
+    let mut done: Vec<CommCompletion> = Vec::with_capacity(n);
     let mut intervals: Vec<ServiceInterval> = Vec::new();
     let mut now: SimTime = 0;
 
-    while !pending.is_empty() {
-        let earliest = pending
-            .iter()
-            .map(|p| p.req.ready_ns)
-            .min()
-            .expect("non-empty");
-        now = now.max(earliest);
-        // Pick among ready requests.
-        let idx = match policy {
-            Policy::Fifo => pending
-                .iter()
-                .enumerate()
-                .filter(|(_, p)| p.req.ready_ns <= now)
-                .min_by_key(|(_, p)| (p.req.ready_ns, p.seq))
-                .map(|(i, _)| i),
-            Policy::Priority => pending
-                .iter()
-                .enumerate()
-                .filter(|(_, p)| p.req.ready_ns <= now)
-                .min_by_key(|(_, p)| (p.req.priority, p.req.ready_ns, p.seq))
-                .map(|(i, _)| i),
-        };
-        let Some(idx) = idx else {
-            // Nothing ready yet; jump to the next readiness point.
-            continue;
-        };
-        let p = &mut pending[idx];
-        let service_start = now;
+    // Serves one chunk of `pending[i]`; pushes the completion if the
+    // request drained. Shared by both policy paths below.
+    let serve = |i: usize,
+                 send_whole: bool,
+                 pending: &mut [Pending],
+                 now: &mut SimTime,
+                 intervals: &mut Vec<ServiceInterval>,
+                 done: &mut Vec<CommCompletion>| {
+        let p = &mut pending[i];
+        let service_start = *now;
         if p.started.is_none() {
             // Tensor-level latency paid once, up front.
-            p.started = Some(now);
-            now += link.latency_ns;
+            p.started = Some(*now);
+            *now += link.latency_ns;
         }
-        let send = match policy {
-            Policy::Fifo => p.remaining,
-            Policy::Priority => p.remaining.min(chunk),
+        let send = if send_whole {
+            p.remaining
+        } else {
+            p.remaining.min(chunk)
         };
-        now += (send as f64 / link.bytes_per_sec * 1e9) as SimTime;
+        *now += (send as f64 / link.bytes_per_sec * 1e9) as SimTime;
         p.remaining -= send;
         match intervals.last_mut() {
             Some(iv) if iv.id == p.req.id && iv.end_ns == service_start => {
-                iv.end_ns = now;
+                iv.end_ns = *now;
                 iv.bytes += send;
             }
             _ => intervals.push(ServiceInterval {
                 id: p.req.id,
                 start_ns: service_start,
-                end_ns: now,
+                end_ns: *now,
                 bytes: send,
             }),
         }
         if p.remaining == 0 {
-            let finished = pending.swap_remove(idx);
             done.push(CommCompletion {
-                id: finished.req.id,
-                start_ns: finished.started.expect("started before finishing"),
-                finish_ns: now,
+                id: p.req.id,
+                start_ns: p.started.expect("started before finishing"),
+                finish_ns: *now,
             });
+        }
+    };
+
+    // Arrivals sorted once by `(ready_ns, seq)` and consumed through a
+    // cursor; the per-chunk O(n) scan-and-filter over `pending` becomes a
+    // heap pop. The pick sequence is unchanged:
+    // - Fifo: tensors are sent whole, so the ready set admitted so far is
+    //   always a prefix of the `(ready_ns, seq)` sort and the old
+    //   `min_by_key` pick is exactly the next unserved arrival.
+    // - Priority: every admitted-but-unserved request has
+    //   `ready_ns ≤ now`, so admitting all arrivals up to `now` and
+    //   popping the minimum `(priority, ready_ns, seq)` reproduces the old
+    //   filter-then-`min_by_key` pick.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| (pending[i].req.ready_ns, i));
+    match policy {
+        Policy::Fifo => {
+            for &i in &order {
+                now = now.max(pending[i].req.ready_ns);
+                serve(i, true, &mut pending, &mut now, &mut intervals, &mut done);
+            }
+        }
+        Policy::Priority => {
+            let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<(i64, SimTime, usize)>> =
+                std::collections::BinaryHeap::new();
+            let mut cursor = 0usize;
+            while done.len() < n {
+                if ready.is_empty() {
+                    now = now.max(pending[order[cursor]].req.ready_ns);
+                }
+                while cursor < n && pending[order[cursor]].req.ready_ns <= now {
+                    let i = order[cursor];
+                    ready.push(std::cmp::Reverse((
+                        pending[i].req.priority,
+                        pending[i].req.ready_ns,
+                        i,
+                    )));
+                    cursor += 1;
+                }
+                let std::cmp::Reverse(key) = ready.pop().expect("admitted at least one");
+                let i = key.2;
+                serve(i, false, &mut pending, &mut now, &mut intervals, &mut done);
+                if pending[i].remaining > 0 {
+                    ready.push(std::cmp::Reverse(key));
+                }
+            }
         }
     }
     done.sort_by_key(|c| (c.finish_ns, c.id));

@@ -21,6 +21,8 @@ pub mod collective;
 pub mod commsim;
 pub mod flows;
 pub mod link;
+#[doc(hidden)]
+pub mod reference;
 pub mod topology;
 
 /// Simulated time in nanoseconds.

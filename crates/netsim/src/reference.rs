@@ -1,0 +1,172 @@
+//! Frozen pre-refactor implementations, kept verbatim as differential
+//! oracles.
+//!
+//! The event loops in [`crate::flows`] and [`crate::commsim`] were
+//! rewritten from O(n²) pending-list scans (`pending.remove(0)`,
+//! per-chunk filter-and-min) to a sorted arrival cursor plus a ready
+//! heap. The rewrites are proven output-identical by the arguments in
+//! their respective modules; this module preserves the *original*
+//! algorithms so the conformance suite and the scale benchmark can keep
+//! checking (and timing) new against old on arbitrary inputs. Not part
+//! of the public API.
+
+use crate::commsim::{CommCompletion, CommRequest, Policy, ServiceInterval};
+use crate::flows::{max_min_rates, Capacities, Flow};
+use crate::link::LinkSpec;
+use crate::SimTime;
+
+/// The pre-cursor [`crate::flows::simulate_flows`]: shifts a `pending`
+/// Vec with `remove(0)` per admission — O(n²) element moves over the
+/// flow set.
+pub fn simulate_flows_naive(flows: &[Flow], capacities: &Capacities) -> Vec<(usize, SimTime)> {
+    #[derive(Clone)]
+    struct Live {
+        flow: Flow,
+        remaining: f64,
+    }
+    let mut pending: Vec<Flow> = flows.to_vec();
+    pending.sort_by_key(|f| f.ready_ns);
+    let mut live: Vec<Live> = Vec::new();
+    let mut done: Vec<(usize, SimTime)> = Vec::new();
+    let mut now: SimTime = 0;
+    while !pending.is_empty() || !live.is_empty() {
+        if live.is_empty() {
+            if let Some(f) = pending.first() {
+                now = now.max(f.ready_ns);
+            }
+        }
+        while pending.first().is_some_and(|f| f.ready_ns <= now) {
+            let f = pending.remove(0);
+            live.push(Live {
+                flow: f,
+                remaining: f.bytes.max(1) as f64,
+            });
+        }
+        let pairs: Vec<(usize, usize)> = live.iter().map(|l| (l.flow.src, l.flow.dst)).collect();
+        let rates = max_min_rates(&pairs, capacities);
+        let mut dt_ns_f = f64::INFINITY;
+        for (l, &r) in live.iter().zip(&rates) {
+            if r > 0.0 {
+                dt_ns_f = dt_ns_f.min(l.remaining / r * 1e9);
+            }
+        }
+        if let Some(f) = pending.first() {
+            dt_ns_f = dt_ns_f.min((f.ready_ns - now) as f64);
+        }
+        if !dt_ns_f.is_finite() {
+            for l in live {
+                done.push((l.flow.id, SimTime::MAX));
+            }
+            break;
+        }
+        let dt_ns = dt_ns_f.ceil().max(1.0) as SimTime;
+        for (l, &r) in live.iter_mut().zip(&rates) {
+            l.remaining -= r * dt_ns as f64 / 1e9;
+        }
+        now += dt_ns;
+        let mut i = 0;
+        while i < live.len() {
+            if live[i].remaining <= 1e-6 {
+                done.push((live[i].flow.id, now));
+                live.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+    }
+    done.sort_by_key(|&(_, t)| t);
+    done
+}
+
+/// The pre-heap [`crate::commsim::simulate_queue_recorded`]: every chunk
+/// pick filters the whole pending list and takes a `min_by_key` — O(n)
+/// per chunk, O(n²) (or worse, with chunking) per queue.
+pub fn simulate_queue_recorded_naive(
+    link: &LinkSpec,
+    chunk_bytes: u64,
+    policy: Policy,
+    requests: &[CommRequest],
+) -> (Vec<CommCompletion>, Vec<ServiceInterval>) {
+    #[derive(Clone)]
+    struct Pending {
+        req: CommRequest,
+        remaining: u64,
+        started: Option<SimTime>,
+        seq: usize,
+    }
+    let chunk = chunk_bytes.max(1);
+    let mut pending: Vec<Pending> = requests
+        .iter()
+        .enumerate()
+        .map(|(seq, &req)| Pending {
+            req,
+            remaining: req.bytes.max(1),
+            started: None,
+            seq,
+        })
+        .collect();
+    let mut done: Vec<CommCompletion> = Vec::with_capacity(pending.len());
+    let mut intervals: Vec<ServiceInterval> = Vec::new();
+    let mut now: SimTime = 0;
+
+    while !pending.is_empty() {
+        let earliest = pending
+            .iter()
+            .map(|p| p.req.ready_ns)
+            .min()
+            .expect("non-empty");
+        now = now.max(earliest);
+        // Pick among ready requests.
+        let idx = match policy {
+            Policy::Fifo => pending
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.req.ready_ns <= now)
+                .min_by_key(|(_, p)| (p.req.ready_ns, p.seq))
+                .map(|(i, _)| i),
+            Policy::Priority => pending
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.req.ready_ns <= now)
+                .min_by_key(|(_, p)| (p.req.priority, p.req.ready_ns, p.seq))
+                .map(|(i, _)| i),
+        };
+        let Some(idx) = idx else {
+            continue;
+        };
+        let p = &mut pending[idx];
+        let service_start = now;
+        if p.started.is_none() {
+            p.started = Some(now);
+            now += link.latency_ns;
+        }
+        let send = match policy {
+            Policy::Fifo => p.remaining,
+            Policy::Priority => p.remaining.min(chunk),
+        };
+        now += (send as f64 / link.bytes_per_sec * 1e9) as SimTime;
+        p.remaining -= send;
+        match intervals.last_mut() {
+            Some(iv) if iv.id == p.req.id && iv.end_ns == service_start => {
+                iv.end_ns = now;
+                iv.bytes += send;
+            }
+            _ => intervals.push(ServiceInterval {
+                id: p.req.id,
+                start_ns: service_start,
+                end_ns: now,
+                bytes: send,
+            }),
+        }
+        if p.remaining == 0 {
+            let finished = pending.swap_remove(idx);
+            done.push(CommCompletion {
+                id: finished.req.id,
+                start_ns: finished.started.expect("started before finishing"),
+                finish_ns: now,
+            });
+        }
+    }
+    done.sort_by_key(|c| (c.finish_ns, c.id));
+    (done, intervals)
+}

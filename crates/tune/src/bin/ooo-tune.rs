@@ -4,11 +4,11 @@
 //!
 //! ```text
 //! ooo-tune order --layers N [--k K] [--sync NS] [--policy fifo|bylayer]
-//!                [--restarts N] [--json] [--out FILE]
+//!                [--restarts N] [--window W] [--json] [--out FILE]
 //! ooo-tune bundle <bundle.json> [--schedule NAME] [--policy fifo|bylayer]
-//!                [--restarts N] [--json] [--out FILE]
+//!                [--restarts N] [--window W] [--json] [--out FILE]
 //! ooo-tune pipeline --layers N --devices D --strategy NAME [--group G]
-//!                [--restarts N] [--json] [--out FILE]
+//!                [--restarts N] [--window W] [--json] [--out FILE]
 //! ```
 //!
 //! `order` tunes a reverse-first-k backward order of a data-parallel
@@ -39,11 +39,11 @@ use ooo_tune::{certify_schedule, tune_schedule, AppliedMove, Error, TuneOptions}
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: ooo-tune order --layers N [--k K] [--sync NS] \
-                     [--policy fifo|bylayer] [--restarts N] [--json] [--out FILE]\n\
+                     [--policy fifo|bylayer] [--restarts N] [--window W] [--json] [--out FILE]\n\
                      \x20      ooo-tune bundle <bundle.json> [--schedule NAME] \
-                     [--policy fifo|bylayer] [--restarts N] [--json] [--out FILE]\n\
+                     [--policy fifo|bylayer] [--restarts N] [--window W] [--json] [--out FILE]\n\
                      \x20      ooo-tune pipeline --layers N --devices D --strategy NAME \
-                     [--group G] [--restarts N] [--json] [--out FILE]";
+                     [--group G] [--restarts N] [--window W] [--json] [--out FILE]";
 
 enum Mode {
     Order {
@@ -67,9 +67,18 @@ enum Mode {
 
 struct Args {
     mode: Mode,
-    restarts: u64,
+    knobs: Knobs,
     json: bool,
     out: Option<String>,
+}
+
+/// Search knobs shared by every mode.
+#[derive(Clone, Copy)]
+struct Knobs {
+    restarts: u64,
+    /// Relocation neighborhood cap ([`TuneOptions::window`]); `None`
+    /// keeps the exact full-neighborhood search.
+    window: Option<usize>,
 }
 
 fn parse_strategy(name: &str) -> Result<Strategy, String> {
@@ -104,6 +113,7 @@ fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
             .map_err(|_| format!("{flag}: not a count: {v:?}"))
     };
     let mut restarts = TuneOptions::default().restarts;
+    let mut window = None;
     let mut json = false;
     let mut out = None;
 
@@ -126,6 +136,9 @@ fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
                     "--restarts" => {
                         restarts =
                             parse_usize("--restarts", need_value(&mut argv, "--restarts")?)? as u64
+                    }
+                    "--window" => {
+                        window = Some(parse_usize("--window", need_value(&mut argv, "--window")?)?)
                     }
                     "--json" => json = true,
                     "--out" => out = Some(need_value(&mut argv, "--out")?),
@@ -154,6 +167,9 @@ fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
                     "--restarts" => {
                         restarts =
                             parse_usize("--restarts", need_value(&mut argv, "--restarts")?)? as u64
+                    }
+                    "--window" => {
+                        window = Some(parse_usize("--window", need_value(&mut argv, "--window")?)?)
                     }
                     "--json" => json = true,
                     "--out" => out = Some(need_value(&mut argv, "--out")?),
@@ -198,6 +214,9 @@ fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
                         restarts =
                             parse_usize("--restarts", need_value(&mut argv, "--restarts")?)? as u64
                     }
+                    "--window" => {
+                        window = Some(parse_usize("--window", need_value(&mut argv, "--window")?)?)
+                    }
                     "--json" => json = true,
                     "--out" => out = Some(need_value(&mut argv, "--out")?),
                     "--help" | "-h" => return Err(USAGE.to_string()),
@@ -223,7 +242,7 @@ fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
     };
     Ok(Args {
         mode,
-        restarts,
+        knobs: Knobs { restarts, window },
         json,
         out,
     })
@@ -363,9 +382,10 @@ fn item_to_human(r: &ItemResult) -> String {
     }
 }
 
-fn opts_with(restarts: u64, require_complete: bool, target: Option<SimTime>) -> TuneOptions {
+fn opts_with(knobs: Knobs, require_complete: bool, target: Option<SimTime>) -> TuneOptions {
     TuneOptions {
-        restarts,
+        restarts: knobs.restarts,
+        window: knobs.window,
         require_complete,
         target,
         ..TuneOptions::default()
@@ -400,7 +420,7 @@ fn run_order_mode(
     k: usize,
     sync: SimTime,
     policy: CommPolicy,
-    restarts: u64,
+    knobs: Knobs,
 ) -> Result<Outcome, Error> {
     let graph = TrainGraph::data_parallel(layers);
     let cost = TableCost::uniform(
@@ -420,7 +440,7 @@ fn run_order_mode(
         &cost,
         policy,
         KFamily::ReverseFirstK,
-        &opts_with(restarts, true, Some(floor)),
+        &opts_with(knobs, true, Some(floor)),
     )?;
     let certified = certify_order(&graph, &tuned.order, &cost, policy)?;
     Ok(Outcome {
@@ -441,7 +461,7 @@ fn run_bundle_mode(
     path: &str,
     wanted: Option<&str>,
     policy: CommPolicy,
-    restarts: u64,
+    knobs: Knobs,
 ) -> Result<Vec<ItemResult>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let bundle = ScheduleBundle::from_json_lenient(&text)
@@ -470,7 +490,7 @@ fn run_bundle_mode(
                         &cost,
                         policy,
                         KFamily::ReverseFirstK,
-                        &opts_with(restarts, true, Some(floor)),
+                        &opts_with(knobs, true, Some(floor)),
                     )?;
                     let certified = certify_order(&graph, &t.order, &cost, policy)?;
                     Ok(Outcome {
@@ -488,7 +508,7 @@ fn run_bundle_mode(
                 })
         } else {
             let s = ooo_core::schedule::Schedule::single_lane(name, order.clone());
-            tune_one_schedule(&graph, name, &s, restarts)
+            tune_one_schedule(&graph, name, &s, knobs)
         };
         push_or_fail(&mut results, name, item)?;
     }
@@ -496,7 +516,7 @@ fn run_bundle_mode(
         if wanted.is_some_and(|w| w != name) {
             continue;
         }
-        let item = tune_one_schedule(&graph, name, schedule, restarts);
+        let item = tune_one_schedule(&graph, name, schedule, knobs);
         push_or_fail(&mut results, name, item)?;
     }
     if results.is_empty() {
@@ -512,7 +532,7 @@ fn tune_one_schedule(
     graph: &TrainGraph,
     name: &str,
     schedule: &ooo_core::schedule::Schedule,
-    restarts: u64,
+    knobs: Knobs,
 ) -> Result<Outcome, Error> {
     // Exported schedules may be partial (engines with implicit updates),
     // so the gate does not demand completeness. The subset lower bound
@@ -522,7 +542,7 @@ fn tune_one_schedule(
         graph,
         schedule,
         &UnitCost,
-        &opts_with(restarts, false, Some(floor)),
+        &opts_with(knobs, false, Some(floor)),
     )?;
     let certified = certify_schedule(graph, &tuned.schedule, &UnitCost)?;
     Ok(Outcome {
@@ -544,7 +564,7 @@ fn run_pipeline_mode(
     devices: usize,
     strategy: Strategy,
     group: usize,
-    restarts: u64,
+    knobs: Knobs,
 ) -> Result<Outcome, Error> {
     let (pgraph, pschedule) =
         ooo_core::pipeline::op_level_schedule(layers, devices, strategy, group);
@@ -555,7 +575,7 @@ fn run_pipeline_mode(
         strategy,
         group,
         &UnitCost,
-        &opts_with(restarts, true, Some(floor)),
+        &opts_with(knobs, true, Some(floor)),
     )?;
     let certified = certify_schedule(&tuned.graph, &tuned.schedule, &UnitCost)?;
     let name = match strategy {
@@ -600,15 +620,13 @@ fn main() -> ExitCode {
         } => push_or_fail(
             &mut results,
             "order",
-            run_order_mode(*layers, *k, *sync, *policy, args.restarts),
+            run_order_mode(*layers, *k, *sync, *policy, args.knobs),
         ),
         Mode::Bundle {
             path,
             schedule,
             policy,
-        } => {
-            run_bundle_mode(path, schedule.as_deref(), *policy, args.restarts).map(|r| results = r)
-        }
+        } => run_bundle_mode(path, schedule.as_deref(), *policy, args.knobs).map(|r| results = r),
         Mode::Pipeline {
             layers,
             devices,
@@ -617,7 +635,7 @@ fn main() -> ExitCode {
         } => push_or_fail(
             &mut results,
             "pipeline",
-            run_pipeline_mode(*layers, *devices, *strategy, *group, args.restarts),
+            run_pipeline_mode(*layers, *devices, *strategy, *group, args.knobs),
         ),
     };
     if let Err(msg) = outcome {

@@ -162,6 +162,18 @@ pub struct TuneOptions {
     /// candidate is provably futile. With a *valid* bound this changes
     /// nothing but wasted work — the result is identical.
     pub target: Option<SimTime>,
+    /// Evaluate the restart seeds of each sweep on parallel threads
+    /// (`std::thread`), adopting the lowest-numbered improving seed —
+    /// exactly the seed the sequential sweep would have adopted first, so
+    /// the winner, trajectory, and `restarts_adopted` are identical
+    /// either way. `false` forces the sequential sweep.
+    pub parallel: bool,
+    /// Optional relocation window: a `dW`-class op may only move to
+    /// positions within `window` slots of where it currently sits (and
+    /// the matching slots of other lanes). `None` enumerates every
+    /// position — exact but O(ops × positions); thousand-stage inputs
+    /// need a window to keep the neighborhood linear.
+    pub window: Option<usize>,
 }
 
 impl Default for TuneOptions {
@@ -174,6 +186,8 @@ impl Default for TuneOptions {
             require_complete: true,
             memory_budget: None,
             target: None,
+            parallel: true,
+            window: None,
         }
     }
 }
@@ -222,9 +236,9 @@ impl Tuned {
 /// A tunable search space: states scored by the exact predictor and
 /// gated by the safety analyzer. Implementations enumerate the ooo-legal
 /// neighborhood of a state deterministically.
-pub(crate) trait SearchSpace {
+pub(crate) trait SearchSpace: Sync {
     /// One point of the space.
-    type State: Clone;
+    type State: Clone + Send;
 
     /// Predicted makespan, or `None` when the state does not evaluate
     /// (e.g. an illegal placement the predictor rejects).
@@ -339,12 +353,35 @@ fn perturb<S: SearchSpace>(
     (state, makespan)
 }
 
+/// One restart trial: perturb from the incumbent under `seed`, then
+/// greedy-descend. Pure in the incumbent — trials for different seeds
+/// are independent, which is what licenses running them in parallel.
+fn restart_trial<S: SearchSpace>(
+    space: &S,
+    cur: S::State,
+    cur_m: SimTime,
+    seed: u64,
+    opts: &TuneOptions,
+) -> (S::State, SimTime, Vec<AppliedMove>) {
+    let mut trial = Vec::new();
+    let (p, pm) = perturb(space, cur, cur_m, seed, &mut trial, opts);
+    let (g, gm) = greedy(space, p, pm, &mut trial, opts);
+    (g, gm, trial)
+}
+
 /// The full search loop: greedy descent, then restart sweeps over seeds
 /// `1..=restarts`, adopting a perturbed descent only when strictly
 /// better (and restarting the sweep on adoption). Terminates because
 /// every adoption strictly decreases an integer makespan; the final
 /// state is a greedy local optimum that survived a full failed sweep,
 /// which is what makes re-tuning a no-op.
+///
+/// With [`TuneOptions::parallel`] the seeds of one sweep run on
+/// `std::thread` workers. Every trial starts from the same incumbent, so
+/// the sequential sweep's adoption — the *first* (lowest-numbered)
+/// strictly improving seed — is recovered deterministically by merging
+/// the parallel results in seed order; higher seeds' work is discarded
+/// exactly as the sequential sweep would never have computed it.
 pub(crate) fn local_search<S: SearchSpace>(
     space: &S,
     init: S::State,
@@ -360,16 +397,40 @@ pub(crate) fn local_search<S: SearchSpace>(
         if opts.target.is_some_and(|t| cur_m <= t) {
             break;
         }
-        for seed in 1..=opts.restarts {
-            let mut trial = Vec::new();
-            let (p, pm) = perturb(space, cur.clone(), cur_m, seed, &mut trial, opts);
-            let (g, gm) = greedy(space, p, pm, &mut trial, opts);
-            if gm < cur_m {
-                cur = g;
-                cur_m = gm;
-                moves.extend(trial);
-                adopted += 1;
-                continue 'sweep;
+        if opts.parallel && opts.restarts > 1 {
+            let trials: Vec<(S::State, SimTime, Vec<AppliedMove>)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (1..=opts.restarts)
+                    .map(|seed| {
+                        let incumbent = cur.clone();
+                        scope.spawn(move || restart_trial(space, incumbent, cur_m, seed, opts))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("restart trial panicked"))
+                    .collect()
+            });
+            // Deterministic merge: seeds are already in 1..=restarts
+            // order; adopt the first improving one.
+            for (g, gm, trial) in trials {
+                if gm < cur_m {
+                    cur = g;
+                    cur_m = gm;
+                    moves.extend(trial);
+                    adopted += 1;
+                    continue 'sweep;
+                }
+            }
+        } else {
+            for seed in 1..=opts.restarts {
+                let (g, gm, trial) = restart_trial(space, cur.clone(), cur_m, seed, opts);
+                if gm < cur_m {
+                    cur = g;
+                    cur_m = gm;
+                    moves.extend(trial);
+                    adopted += 1;
+                    continue 'sweep;
+                }
             }
         }
         break;
@@ -384,9 +445,10 @@ struct ScheduleSpace<'g, C: CostModel> {
     cost: &'g C,
     verifier: Verifier<'g, &'g C>,
     cross_lane: bool,
+    window: Option<usize>,
 }
 
-impl<C: CostModel> SearchSpace for ScheduleSpace<'_, C> {
+impl<C: CostModel + Sync> SearchSpace for ScheduleSpace<'_, C> {
     type State = Schedule;
 
     fn score(&self, state: &Schedule) -> Option<SimTime> {
@@ -400,48 +462,63 @@ impl<C: CostModel> SearchSpace for ScheduleSpace<'_, C> {
     }
 
     fn candidates(&self, state: &Schedule) -> Vec<(Schedule, String)> {
-        schedule_moves(state, self.cross_lane)
+        schedule_moves(state, self.cross_lane, self.window)
     }
 
-    /// Delta-evaluated scoring: one [`DeltaEval`] carries the incumbent's
-    /// exact timing state; each candidate is probed with
-    /// [`DeltaEval::relocate_many`] (re-scoring only the affected cone)
-    /// and reverted. Candidates, order, and scores are identical to the
-    /// default full-scoring path — only the work per candidate shrinks.
+    /// Delta-evaluated scoring: see [`delta_scored_schedule_moves`].
     fn scored_candidates(&self, state: &Schedule) -> Vec<(Schedule, String, Option<SimTime>)> {
-        let Ok(mut de) = DeltaEval::new(self.graph, state, self.cost) else {
-            // An incumbent the predictor rejects never arises from the
-            // search itself; fall back to the default path for safety.
-            return schedule_moves(state, self.cross_lane)
-                .into_iter()
-                .map(|(st, d)| {
-                    let m = self.score(&st);
-                    (st, d, m)
-                })
-                .collect();
-        };
-        let mut out = Vec::new();
-        for (batch, description) in schedule_move_batches(state, self.cross_lane) {
-            let next = apply_move_batch(state, &batch);
-            if next == *state {
-                continue;
-            }
-            let origins: Vec<(ooo_core::Op, usize, usize)> = batch
-                .iter()
-                .map(|&(op, _, _)| {
-                    let (l, p) = de.position_of(op).expect("moved op is scheduled");
-                    (op, l, p)
-                })
-                .collect();
-            let m = de.relocate_many(&batch).ok();
-            if m.is_some() {
-                de.relocate_many(&origins)
-                    .expect("reverting to the incumbent cannot deadlock");
-            }
-            out.push((next, description, m));
-        }
-        out
+        delta_scored_schedule_moves(self.graph, self.cost, state, self.cross_lane, self.window)
     }
+}
+
+/// Scores every `dW`-class relocation of `state` with one [`DeltaEval`]
+/// carrying the incumbent's exact timing state: each candidate is probed
+/// with [`DeltaEval::relocate_many`] (re-scoring only the affected cone)
+/// and reverted. Candidates, order, and scores are identical to scoring
+/// each materialized schedule with a full [`predict_makespan`] pass —
+/// only the work per candidate shrinks. Shared by the bundle space above
+/// and the pipeline space's in-lane moves.
+pub(crate) fn delta_scored_schedule_moves<C: CostModel>(
+    graph: &TrainGraph,
+    cost: &C,
+    state: &Schedule,
+    cross_lane: bool,
+    window: Option<usize>,
+) -> Vec<(Schedule, String, Option<SimTime>)> {
+    let Ok(mut de) = DeltaEval::new(graph, state, cost) else {
+        // An incumbent the predictor rejects never arises from the
+        // search itself; fall back to the default path for safety.
+        return schedule_moves(state, cross_lane, window)
+            .into_iter()
+            .map(|(st, d)| {
+                let m = predict_makespan(graph, &st, cost)
+                    .ok()
+                    .map(|p| p.makespan());
+                (st, d, m)
+            })
+            .collect();
+    };
+    let mut out = Vec::new();
+    for (batch, description) in schedule_move_batches(state, cross_lane, window) {
+        let next = apply_move_batch(state, &batch);
+        if next == *state {
+            continue;
+        }
+        let origins: Vec<(ooo_core::Op, usize, usize)> = batch
+            .iter()
+            .map(|&(op, _, _)| {
+                let (l, p) = de.position_of(op).expect("moved op is scheduled");
+                (op, l, p)
+            })
+            .collect();
+        let m = de.relocate_many(&batch).ok();
+        if m.is_some() {
+            de.relocate_many(&origins)
+                .expect("reverting to the incumbent cannot deadlock");
+        }
+        out.push((next, description, m));
+    }
+    out
 }
 
 /// One relocation batch: every `(op, target lane, target position)` is
@@ -449,6 +526,15 @@ impl<C: CostModel> SearchSpace for ScheduleSpace<'_, C> {
 /// ascending `(lane, position)` order — the same semantics as
 /// [`DeltaEval::relocate_many`].
 pub(crate) type MoveBatch = Vec<(ooo_core::Op, usize, usize)>;
+
+/// `true` when target position `to` falls inside the relocation window
+/// around current position `pi` (`None` admits everything).
+fn in_window(window: Option<usize>, pi: usize, to: usize) -> bool {
+    match window {
+        None => true,
+        Some(w) => to.abs_diff(pi) <= w,
+    }
+}
 
 /// Enumerates every relocation of a `dW`-class op as a move descriptor:
 /// all in-lane target positions, plus (when `cross_lane`) every
@@ -459,9 +545,16 @@ pub(crate) type MoveBatch = Vec<(ooo_core::Op, usize, usize)>;
 /// travel together. Deterministic: lanes and positions in schedule
 /// order. Descriptors may reproduce the input state; appliers filter
 /// identities.
+///
+/// `window` (see [`TuneOptions::window`]) restricts target positions to
+/// within that many slots of the op's current position — on every lane,
+/// using the same index band — turning the O(ops × positions)
+/// neighborhood linear for thousand-stage schedules. `None` keeps the
+/// exhaustive enumeration.
 pub(crate) fn schedule_move_batches(
     state: &Schedule,
     cross_lane: bool,
+    window: Option<usize>,
 ) -> Vec<(MoveBatch, String)> {
     use ooo_core::Op;
     let mut out = Vec::new();
@@ -473,7 +566,7 @@ pub(crate) fn schedule_move_batches(
             // In-lane: every position of the reduced lane except the
             // identity.
             for to in 0..lane.ops.len() {
-                if to == pi {
+                if to == pi || !in_window(window, pi, to) {
                     continue;
                 }
                 out.push((
@@ -487,6 +580,9 @@ pub(crate) fn schedule_move_batches(
                         continue;
                     }
                     for to in 0..=other.ops.len() {
+                        if !in_window(window, pi, to) {
+                            continue;
+                        }
                         out.push((
                             vec![(op, lj, to)],
                             format!("move {op} to {}:{to}", other.name),
@@ -501,6 +597,9 @@ pub(crate) fn schedule_move_batches(
                 continue;
             }
             for to in 0..=lane.ops.len().saturating_sub(2) {
+                if !in_window(window, pi, to) {
+                    continue;
+                }
                 out.push((
                     vec![(op, li, to), (update, li, to + 1)],
                     format!("move {op}+{update} to {}:{to}", lane.name),
@@ -512,6 +611,9 @@ pub(crate) fn schedule_move_batches(
                         continue;
                     }
                     for to in 0..=other.ops.len() {
+                        if !in_window(window, pi, to) {
+                            continue;
+                        }
                         out.push((
                             vec![(op, lj, to), (update, lj, to + 1)],
                             format!("move {op}+{update} to {}:{to}", other.name),
@@ -547,8 +649,12 @@ pub(crate) fn apply_move_batch(state: &Schedule, batch: &MoveBatch) -> Schedule 
 /// Enumerates every `dW`-class relocation as a materialized schedule;
 /// see [`schedule_move_batches`] for the move set. Identity moves are
 /// filtered out.
-pub(crate) fn schedule_moves(state: &Schedule, cross_lane: bool) -> Vec<(Schedule, String)> {
-    schedule_move_batches(state, cross_lane)
+pub(crate) fn schedule_moves(
+    state: &Schedule,
+    cross_lane: bool,
+    window: Option<usize>,
+) -> Vec<(Schedule, String)> {
+    schedule_move_batches(state, cross_lane, window)
         .into_iter()
         .filter_map(|(batch, description)| {
             let next = apply_move_batch(state, &batch);
@@ -565,7 +671,7 @@ pub(crate) fn schedule_moves(state: &Schedule, cross_lane: bool) -> Vec<(Schedul
 ///
 /// [`Error::Unsafe`] when the *input* already fails the safety gate;
 /// [`Error::Core`] when the input does not evaluate under the predictor.
-pub fn tune_schedule<C: CostModel>(
+pub fn tune_schedule<C: CostModel + Sync>(
     graph: &TrainGraph,
     baseline: &Schedule,
     cost: &C,
@@ -584,6 +690,7 @@ pub fn tune_schedule<C: CostModel>(
         cost,
         verifier,
         cross_lane: opts.cross_lane,
+        window: opts.window,
     };
     let (schedule, predicted, moves, restarts_adopted) =
         local_search(&space, baseline.clone(), base_m, opts);

@@ -17,7 +17,7 @@ use crate::{local_search, AppliedMove, Error, Result, SearchSpace, TuneOptions};
 use ooo_core::cost::CostModel;
 use ooo_core::datapar::{simulate_data_parallel, CommPolicy};
 use ooo_core::{Op, SimTime, TrainGraph};
-use ooo_verify::predict::{datapar_schedule, predict_makespan};
+use ooo_verify::predict::{datapar_schedule, predict_makespan, DeltaEval};
 use ooo_verify::Verifier;
 
 /// Which family of whole-order jumps the k-move draws from.
@@ -69,6 +69,7 @@ struct OrderSpace<'g, C: CostModel> {
     policy: CommPolicy,
     family: KFamily,
     verifier: Verifier<'g, &'g C>,
+    window: Option<usize>,
 }
 
 impl<C: CostModel> OrderSpace<'_, C> {
@@ -81,9 +82,56 @@ impl<C: CostModel> OrderSpace<'_, C> {
             KFamily::Combined => ooo_core::combined::combined_backward_order(self.graph, k).ok(),
         }
     }
+
+    /// k-jump candidates: whole-order replacements, one per depth.
+    fn k_jumps(&self, state: &OrderState) -> Vec<(OrderState, String)> {
+        let mut out = Vec::new();
+        for k in 0..=self.graph.layers() {
+            let Some(order) = self.family_order(k) else {
+                break;
+            };
+            if order == state.order {
+                continue;
+            }
+            let label = match self.family {
+                KFamily::None => unreachable!("family_order returned Some"),
+                KFamily::ReverseFirstK => format!("set reverse-first-k k={k}"),
+                KFamily::Combined => format!("set combined split k={k}"),
+            };
+            out.push((OrderState { order, k: Some(k) }, label));
+        }
+        out
+    }
+
+    /// `dW` relocation candidates within the flat order, with the raw
+    /// `(op, to)` coordinates attached for delta probing. Restricted to
+    /// [`TuneOptions::window`] around each op's current position.
+    fn relocations(&self, state: &OrderState) -> Vec<(OrderState, String, Op, usize)> {
+        let mut out = Vec::new();
+        for (pi, &op) in state.order.iter().enumerate() {
+            if !op.is_weight_grad() {
+                continue;
+            }
+            for to in 0..state.order.len() {
+                if to == pi || self.window.is_some_and(|w| to.abs_diff(pi) > w) {
+                    continue;
+                }
+                let mut order = state.order.clone();
+                order.remove(pi);
+                order.insert(to.min(order.len()), op);
+                out.push((
+                    OrderState { order, k: None },
+                    format!("move {op} to position {to}"),
+                    op,
+                    to,
+                ));
+            }
+        }
+        out
+    }
 }
 
-impl<C: CostModel> SearchSpace for OrderSpace<'_, C> {
+impl<C: CostModel + Sync> SearchSpace for OrderSpace<'_, C> {
     type State = OrderState;
 
     fn score(&self, state: &OrderState) -> Option<SimTime> {
@@ -101,39 +149,65 @@ impl<C: CostModel> SearchSpace for OrderSpace<'_, C> {
     }
 
     fn candidates(&self, state: &OrderState) -> Vec<(OrderState, String)> {
-        let mut out = Vec::new();
-        // k-jumps first: whole-order replacements, one per depth.
-        for k in 0..=self.graph.layers() {
-            let Some(order) = self.family_order(k) else {
-                break;
-            };
-            if order == state.order {
-                continue;
-            }
-            let label = match self.family {
-                KFamily::None => unreachable!("family_order returned Some"),
-                KFamily::ReverseFirstK => format!("set reverse-first-k k={k}"),
-                KFamily::Combined => format!("set combined split k={k}"),
-            };
-            out.push((OrderState { order, k: Some(k) }, label));
-        }
-        // dW relocations within the flat order.
-        for (pi, &op) in state.order.iter().enumerate() {
-            if !op.is_weight_grad() {
-                continue;
-            }
-            for to in 0..state.order.len() {
-                if to == pi {
-                    continue;
+        let mut out = self.k_jumps(state);
+        out.extend(
+            self.relocations(state)
+                .into_iter()
+                .map(|(st, d, _, _)| (st, d)),
+        );
+        out
+    }
+
+    /// Delta-probed scoring. k-jumps replace the whole order and are
+    /// scored with the full predictor pass. A `dW` relocation whose
+    /// realized *link service order* is unchanged differs from the
+    /// incumbent's realized schedule by exactly one compute-lane
+    /// relocation, so it is probed with [`DeltaEval::relocate_many`]
+    /// (cone-only rescoring) and reverted; when the relocation reorders
+    /// the link lane, the candidate falls back to the full pass. Scores
+    /// are identical either way — the probe is the exact predictor on
+    /// the identical realized schedule.
+    fn scored_candidates(&self, state: &OrderState) -> Vec<(OrderState, String, Option<SimTime>)> {
+        let mut out: Vec<(OrderState, String, Option<SimTime>)> = self
+            .k_jumps(state)
+            .into_iter()
+            .map(|(st, d)| {
+                let m = self.score(&st);
+                (st, d, m)
+            })
+            .collect();
+        let relocations = self.relocations(state);
+        let incumbent = datapar_schedule(self.graph, &state.order, self.cost, self.policy).ok();
+        let mut de = incumbent
+            .as_ref()
+            .and_then(|s0| DeltaEval::new(self.graph, s0, self.cost).ok());
+        for (st, d, op, to) in relocations {
+            let m = match (&incumbent, &mut de) {
+                (Some(s0), Some(de)) => {
+                    match datapar_schedule(self.graph, &st.order, self.cost, self.policy) {
+                        Ok(s1)
+                            if s1.lanes.len() == s0.lanes.len()
+                                && (s1.lanes.len() < 2 || s1.lanes[1].ops == s0.lanes[1].ops) =>
+                        {
+                            // Link order unchanged: probe the single
+                            // compute-lane relocation and revert.
+                            let (lane, pos) = de.position_of(op).expect("dW is scheduled");
+                            let probe = de.relocate_many(&[(op, lane, to)]).ok();
+                            if probe.is_some() {
+                                de.relocate_many(&[(op, lane, pos)])
+                                    .expect("reverting to the incumbent cannot deadlock");
+                            }
+                            probe
+                        }
+                        Ok(s1) => predict_makespan(self.graph, &s1, self.cost)
+                            .ok()
+                            .map(|p| p.makespan()),
+                        Err(_) => None,
+                    }
                 }
-                let mut order = state.order.clone();
-                order.remove(pi);
-                order.insert(to.min(order.len()), op);
-                out.push((
-                    OrderState { order, k: None },
-                    format!("move {op} to position {to}"),
-                ));
-            }
+                _ => self.score(&st),
+            };
+            out.push((st, d, m));
         }
         out
     }
@@ -146,7 +220,7 @@ impl<C: CostModel> SearchSpace for OrderSpace<'_, C> {
 ///
 /// [`Error::Unsafe`] when the input's realized schedule already fails
 /// the safety gate; [`Error::Core`] when it does not evaluate.
-pub fn tune_backward_order<C: CostModel>(
+pub fn tune_backward_order<C: CostModel + Sync>(
     graph: &TrainGraph,
     baseline: &[Op],
     baseline_k: Option<usize>,
@@ -170,6 +244,7 @@ pub fn tune_backward_order<C: CostModel>(
         policy,
         family,
         verifier,
+        window: opts.window,
     };
     let init = OrderState {
         order: baseline.to_vec(),

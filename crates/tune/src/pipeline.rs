@@ -57,24 +57,14 @@ struct PipeSpace<'g, C: CostModel> {
     layers: usize,
     devices: usize,
     strategy: Strategy,
+    window: Option<usize>,
 }
 
-impl<C: CostModel> SearchSpace for PipeSpace<'_, C> {
-    type State = PipeState;
-
-    fn score(&self, state: &PipeState) -> Option<SimTime> {
-        predict_makespan(self.graph, &state.schedule, self.cost)
-            .ok()
-            .map(|p| p.makespan())
-    }
-
-    fn clean(&self, state: &PipeState) -> bool {
-        self.verifier.verify(&state.schedule).is_clean()
-    }
-
-    fn candidates(&self, state: &PipeState) -> Vec<(PipeState, String)> {
+impl<C: CostModel> PipeSpace<'_, C> {
+    /// Regroup candidates: re-render the strategy under every other
+    /// modulo group.
+    fn regroups(&self, state: &PipeState) -> Vec<(PipeState, String)> {
         let mut out = Vec::new();
-        // Regroup: re-render the strategy under every other modulo group.
         for group in 1..=self.layers {
             if group == state.group {
                 continue;
@@ -88,14 +78,66 @@ impl<C: CostModel> SearchSpace for PipeSpace<'_, C> {
                 format!("regroup modulo {group}"),
             ));
         }
+        out
+    }
+}
+
+impl<C: CostModel + Sync> SearchSpace for PipeSpace<'_, C> {
+    type State = PipeState;
+
+    fn score(&self, state: &PipeState) -> Option<SimTime> {
+        predict_makespan(self.graph, &state.schedule, self.cost)
+            .ok()
+            .map(|p| p.makespan())
+    }
+
+    fn clean(&self, state: &PipeState) -> bool {
+        self.verifier.verify(&state.schedule).is_clean()
+    }
+
+    fn candidates(&self, state: &PipeState) -> Vec<(PipeState, String)> {
+        let mut out = self.regroups(state);
         // In-lane dW-class relocations; ops stay on their device.
-        for (next, description) in crate::schedule_moves(&state.schedule, false) {
+        for (next, description) in crate::schedule_moves(&state.schedule, false, self.window) {
             out.push((
                 PipeState {
                     schedule: next,
                     group: state.group,
                 },
                 description,
+            ));
+        }
+        out
+    }
+
+    /// Regroup candidates replace the whole schedule and get the full
+    /// predictor pass; the in-lane relocations are delta-scored with one
+    /// [`ooo_verify::predict::DeltaEval`] over the incumbent
+    /// ([`crate::delta_scored_schedule_moves`]) — cone-only rescoring
+    /// per candidate, identical scores.
+    fn scored_candidates(&self, state: &PipeState) -> Vec<(PipeState, String, Option<SimTime>)> {
+        let mut out: Vec<(PipeState, String, Option<SimTime>)> = self
+            .regroups(state)
+            .into_iter()
+            .map(|(st, d)| {
+                let m = self.score(&st);
+                (st, d, m)
+            })
+            .collect();
+        for (next, description, m) in crate::delta_scored_schedule_moves(
+            self.graph,
+            self.cost,
+            &state.schedule,
+            false,
+            self.window,
+        ) {
+            out.push((
+                PipeState {
+                    schedule: next,
+                    group: state.group,
+                },
+                description,
+                m,
             ));
         }
         out
@@ -109,7 +151,7 @@ impl<C: CostModel> SearchSpace for PipeSpace<'_, C> {
 ///
 /// [`Error::Unsafe`] when the strategy's own schedule fails the safety
 /// gate; [`Error::Core`] when it does not evaluate.
-pub fn tune_pipeline<C: CostModel>(
+pub fn tune_pipeline<C: CostModel + Sync>(
     layers: usize,
     devices: usize,
     strategy: Strategy,
@@ -133,6 +175,7 @@ pub fn tune_pipeline<C: CostModel>(
         layers,
         devices,
         strategy,
+        window: opts.window,
     };
     let init = PipeState {
         schedule: baseline,

@@ -281,31 +281,15 @@ pub fn datapar_schedule<C: CostModel>(
     schedule.add_lane("gpu", compute);
 
     if graph.contains(Op::SyncWeightGrad(LayerId(1))) {
-        let mut pending: Vec<usize> = (1..=l).collect();
-        let mut link_free: SimTime = 0;
-        let mut link: Vec<Op> = Vec::with_capacity(l);
-        while !pending.is_empty() {
-            let earliest = pending.iter().map(|&i| dw_finish[i]).min().expect("some");
-            let now = link_free.max(earliest);
-            let pick = match policy {
-                CommPolicy::FifoCompletion => pending
-                    .iter()
-                    .copied()
-                    .filter(|&i| dw_finish[i] <= now)
-                    .min_by_key(|&i| (dw_finish[i], i))
-                    .expect("earliest-ready qualifies"),
-                CommPolicy::PriorityByLayer => pending
-                    .iter()
-                    .copied()
-                    .filter(|&i| dw_finish[i] <= now)
-                    .min()
-                    .expect("earliest-ready qualifies"),
-            };
-            pending.retain(|&i| i != pick);
-            let op = Op::SyncWeightGrad(LayerId(pick));
-            link_free = now + cost.duration(op);
-            link.push(op);
-        }
+        // Service order from the shared O(L log L) planner — the pick
+        // sequence is provably identical to the old scan-and-retain loop
+        // (see `ooo_core::datapar::plan_sync_service`).
+        let link: Vec<Op> = ooo_core::datapar::plan_sync_service(&dw_finish, policy, |i| {
+            cost.duration(Op::SyncWeightGrad(LayerId(i)))
+        })
+        .into_iter()
+        .map(|(pick, _, _)| Op::SyncWeightGrad(LayerId(pick)))
+        .collect();
         schedule.add_lane("link", link);
     }
     Ok(schedule)

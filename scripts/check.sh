@@ -61,4 +61,19 @@ cmp /tmp/ooo-cert-b.json /tmp/ooo-cert-c.json \
   || { echo "ooo-cert: same instance produced different certificates"; exit 1; }
 rm -f /tmp/ooo-cert-a.json /tmp/ooo-cert-b.json /tmp/ooo-cert-c.json
 
+echo "==> scale-bench smoke (old==new differentials, byte-determinism)"
+cargo build -q --release -p ooo-bench --bin scale-bench
+./target/release/scale-bench --smoke --out /tmp/ooo-scale-a.json
+./target/release/scale-bench --smoke --out /tmp/ooo-scale-b.json
+cmp /tmp/ooo-scale-a.json /tmp/ooo-scale-b.json \
+  || { echo "scale-bench: two smoke runs produced different bytes"; exit 1; }
+rm -f /tmp/ooo-scale-a.json /tmp/ooo-scale-b.json
+
+echo "==> ooo-tune 1000-stage smoke (windowed search at scale)"
+cargo build -q --release -p ooo-tune --bin ooo-tune
+rc=0; ./target/release/ooo-tune pipeline --layers 1000 --devices 8 --strategy pipe2 \
+  --restarts 0 --window 4 --json --out /tmp/ooo-tune-scale.json || rc=$?
+[ "$rc" -eq 0 ] || { echo "ooo-tune: 1000-stage pipeline tune failed (got $rc)"; exit 1; }
+rm -f /tmp/ooo-tune-scale.json
+
 echo "All checks passed."
