@@ -10,6 +10,7 @@
 pub mod cert_trajectory;
 pub mod figures;
 pub mod scale;
+pub mod serve;
 
 /// A regenerated figure or table.
 #[derive(Debug, Clone)]
@@ -72,6 +73,7 @@ pub fn all_ids() -> Vec<&'static str> {
         "tuned",
         "certgap",
         "scale",
+        "serve",
     ]
 }
 
@@ -110,6 +112,7 @@ pub fn generate(id: &str) -> FigureReport {
         "tuned" => figures::tuned(),
         "certgap" => cert_trajectory::certgap(),
         "scale" => scale::scale_figure(),
+        "serve" => serve::serve_figure(),
         other => panic!("unknown figure id {other}"),
     }
 }

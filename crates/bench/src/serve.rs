@@ -1,0 +1,355 @@
+//! The serving-layer benchmark behind `BENCH_serve.json` and
+//! `figures serve`.
+//!
+//! Every scenario drives the in-process daemon ([`ooo_serve::serve`])
+//! over an in-memory request stream, so the numbers measure the serving
+//! layer itself — admission, queueing, dispatch, caching, response
+//! ordering — plus the scheduling work it fronts:
+//!
+//! - **startup** — an empty stream: pool spawn + teardown overhead,
+//!   subtracted from every other scenario.
+//! - **throughput** — a burst of distinct heuristic-tier `order`
+//!   requests with the cache disabled: the floor the daemon must clear
+//!   for interactive use.
+//! - **cold / hits** — one full-tier tune served cold, then the same
+//!   request replayed many times under fresh ids: the per-hit cost of
+//!   the content-addressed cache versus re-running the tuner, which the
+//!   committed `BENCH_serve.json` requires to be a ≥ 10× speedup.
+//! - **tier_full / tier_greedy / tier_heuristic** — the same instance
+//!   at each degradation tier, quantifying what an overloaded daemon
+//!   trades away when it sheds work.
+//!
+//! The request counts, response counts, and cache-hit counts are
+//! deterministic; only wall times vary run to run. `--smoke` mode emits
+//! the deterministic fields alone so a double run is byte-identical.
+
+use ooo_core::json::{obj, Value};
+use ooo_serve::{serve, ServeConfig, ServeSummary};
+use std::io::Cursor;
+use std::time::Instant;
+
+/// Heuristic-tier requests/second the committed benchmark records as
+/// the daemon's floor. Conservative: a heuristic-tier order is
+/// microseconds of scheduling work plus JSON framing.
+pub const THROUGHPUT_FLOOR_RPS: f64 = 200.0;
+/// Required cache-hit speedup over a cold full-tier tune.
+pub const CACHE_SPEEDUP_FLOOR: f64 = 10.0;
+
+/// One benchmark scenario's outcome. Wall time in microseconds.
+#[derive(Debug, Clone)]
+pub struct ServeRow {
+    /// Scenario name (`startup`, `throughput`, `cold`, `hits`,
+    /// `tier_*`).
+    pub scenario: &'static str,
+    /// Request lines fed to the daemon.
+    pub requests: usize,
+    /// Responses emitted (must equal `requests`).
+    pub responses: u64,
+    /// Responses with `"status":"ok"`.
+    pub ok: u64,
+    /// Responses served from the schedule cache.
+    pub cache_served: u64,
+    /// Wall time of the whole serve run, including pool startup.
+    pub wall_us: f64,
+}
+
+/// Scenario sizes; [`smoke_sizes`] keeps the CI run under a second.
+#[derive(Debug, Clone, Copy)]
+pub struct Sizes {
+    /// Distinct requests in the throughput burst.
+    pub burst: usize,
+    /// Cache-hit replays of the cold request.
+    pub replays: usize,
+    /// Requests per degradation tier.
+    pub per_tier: usize,
+    /// Layer count of the full-tier tune being cached.
+    pub tune_layers: usize,
+}
+
+/// Full sizes for the committed `BENCH_serve.json`.
+pub fn bench_sizes() -> Sizes {
+    Sizes {
+        burst: 256,
+        replays: 64,
+        per_tier: 4,
+        tune_layers: 9,
+    }
+}
+
+/// Small sizes for the CI smoke run and the `figures serve` report.
+pub fn smoke_sizes() -> Sizes {
+    Sizes {
+        burst: 24,
+        replays: 8,
+        per_tier: 2,
+        tune_layers: 6,
+    }
+}
+
+fn run_stream(input: &str, config: &ServeConfig) -> (ServeSummary, f64) {
+    let mut out = Vec::new();
+    let t = Instant::now();
+    let summary = serve(Cursor::new(input.as_bytes()), &mut out, config)
+        .expect("in-process serve over a Vec sink cannot fail");
+    (summary, t.elapsed().as_secs_f64() * 1e6)
+}
+
+fn config(cache: usize) -> ServeConfig {
+    ServeConfig {
+        workers: 4,
+        // Deeper than any scenario's burst: the benchmark measures
+        // dispatch throughput, not backpressure (the conformance suite
+        // owns overload behavior).
+        queue: 4096,
+        cache,
+        ..ServeConfig::default()
+    }
+}
+
+fn row(scenario: &'static str, requests: usize, sum: &ServeSummary, wall_us: f64) -> ServeRow {
+    ServeRow {
+        scenario,
+        requests,
+        responses: sum.responses,
+        ok: sum.ok,
+        cache_served: sum.cache_served,
+        wall_us,
+    }
+}
+
+/// Runs every scenario at the given sizes.
+pub fn run_bench(sizes: &Sizes) -> Vec<ServeRow> {
+    let mut rows = Vec::new();
+
+    // --- startup: empty stream, pure pool overhead ---
+    let (sum, wall) = run_stream("", &config(0));
+    rows.push(row("startup", 0, &sum, wall));
+
+    // --- throughput: distinct heuristic-tier orders, cache off ---
+    let mut burst = String::new();
+    for i in 0..sizes.burst {
+        burst.push_str(&format!(
+            "{{\"id\":{i},\"cmd\":\"order\",\"layers\":{},\"k\":{},\"sync\":{},\"tier\":\"heuristic\"}}\n",
+            3 + i % 4,
+            i % 3,
+            i % 7
+        ));
+    }
+    let (sum, wall) = run_stream(&burst, &config(0));
+    rows.push(row("throughput", sizes.burst, &sum, wall));
+
+    // --- cold full-tier tune, then cache-hit replays of it ---
+    let tune = format!(
+        "{{\"id\":0,\"cmd\":\"order\",\"layers\":{},\"k\":2,\"sync\":3,\"tier\":\"full\"}}",
+        sizes.tune_layers
+    );
+    let (sum, wall) = run_stream(&format!("{tune}\n"), &config(64));
+    rows.push(row("cold", 1, &sum, wall));
+    let mut replayed = format!("{tune}\n");
+    for i in 1..=sizes.replays {
+        replayed.push_str(&tune.replacen("\"id\":0", &format!("\"id\":{i}"), 1));
+        replayed.push('\n');
+    }
+    let (sum, wall) = run_stream(&replayed, &config(64));
+    rows.push(row("hits", sizes.replays + 1, &sum, wall));
+
+    // --- the same instance at every degradation tier ---
+    for tier in ["full", "greedy", "heuristic"] {
+        let mut input = String::new();
+        for i in 0..sizes.per_tier {
+            input.push_str(&format!(
+                "{{\"id\":{i},\"cmd\":\"order\",\"layers\":{},\"k\":1,\"sync\":{},\"tier\":\"{tier}\"}}\n",
+                sizes.tune_layers,
+                1 + i
+            ));
+        }
+        let name = match tier {
+            "full" => "tier_full",
+            "greedy" => "tier_greedy",
+            _ => "tier_heuristic",
+        };
+        let (sum, wall) = run_stream(&input, &config(0));
+        rows.push(row(name, sizes.per_tier, &sum, wall));
+    }
+
+    rows
+}
+
+fn find<'a>(rows: &'a [ServeRow], scenario: &str) -> &'a ServeRow {
+    rows.iter()
+        .find(|r| r.scenario == scenario)
+        .unwrap_or_else(|| panic!("missing scenario {scenario}"))
+}
+
+/// Derived headline metrics: throughput after startup subtraction, the
+/// cold-tune cost, the per-hit cost, and their ratio.
+#[derive(Debug, Clone, Copy)]
+pub struct Headline {
+    /// Heuristic-tier requests per second (startup excluded).
+    pub throughput_rps: f64,
+    /// One cold full-tier tune, microseconds (startup excluded).
+    pub cold_tune_us: f64,
+    /// One cache hit, microseconds (cold run subtracted, so startup
+    /// and the shared cold compute cancel).
+    pub cache_hit_us: f64,
+    /// `cold_tune_us / cache_hit_us`.
+    pub cache_speedup: f64,
+}
+
+/// Computes the headline metrics from a full scenario set.
+pub fn headline(rows: &[ServeRow]) -> Headline {
+    let startup = find(rows, "startup").wall_us;
+    let tput = find(rows, "throughput");
+    let cold = find(rows, "cold");
+    let hits = find(rows, "hits");
+    let throughput_rps = tput.requests as f64 / ((tput.wall_us - startup).max(1.0) / 1e6);
+    let cold_tune_us = (cold.wall_us - startup).max(1.0);
+    let replays = (hits.requests - 1).max(1) as f64;
+    let cache_hit_us = ((hits.wall_us - cold.wall_us) / replays).max(0.1);
+    Headline {
+        throughput_rps,
+        cold_tune_us,
+        cache_hit_us,
+        cache_speedup: cold_tune_us / cache_hit_us,
+    }
+}
+
+fn row_to_json(r: &ServeRow, with_timings: bool) -> Value {
+    let mut fields: Vec<(&str, Value)> = vec![
+        ("scenario", Value::Str(r.scenario.to_string())),
+        ("requests", Value::Num(r.requests as f64)),
+        ("responses", Value::Num(r.responses as f64)),
+        ("ok", Value::Num(r.ok as f64)),
+        ("cache_served", Value::Num(r.cache_served as f64)),
+    ];
+    if with_timings {
+        fields.push(("wall_us", Value::Num(r.wall_us)));
+        if r.requests > 0 {
+            fields.push(("per_request_us", Value::Num(r.wall_us / r.requests as f64)));
+        }
+    }
+    Value::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Renders the scenario set as the `BENCH_serve.json` document. With
+/// `with_timings = false` (the `--smoke` mode) only the deterministic
+/// fields are emitted, so a double run must produce byte-identical
+/// output.
+pub fn to_json(rows: &[ServeRow], with_timings: bool) -> Value {
+    let cfg = config(64);
+    let mut fields: Vec<(&str, Value)> = vec![
+        ("bench", "serve".into()),
+        (
+            "config",
+            obj([
+                ("workers", Value::Num(cfg.workers as f64)),
+                ("queue", Value::Num(cfg.queue as f64)),
+                ("cache", Value::Num(cfg.cache as f64)),
+            ]),
+        ),
+        (
+            "scenarios",
+            Value::Arr(rows.iter().map(|r| row_to_json(r, with_timings)).collect()),
+        ),
+    ];
+    if with_timings {
+        let h = headline(rows);
+        fields.push((
+            "headline",
+            obj([
+                ("throughput_rps", Value::Num(h.throughput_rps)),
+                ("throughput_floor_rps", Value::Num(THROUGHPUT_FLOOR_RPS)),
+                (
+                    "throughput_ok",
+                    Value::Bool(h.throughput_rps >= THROUGHPUT_FLOOR_RPS),
+                ),
+                ("cold_tune_us", Value::Num(h.cold_tune_us)),
+                ("cache_hit_us", Value::Num(h.cache_hit_us)),
+                ("cache_speedup", Value::Num(h.cache_speedup)),
+                ("cache_speedup_floor", Value::Num(CACHE_SPEEDUP_FLOOR)),
+                (
+                    "cache_speedup_ok",
+                    Value::Bool(h.cache_speedup >= CACHE_SPEEDUP_FLOOR),
+                ),
+            ]),
+        ));
+    }
+    Value::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// The `figures serve` report: the smoke-size scenarios measured live
+/// (the full-size sweep lives in the committed `BENCH_serve.json`
+/// regenerated by `serve-bench`).
+pub fn serve_figure() -> crate::FigureReport {
+    let rows = run_bench(&smoke_sizes());
+    let mut lines = vec![format!(
+        "{:>15} {:>9} {:>10} {:>13} {:>10}",
+        "scenario", "requests", "cached", "wall_ms", "per_req_us"
+    )];
+    for r in &rows {
+        lines.push(format!(
+            "{:>15} {:>9} {:>10} {:>13.2} {:>10.1}",
+            r.scenario,
+            r.requests,
+            r.cache_served,
+            r.wall_us / 1e3,
+            if r.requests > 0 {
+                r.wall_us / r.requests as f64
+            } else {
+                r.wall_us
+            },
+        ));
+    }
+    let h = headline(&rows);
+    lines.push(format!(
+        "throughput {:.0} req/s (floor {:.0}); cache hit {:.1}us vs cold tune {:.0}us = {:.0}x (floor {:.0}x)",
+        h.throughput_rps,
+        THROUGHPUT_FLOOR_RPS,
+        h.cache_hit_us,
+        h.cold_tune_us,
+        h.cache_speedup,
+        CACHE_SPEEDUP_FLOOR,
+    ));
+    lines.push("(full sizes: see committed BENCH_serve.json / serve-bench)".into());
+    crate::FigureReport {
+        id: "serve",
+        title: "Serving layer: request throughput, degradation tiers, cache-hit latency",
+        paper: "scheduling decisions must be cheap enough to make online (Sec 5)",
+        lines,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_scenarios_are_deterministic_and_cache_hits_land() {
+        let a = run_bench(&smoke_sizes());
+        let b = run_bench(&smoke_sizes());
+        let ja = to_json(&a, false).to_pretty();
+        let jb = to_json(&b, false).to_pretty();
+        assert_eq!(ja, jb, "smoke output must be byte-identical across runs");
+        let hits = find(&a, "hits");
+        assert_eq!(hits.responses as usize, hits.requests);
+        assert_eq!(
+            hits.cache_served as usize,
+            hits.requests - 1,
+            "every replay must be served from the cache"
+        );
+        for r in &a {
+            assert_eq!(r.responses as usize, r.requests, "{}", r.scenario);
+            assert_eq!(r.ok as usize, r.requests, "{}", r.scenario);
+        }
+    }
+}

@@ -275,6 +275,7 @@ struct Solver<'a, 'g, C: CostModel> {
     witness: Option<Schedule>,
     root_lb: SimTime,
     max_nodes: u64,
+    deadline: Option<std::time::Instant>,
     nodes: u64,
     memo: HashSet<MemoKey>,
     memo_hits: u64,
@@ -312,7 +313,14 @@ impl<C: CostModel> Solver<'_, '_, C> {
             return Ok(());
         }
         self.nodes += 1;
-        if self.nodes > self.max_nodes {
+        // Node cap first (logical, deterministic); the wall-clock
+        // deadline is only polled when one is set, so purely logical
+        // budgets never touch the clock.
+        if self.nodes > self.max_nodes
+            || self
+                .deadline
+                .is_some_and(|d| std::time::Instant::now() >= d)
+        {
             self.exhausted = true;
             return Ok(());
         }
@@ -538,6 +546,7 @@ pub(crate) fn solve<C: CostModel>(
         witness: None,
         root_lb,
         max_nodes: budget.max_nodes,
+        deadline: budget.deadline,
         nodes: 0,
         memo: HashSet::new(),
         memo_hits: 0,

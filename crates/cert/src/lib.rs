@@ -128,26 +128,47 @@ pub enum Placement {
     Fixed,
 }
 
-/// Search budget. The solver is exact, so the only resource limit is
-/// the number of branch-and-bound nodes it may expand; there is no
-/// wall-clock budget because certificates must be byte-deterministic.
+/// Search budget. The primary limit is the number of branch-and-bound
+/// nodes the solver may expand — a *logical* budget, so certificates
+/// stay byte-deterministic across machines. An optional wall-clock
+/// deadline can back it up for serving contexts; past the deadline the
+/// search stops at the next node and reports best-so-far, which trades
+/// determinism for latency, so keep `deadline` as a safety net around
+/// `max_nodes`, not a substitute.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Budget {
     /// Maximum branch-and-bound nodes to expand before giving up with
     /// [`Certificate::Unknown`].
     pub max_nodes: u64,
+    /// Optional wall-clock cutoff, polled cooperatively at every node
+    /// expansion. `None` (the default) keeps the search purely logical.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Default for Budget {
     fn default() -> Self {
-        Budget { max_nodes: 200_000 }
+        Budget {
+            max_nodes: 200_000,
+            deadline: None,
+        }
     }
 }
 
 impl Budget {
     /// A budget capped at `max_nodes` expanded nodes.
     pub fn nodes(max_nodes: u64) -> Self {
-        Budget { max_nodes }
+        Budget {
+            max_nodes,
+            ..Budget::default()
+        }
+    }
+
+    /// The same budget with a wall-clock cutoff attached.
+    pub fn with_deadline(self, deadline: std::time::Instant) -> Self {
+        Budget {
+            deadline: Some(deadline),
+            ..self
+        }
     }
 }
 
@@ -446,6 +467,33 @@ mod tests {
             }
             other => panic!("expected Unknown, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn expired_deadline_reports_certified_bounds() {
+        // heavy_dw3 needs real search (the root shortcut does not
+        // apply), so an already-expired deadline stops it at the first
+        // node with a valid bracket instead of a long run.
+        let (g, cost, s) = heavy_dw3();
+        let budget = Budget::default()
+            .with_deadline(std::time::Instant::now() - std::time::Duration::from_millis(1));
+        let solved = certify(&g, &s, &cost, &budget).unwrap();
+        match solved.certificate {
+            Certificate::Unknown { lower, upper } => {
+                assert!(lower <= upper);
+                assert_eq!(upper, 10);
+                assert_eq!(lower, solved.lower_bound);
+            }
+            Certificate::Improvable {
+                witness_optimal, ..
+            } => assert!(!witness_optimal),
+            other => panic!("expected best-so-far bracket, got {other:?}"),
+        }
+        // A generous deadline changes nothing about the certificate.
+        let relaxed = Budget::default()
+            .with_deadline(std::time::Instant::now() + std::time::Duration::from_secs(600));
+        let solved = certify(&g, &s, &cost, &relaxed).unwrap();
+        assert_eq!(solved.certificate.best_makespan(), 7);
     }
 
     #[test]

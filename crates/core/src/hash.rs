@@ -1,0 +1,110 @@
+//! Content hashing for canonical graph/request fingerprints.
+//!
+//! The serving layer keys its schedule cache by the *content* of a
+//! request, not by who sent it, so two clients asking for the same
+//! tuning job share one computation. This module provides the stable
+//! 64-bit FNV-1a hash used for those keys and a canonical fingerprint
+//! for [`GraphConfig`]. FNV-1a is not cryptographic — callers that key
+//! maps by the hash must keep the full canonical string alongside it
+//! and compare on collision.
+
+use crate::graph::GraphConfig;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental 64-bit FNV-1a hasher.
+///
+/// Deterministic across runs and platforms (unlike `DefaultHasher`,
+/// which is randomly seeded), so hashes may appear in committed
+/// artifacts and byte-identical response streams.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64(FNV_OFFSET)
+    }
+}
+
+impl Fnv64 {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds `bytes` into the running hash.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Hashes a byte string in one call.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Canonical textual form of a graph configuration.
+///
+/// Every field is spelled out in a fixed order, so the encoding is
+/// injective over [`GraphConfig`] and stable across releases as long as
+/// the struct is; new fields must be appended here when added.
+pub fn canonical_graph_key(config: &GraphConfig) -> String {
+    format!(
+        "graph:v1:layers={};swg={};sog={};upd={};fwd={};dO1={}",
+        config.layers,
+        u8::from(config.sync_weight_grads),
+        u8::from(config.sync_output_grads),
+        u8::from(config.include_updates),
+        u8::from(config.include_forward),
+        u8::from(config.compute_first_output_grad),
+    )
+}
+
+/// FNV-1a fingerprint of [`canonical_graph_key`].
+pub fn graph_fingerprint(config: &GraphConfig) -> u64 {
+    fnv64(canonical_graph_key(config).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let mut h = Fnv64::new();
+        h.write(b"foo");
+        h.write(b"bar");
+        assert_eq!(h.finish(), fnv64(b"foobar"));
+    }
+
+    #[test]
+    fn graph_fingerprint_separates_configs() {
+        let a = GraphConfig::single_gpu(8);
+        let mut b = GraphConfig::single_gpu(8);
+        b.sync_weight_grads = true;
+        let mut c = GraphConfig::single_gpu(8);
+        c.layers = 9;
+        assert_ne!(graph_fingerprint(&a), graph_fingerprint(&b));
+        assert_ne!(graph_fingerprint(&a), graph_fingerprint(&c));
+        assert_eq!(graph_fingerprint(&a), graph_fingerprint(&a.clone()));
+    }
+}

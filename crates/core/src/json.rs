@@ -127,14 +127,43 @@ impl Value {
 
     /// Parses a JSON document. Rejects trailing garbage.
     ///
+    /// Size is unbounded (bundles and traces can be large); nesting is
+    /// still capped at [`MAX_PARSE_DEPTH`]. Streaming consumers that face
+    /// hostile input should use [`Value::parse_with_limits`] instead.
+    ///
     /// # Errors
     ///
     /// Returns a human-readable description of the first syntax error.
     pub fn parse(text: &str) -> Result<Value, String> {
+        Value::parse_with_limits(text, &ParseLimits::unbounded())
+    }
+
+    /// Parses a JSON document under explicit resource limits.
+    ///
+    /// The byte limit is checked before any parsing starts, and the node
+    /// budget is enforced as the tree is built, so a hostile document is
+    /// rejected with a structured error before it can exhaust memory —
+    /// never a panic, never an allocation proportional to the attack.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first syntax error or
+    /// exceeded limit.
+    pub fn parse_with_limits(text: &str, limits: &ParseLimits) -> Result<Value, String> {
+        if text.len() > limits.max_bytes {
+            return Err(format!(
+                "document is {} bytes, above the {}-byte limit",
+                text.len(),
+                limits.max_bytes
+            ));
+        }
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
             depth: 0,
+            nodes: 0,
+            max_depth: limits.max_depth,
+            max_nodes: limits.max_nodes,
         };
         p.skip_ws();
         let v = p.value()?;
@@ -143,6 +172,46 @@ impl Value {
             return Err(format!("trailing characters at byte {}", p.pos));
         }
         Ok(v)
+    }
+}
+
+/// Resource limits for [`Value::parse_with_limits`].
+///
+/// Each field bounds one axis a hostile document could use to exhaust
+/// the process: raw length (`max_bytes`), recursion (`max_depth`), and
+/// total tree size (`max_nodes` — every scalar, array, and object
+/// counts as one node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseLimits {
+    /// Maximum input length in bytes, checked before parsing starts.
+    pub max_bytes: usize,
+    /// Maximum container-nesting depth.
+    pub max_depth: usize,
+    /// Maximum number of nodes in the parsed tree.
+    pub max_nodes: usize,
+}
+
+impl Default for ParseLimits {
+    /// Streaming-friendly defaults: 1 MiB of input, the standard depth
+    /// cap, and 256 Ki nodes (far above any legitimate request line).
+    fn default() -> Self {
+        ParseLimits {
+            max_bytes: 1 << 20,
+            max_depth: MAX_PARSE_DEPTH,
+            max_nodes: 1 << 18,
+        }
+    }
+}
+
+impl ParseLimits {
+    /// No byte/node limits; depth stays capped at [`MAX_PARSE_DEPTH`]
+    /// because the parser recursion would overflow the stack otherwise.
+    pub fn unbounded() -> Self {
+        ParseLimits {
+            max_bytes: usize::MAX,
+            max_depth: MAX_PARSE_DEPTH,
+            max_nodes: usize::MAX,
+        }
     }
 }
 
@@ -215,6 +284,9 @@ struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
     depth: usize,
+    nodes: usize,
+    max_depth: usize,
+    max_nodes: usize,
 }
 
 impl Parser<'_> {
@@ -251,6 +323,13 @@ impl Parser<'_> {
     }
 
     fn value(&mut self) -> Result<Value, String> {
+        self.nodes += 1;
+        if self.nodes > self.max_nodes {
+            return Err(format!(
+                "document has more than {} nodes at byte {}",
+                self.max_nodes, self.pos
+            ));
+        }
         match self.peek() {
             Some(b'n') => self.literal("null", Value::Null),
             Some(b't') => self.literal("true", Value::Bool(true)),
@@ -275,10 +354,10 @@ impl Parser<'_> {
 
     fn descend(&mut self) -> Result<(), String> {
         self.depth += 1;
-        if self.depth > MAX_PARSE_DEPTH {
+        if self.depth > self.max_depth {
             return Err(format!(
-                "nesting deeper than {MAX_PARSE_DEPTH} levels at byte {}",
-                self.pos
+                "nesting deeper than {} levels at byte {}",
+                self.max_depth, self.pos
             ));
         }
         Ok(())
@@ -499,6 +578,61 @@ mod tests {
             "]".repeat(MAX_PARSE_DEPTH)
         );
         assert!(Value::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn oversized_input_rejected_before_parsing() {
+        let limits = ParseLimits {
+            max_bytes: 64,
+            ..ParseLimits::default()
+        };
+        let big = format!("[{}]", "1,".repeat(200));
+        let err = Value::parse_with_limits(&big, &limits).unwrap_err();
+        assert!(
+            err.contains("byte-limit") || err.contains("byte limit"),
+            "{err}"
+        );
+        // At or under the byte limit, the same shape parses.
+        assert!(Value::parse_with_limits("[1,2,3]", &limits).is_ok());
+    }
+
+    #[test]
+    fn node_bomb_rejected_with_structured_error() {
+        // A flat array with a huge element count attacks memory, not
+        // depth; the node budget stops it mid-parse.
+        let limits = ParseLimits {
+            max_bytes: usize::MAX,
+            max_nodes: 100,
+            ..ParseLimits::default()
+        };
+        let bomb = format!("[{}0]", "0,".repeat(10_000));
+        let err = Value::parse_with_limits(&bomb, &limits).unwrap_err();
+        assert!(err.contains("more than 100 nodes"), "{err}");
+        // Exactly at the budget parses: 99 elements + the array = 100.
+        let ok = format!("[{}0]", "0,".repeat(98));
+        assert!(Value::parse_with_limits(&ok, &limits).is_ok());
+        let over = format!("[{}0]", "0,".repeat(99));
+        assert!(Value::parse_with_limits(&over, &limits).is_err());
+    }
+
+    #[test]
+    fn hostile_limit_inputs_never_panic() {
+        let limits = ParseLimits {
+            max_bytes: 4096,
+            max_depth: 16,
+            max_nodes: 256,
+        };
+        let cases = [
+            "[".repeat(4096),
+            format!("{}1{}", "[".repeat(17), "]".repeat(17)),
+            format!("{{\"k\":{}}}", "9".repeat(4000)),
+            "\"".to_string() + &"\\u0041".repeat(600),
+            format!("[{}]", "{},".repeat(300)),
+        ];
+        for case in cases {
+            // Errors are fine; panics or unbounded allocation are not.
+            let _ = Value::parse_with_limits(&case, &limits);
+        }
     }
 
     #[test]

@@ -61,6 +61,7 @@ pub mod datapar;
 pub mod error;
 pub mod export;
 pub mod graph;
+pub mod hash;
 pub mod heft;
 pub mod json;
 pub mod list_scheduling;

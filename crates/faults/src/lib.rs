@@ -16,6 +16,10 @@
 //!   backoff, checkpoint/rollback, re-running `search_optimal_k` against
 //!   the faulted costs, and falling back to the safe in-order schedule
 //!   when `ooo-verify` flags a corrupted order.
+//! - [`serve`] — seeded protocol-level traffic traces for the
+//!   `ooo-serve` daemon: mixed workloads with hostile lines, fault
+//!   directives, deterministic timeouts, and hold-gated overload
+//!   blocks, replayed by the serve conformance suite.
 //! - [`campaign`] — the chaos campaign driver behind the `ooo-chaos`
 //!   CLI: every scenario runs once with no recovery and once with its
 //!   matched policy under the identical fault trace, three invariants
@@ -32,6 +36,7 @@
 pub mod campaign;
 pub mod fault;
 pub mod recovery;
+pub mod serve;
 
 pub use campaign::{run_campaign, CampaignReport, ScenarioOutcome};
 pub use fault::{generate, Fault, Scenario};
@@ -39,3 +44,4 @@ pub use recovery::{
     policy_for, CheckpointRollback, Checkpointing, FallbackInOrder, NoRecovery, RecoveryPolicy,
     RetryBackoff, Retune,
 };
+pub use serve::{generate_trace, ServeTrace, TraceConfig};

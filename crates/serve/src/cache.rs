@@ -1,0 +1,292 @@
+//! The content-addressed, LRU-bounded schedule cache.
+//!
+//! Keys are canonical request encodings ([`crate::protocol::Request::cache_key`])
+//! indexed by their FNV-1a 64 fingerprint ([`ooo_core::hash::fnv64`]).
+//! The full key string is stored with each entry and compared on every
+//! probe, so a fingerprint collision degrades to a cache bypass, never
+//! a wrong answer.
+//!
+//! All mutation happens under one external mutex **from the admission
+//! thread** (lookups/reservations) and the worker that computed an
+//! entry (fulfillment). Because admission is single-threaded and
+//! ordered by request sequence number, the hit/miss/wait decision for
+//! every request of a stream is a pure function of the stream prefix —
+//! which is what makes replayed traces byte-identical.
+//!
+//! An entry is either `Ready` (a finished payload) or `InFlight` (the
+//! first request for the key is being computed; later requests park as
+//! waiters and are answered from the same payload the moment it
+//! lands). Eviction is least-recently-used over `Ready` entries only —
+//! an in-flight entry always has a requester waiting on it.
+
+use crate::protocol::Payload;
+use ooo_core::hash::fnv64;
+use ooo_core::json::Value;
+use std::collections::HashMap;
+
+/// The admission-time decision for one request.
+#[derive(Debug)]
+pub enum Decision {
+    /// A finished entry matched: answer immediately with this payload.
+    Hit(Payload),
+    /// The key is being computed; this request was parked as a waiter
+    /// and will be answered when the computation lands.
+    Wait,
+    /// No entry: the key was reserved in-flight; compute and
+    /// [`ScheduleCache::fulfill`].
+    Miss,
+    /// Caching is off (capacity 0) or the fingerprint collided with a
+    /// different key: compute without touching the cache.
+    Bypass,
+}
+
+enum State {
+    Ready(Payload),
+    InFlight { waiters: Vec<(u64, Value)> },
+}
+
+struct Entry {
+    key: String,
+    state: State,
+    last_used: u64,
+}
+
+/// See the module docs.
+pub struct ScheduleCache {
+    capacity: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    entries: HashMap<u64, Entry>,
+}
+
+impl ScheduleCache {
+    /// A cache holding at most `capacity` finished entries; `0`
+    /// disables caching (every probe is a [`Decision::Bypass`]).
+    pub fn new(capacity: usize) -> Self {
+        ScheduleCache {
+            capacity,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Cache hits so far (admission-ordered, hence deterministic).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses so far (reservations plus bypasses of cacheable
+    /// keys).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Probes `key` for the request `(seq, id)`: returns the decision
+    /// and performs the matching bookkeeping (LRU touch, waiter park,
+    /// or in-flight reservation).
+    pub fn lookup_or_reserve(&mut self, key: &str, seq: u64, id: &Value) -> Decision {
+        if self.capacity == 0 {
+            return Decision::Bypass;
+        }
+        self.tick += 1;
+        let h = fnv64(key.as_bytes());
+        match self.entries.get_mut(&h) {
+            Some(entry) if entry.key == key => {
+                entry.last_used = self.tick;
+                match &mut entry.state {
+                    State::Ready(payload) => {
+                        self.hits += 1;
+                        Decision::Hit(payload.clone())
+                    }
+                    State::InFlight { waiters } => {
+                        self.hits += 1;
+                        waiters.push((seq, id.clone()));
+                        Decision::Wait
+                    }
+                }
+            }
+            Some(_) => Decision::Bypass,
+            None => {
+                self.misses += 1;
+                self.entries.insert(
+                    h,
+                    Entry {
+                        key: key.to_string(),
+                        state: State::InFlight {
+                            waiters: Vec::new(),
+                        },
+                        last_used: self.tick,
+                    },
+                );
+                Decision::Miss
+            }
+        }
+    }
+
+    /// Resolves an in-flight reservation: returns the parked waiters
+    /// (each to be answered with a clone of `payload`) and, when
+    /// `cacheable`, stores the payload as a `Ready` entry — evicting
+    /// the least-recently-used `Ready` entry if over capacity.
+    /// Non-cacheable outcomes (worker failures) drop the reservation so
+    /// the next request recomputes.
+    pub fn fulfill(&mut self, key: &str, payload: &Payload, cacheable: bool) -> Vec<(u64, Value)> {
+        let h = fnv64(key.as_bytes());
+        let Some(entry) = self.entries.get_mut(&h) else {
+            return Vec::new();
+        };
+        if entry.key != key || matches!(entry.state, State::Ready(_)) {
+            return Vec::new();
+        }
+        let State::InFlight { waiters } =
+            std::mem::replace(&mut entry.state, State::Ready(payload.clone()))
+        else {
+            unreachable!("checked InFlight above");
+        };
+        if cacheable {
+            self.evict_over_capacity();
+        } else {
+            self.entries.remove(&h);
+        }
+        waiters
+    }
+
+    /// Drops an unfulfilled reservation (e.g. the dispatch was refused
+    /// by a full queue right after reserving). Only the admission
+    /// thread calls this, immediately after reserving, so no waiter can
+    /// have parked in between.
+    pub fn abort(&mut self, key: &str) {
+        let h = fnv64(key.as_bytes());
+        if let Some(entry) = self.entries.get(&h) {
+            if entry.key == key && matches!(entry.state, State::InFlight { .. }) {
+                self.entries.remove(&h);
+            }
+        }
+    }
+
+    fn evict_over_capacity(&mut self) {
+        while self.ready_len() > self.capacity {
+            let victim = self
+                .entries
+                .iter()
+                .filter(|(_, e)| matches!(e.state, State::Ready(_)))
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&h, _)| h);
+            match victim {
+                Some(h) => {
+                    self.entries.remove(&h);
+                }
+                None => break,
+            }
+        }
+    }
+
+    fn ready_len(&self) -> usize {
+        self.entries
+            .values()
+            .filter(|e| matches!(e.state, State::Ready(_)))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Status;
+
+    fn payload(tag: &str) -> Payload {
+        Payload::new(Status::Ok, [("tag", tag.into())])
+    }
+
+    #[test]
+    fn miss_then_hit_returns_identical_payload() {
+        let mut c = ScheduleCache::new(4);
+        assert!(matches!(
+            c.lookup_or_reserve("k1", 0, &Value::Null),
+            Decision::Miss
+        ));
+        let waiters = c.fulfill("k1", &payload("a"), true);
+        assert!(waiters.is_empty());
+        match c.lookup_or_reserve("k1", 1, &Value::Null) {
+            Decision::Hit(p) => assert_eq!(p.body, payload("a").body),
+            other => panic!("expected Hit, got {other:?}"),
+        }
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+    }
+
+    #[test]
+    fn concurrent_duplicates_park_and_drain_in_order() {
+        let mut c = ScheduleCache::new(4);
+        assert!(matches!(
+            c.lookup_or_reserve("k", 0, &Value::Num(0.0)),
+            Decision::Miss
+        ));
+        assert!(matches!(
+            c.lookup_or_reserve("k", 1, &Value::Num(1.0)),
+            Decision::Wait
+        ));
+        assert!(matches!(
+            c.lookup_or_reserve("k", 2, &Value::Num(2.0)),
+            Decision::Wait
+        ));
+        let waiters = c.fulfill("k", &payload("x"), true);
+        assert_eq!(
+            waiters.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+    }
+
+    #[test]
+    fn uncacheable_fulfillment_still_answers_waiters_but_stores_nothing() {
+        let mut c = ScheduleCache::new(4);
+        let _ = c.lookup_or_reserve("k", 0, &Value::Null);
+        assert!(matches!(
+            c.lookup_or_reserve("k", 1, &Value::Null),
+            Decision::Wait
+        ));
+        let waiters = c.fulfill("k", &payload("err"), false);
+        assert_eq!(waiters.len(), 1);
+        // Next request recomputes.
+        assert!(matches!(
+            c.lookup_or_reserve("k", 2, &Value::Null),
+            Decision::Miss
+        ));
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_ready_entry() {
+        let mut c = ScheduleCache::new(2);
+        for key in ["a", "b"] {
+            let _ = c.lookup_or_reserve(key, 0, &Value::Null);
+            c.fulfill(key, &payload(key), true);
+        }
+        // Touch "a" so "b" is coldest.
+        assert!(matches!(
+            c.lookup_or_reserve("a", 1, &Value::Null),
+            Decision::Hit(_)
+        ));
+        let _ = c.lookup_or_reserve("c", 2, &Value::Null);
+        c.fulfill("c", &payload("c"), true);
+        assert!(matches!(
+            c.lookup_or_reserve("b", 3, &Value::Null),
+            Decision::Miss
+        ));
+        c.abort("b");
+        assert!(matches!(
+            c.lookup_or_reserve("a", 4, &Value::Null),
+            Decision::Hit(_)
+        ));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = ScheduleCache::new(0);
+        assert!(matches!(
+            c.lookup_or_reserve("k", 0, &Value::Null),
+            Decision::Bypass
+        ));
+        assert!(c.fulfill("k", &payload("x"), true).is_empty());
+    }
+}

@@ -1,0 +1,848 @@
+//! The daemon event loop: bounded admission, a panic-isolated worker
+//! pool, and a sequence-ordered writer.
+//!
+//! Three roles cooperate over channels:
+//!
+//! * The **admission loop** (the caller's thread) reads one line at a
+//!   time under a byte cap, parses it under structural limits, resolves
+//!   the degradation tier, probes the schedule cache, and either
+//!   answers immediately (hits, control commands, parse errors,
+//!   backpressure) or dispatches a job to the bounded queue with
+//!   `try_send` — a full queue answers `{"status":"overloaded"}`
+//!   instead of blocking the input.
+//! * **Workers** (`std::thread`, sharing one receiver) execute jobs
+//!   under `catch_unwind` with retry-and-backoff, honor deadlines, and
+//!   fulfill cache reservations. A `kill` fault directive makes the
+//!   worker thread exit after answering; the admission loop respawns
+//!   replacements. The daemon itself never dies from a worker fault.
+//! * The **writer** thread holds responses in a sequence-ordered
+//!   reorder buffer and emits them in admission order — so the response
+//!   stream is a pure function of the request stream, byte for byte,
+//!   regardless of worker interleaving.
+//!
+//! Determinism invariant: every response's *content* is decided either
+//! at admission time (single-threaded, ordered) or by a deterministic
+//! computation keyed only on the request — wall-clock only enters
+//! through explicit `timeout_ms` requests, which are never cached.
+
+use crate::cache::{Decision, ScheduleCache};
+use crate::handlers;
+use crate::protocol::{
+    parse_request, Command, FaultDirective, Limits, Payload, Request, Status, Tier,
+};
+use ooo_core::json::{obj, Value};
+use std::collections::BTreeMap;
+use std::io::{BufRead, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, TrySendError};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Daemon sizing and policy knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker pool size (at least 1).
+    pub workers: usize,
+    /// Bounded job-queue depth; a full queue answers `overloaded`.
+    pub queue: usize,
+    /// Schedule-cache capacity in entries; `0` disables caching.
+    pub cache: usize,
+    /// Per-request byte and structural limits.
+    pub limits: Limits,
+    /// Queue depth at or above which untiered requests degrade one
+    /// tier; `None` disables load-based degradation.
+    pub degrade_hot: Option<usize>,
+    /// Retries after a worker panic (total attempts = retries + 1),
+    /// with exponential backoff between attempts.
+    pub retries: u32,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            queue: 64,
+            cache: 256,
+            limits: Limits::default(),
+            degrade_hot: None,
+            retries: 2,
+        }
+    }
+}
+
+/// Deterministic end-of-stream accounting, tallied by the writer in
+/// emission (= admission) order.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Total response lines emitted.
+    pub responses: u64,
+    /// `status: ok` responses.
+    pub ok: u64,
+    /// `status: error` responses.
+    pub errors: u64,
+    /// `status: unsafe` responses.
+    pub unsafe_inputs: u64,
+    /// `status: timeout` responses.
+    pub timeouts: u64,
+    /// `status: overloaded` responses.
+    pub overloaded: u64,
+    /// Responses served from the cache (hits plus coalesced waiters).
+    pub cache_served: u64,
+    /// Workers respawned after `kill` faults.
+    pub respawned: u64,
+}
+
+struct Job {
+    seq: u64,
+    id: Value,
+    cmd: Command,
+    tier: Tier,
+    budget: Option<u64>,
+    deadline: Option<Instant>,
+    fault: Option<FaultDirective>,
+    /// `Some` only when this job owns an in-flight cache reservation.
+    cache_key: Option<String>,
+}
+
+enum Emit {
+    Response {
+        seq: u64,
+        id: Value,
+        payload: Payload,
+        cached: bool,
+    },
+    Stats {
+        seq: u64,
+        id: Value,
+        cache_hits: u64,
+        cache_misses: u64,
+    },
+    /// Shutdown sentinel: all responses have been sent.
+    Done,
+}
+
+impl Emit {
+    fn seq(&self) -> u64 {
+        match self {
+            Emit::Response { seq, .. } | Emit::Stats { seq, .. } => *seq,
+            Emit::Done => u64::MAX,
+        }
+    }
+}
+
+#[derive(Default)]
+struct HoldState {
+    /// Workers currently parked by `hold`.
+    active: usize,
+    /// Bumped by `release` (and shutdown); parked workers wake when it
+    /// changes.
+    epoch: u64,
+}
+
+#[derive(Default)]
+struct HoldGate {
+    state: Mutex<HoldState>,
+    cv: Condvar,
+}
+
+struct Shared {
+    cache: Mutex<ScheduleCache>,
+    emit_tx: mpsc::Sender<Emit>,
+    hold: HoldGate,
+    /// Jobs admitted but not yet dequeued (load signal, advisory).
+    depth: AtomicUsize,
+    /// Live worker threads.
+    live: AtomicUsize,
+    retries: u32,
+}
+
+fn emit(shared: &Shared, msg: Emit) {
+    // The writer outlives every sender by construction; a send failure
+    // means the writer hit an I/O error and the stream is gone anyway.
+    let _ = shared.emit_tx.send(msg);
+}
+
+/// Executes the handler under panic isolation with retry-and-backoff.
+fn run_with_retries(shared: &Shared, job: &Job) -> Payload {
+    for attempt in 0..=shared.retries {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            handlers::handle(
+                &job.cmd,
+                job.tier,
+                job.budget,
+                job.deadline,
+                job.fault,
+                attempt as usize,
+            )
+        }));
+        match outcome {
+            Ok(payload) => return payload,
+            Err(_) if attempt < shared.retries => {
+                std::thread::sleep(Duration::from_millis(1u64 << attempt));
+            }
+            Err(_) => {}
+        }
+    }
+    Payload::error(format!(
+        "worker panicked on all {} attempts",
+        shared.retries + 1
+    ))
+}
+
+/// Runs one dequeued job to its response. Returns `true` when the
+/// worker thread must exit afterwards (`kill` fault).
+fn process(shared: &Shared, job: Job) -> bool {
+    if matches!(job.cmd, Command::Hold) {
+        let mut st = shared.hold.state.lock().expect("hold gate poisoned");
+        st.active += 1;
+        let epoch = st.epoch;
+        shared.hold.cv.notify_all();
+        emit(
+            shared,
+            Emit::Response {
+                seq: job.seq,
+                id: job.id,
+                payload: Payload::new(Status::Ok, [("held", true.into())]),
+                cached: false,
+            },
+        );
+        while st.epoch == epoch {
+            st = shared.hold.cv.wait(st).expect("hold gate poisoned");
+        }
+        st.active -= 1;
+        shared.hold.cv.notify_all();
+        return false;
+    }
+
+    let payload = if job.deadline.is_some_and(|d| Instant::now() >= d) {
+        Payload::status_only(Status::Timeout)
+    } else {
+        run_with_retries(shared, &job)
+    };
+
+    let waiters = match &job.cache_key {
+        Some(key) => {
+            let cacheable = matches!(payload.status, Status::Ok | Status::Unsafe);
+            shared
+                .cache
+                .lock()
+                .expect("cache poisoned")
+                .fulfill(key, &payload, cacheable)
+        }
+        None => Vec::new(),
+    };
+    emit(
+        shared,
+        Emit::Response {
+            seq: job.seq,
+            id: job.id,
+            payload: payload.clone(),
+            cached: false,
+        },
+    );
+    for (wseq, wid) in waiters {
+        emit(
+            shared,
+            Emit::Response {
+                seq: wseq,
+                id: wid,
+                payload: payload.clone(),
+                cached: true,
+            },
+        );
+    }
+    job.fault == Some(FaultDirective::Kill)
+}
+
+fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>) {
+    loop {
+        let job = {
+            let guard = rx.lock().expect("job queue poisoned");
+            guard.recv()
+        };
+        let Ok(job) = job else { break };
+        shared.depth.fetch_sub(1, Ordering::SeqCst);
+        if process(shared, job) {
+            break;
+        }
+    }
+    shared.live.fetch_sub(1, Ordering::SeqCst);
+}
+
+fn writer_loop<W: Write>(rx: Receiver<Emit>, out: &mut W) -> std::io::Result<ServeSummary> {
+    let mut pending: BTreeMap<u64, Emit> = BTreeMap::new();
+    let mut next = 0u64;
+    let mut sum = ServeSummary::default();
+    for msg in rx {
+        if matches!(msg, Emit::Done) {
+            break;
+        }
+        pending.insert(msg.seq(), msg);
+        while let Some(ready) = pending.remove(&next) {
+            next += 1;
+            write_one(out, ready, &mut sum)?;
+        }
+        out.flush()?;
+    }
+    debug_assert!(pending.is_empty(), "responses lost in the reorder buffer");
+    out.flush()?;
+    Ok(sum)
+}
+
+fn write_one<W: Write>(out: &mut W, msg: Emit, sum: &mut ServeSummary) -> std::io::Result<()> {
+    match msg {
+        Emit::Response {
+            id,
+            payload,
+            cached,
+            ..
+        } => {
+            sum.responses += 1;
+            match payload.status {
+                Status::Ok => sum.ok += 1,
+                Status::Error => sum.errors += 1,
+                Status::Unsafe => sum.unsafe_inputs += 1,
+                Status::Timeout => sum.timeouts += 1,
+                Status::Overloaded => sum.overloaded += 1,
+            }
+            if cached {
+                sum.cache_served += 1;
+            }
+            writeln!(out, "{}", payload.render(&id))
+        }
+        Emit::Stats {
+            id,
+            cache_hits,
+            cache_misses,
+            ..
+        } => {
+            // The counters describe the stream strictly before this
+            // response's position — deterministic by construction.
+            let payload = Payload::new(
+                Status::Ok,
+                [(
+                    "stats",
+                    obj([
+                        ("responses", sum.responses.into()),
+                        ("ok", sum.ok.into()),
+                        ("error", sum.errors.into()),
+                        ("unsafe", sum.unsafe_inputs.into()),
+                        ("timeout", sum.timeouts.into()),
+                        ("overloaded", sum.overloaded.into()),
+                        ("cache_hits", cache_hits.into()),
+                        ("cache_misses", cache_misses.into()),
+                    ]),
+                )],
+            );
+            sum.responses += 1;
+            sum.ok += 1;
+            writeln!(out, "{}", payload.render(&id))
+        }
+        Emit::Done => Ok(()),
+    }
+}
+
+enum LineRead {
+    Line(String),
+    /// The line blew the byte cap; it was drained in O(1) memory.
+    Oversized,
+    Eof,
+}
+
+fn read_bounded_line<R: BufRead>(r: &mut R, max: usize) -> std::io::Result<LineRead> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut overflow = false;
+    loop {
+        let chunk = r.fill_buf()?;
+        if chunk.is_empty() {
+            return Ok(if overflow {
+                LineRead::Oversized
+            } else if buf.is_empty() {
+                LineRead::Eof
+            } else {
+                LineRead::Line(String::from_utf8_lossy(&buf).into_owned())
+            });
+        }
+        let newline = chunk.iter().position(|&b| b == b'\n');
+        let take = newline.unwrap_or(chunk.len());
+        if !overflow {
+            if buf.len() + take > max {
+                overflow = true;
+                buf = Vec::new();
+            } else {
+                buf.extend_from_slice(&chunk[..take]);
+            }
+        }
+        let consumed = take + usize::from(newline.is_some());
+        r.consume(consumed);
+        if newline.is_some() {
+            return Ok(if overflow {
+                LineRead::Oversized
+            } else {
+                LineRead::Line(String::from_utf8_lossy(&buf).into_owned())
+            });
+        }
+    }
+}
+
+/// The tier a request runs at: an explicit `tier` always wins; untiered
+/// requests pick by budget (tiny budgets are not worth a full search)
+/// and degrade one step when the queue is hot.
+fn resolve_tier(req: &Request, depth: usize, degrade_hot: Option<usize>) -> Tier {
+    if let Some(t) = req.tier {
+        return t;
+    }
+    let base = match req.budget {
+        Some(b) if b < 8 => Tier::Heuristic,
+        Some(b) if b < 64 => Tier::Greedy,
+        _ => Tier::Full,
+    };
+    if degrade_hot.is_some_and(|hot| depth >= hot) {
+        base.degraded()
+    } else {
+        base
+    }
+}
+
+/// Runs the daemon over `input`/`output` until EOF: one response line
+/// per request line, in request order, byte-deterministic for any
+/// wall-clock-free request stream.
+///
+/// # Errors
+///
+/// Only I/O errors on `input`/`output` surface here; request-level
+/// failures are structured response lines.
+pub fn serve<R: BufRead, W: Write + Send>(
+    mut input: R,
+    output: &mut W,
+    config: &ServeConfig,
+) -> std::io::Result<ServeSummary> {
+    let workers = config.workers.max(1);
+    let (job_tx, job_rx) = mpsc::sync_channel::<Job>(config.queue.max(1));
+    let job_rx = Mutex::new(job_rx);
+    let (emit_tx, emit_rx) = mpsc::channel::<Emit>();
+    let shared = Shared {
+        cache: Mutex::new(ScheduleCache::new(config.cache)),
+        emit_tx,
+        hold: HoldGate::default(),
+        depth: AtomicUsize::new(0),
+        live: AtomicUsize::new(workers),
+        retries: config.retries,
+    };
+
+    std::thread::scope(|s| {
+        let writer = s.spawn(|| writer_loop(emit_rx, output));
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            handles.push(s.spawn(|| worker_loop(&shared, &job_rx)));
+        }
+
+        let mut seq = 0u64;
+        let mut holds = 0usize;
+        let mut respawned = 0u64;
+        let mut read_error = None;
+        loop {
+            // Reap-and-respawn: workers lost to kill faults are
+            // replaced before the next request is admitted.
+            let live = shared.live.load(Ordering::SeqCst);
+            for _ in live..workers {
+                shared.live.fetch_add(1, Ordering::SeqCst);
+                handles.push(s.spawn(|| worker_loop(&shared, &job_rx)));
+                respawned += 1;
+            }
+
+            let line = match read_bounded_line(&mut input, config.limits.max_request_bytes) {
+                Ok(LineRead::Eof) => break,
+                Ok(LineRead::Oversized) => {
+                    emit(
+                        &shared,
+                        Emit::Response {
+                            seq,
+                            id: Value::Null,
+                            payload: Payload::error(format!(
+                                "request line exceeds {} bytes; dropped before parsing",
+                                config.limits.max_request_bytes
+                            )),
+                            cached: false,
+                        },
+                    );
+                    seq += 1;
+                    continue;
+                }
+                Ok(LineRead::Line(line)) => line,
+                Err(e) => {
+                    read_error = Some(e);
+                    break;
+                }
+            };
+
+            let req = match parse_request(&line, &config.limits) {
+                Ok(req) => req,
+                Err(message) => {
+                    emit(
+                        &shared,
+                        Emit::Response {
+                            seq,
+                            id: Value::Null,
+                            payload: Payload::error(message),
+                            cached: false,
+                        },
+                    );
+                    seq += 1;
+                    continue;
+                }
+            };
+
+            match req.cmd {
+                Command::Release => {
+                    let released = holds;
+                    {
+                        let mut st = shared.hold.state.lock().expect("hold gate poisoned");
+                        st.epoch += 1;
+                        shared.hold.cv.notify_all();
+                        while st.active > 0 {
+                            st = shared.hold.cv.wait(st).expect("hold gate poisoned");
+                        }
+                    }
+                    holds = 0;
+                    emit(
+                        &shared,
+                        Emit::Response {
+                            seq,
+                            id: req.id,
+                            payload: Payload::new(
+                                Status::Ok,
+                                [("released", (released as u64).into())],
+                            ),
+                            cached: false,
+                        },
+                    );
+                }
+                Command::Stats => {
+                    let (cache_hits, cache_misses) = {
+                        let cache = shared.cache.lock().expect("cache poisoned");
+                        (cache.hits(), cache.misses())
+                    };
+                    emit(
+                        &shared,
+                        Emit::Stats {
+                            seq,
+                            id: req.id,
+                            cache_hits,
+                            cache_misses,
+                        },
+                    );
+                }
+                Command::Hold => {
+                    // Holding every worker is allowed (deterministic
+                    // overload needs it; `release` bypasses the queue,
+                    // so it cannot wedge) — but a hold beyond the pool
+                    // size would never activate.
+                    if holds >= workers {
+                        emit(
+                            &shared,
+                            Emit::Response {
+                                seq,
+                                id: req.id,
+                                payload: Payload::error(format!(
+                                    "all {workers} workers are already held"
+                                )),
+                                cached: false,
+                            },
+                        );
+                    } else {
+                        let job = Job {
+                            seq,
+                            id: req.id.clone(),
+                            cmd: Command::Hold,
+                            tier: Tier::Full,
+                            budget: None,
+                            deadline: None,
+                            fault: None,
+                            cache_key: None,
+                        };
+                        shared.depth.fetch_add(1, Ordering::SeqCst);
+                        match job_tx.try_send(job) {
+                            Ok(()) => {
+                                // Deterministic: the hold is in effect
+                                // before the next request is admitted.
+                                let mut st = shared.hold.state.lock().expect("hold gate poisoned");
+                                while st.active < holds + 1 {
+                                    st = shared.hold.cv.wait(st).expect("hold gate poisoned");
+                                }
+                                holds += 1;
+                            }
+                            Err(_) => {
+                                shared.depth.fetch_sub(1, Ordering::SeqCst);
+                                emit(
+                                    &shared,
+                                    Emit::Response {
+                                        seq,
+                                        id: req.id,
+                                        payload: Payload::status_only(Status::Overloaded),
+                                        cached: false,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    let depth = shared.depth.load(Ordering::SeqCst);
+                    let tier = resolve_tier(&req, depth, config.degrade_hot);
+                    let deadline = req
+                        .timeout_ms
+                        .map(|ms| Instant::now() + Duration::from_millis(ms));
+                    let key = req.cache_key(tier);
+                    let decision = match &key {
+                        Some(k) => shared
+                            .cache
+                            .lock()
+                            .expect("cache poisoned")
+                            .lookup_or_reserve(k, seq, &req.id),
+                        None => Decision::Bypass,
+                    };
+                    match decision {
+                        Decision::Hit(payload) => emit(
+                            &shared,
+                            Emit::Response {
+                                seq,
+                                id: req.id,
+                                payload,
+                                cached: true,
+                            },
+                        ),
+                        Decision::Wait => {}
+                        reserved @ (Decision::Miss | Decision::Bypass) => {
+                            let owns_reservation = matches!(reserved, Decision::Miss);
+                            let job = Job {
+                                seq,
+                                id: req.id.clone(),
+                                cmd: req.cmd,
+                                tier,
+                                budget: req.budget,
+                                deadline,
+                                fault: req.fault,
+                                cache_key: if owns_reservation { key.clone() } else { None },
+                            };
+                            shared.depth.fetch_add(1, Ordering::SeqCst);
+                            match job_tx.try_send(job) {
+                                Ok(()) => {}
+                                Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                                    shared.depth.fetch_sub(1, Ordering::SeqCst);
+                                    if owns_reservation {
+                                        if let Some(k) = &key {
+                                            shared.cache.lock().expect("cache poisoned").abort(k);
+                                        }
+                                    }
+                                    emit(
+                                        &shared,
+                                        Emit::Response {
+                                            seq,
+                                            id: req.id,
+                                            payload: Payload::status_only(Status::Overloaded),
+                                            cached: false,
+                                        },
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            seq += 1;
+        }
+
+        // Shutdown: wake every held worker, close the queue, let the
+        // pool drain, then finish any jobs stranded by dead workers.
+        {
+            let mut st = shared.hold.state.lock().expect("hold gate poisoned");
+            st.epoch += 1;
+            shared.hold.cv.notify_all();
+        }
+        drop(job_tx);
+        for h in handles {
+            let _ = h.join();
+        }
+        loop {
+            let job = {
+                let guard = job_rx.lock().expect("job queue poisoned");
+                guard.try_recv()
+            };
+            match job {
+                Ok(job) => {
+                    shared.depth.fetch_sub(1, Ordering::SeqCst);
+                    let _ = process(&shared, job);
+                }
+                Err(_) => break,
+            }
+        }
+        emit(&shared, Emit::Done);
+        let mut summary = writer
+            .join()
+            .unwrap_or_else(|_| panic!("writer thread panicked"))?;
+        summary.respawned = respawned;
+        match read_error {
+            Some(e) => Err(e),
+            None => Ok(summary),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn run(input: &str, config: &ServeConfig) -> (String, ServeSummary) {
+        let mut out = Vec::new();
+        let sum = serve(Cursor::new(input.as_bytes()), &mut out, config).expect("serve runs");
+        (String::from_utf8(out).expect("utf8 output"), sum)
+    }
+
+    #[test]
+    fn responses_come_back_in_request_order_with_ids_echoed() {
+        let input = concat!(
+            "{\"id\":\"a\",\"cmd\":\"order\",\"layers\":4,\"tier\":\"heuristic\"}\n",
+            "not json\n",
+            "{\"id\":3,\"cmd\":\"stats\"}\n",
+        );
+        let (out, sum) = run(input, &ServeConfig::default());
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3, "{out}");
+        assert!(
+            lines[0].starts_with("{\"id\":\"a\",\"status\":\"ok\""),
+            "{}",
+            lines[0]
+        );
+        assert!(
+            lines[1].starts_with("{\"id\":null,\"status\":\"error\""),
+            "{}",
+            lines[1]
+        );
+        assert!(
+            lines[2].starts_with("{\"id\":3,\"status\":\"ok\",\"stats\":"),
+            "{}",
+            lines[2]
+        );
+        assert_eq!((sum.responses, sum.ok, sum.errors), (3, 2, 1));
+    }
+
+    #[test]
+    fn identical_requests_hit_the_cache_with_identical_bytes() {
+        let req = "{\"id\":0,\"cmd\":\"order\",\"layers\":5,\"k\":1}\n";
+        let input = req.repeat(3);
+        let (out, sum) = run(&input, &ServeConfig::default());
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], lines[1]);
+        assert_eq!(lines[1], lines[2]);
+        assert_eq!(sum.cache_served, 2);
+    }
+
+    #[test]
+    fn oversized_line_is_rejected_and_the_stream_continues() {
+        let limits = Limits {
+            max_request_bytes: 128,
+            ..Limits::default()
+        };
+        let config = ServeConfig {
+            limits,
+            ..ServeConfig::default()
+        };
+        let big = format!("{{\"cmd\":\"order\",\"pad\":\"{}\"}}\n", "x".repeat(4096));
+        let input = format!(
+            "{big}{}",
+            "{\"id\":1,\"cmd\":\"order\",\"layers\":3,\"tier\":\"heuristic\"}\n"
+        );
+        let (out, sum) = run(&input, &config);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2, "{out}");
+        assert!(lines[0].contains("exceeds 128 bytes"), "{}", lines[0]);
+        assert!(lines[1].contains("\"status\":\"ok\""), "{}", lines[1]);
+        assert_eq!(sum.errors, 1);
+    }
+
+    #[test]
+    fn holds_pin_all_workers_and_overflow_is_exact() {
+        // Both workers parked by holds, so nothing dequeues: the first
+        // two computes fill the queue, the third bounces with
+        // `overloaded`, and a hold beyond the pool size is refused.
+        // Release drains everything; responses stay in request order.
+        let config = ServeConfig {
+            workers: 2,
+            queue: 2,
+            cache: 0,
+            ..ServeConfig::default()
+        };
+        let input = concat!(
+            "{\"id\":\"h1\",\"cmd\":\"hold\"}\n",
+            "{\"id\":\"h2\",\"cmd\":\"hold\"}\n",
+            "{\"id\":\"h3\",\"cmd\":\"hold\"}\n",
+            "{\"id\":\"c1\",\"cmd\":\"order\",\"layers\":3,\"tier\":\"heuristic\"}\n",
+            "{\"id\":\"c2\",\"cmd\":\"order\",\"layers\":4,\"tier\":\"heuristic\"}\n",
+            "{\"id\":\"c3\",\"cmd\":\"order\",\"layers\":5,\"tier\":\"heuristic\"}\n",
+            "{\"id\":\"r\",\"cmd\":\"release\"}\n",
+        );
+        let (out, sum) = run(input, &config);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 7, "{out}");
+        assert_eq!(lines[0], "{\"id\":\"h1\",\"status\":\"ok\",\"held\":true}");
+        assert_eq!(lines[1], "{\"id\":\"h2\",\"status\":\"ok\",\"held\":true}");
+        assert!(
+            lines[2].contains("\"status\":\"error\"") && lines[2].contains("already held"),
+            "{}",
+            lines[2]
+        );
+        assert!(lines[3].contains("\"status\":\"ok\""), "{}", lines[3]);
+        assert!(lines[4].contains("\"status\":\"ok\""), "{}", lines[4]);
+        assert_eq!(lines[5], "{\"id\":\"c3\",\"status\":\"overloaded\"}");
+        assert_eq!(lines[6], "{\"id\":\"r\",\"status\":\"ok\",\"released\":2}");
+        assert_eq!((sum.overloaded, sum.ok), (1, 5));
+    }
+
+    #[test]
+    fn kill_fault_respawns_and_the_daemon_survives() {
+        let config = ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        };
+        let input = concat!(
+            "{\"id\":1,\"cmd\":\"order\",\"layers\":3,\"tier\":\"heuristic\",\"fault\":\"kill\"}\n",
+            "{\"id\":2,\"cmd\":\"order\",\"layers\":3,\"tier\":\"heuristic\",\"fault\":\"kill\"}\n",
+            "{\"id\":3,\"cmd\":\"order\",\"layers\":3,\"tier\":\"heuristic\"}\n",
+            "{\"id\":4,\"cmd\":\"order\",\"layers\":4,\"tier\":\"heuristic\"}\n",
+        );
+        let (out, sum) = run(input, &config);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4, "{out}");
+        for line in &lines {
+            assert!(line.contains("\"status\":\"ok\""), "{line}");
+        }
+        assert_eq!(sum.ok, 4);
+    }
+
+    #[test]
+    fn zero_timeout_answers_timeout_without_computing() {
+        let input = "{\"id\":\"t\",\"cmd\":\"order\",\"layers\":6,\"timeout_ms\":0}\n";
+        let (out, sum) = run(input, &ServeConfig::default());
+        assert_eq!(out, "{\"id\":\"t\",\"status\":\"timeout\"}\n");
+        assert_eq!(sum.timeouts, 1);
+    }
+
+    #[test]
+    fn panic_fault_exhausts_retries_into_a_structured_error() {
+        let input = "{\"id\":\"p\",\"cmd\":\"order\",\"layers\":3,\"fault\":\"panic\"}\n";
+        let config = ServeConfig {
+            retries: 1,
+            ..ServeConfig::default()
+        };
+        let (out, sum) = run(input, &config);
+        assert!(
+            out.contains("\"status\":\"error\"") && out.contains("2 attempts"),
+            "{out}"
+        );
+        assert_eq!(sum.errors, 1);
+    }
+}

@@ -1,0 +1,552 @@
+//! Request handlers: the compute commands, executed on pool workers.
+//!
+//! Each handler mirrors the corresponding one-shot CLI (`ooo-tune
+//! order|bundle|pipeline`, `ooo-cert order`) but returns a
+//! [`Payload`] instead of printing, and threads the request's
+//! degradation tier, logical budget, and wall-clock deadline into the
+//! search ([`TuneOptions::budget`] / [`TuneOptions::deadline`] /
+//! [`ooo_cert::Budget`]). Every tier returns a certified result —
+//! degradation reduces search effort, never correctness.
+
+use crate::protocol::{strategy_name, Command, FaultDirective, Payload, Status, Tier};
+use ooo_core::cost::{CostModel, LayerCost, TableCost, UnitCost};
+use ooo_core::datapar::CommPolicy;
+use ooo_core::export::ScheduleBundle;
+use ooo_core::json::{obj, Value};
+use ooo_core::pipeline::Strategy;
+use ooo_core::reverse_k::reverse_first_k;
+use ooo_core::schedule::Schedule;
+use ooo_core::{Op, SimTime, TrainGraph};
+use ooo_tune::order::{certify_order, tune_backward_order, KFamily};
+use ooo_tune::pipeline::tune_pipeline;
+use ooo_tune::{certify_schedule, tune_schedule, Error, TuneOptions, Tuned};
+use std::time::Instant;
+
+/// Default branch-and-bound node budget for `cert` requests without an
+/// explicit `budget` (matches [`ooo_cert::Budget::default`]).
+const DEFAULT_CERT_NODES: u64 = 200_000;
+
+/// Search options for one request: tier picks the family, budget and
+/// deadline bound the effort. The heuristic tier is a zero-scan tune —
+/// the paper's heuristic baseline, still gate-checked and certified.
+fn tune_opts(
+    tier: Tier,
+    budget: Option<u64>,
+    deadline: Option<Instant>,
+    require_complete: bool,
+    target: Option<SimTime>,
+) -> TuneOptions {
+    let base = TuneOptions {
+        require_complete,
+        target,
+        deadline,
+        ..TuneOptions::default()
+    };
+    match tier {
+        Tier::Full => TuneOptions { budget, ..base },
+        Tier::Greedy => TuneOptions {
+            restarts: 0,
+            budget,
+            ..base
+        },
+        Tier::Heuristic => TuneOptions {
+            budget: Some(0),
+            ..base
+        },
+    }
+}
+
+/// The certified makespan floor of `schedule`'s op subset on its lane
+/// structure; fed to the tuner as its early-termination target.
+fn certified_floor<C: CostModel>(graph: &TrainGraph, schedule: &Schedule, cost: &C) -> SimTime {
+    let scheduled: Vec<Op> = schedule
+        .lanes
+        .iter()
+        .flat_map(|l| l.ops.iter().copied())
+        .collect();
+    let compute = schedule
+        .lanes
+        .iter()
+        .filter(|l| l.ops.iter().any(|o| o.is_compute()))
+        .count()
+        .max(1);
+    let link = schedule
+        .lanes
+        .iter()
+        .filter(|l| l.ops.iter().any(|o| o.is_sync()))
+        .count()
+        .max(1);
+    ooo_core::bounds::partial_lower_bound(graph, cost, &scheduled, compute, link)
+}
+
+/// One tuned result as a response-object field list (fixed key order —
+/// the response stream is byte-compared across runs).
+#[allow(clippy::too_many_arguments)]
+fn tuned_fields(
+    name: &str,
+    kind: &str,
+    baseline: SimTime,
+    tuned: SimTime,
+    certified: SimTime,
+    floor: SimTime,
+    k: Option<usize>,
+    moves: usize,
+    restarts_adopted: usize,
+) -> Value {
+    obj([
+        ("name", name.into()),
+        ("kind", kind.into()),
+        ("baseline_makespan", Value::Num(baseline as f64)),
+        ("tuned_makespan", Value::Num(tuned as f64)),
+        ("certified_makespan", Value::Num(certified as f64)),
+        ("lower_bound", Value::Num(floor as f64)),
+        ("proven_optimal", Value::Bool(certified == floor)),
+        ("improved", Value::Bool(tuned < baseline)),
+        (
+            "k",
+            match k {
+                Some(k) => Value::Num(k as f64),
+                None => Value::Null,
+            },
+        ),
+        ("moves", Value::Num(moves as f64)),
+        ("restarts_adopted", Value::Num(restarts_adopted as f64)),
+    ])
+}
+
+/// Maps a tuner error onto a payload: gate refusals become `unsafe`
+/// responses with the fired rule codes, everything else a structured
+/// `error`.
+fn tune_error(e: Error) -> Payload {
+    match e {
+        Error::Unsafe(report) => Payload::new(
+            Status::Unsafe,
+            [(
+                "diagnostics",
+                Value::Arr(
+                    report
+                        .rule_codes()
+                        .iter()
+                        .map(|c| c.to_string().into())
+                        .collect(),
+                ),
+            )],
+        ),
+        other => Payload::error(other.to_string()),
+    }
+}
+
+fn handle_order(
+    layers: usize,
+    k: usize,
+    sync: SimTime,
+    policy: CommPolicy,
+    tier: Tier,
+    budget: Option<u64>,
+    deadline: Option<Instant>,
+) -> Payload {
+    let run = || -> Result<Payload, Error> {
+        let graph = TrainGraph::data_parallel(layers);
+        let cost = TableCost::uniform(
+            layers,
+            LayerCost {
+                sync_weight: sync,
+                ..LayerCost::default()
+            },
+        );
+        let baseline = reverse_first_k(&graph, k, None::<(u64, &TableCost)>)?;
+        let realized = ooo_verify::predict::datapar_schedule(&graph, &baseline, &cost, policy)?;
+        let floor = certified_floor(&graph, &realized, &cost);
+        let tuned = tune_backward_order(
+            &graph,
+            &baseline,
+            Some(k),
+            &cost,
+            policy,
+            KFamily::ReverseFirstK,
+            &tune_opts(tier, budget, deadline, true, Some(floor)),
+        )?;
+        let certified = certify_order(&graph, &tuned.order, &cost, policy)?;
+        Ok(Payload::new(
+            Status::Ok,
+            [
+                ("tier", tier.as_str().into()),
+                (
+                    "result",
+                    tuned_fields(
+                        &format!("reverse-first-k(l={layers}, k={k})"),
+                        "order",
+                        tuned.baseline,
+                        tuned.predicted,
+                        certified,
+                        floor,
+                        tuned.k,
+                        tuned.moves.len(),
+                        tuned.restarts_adopted,
+                    ),
+                ),
+            ],
+        ))
+    };
+    run().unwrap_or_else(tune_error)
+}
+
+fn tune_one_schedule(
+    graph: &TrainGraph,
+    name: &str,
+    schedule: &Schedule,
+    tier: Tier,
+    budget: Option<u64>,
+    deadline: Option<Instant>,
+) -> Result<Value, Error> {
+    let floor = certified_floor(graph, schedule, &UnitCost);
+    let tuned: Tuned = tune_schedule(
+        graph,
+        schedule,
+        &UnitCost,
+        &tune_opts(tier, budget, deadline, false, Some(floor)),
+    )?;
+    let certified = certify_schedule(graph, &tuned.schedule, &UnitCost)?;
+    Ok(tuned_fields(
+        name,
+        "schedule",
+        tuned.baseline,
+        tuned.predicted,
+        certified,
+        floor,
+        None,
+        tuned.moves.len(),
+        tuned.restarts_adopted,
+    ))
+}
+
+fn handle_bundle(
+    bundle: &ScheduleBundle,
+    wanted: Option<&str>,
+    policy: CommPolicy,
+    tier: Tier,
+    budget: Option<u64>,
+    deadline: Option<Instant>,
+) -> Payload {
+    let graph = match TrainGraph::new(bundle.graph.clone()) {
+        Ok(g) => g,
+        Err(e) => return Payload::error(format!("invalid graph configuration: {e}")),
+    };
+    let mut items = Vec::new();
+    let mut worst = Status::Ok;
+    let mut push = |r: Result<Value, Error>, name: &str| match r {
+        Ok(v) => items.push(v),
+        Err(Error::Unsafe(report)) => {
+            worst = Status::Unsafe;
+            items.push(obj([
+                ("name", name.into()),
+                ("kind", "unsafe".into()),
+                (
+                    "diagnostics",
+                    Value::Arr(
+                        report
+                            .rule_codes()
+                            .iter()
+                            .map(|c| c.to_string().into())
+                            .collect(),
+                    ),
+                ),
+            ]));
+        }
+        Err(e) => {
+            worst = Status::Error;
+            items.push(obj([
+                ("name", name.into()),
+                ("kind", "error".into()),
+                ("error", e.to_string().into()),
+            ]));
+        }
+    };
+    for (name, order) in &bundle.orders {
+        if wanted.is_some_and(|w| w != name) {
+            continue;
+        }
+        let item = if graph.config().sync_weight_grads {
+            let backward: Vec<_> = order.iter().copied().filter(|o| o.is_backward()).collect();
+            ooo_verify::predict::datapar_schedule(&graph, &backward, &UnitCost, policy)
+                .map_err(Error::from)
+                .and_then(|realized| {
+                    let floor = certified_floor(&graph, &realized, &UnitCost);
+                    let t = tune_backward_order(
+                        &graph,
+                        &backward,
+                        None,
+                        &UnitCost,
+                        policy,
+                        KFamily::ReverseFirstK,
+                        &tune_opts(tier, budget, deadline, true, Some(floor)),
+                    )?;
+                    let certified = certify_order(&graph, &t.order, &UnitCost, policy)?;
+                    Ok(tuned_fields(
+                        name,
+                        "order",
+                        t.baseline,
+                        t.predicted,
+                        certified,
+                        floor,
+                        t.k,
+                        t.moves.len(),
+                        t.restarts_adopted,
+                    ))
+                })
+        } else {
+            let s = Schedule::single_lane(name, order.clone());
+            tune_one_schedule(&graph, name, &s, tier, budget, deadline)
+        };
+        push(item, name);
+    }
+    for (name, schedule) in &bundle.schedules {
+        if wanted.is_some_and(|w| w != name) {
+            continue;
+        }
+        push(
+            tune_one_schedule(&graph, name, schedule, tier, budget, deadline),
+            name,
+        );
+    }
+    if items.is_empty() {
+        return Payload::error(match wanted {
+            Some(w) => format!("no order or schedule named {w:?} in the bundle"),
+            None => "bundle holds no orders or schedules".to_string(),
+        });
+    }
+    Payload::new(
+        worst,
+        [
+            ("tier", tier.as_str().into()),
+            ("result", Value::Arr(items)),
+        ],
+    )
+}
+
+fn handle_pipeline(
+    layers: usize,
+    devices: usize,
+    strategy: Strategy,
+    group: usize,
+    tier: Tier,
+    budget: Option<u64>,
+    deadline: Option<Instant>,
+) -> Payload {
+    let run = || -> Result<Payload, Error> {
+        let (pgraph, pschedule) =
+            ooo_core::pipeline::op_level_schedule(layers, devices, strategy, group);
+        let floor = certified_floor(&pgraph, &pschedule, &UnitCost);
+        let tuned = tune_pipeline(
+            layers,
+            devices,
+            strategy,
+            group,
+            &UnitCost,
+            &tune_opts(tier, budget, deadline, true, Some(floor)),
+        )?;
+        let certified = certify_schedule(&tuned.graph, &tuned.schedule, &UnitCost)?;
+        Ok(Payload::new(
+            Status::Ok,
+            [
+                ("tier", tier.as_str().into()),
+                (
+                    "result",
+                    tuned_fields(
+                        strategy_name(strategy),
+                        "pipeline",
+                        tuned.baseline,
+                        tuned.predicted,
+                        certified,
+                        floor,
+                        Some(tuned.group),
+                        tuned.moves.len(),
+                        tuned.restarts_adopted,
+                    ),
+                ),
+            ],
+        ))
+    };
+    run().unwrap_or_else(tune_error)
+}
+
+fn handle_cert(
+    layers: usize,
+    k: usize,
+    sync: SimTime,
+    policy: CommPolicy,
+    tier: Tier,
+    budget: Option<u64>,
+    deadline: Option<Instant>,
+) -> Payload {
+    let graph = TrainGraph::data_parallel(layers);
+    let cost = TableCost::uniform(
+        layers,
+        LayerCost {
+            sync_weight: sync,
+            ..LayerCost::default()
+        },
+    );
+    let order = match reverse_first_k(&graph, k, None::<(u64, &TableCost)>) {
+        Ok(o) => o,
+        Err(e) => return Payload::error(e.to_string()),
+    };
+    // The heuristic tier skips the search entirely: a zero-node budget
+    // reports the static certified bracket.
+    let max_nodes = match tier {
+        Tier::Heuristic => 0,
+        _ => budget.unwrap_or(DEFAULT_CERT_NODES),
+    };
+    let mut cert_budget = ooo_cert::Budget::nodes(max_nodes);
+    if let Some(d) = deadline {
+        cert_budget = cert_budget.with_deadline(d);
+    }
+    match ooo_cert::certify_order(&graph, &order, &cost, policy, &cert_budget) {
+        Ok((_, solved)) => {
+            let c = &solved.certificate;
+            Payload::new(
+                Status::Ok,
+                [
+                    ("tier", tier.as_str().into()),
+                    (
+                        "result",
+                        obj([
+                            ("name", format!("reverse-first-k(l={layers}, k={k})").into()),
+                            ("kind", "cert".into()),
+                            ("cert_status", c.status().into()),
+                            (
+                                "baseline_makespan",
+                                Value::Num(c.baseline_makespan() as f64),
+                            ),
+                            ("best_makespan", Value::Num(c.best_makespan() as f64)),
+                            ("lower_bound", Value::Num(solved.lower_bound as f64)),
+                            ("optimal", Value::Bool(solved.is_optimal())),
+                            ("nodes", Value::Num(solved.nodes as f64)),
+                        ]),
+                    ),
+                ],
+            )
+        }
+        Err(e) => Payload::error(e.to_string()),
+    }
+}
+
+/// Executes one compute command at `tier`. Control commands never
+/// reach this function.
+///
+/// The `fault` directive and `attempt` number implement the
+/// deterministic chaos contract: `panic` fires on every attempt,
+/// `flaky` only on the first (so a retry succeeds).
+pub fn handle(
+    cmd: &Command,
+    tier: Tier,
+    budget: Option<u64>,
+    deadline: Option<Instant>,
+    fault: Option<FaultDirective>,
+    attempt: usize,
+) -> Payload {
+    match fault {
+        Some(FaultDirective::Panic) => panic!("injected fault: worker panic"),
+        Some(FaultDirective::Flaky) if attempt == 0 => {
+            panic!("injected fault: flaky worker panic")
+        }
+        _ => {}
+    }
+    match cmd {
+        Command::Order {
+            layers,
+            k,
+            sync,
+            policy,
+        } => handle_order(*layers, *k, *sync, *policy, tier, budget, deadline),
+        Command::Bundle {
+            bundle,
+            schedule,
+            policy,
+            ..
+        } => handle_bundle(bundle, schedule.as_deref(), *policy, tier, budget, deadline),
+        Command::Pipeline {
+            layers,
+            devices,
+            strategy,
+            group,
+        } => handle_pipeline(*layers, *devices, *strategy, *group, tier, budget, deadline),
+        Command::Cert {
+            layers,
+            k,
+            sync,
+            policy,
+        } => handle_cert(*layers, *k, *sync, *policy, tier, budget, deadline),
+        Command::Hold | Command::Release | Command::Stats => {
+            Payload::error("control command routed to a compute handler")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_handler_serves_all_tiers_deterministically() {
+        for tier in [Tier::Full, Tier::Greedy, Tier::Heuristic] {
+            let cmd = Command::Order {
+                layers: 4,
+                k: 1,
+                sync: 3,
+                policy: CommPolicy::PriorityByLayer,
+            };
+            let a = handle(&cmd, tier, None, None, None, 0);
+            let b = handle(&cmd, tier, None, None, None, 0);
+            assert_eq!(a.body, b.body, "tier {tier:?}");
+            assert_eq!(a.status, Status::Ok);
+        }
+    }
+
+    #[test]
+    fn cert_handler_reports_certificates() {
+        let cmd = Command::Cert {
+            layers: 3,
+            k: 1,
+            sync: 2,
+            policy: CommPolicy::FifoCompletion,
+        };
+        let p = handle(&cmd, Tier::Full, None, None, None, 0);
+        assert_eq!(p.status, Status::Ok);
+        assert!(p.body.contains("cert_status"), "{}", p.body);
+        // Heuristic tier degrades to the static bracket but still
+        // answers.
+        let h = handle(&cmd, Tier::Heuristic, None, None, None, 0);
+        assert_eq!(h.status, Status::Ok);
+    }
+
+    #[test]
+    fn flaky_fault_panics_only_on_the_first_attempt() {
+        let cmd = Command::Order {
+            layers: 3,
+            k: 0,
+            sync: 3,
+            policy: CommPolicy::PriorityByLayer,
+        };
+        let caught = std::panic::catch_unwind(|| {
+            handle(
+                &cmd,
+                Tier::Heuristic,
+                None,
+                None,
+                Some(FaultDirective::Flaky),
+                0,
+            )
+        });
+        assert!(caught.is_err());
+        let retried = handle(
+            &cmd,
+            Tier::Heuristic,
+            None,
+            None,
+            Some(FaultDirective::Flaky),
+            1,
+        );
+        assert_eq!(retried.status, Status::Ok);
+    }
+}

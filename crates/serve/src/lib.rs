@@ -1,0 +1,38 @@
+//! `ooo-serve`: a fault-tolerant scheduling daemon over the
+//! out-of-order backprop toolchain.
+//!
+//! The one-shot CLIs (`ooo-tune`, `ooo-cert`) pay full process startup
+//! and cold search per query. This crate wraps the same certified
+//! tuning and certification pipelines in a long-running service with
+//! the robustness properties a scheduler embedded in a training
+//! control plane needs:
+//!
+//! * **Bounded everything** — request bytes, JSON parse nodes, layer
+//!   counts, and the job queue are all capped; overflow is a
+//!   structured response (`{"status":"overloaded"}` for the queue,
+//!   `{"status":"error"}` for limits), never unbounded memory.
+//! * **Panic isolation** — worker panics are caught, retried with
+//!   backoff, and surface as structured errors; a killed worker is
+//!   reaped and respawned. The daemon never dies from a request.
+//! * **Deadlines and graceful degradation** — per-request
+//!   `timeout_ms` and logical `budget`, plus tiered service (`full` →
+//!   `greedy` → `heuristic`) where every tier still returns a
+//!   verified, certified schedule.
+//! * **Content-addressed caching** — identical work requests are
+//!   served from an LRU cache whose hits are byte-identical to cold
+//!   misses, and concurrent duplicates coalesce onto one computation.
+//! * **Determinism** — responses are emitted in request order from a
+//!   sequence-ordered reorder buffer; for any wall-clock-free request
+//!   stream the full response stream is byte-reproducible.
+//!
+//! See [`protocol`] for the wire format, [`daemon::serve`] for the
+//! event loop, and `tests/serve_conformance.rs` at the workspace root
+//! for the replay harness that proves the stream-level guarantees.
+
+pub mod cache;
+pub mod daemon;
+pub mod handlers;
+pub mod protocol;
+
+pub use daemon::{serve, ServeConfig, ServeSummary};
+pub use protocol::{Limits, Status, Tier};

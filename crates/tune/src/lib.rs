@@ -174,6 +174,25 @@ pub struct TuneOptions {
     /// position — exact but O(ops × positions); thousand-stage inputs
     /// need a window to keep the neighborhood linear.
     pub window: Option<usize>,
+    /// Optional deterministic work budget, counted in neighborhood
+    /// scans (one scan = one `scored_candidates` enumeration). When the
+    /// budget runs out the search stops and returns the best state found
+    /// so far — always a valid, verify-clean schedule, since only
+    /// gate-clean moves are ever accepted. `Some(0)` returns the input
+    /// untouched. Unlike [`TuneOptions::deadline`] this is pure logical
+    /// work, so identical inputs give identical outputs regardless of
+    /// machine speed or thread scheduling: each restart trial of a sweep
+    /// is charged against the budget remaining when the sweep started,
+    /// and only the adopted trial's scans are kept — exactly the
+    /// accounting of the sequential sweep, so
+    /// [`TuneOptions::parallel`] stays byte-deterministic under budgets.
+    pub budget: Option<u64>,
+    /// Optional wall-clock deadline checked cooperatively at the same
+    /// points as [`TuneOptions::budget`]. Past the deadline the search
+    /// returns the best state found so far. A wall-clock cutoff is
+    /// inherently racy — results may differ run to run — so treat it as
+    /// a safety net around a logical budget, not a substitute.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Default for TuneOptions {
@@ -188,6 +207,8 @@ impl Default for TuneOptions {
             target: None,
             parallel: true,
             window: None,
+            budget: None,
+            deadline: None,
         }
     }
 }
@@ -273,6 +294,40 @@ pub(crate) trait SearchSpace: Sync {
     }
 }
 
+/// Cooperative cancellation state for one search (or one restart
+/// trial): counts neighborhood scans against [`TuneOptions::budget`]
+/// and polls [`TuneOptions::deadline`]. Checked at every point that is
+/// about to enumerate a neighborhood, which bounds overshoot to one
+/// scan's worth of work.
+struct Budgeter {
+    scans: u64,
+    limit: Option<u64>,
+    deadline: Option<std::time::Instant>,
+}
+
+impl Budgeter {
+    fn new(limit: Option<u64>, opts: &TuneOptions) -> Self {
+        Budgeter {
+            scans: 0,
+            limit,
+            deadline: opts.deadline,
+        }
+    }
+
+    /// `true` once the logical budget is spent or the deadline passed.
+    fn exhausted(&self) -> bool {
+        self.limit.is_some_and(|l| self.scans >= l)
+            || self
+                .deadline
+                .is_some_and(|d| std::time::Instant::now() >= d)
+    }
+
+    /// Charges one neighborhood scan.
+    fn charge(&mut self) {
+        self.scans += 1;
+    }
+}
+
 /// Best-improvement greedy descent. Candidates are ranked by
 /// `(predicted makespan, enumeration index)`; the best strictly
 /// improving candidate that passes the gate is accepted, until none is
@@ -283,6 +338,7 @@ fn greedy<S: SearchSpace>(
     mut cur_m: SimTime,
     moves: &mut Vec<AppliedMove>,
     opts: &TuneOptions,
+    budget: &mut Budgeter,
 ) -> (S::State, SimTime) {
     while moves.len() < opts.max_moves {
         // A certified lower bound already reached proves optimality:
@@ -290,6 +346,10 @@ fn greedy<S: SearchSpace>(
         if opts.target.is_some_and(|t| cur_m <= t) {
             break;
         }
+        if budget.exhausted() {
+            break;
+        }
+        budget.charge();
         let cands = space.scored_candidates(&cur);
         let mut scored: Vec<(SimTime, usize)> = cands
             .iter()
@@ -321,11 +381,16 @@ fn perturb<S: SearchSpace>(
     seed: u64,
     moves: &mut Vec<AppliedMove>,
     opts: &TuneOptions,
+    budget: &mut Budgeter,
 ) -> (S::State, SimTime) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut state = cur;
     let mut makespan = cur_m;
     for _ in 0..opts.perturb_moves {
+        if budget.exhausted() {
+            break;
+        }
+        budget.charge();
         let cands = space.scored_candidates(&state);
         if cands.is_empty() {
             break;
@@ -362,11 +427,13 @@ fn restart_trial<S: SearchSpace>(
     cur_m: SimTime,
     seed: u64,
     opts: &TuneOptions,
-) -> (S::State, SimTime, Vec<AppliedMove>) {
+    remaining: Option<u64>,
+) -> (S::State, SimTime, Vec<AppliedMove>, u64) {
     let mut trial = Vec::new();
-    let (p, pm) = perturb(space, cur, cur_m, seed, &mut trial, opts);
-    let (g, gm) = greedy(space, p, pm, &mut trial, opts);
-    (g, gm, trial)
+    let mut budget = Budgeter::new(remaining, opts);
+    let (p, pm) = perturb(space, cur, cur_m, seed, &mut trial, opts, &mut budget);
+    let (g, gm) = greedy(space, p, pm, &mut trial, opts, &mut budget);
+    (g, gm, trial, budget.scans)
 }
 
 /// The full search loop: greedy descent, then restart sweeps over seeds
@@ -389,7 +456,8 @@ pub(crate) fn local_search<S: SearchSpace>(
     opts: &TuneOptions,
 ) -> (S::State, SimTime, Vec<AppliedMove>, usize) {
     let mut moves = Vec::new();
-    let (mut cur, mut cur_m) = greedy(space, init, init_m, &mut moves, opts);
+    let mut budget = Budgeter::new(opts.budget, opts);
+    let (mut cur, mut cur_m) = greedy(space, init, init_m, &mut moves, opts, &mut budget);
     let mut adopted = 0usize;
     'sweep: loop {
         // Proven optimal: restart perturbations cannot end strictly
@@ -397,38 +465,52 @@ pub(crate) fn local_search<S: SearchSpace>(
         if opts.target.is_some_and(|t| cur_m <= t) {
             break;
         }
+        if budget.exhausted() {
+            break;
+        }
+        // Every trial of this sweep is charged against the budget
+        // remaining *now*; only the adopted trial's scans are kept.
+        // That mirrors the sequential sweep (discarded trials never ran
+        // there either), keeping parallel == sequential under budgets.
+        let remaining = opts.budget.map(|b| b.saturating_sub(budget.scans));
         if opts.parallel && opts.restarts > 1 {
-            let trials: Vec<(S::State, SimTime, Vec<AppliedMove>)> = std::thread::scope(|scope| {
-                let handles: Vec<_> = (1..=opts.restarts)
-                    .map(|seed| {
-                        let incumbent = cur.clone();
-                        scope.spawn(move || restart_trial(space, incumbent, cur_m, seed, opts))
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("restart trial panicked"))
-                    .collect()
-            });
+            let trials: Vec<(S::State, SimTime, Vec<AppliedMove>, u64)> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (1..=opts.restarts)
+                        .map(|seed| {
+                            let incumbent = cur.clone();
+                            scope.spawn(move || {
+                                restart_trial(space, incumbent, cur_m, seed, opts, remaining)
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("restart trial panicked"))
+                        .collect()
+                });
             // Deterministic merge: seeds are already in 1..=restarts
             // order; adopt the first improving one.
-            for (g, gm, trial) in trials {
+            for (g, gm, trial, spent) in trials {
                 if gm < cur_m {
                     cur = g;
                     cur_m = gm;
                     moves.extend(trial);
                     adopted += 1;
+                    budget.scans += spent;
                     continue 'sweep;
                 }
             }
         } else {
             for seed in 1..=opts.restarts {
-                let (g, gm, trial) = restart_trial(space, cur.clone(), cur_m, seed, opts);
+                let (g, gm, trial, spent) =
+                    restart_trial(space, cur.clone(), cur_m, seed, opts, remaining);
                 if gm < cur_m {
                     cur = g;
                     cur_m = gm;
                     moves.extend(trial);
                     adopted += 1;
+                    budget.scans += spent;
                     continue 'sweep;
                 }
             }
@@ -772,6 +854,65 @@ mod tests {
         assert_eq!(a.schedule, b.schedule);
         assert_eq!(a.predicted, b.predicted);
         assert_eq!(a.moves.len(), b.moves.len());
+    }
+
+    #[test]
+    fn tiny_budget_still_yields_valid_certified_result() {
+        let (graph, baseline) = lazy_two_lane(6);
+        for budget in [0u64, 1, 2, 5] {
+            let opts = TuneOptions {
+                budget: Some(budget),
+                ..TuneOptions::default()
+            };
+            let tuned = tune_schedule(&graph, &baseline, &UnitCost, &opts).unwrap();
+            // Best-so-far is never worse than the input and still
+            // verifies and certifies exactly.
+            assert!(tuned.predicted <= tuned.baseline, "budget {budget}");
+            let certified = certify_schedule(&graph, &tuned.schedule, &UnitCost).unwrap();
+            assert_eq!(certified, tuned.predicted, "budget {budget}");
+        }
+        // Zero budget returns the input untouched.
+        let opts = TuneOptions {
+            budget: Some(0),
+            ..TuneOptions::default()
+        };
+        let tuned = tune_schedule(&graph, &baseline, &UnitCost, &opts).unwrap();
+        assert_eq!(tuned.schedule, baseline);
+        assert!(tuned.moves.is_empty());
+    }
+
+    #[test]
+    fn budgeted_tuning_is_deterministic_parallel_or_not() {
+        let (graph, baseline) = lazy_two_lane(6);
+        for budget in [1u64, 3, 7, 100] {
+            let par = TuneOptions {
+                budget: Some(budget),
+                parallel: true,
+                ..TuneOptions::default()
+            };
+            let seq = TuneOptions {
+                parallel: false,
+                ..par.clone()
+            };
+            let a = tune_schedule(&graph, &baseline, &UnitCost, &par).unwrap();
+            let b = tune_schedule(&graph, &baseline, &UnitCost, &seq).unwrap();
+            assert_eq!(a.schedule, b.schedule, "budget {budget}");
+            assert_eq!(a.predicted, b.predicted, "budget {budget}");
+            assert_eq!(a.moves.len(), b.moves.len(), "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn expired_deadline_returns_baseline_unharmed() {
+        let (graph, baseline) = lazy_two_lane(5);
+        let opts = TuneOptions {
+            deadline: Some(std::time::Instant::now() - std::time::Duration::from_millis(1)),
+            ..TuneOptions::default()
+        };
+        let tuned = tune_schedule(&graph, &baseline, &UnitCost, &opts).unwrap();
+        assert_eq!(tuned.schedule, baseline);
+        assert_eq!(tuned.predicted, tuned.baseline);
+        certify_schedule(&graph, &tuned.schedule, &UnitCost).unwrap();
     }
 
     #[test]

@@ -69,6 +69,57 @@ cmp /tmp/ooo-scale-a.json /tmp/ooo-scale-b.json \
   || { echo "scale-bench: two smoke runs produced different bytes"; exit 1; }
 rm -f /tmp/ooo-scale-a.json /tmp/ooo-scale-b.json
 
+echo "==> ooo-serve smoke (oneshot contract, daemon determinism, crash recovery)"
+cargo build -q -p ooo-serve --bin ooo-serve
+rc=0; printf '{"id":1,"cmd":"order","layers":4,"tier":"heuristic"}\n' \
+  | ./target/debug/ooo-serve --oneshot > /tmp/ooo-serve-one.json || rc=$?
+[ "$rc" -eq 0 ] || { echo "ooo-serve: oneshot order should succeed (got $rc)"; exit 1; }
+grep -q '"status":"ok"' /tmp/ooo-serve-one.json \
+  || { echo "ooo-serve: oneshot order should answer ok"; exit 1; }
+cat > /tmp/ooo-serve-req.jsonl <<'EOF'
+{"id":1,"cmd":"order","layers":5,"k":1,"sync":3,"tier":"greedy"}
+{"id":2,"cmd":"order","layers":5,"k":1,"sync":3,"tier":"greedy"}
+{"id":3,"cmd":"cert","layers":3,"k":0,"sync":2}
+{"id":4,"cmd":"pipeline","layers":4,"devices":2,"strategy":"pipe2","tier":"heuristic"}
+not json at all
+{"id":5,"cmd":"order","layers":4,"timeout_ms":0}
+{"id":6,"cmd":"stats"}
+EOF
+# The daemon exits 0 whenever it serves the whole stream; per-request
+# failures live in the responses (oneshot is the mode with CLI exits).
+./target/debug/ooo-serve --daemon < /tmp/ooo-serve-req.jsonl > /tmp/ooo-serve-a.jsonl \
+  || { echo "ooo-serve: daemon should survive hostile+timeout traffic"; exit 1; }
+[ "$(wc -l < /tmp/ooo-serve-a.jsonl)" -eq 7 ] \
+  || { echo "ooo-serve: expected one response per request line"; exit 1; }
+grep -q '"status":"error"' /tmp/ooo-serve-a.jsonl \
+  || { echo "ooo-serve: hostile line should draw a structured error"; exit 1; }
+grep -q '"status":"timeout"' /tmp/ooo-serve-a.jsonl \
+  || { echo "ooo-serve: expired deadline should answer timeout"; exit 1; }
+./target/debug/ooo-serve --daemon < /tmp/ooo-serve-req.jsonl > /tmp/ooo-serve-b.jsonl \
+  || { echo "ooo-serve: unexpected daemon failure"; exit 1; }
+cmp /tmp/ooo-serve-a.jsonl /tmp/ooo-serve-b.jsonl \
+  || { echo "ooo-serve: same traffic produced different response streams"; exit 1; }
+cat > /tmp/ooo-serve-kill.jsonl <<'EOF'
+{"id":"k1","cmd":"order","layers":3,"tier":"heuristic","fault":"kill"}
+{"id":"k2","cmd":"order","layers":3,"tier":"heuristic","fault":"kill"}
+{"id":"n1","cmd":"order","layers":4,"tier":"heuristic"}
+{"id":"n2","cmd":"order","layers":5,"tier":"heuristic"}
+EOF
+rc=0; ./target/debug/ooo-serve --daemon < /tmp/ooo-serve-kill.jsonl > /tmp/ooo-serve-k.jsonl || rc=$?
+[ "$rc" -eq 0 ] || { echo "ooo-serve: kill directives must not take the daemon down (got $rc)"; exit 1; }
+[ "$(wc -l < /tmp/ooo-serve-k.jsonl)" -eq 4 ] \
+  || { echo "ooo-serve: crash recovery lost responses"; exit 1; }
+rm -f /tmp/ooo-serve-one.json /tmp/ooo-serve-req.jsonl /tmp/ooo-serve-a.jsonl \
+  /tmp/ooo-serve-b.jsonl /tmp/ooo-serve-kill.jsonl /tmp/ooo-serve-k.jsonl
+
+echo "==> serve-bench smoke (deterministic scenario counts)"
+cargo build -q --release -p ooo-bench --bin serve-bench
+./target/release/serve-bench --smoke --out /tmp/ooo-serve-bench-a.json
+./target/release/serve-bench --smoke --out /tmp/ooo-serve-bench-b.json
+cmp /tmp/ooo-serve-bench-a.json /tmp/ooo-serve-bench-b.json \
+  || { echo "serve-bench: two smoke runs produced different bytes"; exit 1; }
+rm -f /tmp/ooo-serve-bench-a.json /tmp/ooo-serve-bench-b.json
+
 echo "==> ooo-tune 1000-stage smoke (windowed search at scale)"
 cargo build -q --release -p ooo-tune --bin ooo-tune
 rc=0; ./target/release/ooo-tune pipeline --layers 1000 --devices 8 --strategy pipe2 \

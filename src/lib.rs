@@ -30,6 +30,11 @@
 //!   branch-and-bound solver over the union graph, driven by incremental
 //!   delta evaluation, that proves schedules optimal (or exhibits a
 //!   strictly better witness).
+//! - [`serve`] (`ooo-serve`) — a fault-tolerant scheduling daemon over
+//!   the tuner and certifier: bounded queues with backpressure,
+//!   panic-isolated workers with retry and respawn, per-request
+//!   deadlines, tiered graceful degradation, and a content-addressed
+//!   schedule cache — all byte-deterministic at the stream level.
 //!
 //! # Quickstart
 //!
@@ -52,6 +57,7 @@ pub use ooo_gpusim as gpusim;
 pub use ooo_models as models;
 pub use ooo_netsim as netsim;
 pub use ooo_nn as nn;
+pub use ooo_serve as serve;
 pub use ooo_tensor as tensor;
 pub use ooo_tune as tune;
 pub use ooo_verify as verify;

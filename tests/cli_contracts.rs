@@ -1,6 +1,6 @@
-//! The shared CLI contract, asserted in one place for all six tools
+//! The shared CLI contract, asserted in one place for all seven tools
 //! (`ooo-lint`, `ooo-advise`, `ooo-trace`, `ooo-chaos`, `ooo-tune`,
-//! `ooo-cert`):
+//! `ooo-cert`, `ooo-serve`):
 //!
 //! * exit code 0 on success, 1 when findings fire (diagnostics,
 //!   advisories, unsafe inputs, unparsable traces), 2 on usage/IO/parse
@@ -16,14 +16,15 @@ use ooo_backprop::core::TrainGraph;
 use std::path::PathBuf;
 use std::process::{Command, Output};
 
-/// The six CLIs under contract, with the package that owns each.
-const CLIS: [(&str, &str); 6] = [
+/// The seven CLIs under contract, with the package that owns each.
+const CLIS: [(&str, &str); 7] = [
     ("ooo-lint", "ooo-verify"),
     ("ooo-advise", "ooo-verify"),
     ("ooo-trace", "ooo-cluster"),
     ("ooo-chaos", "ooo-faults"),
     ("ooo-tune", "ooo-tune"),
     ("ooo-cert", "ooo-cert"),
+    ("ooo-serve", "ooo-serve"),
 ];
 
 /// Path to a CLI binary, building it on demand: the root package's
@@ -56,6 +57,29 @@ fn run(name: &str, args: &[&str]) -> Output {
         .args(args)
         .output()
         .unwrap_or_else(|e| panic!("{name} failed to spawn: {e}"))
+}
+
+/// Like [`run`], but feeding `input` on stdin — the `ooo-serve`
+/// protocol arrives there rather than via file arguments.
+fn run_with_stdin(name: &str, args: &[&str], input: &str) -> Output {
+    use std::io::Write as _;
+    use std::process::Stdio;
+    let mut child = Command::new(bin(name))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap_or_else(|e| panic!("{name} failed to spawn: {e}"));
+    child
+        .stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(input.as_bytes())
+        .expect("stdin accepts input");
+    child
+        .wait_with_output()
+        .unwrap_or_else(|e| panic!("{name} failed to finish: {e}"))
 }
 
 fn code(out: &Output) -> i32 {
@@ -254,6 +278,91 @@ fn success_and_findings_exit_codes() {
     );
     assert_no_panic("ooo-cert", &out);
     assert_eq!(code(&out), 1, "ooo-cert improvable order");
+}
+
+/// The daemon's one-shot mode under the shared contract: one request
+/// in, one response out, exit 0 on `ok`, 1 on any other response
+/// status, 2 on usage errors — and hostile stdin (malformed, empty,
+/// bomb-nested) draws a structured error without a panic.
+#[test]
+fn serve_oneshot_exit_codes_and_hostile_stdin() {
+    let ok = run_with_stdin(
+        "ooo-serve",
+        &["--oneshot"],
+        "{\"id\":1,\"cmd\":\"order\",\"layers\":4,\"k\":1,\"tier\":\"heuristic\"}\n",
+    );
+    assert_no_panic("ooo-serve", &ok);
+    assert_eq!(code(&ok), 0, "ooo-serve oneshot success");
+    let stdout = String::from_utf8_lossy(&ok.stdout);
+    assert_eq!(stdout.lines().count(), 1, "one response: {stdout}");
+    assert!(
+        stdout.starts_with("{\"id\":1,\"status\":\"ok\""),
+        "{stdout}"
+    );
+
+    // Findings path: a refused request is a structured response and
+    // exit 1 (timeouts count — an expired deadline is not a success).
+    let timeout = run_with_stdin(
+        "ooo-serve",
+        &["--oneshot"],
+        "{\"cmd\":\"order\",\"layers\":4,\"timeout_ms\":0}\n",
+    );
+    assert_no_panic("ooo-serve", &timeout);
+    assert_eq!(code(&timeout), 1, "ooo-serve oneshot timeout");
+
+    for hostile in [
+        "not json\n",
+        "{\"cmd\":\"order\"}\n",
+        "{\"cmd\":\"nope\"}\n",
+        &format!("{}\n", "[".repeat(100_000)),
+    ] {
+        let out = run_with_stdin("ooo-serve", &["--oneshot"], hostile);
+        assert_no_panic("ooo-serve", &out);
+        assert_eq!(code(&out), 1, "ooo-serve oneshot on {hostile:.40?}");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert_eq!(stdout.lines().count(), 1, "one response: {stdout}");
+        assert!(
+            stdout.contains("\"status\":\"error\""),
+            "structured error expected: {stdout}"
+        );
+    }
+
+    // Empty stdin is zero requests, not a success.
+    let empty = run_with_stdin("ooo-serve", &["--oneshot"], "");
+    assert_no_panic("ooo-serve", &empty);
+    assert_eq!(code(&empty), 1, "ooo-serve oneshot empty stdin");
+
+    // Usage errors stay on the CLI side of the contract.
+    let usage = run_with_stdin("ooo-serve", &["--oneshot", "--workers"], "");
+    assert_eq!(code(&usage), 2, "ooo-serve dangling flag");
+}
+
+/// Double runs of `--oneshot` and `--daemon` invocations over the same
+/// stdin are byte-identical — the stream-level determinism the serve
+/// conformance suite proves in-process, held at the process boundary.
+#[test]
+fn serve_double_runs_are_byte_identical() {
+    let oneshot = "{\"id\":\"d\",\"cmd\":\"order\",\"layers\":6,\"k\":1,\"sync\":2}\n";
+    let daemon = concat!(
+        "{\"id\":1,\"cmd\":\"order\",\"layers\":5,\"k\":0,\"sync\":3}\n",
+        "{\"id\":2,\"cmd\":\"cert\",\"layers\":3,\"k\":0,\"sync\":2}\n",
+        "{\"id\":1,\"cmd\":\"order\",\"layers\":5,\"k\":0,\"sync\":3}\n",
+        "bogus line\n",
+        "{\"id\":3,\"cmd\":\"stats\"}\n",
+    );
+    for (args, input) in [
+        (vec!["--oneshot"], oneshot),
+        (vec!["--daemon", "--workers", "2"], daemon),
+    ] {
+        let first = run_with_stdin("ooo-serve", &args, input);
+        let second = run_with_stdin("ooo-serve", &args, input);
+        assert_no_panic("ooo-serve", &first);
+        assert_eq!(
+            first.stdout, second.stdout,
+            "ooo-serve {args:?} not byte-deterministic"
+        );
+        assert_eq!(code(&first), code(&second), "ooo-serve exit code changed");
+    }
 }
 
 /// Double runs of the same invocation are byte-identical on stdout —
