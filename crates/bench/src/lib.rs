@@ -9,6 +9,7 @@
 
 pub mod cert_trajectory;
 pub mod figures;
+pub mod mem;
 pub mod scale;
 pub mod serve;
 
@@ -74,6 +75,7 @@ pub fn all_ids() -> Vec<&'static str> {
         "certgap",
         "scale",
         "serve",
+        "mem",
     ]
 }
 
@@ -113,6 +115,7 @@ pub fn generate(id: &str) -> FigureReport {
         "certgap" => cert_trajectory::certgap(),
         "scale" => scale::scale_figure(),
         "serve" => serve::serve_figure(),
+        "mem" => mem::mem_figure(),
         other => panic!("unknown figure id {other}"),
     }
 }

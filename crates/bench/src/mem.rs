@@ -1,0 +1,341 @@
+//! The memory-ledger benchmark behind `BENCH_mem.json` and
+//! `figures mem`.
+//!
+//! Two scenario families over the model zoo, both answered by the exact
+//! static ledger of `ooo_verify::mem` (no simulation in the loop):
+//!
+//! - **early_free** — the `OM401` story: a data-parallel backward
+//!   window that hands its synced weight gradients to an unscheduled
+//!   update tail retains every `wgrad` to the window end; applying the
+//!   advisory's free-after-sync plan measures how much of the peak that
+//!   retention costs per model.
+//! - **cap** — the memory-capped tuner: starting from a deferred-update
+//!   single-GPU layout, tighten [`ooo_tune::TuneOptions::memory_cap`]
+//!   stepwise below the layout's own peak and record the achieved peak
+//!   and the makespan paid at each step — the exact memory/latency
+//!   trade the cap exposes.
+//!
+//! Peaks, caps, and makespans are deterministic; only wall times vary
+//! run to run, and `--smoke` omits them so a double run is
+//! byte-identical.
+
+use ooo_core::cost::TableCost;
+use ooo_core::json::{obj, Value};
+use ooo_core::memory::Buffer;
+use ooo_core::op::{LayerId, Op};
+use ooo_core::schedule::Schedule;
+use ooo_core::{SimTime, TrainGraph};
+use ooo_models::cost::to_table_cost;
+use ooo_models::gpu::GpuProfile;
+use ooo_models::zoo;
+use ooo_tune::{tune_schedule, TuneOptions};
+use ooo_verify::mem::{ledger_of_spans, spans_of_prediction, FreePlan};
+use ooo_verify::predict::predict_makespan;
+use std::time::Instant;
+
+/// One model's `OM401` early-free outcome.
+#[derive(Debug, Clone)]
+pub struct EarlyFreeRow {
+    /// Zoo model name.
+    pub model: String,
+    /// Layer count.
+    pub layers: usize,
+    /// Ledger peak with every `wgrad` retained to the window end.
+    pub retained_peak: u64,
+    /// Ledger peak with the free-after-sync plan applied.
+    pub early_free_peak: u64,
+}
+
+/// One (model, cap) point of the memory-capped tuning sweep.
+#[derive(Debug, Clone)]
+pub struct CapRow {
+    /// Zoo model name.
+    pub model: String,
+    /// Cap as a percentage of the deferred layout's own peak.
+    pub cap_pct: u64,
+    /// The cap in bytes.
+    pub cap: u64,
+    /// Ledger peak of the tuned schedule.
+    pub peak: u64,
+    /// Peak of the untuned deferred layout.
+    pub baseline_peak: u64,
+    /// Predicted makespan of the tuned schedule.
+    pub makespan: SimTime,
+    /// Predicted makespan of the uncapped tune of the same layout.
+    pub uncapped_makespan: SimTime,
+    /// Wall time of the capped tune, microseconds.
+    pub wall_us: f64,
+}
+
+/// Scenario sizes; [`smoke_sizes`] keeps the CI run fast.
+#[derive(Debug, Clone)]
+pub struct Sizes {
+    /// Zoo models in the early-free scan (prefix of Table 1).
+    pub early_free_models: usize,
+    /// Batch size for the zoo cost tables.
+    pub batch: usize,
+    /// Cap percentages swept per model.
+    pub cap_pcts: Vec<u64>,
+}
+
+/// Full sizes for the committed `BENCH_mem.json`.
+pub fn bench_sizes() -> Sizes {
+    Sizes {
+        early_free_models: 12,
+        batch: 16,
+        cap_pcts: vec![100, 95, 90, 85],
+    }
+}
+
+/// Small sizes for the CI smoke run and the `figures mem` report.
+pub fn smoke_sizes() -> Sizes {
+    Sizes {
+        early_free_models: 4,
+        batch: 16,
+        cap_pcts: vec![100, 90],
+    }
+}
+
+/// The deferred-update single-lane layout: eager `dW` run, update tail
+/// at the end — every `wgrad` stays resident until its late update.
+fn deferred_update_layout(l: usize) -> Schedule {
+    let mut ops = vec![Op::Loss];
+    for i in (2..=l).rev() {
+        ops.push(Op::OutputGrad(LayerId(i)));
+    }
+    for i in (1..=l).rev() {
+        ops.push(Op::WeightGrad(LayerId(i)));
+    }
+    for i in 1..=l {
+        ops.push(Op::Update(LayerId(i)));
+    }
+    for i in 1..=l {
+        ops.push(Op::Forward(LayerId(i)));
+    }
+    Schedule::single_lane("gpu", ops)
+}
+
+fn early_free_row(model: &ooo_models::spec::ModelSpec, batch: usize) -> EarlyFreeRow {
+    let cost = to_table_cost(model, batch, &GpuProfile::v100());
+    let l = cost.layers();
+    let graph = TrainGraph::data_parallel(l);
+    // The backward window: updates (and next-iteration forwards) live
+    // outside it, so the derived lifetimes retain every wgrad.
+    let mut order = graph.conventional_backprop();
+    order.retain(|op| !matches!(op, Op::Update(_) | Op::Forward(_)));
+    let s = Schedule::single_lane("gpu", order);
+    let pred = predict_makespan(&graph, &s, &cost).expect("window executes");
+    let spans = spans_of_prediction(&pred);
+    let (retained, _) = ledger_of_spans(&graph, &cost, &spans, None);
+    let plan = FreePlan {
+        frees: (1..=l)
+            .map(|i| (Buffer::WeightGrad(i), Op::SyncWeightGrad(LayerId(i))))
+            .collect(),
+    };
+    let (early, _) = ledger_of_spans(&graph, &cost, &spans, Some(&plan));
+    EarlyFreeRow {
+        model: model.name.clone(),
+        layers: l,
+        retained_peak: retained.peak,
+        early_free_peak: early.peak,
+    }
+}
+
+fn cap_rows(name: &str, cost: &TableCost, pcts: &[u64]) -> Vec<CapRow> {
+    let l = cost.layers();
+    let graph = TrainGraph::single_gpu(l);
+    let baseline = deferred_update_layout(l);
+    let base_peak = ooo_verify::mem::schedule_peak(&graph, &baseline, cost).expect("layout legal");
+    let uncapped = tune_schedule(&graph, &baseline, cost, &TuneOptions::default())
+        .expect("uncapped tune succeeds");
+    pcts.iter()
+        .map(|&pct| {
+            let cap = base_peak * pct / 100;
+            let opts = TuneOptions {
+                memory_cap: Some(cap),
+                ..TuneOptions::default()
+            };
+            let t = Instant::now();
+            let tuned = tune_schedule(&graph, &baseline, cost, &opts).expect("capped tune runs");
+            let wall_us = t.elapsed().as_secs_f64() * 1e6;
+            CapRow {
+                model: name.to_string(),
+                cap_pct: pct,
+                cap,
+                peak: tuned.peak.expect("cap set implies a reported peak"),
+                baseline_peak: base_peak,
+                makespan: tuned.predicted,
+                uncapped_makespan: uncapped.predicted,
+                wall_us,
+            }
+        })
+        .collect()
+}
+
+/// Runs both scenario families at the given sizes.
+pub fn run_bench(sizes: &Sizes) -> (Vec<EarlyFreeRow>, Vec<CapRow>) {
+    let early: Vec<EarlyFreeRow> = zoo::table1()
+        .iter()
+        .take(sizes.early_free_models)
+        .map(|(model, _, _)| early_free_row(model, sizes.batch))
+        .collect();
+    // The capped-tune sweep runs on the two 16-layer zoo networks: big
+    // enough that deferral matters, small enough that full-ledger
+    // candidate scoring stays fast.
+    let mut caps = Vec::new();
+    for (name, model) in [
+        ("FFNN-16", zoo::ffnn16(4_096)),
+        ("RNN-16", zoo::rnn16(1_024, 50)),
+    ] {
+        let cost = to_table_cost(&model, sizes.batch, &GpuProfile::v100());
+        caps.extend(cap_rows(name, &cost, &sizes.cap_pcts));
+        if sizes.cap_pcts.len() <= 2 {
+            break; // smoke mode: one model is enough
+        }
+    }
+    (early, caps)
+}
+
+fn early_to_json(r: &EarlyFreeRow) -> Value {
+    let saved = r.retained_peak.saturating_sub(r.early_free_peak);
+    obj([
+        ("model", Value::Str(r.model.clone())),
+        ("layers", Value::Num(r.layers as f64)),
+        ("retained_peak_bytes", Value::Num(r.retained_peak as f64)),
+        (
+            "early_free_peak_bytes",
+            Value::Num(r.early_free_peak as f64),
+        ),
+        (
+            "peak_reduction_pct",
+            Value::Num((saved as f64 / r.retained_peak.max(1) as f64 * 1000.0).round() / 10.0),
+        ),
+    ])
+}
+
+fn cap_to_json(r: &CapRow, with_timings: bool) -> Value {
+    let mut fields: Vec<(&str, Value)> = vec![
+        ("model", Value::Str(r.model.clone())),
+        ("cap_pct", Value::Num(r.cap_pct as f64)),
+        ("cap_bytes", Value::Num(r.cap as f64)),
+        ("peak_bytes", Value::Num(r.peak as f64)),
+        ("baseline_peak_bytes", Value::Num(r.baseline_peak as f64)),
+        ("cap_met", Value::Bool(r.peak <= r.cap)),
+        ("makespan", Value::Num(r.makespan as f64)),
+        ("uncapped_makespan", Value::Num(r.uncapped_makespan as f64)),
+    ];
+    if with_timings {
+        fields.push(("wall_us", Value::Num(r.wall_us)));
+    }
+    Value::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Renders both scenario sets as the `BENCH_mem.json` document. With
+/// `with_timings = false` (the `--smoke` mode) only the deterministic
+/// fields are emitted, so a double run must produce byte-identical
+/// output.
+pub fn to_json(early: &[EarlyFreeRow], caps: &[CapRow], with_timings: bool) -> Value {
+    obj([
+        ("bench", "mem".into()),
+        (
+            "early_free",
+            Value::Arr(early.iter().map(early_to_json).collect()),
+        ),
+        (
+            "capped_tuning",
+            Value::Arr(caps.iter().map(|r| cap_to_json(r, with_timings)).collect()),
+        ),
+    ])
+}
+
+/// The `figures mem` report: smoke-size scenarios measured live (the
+/// full sweep lives in the committed `BENCH_mem.json` regenerated by
+/// `mem-bench`).
+pub fn mem_figure() -> crate::FigureReport {
+    let (early, caps) = run_bench(&smoke_sizes());
+    let mut lines = vec![format!(
+        "{:>18} {:>7} {:>16} {:>16} {:>8}",
+        "model", "layers", "retained_peak", "early_free_peak", "saved"
+    )];
+    for r in &early {
+        let saved = r.retained_peak.saturating_sub(r.early_free_peak);
+        lines.push(format!(
+            "{:>18} {:>7} {:>16} {:>16} {:>7.1}%",
+            r.model,
+            r.layers,
+            r.retained_peak,
+            r.early_free_peak,
+            saved as f64 / r.retained_peak.max(1) as f64 * 100.0
+        ));
+    }
+    lines.push(format!(
+        "{:>18} {:>7} {:>16} {:>16} {:>8} {:>12}",
+        "model", "cap%", "cap", "peak", "met", "makespan"
+    ));
+    for r in &caps {
+        lines.push(format!(
+            "{:>18} {:>7} {:>16} {:>16} {:>8} {:>12}",
+            r.model,
+            r.cap_pct,
+            r.cap,
+            r.peak,
+            if r.peak <= r.cap { "yes" } else { "NO" },
+            r.makespan
+        ));
+    }
+    lines.push("(full sizes: see committed BENCH_mem.json / mem-bench)".into());
+    crate::FigureReport {
+        id: "mem",
+        title: "Static memory ledger: OM401 early-free savings and memory-capped tuning",
+        paper: "ooo backprop must not inflate peak memory beyond the device budget (Sec 4)",
+        lines,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_bench_is_deterministic_and_caps_are_met() {
+        let (ea, ca) = run_bench(&smoke_sizes());
+        let (eb, cb) = run_bench(&smoke_sizes());
+        assert_eq!(
+            to_json(&ea, &ca, false).to_pretty(),
+            to_json(&eb, &cb, false).to_pretty(),
+            "smoke output must be byte-identical across runs"
+        );
+        for r in &ea {
+            assert!(
+                r.early_free_peak <= r.retained_peak,
+                "{}: early free cannot raise the peak",
+                r.model
+            );
+        }
+        assert!(
+            ea.iter().any(|r| r.early_free_peak < r.retained_peak),
+            "at least one model must save memory from early frees"
+        );
+        for r in &ca {
+            assert!(
+                r.peak <= r.cap,
+                "{} at {}%: peak {} over cap {}",
+                r.model,
+                r.cap_pct,
+                r.peak,
+                r.cap
+            );
+            assert!(
+                r.makespan >= r.uncapped_makespan,
+                "{} at {}%: a cap cannot beat the uncapped makespan",
+                r.model,
+                r.cap_pct
+            );
+        }
+    }
+}

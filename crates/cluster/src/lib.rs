@@ -18,7 +18,10 @@
 //! - [`hybrid`] — the Section 6 combination of reverse first-k and
 //!   gradient fast-forwarding;
 //! - [`analysis`] — the drill-down numbers of the paper's discussion
-//!   subsections (R2/R5 anatomy, the ResNet-50 synchronization budget).
+//!   subsections (R2/R5 anatomy, the ResNet-50 synchronization budget);
+//! - [`mem`] — ledger-checked memory accounting: the exact static
+//!   ledger reconciled against a per-op counter instrumented into the
+//!   engine simulations.
 
 #![warn(missing_docs)]
 
@@ -27,6 +30,7 @@ pub mod analysis;
 mod checks;
 pub mod datapar;
 pub mod hybrid;
+pub mod mem;
 pub mod pipeline;
 pub mod single;
 

@@ -30,12 +30,21 @@ pub struct MemoryProfile {
     pub initial: u64,
     /// Peak usage over the whole order.
     pub peak: u64,
+    /// First-occurrence usage per op, for O(1) [`Self::after`] lookups.
+    index: HashMap<Op, u64>,
 }
 
 impl MemoryProfile {
     /// Usage right after `op` executed, if it is part of the profile.
     pub fn after(&self, op: Op) -> Option<u64> {
-        self.samples.iter().find(|(o, _)| *o == op).map(|&(_, m)| m)
+        if self.samples.is_empty() {
+            return None;
+        }
+        if self.index.is_empty() {
+            // Hand-built profile (no index): fall back to the scan.
+            return self.samples.iter().find(|(o, _)| *o == op).map(|&(_, m)| m);
+        }
+        self.index.get(&op).copied()
     }
 
     /// Usage samples taken after each output-gradient computation, in
@@ -59,11 +68,69 @@ pub fn forward_resident<C: CostModel>(graph: &TrainGraph, cost: &C) -> u64 {
         .sum()
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum Buffer {
+/// A temporary buffer tracked by the lifetime model.
+///
+/// The layer index is 1-based, matching [`LayerId`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Buffer {
+    /// Layer `i`'s input activation `a_i` (stashed by the forward pass).
     Activation(usize),
+    /// The gradient `g_i` w.r.t. layer `i`'s output.
     OutGrad(usize),
+    /// The weight-gradient result of `dW_i`, held until the update.
     WeightGrad(usize),
+}
+
+/// Bytes occupied by `buf` under `cost`.
+pub fn buffer_bytes<C: CostModel>(cost: &C, buf: Buffer) -> u64 {
+    match buf {
+        Buffer::Activation(i) => cost.activation_bytes(LayerId(i)),
+        Buffer::OutGrad(i) => cost.out_grad_bytes(LayerId(i)),
+        Buffer::WeightGrad(i) => cost.weight_bytes(LayerId(i)),
+    }
+}
+
+/// Buffers newly defined when `op` starts executing.
+///
+/// This is the per-op "bytes defined" declaration used by the static
+/// memory ledger: the loss defines `g_L`, `dO_i` defines `g_{i-1}`, and
+/// `dW_i` defines its weight-gradient buffer. Updates, synchronizations,
+/// and forwards define nothing — they only keep buffers alive (see
+/// [`buffer_consumers`]); a forward's output is the *next* window's
+/// activation stash, counted as that window's initial residency.
+pub fn op_allocations(graph: &TrainGraph, op: Op) -> Vec<Buffer> {
+    match op {
+        Op::Loss => vec![Buffer::OutGrad(graph.layers())],
+        Op::OutputGrad(LayerId(i)) if i > 1 => vec![Buffer::OutGrad(i - 1)],
+        Op::WeightGrad(LayerId(i)) => vec![Buffer::WeightGrad(i)],
+        _ => Vec::new(),
+    }
+}
+
+/// The graph consumers that must all run before `buf` can be freed.
+///
+/// Only consumers present in the graph count (layer 1 may have no
+/// `dO`; single-GPU graphs have no syncs). Weight-gradient buffers are
+/// kept alive by the data-parallel `S[dW_i]` *and* the update `U_i`.
+pub fn buffer_consumers(graph: &TrainGraph, buf: Buffer) -> Vec<Op> {
+    let candidates: [Op; 2] = match buf {
+        Buffer::Activation(i) | Buffer::OutGrad(i) => {
+            [Op::OutputGrad(LayerId(i)), Op::WeightGrad(LayerId(i))]
+        }
+        Buffer::WeightGrad(i) => [Op::SyncWeightGrad(LayerId(i)), Op::Update(LayerId(i))],
+    };
+    candidates
+        .into_iter()
+        .filter(|&op| graph.contains(op))
+        .collect()
+}
+
+/// Total bytes `op` defines when it starts, per [`op_allocations`].
+pub fn op_defined_bytes<C: CostModel>(graph: &TrainGraph, cost: &C, op: Op) -> u64 {
+    op_allocations(graph, op)
+        .into_iter()
+        .map(|b| buffer_bytes(cost, b))
+        .sum()
 }
 
 /// Computes the memory profile of a (possibly partial) execution order.
@@ -117,6 +184,7 @@ pub fn memory_profile<C: CostModel>(
     let initial = usage;
     let mut peak = usage;
     let mut samples = Vec::with_capacity(order.len());
+    let mut index: HashMap<Op, u64> = HashMap::with_capacity(order.len());
 
     // Multi-lane merged orders may place a consumer slightly before its
     // producer (the merge is an approximation of concurrent execution);
@@ -235,12 +303,14 @@ pub fn memory_profile<C: CostModel>(
             Op::SyncWeightGrad(_) | Op::SyncOutputGrad(_) | Op::Forward(_) => {}
         }
         samples.push((op, usage));
+        index.entry(op).or_insert(usage);
     }
 
     Ok(MemoryProfile {
         samples,
         initial,
         peak,
+        index,
     })
 }
 
@@ -324,5 +394,69 @@ mod tests {
         cost.layer_mut(LayerId(2)).activation_bytes = 100;
         let g = TrainGraph::single_gpu(3);
         assert_eq!(forward_resident(&g, &cost), 102);
+    }
+
+    #[test]
+    fn after_lookup_matches_linear_scan_on_10k_ops() {
+        // Regression: `after` used to scan `samples` linearly, which made
+        // per-op queries over large profiles quadratic. Profile a >10k-op
+        // order and query every op; the indexed lookup must agree with a
+        // fresh scan at every position.
+        let layers = 3400;
+        let g = TrainGraph::single_gpu(layers);
+        let order = g.conventional_backprop();
+        assert!(order.len() >= 10_000, "order has {} ops", order.len());
+        let p = memory_profile(&g, &order, &UnitCost).unwrap();
+        for &(op, usage) in &p.samples {
+            assert_eq!(p.after(op), Some(usage));
+        }
+        assert_eq!(p.after(Op::Forward(LayerId(layers + 1))), None);
+    }
+
+    #[test]
+    fn op_allocations_declare_defined_buffers() {
+        let g = TrainGraph::single_gpu(4);
+        assert_eq!(op_allocations(&g, Op::Loss), vec![Buffer::OutGrad(4)]);
+        assert_eq!(
+            op_allocations(&g, Op::OutputGrad(LayerId(3))),
+            vec![Buffer::OutGrad(2)]
+        );
+        assert_eq!(op_allocations(&g, Op::OutputGrad(LayerId(1))), vec![]);
+        assert_eq!(
+            op_allocations(&g, Op::WeightGrad(LayerId(2))),
+            vec![Buffer::WeightGrad(2)]
+        );
+        assert_eq!(op_allocations(&g, Op::Forward(LayerId(2))), vec![]);
+        assert_eq!(op_allocations(&g, Op::Update(LayerId(2))), vec![]);
+    }
+
+    #[test]
+    fn buffer_consumers_respect_graph_membership() {
+        let g = TrainGraph::single_gpu(3);
+        // Layer 1 has no dO, so only dW keeps its activation alive.
+        assert_eq!(
+            buffer_consumers(&g, Buffer::Activation(1)),
+            vec![Op::WeightGrad(LayerId(1))]
+        );
+        assert_eq!(
+            buffer_consumers(&g, Buffer::Activation(2)),
+            vec![Op::OutputGrad(LayerId(2)), Op::WeightGrad(LayerId(2))]
+        );
+        // Single-GPU graphs have no S[dW]; the update is the only keeper.
+        assert_eq!(
+            buffer_consumers(&g, Buffer::WeightGrad(2)),
+            vec![Op::Update(LayerId(2))]
+        );
+    }
+
+    #[test]
+    fn defined_bytes_follow_the_cost_model() {
+        let mut cost = TableCost::uniform(3, LayerCost::default());
+        cost.layer_mut(LayerId(2)).out_grad_bytes = 7;
+        cost.layer_mut(LayerId(3)).weight_bytes = 9;
+        let g = TrainGraph::single_gpu(3);
+        assert_eq!(op_defined_bytes(&g, &cost, Op::OutputGrad(LayerId(3))), 7);
+        assert_eq!(op_defined_bytes(&g, &cost, Op::WeightGrad(LayerId(3))), 9);
+        assert_eq!(op_defined_bytes(&g, &cost, Op::Update(LayerId(3))), 0);
     }
 }

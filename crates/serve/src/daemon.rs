@@ -101,6 +101,7 @@ struct Job {
     budget: Option<u64>,
     deadline: Option<Instant>,
     fault: Option<FaultDirective>,
+    memory_cap: Option<u64>,
     /// `Some` only when this job owns an in-flight cache reservation.
     cache_key: Option<String>,
 }
@@ -173,6 +174,7 @@ fn run_with_retries(shared: &Shared, job: &Job) -> Payload {
                 job.budget,
                 job.deadline,
                 job.fault,
+                job.memory_cap,
                 attempt as usize,
             )
         }));
@@ -560,6 +562,7 @@ pub fn serve<R: BufRead, W: Write + Send>(
                             budget: None,
                             deadline: None,
                             fault: None,
+                            memory_cap: None,
                             cache_key: None,
                         };
                         shared.depth.fetch_add(1, Ordering::SeqCst);
@@ -624,6 +627,7 @@ pub fn serve<R: BufRead, W: Write + Send>(
                                 budget: req.budget,
                                 deadline,
                                 fault: req.fault,
+                                memory_cap: req.memory_cap,
                                 cache_key: if owns_reservation { key.clone() } else { None },
                             };
                             shared.depth.fetch_add(1, Ordering::SeqCst);

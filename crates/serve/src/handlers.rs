@@ -35,11 +35,15 @@ fn tune_opts(
     deadline: Option<Instant>,
     require_complete: bool,
     target: Option<SimTime>,
+    memory_cap: Option<u64>,
 ) -> TuneOptions {
     let base = TuneOptions {
         require_complete,
-        target,
+        // An over-cap incumbent scores above any makespan floor, so a
+        // target is only a valid early-exit when no cap is in play.
+        target: if memory_cap.is_some() { None } else { target },
         deadline,
+        memory_cap,
         ..TuneOptions::default()
     };
     match tier {
@@ -89,10 +93,16 @@ fn tuned_fields(
     tuned: SimTime,
     certified: SimTime,
     floor: SimTime,
+    peak: Option<u64>,
+    cap: Option<u64>,
     k: Option<usize>,
     moves: usize,
     restarts_adopted: usize,
 ) -> Value {
+    let opt_num = |n: Option<u64>| match n {
+        Some(n) => Value::Num(n as f64),
+        None => Value::Null,
+    };
     obj([
         ("name", name.into()),
         ("kind", kind.into()),
@@ -102,6 +112,15 @@ fn tuned_fields(
         ("lower_bound", Value::Num(floor as f64)),
         ("proven_optimal", Value::Bool(certified == floor)),
         ("improved", Value::Bool(tuned < baseline)),
+        ("peak", opt_num(peak)),
+        ("memory_cap", opt_num(cap)),
+        (
+            "cap_met",
+            match (peak, cap) {
+                (Some(p), Some(c)) => Value::Bool(p <= c),
+                _ => Value::Null,
+            },
+        ),
         (
             "k",
             match k {
@@ -136,6 +155,7 @@ fn tune_error(e: Error) -> Payload {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn handle_order(
     layers: usize,
     k: usize,
@@ -144,6 +164,7 @@ fn handle_order(
     tier: Tier,
     budget: Option<u64>,
     deadline: Option<Instant>,
+    memory_cap: Option<u64>,
 ) -> Payload {
     let run = || -> Result<Payload, Error> {
         let graph = TrainGraph::data_parallel(layers);
@@ -164,7 +185,7 @@ fn handle_order(
             &cost,
             policy,
             KFamily::ReverseFirstK,
-            &tune_opts(tier, budget, deadline, true, Some(floor)),
+            &tune_opts(tier, budget, deadline, true, Some(floor), memory_cap),
         )?;
         let certified = certify_order(&graph, &tuned.order, &cost, policy)?;
         Ok(Payload::new(
@@ -180,6 +201,8 @@ fn handle_order(
                         tuned.predicted,
                         certified,
                         floor,
+                        tuned.peak,
+                        memory_cap,
                         tuned.k,
                         tuned.moves.len(),
                         tuned.restarts_adopted,
@@ -191,6 +214,7 @@ fn handle_order(
     run().unwrap_or_else(tune_error)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn tune_one_schedule(
     graph: &TrainGraph,
     name: &str,
@@ -198,13 +222,14 @@ fn tune_one_schedule(
     tier: Tier,
     budget: Option<u64>,
     deadline: Option<Instant>,
+    memory_cap: Option<u64>,
 ) -> Result<Value, Error> {
     let floor = certified_floor(graph, schedule, &UnitCost);
     let tuned: Tuned = tune_schedule(
         graph,
         schedule,
         &UnitCost,
-        &tune_opts(tier, budget, deadline, false, Some(floor)),
+        &tune_opts(tier, budget, deadline, false, Some(floor), memory_cap),
     )?;
     let certified = certify_schedule(graph, &tuned.schedule, &UnitCost)?;
     Ok(tuned_fields(
@@ -214,12 +239,15 @@ fn tune_one_schedule(
         tuned.predicted,
         certified,
         floor,
+        tuned.peak,
+        memory_cap,
         None,
         tuned.moves.len(),
         tuned.restarts_adopted,
     ))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn handle_bundle(
     bundle: &ScheduleBundle,
     wanted: Option<&str>,
@@ -227,6 +255,7 @@ fn handle_bundle(
     tier: Tier,
     budget: Option<u64>,
     deadline: Option<Instant>,
+    memory_cap: Option<u64>,
 ) -> Payload {
     let graph = match TrainGraph::new(bundle.graph.clone()) {
         Ok(g) => g,
@@ -279,7 +308,7 @@ fn handle_bundle(
                         &UnitCost,
                         policy,
                         KFamily::ReverseFirstK,
-                        &tune_opts(tier, budget, deadline, true, Some(floor)),
+                        &tune_opts(tier, budget, deadline, true, Some(floor), memory_cap),
                     )?;
                     let certified = certify_order(&graph, &t.order, &UnitCost, policy)?;
                     Ok(tuned_fields(
@@ -289,6 +318,8 @@ fn handle_bundle(
                         t.predicted,
                         certified,
                         floor,
+                        t.peak,
+                        memory_cap,
                         t.k,
                         t.moves.len(),
                         t.restarts_adopted,
@@ -296,7 +327,7 @@ fn handle_bundle(
                 })
         } else {
             let s = Schedule::single_lane(name, order.clone());
-            tune_one_schedule(&graph, name, &s, tier, budget, deadline)
+            tune_one_schedule(&graph, name, &s, tier, budget, deadline, memory_cap)
         };
         push(item, name);
     }
@@ -305,7 +336,7 @@ fn handle_bundle(
             continue;
         }
         push(
-            tune_one_schedule(&graph, name, schedule, tier, budget, deadline),
+            tune_one_schedule(&graph, name, schedule, tier, budget, deadline, memory_cap),
             name,
         );
     }
@@ -324,6 +355,7 @@ fn handle_bundle(
     )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn handle_pipeline(
     layers: usize,
     devices: usize,
@@ -332,6 +364,7 @@ fn handle_pipeline(
     tier: Tier,
     budget: Option<u64>,
     deadline: Option<Instant>,
+    memory_cap: Option<u64>,
 ) -> Payload {
     let run = || -> Result<Payload, Error> {
         let (pgraph, pschedule) =
@@ -343,7 +376,7 @@ fn handle_pipeline(
             strategy,
             group,
             &UnitCost,
-            &tune_opts(tier, budget, deadline, true, Some(floor)),
+            &tune_opts(tier, budget, deadline, true, Some(floor), memory_cap),
         )?;
         let certified = certify_schedule(&tuned.graph, &tuned.schedule, &UnitCost)?;
         Ok(Payload::new(
@@ -359,6 +392,8 @@ fn handle_pipeline(
                         tuned.predicted,
                         certified,
                         floor,
+                        tuned.peak,
+                        memory_cap,
                         Some(tuned.group),
                         tuned.moves.len(),
                         tuned.restarts_adopted,
@@ -437,12 +472,14 @@ fn handle_cert(
 /// The `fault` directive and `attempt` number implement the
 /// deterministic chaos contract: `panic` fires on every attempt,
 /// `flaky` only on the first (so a retry succeeds).
+#[allow(clippy::too_many_arguments)]
 pub fn handle(
     cmd: &Command,
     tier: Tier,
     budget: Option<u64>,
     deadline: Option<Instant>,
     fault: Option<FaultDirective>,
+    memory_cap: Option<u64>,
     attempt: usize,
 ) -> Payload {
     match fault {
@@ -458,19 +495,31 @@ pub fn handle(
             k,
             sync,
             policy,
-        } => handle_order(*layers, *k, *sync, *policy, tier, budget, deadline),
+        } => handle_order(
+            *layers, *k, *sync, *policy, tier, budget, deadline, memory_cap,
+        ),
         Command::Bundle {
             bundle,
             schedule,
             policy,
             ..
-        } => handle_bundle(bundle, schedule.as_deref(), *policy, tier, budget, deadline),
+        } => handle_bundle(
+            bundle,
+            schedule.as_deref(),
+            *policy,
+            tier,
+            budget,
+            deadline,
+            memory_cap,
+        ),
         Command::Pipeline {
             layers,
             devices,
             strategy,
             group,
-        } => handle_pipeline(*layers, *devices, *strategy, *group, tier, budget, deadline),
+        } => handle_pipeline(
+            *layers, *devices, *strategy, *group, tier, budget, deadline, memory_cap,
+        ),
         Command::Cert {
             layers,
             k,
@@ -496,11 +545,34 @@ mod tests {
                 sync: 3,
                 policy: CommPolicy::PriorityByLayer,
             };
-            let a = handle(&cmd, tier, None, None, None, 0);
-            let b = handle(&cmd, tier, None, None, None, 0);
+            let a = handle(&cmd, tier, None, None, None, None, 0);
+            let b = handle(&cmd, tier, None, None, None, None, 0);
             assert_eq!(a.body, b.body, "tier {tier:?}");
             assert_eq!(a.status, Status::Ok);
         }
+    }
+
+    #[test]
+    fn capped_order_requests_report_the_winner_peak() {
+        let cmd = Command::Order {
+            layers: 6,
+            k: 0,
+            sync: 3,
+            policy: CommPolicy::PriorityByLayer,
+        };
+        // Uncapped responses carry null peak/cap fields.
+        let free = handle(&cmd, Tier::Full, None, None, None, None, 0);
+        assert_eq!(free.status, Status::Ok);
+        assert!(free.body.contains("\"peak\":null"), "{}", free.body);
+        assert!(free.body.contains("\"cap_met\":null"), "{}", free.body);
+        // A generous cap is met and the exact ledger peak is reported.
+        let capped = handle(&cmd, Tier::Full, None, None, None, Some(1 << 30), 0);
+        assert_eq!(capped.status, Status::Ok, "{}", capped.body);
+        assert!(capped.body.contains("\"cap_met\":true"), "{}", capped.body);
+        assert!(!capped.body.contains("\"peak\":null"), "{}", capped.body);
+        // Deterministic under a cap, like every other request.
+        let again = handle(&cmd, Tier::Full, None, None, None, Some(1 << 30), 0);
+        assert_eq!(capped.body, again.body);
     }
 
     #[test]
@@ -511,12 +583,12 @@ mod tests {
             sync: 2,
             policy: CommPolicy::FifoCompletion,
         };
-        let p = handle(&cmd, Tier::Full, None, None, None, 0);
+        let p = handle(&cmd, Tier::Full, None, None, None, None, 0);
         assert_eq!(p.status, Status::Ok);
         assert!(p.body.contains("cert_status"), "{}", p.body);
         // Heuristic tier degrades to the static bracket but still
         // answers.
-        let h = handle(&cmd, Tier::Heuristic, None, None, None, 0);
+        let h = handle(&cmd, Tier::Heuristic, None, None, None, None, 0);
         assert_eq!(h.status, Status::Ok);
     }
 
@@ -535,6 +607,7 @@ mod tests {
                 None,
                 None,
                 Some(FaultDirective::Flaky),
+                None,
                 0,
             )
         });
@@ -545,6 +618,7 @@ mod tests {
             None,
             None,
             Some(FaultDirective::Flaky),
+            None,
             1,
         );
         assert_eq!(retried.status, Status::Ok);

@@ -21,6 +21,10 @@
 //!   in-flight work past the deadline returns best-so-far.
 //! - `tier` — explicit degradation tier (`full` / `greedy` /
 //!   `heuristic`), overriding the budget- and load-based selection.
+//! - `memory_cap_bytes` — static-ledger peak cap for the tuning
+//!   commands: the search minimizes makespan subject to
+//!   `peak <= cap` ([`ooo_tune::TuneOptions::memory_cap`]) and the
+//!   response reports the winner's exact peak. Ignored by `cert`.
 //! - `fault` — deterministic fault injection for the chaos harness:
 //!   `panic` (worker panics on every attempt), `flaky` (panics on the
 //!   first attempt, succeeds on retry), `kill` (worker thread dies
@@ -188,6 +192,8 @@ pub struct Request {
     pub tier: Option<Tier>,
     /// Deterministic fault injection.
     pub fault: Option<FaultDirective>,
+    /// Static-ledger peak cap in bytes for the tuning commands.
+    pub memory_cap: Option<u64>,
 }
 
 /// Response status, used for exit codes and stream statistics.
@@ -458,6 +464,7 @@ pub fn parse_request(line: &str, limits: &Limits) -> Result<Request, String> {
         timeout_ms: u64_field(&v, "timeout_ms")?,
         tier,
         fault,
+        memory_cap: u64_field(&v, "memory_cap_bytes")?,
     })
 }
 
@@ -478,6 +485,10 @@ impl Request {
         }
         let budget = match self.budget {
             Some(b) => b.to_string(),
+            None => "none".to_string(),
+        };
+        let mcap = match self.memory_cap {
+            Some(c) => c.to_string(),
             None => "none".to_string(),
         };
         let work = match &self.cmd {
@@ -521,7 +532,12 @@ impl Request {
             ),
             Command::Hold | Command::Release | Command::Stats => return None,
         };
-        Some(format!("{work};tier={};budget={budget}", tier.as_str()))
+        // A capped answer must never satisfy an uncapped request (or
+        // one with a different cap) — the cap is part of the work.
+        Some(format!(
+            "{work};tier={};budget={budget};mcap={mcap}",
+            tier.as_str()
+        ))
     }
 }
 
@@ -575,6 +591,26 @@ mod tests {
         assert_eq!(f.cache_key(Tier::Full), None);
         let t = parse_request(r#"{"cmd":"order","layers":4,"timeout_ms":5}"#, &limits).unwrap();
         assert_eq!(t.cache_key(Tier::Full), None);
+    }
+
+    #[test]
+    fn memory_cap_is_parsed_and_keys_the_cache() {
+        let limits = Limits::default();
+        let capped = parse_request(
+            r#"{"cmd":"order","layers":4,"memory_cap_bytes":64}"#,
+            &limits,
+        )
+        .unwrap();
+        assert_eq!(capped.memory_cap, Some(64));
+        let uncapped = parse_request(r#"{"cmd":"order","layers":4}"#, &limits).unwrap();
+        assert_eq!(uncapped.memory_cap, None);
+        // A capped answer must not be served from an uncapped entry.
+        assert_ne!(capped.cache_key(Tier::Full), uncapped.cache_key(Tier::Full));
+        assert!(parse_request(
+            r#"{"cmd":"order","layers":4,"memory_cap_bytes":"lots"}"#,
+            &limits
+        )
+        .is_err());
     }
 
     #[test]

@@ -4,11 +4,11 @@
 //!
 //! ```text
 //! ooo-tune order --layers N [--k K] [--sync NS] [--policy fifo|bylayer]
-//!                [--restarts N] [--window W] [--json] [--out FILE]
+//!                [--restarts N] [--window W] [--memory-cap BYTES] [--json] [--out FILE]
 //! ooo-tune bundle <bundle.json> [--schedule NAME] [--policy fifo|bylayer]
-//!                [--restarts N] [--window W] [--json] [--out FILE]
+//!                [--restarts N] [--window W] [--memory-cap BYTES] [--json] [--out FILE]
 //! ooo-tune pipeline --layers N --devices D --strategy NAME [--group G]
-//!                [--restarts N] [--window W] [--json] [--out FILE]
+//!                [--restarts N] [--window W] [--memory-cap BYTES] [--json] [--out FILE]
 //! ```
 //!
 //! `order` tunes a reverse-first-k backward order of a data-parallel
@@ -17,6 +17,11 @@
 //! JSON-exported [`ScheduleBundle`]. `pipeline` tunes one strategy's
 //! op-level schedule under unit cost. Every winner is certified:
 //! predicted makespan == simulated makespan, tolerance 0.
+//!
+//! `--memory-cap BYTES` turns the objective into *min makespan subject
+//! to ledger peak <= cap* ([`TuneOptions::memory_cap`]): candidates over
+//! the cap are rejected, and the output reports the winner's exact
+//! static ledger peak.
 //!
 //! Output is deterministic: the same input produces byte-identical
 //! output (CI runs every invocation twice and compares). Exit status:
@@ -39,11 +44,14 @@ use ooo_tune::{certify_schedule, tune_schedule, AppliedMove, Error, TuneOptions}
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: ooo-tune order --layers N [--k K] [--sync NS] \
-                     [--policy fifo|bylayer] [--restarts N] [--window W] [--json] [--out FILE]\n\
+                     [--policy fifo|bylayer] [--restarts N] [--window W] \
+                     [--memory-cap BYTES] [--json] [--out FILE]\n\
                      \x20      ooo-tune bundle <bundle.json> [--schedule NAME] \
-                     [--policy fifo|bylayer] [--restarts N] [--window W] [--json] [--out FILE]\n\
+                     [--policy fifo|bylayer] [--restarts N] [--window W] \
+                     [--memory-cap BYTES] [--json] [--out FILE]\n\
                      \x20      ooo-tune pipeline --layers N --devices D --strategy NAME \
-                     [--group G] [--restarts N] [--window W] [--json] [--out FILE]";
+                     [--group G] [--restarts N] [--window W] \
+                     [--memory-cap BYTES] [--json] [--out FILE]";
 
 enum Mode {
     Order {
@@ -79,6 +87,8 @@ struct Knobs {
     /// Relocation neighborhood cap ([`TuneOptions::window`]); `None`
     /// keeps the exact full-neighborhood search.
     window: Option<usize>,
+    /// Peak-memory cap on the objective ([`TuneOptions::memory_cap`]).
+    memory_cap: Option<u64>,
 }
 
 fn parse_strategy(name: &str) -> Result<Strategy, String> {
@@ -114,6 +124,7 @@ fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
     };
     let mut restarts = TuneOptions::default().restarts;
     let mut window = None;
+    let mut memory_cap = None;
     let mut json = false;
     let mut out = None;
 
@@ -139,6 +150,13 @@ fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
                     }
                     "--window" => {
                         window = Some(parse_usize("--window", need_value(&mut argv, "--window")?)?)
+                    }
+                    "--memory-cap" => {
+                        let v = need_value(&mut argv, "--memory-cap")?;
+                        memory_cap = Some(
+                            v.parse::<u64>()
+                                .map_err(|_| format!("--memory-cap: not a byte count: {v:?}"))?,
+                        );
                     }
                     "--json" => json = true,
                     "--out" => out = Some(need_value(&mut argv, "--out")?),
@@ -170,6 +188,13 @@ fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
                     }
                     "--window" => {
                         window = Some(parse_usize("--window", need_value(&mut argv, "--window")?)?)
+                    }
+                    "--memory-cap" => {
+                        let v = need_value(&mut argv, "--memory-cap")?;
+                        memory_cap = Some(
+                            v.parse::<u64>()
+                                .map_err(|_| format!("--memory-cap: not a byte count: {v:?}"))?,
+                        );
                     }
                     "--json" => json = true,
                     "--out" => out = Some(need_value(&mut argv, "--out")?),
@@ -217,6 +242,13 @@ fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
                     "--window" => {
                         window = Some(parse_usize("--window", need_value(&mut argv, "--window")?)?)
                     }
+                    "--memory-cap" => {
+                        let v = need_value(&mut argv, "--memory-cap")?;
+                        memory_cap = Some(
+                            v.parse::<u64>()
+                                .map_err(|_| format!("--memory-cap: not a byte count: {v:?}"))?,
+                        );
+                    }
                     "--json" => json = true,
                     "--out" => out = Some(need_value(&mut argv, "--out")?),
                     "--help" | "-h" => return Err(USAGE.to_string()),
@@ -242,7 +274,11 @@ fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
     };
     Ok(Args {
         mode,
-        knobs: Knobs { restarts, window },
+        knobs: Knobs {
+            restarts,
+            window,
+            memory_cap,
+        },
         json,
         out,
     })
@@ -262,6 +298,10 @@ struct Outcome {
     /// tuned schedule is provably makespan-optimal for its op set and
     /// lane structure.
     proven_optimal: bool,
+    /// Exact static ledger peak of the winner, present iff a memory cap
+    /// was requested; `cap_met` records whether it landed under the cap.
+    peak: Option<u64>,
+    cap: Option<u64>,
     k: Option<usize>,
     moves: Vec<AppliedMove>,
     restarts_adopted: usize,
@@ -311,6 +351,27 @@ fn outcome_to_json(o: &Outcome) -> Value {
         ("lower_bound", Value::Num(o.lower_bound as f64)),
         ("proven_optimal", Value::Bool(o.proven_optimal)),
         ("improved", Value::Bool(o.tuned < o.baseline)),
+        (
+            "peak",
+            match o.peak {
+                Some(p) => Value::Num(p as f64),
+                None => Value::Null,
+            },
+        ),
+        (
+            "memory_cap",
+            match o.cap {
+                Some(c) => Value::Num(c as f64),
+                None => Value::Null,
+            },
+        ),
+        (
+            "cap_met",
+            match (o.peak, o.cap) {
+                (Some(p), Some(c)) => Value::Bool(p <= c),
+                _ => Value::Null,
+            },
+        ),
         (
             "k",
             match o.k {
@@ -363,6 +424,12 @@ fn item_to_human(r: &ItemResult) -> String {
                     "already optimal under the move set"
                 }
             );
+            if let (Some(p), Some(c)) = (o.peak, o.cap) {
+                s.push_str(&format!(
+                    "  ledger peak {p} bytes vs cap {c} ({})\n",
+                    if p <= c { "met" } else { "exceeded" }
+                ));
+            }
             for m in &o.moves {
                 s.push_str(&format!(
                     "  {} {} -> {}\n",
@@ -386,8 +453,15 @@ fn opts_with(knobs: Knobs, require_complete: bool, target: Option<SimTime>) -> T
     TuneOptions {
         restarts: knobs.restarts,
         window: knobs.window,
+        memory_cap: knobs.memory_cap,
         require_complete,
-        target,
+        // An over-cap incumbent scores above any makespan floor, so a
+        // target is only an early-exit when no cap is in play.
+        target: if knobs.memory_cap.is_some() {
+            None
+        } else {
+            target
+        },
         ..TuneOptions::default()
     }
 }
@@ -451,6 +525,8 @@ fn run_order_mode(
         certified,
         lower_bound: floor,
         proven_optimal: certified == floor,
+        peak: tuned.peak,
+        cap: knobs.memory_cap,
         k: tuned.k,
         moves: tuned.moves,
         restarts_adopted: tuned.restarts_adopted,
@@ -501,6 +577,8 @@ fn run_bundle_mode(
                         certified,
                         lower_bound: floor,
                         proven_optimal: certified == floor,
+                        peak: t.peak,
+                        cap: knobs.memory_cap,
                         k: t.k,
                         moves: t.moves,
                         restarts_adopted: t.restarts_adopted,
@@ -553,6 +631,8 @@ fn tune_one_schedule(
         certified,
         lower_bound: floor,
         proven_optimal: certified == floor,
+        peak: tuned.peak,
+        cap: knobs.memory_cap,
         k: None,
         moves: tuned.moves,
         restarts_adopted: tuned.restarts_adopted,
@@ -595,6 +675,8 @@ fn run_pipeline_mode(
         certified,
         lower_bound: floor,
         proven_optimal: certified == floor,
+        peak: tuned.peak,
+        cap: knobs.memory_cap,
         k: Some(tuned.group),
         moves: tuned.moves,
         restarts_adopted: tuned.restarts_adopted,

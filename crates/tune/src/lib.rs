@@ -47,6 +47,7 @@ pub mod pipeline;
 use ooo_core::cost::CostModel;
 use ooo_core::schedule::Schedule;
 use ooo_core::{SimTime, TrainGraph};
+use ooo_verify::mem::schedule_peak;
 use ooo_verify::predict::{predict_makespan, DeltaEval};
 use ooo_verify::{Report, Verifier, VerifyConfig};
 use rand::rngs::StdRng;
@@ -155,6 +156,15 @@ pub struct TuneOptions {
     /// Optional memory budget forwarded to the verifier's liveness
     /// analysis (OV301).
     pub memory_budget: Option<u64>,
+    /// Optional peak-memory cap on the *objective*: candidates whose
+    /// exact static ledger peak ([`ooo_verify::mem::schedule_peak`])
+    /// exceeds the cap score a large constant penalty on top of their
+    /// makespan, so the search minimizes makespan subject to `peak <=
+    /// cap` — an over-cap incumbent first descends into the feasible
+    /// region (any under-cap candidate beats any over-cap one), then
+    /// minimizes makespan inside it. Scoring needs the full ledger per
+    /// candidate, so a cap disables the delta-evaluation fast path.
+    pub memory_cap: Option<u64>,
     /// Optional certified target makespan (a proven lower bound, e.g.
     /// from `ooo_core::bounds::lower_bound` or an `ooo-cert`
     /// certificate). The search stops as soon as the incumbent reaches
@@ -204,6 +214,7 @@ impl Default for TuneOptions {
             cross_lane: true,
             require_complete: true,
             memory_budget: None,
+            memory_cap: None,
             target: None,
             parallel: true,
             window: None,
@@ -241,6 +252,9 @@ pub struct Tuned {
     pub baseline: SimTime,
     /// Predicted makespan of the tuned schedule.
     pub predicted: SimTime,
+    /// Static ledger peak of the tuned schedule; populated iff
+    /// [`TuneOptions::memory_cap`] was set.
+    pub peak: Option<u64>,
     /// The accepted move trajectory from input to winner.
     pub moves: Vec<AppliedMove>,
     /// How many restart perturbations were adopted.
@@ -251,6 +265,33 @@ impl Tuned {
     /// `true` when the tuner strictly beat the baseline.
     pub fn improved(&self) -> bool {
         self.predicted < self.baseline
+    }
+}
+
+/// The penalty a candidate over the memory cap pays on its score: large
+/// enough that any under-cap candidate outranks any over-cap one, small
+/// enough that `saturating_add` never wraps the ordering inside either
+/// class.
+pub(crate) const MEMORY_CAP_PENALTY: SimTime = 1 << 40;
+
+/// Penalized objective: the raw makespan, plus [`MEMORY_CAP_PENALTY`]
+/// when the exact ledger peak exceeds `cap`. `None` (no cap, or the
+/// ledger cannot be built) leaves the makespan alone / fails the state.
+pub(crate) fn capped_score(
+    makespan: SimTime,
+    cap: Option<u64>,
+    peak: impl FnOnce() -> Option<u64>,
+) -> Option<SimTime> {
+    match cap {
+        None => Some(makespan),
+        Some(cap) => {
+            let p = peak()?;
+            Some(if p > cap {
+                makespan.saturating_add(MEMORY_CAP_PENALTY)
+            } else {
+                makespan
+            })
+        }
     }
 }
 
@@ -528,15 +569,19 @@ struct ScheduleSpace<'g, C: CostModel> {
     verifier: Verifier<'g, &'g C>,
     cross_lane: bool,
     window: Option<usize>,
+    memory_cap: Option<u64>,
 }
 
 impl<C: CostModel + Sync> SearchSpace for ScheduleSpace<'_, C> {
     type State = Schedule;
 
     fn score(&self, state: &Schedule) -> Option<SimTime> {
-        predict_makespan(self.graph, state, self.cost)
+        let m = predict_makespan(self.graph, state, self.cost)
             .ok()
-            .map(|p| p.makespan())
+            .map(|p| p.makespan())?;
+        capped_score(m, self.memory_cap, || {
+            schedule_peak(self.graph, state, self.cost).ok()
+        })
     }
 
     fn clean(&self, state: &Schedule) -> bool {
@@ -548,7 +593,20 @@ impl<C: CostModel + Sync> SearchSpace for ScheduleSpace<'_, C> {
     }
 
     /// Delta-evaluated scoring: see [`delta_scored_schedule_moves`].
+    /// Under a memory cap every candidate needs its full ledger, which
+    /// the makespan-only delta probe cannot provide, so the cap falls
+    /// back to full scoring.
     fn scored_candidates(&self, state: &Schedule) -> Vec<(Schedule, String, Option<SimTime>)> {
+        if self.memory_cap.is_some() {
+            return self
+                .candidates(state)
+                .into_iter()
+                .map(|(st, d)| {
+                    let m = self.score(&st);
+                    (st, d, m)
+                })
+                .collect();
+        }
         delta_scored_schedule_moves(self.graph, self.cost, state, self.cross_lane, self.window)
     }
 }
@@ -766,20 +824,42 @@ pub fn tune_schedule<C: CostModel + Sync>(
     if !report.is_clean() {
         return Err(Error::Unsafe(report));
     }
-    let base_m = predict_makespan(graph, baseline, cost)?.makespan();
+    let base_raw = predict_makespan(graph, baseline, cost)?.makespan();
+    let base_m = match opts.memory_cap {
+        None => base_raw,
+        Some(cap) => {
+            let peak = schedule_peak(graph, baseline, cost)?;
+            if peak > cap {
+                base_raw.saturating_add(MEMORY_CAP_PENALTY)
+            } else {
+                base_raw
+            }
+        }
+    };
     let space = ScheduleSpace {
         graph,
         cost,
         verifier,
         cross_lane: opts.cross_lane,
         window: opts.window,
+        memory_cap: opts.memory_cap,
     };
     let (schedule, predicted, moves, restarts_adopted) =
         local_search(&space, baseline.clone(), base_m, opts);
+    // Capped scores carry the penalty; report the raw makespan (and the
+    // winner's exact peak) instead.
+    let (predicted, peak) = match opts.memory_cap {
+        None => (predicted, None),
+        Some(_) => (
+            predict_makespan(graph, &schedule, cost)?.makespan(),
+            Some(schedule_peak(graph, &schedule, cost)?),
+        ),
+    };
     Ok(Tuned {
         schedule,
-        baseline: base_m,
+        baseline: base_raw,
         predicted,
+        peak,
         moves,
         restarts_adopted,
     })
@@ -913,6 +993,63 @@ mod tests {
         assert_eq!(tuned.schedule, baseline);
         assert_eq!(tuned.predicted, tuned.baseline);
         certify_schedule(&graph, &tuned.schedule, &UnitCost).unwrap();
+    }
+
+    #[test]
+    fn memory_cap_steers_the_search_under_the_budget() {
+        use ooo_core::cost::{LayerCost, TableCost};
+        use ooo_core::op::LayerId;
+        // Eager dW run, update tail at the end: every wgrad stays live
+        // until its late update, stacking the peak. On a single lane the
+        // makespan is reorder-invariant, so only the cap penalty can
+        // drive the search — it must find [dW, U] deferrals that bring
+        // the ledger peak under the cap.
+        let l = 5;
+        let graph = TrainGraph::single_gpu(l);
+        let cost = TableCost::uniform(
+            l,
+            LayerCost {
+                weight_bytes: 10,
+                ..LayerCost::default()
+            },
+        );
+        let mut ops = vec![Op::Loss];
+        for i in (2..=l).rev() {
+            ops.push(Op::OutputGrad(LayerId(i)));
+        }
+        for i in (1..=l).rev() {
+            ops.push(Op::WeightGrad(LayerId(i)));
+        }
+        for i in 1..=l {
+            ops.push(Op::Update(LayerId(i)));
+        }
+        for i in 1..=l {
+            ops.push(Op::Forward(LayerId(i)));
+        }
+        let baseline = Schedule::single_lane("gpu", ops);
+        let base_peak = ooo_verify::mem::schedule_peak(&graph, &baseline, &cost).unwrap();
+        let cap = base_peak * 9 / 10;
+        let opts = TuneOptions {
+            memory_cap: Some(cap),
+            ..TuneOptions::default()
+        };
+        let tuned = tune_schedule(&graph, &baseline, &cost, &opts).unwrap();
+        let peak = tuned.peak.expect("cap set implies a reported peak");
+        assert!(
+            peak <= cap,
+            "peak {peak} exceeds cap {cap} (base {base_peak})"
+        );
+        assert_eq!(
+            peak,
+            ooo_verify::mem::schedule_peak(&graph, &tuned.schedule, &cost).unwrap()
+        );
+        // The winner still certifies: reported makespans are raw, not
+        // penalty-laden.
+        let certified = certify_schedule(&graph, &tuned.schedule, &cost).unwrap();
+        assert_eq!(certified, tuned.predicted);
+        // Without a cap the same input reports no peak and stays put.
+        let untouched = tune_schedule(&graph, &baseline, &cost, &TuneOptions::default()).unwrap();
+        assert_eq!(untouched.peak, None);
     }
 
     #[test]

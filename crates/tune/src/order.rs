@@ -44,6 +44,9 @@ pub struct TunedOrder {
     pub baseline: SimTime,
     /// Predicted makespan of the tuned order.
     pub predicted: SimTime,
+    /// Static ledger peak of the tuned order's realized schedule;
+    /// populated iff [`TuneOptions::memory_cap`] was set.
+    pub peak: Option<u64>,
     /// The accepted move trajectory.
     pub moves: Vec<AppliedMove>,
     /// How many restart perturbations were adopted.
@@ -70,6 +73,7 @@ struct OrderSpace<'g, C: CostModel> {
     family: KFamily,
     verifier: Verifier<'g, &'g C>,
     window: Option<usize>,
+    memory_cap: Option<u64>,
 }
 
 impl<C: CostModel> OrderSpace<'_, C> {
@@ -136,9 +140,12 @@ impl<C: CostModel + Sync> SearchSpace for OrderSpace<'_, C> {
 
     fn score(&self, state: &OrderState) -> Option<SimTime> {
         let s = datapar_schedule(self.graph, &state.order, self.cost, self.policy).ok()?;
-        predict_makespan(self.graph, &s, self.cost)
+        let m = predict_makespan(self.graph, &s, self.cost)
             .ok()
-            .map(|p| p.makespan())
+            .map(|p| p.makespan())?;
+        crate::capped_score(m, self.memory_cap, || {
+            ooo_verify::mem::schedule_peak(self.graph, &s, self.cost).ok()
+        })
     }
 
     fn clean(&self, state: &OrderState) -> bool {
@@ -168,6 +175,18 @@ impl<C: CostModel + Sync> SearchSpace for OrderSpace<'_, C> {
     /// are identical either way — the probe is the exact predictor on
     /// the identical realized schedule.
     fn scored_candidates(&self, state: &OrderState) -> Vec<(OrderState, String, Option<SimTime>)> {
+        // A memory cap needs the full ledger per candidate; the
+        // makespan-only delta probe cannot supply it.
+        if self.memory_cap.is_some() {
+            return self
+                .candidates(state)
+                .into_iter()
+                .map(|(st, d)| {
+                    let m = self.score(&st);
+                    (st, d, m)
+                })
+                .collect();
+        }
         let mut out: Vec<(OrderState, String, Option<SimTime>)> = self
             .k_jumps(state)
             .into_iter()
@@ -237,7 +256,18 @@ pub fn tune_backward_order<C: CostModel + Sync>(
     if !report.is_clean() {
         return Err(Error::Unsafe(report));
     }
-    let base_m = predict_makespan(graph, &realized, cost)?.makespan();
+    let base_raw = predict_makespan(graph, &realized, cost)?.makespan();
+    let base_m = match opts.memory_cap {
+        None => base_raw,
+        Some(cap) => {
+            let peak = ooo_verify::mem::schedule_peak(graph, &realized, cost)?;
+            if peak > cap {
+                base_raw.saturating_add(crate::MEMORY_CAP_PENALTY)
+            } else {
+                base_raw
+            }
+        }
+    };
     let space = OrderSpace {
         graph,
         cost,
@@ -245,17 +275,31 @@ pub fn tune_backward_order<C: CostModel + Sync>(
         family,
         verifier,
         window: opts.window,
+        memory_cap: opts.memory_cap,
     };
     let init = OrderState {
         order: baseline.to_vec(),
         k: baseline_k,
     };
     let (state, predicted, moves, restarts_adopted) = local_search(&space, init, base_m, opts);
+    // Capped scores carry the penalty; report the raw makespan (and the
+    // winner's exact peak) instead.
+    let (predicted, peak) = match opts.memory_cap {
+        None => (predicted, None),
+        Some(_) => {
+            let s = datapar_schedule(graph, &state.order, cost, policy)?;
+            (
+                predict_makespan(graph, &s, cost)?.makespan(),
+                Some(ooo_verify::mem::schedule_peak(graph, &s, cost)?),
+            )
+        }
+    };
     Ok(TunedOrder {
         order: state.order,
         k: state.k,
-        baseline: base_m,
+        baseline: base_raw,
         predicted,
+        peak,
         moves,
         restarts_adopted,
     })

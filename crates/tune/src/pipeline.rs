@@ -31,6 +31,9 @@ pub struct TunedPipeline {
     pub baseline: SimTime,
     /// Predicted makespan of the tuned schedule.
     pub predicted: SimTime,
+    /// Static ledger peak of the tuned schedule; populated iff
+    /// [`TuneOptions::memory_cap`] was set.
+    pub peak: Option<u64>,
     /// The accepted move trajectory.
     pub moves: Vec<AppliedMove>,
     /// How many restart perturbations were adopted.
@@ -58,6 +61,7 @@ struct PipeSpace<'g, C: CostModel> {
     devices: usize,
     strategy: Strategy,
     window: Option<usize>,
+    memory_cap: Option<u64>,
 }
 
 impl<C: CostModel> PipeSpace<'_, C> {
@@ -86,9 +90,12 @@ impl<C: CostModel + Sync> SearchSpace for PipeSpace<'_, C> {
     type State = PipeState;
 
     fn score(&self, state: &PipeState) -> Option<SimTime> {
-        predict_makespan(self.graph, &state.schedule, self.cost)
+        let m = predict_makespan(self.graph, &state.schedule, self.cost)
             .ok()
-            .map(|p| p.makespan())
+            .map(|p| p.makespan())?;
+        crate::capped_score(m, self.memory_cap, || {
+            ooo_verify::mem::schedule_peak(self.graph, &state.schedule, self.cost).ok()
+        })
     }
 
     fn clean(&self, state: &PipeState) -> bool {
@@ -116,6 +123,18 @@ impl<C: CostModel + Sync> SearchSpace for PipeSpace<'_, C> {
     /// ([`crate::delta_scored_schedule_moves`]) — cone-only rescoring
     /// per candidate, identical scores.
     fn scored_candidates(&self, state: &PipeState) -> Vec<(PipeState, String, Option<SimTime>)> {
+        // A memory cap needs the full ledger per candidate; the
+        // makespan-only delta probe cannot supply it.
+        if self.memory_cap.is_some() {
+            return self
+                .candidates(state)
+                .into_iter()
+                .map(|(st, d)| {
+                    let m = self.score(&st);
+                    (st, d, m)
+                })
+                .collect();
+        }
         let mut out: Vec<(PipeState, String, Option<SimTime>)> = self
             .regroups(state)
             .into_iter()
@@ -167,7 +186,18 @@ pub fn tune_pipeline<C: CostModel + Sync>(
     if !report.is_clean() {
         return Err(Error::Unsafe(report));
     }
-    let base_m = predict_makespan(&graph, &baseline, cost)?.makespan();
+    let base_raw = predict_makespan(&graph, &baseline, cost)?.makespan();
+    let base_m = match opts.memory_cap {
+        None => base_raw,
+        Some(cap) => {
+            let peak = ooo_verify::mem::schedule_peak(&graph, &baseline, cost)?;
+            if peak > cap {
+                base_raw.saturating_add(crate::MEMORY_CAP_PENALTY)
+            } else {
+                base_raw
+            }
+        }
+    };
     let space = PipeSpace {
         graph: &graph,
         cost,
@@ -176,18 +206,33 @@ pub fn tune_pipeline<C: CostModel + Sync>(
         devices,
         strategy,
         window: opts.window,
+        memory_cap: opts.memory_cap,
     };
     let init = PipeState {
         schedule: baseline,
         group,
     };
     let (state, predicted, moves, restarts_adopted) = local_search(&space, init, base_m, opts);
+    // Capped scores carry the penalty; report the raw makespan (and the
+    // winner's exact peak) instead.
+    let (predicted, peak) = match opts.memory_cap {
+        None => (predicted, None),
+        Some(_) => (
+            predict_makespan(&graph, &state.schedule, cost)?.makespan(),
+            Some(ooo_verify::mem::schedule_peak(
+                &graph,
+                &state.schedule,
+                cost,
+            )?),
+        ),
+    };
     Ok(TunedPipeline {
         graph: graph.clone(),
         schedule: state.schedule,
         group: state.group,
-        baseline: base_m,
+        baseline: base_raw,
         predicted,
+        peak,
         moves,
         restarts_adopted,
     })

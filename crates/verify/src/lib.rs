@@ -37,6 +37,11 @@
 //! | `OP301` | advice | reverse first-k depth is off the concave-model optimum |
 //! | `OP401` | advice | pipeline bubble fraction exceeds the modulo-allocation bound |
 //! | `OP501` | advice | deferring a dW op would shrink the peak-memory high-water mark |
+//! | `OM101` | error | op accesses a buffer outside its static residency interval |
+//! | `OM201` | error | free plan double-frees or misattributes a buffer lifetime |
+//! | `OM301` | error | ledger peak exceeds the budget (exact witness interval) |
+//! | `OM401` | advice | buffer retained past its last use; a validated early free lowers peak |
+//! | `OM501` | advice | ooo reordering inflates peak vs in-order; a validated deferral restores it |
 //!
 //! ## Analyses
 //!
@@ -73,6 +78,7 @@
 
 pub mod access;
 pub mod hb;
+pub mod mem;
 pub mod perf;
 pub mod predict;
 
@@ -154,6 +160,23 @@ pub enum RuleId {
     /// `OP501`: a `dW` op executed early keeps its gradient buffer live
     /// across the peak; deferring it would shrink the high-water mark.
     PeakMemoryHotspot,
+    /// `OM101`: a scheduled op accesses a buffer before it is defined or
+    /// after its last keeper freed it.
+    UseOfFreedBuffer,
+    /// `OM201`: an explicit free plan frees one buffer twice, frees a
+    /// never-resident buffer, or attributes a free to an unscheduled op.
+    DoubleFree,
+    /// `OM301`: the exact ledger peak exceeds the memory budget; the
+    /// finding carries the witness interval and the resident set.
+    PeakOverBudget,
+    /// `OM401`: a buffer is retained to the window end by an unscheduled
+    /// consumer although freeing it after its last scheduled use is
+    /// clean and strictly lowers the peak.
+    RetainedPastLastUse,
+    /// `OM501`: out-of-order reordering inflates the peak over the
+    /// in-order baseline and a single validated `dW` deferral restores
+    /// the target.
+    ReorderInflatesPeak,
 }
 
 /// Every analyzer rule, in rule-code order — the single source the
@@ -172,6 +195,11 @@ pub const RULES: &[RuleId] = &[
     RuleId::SuboptimalReverseK,
     RuleId::ExcessPipelineBubble,
     RuleId::PeakMemoryHotspot,
+    RuleId::UseOfFreedBuffer,
+    RuleId::DoubleFree,
+    RuleId::PeakOverBudget,
+    RuleId::RetainedPastLastUse,
+    RuleId::ReorderInflatesPeak,
 ];
 
 impl RuleId {
@@ -191,6 +219,11 @@ impl RuleId {
             RuleId::SuboptimalReverseK => "OP301",
             RuleId::ExcessPipelineBubble => "OP401",
             RuleId::PeakMemoryHotspot => "OP501",
+            RuleId::UseOfFreedBuffer => "OM101",
+            RuleId::DoubleFree => "OM201",
+            RuleId::PeakOverBudget => "OM301",
+            RuleId::RetainedPastLastUse => "OM401",
+            RuleId::ReorderInflatesPeak => "OM501",
         }
     }
 
@@ -202,7 +235,9 @@ impl RuleId {
             | RuleId::AvoidableBarrierStall
             | RuleId::SuboptimalReverseK
             | RuleId::ExcessPipelineBubble
-            | RuleId::PeakMemoryHotspot => Severity::Advice,
+            | RuleId::PeakMemoryHotspot
+            | RuleId::RetainedPastLastUse
+            | RuleId::ReorderInflatesPeak => Severity::Advice,
             _ => Severity::Error,
         }
     }
@@ -226,6 +261,17 @@ impl RuleId {
             }
             RuleId::PeakMemoryHotspot => {
                 "deferring a dW op would shrink the peak-memory high-water mark"
+            }
+            RuleId::UseOfFreedBuffer => {
+                "op accesses a buffer outside its static residency interval"
+            }
+            RuleId::DoubleFree => "free plan double-frees or misattributes a buffer lifetime",
+            RuleId::PeakOverBudget => "ledger peak exceeds the budget (exact witness interval)",
+            RuleId::RetainedPastLastUse => {
+                "buffer retained past its last use; a validated early free lowers peak"
+            }
+            RuleId::ReorderInflatesPeak => {
+                "ooo reordering inflates peak vs in-order; a validated deferral restores it"
             }
         }
     }
@@ -661,11 +707,12 @@ mod tests {
 
     #[test]
     fn rule_tables_are_generated_from_summaries() {
-        // One source of truth: the crate-docs table and the README table
-        // must both carry exactly the row `RuleId::summary` renders for
-        // every rule, so the three never drift apart.
+        // One source of truth: the crate-docs table, the README table,
+        // and the DESIGN §16 OM table must all carry exactly the row
+        // `RuleId::summary` renders for every rule, so none drift apart.
         let lib = include_str!("lib.rs");
         let readme = include_str!("../../../README.md");
+        let design = include_str!("../../../DESIGN.md");
         for &rule in RULES {
             let row = format!(
                 "| `{}` | {} | {} |",
@@ -675,6 +722,9 @@ mod tests {
             );
             assert!(lib.contains(&row), "crate docs missing row: {row}");
             assert!(readme.contains(&row), "README missing row: {row}");
+            if rule.code().starts_with("OM") {
+                assert!(design.contains(&row), "DESIGN missing row: {row}");
+            }
         }
     }
 

@@ -18,7 +18,7 @@ use crate::predict::{datapar_schedule, predict_makespan, Prediction};
 use crate::{Diagnostic, Report, RuleId, Verifier, VerifyConfig};
 use ooo_core::cost::{CostModel, UnitCost};
 use ooo_core::datapar::CommPolicy;
-use ooo_core::memory::memory_profile;
+use ooo_core::memory::{memory_profile, Buffer};
 use ooo_core::pipeline::{op_level_schedule, Strategy};
 use ooo_core::reverse_k::reverse_first_k;
 use ooo_core::schedule::Schedule;
@@ -486,9 +486,12 @@ impl<'g, C: CostModel> PerfAdvisor<'g, C> {
     /// high-water mark.
     fn check_memory_hotspot(&self, schedule: &Schedule, advice: &mut Vec<Advice>) {
         if schedule.lanes.len() != 1 {
-            // Memory accounting is sequential; advising on a merged
-            // multi-lane linearization would attribute the peak to an
-            // ordering the lanes never guarantee.
+            // Multi-lane schedules run on the exact event ledger of
+            // [`crate::mem`] instead of the sequential profile (which
+            // would attribute the peak to a linearization the lanes never
+            // guarantee). The single-lane path below stays on the
+            // sequential profile for output stability.
+            self.check_memory_hotspot_multilane(schedule, advice);
             return;
         }
         let order = &schedule.lanes[0].ops;
@@ -552,6 +555,89 @@ impl<'g, C: CostModel> PerfAdvisor<'g, C> {
                         "peak memory {peak} bytes{}; deferring {op} to slot {to_index} \
                          shrinks the high-water mark to {new_peak} bytes",
                         at.map(|o| format!(" occurs at {o}")).unwrap_or_default()
+                    ),
+                },
+                suggestion: Some(Suggestion::DeferOp { lane, op, to_index }),
+            });
+        }
+    }
+
+    /// The multi-lane `OP501` scan, rebased on the exact static ledger of
+    /// [`crate::mem`]: a `dW` whose gradient buffer is resident at the
+    /// ledger peak is deferred within its lane when the move strictly
+    /// lowers the ledger peak and the mutated schedule verifies clean.
+    fn check_memory_hotspot_multilane(&self, schedule: &Schedule, advice: &mut Vec<Advice>) {
+        let Ok(ledger) = crate::mem::ledger_of_schedule(self.graph, schedule, &self.cost) else {
+            return;
+        };
+        let peak = ledger.peak;
+        // (reduction, lane index, position, op, to_index, new peak)
+        let mut best: Option<(u64, usize, usize, Op, usize, u64)> = None;
+        for (li, lane) in schedule.lanes.iter().enumerate() {
+            for (p, &op) in lane.ops.iter().enumerate() {
+                let Op::WeightGrad(l) = op else {
+                    continue;
+                };
+                // The gradient buffer must be resident at the peak for
+                // the deferral to matter.
+                if !ledger.resident_at_peak.contains(&Buffer::WeightGrad(l.0)) {
+                    continue;
+                }
+                let Ok(dependents) = self.graph.dependents(op) else {
+                    continue;
+                };
+                let to_index = lane.ops[p + 1..]
+                    .iter()
+                    .position(|o| dependents.contains(o))
+                    .map(|rel| p + rel)
+                    .unwrap_or(lane.ops.len() - 1);
+                if to_index <= p {
+                    continue;
+                }
+                let suggestion = Suggestion::DeferOp {
+                    lane: lane.name.clone(),
+                    op,
+                    to_index,
+                };
+                let Some(mutated) = suggestion.apply(schedule) else {
+                    continue;
+                };
+                let Ok(new_ledger) =
+                    crate::mem::ledger_of_schedule(self.graph, &mutated, &self.cost)
+                else {
+                    continue;
+                };
+                if new_ledger.peak >= peak {
+                    continue;
+                }
+                let report = Verifier::new(self.graph)
+                    .with_config(VerifyConfig {
+                        require_complete: false,
+                        ..VerifyConfig::default()
+                    })
+                    .verify(&mutated);
+                if !report.is_clean() {
+                    continue;
+                }
+                let reduction = peak - new_ledger.peak;
+                if best.is_none_or(|(r, bl, bp, ..)| {
+                    reduction > r || (reduction == r && (li, p) < (bl, bp))
+                }) {
+                    best = Some((reduction, li, p, op, to_index, new_ledger.peak));
+                }
+            }
+        }
+        if let Some((_, li, _, op, to_index, new_peak)) = best {
+            let lane = schedule.lanes[li].name.clone();
+            advice.push(Advice {
+                diagnostic: Diagnostic {
+                    rule: RuleId::PeakMemoryHotspot,
+                    ops: vec![op],
+                    lanes: vec![lane.clone()],
+                    message: format!(
+                        "ledger peak {peak} bytes holds wgrad buffers live across the \
+                         high-water mark; deferring {op} to slot {to_index} of lane {lane} \
+                         shrinks it to {new_peak} bytes"
                     ),
                 },
                 suggestion: Some(Suggestion::DeferOp { lane, op, to_index }),
@@ -841,6 +927,52 @@ mod tests {
         let before = memory_profile(&g, &order, &cost).unwrap().peak;
         let fixed = hits[0].suggestion.as_ref().unwrap().apply(&s).unwrap();
         let after = memory_profile(&g, &fixed.lanes[0].ops, &cost).unwrap().peak;
+        assert!(after < before, "{after} vs {before}");
+    }
+
+    #[test]
+    fn op501_fires_on_multi_lane_schedules_via_the_ledger() {
+        // Heavy dW4 executed right after the loss on the compute lane,
+        // its consumers living on the link lane: the gradient buffer
+        // spans the ledger peak. Before the ledger rebase this schedule
+        // was bailed out on (multi-lane); now the deferral scan runs and
+        // the suggested move strictly shrinks the ledger peak.
+        let g = TrainGraph::data_parallel(4);
+        let mut cost = TableCost::uniform(4, LayerCost::default());
+        cost.layer_mut(LayerId(4)).weight_bytes = 20;
+        let mut s = Schedule::default();
+        s.add_lane(
+            "gpu",
+            vec![
+                Op::Loss,
+                Op::WeightGrad(LayerId(4)),
+                Op::OutputGrad(LayerId(4)),
+                Op::OutputGrad(LayerId(3)),
+                Op::OutputGrad(LayerId(2)),
+                Op::WeightGrad(LayerId(3)),
+                Op::WeightGrad(LayerId(2)),
+                Op::WeightGrad(LayerId(1)),
+            ],
+        );
+        s.add_lane(
+            "link",
+            vec![
+                Op::SyncWeightGrad(LayerId(4)),
+                Op::SyncWeightGrad(LayerId(3)),
+                Op::SyncWeightGrad(LayerId(2)),
+                Op::SyncWeightGrad(LayerId(1)),
+            ],
+        );
+        let advisor = PerfAdvisor::new(&g).with_cost(cost.clone());
+        let report = advisor.analyze(&s).unwrap();
+        let hits = report.by_rule(RuleId::PeakMemoryHotspot);
+        assert_eq!(hits.len(), 1, "advice: {:?}", codes(&report));
+        assert_eq!(hits[0].diagnostic.ops, vec![Op::WeightGrad(LayerId(4))]);
+        let before = crate::mem::ledger_of_schedule(&g, &s, &cost).unwrap().peak;
+        let fixed = hits[0].suggestion.as_ref().unwrap().apply(&s).unwrap();
+        let after = crate::mem::ledger_of_schedule(&g, &fixed, &cost)
+            .unwrap()
+            .peak;
         assert!(after < before, "{after} vs {before}");
     }
 

@@ -46,6 +46,26 @@ rc=0; ./target/debug/ooo-tune order --layers 8 --k 0 --sync 3 --json --out /tmp/
 cmp /tmp/ooo-tune-a.json /tmp/ooo-tune-b.json \
   || { echo "ooo-tune: same input produced different reports"; exit 1; }
 rm -f /tmp/ooo-tune-a.json /tmp/ooo-tune-b.json
+rc=0; ./target/debug/ooo-tune order --layers 8 --k 0 --sync 3 \
+  --memory-cap 999999999 --json --out /tmp/ooo-tune-cap.json || rc=$?
+[ "$rc" -eq 0 ] || { echo "ooo-tune: capped tune of a safe order should succeed (got $rc)"; exit 1; }
+grep -q '"cap_met": true' /tmp/ooo-tune-cap.json \
+  || { echo "ooo-tune: a generous memory cap should be reported met"; exit 1; }
+rm -f /tmp/ooo-tune-cap.json
+
+echo "==> ooo-memcheck smoke (exit-code contract + determinism)"
+cargo build -q -p ooo-verify --bin ooo-memcheck
+rc=0; ./target/debug/ooo-memcheck order --layers 6 --k 2 || rc=$?
+[ "$rc" -eq 0 ] || { echo "ooo-memcheck: an uncapped clean order should draw no findings (got $rc)"; exit 1; }
+rc=0; ./target/debug/ooo-memcheck order --layers 6 --k 2 --budget 1 --json --out /tmp/ooo-memcheck-a.json || rc=$?
+[ "$rc" -eq 1 ] || { echo "ooo-memcheck: a one-byte budget should draw OM301 (got $rc)"; exit 1; }
+grep -q '"OM301"' /tmp/ooo-memcheck-a.json \
+  || { echo "ooo-memcheck: over-budget finding should carry rule OM301"; exit 1; }
+rc=0; ./target/debug/ooo-memcheck order --layers 6 --k 2 --budget 1 --json --out /tmp/ooo-memcheck-b.json || rc=$?
+[ "$rc" -eq 1 ] || { echo "ooo-memcheck: unexpected exit $rc"; exit 1; }
+cmp /tmp/ooo-memcheck-a.json /tmp/ooo-memcheck-b.json \
+  || { echo "ooo-memcheck: same configuration produced different reports"; exit 1; }
+rm -f /tmp/ooo-memcheck-a.json /tmp/ooo-memcheck-b.json
 
 echo "==> ooo-cert smoke (exact certification + determinism)"
 cargo build -q -p ooo-cert --bin ooo-cert
@@ -119,6 +139,14 @@ cargo build -q --release -p ooo-bench --bin serve-bench
 cmp /tmp/ooo-serve-bench-a.json /tmp/ooo-serve-bench-b.json \
   || { echo "serve-bench: two smoke runs produced different bytes"; exit 1; }
 rm -f /tmp/ooo-serve-bench-a.json /tmp/ooo-serve-bench-b.json
+
+echo "==> mem-bench smoke (deterministic ledger peaks)"
+cargo build -q --release -p ooo-bench --bin mem-bench
+./target/release/mem-bench --smoke --out /tmp/ooo-mem-bench-a.json
+./target/release/mem-bench --smoke --out /tmp/ooo-mem-bench-b.json
+cmp /tmp/ooo-mem-bench-a.json /tmp/ooo-mem-bench-b.json \
+  || { echo "mem-bench: two smoke runs produced different bytes"; exit 1; }
+rm -f /tmp/ooo-mem-bench-a.json /tmp/ooo-mem-bench-b.json
 
 echo "==> ooo-tune 1000-stage smoke (windowed search at scale)"
 cargo build -q --release -p ooo-tune --bin ooo-tune

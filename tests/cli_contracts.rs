@@ -1,6 +1,6 @@
-//! The shared CLI contract, asserted in one place for all seven tools
-//! (`ooo-lint`, `ooo-advise`, `ooo-trace`, `ooo-chaos`, `ooo-tune`,
-//! `ooo-cert`, `ooo-serve`):
+//! The shared CLI contract, asserted in one place for all eight tools
+//! (`ooo-lint`, `ooo-advise`, `ooo-memcheck`, `ooo-trace`, `ooo-chaos`,
+//! `ooo-tune`, `ooo-cert`, `ooo-serve`):
 //!
 //! * exit code 0 on success, 1 when findings fire (diagnostics,
 //!   advisories, unsafe inputs, unparsable traces), 2 on usage/IO/parse
@@ -16,10 +16,11 @@ use ooo_backprop::core::TrainGraph;
 use std::path::PathBuf;
 use std::process::{Command, Output};
 
-/// The seven CLIs under contract, with the package that owns each.
-const CLIS: [(&str, &str); 7] = [
+/// The eight CLIs under contract, with the package that owns each.
+const CLIS: [(&str, &str); 8] = [
     ("ooo-lint", "ooo-verify"),
     ("ooo-advise", "ooo-verify"),
+    ("ooo-memcheck", "ooo-verify"),
     ("ooo-trace", "ooo-cluster"),
     ("ooo-chaos", "ooo-faults"),
     ("ooo-tune", "ooo-tune"),
@@ -165,6 +166,7 @@ fn hostile_json_inputs_fail_gracefully() {
         for (name, args) in [
             ("ooo-lint", vec![path]),
             ("ooo-advise", vec!["bundle", path]),
+            ("ooo-memcheck", vec!["bundle", path]),
             ("ooo-tune", vec!["bundle", path]),
             ("ooo-cert", vec!["bundle", path]),
         ] {
@@ -224,6 +226,22 @@ fn success_and_findings_exit_codes() {
     );
     assert_no_panic("ooo-advise", &gpipe);
     assert_eq!(code(&gpipe), 1, "ooo-advise gpipe");
+
+    // ooo-memcheck: the clean bundle's ledger draws no OM findings; the
+    // broken schedule's premature dW2 is a use-of-freed-or-undefined
+    // lifetime error, and a starvation budget flags any clean ledger.
+    let out = run("ooo-memcheck", &["bundle", clean.to_str().unwrap()]);
+    assert_no_panic("ooo-memcheck", &out);
+    assert_eq!(code(&out), 0, "ooo-memcheck clean bundle");
+    let out = run("ooo-memcheck", &["bundle", unsafe_b.to_str().unwrap()]);
+    assert_no_panic("ooo-memcheck", &out);
+    assert_eq!(code(&out), 1, "ooo-memcheck unsafe bundle");
+    let out = run(
+        "ooo-memcheck",
+        &["order", "--layers", "6", "--k", "2", "--budget", "1"],
+    );
+    assert_no_panic("ooo-memcheck", &out);
+    assert_eq!(code(&out), 1, "ooo-memcheck over-budget order");
 
     // ooo-trace: export a pipeline timeline, then summarize it back.
     let trace = scratch("trace.json");
@@ -386,6 +404,10 @@ fn double_runs_are_byte_identical() {
                 "gpipe",
                 "--json",
             ],
+        ),
+        (
+            "ooo-memcheck",
+            vec!["bundle", unsafe_b.to_str().unwrap(), "--json"],
         ),
         ("ooo-trace", vec!["export", "--system", "pipeline"]),
         (
