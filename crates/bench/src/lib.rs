@@ -12,6 +12,7 @@ pub mod figures;
 pub mod mem;
 pub mod scale;
 pub mod serve;
+pub mod tournament;
 
 /// A regenerated figure or table.
 #[derive(Debug, Clone)]
@@ -76,6 +77,7 @@ pub fn all_ids() -> Vec<&'static str> {
         "scale",
         "serve",
         "mem",
+        "tournament",
     ]
 }
 
@@ -116,6 +118,7 @@ pub fn generate(id: &str) -> FigureReport {
         "scale" => scale::scale_figure(),
         "serve" => serve::serve_figure(),
         "mem" => mem::mem_figure(),
+        "tournament" => tournament::tournament_figure(),
         other => panic!("unknown figure id {other}"),
     }
 }

@@ -1,0 +1,468 @@
+//! The heterogeneous strategy tournament behind `BENCH_tournament.json`
+//! and `figures tournament`.
+//!
+//! Every data-parallel strategy of the zoo
+//! ([`ooo_cluster::strategy::zoo`]) is run over every network of the
+//! bracket under every device mix — a homogeneous NVLink fleet and a
+//! heterogeneous fleet with per-worker [`SpeedFactor`]s and an
+//! asymmetric uplink/downlink. Each cell is a full contract check, not
+//! just a timing:
+//!
+//! - the schedule must be OV-clean (zero diagnostics, legality on);
+//! - the static makespan prediction must equal the discrete-event
+//!   simulation at tolerance 0 ([`Generated::certified`]);
+//! - the static memory ledger must reconcile exactly against the
+//!   instrumented per-op counter ([`Generated::mem_reconciled`]);
+//! - on the homogeneous mix, the heterogeneous fleet simulator under
+//!   uniform unit speed factors must reproduce the homogeneous
+//!   simulator's makespan exactly.
+//!
+//! All reported numbers are deterministic simulated times, so the
+//! emitted document is byte-identical across runs in both modes — CI
+//! runs `tournament-bench --smoke` twice and `cmp`s.
+//!
+//! [`SpeedFactor`]: ooo_core::datapar::SpeedFactor
+
+use ooo_cluster::strategy::{zoo, Shape};
+use ooo_core::cost::TableCost;
+use ooo_core::datapar::{simulate_data_parallel, simulate_data_parallel_hetero, CommPolicy};
+use ooo_core::json::{obj, Value};
+use ooo_core::op::LayerId;
+use ooo_core::reverse_k::reverse_first_k;
+use ooo_core::SimTime;
+use ooo_gpusim::spec::{GpuSpec, WorkerFleet};
+use ooo_models::cost::{to_table_cost, weight_bytes};
+use ooo_models::{zoo as models, GpuProfile, ModelSpec};
+use ooo_netsim::link::{DuplexLink, LinkSpec};
+
+/// A device mix: a (possibly heterogeneous) worker fleet plus the
+/// duplex link its synchronizations traverse.
+pub struct Mix {
+    /// Mix identifier ("homogeneous" / "heterogeneous").
+    pub name: &'static str,
+    /// The worker fleet with per-worker speed factors.
+    pub fleet: WorkerFleet,
+    /// Uplink/downlink pair; asymmetric on the heterogeneous mix.
+    pub link: DuplexLink,
+}
+
+/// The two tournament device mixes.
+pub fn mixes() -> Vec<Mix> {
+    vec![
+        Mix {
+            name: "homogeneous",
+            fleet: WorkerFleet::homogeneous(GpuSpec::v100(), 4),
+            link: DuplexLink::symmetric(LinkSpec::nvlink()),
+        },
+        Mix {
+            name: "heterogeneous",
+            fleet: WorkerFleet::with_speeds(GpuSpec::v100(), &[100, 110, 125, 150]),
+            link: DuplexLink::asymmetric(LinkSpec::ethernet_25g(), LinkSpec::ethernet_10g()),
+        },
+    ]
+}
+
+/// The full tournament bracket (≥ 4 networks).
+pub fn bracket() -> Vec<ModelSpec> {
+    vec![
+        models::resnet(50),
+        models::densenet121(12, 32),
+        models::mobilenet_v3_large(1.0),
+        models::bert(24, 128),
+        models::ffnn16(4_096),
+    ]
+}
+
+/// Small networks for the CI smoke run.
+pub fn smoke_bracket() -> Vec<ModelSpec> {
+    vec![models::ffnn16(256), models::rnn16(64, 4)]
+}
+
+/// Builds the cell cost table: per-layer kernel times from the FLOP
+/// model scaled by the fleet's bottleneck factor (the synchronous
+/// barrier waits for the slowest worker), synchronization times from
+/// the duplex link's round trip over each layer's parameter bytes. On a
+/// uniform fleet the scaling is the identity, so the homogeneous mix
+/// reproduces the plain single-spec cost byte for byte.
+pub fn mix_cost(model: &ModelSpec, batch: usize, mix: &Mix) -> TableCost {
+    let mut cost = to_table_cost(model, batch, &GpuProfile::v100());
+    let bytes = weight_bytes(model);
+    let slow = mix.fleet.bottleneck();
+    for (i, &wb) in bytes.iter().enumerate() {
+        let c = cost.layer_mut(LayerId(i + 1));
+        c.forward = slow.scale(c.forward);
+        c.output_grad = slow.scale(c.output_grad);
+        c.weight_grad = slow.scale(c.weight_grad);
+        c.update = slow.scale(c.update);
+        c.sync_weight = mix.link.sync_ns(wb);
+    }
+    cost
+}
+
+/// One (network, mix, strategy) tournament cell. All times are exact
+/// simulated nanoseconds.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Network name.
+    pub model: String,
+    /// Layer count of the network.
+    pub layers: usize,
+    /// Batch size (the model's default).
+    pub batch: usize,
+    /// Device-mix identifier.
+    pub mix: &'static str,
+    /// Strategy identifier.
+    pub strategy: &'static str,
+    /// Ops in the generated schedule.
+    pub ops: usize,
+    /// Certified makespan (prediction == simulation, tolerance 0).
+    pub makespan_ns: SimTime,
+    /// Reconciled memory peak (static ledger == instrumented counter).
+    pub peak_bytes: u64,
+    /// Makespan ratio of the conventional baseline over this strategy.
+    pub speedup: f64,
+}
+
+/// One (network, mix) fleet row: the heterogeneous simulator's view of
+/// the conventional backward order on that mix.
+#[derive(Debug, Clone)]
+pub struct FleetRow {
+    /// Network name.
+    pub model: String,
+    /// Device-mix identifier.
+    pub mix: &'static str,
+    /// Fleet makespan under the heterogeneous simulator.
+    pub fleet_makespan_ns: SimTime,
+    /// Index of the straggling worker.
+    pub straggler: usize,
+}
+
+/// Tournament output: the cells plus the per-mix fleet rows.
+#[derive(Debug, Clone, Default)]
+pub struct Tournament {
+    /// Every (network, mix, strategy) cell.
+    pub cells: Vec<Cell>,
+    /// Every (network, mix) heterogeneous-simulator row.
+    pub fleet_rows: Vec<FleetRow>,
+}
+
+/// Runs one (network, mix) group: every applicable strategy, each cell
+/// contract-checked, plus the fleet differential row.
+///
+/// # Panics
+///
+/// Panics when any cell breaks a contract — a dirty report, a
+/// prediction/simulation mismatch, or a ledger/counter mismatch. The
+/// tournament is also the conformance proof at model scale, so a
+/// violation must fail loudly rather than rank a bogus schedule.
+pub fn run_group(model: &ModelSpec, mix: &Mix) -> (Vec<Cell>, FleetRow) {
+    let layers = model.num_layers();
+    let batch = model.default_batch;
+    let cost = mix_cost(model, batch, mix);
+    let shape = Shape::DataParallel { layers };
+
+    let mut cells = Vec::new();
+    let mut conventional: Option<SimTime> = None;
+    for s in zoo() {
+        if !s.applicable(shape) {
+            continue;
+        }
+        let g = s
+            .generate(shape, &cost)
+            .unwrap_or_else(|e| panic!("{} on {}: {e}", s.name(), model.name));
+        let report = g.verify(&cost, None);
+        assert!(
+            report.is_clean(),
+            "{} on {} ({}): {report}",
+            s.name(),
+            model.name,
+            mix.name
+        );
+        let makespan = g
+            .certified(&cost)
+            .unwrap_or_else(|e| panic!("{} on {}: {e}", s.name(), model.name));
+        let (ledger, counter) = g
+            .mem_reconciled(&cost)
+            .unwrap_or_else(|e| panic!("{} on {}: {e}", s.name(), model.name));
+        assert_eq!(
+            ledger,
+            counter,
+            "{} on {} ({}): ledger peak diverged from instrumented counter",
+            s.name(),
+            model.name,
+            mix.name
+        );
+        if s.name() == "conventional" {
+            conventional = Some(makespan);
+        }
+        cells.push(Cell {
+            model: model.name.clone(),
+            layers,
+            batch,
+            mix: mix.name,
+            strategy: s.name(),
+            ops: g.schedule.num_ops(),
+            makespan_ns: makespan,
+            peak_bytes: ledger,
+            speedup: 0.0,
+        });
+    }
+    let base = conventional.expect("conventional is applicable to every shape");
+    for c in &mut cells {
+        c.speedup = base as f64 / c.makespan_ns.max(1) as f64;
+    }
+
+    // Fleet differential: the heterogeneous simulator on the
+    // conventional backward order. The compute table here is the
+    // *unscaled* cost (the simulator applies each worker's factor
+    // itself); on the homogeneous mix the outcome must equal the plain
+    // data-parallel simulator exactly.
+    let graph = shape.graph().expect("data-parallel graph builds");
+    let mut unscaled = to_table_cost(model, batch, &GpuProfile::v100());
+    for (i, &wb) in weight_bytes(model).iter().enumerate() {
+        unscaled.layer_mut(LayerId(i + 1)).sync_weight = mix.link.sync_ns(wb);
+    }
+    let backward = reverse_first_k(&graph, 0, None::<(u64, &TableCost)>).expect("k=0 order builds");
+    let policy = CommPolicy::PriorityByLayer;
+    let hetero = simulate_data_parallel_hetero(
+        &graph,
+        &backward,
+        &unscaled,
+        policy,
+        0,
+        &mix.fleet.speed_factors(),
+    )
+    .expect("fleet simulates");
+    if mix.fleet.is_uniform() {
+        let homo = simulate_data_parallel(&graph, &backward, &unscaled, policy)
+            .expect("homogeneous sim")
+            .makespan();
+        assert_eq!(
+            hetero.makespan(),
+            homo,
+            "{}: uniform fleet diverged from the homogeneous simulator",
+            model.name
+        );
+    }
+    let row = FleetRow {
+        model: model.name.clone(),
+        mix: mix.name,
+        fleet_makespan_ns: hetero.makespan(),
+        straggler: hetero.straggler(),
+    };
+    (cells, row)
+}
+
+/// Runs the full bracket × mix tournament.
+pub fn run(bracket: &[ModelSpec]) -> Tournament {
+    let mut t = Tournament::default();
+    for model in bracket {
+        for mix in mixes() {
+            let (cells, row) = run_group(model, &mix);
+            t.cells.extend(cells);
+            t.fleet_rows.push(row);
+        }
+    }
+    t
+}
+
+/// The winner (smallest certified makespan, strategy order breaking
+/// ties) of each (network, mix) group.
+pub fn winners(t: &Tournament) -> Vec<&Cell> {
+    let mut out: Vec<&Cell> = Vec::new();
+    for c in &t.cells {
+        match out
+            .iter_mut()
+            .find(|w| w.model == c.model && w.mix == c.mix)
+        {
+            None => out.push(c),
+            Some(w) if c.makespan_ns < w.makespan_ns => *w = c,
+            Some(_) => {}
+        }
+    }
+    out
+}
+
+fn mix_to_json(m: &Mix) -> Value {
+    obj([
+        ("name", m.name.into()),
+        ("workers", Value::Num(m.fleet.len() as f64)),
+        ("gpu", m.fleet.workers[0].gpu.name.into()),
+        (
+            "speed_percents",
+            Value::Arr(
+                m.fleet
+                    .speed_factors()
+                    .iter()
+                    .map(|s| Value::Num(f64::from(s.percent)))
+                    .collect(),
+            ),
+        ),
+        ("uplink", m.link.up.name.into()),
+        ("downlink", m.link.down.name.into()),
+    ])
+}
+
+fn cell_to_json(c: &Cell) -> Value {
+    obj([
+        ("model", c.model.as_str().into()),
+        ("layers", Value::Num(c.layers as f64)),
+        ("batch", Value::Num(c.batch as f64)),
+        ("mix", c.mix.into()),
+        ("strategy", c.strategy.into()),
+        ("ops", Value::Num(c.ops as f64)),
+        ("makespan_ns", Value::Num(c.makespan_ns as f64)),
+        ("peak_bytes", Value::Num(c.peak_bytes as f64)),
+        ("speedup_vs_conventional", Value::Num(c.speedup)),
+        ("clean", Value::Bool(true)),
+        ("certified", Value::Bool(true)),
+    ])
+}
+
+/// Renders the tournament as the `BENCH_tournament.json` document.
+/// Every field is deterministic, so the document is byte-identical
+/// across runs.
+pub fn to_json(t: &Tournament) -> Value {
+    obj([
+        ("bench", "tournament".into()),
+        (
+            "strategies",
+            Value::Arr(
+                ooo_cluster::strategy::zoo()
+                    .iter()
+                    .filter(|s| s.applicable(Shape::DataParallel { layers: 4 }))
+                    .map(|s| {
+                        obj([
+                            ("name", s.name().into()),
+                            ("description", s.description().into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "mixes",
+            Value::Arr(mixes().iter().map(mix_to_json).collect()),
+        ),
+        (
+            "cells",
+            Value::Arr(t.cells.iter().map(cell_to_json).collect()),
+        ),
+        (
+            "fleet",
+            Value::Arr(
+                t.fleet_rows
+                    .iter()
+                    .map(|r| {
+                        obj([
+                            ("model", r.model.as_str().into()),
+                            ("mix", r.mix.into()),
+                            ("fleet_makespan_ns", Value::Num(r.fleet_makespan_ns as f64)),
+                            ("straggler", Value::Num(r.straggler as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "winners",
+            Value::Arr(
+                winners(t)
+                    .iter()
+                    .map(|w| {
+                        obj([
+                            ("model", w.model.as_str().into()),
+                            ("mix", w.mix.into()),
+                            ("strategy", w.strategy.into()),
+                            ("makespan_ns", Value::Num(w.makespan_ns as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// The `figures tournament` report: the smoke bracket rendered as a
+/// makespan table per (network, mix), winners starred.
+pub fn tournament_figure() -> crate::FigureReport {
+    let t = run(&smoke_bracket());
+    let wins: Vec<(String, &'static str, &'static str)> = winners(&t)
+        .iter()
+        .map(|w| (w.model.clone(), w.mix, w.strategy))
+        .collect();
+    let mut lines = vec![format!(
+        "{:<12} {:<14} {:<16} {:>12} {:>9}",
+        "network", "mix", "strategy", "makespan_ms", "speedup"
+    )];
+    for c in &t.cells {
+        let star = if wins
+            .iter()
+            .any(|(m, x, s)| *m == c.model && *x == c.mix && *s == c.strategy)
+        {
+            " *"
+        } else {
+            ""
+        };
+        lines.push(format!(
+            "{:<12} {:<14} {:<16} {:>12.3} {:>8.2}x{star}",
+            c.model,
+            c.mix,
+            c.strategy,
+            c.makespan_ns as f64 / 1e6,
+            c.speedup,
+        ));
+    }
+    for r in &t.fleet_rows {
+        lines.push(format!(
+            "fleet {:<12} {:<14} makespan {:>10.3} ms, straggler worker {}",
+            r.model,
+            r.mix,
+            r.fleet_makespan_ns as f64 / 1e6,
+            r.straggler
+        ));
+    }
+    lines.push("(*) group winner; every cell is OV-clean, certified at tolerance 0,".into());
+    lines.push("and memory-reconciled; full bracket in BENCH_tournament.json".into());
+    crate::FigureReport {
+        id: "tournament",
+        title: "Strategy tournament across networks and device mixes",
+        paper: "extension: the zoo generalizes Sec 5's schedulers; OOO strategies win every mix",
+        lines,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_tournament_is_deterministic_and_covered() {
+        let a = run(&smoke_bracket());
+        let b = run(&smoke_bracket());
+        assert_eq!(to_json(&a).to_pretty(), to_json(&b).to_pretty());
+        // 2 networks x 2 mixes x 6 data-parallel strategies.
+        assert_eq!(a.cells.len(), 24);
+        assert_eq!(a.fleet_rows.len(), 4);
+        // The conventional baseline never beats the whole field.
+        for w in winners(&a) {
+            assert!(w.speedup >= 1.0);
+        }
+    }
+
+    #[test]
+    fn heterogeneous_mix_is_strictly_slower_per_cell() {
+        let model = models::ffnn16(256);
+        let mixes = mixes();
+        let (homo, _) = run_group(&model, &mixes[0]);
+        let (hetero, _) = run_group(&model, &mixes[1]);
+        for (h, x) in homo.iter().zip(&hetero) {
+            assert_eq!(h.strategy, x.strategy);
+            assert!(
+                x.makespan_ns > h.makespan_ns,
+                "{}: heterogeneous mix must cost more than NVLink-homogeneous",
+                h.strategy
+            );
+        }
+    }
+}

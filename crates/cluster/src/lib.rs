@@ -33,6 +33,7 @@ pub mod hybrid;
 pub mod mem;
 pub mod pipeline;
 pub mod single;
+pub mod strategy;
 
 /// Simulated time in nanoseconds.
 pub type SimTime = u64;

@@ -219,6 +219,199 @@ pub fn simulate_data_parallel_with_tail<C: CostModel>(
     Ok(Timeline { entries })
 }
 
+/// A per-worker relative speed, stored as an exact integer percentage
+/// (100 = the reference speed, 150 = every compute op takes 1.5x as
+/// long). Integer arithmetic keeps the heterogeneous simulator exactly
+/// reproducible and makes the uniform case (`percent == 100`) reduce to
+/// the homogeneous path *byte for byte*: `ns * 100 / 100 == ns` with no
+/// floating-point rounding in between.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpeedFactor {
+    /// Slowdown percentage: 100 is nominal, larger is slower.
+    pub percent: u32,
+}
+
+impl SpeedFactor {
+    /// The reference speed (no scaling).
+    pub const UNIT: SpeedFactor = SpeedFactor { percent: 100 };
+
+    /// A factor from a percentage (clamped to at least 1).
+    pub fn percent(percent: u32) -> Self {
+        SpeedFactor {
+            percent: percent.max(1),
+        }
+    }
+
+    /// Whether this factor leaves durations unchanged.
+    pub fn is_unit(self) -> bool {
+        self.percent == 100
+    }
+
+    /// Scales a duration by this factor with exact integer arithmetic
+    /// (round up, so a slow worker is never optimistically fast).
+    pub fn scale(self, ns: SimTime) -> SimTime {
+        if self.percent == 100 {
+            return ns;
+        }
+        (ns * self.percent as SimTime).div_ceil(100)
+    }
+}
+
+impl Default for SpeedFactor {
+    fn default() -> Self {
+        SpeedFactor::UNIT
+    }
+}
+
+/// The outcome of a heterogeneous data-parallel iteration: one timeline
+/// per worker plus the fleet makespan.
+#[derive(Debug, Clone)]
+pub struct HeteroOutcome {
+    /// Per-worker timelines (compute lane `COMPUTE`, shared link lane
+    /// `LINK`; the link entries are identical across workers because the
+    /// synchronization service is a fleet-level resource).
+    pub workers: Vec<Timeline>,
+    /// Layer synchronization finish times (1-based; index 0 unused).
+    pub sync_finish: Vec<SimTime>,
+}
+
+impl HeteroOutcome {
+    /// The fleet makespan: the slowest worker's iteration finish.
+    pub fn makespan(&self) -> SimTime {
+        self.workers
+            .iter()
+            .map(Timeline::makespan)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Index of the worker that finishes last (the straggler).
+    pub fn straggler(&self) -> usize {
+        (0..self.workers.len())
+            .max_by_key(|&w| (self.workers[w].makespan(), std::cmp::Reverse(w)))
+            .unwrap_or(0)
+    }
+}
+
+/// Simulates one synchronous data-parallel iteration over a fleet of
+/// workers with per-worker [`SpeedFactor`]s — the heterogeneous
+/// generalization of [`simulate_data_parallel_with_tail`].
+///
+/// Every worker runs the same backward `order` on its own compute lane
+/// with its compute durations scaled by its factor. A layer's parameter
+/// synchronization becomes ready only when *every* worker has finished
+/// that layer's `dW` (the synchronous all-reduce barrier), the link
+/// serves the ready synchronizations under `policy`, and each worker's
+/// update/forward tail is gated on the shared synchronization finishes.
+///
+/// With a uniform fleet (`[SpeedFactor::UNIT; n]`) every worker's
+/// timeline equals the homogeneous simulator's output exactly — the
+/// differential the conformance suite pins byte-for-byte.
+///
+/// # Errors
+///
+/// Returns [`crate::error::Error::InvalidConfig`] for an empty fleet and
+/// propagates validation errors when `backward` is not a valid partial
+/// order of `graph`.
+pub fn simulate_data_parallel_hetero<C: CostModel>(
+    graph: &TrainGraph,
+    backward: &[Op],
+    cost: &C,
+    policy: CommPolicy,
+    tail_ns: SimTime,
+    speeds: &[SpeedFactor],
+) -> Result<HeteroOutcome> {
+    if speeds.is_empty() {
+        return Err(crate::error::Error::InvalidConfig(
+            "heterogeneous fleet needs at least one worker".into(),
+        ));
+    }
+    validate_partial_order(graph, backward)?;
+    let l = graph.layers();
+
+    // 1. Backward pass per worker, scaled durations, strictly sequential.
+    let mut per_worker: Vec<Vec<TimedOp>> = Vec::with_capacity(speeds.len());
+    let mut backward_done: Vec<SimTime> = Vec::with_capacity(speeds.len());
+    let mut dw_finish: Vec<SimTime> = vec![0; l + 1];
+    for &s in speeds {
+        let mut entries = Vec::with_capacity(graph.len());
+        let mut t: SimTime = 0;
+        for &op in backward {
+            let end = t + s.scale(cost.duration(op));
+            entries.push(TimedOp {
+                op,
+                resource: COMPUTE,
+                start: t,
+                end,
+            });
+            if let Op::WeightGrad(LayerId(i)) = op {
+                // The all-reduce for layer i waits for the slowest worker.
+                dw_finish[i] = dw_finish[i].max(end);
+            }
+            t = end;
+        }
+        backward_done.push(t);
+        per_worker.push(entries);
+    }
+
+    // 2. Synchronizations on the shared link under `policy`, gated on the
+    //    fleet-wide dW barriers. The wire is a single fleet resource, so
+    //    every worker sees the same link lane.
+    let mut sync_finish: Vec<SimTime> = vec![0; l + 1];
+    let mut link_entries: Vec<TimedOp> = Vec::with_capacity(l);
+    for (pick, start, end) in plan_sync_service(&dw_finish, policy, |i| {
+        cost.duration(Op::SyncWeightGrad(LayerId(i)))
+    }) {
+        link_entries.push(TimedOp {
+            op: Op::SyncWeightGrad(LayerId(pick)),
+            resource: LINK,
+            start,
+            end: end + tail_ns,
+        });
+        sync_finish[pick] = end + tail_ns;
+    }
+
+    // 3. Update + forward tail per worker, scaled, gated on the shared
+    //    synchronization finishes — the same construction as the
+    //    homogeneous path.
+    let mut workers = Vec::with_capacity(speeds.len());
+    for (w, &s) in speeds.iter().enumerate() {
+        let mut entries = std::mem::take(&mut per_worker[w]);
+        entries.extend(link_entries.iter().copied());
+        let mut t = backward_done[w];
+        #[allow(clippy::needless_range_loop)] // i is the 1-based layer index
+        for i in 1..=l {
+            let u = Op::Update(LayerId(i));
+            let start = t.max(sync_finish[i]);
+            let end = start + s.scale(cost.duration(u));
+            if graph.contains(u) {
+                entries.push(TimedOp {
+                    op: u,
+                    resource: COMPUTE,
+                    start,
+                    end,
+                });
+            }
+            t = end;
+            let f = Op::Forward(LayerId(i));
+            let fe = t + s.scale(cost.duration(f));
+            entries.push(TimedOp {
+                op: f,
+                resource: COMPUTE,
+                start: t,
+                end: fe,
+            });
+            t = fe;
+        }
+        entries.sort_by_key(|e| (e.start, e.resource.0 as u64, e.end));
+        workers.push(Timeline { entries });
+    }
+    Ok(HeteroOutcome {
+        workers,
+        sync_finish,
+    })
+}
+
 /// Convenience: iteration makespan of reverse first-k scheduling under
 /// `policy`.
 ///

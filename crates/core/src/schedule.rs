@@ -84,6 +84,50 @@ impl Schedule {
     }
 }
 
+/// The repository-wide deterministic pick rule for ready sets: among
+/// equal-priority candidates the **smallest op id** (the op's dense
+/// arena index, i.e. its position in the canonical storage order) wins.
+/// Every sort or heap pick that chooses between ready operations — the
+/// greedy list scheduler, the pipeline simulator's commit loop, the
+/// strategy generators, and `ooo-tune`'s memory-capped candidate
+/// ranking — must reduce to this `(priority desc, op id asc)` key so
+/// that shuffled inputs, parallel restarts, and re-runs all reproduce
+/// the same schedule byte for byte.
+#[derive(Debug, Default)]
+pub struct ReadyQueue {
+    heap: std::collections::BinaryHeap<(i64, std::cmp::Reverse<usize>)>,
+}
+
+impl ReadyQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        ReadyQueue::default()
+    }
+
+    /// Admits a ready op by `(priority, op_id)`. `op_id` must be unique
+    /// per op (the graph arena index is); uniqueness is what makes the
+    /// pick order independent of insertion order.
+    pub fn push(&mut self, priority: i64, op_id: usize) {
+        self.heap.push((priority, std::cmp::Reverse(op_id)));
+    }
+
+    /// Removes and returns the best candidate: highest priority, ties by
+    /// smallest op id.
+    pub fn pop(&mut self) -> Option<(i64, usize)> {
+        self.heap.pop().map(|(p, std::cmp::Reverse(id))| (p, id))
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Number of queued candidates.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
 /// Builds the `op -> position` index of an operation sequence, rejecting
 /// operations outside the graph and duplicates.
 ///

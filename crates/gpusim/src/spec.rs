@@ -1,4 +1,6 @@
-//! GPU hardware specifications.
+//! GPU hardware specifications, including heterogeneous worker fleets.
+
+use ooo_core::datapar::SpeedFactor;
 
 /// Static description of a GPU, reduced to the quantities the simulator
 /// needs. The block-slot counts follow the paper's V100 observation that
@@ -61,9 +63,114 @@ impl GpuSpec {
     }
 }
 
+/// One worker of a (possibly heterogeneous) data-parallel fleet: a GPU
+/// model plus a per-worker [`SpeedFactor`] on top of it. The factor
+/// models everything the spec does not — thermal throttling, a shared
+/// host, an older board revision — and is what the heterogeneous
+/// cluster engines and the tournament bench exercise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerSpec {
+    /// The GPU model of this worker.
+    pub gpu: GpuSpec,
+    /// Per-worker slowdown on top of the model's nominal speed.
+    pub speed: SpeedFactor,
+}
+
+impl WorkerSpec {
+    /// A nominal-speed worker.
+    pub fn nominal(gpu: GpuSpec) -> Self {
+        WorkerSpec {
+            gpu,
+            speed: SpeedFactor::UNIT,
+        }
+    }
+}
+
+/// A data-parallel fleet with per-worker speed factors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerFleet {
+    /// The fleet members, worker 0 first.
+    pub workers: Vec<WorkerSpec>,
+}
+
+impl WorkerFleet {
+    /// A homogeneous fleet: `n` nominal-speed copies of `gpu`.
+    pub fn homogeneous(gpu: GpuSpec, n: usize) -> Self {
+        WorkerFleet {
+            workers: vec![WorkerSpec::nominal(gpu); n],
+        }
+    }
+
+    /// A fleet of one GPU model with explicit per-worker speed factors.
+    pub fn with_speeds(gpu: GpuSpec, percents: &[u32]) -> Self {
+        WorkerFleet {
+            workers: percents
+                .iter()
+                .map(|&p| WorkerSpec {
+                    gpu: gpu.clone(),
+                    speed: SpeedFactor::percent(p),
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of workers.
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Whether the fleet has no workers.
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// The per-worker speed factors in worker order — the argument the
+    /// heterogeneous data-parallel simulator takes.
+    pub fn speed_factors(&self) -> Vec<SpeedFactor> {
+        self.workers.iter().map(|w| w.speed).collect()
+    }
+
+    /// Whether every worker runs at nominal speed (the homogeneous case,
+    /// which must reproduce the non-fleet code paths byte for byte).
+    pub fn is_uniform(&self) -> bool {
+        self.workers.iter().all(|w| w.speed.is_unit())
+    }
+
+    /// The slowest worker's factor — the fleet bottleneck that gates
+    /// every synchronous all-reduce barrier.
+    pub fn bottleneck(&self) -> SpeedFactor {
+        self.workers
+            .iter()
+            .map(|w| w.speed)
+            .max()
+            .unwrap_or(SpeedFactor::UNIT)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fleet_bottleneck_and_uniformity() {
+        let uniform = WorkerFleet::homogeneous(GpuSpec::v100(), 4);
+        assert!(uniform.is_uniform());
+        assert_eq!(uniform.bottleneck(), SpeedFactor::UNIT);
+        let mixed = WorkerFleet::with_speeds(GpuSpec::v100(), &[100, 110, 150, 125]);
+        assert!(!mixed.is_uniform());
+        assert_eq!(mixed.bottleneck(), SpeedFactor::percent(150));
+        assert_eq!(mixed.len(), 4);
+        assert_eq!(mixed.speed_factors()[2], SpeedFactor::percent(150));
+    }
+
+    #[test]
+    fn speed_factor_scaling_is_exact_and_conservative() {
+        assert_eq!(SpeedFactor::UNIT.scale(12_345), 12_345);
+        assert_eq!(SpeedFactor::percent(150).scale(100), 150);
+        // Rounds up: a slow worker is never optimistically fast.
+        assert_eq!(SpeedFactor::percent(150).scale(1), 2);
+        assert_eq!(SpeedFactor::percent(125).scale(10), 13);
+    }
 
     #[test]
     fn v100_matches_paper_block_capacity() {

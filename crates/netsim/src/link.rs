@@ -108,9 +108,92 @@ impl LinkSpec {
     }
 }
 
+/// A full-duplex link whose two directions may have different
+/// specifications — the asymmetric-bandwidth case (consumer uplinks,
+/// oversubscribed spine ports, PCIe switch contention) that symmetric
+/// [`LinkSpec`]s cannot express. Data-parallel parameter traffic maps
+/// onto it as *push* (worker → aggregator, the uplink) and *pull*
+/// (aggregator → worker, the downlink).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DuplexLink {
+    /// Worker → aggregator direction (gradient push).
+    pub up: LinkSpec,
+    /// Aggregator → worker direction (parameter pull).
+    pub down: LinkSpec,
+}
+
+impl DuplexLink {
+    /// A symmetric duplex link: both directions share `spec`.
+    pub fn symmetric(spec: LinkSpec) -> Self {
+        DuplexLink {
+            up: spec.clone(),
+            down: spec,
+        }
+    }
+
+    /// An asymmetric duplex link.
+    pub fn asymmetric(up: LinkSpec, down: LinkSpec) -> Self {
+        DuplexLink { up, down }
+    }
+
+    /// Whether both directions have identical specifications — the case
+    /// that must reproduce the single-`LinkSpec` code paths exactly.
+    pub fn is_symmetric(&self) -> bool {
+        self.up == self.down
+    }
+
+    /// Push-direction transfer time.
+    pub fn push_ns(&self, bytes: u64) -> SimTime {
+        self.up.transfer_ns(bytes)
+    }
+
+    /// Pull-direction transfer time.
+    pub fn pull_ns(&self, bytes: u64) -> SimTime {
+        self.down.transfer_ns(bytes)
+    }
+
+    /// Wire time of one parameter synchronization: the gradient pushed
+    /// up plus the averaged parameters pulled down. On a symmetric link
+    /// this equals `transfer_ns(2 * bytes)` up to the second latency
+    /// charge (each direction pays its own message latency).
+    pub fn sync_ns(&self, bytes: u64) -> SimTime {
+        self.push_ns(bytes).saturating_add(self.pull_ns(bytes))
+    }
+
+    /// The slower direction — the bandwidth bottleneck of the duplex
+    /// pair.
+    pub fn bottleneck(&self) -> &LinkSpec {
+        if self.up.bytes_per_sec <= self.down.bytes_per_sec {
+            &self.up
+        } else {
+            &self.down
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn duplex_symmetric_reproduces_both_directions() {
+        let d = DuplexLink::symmetric(LinkSpec::nvlink());
+        assert!(d.is_symmetric());
+        assert_eq!(d.push_ns(1 << 20), d.pull_ns(1 << 20));
+        assert_eq!(
+            d.sync_ns(1 << 20),
+            2 * LinkSpec::nvlink().transfer_ns(1 << 20)
+        );
+    }
+
+    #[test]
+    fn duplex_asymmetric_bottleneck_is_the_slow_direction() {
+        let d = DuplexLink::asymmetric(LinkSpec::ethernet_10g(), LinkSpec::ethernet_25g());
+        assert!(!d.is_symmetric());
+        assert_eq!(d.bottleneck().name, "10GbE");
+        assert!(d.push_ns(1 << 24) > d.pull_ns(1 << 24));
+        assert_eq!(d.sync_ns(5), d.push_ns(5) + d.pull_ns(5));
+    }
 
     #[test]
     fn bandwidth_ordering_matches_hardware() {

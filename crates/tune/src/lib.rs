@@ -589,7 +589,7 @@ impl<C: CostModel + Sync> SearchSpace for ScheduleSpace<'_, C> {
     }
 
     fn candidates(&self, state: &Schedule) -> Vec<(Schedule, String)> {
-        schedule_moves(state, self.cross_lane, self.window)
+        schedule_moves(self.graph, state, self.cross_lane, self.window)
     }
 
     /// Delta-evaluated scoring: see [`delta_scored_schedule_moves`].
@@ -628,7 +628,7 @@ pub(crate) fn delta_scored_schedule_moves<C: CostModel>(
     let Ok(mut de) = DeltaEval::new(graph, state, cost) else {
         // An incumbent the predictor rejects never arises from the
         // search itself; fall back to the default path for safety.
-        return schedule_moves(state, cross_lane, window)
+        return schedule_moves(graph, state, cross_lane, window)
             .into_iter()
             .map(|(st, d)| {
                 let m = predict_makespan(graph, &st, cost)
@@ -639,7 +639,7 @@ pub(crate) fn delta_scored_schedule_moves<C: CostModel>(
             .collect();
     };
     let mut out = Vec::new();
-    for (batch, description) in schedule_move_batches(state, cross_lane, window) {
+    for (batch, description) in schedule_move_batches(graph, state, cross_lane, window) {
         let next = apply_move_batch(state, &batch);
         if next == *state {
             continue;
@@ -682,9 +682,18 @@ fn in_window(window: Option<usize>, pi: usize, to: usize) -> bool {
 /// same lane additionally moves as a `[dW_i, U_i]` block — relocating
 /// the gradient alone would always violate the update's dependency, so
 /// deferring a weight gradient past its own update needs the pair to
-/// travel together. Deterministic: lanes and positions in schedule
-/// order. Descriptors may reproduce the input state; appliers filter
-/// identities.
+/// travel together. Descriptors may reproduce the input state; appliers
+/// filter identities.
+///
+/// Enumeration order is the repository-wide tie-break key
+/// ([`ooo_core::schedule::ReadyQueue`]): moved ops in ascending dense
+/// arena id, targets in ascending `(lane, position)`. The greedy ranking
+/// accepts equal-score candidates by enumeration index, so this order is
+/// what makes ties resolve to the smallest op id — independent of where
+/// the op happens to sit in the incumbent's lanes, and therefore
+/// identical for every schedule that reaches the same search state
+/// (including the memory-capped full-scoring path, which shares this
+/// enumerator with the delta path).
 ///
 /// `window` (see [`TuneOptions::window`]) restricts target positions to
 /// within that many slots of the op's current position — on every lane,
@@ -692,73 +701,81 @@ fn in_window(window: Option<usize>, pi: usize, to: usize) -> bool {
 /// neighborhood linear for thousand-stage schedules. `None` keeps the
 /// exhaustive enumeration.
 pub(crate) fn schedule_move_batches(
+    graph: &TrainGraph,
     state: &Schedule,
     cross_lane: bool,
     window: Option<usize>,
 ) -> Vec<(MoveBatch, String)> {
     use ooo_core::Op;
     let mut out = Vec::new();
+    let mut movers: Vec<(usize, usize, usize, Op)> = Vec::new();
     for (li, lane) in state.lanes.iter().enumerate() {
         for (pi, &op) in lane.ops.iter().enumerate() {
             if !op.is_weight_grad_class() {
                 continue;
             }
-            // In-lane: every position of the reduced lane except the
-            // identity.
-            for to in 0..lane.ops.len() {
-                if to == pi || !in_window(window, pi, to) {
-                    continue;
-                }
-                out.push((
-                    vec![(op, li, to)],
-                    format!("move {op} to {}:{to}", lane.name),
-                ));
-            }
-            if cross_lane {
-                for (lj, other) in state.lanes.iter().enumerate() {
-                    if lj == li {
-                        continue;
-                    }
-                    for to in 0..=other.ops.len() {
-                        if !in_window(window, pi, to) {
-                            continue;
-                        }
-                        out.push((
-                            vec![(op, lj, to)],
-                            format!("move {op} to {}:{to}", other.name),
-                        ));
-                    }
-                }
-            }
-            // Block moves: `[dW_i, U_i]` as one unit.
-            let Op::WeightGrad(layer) = op else { continue };
-            let update = Op::Update(layer);
-            if !lane.ops.contains(&update) {
+            let id = graph.op_index(op).unwrap_or(usize::MAX);
+            movers.push((id, li, pi, op));
+        }
+    }
+    movers.sort_unstable();
+    for (_, li, pi, op) in movers {
+        let lane = &state.lanes[li];
+        // In-lane: every position of the reduced lane except the
+        // identity.
+        for to in 0..lane.ops.len() {
+            if to == pi || !in_window(window, pi, to) {
                 continue;
             }
-            for to in 0..=lane.ops.len().saturating_sub(2) {
-                if !in_window(window, pi, to) {
+            out.push((
+                vec![(op, li, to)],
+                format!("move {op} to {}:{to}", lane.name),
+            ));
+        }
+        if cross_lane {
+            for (lj, other) in state.lanes.iter().enumerate() {
+                if lj == li {
                     continue;
                 }
-                out.push((
-                    vec![(op, li, to), (update, li, to + 1)],
-                    format!("move {op}+{update} to {}:{to}", lane.name),
-                ));
-            }
-            if cross_lane {
-                for (lj, other) in state.lanes.iter().enumerate() {
-                    if lj == li {
+                for to in 0..=other.ops.len() {
+                    if !in_window(window, pi, to) {
                         continue;
                     }
-                    for to in 0..=other.ops.len() {
-                        if !in_window(window, pi, to) {
-                            continue;
-                        }
-                        out.push((
-                            vec![(op, lj, to), (update, lj, to + 1)],
-                            format!("move {op}+{update} to {}:{to}", other.name),
-                        ));
+                    out.push((
+                        vec![(op, lj, to)],
+                        format!("move {op} to {}:{to}", other.name),
+                    ));
+                }
+            }
+        }
+        // Block moves: `[dW_i, U_i]` as one unit.
+        let Op::WeightGrad(layer) = op else { continue };
+        let update = Op::Update(layer);
+        if !lane.ops.contains(&update) {
+            continue;
+        }
+        for to in 0..=lane.ops.len().saturating_sub(2) {
+            if !in_window(window, pi, to) {
+                continue;
+            }
+            out.push((
+                vec![(op, li, to), (update, li, to + 1)],
+                format!("move {op}+{update} to {}:{to}", lane.name),
+            ));
+        }
+        if cross_lane {
+            for (lj, other) in state.lanes.iter().enumerate() {
+                if lj == li {
+                    continue;
+                }
+                for to in 0..=other.ops.len() {
+                    if !in_window(window, pi, to) {
+                        continue;
                     }
+                    out.push((
+                        vec![(op, lj, to), (update, lj, to + 1)],
+                        format!("move {op}+{update} to {}:{to}", other.name),
+                    ));
                 }
             }
         }
@@ -790,11 +807,12 @@ pub(crate) fn apply_move_batch(state: &Schedule, batch: &MoveBatch) -> Schedule 
 /// see [`schedule_move_batches`] for the move set. Identity moves are
 /// filtered out.
 pub(crate) fn schedule_moves(
+    graph: &TrainGraph,
     state: &Schedule,
     cross_lane: bool,
     window: Option<usize>,
 ) -> Vec<(Schedule, String)> {
-    schedule_move_batches(state, cross_lane, window)
+    schedule_move_batches(graph, state, cross_lane, window)
         .into_iter()
         .filter_map(|(batch, description)| {
             let next = apply_move_batch(state, &batch);
@@ -1075,5 +1093,67 @@ mod tests {
             tune_schedule(&graph, &s, &UnitCost, &opts),
             Err(Error::Unsafe(_))
         ));
+    }
+
+    /// The move enumerator visits moved ops in ascending arena id — the
+    /// repository-wide `(priority, op id)` tie-break key — regardless of
+    /// which lane or position the op currently occupies. This is what
+    /// pins equal-score greedy ties (the `(score, enumeration index)`
+    /// ranking) to the smallest op id.
+    #[test]
+    fn move_enumeration_follows_arena_id_under_shuffled_lanes() {
+        let graph = TrainGraph::single_gpu(4);
+        let (_, baseline) = lazy_two_lane(4);
+        // The same lane contents with the lanes swapped: position-order
+        // enumeration would visit the dW-class ops in a different
+        // sequence; the arena-id key must not care.
+        let mut swapped = Schedule::new();
+        swapped.add_lane("sub", baseline.lanes[1].ops.clone());
+        swapped.add_lane("main", baseline.lanes[0].ops.clone());
+        let ids = |s: &Schedule| -> Vec<usize> {
+            schedule_move_batches(&graph, s, true, None)
+                .iter()
+                .map(|(batch, _)| graph.op_index(batch[0].0).unwrap())
+                .collect()
+        };
+        let a = ids(&baseline);
+        let b = ids(&swapped);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(a, sorted, "enumeration is not ascending in arena id");
+        assert_eq!(a, b, "enumeration depends on lane placement");
+    }
+
+    /// A slack memory cap switches scoring to the full-ledger path but
+    /// must not change the search: same enumerator, same scores, same
+    /// `(score, enumeration index)` tie-breaks — byte-identical winner.
+    #[test]
+    fn slack_memory_cap_is_trajectory_invariant() {
+        let (graph, baseline) = lazy_two_lane(6);
+        let plain = tune_schedule(&graph, &baseline, &UnitCost, &TuneOptions::default()).unwrap();
+        let capped = tune_schedule(
+            &graph,
+            &baseline,
+            &UnitCost,
+            &TuneOptions {
+                memory_cap: Some(u64::MAX),
+                ..TuneOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(plain.schedule, capped.schedule);
+        assert_eq!(plain.predicted, capped.predicted);
+        assert_eq!(
+            plain
+                .moves
+                .iter()
+                .map(|m| m.description.clone())
+                .collect::<Vec<_>>(),
+            capped
+                .moves
+                .iter()
+                .map(|m| m.description.clone())
+                .collect::<Vec<_>>()
+        );
     }
 }

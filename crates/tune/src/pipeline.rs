@@ -105,7 +105,9 @@ impl<C: CostModel + Sync> SearchSpace for PipeSpace<'_, C> {
     fn candidates(&self, state: &PipeState) -> Vec<(PipeState, String)> {
         let mut out = self.regroups(state);
         // In-lane dW-class relocations; ops stay on their device.
-        for (next, description) in crate::schedule_moves(&state.schedule, false, self.window) {
+        for (next, description) in
+            crate::schedule_moves(self.graph, &state.schedule, false, self.window)
+        {
             out.push((
                 PipeState {
                     schedule: next,

@@ -148,6 +148,25 @@ cmp /tmp/ooo-mem-bench-a.json /tmp/ooo-mem-bench-b.json \
   || { echo "mem-bench: two smoke runs produced different bytes"; exit 1; }
 rm -f /tmp/ooo-mem-bench-a.json /tmp/ooo-mem-bench-b.json
 
+echo "==> tournament-bench smoke (strategy zoo bracket, byte-determinism)"
+cargo build -q --release -p ooo-bench --bin tournament-bench
+./target/release/tournament-bench --smoke --out /tmp/ooo-tournament-a.json
+./target/release/tournament-bench --smoke --out /tmp/ooo-tournament-b.json
+cmp /tmp/ooo-tournament-a.json /tmp/ooo-tournament-b.json \
+  || { echo "tournament-bench: two smoke runs produced different bytes"; exit 1; }
+grep -q '"certified": false' /tmp/ooo-tournament-a.json \
+  && { echo "tournament-bench: a cell failed certification"; exit 1; }
+rm -f /tmp/ooo-tournament-a.json /tmp/ooo-tournament-b.json
+
+echo "==> per-strategy ooo-advise smoke (zoo bundle through the advisor)"
+./target/release/tournament-bench --bundle /tmp/ooo-zoo-bundle.json
+for s in conventional fastforward reversek layerpipe twobp gradinterleaved; do
+  rc=0; ./target/debug/ooo-advise bundle /tmp/ooo-zoo-bundle.json --schedule "$s" \
+    > /dev/null || rc=$?
+  [ "$rc" -le 1 ] || { echo "ooo-advise: strategy $s drew exit $rc"; exit 1; }
+done
+rm -f /tmp/ooo-zoo-bundle.json
+
 echo "==> ooo-tune 1000-stage smoke (windowed search at scale)"
 cargo build -q --release -p ooo-tune --bin ooo-tune
 rc=0; ./target/release/ooo-tune pipeline --layers 1000 --devices 8 --strategy pipe2 \

@@ -8,6 +8,10 @@
 //! * graceful failure — never a panic — on malformed, empty, and
 //!   deeply-nested JSON inputs;
 //! * byte-identical output across double runs of the same invocation.
+//!
+//! `tournament-bench` follows the bench-binary convention instead —
+//! a bare invocation runs the full bracket and exits 0 — so it gets
+//! its own contract test covering flag validation and determinism.
 
 use ooo_backprop::core::export::ScheduleBundle;
 use ooo_backprop::core::op::{LayerId, Op};
@@ -28,6 +32,10 @@ const CLIS: [(&str, &str); 8] = [
     ("ooo-serve", "ooo-serve"),
 ];
 
+/// Bench binaries under the lighter bench contract (bare runs are
+/// full-bracket runs, not usage errors), with their owning package.
+const BENCH_CLIS: [(&str, &str); 1] = [("tournament-bench", "ooo-bench")];
+
 /// Path to a CLI binary, building it on demand: the root package's
 /// integration tests do not implicitly build other crates' binaries.
 fn bin(name: &str) -> PathBuf {
@@ -41,6 +49,7 @@ fn bin(name: &str) -> PathBuf {
     if !path.exists() {
         let pkg = CLIS
             .iter()
+            .chain(BENCH_CLIS.iter())
             .find(|(n, _)| *n == name)
             .map(|(_, p)| *p)
             .expect("known CLI");
@@ -296,6 +305,57 @@ fn success_and_findings_exit_codes() {
     );
     assert_no_panic("ooo-cert", &out);
     assert_eq!(code(&out), 1, "ooo-cert improvable order");
+}
+
+/// The tournament bench under the bench contract: unknown flags and
+/// unknown strategy names are usage errors (exit 2, usage on stderr),
+/// `--smoke` double runs are byte-identical on stdout, and a strategy
+/// filter restricts the emitted cells to that strategy.
+#[test]
+fn tournament_bench_flags_filters_and_determinism() {
+    // Unknown flag: exit 2 with the usage string, no panic.
+    let bogus = run("tournament-bench", &["--bogus"]);
+    assert_no_panic("tournament-bench", &bogus);
+    assert_eq!(code(&bogus), 2, "tournament-bench unknown flag");
+    let stderr = String::from_utf8_lossy(&bogus.stderr);
+    assert!(
+        stderr.contains("usage:"),
+        "tournament-bench must print usage, got:\n{stderr}"
+    );
+
+    // Unknown strategy: exit 2, naming the known strategies.
+    let unknown = run("tournament-bench", &["--smoke", "--strategy", "nonesuch"]);
+    assert_no_panic("tournament-bench", &unknown);
+    assert_eq!(code(&unknown), 2, "tournament-bench unknown strategy");
+    let stderr = String::from_utf8_lossy(&unknown.stderr);
+    assert!(
+        stderr.contains("nonesuch") && stderr.contains("fastforward"),
+        "unknown-strategy error should name the offender and the zoo:\n{stderr}"
+    );
+
+    // Smoke double runs: exit 0, byte-identical, every cell certified.
+    let first = run("tournament-bench", &["--smoke"]);
+    assert_no_panic("tournament-bench", &first);
+    assert_eq!(code(&first), 0, "tournament-bench --smoke");
+    let second = run("tournament-bench", &["--smoke"]);
+    assert_eq!(
+        first.stdout, second.stdout,
+        "tournament-bench --smoke not byte-deterministic"
+    );
+    let doc = String::from_utf8_lossy(&first.stdout);
+    assert!(doc.contains("\"bench\": \"tournament\""), "{doc}");
+    assert!(!doc.contains("\"certified\": false"), "{doc}");
+    assert!(!doc.contains("\"clean\": false"), "{doc}");
+
+    // Strategy filter: only the named strategy's cells are emitted.
+    // (gradinterleaved serializes onto one lane and never wins a group,
+    // so it can only appear in the output via an unfiltered cell.)
+    let filtered = run("tournament-bench", &["--smoke", "--strategy", "twobp"]);
+    assert_no_panic("tournament-bench", &filtered);
+    assert_eq!(code(&filtered), 0, "tournament-bench strategy filter");
+    let doc = String::from_utf8_lossy(&filtered.stdout);
+    assert!(doc.contains("\"strategy\": \"twobp\""), "{doc}");
+    assert!(!doc.contains("\"strategy\": \"gradinterleaved\""), "{doc}");
 }
 
 /// The daemon's one-shot mode under the shared contract: one request
